@@ -1,0 +1,323 @@
+package sec_test
+
+// Benchmark harness: one benchmark per table/figure of the paper (each
+// regenerates the experiment end to end; see internal/experiments and
+// EXPERIMENTS.md) plus micro-benchmarks for the coding substrates and the
+// archive hot paths, including the ablation benches DESIGN.md calls out.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/experiments"
+	"github.com/secarchive/sec/internal/gf"
+	"github.com/secarchive/sec/internal/sparse"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+	"github.com/secarchive/sec/internal/wide"
+)
+
+// benchExperiment regenerates one paper table/figure per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkCensusVA(b *testing.B) { benchExperiment(b, "census") }
+
+// Ablation experiments (see DESIGN.md section 5).
+func BenchmarkAblationPuncture(b *testing.B) { benchExperiment(b, "puncture") }
+func BenchmarkAblationReversed(b *testing.B) { benchExperiment(b, "reversed") }
+
+// System-measured experiments: the formulas validated on live archives.
+func BenchmarkFig4System(b *testing.B)       { benchExperiment(b, "fig4sys") }
+func BenchmarkLSweep(b *testing.B)           { benchExperiment(b, "lsweep") }
+func BenchmarkRepairSimulation(b *testing.B) { benchExperiment(b, "repair") }
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkGFMulAddSlice(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gf.MulAddSlice(0x57, dst, src)
+	}
+}
+
+func benchEncode(b *testing.B, kind erasure.Kind, n, k, blockSize int) {
+	b.Helper()
+	code, err := erasure.New(kind, n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	blocks := make([][]byte, k)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockSize)
+		rng.Read(blocks[i])
+	}
+	b.SetBytes(int64(k * blockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeCauchy6_3(b *testing.B) { benchEncode(b, erasure.NonSystematicCauchy, 6, 3, 4096) }
+func BenchmarkEncodeCauchy20_10(b *testing.B) {
+	benchEncode(b, erasure.NonSystematicCauchy, 20, 10, 4096)
+}
+func BenchmarkEncodeSystematic20_10(b *testing.B) {
+	benchEncode(b, erasure.SystematicCauchy, 20, 10, 4096)
+}
+
+func BenchmarkDecodeFull20_10(b *testing.B) {
+	code, err := erasure.New(erasure.NonSystematicCauchy, 20, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	blocks := make([][]byte, 10)
+	for i := range blocks {
+		blocks[i] = make([]byte, 4096)
+		rng.Read(blocks[i])
+	}
+	shards, err := code.Encode(blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+	sub := make([][]byte, len(rows))
+	for i, r := range rows {
+		sub[i] = shards[r]
+	}
+	b.SetBytes(int64(10 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.DecodeFull(rows, sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: support-enumeration vs Berlekamp-Massey sparse decoding at the
+// same I/O (2*gamma shards of a (24,12) code, gamma=3).
+func benchSparseDecode(b *testing.B, kind erasure.Kind) {
+	b.Helper()
+	const (
+		n, k, gamma = 24, 12, 3
+		blockSize   = 1024
+	)
+	code, err := erasure.New(kind, n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	z := make([][]byte, k)
+	for i := range z {
+		z[i] = make([]byte, blockSize)
+	}
+	for _, j := range rng.Perm(k)[:gamma] {
+		rng.Read(z[j])
+		z[j][0] |= 1
+	}
+	shards, err := code.Encode(z)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := make([]int, n)
+	for i := range live {
+		live[i] = i
+	}
+	rows := code.SparseReadRows(live, gamma)
+	if rows == nil {
+		b.Fatal("no sparse read rows")
+	}
+	sub := make([][]byte, len(rows))
+	for i, r := range rows {
+		sub[i] = shards[r]
+	}
+	b.SetBytes(int64(gamma * blockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.DecodeSparse(rows, sub, gamma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseDecodeEnumCauchy(b *testing.B) {
+	benchSparseDecode(b, erasure.NonSystematicCauchy)
+}
+
+func BenchmarkSparseDecodeSyndromeVandermonde(b *testing.B) {
+	benchSparseDecode(b, erasure.NonSystematicVandermonde)
+}
+
+// Ablation: generic sparse recovery cost as gamma grows (enumeration is
+// C(k,gamma); syndrome decoding is polynomial).
+func BenchmarkSparseRecoverEnumByGamma(b *testing.B) {
+	const k = 16
+	for _, gamma := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("gamma=%d", gamma), func(b *testing.B) {
+			code, err := erasure.New(erasure.NonSystematicCauchy, 2*k, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(5))
+			z := make([][]byte, k)
+			for i := range z {
+				z[i] = make([]byte, 64)
+			}
+			for _, j := range rng.Perm(k)[:gamma] {
+				rng.Read(z[j])
+				z[j][0] |= 1
+			}
+			gen := code.Generator()
+			rows := make([]int, 2*gamma)
+			for i := range rows {
+				rows[i] = i
+			}
+			phi := gen.SelectRows(rows)
+			y := phi.MulBlocks(z)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.RecoverEnum(phi, y, gamma); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: symbol width. The GF(2^16) backend unlocks n+k > 256 at some
+// throughput cost; compare encode speed at equal (n,k) and payload.
+func BenchmarkEncodeWideGF16_20_10(b *testing.B) {
+	code, err := wide.NewCauchy(20, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	blocks := make([][]byte, 10)
+	for i := range blocks {
+		blocks[i] = make([]byte, 4096)
+		rng.Read(blocks[i])
+	}
+	b.SetBytes(int64(10 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- archive hot paths ---
+
+func benchArchive(b *testing.B, scheme sec.Scheme) (*sec.Archive, []byte) {
+	b.Helper()
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Scheme:    scheme,
+		Code:      sec.NonSystematicCauchy,
+		N:         20,
+		K:         10,
+		BlockSize: 1024,
+	}, sec.NewMemCluster(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	v := make([]byte, archive.Capacity())
+	rng.Read(v)
+	if _, err := archive.Commit(v); err != nil {
+		b.Fatal(err)
+	}
+	return archive, v
+}
+
+func BenchmarkArchiveCommitSparseDelta(b *testing.B) {
+	archive, v := benchArchive(b, sec.BasicSEC)
+	rng := rand.New(rand.NewSource(7))
+	b.SetBytes(int64(len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := sec.SparseEdit(rng, v, 1024, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := archive.Commit(next); err != nil {
+			b.Fatal(err)
+		}
+		v = next
+	}
+}
+
+func BenchmarkArchiveRetrieveLatestSparseChain(b *testing.B) {
+	archive, v := benchArchive(b, sec.BasicSEC)
+	rng := rand.New(rand.NewSource(8))
+	for j := 0; j < 4; j++ {
+		next, err := sec.SparseEdit(rng, v, 1024, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := archive.Commit(next); err != nil {
+			b.Fatal(err)
+		}
+		v = next
+	}
+	b.SetBytes(int64(len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := archive.Retrieve(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	srv := transport.NewServer(store.NewMemNode("bench"))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := transport.NewRemoteNode("bench", addr.String())
+	defer client.Close()
+	id := store.ShardID{Object: "o", Row: 0}
+	payload := make([]byte, 4096)
+	if err := client.Put(id, payload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Get(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command secbench regenerates the tables and figures of the SEC paper's
+// evaluation (Table I, Figs. 2-9, the Section V-A failure-pattern census)
+// plus the extension experiments: the puncturing trade-off, the Reversed
+// SEC access profile, the system-measured Fig. 4, the L-sweep
+// generalization of Fig. 7, and the failure/repair simulation.
+//
+// Usage:
+//
+//	secbench -list
+//	secbench -run fig2
+//	secbench -run all -format csv
+//
+// Output goes to stdout; every experiment uses the paper's default
+// parameters and fixed seeds, so runs are reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/secarchive/sec/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "secbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("secbench", flag.ContinueOnError)
+	var (
+		runID  = fs.String("run", "all", "experiment to run (see -list), or 'all'")
+		format = fs.String("format", "table", "output format: table or csv")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+	ids := experiments.IDs()
+	if *runID != "all" {
+		ids = []string{*runID}
+	}
+	for i, id := range ids {
+		table, err := experiments.Run(id)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := fmt.Fprintln(out); err != nil {
+				return err
+			}
+		}
+		if *format == "csv" {
+			if _, err := fmt.Fprintf(out, "# %s: %s\n", table.ID, table.Title); err != nil {
+				return err
+			}
+			if err := table.WriteCSV(out); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := table.Format(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

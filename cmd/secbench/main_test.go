@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig2", "fig9", "census"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "census"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# census:") || !strings.Contains(got, "non-systematic") {
+		t.Errorf("unexpected output:\n%s", got)
+	}
+	// The Section V-A counts must appear.
+	for _, v := range []string{"56", "44", "63"} {
+		if !strings.Contains(got, v) {
+			t.Errorf("output missing %s:\n%s", v, got)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig6", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Comment header + CSV header + 3 support rows.
+	if len(lines) != 5 {
+		t.Errorf("CSV lines = %d, want 5:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[1], "gamma,") {
+		t.Errorf("CSV header = %q", lines[1])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "nope"}, &out); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+	if err := run([]string{"-format", "xml"}, &out); err == nil {
+		t.Error("unknown format: want error")
+	}
+}

@@ -1,0 +1,310 @@
+// Command seccli manages a SEC versioned archive stored across secnode
+// servers. The archive's metadata lives in a local manifest file; shards
+// live on the nodes.
+//
+// Usage:
+//
+//	seccli -nodes 127.0.0.1:7070,127.0.0.1:7071,... -manifest a.json init \
+//	       -scheme basic-sec -code non-systematic-cauchy -n 6 -k 3 -blocksize 1024
+//	seccli -nodes ... -manifest a.json commit document.bin
+//	seccli -nodes ... -manifest a.json get -version 2 -out document.v2.bin
+//	seccli -nodes ... -manifest a.json info
+//	seccli -nodes ... -manifest a.json repair -node 2
+//	seccli -nodes ... -manifest a.json scrub -repair
+//	seccli -nodes ... -manifest recovered.json attach -name archive
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "seccli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("seccli", flag.ContinueOnError)
+	var (
+		nodesFlag    = fs.String("nodes", "", "comma-separated secnode addresses (shard i goes to node i)")
+		manifestPath = fs.String("manifest", "archive.json", "path of the archive manifest file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("missing subcommand: init, commit, get or info")
+	}
+	if *nodesFlag == "" {
+		return errors.New("-nodes is required")
+	}
+	cluster, closeNodes := dialCluster(strings.Split(*nodesFlag, ","))
+	defer closeNodes()
+
+	sub, subArgs := fs.Arg(0), fs.Args()[1:]
+	switch sub {
+	case "init":
+		return cmdInit(out, cluster, *manifestPath, subArgs)
+	case "commit":
+		return cmdCommit(out, cluster, *manifestPath, subArgs)
+	case "get":
+		return cmdGet(out, cluster, *manifestPath, subArgs)
+	case "info":
+		return cmdInfo(out, cluster, *manifestPath)
+	case "repair":
+		return cmdRepair(out, cluster, *manifestPath, subArgs)
+	case "scrub":
+		return cmdScrub(out, cluster, *manifestPath, subArgs)
+	case "attach":
+		return cmdAttach(out, cluster, *manifestPath, subArgs)
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+func dialCluster(addrs []string) (*sec.Cluster, func()) {
+	nodes := make([]sec.StorageNode, len(addrs))
+	remotes := make([]*sec.RemoteNode, len(addrs))
+	for i, addr := range addrs {
+		remote := sec.DialNode(fmt.Sprintf("node-%d", i), strings.TrimSpace(addr))
+		nodes[i] = remote
+		remotes[i] = remote
+	}
+	return sec.NewCluster(nodes), func() {
+		for _, r := range remotes {
+			_ = r.Close()
+		}
+	}
+}
+
+func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+	fs := flag.NewFlagSet("init", flag.ContinueOnError)
+	var (
+		scheme    = fs.String("scheme", "basic-sec", "storage scheme")
+		code      = fs.String("code", "non-systematic-cauchy", "erasure code construction")
+		n         = fs.Int("n", 6, "shards per object")
+		k         = fs.Int("k", 3, "data blocks per object")
+		blockSize = fs.Int("blocksize", 1024, "bytes per block")
+		name      = fs.String("name", "archive", "archive name (shard ID prefix)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := os.Stat(manifestPath); err == nil {
+		return fmt.Errorf("manifest %s already exists", manifestPath)
+	}
+	parsedScheme, err := core.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	parsedKind, err := erasure.ParseKind(*code)
+	if err != nil {
+		return err
+	}
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Name:      *name,
+		Scheme:    parsedScheme,
+		Code:      parsedKind,
+		N:         *n,
+		K:         *k,
+		BlockSize: *blockSize,
+	}, cluster)
+	if err != nil {
+		return err
+	}
+	if err := saveManifest(archive, manifestPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "initialized %s archive: (n,k)=(%d,%d), capacity %d bytes, manifest %s\n",
+		parsedScheme, *n, *k, archive.Capacity(), manifestPath)
+	return nil
+}
+
+func cmdCommit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+	if len(args) != 1 {
+		return errors.New("usage: commit <file>")
+	}
+	archive, err := loadManifest(cluster, manifestPath)
+	if err != nil {
+		return err
+	}
+	content, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	info, err := archive.Commit(content)
+	if err != nil {
+		return err
+	}
+	if err := saveManifest(archive, manifestPath); err != nil {
+		return err
+	}
+	// Replicate the manifest onto the nodes too, so `attach` can recover
+	// it if the local copy is lost; best effort.
+	_ = archive.SaveToCluster()
+	what := "full version"
+	if info.StoredDelta {
+		what = fmt.Sprintf("delta (gamma=%d)", info.Gamma)
+	}
+	fmt.Fprintf(out, "committed version %d as %s: %d shard writes\n", info.Version, what, info.ShardWrites)
+	return nil
+}
+
+func cmdGet(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+	fs := flag.NewFlagSet("get", flag.ContinueOnError)
+	var (
+		version = fs.Int("version", 0, "version to retrieve (default: latest)")
+		outPath = fs.String("out", "", "output file (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	archive, err := loadManifest(cluster, manifestPath)
+	if err != nil {
+		return err
+	}
+	l := *version
+	if l == 0 {
+		l = archive.Versions()
+	}
+	content, stats, err := archive.Retrieve(l)
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		if _, err := out.Write(content); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*outPath, content, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "retrieved version %d (%d bytes) with %d node reads (%d sparse, %d full objects)\n",
+		l, len(content), stats.NodeReads, stats.SparseReads, stats.FullReads)
+	return nil
+}
+
+func cmdInfo(out io.Writer, cluster *sec.Cluster, manifestPath string) error {
+	archive, err := loadManifest(cluster, manifestPath)
+	if err != nil {
+		return err
+	}
+	m := archive.Manifest()
+	fmt.Fprintf(out, "archive %q: scheme=%s code=%s (n,k)=(%d,%d) blocksize=%d versions=%d\n",
+		m.Name, m.Scheme, m.Code, m.N, m.K, m.BlockSize, len(m.Entries))
+	for _, e := range m.Entries {
+		kind := "full"
+		if e.Delta {
+			kind = fmt.Sprintf("delta gamma=%d", e.Gamma)
+		}
+		planned, err := archive.PlannedReads(e.Version)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  v%d: %s, %d bytes, planned reads %d\n", e.Version, kind, e.Length, planned)
+	}
+	return nil
+}
+
+func cmdRepair(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	node := fs.Int("node", -1, "cluster node index to repair (position in -nodes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node < 0 {
+		return errors.New("repair: -node is required")
+	}
+	archive, err := loadManifest(cluster, manifestPath)
+	if err != nil {
+		return err
+	}
+	report, err := archive.RepairNode(*node)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "repaired node %d: %d shards checked, %d healthy, %d rebuilt (%d repair reads)\n",
+		*node, report.ShardsChecked, report.ShardsHealthy, report.ShardsRepaired, report.NodeReads)
+	return nil
+}
+
+func cmdScrub(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	repair := fs.Bool("repair", false, "rewrite missing or corrupt shards")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	archive, err := loadManifest(cluster, manifestPath)
+	if err != nil {
+		return err
+	}
+	report, err := archive.Scrub(*repair)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scrubbed: %d shards checked, %d missing, %d corrupt, %d unreachable, %d undecodable objects, %d repaired\n",
+		report.ShardsChecked, report.ShardsMissing, report.ShardsCorrupt,
+		report.ShardsUnreachable, report.ObjectsUndecodable, report.Repaired)
+	return nil
+}
+
+func cmdAttach(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+	fs := flag.NewFlagSet("attach", flag.ContinueOnError)
+	name := fs.String("name", "archive", "archive name to recover from the cluster")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := os.Stat(manifestPath); err == nil {
+		return fmt.Errorf("manifest %s already exists", manifestPath)
+	}
+	archive, err := core.LoadFromCluster(*name, cluster)
+	if err != nil {
+		return err
+	}
+	if err := saveManifest(archive, manifestPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "attached to archive %q: %d versions, manifest written to %s\n",
+		*name, archive.Versions(), manifestPath)
+	return nil
+}
+
+func loadManifest(cluster *sec.Cluster, path string) (*sec.Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening manifest (run init first?): %w", err)
+	}
+	defer f.Close()
+	return core.Load(f, cluster)
+}
+
+func saveManifest(archive *sec.Archive, path string) error {
+	// Write next to the destination so the final rename stays on one
+	// filesystem and is atomic.
+	f, err := os.CreateTemp(filepath.Dir(path), "manifest-*.json")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := archive.Save(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	sec "github.com/secarchive/sec"
+)
+
+// startNodes launches n in-process secnode-equivalent servers and returns
+// the -nodes flag value plus the backing stores.
+func startNodes(t *testing.T, n int) (string, []*sec.MemNode) {
+	t.Helper()
+	addrs := make([]string, n)
+	backings := make([]*sec.MemNode, n)
+	for i := 0; i < n; i++ {
+		backings[i] = sec.NewMemNode("t")
+		srv := sec.NewNodeServer(backings[i])
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs[i] = addr.String()
+	}
+	return strings.Join(addrs, ","), backings
+}
+
+func TestEndToEndCLI(t *testing.T) {
+	nodes, _ := startNodes(t, 6)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "archive.json")
+
+	var out bytes.Buffer
+	err := run([]string{"-nodes", nodes, "-manifest", manifest, "init",
+		"-scheme", "basic-sec", "-code", "non-systematic-cauchy",
+		"-n", "6", "-k", "3", "-blocksize", "16"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "initialized basic-sec archive") {
+		t.Errorf("init output: %s", out.String())
+	}
+
+	// Commit two versions differing in one block.
+	v1 := bytes.Repeat([]byte{'a'}, 48)
+	v2 := append([]byte(nil), v1...)
+	v2[0] = 'b'
+	file1 := filepath.Join(dir, "v1.bin")
+	file2 := filepath.Join(dir, "v2.bin")
+	if err := os.WriteFile(file1, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file2, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "committed version 1 as full version") {
+		t.Errorf("commit 1 output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "committed version 2 as delta (gamma=1)") {
+		t.Errorf("commit 2 output: %s", out.String())
+	}
+
+	// Retrieve both versions.
+	got1 := filepath.Join(dir, "out1.bin")
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "get", "-version", "1", "-out", got1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(got1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(content, v1) {
+		t.Error("version 1 content mismatch")
+	}
+	got2 := filepath.Join(dir, "out2.bin")
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "get", "-out", got2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "with 5 node reads") {
+		t.Errorf("get output: %s", out.String())
+	}
+	content, err = os.ReadFile(got2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(content, v2) {
+		t.Error("latest content mismatch")
+	}
+
+	// Info summarises the archive.
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info := out.String()
+	if !strings.Contains(info, "versions=2") || !strings.Contains(info, "delta gamma=1") {
+		t.Errorf("info output: %s", info)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"info"}, &out); err == nil {
+		t.Error("missing -nodes: want error")
+	}
+	if err := run([]string{"-nodes", "127.0.0.1:1"}, &out); err == nil {
+		t.Error("missing subcommand: want error")
+	}
+	if err := run([]string{"-nodes", "127.0.0.1:1", "frob"}, &out); err == nil {
+		t.Error("unknown subcommand: want error")
+	}
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "m.json")
+	if err := run([]string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "commit", "x"}, &out); err == nil {
+		t.Error("commit without init: want error")
+	}
+	if err := run([]string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "init", "-scheme", "bogus"}, &out); err == nil {
+		t.Error("bogus scheme: want error")
+	}
+}
+
+func TestCLIRepair(t *testing.T) {
+	nodes, backings := startNodes(t, 6)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "archive.json")
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "v.bin")
+	if err := os.WriteFile(file, bytes.Repeat([]byte{9}, 24), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe node 4's backing store (device replacement).
+	if err := backings[4].Delete(sec.ShardID{Object: "archive/v1-full", Row: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 rebuilt") {
+		t.Errorf("repair output: %s", out.String())
+	}
+	// Second pass finds everything healthy.
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 healthy, 0 rebuilt") {
+		t.Errorf("second repair output: %s", out.String())
+	}
+	// Missing -node flag.
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "repair"}, &out); err == nil {
+		t.Error("repair without -node: want error")
+	}
+}
+
+func TestCLIScrub(t *testing.T) {
+	nodes, backings := startNodes(t, 6)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "archive.json")
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "v.bin")
+	if err := os.WriteFile(file, bytes.Repeat([]byte{7}, 24), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one shard silently.
+	id := sec.ShardID{Object: "archive/v1-full", Row: 3}
+	data, err := backings[3].Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xAA
+	if err := backings[3].Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 corrupt") {
+		t.Errorf("scrub output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "scrub", "-repair"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 repaired") {
+		t.Errorf("scrub -repair output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 missing, 0 corrupt") {
+		t.Errorf("post-repair scrub output: %s", out.String())
+	}
+}
+
+func TestCLIAttachRecoversLostManifest(t *testing.T) {
+	nodes, _ := startNodes(t, 6)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "archive.json")
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "v.bin")
+	want := bytes.Repeat([]byte{3}, 24)
+	if err := os.WriteFile(file, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The laptop dies: the local manifest is gone.
+	if err := os.Remove(manifest); err != nil {
+		t.Fatal(err)
+	}
+	recovered := filepath.Join(dir, "recovered.json")
+	out.Reset()
+	if err := run([]string{"-nodes", nodes, "-manifest", recovered, "attach", "-name", "archive"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "attached to archive") {
+		t.Errorf("attach output: %s", out.String())
+	}
+	got := filepath.Join(dir, "out.bin")
+	if err := run([]string{"-nodes", nodes, "-manifest", recovered, "get", "-out", got}, &out); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(content, want) {
+		t.Error("recovered archive content mismatch")
+	}
+	// Attach refuses to clobber an existing manifest.
+	if err := run([]string{"-nodes", nodes, "-manifest", recovered, "attach"}, &out); err == nil {
+		t.Error("attach over existing manifest: want error")
+	}
+	// Attach to a name that does not exist fails.
+	ghost := filepath.Join(dir, "ghost.json")
+	if err := run([]string{"-nodes", nodes, "-manifest", ghost, "attach", "-name", "ghost"}, &out); err == nil {
+		t.Error("attach to unknown archive: want error")
+	}
+}
+
+func TestCLIInitRefusesOverwrite(t *testing.T) {
+	nodes, _ := startNodes(t, 6)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "archive.json")
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err == nil {
+		t.Error("double init: want error")
+	}
+}

@@ -1,0 +1,58 @@
+// Command secnode runs one SEC storage node: an in-memory shard store
+// served over the library's TCP protocol. A set of secnode processes forms
+// the distributed back end for seccli or any program using the sec package
+// with DialNode.
+//
+// Usage:
+//
+//	secnode -addr 127.0.0.1:7070 -id node-0
+//
+// The process serves until SIGINT/SIGTERM, then shuts down gracefully.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/transport"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "secnode:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until a value arrives on stop. If ready is non-nil it receives
+// the bound address once the server is listening.
+func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
+	fs := flag.NewFlagSet("secnode", flag.ContinueOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:7070", "TCP address to listen on")
+		id   = fs.String("id", "secnode", "node identifier used in logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, *id+": ", log.LstdFlags)
+	server := sec.NewNodeServer(sec.NewMemNode(*id), transport.WithLogger(logger))
+	bound, err := server.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving shards on %s", bound)
+	if ready != nil {
+		ready <- bound.String()
+	}
+	<-stop
+	logger.Printf("shutting down")
+	return server.Close()
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/store"
+)
+
+func TestServeAndShutdown(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-id", "test-node"}, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+
+	client := sec.DialNode("c", addr)
+	defer client.Close()
+	id := store.ShardID{Object: "o", Row: 0}
+	if err := client.Put(id, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("Get = %v", got)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	stop := make(chan os.Signal)
+	if err := run([]string{"-addr"}, stop, nil); err == nil {
+		t.Error("dangling flag: want error")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, stop, nil); err == nil {
+		t.Error("bad address: want error")
+	}
+}

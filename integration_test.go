@@ -1,0 +1,212 @@
+package sec_test
+
+// End-to-end integration: a full operational story over real TCP storage
+// nodes - commits from a realistic edit workload, degraded reads under
+// failures, device replacement with repair, silent-corruption scrubbing,
+// and metadata recovery from the cluster itself.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// tcpCluster starts n node servers and returns the cluster plus backing
+// stores for fault/corruption injection.
+func tcpCluster(t *testing.T, n int) (*sec.Cluster, []*sec.MemNode) {
+	t.Helper()
+	nodes := make([]sec.StorageNode, n)
+	backings := make([]*sec.MemNode, n)
+	for i := 0; i < n; i++ {
+		backings[i] = sec.NewMemNode("backing")
+		srv := sec.NewNodeServer(backings[i])
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		client := sec.DialNode("remote", addr.String(), sec.WithNodeTimeout(2*time.Second))
+		t.Cleanup(func() { _ = client.Close() })
+		nodes[i] = client
+	}
+	return sec.NewCluster(nodes), backings
+}
+
+func TestIntegrationFullLifecycleOverTCP(t *testing.T) {
+	const (
+		n, k      = 8, 4
+		blockSize = 256
+	)
+	cluster, backings := tcpCluster(t, n)
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Name:      "lifecycle",
+		Scheme:    sec.BasicSEC,
+		Code:      sec.SystematicCauchy,
+		N:         n,
+		K:         k,
+		BlockSize: blockSize,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a document under localized revision, committed over TCP.
+	rng := rand.New(rand.NewSource(2026))
+	doc, err := sec.NewTextDocument(rng, k*blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var versions [][]byte
+	commit := func() {
+		t.Helper()
+		if _, err := archive.Commit(doc.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, doc.Bytes())
+	}
+	commit()
+	for rev := 0; rev < 5; rev++ {
+		if _, _, err := doc.Revise(rng, 100); err != nil {
+			t.Fatal(err)
+		}
+		commit()
+	}
+	if err := archive.SaveToCluster(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: degraded reads with n-k nodes down.
+	for _, i := range []int{1, 3, 5, 7} {
+		backings[i].SetFailed(true)
+	}
+	for l, want := range versions {
+		got, _, err := archive.Retrieve(l + 1)
+		if err != nil {
+			t.Fatalf("degraded version %d: %v", l+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("degraded version %d mismatch", l+1)
+		}
+	}
+	// One more failure is fatal...
+	backings[0].SetFailed(true)
+	if _, _, err := archive.Retrieve(1); !errors.Is(err, sec.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	// ...until the cluster heals.
+	for _, b := range backings {
+		b.SetFailed(false)
+	}
+
+	// Phase 3: device replacement. Node 2's disk dies; a fresh device
+	// takes its place and repair rebuilds its shards over the network.
+	backings[2].Wipe()
+	report, err := archive.RepairNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsRepaired != len(versions) {
+		t.Fatalf("repaired %d shards, want one per stored object (%d)", report.ShardsRepaired, len(versions))
+	}
+
+	// Phase 4: silent corruption on another node, caught by scrubbing.
+	id := store.ShardID{Object: "lifecycle/v3-delta", Row: 6}
+	data, err := backings[6].Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x42
+	if err := backings[6].Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	scrub, err := archive.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrub.ShardsCorrupt != 1 || scrub.Repaired != 1 {
+		t.Fatalf("scrub report = %+v", scrub)
+	}
+
+	// Phase 5: the client machine is lost; recover metadata from the
+	// cluster and read everything back through a fresh archive handle.
+	recovered, err := core.LoadFromCluster("lifecycle", cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, stats, err := recovered.RetrieveAll(len(versions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, want := range versions {
+		if !bytes.Equal(all[l], want) {
+			t.Fatalf("recovered version %d mismatch", l+1)
+		}
+	}
+	// Localized edits keep deltas sparse: the whole history must cost
+	// well below the non-differential L*k baseline.
+	if baseline := len(versions) * k; stats.NodeReads >= baseline {
+		t.Errorf("history read cost %d, baseline %d: no sparsity exploited", stats.NodeReads, baseline)
+	}
+
+	// Phase 6: continue the chain on the recovered handle (the cache is
+	// restored from storage transparently).
+	if _, _, err := doc.Revise(rng, 80); err != nil {
+		t.Fatal(err)
+	}
+	info, err := recovered.Commit(doc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != len(versions)+1 {
+		t.Fatalf("continued commit got version %d", info.Version)
+	}
+	got, _, err := recovered.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, doc.Bytes()) {
+		t.Fatal("latest version mismatch after recovery")
+	}
+}
+
+func TestIntegrationRepositoryOverTCP(t *testing.T) {
+	cluster, _ := tcpCluster(t, 6)
+	repo, err := sec.NewRepository(sec.RepositoryConfig{
+		Scheme:    sec.OptimizedSEC,
+		Code:      sec.NonSystematicCauchy,
+		N:         6,
+		K:         3,
+		BlockSize: 128,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{
+		"src/main.go": bytes.Repeat([]byte{'m'}, 300),
+		"docs/spec":   bytes.Repeat([]byte{'d'}, 200),
+	}
+	if _, err := repo.Commit("import", files); err != nil {
+		t.Fatal(err)
+	}
+	edited := append([]byte(nil), files["src/main.go"]...)
+	edited[5] = 'X'
+	if _, err := repo.Commit("fix", map[string][]byte{"src/main.go": edited}); err != nil {
+		t.Fatal(err)
+	}
+	state, stats, err := repo.Checkout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state["src/main.go"], edited) || !bytes.Equal(state["docs/spec"], files["docs/spec"]) {
+		t.Error("checkout state mismatch over TCP")
+	}
+	if stats.SparseReads == 0 {
+		t.Error("expected a sparse delta read over TCP")
+	}
+}

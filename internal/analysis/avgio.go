@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AvgSparseIOExact returns the paper's mu_gamma (eq. 21): the expected
+// number of node reads to retrieve a gamma-sparse delta, conditioned on at
+// least k nodes being alive (otherwise the object is simply lost). When a
+// 2*gamma-subset of the live rows satisfies Criterion 2 the read costs
+// 2*gamma; otherwise it falls back to k. Computed by exact enumeration over
+// all failure patterns.
+//
+// For non-systematic Cauchy SEC every live pair works, so the result is
+// constantly min(2*gamma, k); systematic SEC degrades as p grows because
+// only parity subsets qualify (Figs. 4-5).
+func AvgSparseIOExact(code sparseReader, gamma int, p float64) float64 {
+	n, k := code.N(), code.K()
+	sparseCost, fullCost := float64(2*gamma), float64(k)
+	var condProb, reads float64
+	forEachFailurePattern(n, func(live []int, dead int) {
+		if len(live) < k {
+			return
+		}
+		prob := math.Pow(p, float64(dead)) * math.Pow(1-p, float64(len(live)))
+		condProb += prob
+		if code.SparseReadRows(live, gamma) != nil {
+			reads += prob * sparseCost
+		} else {
+			reads += prob * fullCost
+		}
+	})
+	if condProb == 0 {
+		return 0
+	}
+	return reads / condProb
+}
+
+// AvgSparseIOMonteCarlo estimates mu_gamma by sampling failure patterns,
+// reproducing the paper's randomized methodology. Patterns leaving fewer
+// than k live nodes are discarded (the estimate conditions on
+// retrievability), matching eq. 21.
+func AvgSparseIOMonteCarlo(code sparseReader, gamma int, p float64, trials int, rng *rand.Rand) float64 {
+	n, k := code.N(), code.K()
+	var kept int
+	var reads float64
+	live := make([]int, 0, n)
+	for t := 0; t < trials; t++ {
+		live = live[:0]
+		for i := 0; i < n; i++ {
+			if rng.Float64() >= p {
+				live = append(live, i)
+			}
+		}
+		if len(live) < k {
+			continue
+		}
+		kept++
+		if code.SparseReadRows(live, gamma) != nil {
+			reads += float64(2 * gamma)
+		} else {
+			reads += float64(k)
+		}
+	}
+	if kept == 0 {
+		return 0
+	}
+	return reads / float64(kept)
+}
+
+// sparseReader is the code-planner surface the average-I/O analysis needs.
+type sparseReader interface {
+	N() int
+	K() int
+	SparseReadRows(live []int, gamma int) []int
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/secarchive/sec/internal/erasure"
+)
+
+func TestAvgSparseIONonSystematicIsConstant(t *testing.T) {
+	// Fig. 4, lower curve: every live pair recovers the 1-sparse delta
+	// under non-systematic SEC, so mu_1 = 2 for all p.
+	gn := code63(t, erasure.NonSystematicCauchy)
+	for _, p := range pGrid() {
+		if got := AvgSparseIOExact(gn, 1, p); !close(got, 2) {
+			t.Errorf("p=%v: mu_1 = %v, want 2", p, got)
+		}
+	}
+}
+
+// mu1Systematic63 is the closed form the paper derives for the systematic
+// (6,3) example: mu_1 = 2*p_2 + 3*p_3 where p_2 is the conditional
+// probability that at least 2 parity nodes are alive given >= 3 nodes are
+// alive.
+func mu1Systematic63(p float64) float64 {
+	q := 1 - p
+	var condProb, reads float64
+	// Enumerate (live systematic count s, live parity count r).
+	for s := 0; s <= 3; s++ {
+		for r := 0; r <= 3; r++ {
+			if s+r < 3 {
+				continue
+			}
+			prob := binomialPMF(3, s, q) * binomialPMF(3, r, q)
+			condProb += prob
+			if r >= 2 {
+				reads += prob * 2
+			} else {
+				reads += prob * 3
+			}
+		}
+	}
+	return reads / condProb
+}
+
+func TestAvgSparseIOSystematicMatchesClosedForm(t *testing.T) {
+	gs := code63(t, erasure.SystematicCauchy)
+	for _, p := range pGrid() {
+		got := AvgSparseIOExact(gs, 1, p)
+		want := mu1Systematic63(p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("p=%v: mu_1 = %v, want %v", p, got, want)
+		}
+		// Fig. 4 shape: between the non-systematic 2 and the full 3,
+		// increasing in p.
+		if got < 2-tol || got > 3+tol {
+			t.Errorf("p=%v: mu_1 = %v outside [2,3]", p, got)
+		}
+	}
+	if AvgSparseIOExact(gs, 1, 0.01) >= AvgSparseIOExact(gs, 1, 0.2) {
+		t.Error("systematic mu_1 must grow with p")
+	}
+}
+
+func TestAvgSparseIOFig5Shapes(t *testing.T) {
+	// (10,5) code: gamma=1 stays near 2 even at p=0.2; gamma=2 shows a
+	// marginal increase (paper Fig. 5).
+	gs, err := erasure.New(erasure.SystematicCauchy, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu1 := AvgSparseIOExact(gs, 1, 0.2)
+	if mu1 < 2 || mu1 > 2.2 {
+		t.Errorf("gamma=1 p=0.2: mu = %v, want close to 2", mu1)
+	}
+	mu2 := AvgSparseIOExact(gs, 2, 0.2)
+	if mu2 < 4 || mu2 > 4.5 {
+		t.Errorf("gamma=2 p=0.2: mu = %v, want marginally above 4", mu2)
+	}
+	gn, err := erasure.New(erasure.NonSystematicCauchy, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []int{1, 2} {
+		if got := AvgSparseIOExact(gn, gamma, 0.2); !close(got, float64(2*gamma)) {
+			t.Errorf("non-systematic gamma=%d: mu = %v, want %d", gamma, got, 2*gamma)
+		}
+	}
+}
+
+func TestAvgSparseIOMonteCarloAgreesWithExact(t *testing.T) {
+	gs := code63(t, erasure.SystematicCauchy)
+	rng := rand.New(rand.NewSource(61))
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		exact := AvgSparseIOExact(gs, 1, p)
+		mc := AvgSparseIOMonteCarlo(gs, 1, p, 200000, rng)
+		if math.Abs(exact-mc) > 0.01 {
+			t.Errorf("p=%v: exact %v vs Monte Carlo %v", p, exact, mc)
+		}
+	}
+}
+
+func TestAvgSparseIOMonteCarloDegenerate(t *testing.T) {
+	gs := code63(t, erasure.SystematicCauchy)
+	rng := rand.New(rand.NewSource(62))
+	// p=1 kills everything: no pattern is retrievable.
+	if got := AvgSparseIOMonteCarlo(gs, 1, 1.0, 1000, rng); got != 0 {
+		t.Errorf("p=1: got %v, want 0", got)
+	}
+	if got := AvgSparseIOExact(gs, 1, 1.0); got != 0 {
+		t.Errorf("exact p=1: got %v, want 0", got)
+	}
+}

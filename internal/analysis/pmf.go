@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// TruncatedExponential returns the PMF P(gamma) = c*exp(-alpha*gamma) on
+// support {1, ..., k} (eq. 22). Small alpha spreads mass; large alpha
+// concentrates it on gamma = 1, the regime most favourable to SEC.
+func TruncatedExponential(alpha float64, k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("analysis: PMF support size %d must be positive", k)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("analysis: exponential parameter %v must be positive", alpha)
+	}
+	pmf := make([]float64, k)
+	for g := 1; g <= k; g++ {
+		pmf[g-1] = math.Exp(-alpha * float64(g))
+	}
+	normalize(pmf)
+	return pmf, nil
+}
+
+// TruncatedPoisson returns the PMF P(gamma) = c*lambda^gamma*exp(-lambda)/gamma!
+// on support {1, ..., k} (eq. 23). Large lambda pushes mass toward dense
+// deltas, the regime least favourable to SEC.
+func TruncatedPoisson(lambda float64, k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("analysis: PMF support size %d must be positive", k)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("analysis: Poisson parameter %v must be positive", lambda)
+	}
+	pmf := make([]float64, k)
+	term := math.Exp(-lambda)
+	for g := 1; g <= k; g++ {
+		term *= lambda / float64(g) // lambda^g * e^-lambda / g!
+		pmf[g-1] = term
+	}
+	normalize(pmf)
+	return pmf, nil
+}
+
+func normalize(pmf []float64) {
+	var sum float64
+	for _, v := range pmf {
+		sum += v
+	}
+	for i := range pmf {
+		pmf[i] /= sum
+	}
+}
+
+// ExpectedJointReads returns E[eta] = k + sum_gamma P(gamma)*min(2*gamma,k):
+// the expected reads to retrieve both x_1 and x_2 under basic SEC with the
+// given sparsity PMF (Section V-B).
+func ExpectedJointReads(k int, pmf []float64) float64 {
+	e := float64(k)
+	for g1, p := range pmf {
+		e += p * float64(min(2*(g1+1), k))
+	}
+	return e
+}
+
+// PercentReductionJoint returns the paper's Fig. 7 metric: the average
+// percentage reduction in reads for {x_1, x_2} relative to the
+// non-differential baseline's 2k.
+func PercentReductionJoint(k int, pmf []float64) float64 {
+	return (2*float64(k) - ExpectedJointReads(k, pmf)) / (2 * float64(k)) * 100
+}
+
+// ExpectedArchiveReads returns E[eta(x_1..x_L)] under basic SEC when every
+// delta's sparsity is i.i.d. from the PMF (formula (4) in expectation):
+// k + (L-1)*sum_gamma P(gamma)*min(2*gamma,k).
+func ExpectedArchiveReads(k int, pmf []float64, l int) float64 {
+	perDelta := ExpectedJointReads(k, pmf) - float64(k)
+	return float64(k) + float64(l-1)*perDelta
+}
+
+// PercentReductionArchive returns the expected percentage reduction in
+// reads for the whole L-version archive relative to the non-differential
+// baseline's L*k. As L grows the reduction approaches the per-delta
+// saving, generalizing the paper's two-version Fig. 7 and its five-version
+// Section V-C example.
+func PercentReductionArchive(k int, pmf []float64, l int) float64 {
+	baseline := float64(l * k)
+	return (baseline - ExpectedArchiveReads(k, pmf, l)) / baseline * 100
+}
+
+// ExpectedSecondVersionReads returns E[eta(x_2)]: the expected reads to
+// retrieve the second version alone. Under basic SEC the delta must be
+// applied over x_1, so the cost equals the joint cost; under optimized SEC
+// dense versions are stored in full (t(gamma) = k when 2*gamma >= k, else
+// k + 2*gamma).
+func ExpectedSecondVersionReads(k int, pmf []float64, optimized bool) float64 {
+	if !optimized {
+		return ExpectedJointReads(k, pmf)
+	}
+	var e float64
+	for g1, p := range pmf {
+		gamma := g1 + 1
+		t := float64(k)
+		if 2*gamma < k {
+			t = float64(k + 2*gamma)
+		}
+		e += p * t
+	}
+	return e
+}
+
+// PercentIncreaseSecond returns the paper's Fig. 8 metric: the average
+// percentage increase in reads for x_2 alone relative to the
+// non-differential baseline's k reads.
+func PercentIncreaseSecond(k int, pmf []float64, optimized bool) float64 {
+	return (ExpectedSecondVersionReads(k, pmf, optimized) - float64(k)) / float64(k) * 100
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTruncatedExponentialProperties(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.6, 1.1, 1.6} {
+		pmf, err := TruncatedExponential(alpha, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPMF(t, pmf)
+		// Exponential PMFs concentrate on small gamma.
+		if !(pmf[0] > pmf[1] && pmf[1] > pmf[2]) {
+			t.Errorf("alpha=%v: PMF %v not decreasing", alpha, pmf)
+		}
+	}
+	// Larger alpha concentrates more mass on gamma=1 (Fig. 6 left).
+	lo, err := TruncatedExponential(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := TruncatedExponential(1.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi[0] <= lo[0] {
+		t.Errorf("P(1): alpha=1.6 gives %v, alpha=0.1 gives %v; want increase", hi[0], lo[0])
+	}
+}
+
+func TestTruncatedExponentialValues(t *testing.T) {
+	pmf, err := TruncatedExponential(1.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := math.Exp(-1.6) + math.Exp(-3.2) + math.Exp(-4.8)
+	for g := 1; g <= 3; g++ {
+		want := math.Exp(-1.6*float64(g)) / z
+		if math.Abs(pmf[g-1]-want) > tol {
+			t.Errorf("P(%d) = %v, want %v", g, pmf[g-1], want)
+		}
+	}
+}
+
+func TestTruncatedPoissonProperties(t *testing.T) {
+	for _, lambda := range []float64{3, 5, 7, 9} {
+		pmf, err := TruncatedPoisson(lambda, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPMF(t, pmf)
+		// Poisson with lambda >= 3 concentrates on large gamma (Fig. 6
+		// right): P(3) >= P(2) >= P(1).
+		if !(pmf[2] >= pmf[1] && pmf[1] >= pmf[0]) {
+			t.Errorf("lambda=%v: PMF %v not increasing", lambda, pmf)
+		}
+	}
+}
+
+func TestTruncatedPoissonValues(t *testing.T) {
+	// lambda=3, k=3: masses proportional to 3, 4.5, 4.5.
+	pmf, err := TruncatedPoisson(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3.0 / 12, 4.5 / 12, 4.5 / 12}
+	for i := range want {
+		if math.Abs(pmf[i]-want[i]) > tol {
+			t.Errorf("P(%d) = %v, want %v", i+1, pmf[i], want[i])
+		}
+	}
+}
+
+func TestPMFValidation(t *testing.T) {
+	if _, err := TruncatedExponential(0, 3); err == nil {
+		t.Error("alpha=0: want error")
+	}
+	if _, err := TruncatedExponential(1, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := TruncatedPoisson(-1, 3); err == nil {
+		t.Error("lambda<0: want error")
+	}
+	if _, err := TruncatedPoisson(3, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func assertPMF(t *testing.T, pmf []float64) {
+	t.Helper()
+	var sum float64
+	for _, v := range pmf {
+		if v < 0 || v > 1 {
+			t.Fatalf("PMF value %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > tol {
+		t.Fatalf("PMF sums to %v", sum)
+	}
+}
+
+func TestExpectedJointReadsPointMasses(t *testing.T) {
+	// Paper Section IV-C: with a 1-sparse z2 and k=3, reading both
+	// versions costs 5 instead of 6.
+	if got := ExpectedJointReads(3, []float64{1, 0, 0}); !close(got, 5) {
+		t.Errorf("point mass gamma=1: E = %v, want 5", got)
+	}
+	// Dense deltas give no savings: E = 2k.
+	if got := ExpectedJointReads(3, []float64{0, 0, 1}); !close(got, 6) {
+		t.Errorf("point mass gamma=3: E = %v, want 6", got)
+	}
+}
+
+// TestFig7Bands checks the ranges the paper reports: "reductions between
+// 4-13% ... for two versions" with exponential PMFs favourable and Poisson
+// unfavourable.
+func TestFig7Bands(t *testing.T) {
+	// k=3: reduction = P(1)/6*100.
+	tests := []struct {
+		name   string
+		pmf    func() ([]float64, error)
+		lo, hi float64
+	}{
+		{"exp alpha=1.6", func() ([]float64, error) { return TruncatedExponential(1.6, 3) }, 13, 14},
+		{"exp alpha=0.1", func() ([]float64, error) { return TruncatedExponential(0.1, 3) }, 5.5, 6.5},
+		{"poisson lambda=3", func() ([]float64, error) { return TruncatedPoisson(3, 3) }, 4, 4.5},
+		{"poisson lambda=9", func() ([]float64, error) { return TruncatedPoisson(9, 3) }, 0.5, 1.2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pmf, err := tt.pmf()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := PercentReductionJoint(3, pmf)
+			if got < tt.lo || got > tt.hi {
+				t.Errorf("reduction = %v%%, want within [%v,%v] (paper Fig. 7)", got, tt.lo, tt.hi)
+			}
+		})
+	}
+}
+
+// TestFig8OptimizedBeatsBasic checks the Fig. 8 relationship: optimized SEC
+// pays strictly less excess I/O for the second version than basic SEC, and
+// both pay more than the non-differential baseline (increase > 0).
+func TestFig8OptimizedBeatsBasic(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.6, 1.1, 1.6} {
+		pmf, err := TruncatedExponential(alpha, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basic := PercentIncreaseSecond(3, pmf, false)
+		opt := PercentIncreaseSecond(3, pmf, true)
+		if opt >= basic {
+			t.Errorf("alpha=%v: optimized %v%% >= basic %v%%", alpha, opt, basic)
+		}
+		if opt <= 0 || basic <= 0 {
+			t.Errorf("alpha=%v: increases must be positive, got %v and %v", alpha, opt, basic)
+		}
+	}
+	// Closed-form spot check for k=3: basic = 100 - (100/3)P(1),
+	// optimized = (200/3)P(1).
+	pmf, err := TruncatedExponential(1.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := pmf[0]
+	if got, want := PercentIncreaseSecond(3, pmf, false), 100-100.0/3*p1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("basic increase = %v, want %v", got, want)
+	}
+	if got, want := PercentIncreaseSecond(3, pmf, true), 200.0/3*p1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("optimized increase = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedArchiveReads(t *testing.T) {
+	// Point mass on gamma=1, k=3: each delta costs 2 reads, so the
+	// L-version archive costs 3 + 2(L-1).
+	pmf := []float64{1, 0, 0}
+	for _, l := range []int{1, 2, 5, 10} {
+		want := float64(3 + 2*(l-1))
+		if got := ExpectedArchiveReads(3, pmf, l); !close(got, want) {
+			t.Errorf("L=%d: E = %v, want %v", l, got, want)
+		}
+	}
+	// Reduction grows with L toward the per-delta saving of 1/3.
+	var prev float64 = -1
+	for _, l := range []int{2, 3, 5, 10, 50} {
+		got := PercentReductionArchive(3, pmf, l)
+		if got <= prev {
+			t.Errorf("L=%d: reduction %v not increasing", l, got)
+		}
+		if got >= 100.0/3 {
+			t.Errorf("L=%d: reduction %v above the per-delta bound", l, got)
+		}
+		prev = got
+	}
+	// Consistency with the two-version formula.
+	if a, b := PercentReductionArchive(3, pmf, 2), PercentReductionJoint(3, pmf); !close(a, b) {
+		t.Errorf("L=2 archive reduction %v != joint reduction %v", a, b)
+	}
+}
+
+func TestExpectedSecondVersionReadsLargerK(t *testing.T) {
+	// k=10, point mass gamma=3: optimized stores the delta (2*3 < 10), so
+	// x2 costs k + 2*gamma = 16 either way; point mass gamma=8 stores the
+	// full version: optimized costs k, basic costs k + min(16,10) = 20.
+	pmfSparse := make([]float64, 10)
+	pmfSparse[2] = 1
+	if got := ExpectedSecondVersionReads(10, pmfSparse, true); !close(got, 16) {
+		t.Errorf("optimized gamma=3: %v, want 16", got)
+	}
+	pmfDense := make([]float64, 10)
+	pmfDense[7] = 1
+	if got := ExpectedSecondVersionReads(10, pmfDense, true); !close(got, 10) {
+		t.Errorf("optimized gamma=8: %v, want 10", got)
+	}
+	if got := ExpectedSecondVersionReads(10, pmfDense, false); !close(got, 20) {
+		t.Errorf("basic gamma=8: %v, want 20", got)
+	}
+}

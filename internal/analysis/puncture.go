@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/secarchive/sec/internal/erasure"
+)
+
+// ArchiveLossColocated returns the exact probability that a colocated
+// archive {x_1, z_2, ..., z_L} is not fully recoverable, when the full
+// version uses the `full` code on nodes 0..n-1 and the deltas use the
+// (possibly punctured) `deltaCode` on nodes 0..deltaCode.N()-1 of the same
+// group. gammas holds the delta sparsity levels.
+//
+// With an unpunctured delta code this reduces to Prob(E_1) (the paper's
+// eq. 13: any k live nodes recover everything); puncturing trades that
+// resilience for storage, the trade-off the paper flags as future work.
+func ArchiveLossColocated(full, deltaCode *erasure.Code, gammas []int, p float64) (float64, error) {
+	if deltaCode.N() > full.N() {
+		return 0, fmt.Errorf("analysis: delta code spans %d nodes, group has %d", deltaCode.N(), full.N())
+	}
+	if deltaCode.K() != full.K() {
+		return 0, fmt.Errorf("analysis: dimension mismatch: %d vs %d", deltaCode.K(), full.K())
+	}
+	lost := 0.0
+	forEachFailurePattern(full.N(), func(live []int, dead int) {
+		if archiveRecoverable(full, deltaCode, gammas, live) {
+			return
+		}
+		lost += math.Pow(p, float64(dead)) * math.Pow(1-p, float64(len(live)))
+	})
+	return lost, nil
+}
+
+func archiveRecoverable(full, deltaCode *erasure.Code, gammas []int, live []int) bool {
+	if len(live) < full.K() {
+		return false // x_1 is lost
+	}
+	// Deltas only live on the first deltaCode.N() rows of the group.
+	deltaLive := live[:0:0]
+	for _, r := range live {
+		if r < deltaCode.N() {
+			deltaLive = append(deltaLive, r)
+		}
+	}
+	for _, gamma := range gammas {
+		if !deltaRecoverable(deltaCode, deltaLive, gamma) {
+			return false
+		}
+	}
+	return true
+}
+
+// DeltaStorageOverhead returns the storage overhead (stored symbols per
+// data symbol) of a delta codeword under the given puncturing.
+func DeltaStorageOverhead(n, k, punctured int) float64 {
+	return float64(n-punctured) / float64(k)
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/secarchive/sec/internal/erasure"
+)
+
+func TestArchiveLossColocatedUnpuncturedEqualsEq13(t *testing.T) {
+	// Without puncturing, the colocated archive is lost exactly when
+	// fewer than k nodes survive (the paper's eq. 13), for any delta
+	// sparsity pattern.
+	full := code63(t, erasure.NonSystematicCauchy)
+	for _, gammas := range [][]int{{1}, {1, 2}, {3}, {}} {
+		for _, p := range []float64{0.05, 0.1, 0.2} {
+			got, err := ArchiveLossColocated(full, full, gammas, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ProbLoseFull(6, 3, p)
+			if math.Abs(got-want) > tol {
+				t.Errorf("gammas=%v p=%v: loss %v, want Prob(E1) %v", gammas, p, got, want)
+			}
+		}
+	}
+}
+
+func TestArchiveLossColocatedPuncturedOneIsFree(t *testing.T) {
+	// The puncture experiment's headline: dropping one of six delta
+	// shards leaves the archive loss unchanged for gamma=1, because any
+	// >=k-live pattern keeps >=2 of the first five rows alive.
+	full := code63(t, erasure.NonSystematicCauchy)
+	p1, err := full.Punctured(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		got, err := ArchiveLossColocated(full, p1, []int{1}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ProbLoseFull(6, 3, p)
+		if math.Abs(got-want) > tol {
+			t.Errorf("p=%v: loss %v, want %v (puncturing 1 shard must be free)", p, got, want)
+		}
+	}
+	// Puncturing two shards is NOT free.
+	p2, err := full.Punctured(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ArchiveLossColocated(full, p2, []int{1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= ProbLoseFull(6, 3, 0.1) {
+		t.Errorf("t=2 loss %v not above baseline", got)
+	}
+}
+
+func TestArchiveLossColocatedValidation(t *testing.T) {
+	full := code63(t, erasure.NonSystematicCauchy)
+	bigger, err := erasure.New(erasure.NonSystematicCauchy, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ArchiveLossColocated(full, bigger, []int{1}, 0.1); err == nil {
+		t.Error("delta code wider than group: want error")
+	}
+	otherK, err := erasure.New(erasure.NonSystematicCauchy, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ArchiveLossColocated(full, otherK, []int{1}, 0.1); err == nil {
+		t.Error("dimension mismatch: want error")
+	}
+}
+
+func TestDeltaStorageOverhead(t *testing.T) {
+	if got := DeltaStorageOverhead(6, 3, 0); got != 2 {
+		t.Errorf("unpunctured overhead = %v, want 2", got)
+	}
+	if got := DeltaStorageOverhead(6, 3, 2); math.Abs(got-4.0/3) > tol {
+		t.Errorf("t=2 overhead = %v, want 4/3", got)
+	}
+}

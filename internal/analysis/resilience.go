@@ -1,0 +1,193 @@
+// Package analysis implements the paper's evaluation mathematics: static
+// resilience of SEC archives under i.i.d. node failures (Section IV),
+// average retrieval I/O under failures (Section V-A, eq. 21), and the
+// truncated exponential/Poisson sparsity PMFs with their expected-I/O
+// consequences (Sections V-B, eqs. 22-23).
+//
+// Wherever the paper gives a closed form, the package provides it; wherever
+// the paper resorts to randomized simulation, the package provides both an
+// exact enumeration over all 2^n failure patterns (feasible for the paper's
+// code sizes) and a seeded Monte Carlo sampler reproducing the paper's
+// methodology.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/matrix"
+)
+
+// ProbLoseFull returns the probability of losing a fully encoded object
+// stored on n nodes with an (n,k) MDS code, when each node fails
+// independently with probability p: the probability that fewer than k nodes
+// survive (the paper's Prob(E_1), eq. 6).
+func ProbLoseFull(n, k int, p float64) float64 {
+	return probFewerLiveThan(n, k, p)
+}
+
+// ProbLoseDeltaNonSystematic returns the probability of losing a
+// gamma-sparse delta under non-systematic SEC (eq. 7): any
+// upsilon = min(2*gamma, k) live nodes recover it, so it is lost only when
+// fewer than upsilon survive.
+func ProbLoseDeltaNonSystematic(n, k, gamma int, p float64) float64 {
+	upsilon := min(2*gamma, k)
+	return probFewerLiveThan(n, upsilon, p)
+}
+
+// probFewerLiveThan returns P(#live < threshold) for n i.i.d. nodes with
+// failure probability p.
+func probFewerLiveThan(n, threshold int, p float64) float64 {
+	total := 0.0
+	for live := 0; live < threshold; live++ {
+		total += binomialPMF(n, live, 1-p)
+	}
+	return total
+}
+
+// binomialPMF returns C(n,j) q^j (1-q)^(n-j).
+func binomialPMF(n, j int, q float64) float64 {
+	return float64(matrix.CountCombinations(n, j)) * math.Pow(q, float64(j)) * math.Pow(1-q, float64(n-j))
+}
+
+// ProbLoseDelta returns the exact probability of losing a gamma-sparse
+// delta stored with the given code, by enumerating all 2^n failure
+// patterns: the delta survives a pattern iff at least k nodes are live
+// (full MDS decode) or some 2*gamma-subset of the live rows satisfies
+// Criterion 2 (sparse decode). For the systematic (6,3) example this
+// reproduces the paper's eq. 20; for non-systematic codes it matches
+// ProbLoseDeltaNonSystematic.
+func ProbLoseDelta(code *erasure.Code, gamma int, p float64) float64 {
+	lost := 0.0
+	forEachFailurePattern(code.N(), func(live []int, dead int) {
+		if !deltaRecoverable(code, live, gamma) {
+			lost += math.Pow(p, float64(dead)) * math.Pow(1-p, float64(code.N()-dead))
+		}
+	})
+	return lost
+}
+
+// deltaRecoverable reports whether a gamma-sparse delta survives with the
+// given live rows.
+func deltaRecoverable(code *erasure.Code, live []int, gamma int) bool {
+	if len(live) >= code.K() {
+		return true
+	}
+	if gamma == 0 {
+		return true // nothing stored was needed
+	}
+	return code.SparseReadRows(live, gamma) != nil
+}
+
+// PatternCensus classifies every non-empty failure pattern of the code's n
+// nodes by whether a gamma-sparse delta survives it, reproducing the
+// Section V-A counts (63 patterns for n=6: 41 MDS-recoverable, plus 15
+// sparse-only for non-systematic vs 3 for systematic SEC).
+type PatternCensus struct {
+	// Total is the number of failure patterns with at least one failed
+	// node: 2^n - 1.
+	Total int
+	// MDSRecoverable counts patterns that keep >= k nodes live.
+	MDSRecoverable int
+	// SparseOnly counts patterns with < k live nodes where a sparse read
+	// still recovers the delta.
+	SparseOnly int
+	// Unrecoverable counts the rest.
+	Unrecoverable int
+}
+
+// CensusFor enumerates the failure patterns of the code for a gamma-sparse
+// delta.
+func CensusFor(code *erasure.Code, gamma int) PatternCensus {
+	var census PatternCensus
+	forEachFailurePattern(code.N(), func(live []int, dead int) {
+		if dead == 0 {
+			return
+		}
+		census.Total++
+		switch {
+		case len(live) >= code.K():
+			census.MDSRecoverable++
+		case deltaRecoverable(code, live, gamma):
+			census.SparseOnly++
+		default:
+			census.Unrecoverable++
+		}
+	})
+	return census
+}
+
+// forEachFailurePattern visits all 2^n subsets of live nodes.
+func forEachFailurePattern(n int, fn func(live []int, dead int)) {
+	if n > 30 {
+		panic(fmt.Sprintf("analysis: exact enumeration over 2^%d patterns is infeasible", n))
+	}
+	live := make([]int, 0, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		live = live[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				live = append(live, i)
+			}
+		}
+		fn(live, n-len(live))
+	}
+}
+
+// StoredObject describes one object of an archive for resilience purposes.
+type StoredObject struct {
+	// Delta marks the object as a gamma-sparse delta rather than a full
+	// version.
+	Delta bool
+	// Gamma is the delta's sparsity (ignored for full objects).
+	Gamma int
+}
+
+// ArchiveObjects returns the stored-object pattern {x_1, z_2, ..., z_L} of
+// a basic SEC archive with the given delta sparsity levels (len = L-1).
+func ArchiveObjects(gammas []int) []StoredObject {
+	objects := make([]StoredObject, 0, len(gammas)+1)
+	objects = append(objects, StoredObject{})
+	for _, g := range gammas {
+		objects = append(objects, StoredObject{Delta: true, Gamma: g})
+	}
+	return objects
+}
+
+// NonDifferentialObjects returns the stored-object pattern of the baseline:
+// l full versions.
+func NonDifferentialObjects(l int) []StoredObject {
+	return make([]StoredObject, l)
+}
+
+// DispersedAvailability returns the probability that every object survives
+// when each object's n shards live on a dedicated node group (eq. 11):
+// the product of per-object survival probabilities.
+func DispersedAvailability(code *erasure.Code, objects []StoredObject, p float64) float64 {
+	avail := 1.0
+	for _, obj := range objects {
+		var lose float64
+		if obj.Delta {
+			lose = ProbLoseDelta(code, obj.Gamma, p)
+		} else {
+			lose = ProbLoseFull(code.N(), code.K(), p)
+		}
+		avail *= 1 - lose
+	}
+	return avail
+}
+
+// ColocatedAvailability returns the probability that the whole archive
+// survives under colocated placement (eqs. 13 and 15): any k live nodes
+// recover everything, and the full first (or last) version dominates, so
+// all schemes coincide at 1 - Prob(E_1).
+func ColocatedAvailability(n, k int, p float64) float64 {
+	return 1 - ProbLoseFull(n, k, p)
+}
+
+// Nines converts an availability probability into the paper's "9s format":
+// -log10(1 - availability). Availability 1 maps to +Inf.
+func Nines(availability float64) float64 {
+	return -math.Log10(1 - availability)
+}

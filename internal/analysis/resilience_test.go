@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/secarchive/sec/internal/erasure"
+)
+
+const tol = 1e-12
+
+func close(a, b float64) bool { return math.Abs(a-b) <= tol }
+
+func code63(t *testing.T, kind erasure.Kind) *erasure.Code {
+	t.Helper()
+	c, err := erasure.New(kind, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// eq17 is the paper's closed form for Prob(E_1) with (n,k) = (6,3).
+func eq17(p float64) float64 {
+	q := 1 - p
+	return math.Pow(p, 6) + 6*math.Pow(p, 5)*q + 15*math.Pow(p, 4)*q*q
+}
+
+// eq18 is the paper's Prob_N(E_2) for the 1-sparse delta.
+func eq18(p float64) float64 {
+	return math.Pow(p, 6) + 6*math.Pow(p, 5)*(1-p)
+}
+
+// eq20 is the paper's Prob_S(E_2): 12 of the 15 two-live patterns lose the
+// delta under systematic SEC.
+func eq20(p float64) float64 {
+	q := 1 - p
+	return math.Pow(p, 6) + 6*math.Pow(p, 5)*q + 12*math.Pow(p, 4)*q*q
+}
+
+func pGrid() []float64 {
+	grid := make([]float64, 0, 20)
+	for p := 0.01; p <= 0.2001; p += 0.01 {
+		grid = append(grid, p)
+	}
+	return grid
+}
+
+func TestProbLoseFullMatchesEq17(t *testing.T) {
+	for _, p := range pGrid() {
+		if got, want := ProbLoseFull(6, 3, p), eq17(p); !close(got, want) {
+			t.Errorf("p=%v: ProbLoseFull = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestProbLoseFullEdgeCases(t *testing.T) {
+	if got := ProbLoseFull(6, 3, 0); got != 0 {
+		t.Errorf("p=0: %v, want 0", got)
+	}
+	if got := ProbLoseFull(6, 3, 1); !close(got, 1) {
+		t.Errorf("p=1: %v, want 1", got)
+	}
+}
+
+func TestProbLoseDeltaNonSystematicMatchesEq18(t *testing.T) {
+	for _, p := range pGrid() {
+		if got, want := ProbLoseDeltaNonSystematic(6, 3, 1, p), eq18(p); !close(got, want) {
+			t.Errorf("p=%v: got %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestProbLoseDeltaNonSystematicDenseEqualsFull(t *testing.T) {
+	// gamma >= k/2 gives upsilon = k: the delta is as exposed as a full
+	// object.
+	for _, p := range pGrid() {
+		if got, want := ProbLoseDeltaNonSystematic(6, 3, 2, p), ProbLoseFull(6, 3, p); !close(got, want) {
+			t.Errorf("p=%v: got %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestProbLoseDeltaExactMatchesPaperClosedForms is the Fig. 2 check: exact
+// pattern enumeration must reproduce eqs. 18 and 20.
+func TestProbLoseDeltaExactMatchesPaperClosedForms(t *testing.T) {
+	gn := code63(t, erasure.NonSystematicCauchy)
+	gs := code63(t, erasure.SystematicCauchy)
+	for _, p := range pGrid() {
+		if got, want := ProbLoseDelta(gn, 1, p), eq18(p); !close(got, want) {
+			t.Errorf("non-systematic p=%v: got %v, want eq18 %v", p, got, want)
+		}
+		if got, want := ProbLoseDelta(gs, 1, p), eq20(p); !close(got, want) {
+			t.Errorf("systematic p=%v: got %v, want eq20 %v", p, got, want)
+		}
+		// Eq. 10: systematic loses at least as often as non-systematic.
+		if ProbLoseDelta(gs, 1, p) < ProbLoseDelta(gn, 1, p)-tol {
+			t.Errorf("p=%v: systematic safer than non-systematic", p)
+		}
+	}
+}
+
+// TestCensusMatchesPaperSectionVA reproduces the failure-pattern counts: 63
+// patterns, 41 MDS-recoverable, +15 sparse for non-systematic (56 total),
+// +3 for systematic (44 total).
+func TestCensusMatchesPaperSectionVA(t *testing.T) {
+	gn := code63(t, erasure.NonSystematicCauchy)
+	census := CensusFor(gn, 1)
+	want := PatternCensus{Total: 63, MDSRecoverable: 41, SparseOnly: 15, Unrecoverable: 7}
+	if census != want {
+		t.Errorf("non-systematic census = %+v, want %+v", census, want)
+	}
+	gs := code63(t, erasure.SystematicCauchy)
+	census = CensusFor(gs, 1)
+	want = PatternCensus{Total: 63, MDSRecoverable: 41, SparseOnly: 3, Unrecoverable: 19}
+	if census != want {
+		t.Errorf("systematic census = %+v, want %+v", census, want)
+	}
+	if got := 41 + 15; got != 56 {
+		t.Errorf("non-systematic recoverable total = %d, want 56", got)
+	}
+	if got := 41 + 3; got != 44 {
+		t.Errorf("systematic recoverable total = %d, want 44", got)
+	}
+}
+
+func TestCensusZeroGamma(t *testing.T) {
+	gn := code63(t, erasure.NonSystematicCauchy)
+	census := CensusFor(gn, 0)
+	if census.Unrecoverable != 0 {
+		t.Errorf("zero-sparse delta can never be lost, census = %+v", census)
+	}
+}
+
+func TestForEachFailurePatternGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=31 enumeration did not panic")
+		}
+	}()
+	forEachFailurePattern(31, func([]int, int) {})
+}
+
+func TestColocatedVsDispersed(t *testing.T) {
+	gn := code63(t, erasure.NonSystematicCauchy)
+	gs := code63(t, erasure.SystematicCauchy)
+	objects := ArchiveObjects([]int{1}) // {x1, z2} with gamma=1
+	for _, p := range pGrid() {
+		colo := ColocatedAvailability(6, 3, p)
+		dispN := DispersedAvailability(gn, objects, p)
+		dispS := DispersedAvailability(gs, objects, p)
+		dispND := DispersedAvailability(gn, NonDifferentialObjects(2), p)
+		// Paper ordering: colocated dominates; dispersed non-systematic
+		// SEC dominates dispersed systematic SEC dominates dispersed
+		// non-differential.
+		if colo < dispN-tol {
+			t.Errorf("p=%v: colocated %v < dispersed %v", p, colo, dispN)
+		}
+		if dispN < dispS-tol {
+			t.Errorf("p=%v: dispersed non-sys %v < sys %v", p, dispN, dispS)
+		}
+		if dispS < dispND-tol {
+			t.Errorf("p=%v: dispersed sys %v < non-diff %v", p, dispS, dispND)
+		}
+		// Eq. 11 for the non-systematic case has a closed form.
+		want := (1 - eq17(p)) * (1 - eq18(p))
+		if !close(dispN, want) {
+			t.Errorf("p=%v: dispersed non-sys = %v, want %v", p, dispN, want)
+		}
+		// Eq. 14: the baseline squares the per-version survival.
+		if want := math.Pow(1-eq17(p), 2); !close(dispND, want) {
+			t.Errorf("p=%v: dispersed non-diff = %v, want %v", p, dispND, want)
+		}
+	}
+}
+
+func TestArchiveObjectShapes(t *testing.T) {
+	objects := ArchiveObjects([]int{3, 8})
+	if len(objects) != 3 || objects[0].Delta || !objects[1].Delta || objects[2].Gamma != 8 {
+		t.Errorf("ArchiveObjects = %+v", objects)
+	}
+	nd := NonDifferentialObjects(4)
+	if len(nd) != 4 || nd[0].Delta {
+		t.Errorf("NonDifferentialObjects = %+v", nd)
+	}
+}
+
+func TestNines(t *testing.T) {
+	if got := Nines(0.999); !close(got, 3) {
+		t.Errorf("Nines(0.999) = %v, want 3", got)
+	}
+	if got := Nines(0.99999); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Nines(0.99999) = %v, want 5", got)
+	}
+	if got := Nines(1); !math.IsInf(got, 1) {
+		t.Errorf("Nines(1) = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,765 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/secarchive/sec/internal/delta"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// Retrieval errors.
+var (
+	// ErrNoSuchVersion is returned for version numbers outside 1..L.
+	ErrNoSuchVersion = errors.New("core: no such version")
+	// ErrUnavailable is returned when too few live shards remain to
+	// reconstruct a required object.
+	ErrUnavailable = errors.New("core: not enough live shards")
+)
+
+// readAttempts bounds the re-plan loop when nodes fail between the liveness
+// probe and the shard read.
+const readAttempts = 3
+
+// entry records what the archive stores for one version.
+type entry struct {
+	hasFull  bool
+	hasDelta bool
+	gamma    int // block sparsity of the delta, valid when hasDelta
+	length   int // original object length in bytes
+}
+
+// codec is the erasure-code surface the archive needs; both the GF(2^8)
+// backend (erasure.Code, all four constructions) and the GF(2^16) wide
+// backend (wide.Code, non-systematic Cauchy with n+k > 256) satisfy it.
+type codec interface {
+	N() int
+	K() int
+	Systematic() bool
+	MaxSparseGamma() int
+	Encode(blocks [][]byte) ([][]byte, error)
+	DecodeFull(rows []int, shards [][]byte) ([][]byte, error)
+	DecodeSparse(rows []int, shards [][]byte, gamma int) ([][]byte, error)
+	SparseReadRows(live []int, gamma int) []int
+}
+
+// Archive is a SEC-encoded chain of versions of one object, stored on a
+// cluster. It is safe for concurrent use; commits are serialized.
+type Archive struct {
+	cfg       Config
+	code      codec
+	deltaCode codec
+	blocking  delta.Blocking
+	cluster   *store.Cluster
+
+	mu       sync.RWMutex
+	entries  []entry
+	cache    [][]byte // blocks of the latest version, for delta computation
+	cacheLen int      // byte length of the cached version
+}
+
+// CommitInfo reports what a Commit stored.
+type CommitInfo struct {
+	// Version is the 1-based version number assigned.
+	Version int
+	// StoredDelta and StoredFull report which codewords were written.
+	StoredDelta bool
+	StoredFull  bool
+	// Gamma is the block sparsity of the delta against the previous
+	// version (0 for the first version).
+	Gamma int
+	// ShardWrites counts shards written to nodes.
+	ShardWrites int
+	// OrphanShards counts shards of a replaced full version that could
+	// not be deleted (their nodes were down); they are garbage, not a
+	// correctness problem.
+	OrphanShards int
+}
+
+// ObjectRead details the retrieval of one stored object.
+type ObjectRead struct {
+	// Version is the 1-based version the object belongs to.
+	Version int
+	// Delta reports whether the object was a delta (vs a full version).
+	Delta bool
+	// Gamma is the delta sparsity (0 for full objects).
+	Gamma int
+	// Reads is the number of node reads spent on this object.
+	Reads int
+	// Sparse reports whether a reduced sparse read was used.
+	Sparse bool
+}
+
+// RetrievalStats accounts the node reads of one retrieval.
+type RetrievalStats struct {
+	// NodeReads is the total number of shard reads (the paper's I/O
+	// metric).
+	NodeReads int
+	// SparseReads and FullReads count objects by decode style.
+	SparseReads int
+	FullReads   int
+	// Objects details every object read, in read order.
+	Objects []ObjectRead
+}
+
+func (s *RetrievalStats) add(o ObjectRead) {
+	s.NodeReads += o.Reads
+	if o.Reads == 0 {
+		return // zero delta: nothing was read
+	}
+	if o.Sparse {
+		s.SparseReads++
+	} else {
+		s.FullReads++
+	}
+	s.Objects = append(s.Objects, o)
+}
+
+// Merge accumulates another retrieval's accounting into s, for callers
+// aggregating several retrievals (e.g. a multi-file checkout).
+func (s *RetrievalStats) Merge(o RetrievalStats) {
+	s.NodeReads += o.NodeReads
+	s.SparseReads += o.SparseReads
+	s.FullReads += o.FullReads
+	s.Objects = append(s.Objects, o.Objects...)
+}
+
+// New creates an empty archive on the cluster. For colocated placement the
+// cluster is grown (if growable) to n nodes up front.
+func New(cfg Config, cluster *store.Cluster) (*Archive, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cluster == nil {
+		return nil, errors.New("core: nil cluster")
+	}
+	code, deltaCode, err := buildCodecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	blocking, err := delta.NewBlocking(cfg.K, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.EnsureSize(cfg.Placement.NodesRequired(1, cfg.N)); err != nil {
+		return nil, err
+	}
+	return &Archive{
+		cfg:       cfg,
+		code:      code,
+		deltaCode: deltaCode,
+		blocking:  blocking,
+		cluster:   cluster,
+	}, nil
+}
+
+// Name returns the archive name.
+func (a *Archive) Name() string { return a.cfg.Name }
+
+// Scheme returns the storage scheme.
+func (a *Archive) Scheme() Scheme { return a.cfg.Scheme }
+
+// Config returns the archive configuration.
+func (a *Archive) Config() Config { return a.cfg }
+
+// Capacity returns the maximum object size in bytes.
+func (a *Archive) Capacity() int { return a.blocking.Capacity() }
+
+// Versions returns the number of committed versions L.
+func (a *Archive) Versions() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.entries)
+}
+
+// Commit stores object as the next version. The object must fit the
+// configured capacity (K*BlockSize bytes); shorter objects are zero-padded,
+// matching the paper's fixed-size object model.
+func (a *Archive) Commit(object []byte) (CommitInfo, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	blocks, err := a.blocking.Split(object)
+	if err != nil {
+		return CommitInfo{}, err
+	}
+	version := len(a.entries) + 1
+	if err := a.ensureNodes(version); err != nil {
+		return CommitInfo{}, err
+	}
+	if version == 1 {
+		info := CommitInfo{Version: 1, StoredFull: true}
+		if err := a.writeObject(a.code, fullID(a.cfg.Name, 1), 1, blocks, &info.ShardWrites); err != nil {
+			return CommitInfo{}, err
+		}
+		a.entries = append(a.entries, entry{hasFull: true, length: len(object)})
+		a.setCache(blocks, len(object))
+		return info, nil
+	}
+
+	if a.cache == nil {
+		if err := a.restoreCacheLocked(); err != nil {
+			return CommitInfo{}, fmt.Errorf("core: restoring latest-version cache: %w", err)
+		}
+	}
+	d, err := delta.Compute(a.cache, blocks)
+	if err != nil {
+		return CommitInfo{}, err
+	}
+	gamma := delta.Sparsity(d)
+	info := CommitInfo{Version: version, Gamma: gamma}
+
+	storeDelta, storeFull := a.commitPlan(gamma)
+	if storeDelta {
+		if err := a.writeObject(a.deltaCode, deltaID(a.cfg.Name, version), version, d, &info.ShardWrites); err != nil {
+			return CommitInfo{}, err
+		}
+		info.StoredDelta = true
+	}
+	if storeFull {
+		if err := a.writeObject(a.code, fullID(a.cfg.Name, version), version, blocks, &info.ShardWrites); err != nil {
+			return CommitInfo{}, err
+		}
+		info.StoredFull = true
+	}
+	a.entries = append(a.entries, entry{
+		hasFull:  storeFull,
+		hasDelta: storeDelta,
+		gamma:    gamma,
+		length:   len(object),
+	})
+	if a.cfg.Scheme == ReversedSEC {
+		// The previous version's full codeword is superseded: the chain
+		// now reaches it through the new delta.
+		prev := version - 1
+		if a.entries[prev-1].hasFull {
+			info.OrphanShards = a.deleteObject(a.code, fullID(a.cfg.Name, prev), prev)
+			a.entries[prev-1].hasFull = false
+		}
+	}
+	a.setCache(blocks, len(object))
+	return info, nil
+}
+
+// commitPlan decides what to store for a non-first version.
+func (a *Archive) commitPlan(gamma int) (storeDelta, storeFull bool) {
+	switch a.cfg.Scheme {
+	case BasicSEC:
+		return true, false
+	case OptimizedSEC:
+		if 2*gamma < a.cfg.K {
+			return true, false
+		}
+		return false, true
+	case ReversedSEC:
+		return true, true
+	default: // NonDifferential
+		return false, true
+	}
+}
+
+// Retrieve reconstructs version l (1-based), returning its bytes and the
+// read accounting.
+func (a *Archive) Retrieve(l int) ([]byte, RetrievalStats, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var stats RetrievalStats
+	blocks, err := a.retrieveBlocksLocked(l, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	object, err := a.blocking.Join(blocks, a.entries[l-1].length)
+	if err != nil {
+		return nil, stats, err
+	}
+	return object, stats, nil
+}
+
+// Latest reconstructs the most recent version from storage.
+func (a *Archive) Latest() ([]byte, RetrievalStats, error) {
+	return a.Retrieve(a.Versions())
+}
+
+// CachedLatest returns the in-memory copy of the latest version, if the
+// archive has one (the cache the paper suggests keeping for delta
+// computation). No node reads are performed.
+func (a *Archive) CachedLatest() ([]byte, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.cache == nil {
+		return nil, false
+	}
+	object, err := a.blocking.Join(a.cache, a.cacheLen)
+	if err != nil {
+		return nil, false
+	}
+	return object, true
+}
+
+// RetrieveAll reconstructs versions 1..l in order (the whole-archive read
+// of formula (4) when l = L).
+func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var stats RetrievalStats
+	if l < 1 || l > len(a.entries) {
+		return nil, stats, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, l, len(a.entries))
+	}
+	plan, err := a.planChain(1)
+	if err != nil {
+		return nil, stats, err
+	}
+	// A backward walk to version 1 (Reversed SEC) materializes every
+	// intermediate version for free; keep them instead of re-reading.
+	materialized, err := a.materializeChain(plan, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	versions := make([][][]byte, l+1) // 1-based; nil = not yet materialized
+	for v, blocks := range materialized {
+		if v <= l {
+			versions[v] = blocks
+		}
+	}
+	for j := 2; j <= l; j++ {
+		if versions[j] != nil {
+			continue
+		}
+		e := a.entries[j-1]
+		switch {
+		case e.hasDelta:
+			d, read, err := a.readDelta(j, e.gamma)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.add(read)
+			next, err := delta.Apply(versions[j-1], d)
+			if err != nil {
+				return nil, stats, err
+			}
+			versions[j] = next
+		case e.hasFull:
+			blocks, read, err := a.readFull(j)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.add(read)
+			versions[j] = blocks
+		default:
+			return nil, stats, fmt.Errorf("core: version %d has neither delta nor full object", j)
+		}
+	}
+	out := make([][]byte, l)
+	for j := 1; j <= l; j++ {
+		object, err := a.blocking.Join(versions[j], a.entries[j-1].length)
+		if err != nil {
+			return nil, stats, err
+		}
+		out[j-1] = object
+	}
+	return out, stats, nil
+}
+
+// retrieveBlocksLocked reconstructs the blocks of version l, adding reads
+// to stats. Caller holds at least a read lock.
+func (a *Archive) retrieveBlocksLocked(l int, stats *RetrievalStats) ([][]byte, error) {
+	plan, err := a.planChain(l)
+	if err != nil {
+		return nil, err
+	}
+	materialized, err := a.materializeChain(plan, stats)
+	if err != nil {
+		return nil, err
+	}
+	blocks, ok := materialized[l]
+	if !ok {
+		return nil, fmt.Errorf("core: chain walk did not reach version %d", l)
+	}
+	return blocks, nil
+}
+
+// materializeChain executes a chain plan, returning every version the walk
+// passes through (keyed by version number). XOR deltas are self-inverse, so
+// the same Apply advances forward chains and rewinds backward ones.
+func (a *Archive) materializeChain(plan chainPlan, stats *RetrievalStats) (map[int][][]byte, error) {
+	current, read, err := a.readFull(plan.anchor)
+	if err != nil {
+		return nil, err
+	}
+	stats.add(read)
+	ver := plan.anchor
+	materialized := map[int][][]byte{ver: current}
+	for _, j := range plan.deltas {
+		e := a.entries[j-1]
+		d, read, err := a.readDelta(j, e.gamma)
+		if err != nil {
+			return nil, err
+		}
+		stats.add(read)
+		current, err = delta.Apply(current, d)
+		if err != nil {
+			return nil, err
+		}
+		if j > ver {
+			ver = j // forward: applying z_j to x_{j-1} yields x_j
+		} else {
+			ver = j - 1 // backward: applying z_j to x_j yields x_{j-1}
+		}
+		materialized[ver] = current
+	}
+	return materialized, nil
+}
+
+// chainPlan describes how to reach a version from a fully stored anchor.
+type chainPlan struct {
+	anchor int   // version read in full
+	deltas []int // versions whose deltas are applied, in order
+	cost   int   // planned node reads (formula (3))
+}
+
+// planChain finds the cheapest chain to version l: forward from the nearest
+// full version at or before l, or backward from the nearest full version at
+// or after l (Reversed SEC).
+func (a *Archive) planChain(l int) (chainPlan, error) {
+	if l < 1 || l > len(a.entries) {
+		return chainPlan{}, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, l, len(a.entries))
+	}
+	var plans []chainPlan
+	// Forward: anchor f <= l, deltas f+1..l ascending.
+	for f := l; f >= 1; f-- {
+		if !a.entries[f-1].hasFull {
+			continue
+		}
+		plan := chainPlan{anchor: f, cost: a.cfg.K}
+		valid := true
+		for j := f + 1; j <= l; j++ {
+			if !a.entries[j-1].hasDelta {
+				valid = false
+				break
+			}
+			plan.deltas = append(plan.deltas, j)
+			plan.cost += a.plannedDeltaReads(a.entries[j-1].gamma)
+		}
+		if valid {
+			plans = append(plans, plan)
+		}
+		break // only the nearest forward anchor can be cheapest
+	}
+	// Backward: anchor f >= l, deltas f..l+1 descending.
+	for f := l; f <= len(a.entries); f++ {
+		if !a.entries[f-1].hasFull {
+			continue
+		}
+		plan := chainPlan{anchor: f, cost: a.cfg.K}
+		valid := true
+		for j := f; j > l; j-- {
+			if !a.entries[j-1].hasDelta {
+				valid = false
+				break
+			}
+			plan.deltas = append(plan.deltas, j)
+			plan.cost += a.plannedDeltaReads(a.entries[j-1].gamma)
+		}
+		if valid && f != l { // f == l already covered by forward
+			plans = append(plans, plan)
+		}
+		break // only the nearest backward anchor can be cheapest
+	}
+	if len(plans) == 0 {
+		return chainPlan{}, fmt.Errorf("core: version %d unreachable from any full version", l)
+	}
+	best := plans[0]
+	for _, p := range plans[1:] {
+		if p.cost < best.cost {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// plannedDeltaReads is the paper's eta_j: 2*gamma when the delta code can
+// sparse-read the delta, k otherwise, and 0 for an all-zero delta.
+func (a *Archive) plannedDeltaReads(gamma int) int {
+	switch {
+	case gamma == 0:
+		return 0
+	case gamma <= a.deltaCode.MaxSparseGamma():
+		return 2 * gamma
+	default:
+		return a.cfg.K
+	}
+}
+
+// PlannedReads returns the number of node reads formula (3) predicts for
+// retrieving version l, assuming every node is live.
+func (a *Archive) PlannedReads(l int) (int, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	plan, err := a.planChain(l)
+	if err != nil {
+		return 0, err
+	}
+	return plan.cost, nil
+}
+
+// PlannedReadsAll returns the number of node reads formula (4) predicts for
+// retrieving versions 1..l, assuming every node is live.
+func (a *Archive) PlannedReadsAll(l int) (int, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if l < 1 || l > len(a.entries) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, l, len(a.entries))
+	}
+	plan, err := a.planChain(1)
+	if err != nil {
+		return 0, err
+	}
+	total := plan.cost
+	covered := plan.materializedVersions()
+	for j := 2; j <= l; j++ {
+		if covered[j] {
+			continue
+		}
+		e := a.entries[j-1]
+		if e.hasDelta {
+			total += a.plannedDeltaReads(e.gamma)
+		} else {
+			total += a.cfg.K
+		}
+	}
+	return total, nil
+}
+
+// materializedVersions returns the set of versions a chain walk passes
+// through.
+func (p chainPlan) materializedVersions() map[int]bool {
+	covered := map[int]bool{p.anchor: true}
+	ver := p.anchor
+	for _, j := range p.deltas {
+		if j > ver {
+			ver = j
+		} else {
+			ver = j - 1
+		}
+		covered[ver] = true
+	}
+	return covered
+}
+
+// readFull reads and decodes a fully stored version.
+func (a *Archive) readFull(version int) ([][]byte, ObjectRead, error) {
+	id := fullID(a.cfg.Name, version)
+	var lastErr error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		rows := a.liveRows(a.code, version)
+		if a.code.Systematic() {
+			rows = preferSystematic(rows, a.cfg.K)
+		}
+		if len(rows) < a.cfg.K {
+			return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(rows), a.cfg.K, id)
+		}
+		rows = rows[:a.cfg.K]
+		shards, err := a.readShards(id, version, rows)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		blocks, err := a.code.DecodeFull(rows, shards)
+		if err != nil {
+			return nil, ObjectRead{}, err
+		}
+		return blocks, ObjectRead{Version: version, Reads: len(rows)}, nil
+	}
+	return nil, ObjectRead{}, lastErr
+}
+
+// readDelta reads and decodes the delta of a version, using a sparse read
+// when the code admits one from the live shards.
+func (a *Archive) readDelta(version, gamma int) ([][]byte, ObjectRead, error) {
+	if gamma == 0 {
+		// Nothing changed: the delta is identically zero, no reads
+		// needed.
+		zero := make([][]byte, a.cfg.K)
+		for i := range zero {
+			zero[i] = make([]byte, a.cfg.BlockSize)
+		}
+		return zero, ObjectRead{Version: version, Delta: true}, nil
+	}
+	id := deltaID(a.cfg.Name, version)
+	var lastErr error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		live := a.liveRows(a.deltaCode, version)
+		if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
+			shards, err := a.readShards(id, version, rows)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			blocks, err := a.deltaCode.DecodeSparse(rows, shards, gamma)
+			if err == nil {
+				return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: len(rows), Sparse: true}, nil
+			}
+			// Sparse decode failure (e.g. stale manifest gamma):
+			// fall through to a full read.
+		}
+		if len(live) < a.cfg.K {
+			return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(live), a.cfg.K, id)
+		}
+		rows := live[:a.cfg.K]
+		shards, err := a.readShards(id, version, rows)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		blocks, err := a.deltaCode.DecodeFull(rows, shards)
+		if err != nil {
+			return nil, ObjectRead{}, err
+		}
+		return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: len(rows)}, nil
+	}
+	return nil, ObjectRead{}, lastErr
+}
+
+// readShards fetches the given shard rows of an object, in parallel when
+// the archive is configured with ReadConcurrency > 1.
+func (a *Archive) readShards(id string, version int, rows []int) ([][]byte, error) {
+	if a.cfg.ReadConcurrency > 1 && len(rows) > 1 {
+		return a.readShardsParallel(id, version, rows)
+	}
+	shards := make([][]byte, len(rows))
+	for i, row := range rows {
+		data, err := a.readShard(id, version, row)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = data
+	}
+	return shards, nil
+}
+
+func (a *Archive) readShardsParallel(id string, version int, rows []int) ([][]byte, error) {
+	shards := make([][]byte, len(rows))
+	errs := make([]error, len(rows))
+	sem := make(chan struct{}, a.cfg.ReadConcurrency)
+	var wg sync.WaitGroup
+	for i, row := range rows {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, row int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			shards[i], errs[i] = a.readShard(id, version, row)
+		}(i, row)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+func (a *Archive) readShard(id string, version, row int) ([]byte, error) {
+	node := a.cfg.Placement.NodeFor(version-1, row)
+	data, err := a.cluster.Get(node, store.ShardID{Object: id, Row: row})
+	if err != nil {
+		return nil, fmt.Errorf("core: reading %s#%d from node %d: %w", id, row, node, err)
+	}
+	return data, nil
+}
+
+// liveRows returns the shard rows of an object whose nodes are available.
+func (a *Archive) liveRows(code codec, version int) []int {
+	rows := make([]int, 0, code.N())
+	for row := 0; row < code.N(); row++ {
+		if a.cluster.Available(a.cfg.Placement.NodeFor(version-1, row)) {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// writeObject encodes blocks with the given code and stores every shard.
+func (a *Archive) writeObject(code codec, id string, version int, blocks [][]byte, writes *int) error {
+	shards, err := code.Encode(blocks)
+	if err != nil {
+		return err
+	}
+	for row, shard := range shards {
+		node := a.cfg.Placement.NodeFor(version-1, row)
+		if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, shard); err != nil {
+			return fmt.Errorf("core: writing %s#%d to node %d: %w", id, row, node, err)
+		}
+		*writes++
+	}
+	return nil
+}
+
+// deleteObject removes an object's shards best-effort, returning how many
+// could not be deleted.
+func (a *Archive) deleteObject(code codec, id string, version int) (orphans int) {
+	for row := 0; row < code.N(); row++ {
+		node := a.cfg.Placement.NodeFor(version-1, row)
+		n, err := a.cluster.Node(node)
+		if err != nil {
+			orphans++
+			continue
+		}
+		if err := n.Delete(store.ShardID{Object: id, Row: row}); err != nil {
+			orphans++
+		}
+	}
+	return orphans
+}
+
+// ensureNodes grows the cluster for the placement's needs before a commit.
+func (a *Archive) ensureNodes(version int) error {
+	return a.cluster.EnsureSize(a.cfg.Placement.NodesRequired(version, a.cfg.N))
+}
+
+// restoreCacheLocked rebuilds the latest-version cache from storage after
+// the archive was reopened from a manifest.
+func (a *Archive) restoreCacheLocked() error {
+	var stats RetrievalStats
+	blocks, err := a.retrieveBlocksLocked(len(a.entries), &stats)
+	if err != nil {
+		return err
+	}
+	a.cache = blocks
+	a.cacheLen = a.entries[len(a.entries)-1].length
+	return nil
+}
+
+func (a *Archive) setCache(blocks [][]byte, length int) {
+	a.cache = delta.Clone(blocks)
+	a.cacheLen = length
+}
+
+// preferSystematic reorders live rows so identity rows come first,
+// preserving relative order within each class: systematic decodes are then
+// plain copies whenever enough data shards are alive.
+func preferSystematic(rows []int, k int) []int {
+	ordered := make([]int, 0, len(rows))
+	for _, r := range rows {
+		if r < k {
+			ordered = append(ordered, r)
+		}
+	}
+	for _, r := range rows {
+		if r >= k {
+			ordered = append(ordered, r)
+		}
+	}
+	return ordered
+}
+
+func fullID(name string, version int) string {
+	return fmt.Sprintf("%s/v%d-full", name, version)
+}
+
+func deltaID(name string, version int) string {
+	return fmt.Sprintf("%s/v%d-delta", name, version)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// Manifest is the serializable description of an archive: everything needed
+// to reopen it against the same cluster. The manifest is the client-side
+// metadata the paper assumes (version count and per-delta sparsity levels
+// gamma_j, which retrieval needs to size its sparse reads).
+type Manifest struct {
+	Name           string          `json:"name"`
+	Scheme         string          `json:"scheme"`
+	Code           string          `json:"code"`
+	Field          string          `json:"field,omitempty"`
+	N              int             `json:"n"`
+	K              int             `json:"k"`
+	BlockSize      int             `json:"block_size"`
+	PunctureDeltas int             `json:"puncture_deltas,omitempty"`
+	Placement      string          `json:"placement"`
+	Entries        []ManifestEntry `json:"entries"`
+}
+
+// ManifestEntry describes one version's stored objects.
+type ManifestEntry struct {
+	Version int  `json:"version"`
+	Full    bool `json:"full"`
+	Delta   bool `json:"delta"`
+	Gamma   int  `json:"gamma"`
+	Length  int  `json:"length"`
+}
+
+// Manifest captures the archive's current state.
+func (a *Archive) Manifest() Manifest {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	m := Manifest{
+		Name:           a.cfg.Name,
+		Scheme:         a.cfg.Scheme.String(),
+		Code:           a.cfg.Code.String(),
+		Field:          a.cfg.Field.String(),
+		N:              a.cfg.N,
+		K:              a.cfg.K,
+		BlockSize:      a.cfg.BlockSize,
+		PunctureDeltas: a.cfg.PunctureDeltas,
+		Placement:      a.cfg.Placement.Name(),
+		Entries:        make([]ManifestEntry, len(a.entries)),
+	}
+	for i, e := range a.entries {
+		m.Entries[i] = ManifestEntry{
+			Version: i + 1,
+			Full:    e.hasFull,
+			Delta:   e.hasDelta,
+			Gamma:   e.gamma,
+			Length:  e.length,
+		}
+	}
+	return m
+}
+
+// Save writes the manifest as JSON.
+func (a *Archive) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a.Manifest()); err != nil {
+		return fmt.Errorf("core: encoding manifest: %w", err)
+	}
+	return nil
+}
+
+// Open reconstructs an archive from its manifest against a cluster holding
+// its shards. The latest-version cache is restored lazily on the next
+// Commit.
+func Open(m Manifest, cluster *store.Cluster) (*Archive, error) {
+	scheme, err := ParseScheme(m.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := erasure.ParseKind(m.Code)
+	if err != nil {
+		return nil, err
+	}
+	field, err := ParseField(m.Field)
+	if err != nil {
+		return nil, err
+	}
+	placement, err := parsePlacement(m.Placement, m.N)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Name:           m.Name,
+		Scheme:         scheme,
+		Code:           kind,
+		Field:          field,
+		N:              m.N,
+		K:              m.K,
+		BlockSize:      m.BlockSize,
+		Placement:      placement,
+		PunctureDeltas: m.PunctureDeltas,
+	}
+	a, err := New(cfg, cluster)
+	if err != nil {
+		return nil, err
+	}
+	a.entries = make([]entry, len(m.Entries))
+	for i, me := range m.Entries {
+		if me.Version != i+1 {
+			return nil, fmt.Errorf("core: manifest entry %d has version %d", i, me.Version)
+		}
+		if !me.Full && !me.Delta {
+			return nil, fmt.Errorf("core: manifest version %d stores neither full nor delta", me.Version)
+		}
+		if me.Gamma < 0 || me.Gamma > m.K {
+			return nil, fmt.Errorf("core: manifest version %d has invalid gamma %d", me.Version, me.Gamma)
+		}
+		if me.Length < 0 || me.Length > m.K*m.BlockSize {
+			return nil, fmt.Errorf("core: manifest version %d has invalid length %d", me.Version, me.Length)
+		}
+		a.entries[i] = entry{hasFull: me.Full, hasDelta: me.Delta, gamma: me.Gamma, length: me.Length}
+	}
+	if err := cluster.EnsureSize(placement.NodesRequired(max(len(m.Entries), 1), m.N)); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Load reads a JSON manifest and opens the archive.
+func Load(r io.Reader, cluster *store.Cluster) (*Archive, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: decoding manifest: %w", err)
+	}
+	return Open(m, cluster)
+}
+
+// manifestID returns the reserved object name for cluster-stored
+// manifests.
+func manifestID(name string) string { return name + "/manifest" }
+
+// SaveToCluster replicates the manifest JSON onto every cluster node the
+// archive uses, making the archive self-contained: a client holding only
+// the archive name and node addresses can reopen it with LoadFromCluster.
+// The manifest is tiny metadata, so plain replication (not erasure coding)
+// maximizes its availability. Archives have a single writer; the freshest
+// replica is the one with the most entries.
+func (a *Archive) SaveToCluster() error {
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		return err
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	id := store.ShardID{Object: manifestID(a.cfg.Name)}
+	written := 0
+	for node := 0; node < a.cluster.Size(); node++ {
+		if err := a.cluster.Put(node, id, buf.Bytes()); err == nil {
+			written++
+		}
+	}
+	if written == 0 {
+		return fmt.Errorf("core: no node accepted the manifest for %q", a.cfg.Name)
+	}
+	return nil
+}
+
+// LoadFromCluster reopens the named archive from manifest replicas stored
+// with SaveToCluster, picking the replica with the most entries (replicas
+// on nodes that were down during the last save may lag behind).
+func LoadFromCluster(name string, cluster *store.Cluster) (*Archive, error) {
+	id := store.ShardID{Object: manifestID(name)}
+	var best *Manifest
+	for node := 0; node < cluster.Size(); node++ {
+		data, err := cluster.Get(node, id)
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			continue // damaged replica
+		}
+		if best == nil || len(m.Entries) > len(best.Entries) {
+			best = &m
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no manifest replica for %q found on %d nodes", name, cluster.Size())
+	}
+	return Open(*best, cluster)
+}
+
+func parsePlacement(name string, n int) (store.Placement, error) {
+	switch name {
+	case "", store.ColocatedPlacement{}.Name():
+		return store.ColocatedPlacement{}, nil
+	case (store.DispersedPlacement{}).Name():
+		return store.DispersedPlacement{N: n}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown placement %q", name)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// TestArchiveAgainstReferenceModel drives archives with long random
+// operation sequences - commits with random sparsity, retrievals of random
+// versions, prefix retrievals, failure injection within the fault
+// tolerance, device wipes followed by repair - and checks every result
+// against a trivial in-memory model (a slice of version contents). Every
+// scheme/code combination is exercised with several seeds.
+func TestArchiveAgainstReferenceModel(t *testing.T) {
+	for _, scheme := range allSchemes {
+		for _, kind := range allCodeKinds {
+			for seed := int64(0); seed < 3; seed++ {
+				name := fmt.Sprintf("%v/%v/seed=%d", scheme, kind, seed)
+				t.Run(name, func(t *testing.T) {
+					runModelSequence(t, scheme, kind, seed)
+				})
+			}
+		}
+	}
+}
+
+func runModelSequence(t *testing.T, scheme Scheme, kind erasure.Kind, seed int64) {
+	const (
+		n, k      = 10, 5
+		blockSize = 16
+		steps     = 60
+	)
+	rng := rand.New(rand.NewSource(seed))
+	cluster := store.NewMemCluster(0)
+	archive, err := New(Config{
+		Name:      "model",
+		Scheme:    scheme,
+		Code:      kind,
+		N:         n,
+		K:         k,
+		BlockSize: blockSize,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var model [][]byte // model[l-1] = contents of version l
+	current := make([]byte, k*blockSize)
+	rng.Read(current)
+
+	commit := func() {
+		// Commits write all n shards durably, so they require a
+		// healthy cluster.
+		cluster.HealAll()
+		next := current
+		if len(model) > 0 {
+			gamma := rng.Intn(k + 1)
+			var err error
+			next, err = editRandomBlocks(rng, current, blockSize, gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := archive.Commit(next); err != nil {
+			t.Fatalf("commit %d: %v", len(model)+1, err)
+		}
+		current = next
+		model = append(model, append([]byte(nil), next...))
+	}
+	commit() // always start with one version
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3: // commit a new version
+			commit()
+		case op < 6: // retrieve a random version
+			l := 1 + rng.Intn(len(model))
+			got, stats, err := archive.Retrieve(l)
+			if err != nil {
+				t.Fatalf("step %d: retrieve %d: %v", step, l, err)
+			}
+			if !bytes.Equal(got, model[l-1]) {
+				t.Fatalf("step %d: version %d content mismatch", step, l)
+			}
+			planned, err := archive.PlannedReads(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allNodesUp(cluster) && stats.NodeReads != planned {
+				t.Fatalf("step %d: measured %d reads, formula predicts %d", step, stats.NodeReads, planned)
+			}
+		case op < 7: // retrieve a random prefix
+			l := 1 + rng.Intn(len(model))
+			got, _, err := archive.RetrieveAll(l)
+			if err != nil {
+				t.Fatalf("step %d: retrieveAll %d: %v", step, l, err)
+			}
+			for j := range got {
+				if !bytes.Equal(got[j], model[j]) {
+					t.Fatalf("step %d: prefix version %d mismatch", step, j+1)
+				}
+			}
+		case op < 9: // toggle failures within the fault tolerance
+			cluster.HealAll()
+			for _, node := range rng.Perm(n)[:rng.Intn(n-k+1)] {
+				if err := cluster.Fail(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default: // device replacement: wipe one node and repair it
+			cluster.HealAll()
+			node := rng.Intn(n)
+			wipeArchiveShards(t, archive, cluster, node)
+			if _, err := archive.RepairNode(node); err != nil {
+				t.Fatalf("step %d: repair node %d: %v", step, node, err)
+			}
+		}
+	}
+
+	// Final full verification with all nodes healthy.
+	cluster.HealAll()
+	all, _, err := archive.RetrieveAll(len(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range all {
+		if !bytes.Equal(all[j], model[j]) {
+			t.Fatalf("final check: version %d mismatch", j+1)
+		}
+	}
+}
+
+// editRandomBlocks flips bytes in exactly gamma random blocks.
+func editRandomBlocks(rng *rand.Rand, object []byte, blockSize, gamma int) ([]byte, error) {
+	k := len(object) / blockSize
+	if gamma > k {
+		gamma = k
+	}
+	out := append([]byte(nil), object...)
+	for _, b := range rng.Perm(k)[:gamma] {
+		out[b*blockSize+rng.Intn(blockSize)] ^= byte(1 + rng.Intn(255))
+	}
+	return out, nil
+}
+
+func allNodesUp(cluster *store.Cluster) bool {
+	for i := 0; i < cluster.Size(); i++ {
+		if !cluster.Available(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// wipeArchiveShards deletes every shard of the archive on the node.
+func wipeArchiveShards(t *testing.T, a *Archive, cluster *store.Cluster, node int) {
+	t.Helper()
+	nd, err := cluster.Node(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Manifest()
+	for _, e := range m.Entries {
+		for row := 0; row < m.N; row++ {
+			if a.Config().Placement.NodeFor(e.Version-1, row) != node {
+				continue
+			}
+			if e.Full {
+				_ = nd.Delete(store.ShardID{Object: fullID(m.Name, e.Version), Row: row})
+			}
+			if e.Delta {
+				_ = nd.Delete(store.ShardID{Object: deltaID(m.Name, e.Version), Row: row})
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// RepairReport summarizes a node repair pass.
+type RepairReport struct {
+	// ShardsChecked counts the shards of this archive the node is
+	// supposed to hold.
+	ShardsChecked int
+	// ShardsHealthy counts shards found intact.
+	ShardsHealthy int
+	// ShardsRepaired counts shards reconstructed from surviving nodes
+	// and rewritten.
+	ShardsRepaired int
+	// NodeReads counts shard reads performed on other nodes to
+	// reconstruct the missing ones (the repair traffic).
+	NodeReads int
+}
+
+// RepairNode reconstructs every shard of this archive that the given
+// cluster node should hold but does not — the maintenance operation run
+// after replacing a failed device. Missing shards are rebuilt by decoding
+// the affected object from k surviving shards and re-encoding; the node
+// must be available to receive the rebuilt shards.
+//
+// The paper's static-resilience analysis assumes "no further remedial
+// actions"; RepairNode is the remedial action that restores the archive to
+// full redundancy afterwards.
+func (a *Archive) RepairNode(node int) (RepairReport, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var report RepairReport
+	if !a.cluster.Available(node) {
+		return report, fmt.Errorf("core: repairing node %d: %w", node, store.ErrNodeDown)
+	}
+	for v := 1; v <= len(a.entries); v++ {
+		e := a.entries[v-1]
+		if e.hasFull {
+			if err := a.repairObject(a.code, fullID(a.cfg.Name, v), v, node, &report); err != nil {
+				return report, err
+			}
+		}
+		if e.hasDelta {
+			if err := a.repairObject(a.deltaCode, deltaID(a.cfg.Name, v), v, node, &report); err != nil {
+				return report, err
+			}
+		}
+	}
+	return report, nil
+}
+
+// repairObject checks (and if needed rebuilds) the rows of one stored
+// object that live on the target node.
+func (a *Archive) repairObject(code codec, id string, version, node int, report *RepairReport) error {
+	for row := 0; row < code.N(); row++ {
+		if a.cfg.Placement.NodeFor(version-1, row) != node {
+			continue
+		}
+		report.ShardsChecked++
+		_, err := a.cluster.Get(node, store.ShardID{Object: id, Row: row})
+		switch {
+		case err == nil:
+			report.ShardsHealthy++
+			continue
+		case !errors.Is(err, store.ErrNotFound):
+			return fmt.Errorf("core: probing %s#%d on node %d: %w", id, row, node, err)
+		}
+		if err := a.rebuildShard(code, id, version, node, row, report); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildShard reconstructs one missing shard from k surviving shards on
+// other nodes.
+func (a *Archive) rebuildShard(code codec, id string, version, node, row int, report *RepairReport) error {
+	live := make([]int, 0, code.N())
+	for r := 0; r < code.N(); r++ {
+		if r == row {
+			continue
+		}
+		if a.cluster.Available(a.cfg.Placement.NodeFor(version-1, r)) {
+			live = append(live, r)
+		}
+	}
+	if len(live) < a.cfg.K {
+		return fmt.Errorf("%w: %d of %d surviving shards of %s", ErrUnavailable, len(live), a.cfg.K, id)
+	}
+	rows := live[:a.cfg.K]
+	shards, err := a.readShards(id, version, rows)
+	if err != nil {
+		return fmt.Errorf("core: rebuilding %s#%d: %w", id, row, err)
+	}
+	report.NodeReads += len(rows)
+	blocks, err := code.DecodeFull(rows, shards)
+	if err != nil {
+		return err
+	}
+	encoded, err := code.Encode(blocks)
+	if err != nil {
+		return err
+	}
+	if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, encoded[row]); err != nil {
+		return fmt.Errorf("core: writing rebuilt %s#%d to node %d: %w", id, row, node, err)
+	}
+	report.ShardsRepaired++
+	return nil
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// deleteArchiveShards simulates replacing a failed device with an empty
+// one: every shard of the archive on the node is deleted.
+func deleteArchiveShards(t *testing.T, a *Archive, cluster *store.Cluster, node int) int {
+	t.Helper()
+	n, err := cluster.Node(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := 0
+	m := a.Manifest()
+	for _, e := range m.Entries {
+		for row := 0; row < m.N; row++ {
+			if (a.Config().Placement.NodeFor(e.Version-1, row)) != node {
+				continue
+			}
+			if e.Full {
+				if err := n.Delete(store.ShardID{Object: fullID(m.Name, e.Version), Row: row}); err == nil {
+					deleted++
+				}
+			}
+			if e.Delta {
+				if err := n.Delete(store.ShardID{Object: deltaID(m.Name, e.Version), Row: row}); err == nil {
+					deleted++
+				}
+			}
+		}
+	}
+	return deleted
+}
+
+func TestRepairNodeRestoresRedundancy(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{1}, a.Capacity())
+	v2 := editBlocks(v1, a.Config().BlockSize, 0)
+	v3 := editBlocks(v2, a.Config().BlockSize, 1, 2)
+	mustCommit(t, a, v1)
+	mustCommit(t, a, v2)
+	mustCommit(t, a, v3)
+
+	// Device 3 dies and is replaced by an empty node.
+	deleted := deleteArchiveShards(t, a, cluster, 3)
+	if deleted != 3 { // one shard per stored object (x1, z2, z3)
+		t.Fatalf("deleted %d shards, want 3", deleted)
+	}
+
+	report, err := a.RepairNode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsChecked != 3 || report.ShardsRepaired != 3 || report.ShardsHealthy != 0 {
+		t.Errorf("report = %+v", report)
+	}
+	if report.NodeReads != 3*3 {
+		t.Errorf("repair traffic = %d reads, want 9 (k per object)", report.NodeReads)
+	}
+
+	// The rebuilt shards are bit-identical: kill n-k other nodes and
+	// retrieve everything through paths that must use node 3.
+	if err := cluster.Fail(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for l, want := range [][]byte{v1, v2, v3} {
+		got, _, err := a.Retrieve(l + 1)
+		if err != nil {
+			t.Fatalf("version %d: %v", l+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("version %d mismatch after repair", l+1)
+		}
+	}
+}
+
+func TestRepairNodeIdempotent(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(OptimizedSEC, erasure.SystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{5}, a.Capacity())
+	mustCommit(t, a, v1)
+	mustCommit(t, a, editBlocks(v1, 4, 1))
+	report, err := a.RepairNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsRepaired != 0 || report.ShardsHealthy != report.ShardsChecked {
+		t.Errorf("healthy node repair report = %+v", report)
+	}
+	if report.NodeReads != 0 {
+		t.Errorf("healthy repair produced %d reads", report.NodeReads)
+	}
+}
+
+func TestRepairNodeRequiresTargetUp(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, a, []byte{1})
+	if err := cluster.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RepairNode(2); !errors.Is(err, store.ErrNodeDown) {
+		t.Errorf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestRepairNodeFailsWhenTooFewSurvivors(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{9}, a.Capacity())
+	mustCommit(t, a, v1)
+	deleteArchiveShards(t, a, cluster, 0)
+	// Only 2 survivors besides the target: below k=3.
+	if err := cluster.Fail(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RepairNode(0); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRepairNodeWithPuncturedDeltas(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	cfg := Config{
+		Name:           "pr",
+		Scheme:         BasicSEC,
+		Code:           erasure.NonSystematicCauchy,
+		N:              8,
+		K:              3,
+		BlockSize:      4,
+		PunctureDeltas: 2, // delta rows 0..5 only
+	}
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{3}, a.Capacity())
+	mustCommit(t, a, v1)
+	mustCommit(t, a, editBlocks(v1, 4, 0))
+
+	// Node 7 holds only the full version's shard (deltas are punctured
+	// past row 5); node 2 holds both.
+	deleteArchiveShards(t, a, cluster, 7)
+	report, err := a.RepairNode(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsChecked != 1 || report.ShardsRepaired != 1 {
+		t.Errorf("node 7 report = %+v", report)
+	}
+	deleteArchiveShards(t, a, cluster, 2)
+	report, err = a.RepairNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsChecked != 2 || report.ShardsRepaired != 2 {
+		t.Errorf("node 2 report = %+v", report)
+	}
+}
+
+func TestRepairNodeDispersed(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	cfg := testConfig(BasicSEC, erasure.NonSystematicCauchy)
+	cfg.Placement = store.DispersedPlacement{N: cfg.N}
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{7}, a.Capacity())
+	mustCommit(t, a, v1)
+	mustCommit(t, a, editBlocks(v1, 4, 2))
+	// Node 8 belongs to the delta's group (object 1, row 2).
+	deleted := deleteArchiveShards(t, a, cluster, 8)
+	if deleted != 1 {
+		t.Fatalf("deleted %d, want 1", deleted)
+	}
+	report, err := a.RepairNode(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsRepaired != 1 {
+		t.Errorf("report = %+v", report)
+	}
+	// Node 0 belongs to x1's group only.
+	report, err = a.RepairNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsChecked != 1 || report.ShardsHealthy != 1 {
+		t.Errorf("report = %+v", report)
+	}
+}

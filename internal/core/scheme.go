@@ -1,0 +1,206 @@
+// Package core implements the paper's primary contribution: Sparsity
+// Exploiting Coding (SEC) archives of versioned data over an erasure-coded
+// distributed store.
+//
+// An Archive holds the versions x_1..x_L of one fixed-capacity object.
+// Depending on the Scheme, a committed version is stored either in full
+// (erasure-encoded as is) or as the delta z_j = x_j - x_{j-1} whose
+// block-level sparsity gamma_j permits retrieval from only
+// min(2*gamma_j, k) shards instead of k (Section III). Retrieval walks the
+// stored chain from the nearest fully-stored anchor version, reading each
+// delta with a sparse read when the code admits one, and accounts every
+// node read so measured I/O can be compared with the paper's formulas
+// (3)-(4).
+package core
+
+import (
+	"fmt"
+
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/wide"
+)
+
+// Scheme selects which objects are stored for a version chain (Section
+// III-A of the paper).
+type Scheme int
+
+// Storage schemes.
+const (
+	// BasicSEC stores {x_1, z_2, ..., z_L}: the first version in full and
+	// every later version as a delta, regardless of sparsity.
+	BasicSEC Scheme = iota + 1
+	// OptimizedSEC stores a delta only when gamma < k/2 and the full
+	// version otherwise ("Optimized Step j+1").
+	OptimizedSEC
+	// ReversedSEC stores {z_2, ..., z_L, x_L}: the latest version in full
+	// so recent versions are cheap to access.
+	ReversedSEC
+	// NonDifferential stores every version in full: the paper's baseline.
+	NonDifferential
+)
+
+// String returns the scheme name used in manifests and reports.
+func (s Scheme) String() string {
+	switch s {
+	case BasicSEC:
+		return "basic-sec"
+	case OptimizedSEC:
+		return "optimized-sec"
+	case ReversedSEC:
+		return "reversed-sec"
+	case NonDifferential:
+		return "non-differential"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme maps a scheme name back to its value.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range []Scheme{BasicSEC, OptimizedSEC, ReversedSEC, NonDifferential} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// Field selects the symbol width of the erasure code.
+type Field int
+
+// Coding fields.
+const (
+	// GF8 codes over GF(2^8): all four constructions, n+k <= 256. The
+	// default.
+	GF8 Field = iota
+	// GF16 codes over GF(2^16) for very wide configurations
+	// (n+k > 256). Only the non-systematic Cauchy construction is
+	// available, and the block size must be even (16-bit symbols).
+	GF16
+)
+
+// String returns the field name used in manifests.
+func (f Field) String() string {
+	switch f {
+	case GF8:
+		return "gf8"
+	case GF16:
+		return "gf16"
+	default:
+		return fmt.Sprintf("Field(%d)", int(f))
+	}
+}
+
+// ParseField maps a field name back to its value; the empty string is GF8.
+func ParseField(name string) (Field, error) {
+	switch name {
+	case "", GF8.String():
+		return GF8, nil
+	case GF16.String():
+		return GF16, nil
+	default:
+		return 0, fmt.Errorf("core: unknown coding field %q", name)
+	}
+}
+
+// Config describes an archive. The zero value is not valid; all fields
+// without stated defaults are required.
+type Config struct {
+	// Name prefixes the shard object identifiers. Defaults to "archive".
+	Name string
+	// Scheme selects the storage scheme.
+	Scheme Scheme
+	// Code selects the erasure code construction.
+	Code erasure.Kind
+	// Field selects the symbol width (default GF8; GF16 unlocks
+	// n+k > 256 with the non-systematic Cauchy construction).
+	Field Field
+	// N and K are the code parameters: N shards per object, any K
+	// reconstruct.
+	N, K int
+	// BlockSize is the bytes per block; the object capacity is K*BlockSize.
+	BlockSize int
+	// Placement maps shards to cluster nodes. Defaults to colocated,
+	// the placement the paper shows is optimal.
+	Placement store.Placement
+	// PunctureDeltas drops this many trailing shards from every stored
+	// delta (0 = none). This implements the storage-overhead reduction
+	// the paper flags as future work for non-systematic SEC; resilience
+	// of deltas degrades accordingly.
+	PunctureDeltas int
+	// ReadConcurrency bounds the number of shards fetched in parallel
+	// during a retrieval (values below 2 mean sequential reads). Read
+	// counts are unaffected; only latency improves, which matters for
+	// remote (TCP) nodes.
+	ReadConcurrency int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "archive"
+	}
+	if c.Placement == nil {
+		c.Placement = store.ColocatedPlacement{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch c.Scheme {
+	case BasicSEC, OptimizedSEC, ReversedSEC, NonDifferential:
+	default:
+		return fmt.Errorf("core: invalid scheme %d", int(c.Scheme))
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("core: block size must be positive, got %d", c.BlockSize)
+	}
+	if c.PunctureDeltas < 0 {
+		return fmt.Errorf("core: negative puncture count %d", c.PunctureDeltas)
+	}
+	switch c.Field {
+	case GF8:
+	case GF16:
+		if c.Code != erasure.NonSystematicCauchy {
+			return fmt.Errorf("core: GF16 supports only the non-systematic Cauchy construction, got %v", c.Code)
+		}
+		if c.BlockSize%2 != 0 {
+			return fmt.Errorf("core: GF16 needs an even block size, got %d", c.BlockSize)
+		}
+	default:
+		return fmt.Errorf("core: invalid coding field %d", int(c.Field))
+	}
+	return nil
+}
+
+// buildCodecs constructs the full-object and delta codecs for the config.
+func buildCodecs(cfg Config) (code, deltaCode codec, err error) {
+	switch cfg.Field {
+	case GF16:
+		wcode, err := wide.NewCauchy(cfg.N, cfg.K)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.PunctureDeltas > 0 {
+			punctured, err := wcode.Punctured(cfg.PunctureDeltas)
+			if err != nil {
+				return nil, nil, err
+			}
+			return wcode, punctured, nil
+		}
+		return wcode, wcode, nil
+	default:
+		ecode, err := erasure.New(cfg.Code, cfg.N, cfg.K)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.PunctureDeltas > 0 {
+			punctured, err := ecode.Punctured(cfg.PunctureDeltas)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ecode, punctured, nil
+		}
+		return ecode, ecode, nil
+	}
+}

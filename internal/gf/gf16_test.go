@@ -1,0 +1,131 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMul16Axioms(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		comm := Mul16(a, b) == Mul16(b, a)
+		assoc := Mul16(Mul16(a, b), c) == Mul16(a, Mul16(b, c))
+		dist := Mul16(a, Add16(b, c)) == Add16(Mul16(a, b), Mul16(a, c))
+		ident := Mul16(a, 1) == a && Mul16(a, 0) == 0
+		return comm && assoc && dist && ident
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv16Exhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive GF(2^16) inverse check skipped in -short mode")
+	}
+	for a := 1; a < Order16; a++ {
+		if got := Mul16(uint16(a), Inv16(uint16(a))); got != 1 {
+			t.Fatalf("a*Inv16(a) = %d for a=%d, want 1", got, a)
+		}
+	}
+}
+
+func TestDiv16(t *testing.T) {
+	f := func(a, b uint16) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul16(Div16(a, b), b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiv16ByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div16(1,0) did not panic")
+		}
+	}()
+	Div16(1, 0)
+}
+
+func TestInv16ZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv16(0) did not panic")
+		}
+	}()
+	Inv16(0)
+}
+
+func TestPow16(t *testing.T) {
+	tests := []struct {
+		name string
+		a    uint16
+		e    int
+		want uint16
+	}{
+		{"a^0 = 1", 777, 0, 1},
+		{"0^0 = 1", 0, 0, 1},
+		{"0^5 = 0", 0, 5, 0},
+		{"a^1 = a", 40000, 1, 40000},
+		{"generator full order", 2, Order16 - 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Pow16(tt.a, tt.e); got != tt.want {
+				t.Errorf("Pow16(%d,%d) = %d, want %d", tt.a, tt.e, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGeneratorOrder16(t *testing.T) {
+	// alpha must not have a smaller order dividing 2^16-1 = 3*5*17*257.
+	for _, d := range []int{3, 5, 17, 257, (Order16 - 1) / 3, (Order16 - 1) / 5, (Order16 - 1) / 17, (Order16 - 1) / 257} {
+		if Pow16(2, d) == 1 {
+			t.Fatalf("generator order divides %d; polynomial not primitive", d)
+		}
+	}
+}
+
+func TestMulSlice16MatchesScalar(t *testing.T) {
+	f := func(c uint16, src []uint16) bool {
+		dst := make([]uint16, len(src))
+		MulSlice16(c, dst, src)
+		for i := range src {
+			if dst[i] != Mul16(c, src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAddSlice16MatchesScalar(t *testing.T) {
+	f := func(c uint16, src []uint16) bool {
+		dst := make([]uint16, len(src))
+		for i := range dst {
+			dst[i] = uint16(i * 4099)
+		}
+		want := make([]uint16, len(src))
+		copy(want, dst)
+		for i := range src {
+			want[i] ^= Mul16(c, src[i])
+		}
+		MulAddSlice16(c, dst, src)
+		for i := range want {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

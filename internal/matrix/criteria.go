@@ -1,0 +1,148 @@
+package matrix
+
+import "fmt"
+
+// This file implements the SEC design-criteria checks from Section III of
+// the paper:
+//
+//   Criterion 1: at least one k x k submatrix of the generator is full
+//   rank (retrieves x_1 and any non-sparse delta).
+//
+//   Criterion 2: a 2*gamma x k row-submatrix has every set of 2*gamma
+//   columns linearly independent; by Proposition 1 such a submatrix
+//   uniquely determines any gamma-sparse delta.
+
+// Combinations visits every size-r subset of {0,...,n-1} in lexicographic
+// order, calling fn with a reused index slice (copy it to retain). If fn
+// returns false, enumeration stops early. It panics if r is negative or
+// exceeds n.
+func Combinations(n, r int, fn func(idx []int) bool) {
+	if r < 0 || r > n {
+		panic(fmt.Sprintf("matrix: invalid combination size %d of %d", r, n))
+	}
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		// Advance to the next combination.
+		i := r - 1
+		for i >= 0 && idx[i] == n-r+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < r; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// CountCombinations returns the binomial coefficient C(n, r) as an int. It
+// panics on overflow, which cannot occur for the code sizes used here.
+func CountCombinations(n, r int) int {
+	if r < 0 || r > n {
+		return 0
+	}
+	if r > n-r {
+		r = n - r
+	}
+	c := 1
+	for i := 0; i < r; i++ {
+		nc := c * (n - i)
+		if nc/(n-i) != c {
+			panic("matrix: binomial coefficient overflow")
+		}
+		c = nc / (i + 1)
+	}
+	return c
+}
+
+// ColumnsIndependent reports whether every set of m.Rows() columns of m is
+// linearly independent, i.e. every maximal square column-submatrix is
+// invertible. This is the paper's Criterion 2 applied to a chosen
+// 2*gamma-row submatrix. It requires Rows() <= Cols().
+func (m Matrix) ColumnsIndependent() bool {
+	r := m.rows
+	if r == 0 {
+		return true
+	}
+	if r > m.cols {
+		return false
+	}
+	ok := true
+	Combinations(m.cols, r, func(idx []int) bool {
+		if !m.SelectCols(idx).Invertible() {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// IsMDSGenerator reports whether the n x k matrix m generates an MDS code:
+// every k x k row-submatrix is invertible, so any k of the n coded symbols
+// reconstruct the data (and in particular Criterion 1 holds). It requires
+// Rows() >= Cols().
+func (m Matrix) IsMDSGenerator() bool {
+	k := m.cols
+	if m.rows < k {
+		return false
+	}
+	ok := true
+	Combinations(m.rows, k, func(idx []int) bool {
+		if !m.SelectRows(idx).Invertible() {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// SatisfiesCriterion1 reports whether at least one k x k row-submatrix of m
+// is invertible. Any MDS generator satisfies it trivially; the check exists
+// for puncturing experiments where MDS-ness may be given up.
+func (m Matrix) SatisfiesCriterion1() bool {
+	k := m.cols
+	if m.rows < k {
+		return false
+	}
+	found := false
+	Combinations(m.rows, k, func(idx []int) bool {
+		if m.SelectRows(idx).Invertible() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Criterion2Rows returns every set of rowCount row indices of m whose
+// row-submatrix satisfies Criterion 2 (all rowCount-column subsets
+// independent). The paper counts these sets to compare systematic and
+// non-systematic SEC: for the (6,3) code with gamma=1 there are 15 for the
+// Cauchy generator and 3 for the systematic one.
+func (m Matrix) Criterion2Rows(rowCount int) [][]int {
+	if rowCount < 0 || rowCount > m.rows {
+		panic(fmt.Sprintf("matrix: invalid Criterion 2 row count %d of %d", rowCount, m.rows))
+	}
+	var sets [][]int
+	Combinations(m.rows, rowCount, func(idx []int) bool {
+		sub := m.SelectRows(idx)
+		if sub.ColumnsIndependent() {
+			cp := make([]int, len(idx))
+			copy(cp, idx)
+			sets = append(sets, cp)
+		}
+		return true
+	})
+	return sets
+}

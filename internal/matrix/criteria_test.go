@@ -1,0 +1,204 @@
+package matrix
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCombinationsEnumeration(t *testing.T) {
+	var got [][]int
+	Combinations(4, 2, func(idx []int) bool {
+		got = append(got, append([]int(nil), idx...))
+		return true
+	})
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Combinations(4,2) = %v, want %v", got, want)
+	}
+}
+
+func TestCombinationsEdgeCases(t *testing.T) {
+	count := 0
+	Combinations(3, 0, func(idx []int) bool {
+		if len(idx) != 0 {
+			t.Errorf("size-0 combination has %d elements", len(idx))
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("Combinations(3,0) visited %d subsets, want 1", count)
+	}
+
+	count = 0
+	Combinations(3, 3, func(idx []int) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("Combinations(3,3) visited %d subsets, want 1", count)
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	count := 0
+	Combinations(5, 2, func(idx []int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early-stopped enumeration visited %d subsets, want 3", count)
+	}
+}
+
+func TestCombinationsInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Combinations(2,3) did not panic")
+		}
+	}()
+	Combinations(2, 3, func([]int) bool { return true })
+}
+
+func TestCombinationsCountsMatch(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for r := 0; r <= n; r++ {
+			count := 0
+			Combinations(n, r, func([]int) bool { count++; return true })
+			if want := CountCombinations(n, r); count != want {
+				t.Errorf("Combinations(%d,%d) visited %d, CountCombinations gives %d", n, r, count, want)
+			}
+		}
+	}
+}
+
+func TestCountCombinations(t *testing.T) {
+	tests := []struct {
+		n, r, want int
+	}{
+		{6, 3, 20},
+		{6, 0, 1},
+		{6, 6, 1},
+		{6, 7, 0},
+		{6, -1, 0},
+		{20, 10, 184756},
+	}
+	for _, tt := range tests {
+		if got := CountCombinations(tt.n, tt.r); got != tt.want {
+			t.Errorf("CountCombinations(%d,%d) = %d, want %d", tt.n, tt.r, got, tt.want)
+		}
+	}
+}
+
+// systematic63 returns the generator G_S = [I_3; B] of the paper's (6,3)
+// systematic example, with B the 3x3 Cauchy block.
+func systematic63(t *testing.T) Matrix {
+	t.Helper()
+	b, err := Cauchy(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Identity(3).Stack(b)
+}
+
+func TestCauchyGeneratorIsMDS(t *testing.T) {
+	g, err := Cauchy(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsMDSGenerator() {
+		t.Error("Cauchy(6,3) generator is not MDS")
+	}
+	if !g.SatisfiesCriterion1() {
+		t.Error("Cauchy(6,3) generator fails Criterion 1")
+	}
+}
+
+func TestSystematicGeneratorIsMDS(t *testing.T) {
+	// [I; B] with Cauchy B is MDS because every mixed k x k submatrix
+	// reduces to a square Cauchy submatrix.
+	g := systematic63(t)
+	if !g.IsMDSGenerator() {
+		t.Error("systematic [I;B] generator is not MDS")
+	}
+}
+
+func TestColumnsIndependentCauchyRows(t *testing.T) {
+	g, err := Cauchy(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any 2-row submatrix of a Cauchy generator satisfies Criterion 2.
+	Combinations(6, 2, func(idx []int) bool {
+		if !g.SelectRows(idx).ColumnsIndependent() {
+			t.Errorf("Cauchy rows %v fail Criterion 2", idx)
+		}
+		return true
+	})
+}
+
+func TestColumnsIndependentIdentityRowsFail(t *testing.T) {
+	g := systematic63(t)
+	// Any pair involving an identity row has a 2x2 zero-column pattern.
+	if g.SelectRows([]int{0, 1}).ColumnsIndependent() {
+		t.Error("two identity rows claimed to satisfy Criterion 2")
+	}
+	if g.SelectRows([]int{0, 4}).ColumnsIndependent() {
+		t.Error("identity+parity row pair claimed to satisfy Criterion 2")
+	}
+}
+
+func TestColumnsIndependentShapes(t *testing.T) {
+	if !New(0, 5).ColumnsIndependent() {
+		t.Error("empty matrix should vacuously satisfy Criterion 2")
+	}
+	if New(3, 2).ColumnsIndependent() {
+		t.Error("more rows than columns cannot satisfy Criterion 2")
+	}
+}
+
+// TestCriterion2CountsMatchPaper reproduces the Section V-A counts: for
+// gamma=1 (2-row submatrices), the non-systematic (6,3) Cauchy generator has
+// 15 Criterion-2 submatrices, the systematic one only 3 (the parity pairs).
+func TestCriterion2CountsMatchPaper(t *testing.T) {
+	gn, err := Cauchy(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(gn.Criterion2Rows(2)); got != 15 {
+		t.Errorf("non-systematic Criterion-2 submatrix count = %d, want 15 (paper SV-A)", got)
+	}
+
+	gs := systematic63(t)
+	sets := gs.Criterion2Rows(2)
+	if len(sets) != 3 {
+		t.Fatalf("systematic Criterion-2 submatrix count = %d, want 3 (paper SV-A)", len(sets))
+	}
+	want := [][]int{{3, 4}, {3, 5}, {4, 5}}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("systematic Criterion-2 row sets = %v, want parity pairs %v", sets, want)
+	}
+}
+
+func TestIsMDSGeneratorRejectsNonMDS(t *testing.T) {
+	// A generator with a repeated row cannot be MDS.
+	m, err := FromRows([][]byte{{1, 0}, {0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsMDSGenerator() {
+		t.Error("generator with duplicate rows claimed MDS")
+	}
+	if !m.SatisfiesCriterion1() {
+		t.Error("generator with one invertible submatrix fails Criterion 1")
+	}
+}
+
+func TestIsMDSGeneratorTooFewRows(t *testing.T) {
+	if New(2, 3).IsMDSGenerator() {
+		t.Error("matrix with fewer rows than columns claimed MDS")
+	}
+	if New(2, 3).SatisfiesCriterion1() {
+		t.Error("matrix with fewer rows than columns claimed Criterion 1")
+	}
+}

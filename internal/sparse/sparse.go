@@ -1,0 +1,166 @@
+// Package sparse recovers gamma-sparse vectors over GF(2^8) from
+// underdetermined linear observations, the decoding primitive behind SEC's
+// reduced-I/O delta retrieval (Proposition 1 of the paper, following
+// Zhang & Pfister's compressed-sensing/coding connection).
+//
+// Given y = Phi*z where Phi is an m x k matrix whose every m columns are
+// linearly independent (the paper's Criterion 2) and z has at most
+// gamma <= m/2 non-zero blocks, z is uniquely determined by y. Two decoders
+// are provided:
+//
+//   - RecoverEnum works for any Criterion-2 matrix (Cauchy submatrices in
+//     particular) by enumerating candidate supports; cost grows as
+//     C(k, gamma) and is practical for the small k regimes the paper
+//     studies.
+//
+//   - SyndromeDecoder exploits Vandermonde structure to find the support
+//     with Berlekamp-Massey + Chien search in O(gamma^2 + k*gamma) per byte
+//     position - the extension discussed in DESIGN.md.
+//
+// Observations and results are block vectors: element j of z is a byte
+// block, and every byte position forms an independent GF(2^8) codeword
+// sharing the block-level support.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/secarchive/sec/internal/gf"
+	"github.com/secarchive/sec/internal/matrix"
+)
+
+// ErrUnrecoverable is returned when no vector with the requested sparsity is
+// consistent with the observations. Callers typically fall back to a full
+// k-symbol read.
+var ErrUnrecoverable = errors.New("sparse: no solution with requested sparsity is consistent with observations")
+
+// RecoverEnum recovers a block vector z of k = phi.Cols() blocks with at
+// most gamma non-zero blocks from the observation blocks y, where
+// y[i] = sum_j phi[i][j]*z[j] byte-wise. All observation blocks must have
+// equal length. It tries candidate supports of size 0..gamma and returns
+// the unique consistent solution; uniqueness is guaranteed when phi
+// satisfies Criterion 2 for gamma (i.e. phi has >= 2*gamma rows with every
+// such column subset independent).
+func RecoverEnum(phi matrix.Matrix, y [][]byte, gamma int) ([][]byte, error) {
+	m, k := phi.Rows(), phi.Cols()
+	if len(y) != m {
+		return nil, fmt.Errorf("sparse: got %d observation blocks for a %d-row matrix", len(y), m)
+	}
+	if gamma < 0 {
+		return nil, fmt.Errorf("sparse: negative sparsity %d", gamma)
+	}
+	blockLen, err := uniformBlockLen(y)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s <= gamma; s++ {
+		var z [][]byte
+		matrix.Combinations(k, s, func(idx []int) bool {
+			vals, ok := solveSupport(phi, idx, y, blockLen)
+			if !ok {
+				return true
+			}
+			z = assemble(k, blockLen, idx, vals)
+			return false
+		})
+		if z != nil {
+			return z, nil
+		}
+	}
+	return nil, ErrUnrecoverable
+}
+
+// solveSupport solves phi restricted to the candidate support for the block
+// values, returning (values, true) only when the full observation vector is
+// consistent with that support.
+func solveSupport(phi matrix.Matrix, support []int, y [][]byte, blockLen int) ([][]byte, bool) {
+	m, s := phi.Rows(), len(support)
+	a := phi.SelectCols(support)
+	r := make([][]byte, m)
+	for i := range r {
+		r[i] = append([]byte(nil), y[i]...)
+	}
+	rank := 0
+	for col := 0; col < s; col++ {
+		pivot := -1
+		for row := rank; row < m; row++ {
+			if a.At(row, col) != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			// Dependent support columns: cannot determine a unique
+			// solution through this support.
+			return nil, false
+		}
+		if pivot != rank {
+			swapRowsAndBlocks(a, r, pivot, rank)
+		}
+		if p := a.At(rank, col); p != 1 {
+			inv := gf.Inv(p)
+			gf.MulSlice(inv, a.Row(rank), a.Row(rank))
+			gf.MulSlice(inv, r[rank], r[rank])
+		}
+		for row := 0; row < m; row++ {
+			if row == rank {
+				continue
+			}
+			if f := a.At(row, col); f != 0 {
+				gf.MulAddSlice(f, a.Row(row), a.Row(rank))
+				gf.MulAddSlice(f, r[row], r[rank])
+			}
+		}
+		rank++
+	}
+	// The eliminated rows below the rank must be entirely zero for the
+	// support hypothesis to be consistent with the observations.
+	for row := rank; row < m; row++ {
+		if !isZero(r[row]) {
+			return nil, false
+		}
+	}
+	return r[:s], true
+}
+
+func assemble(k, blockLen int, support []int, vals [][]byte) [][]byte {
+	z := make([][]byte, k)
+	for j := range z {
+		z[j] = make([]byte, blockLen)
+	}
+	for i, col := range support {
+		copy(z[col], vals[i])
+	}
+	return z
+}
+
+func swapRowsAndBlocks(a matrix.Matrix, r [][]byte, i, j int) {
+	ri, rj := a.Row(i), a.Row(j)
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+	r[i], r[j] = r[j], r[i]
+}
+
+func uniformBlockLen(y [][]byte) (int, error) {
+	if len(y) == 0 {
+		return 0, nil
+	}
+	blockLen := len(y[0])
+	for i, b := range y {
+		if len(b) != blockLen {
+			return 0, fmt.Errorf("sparse: observation block %d has length %d, want %d", i, len(b), blockLen)
+		}
+	}
+	return blockLen, nil
+}
+
+func isZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package sparse
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/secarchive/sec/internal/matrix"
+)
+
+// randSparseBlocks returns k blocks of blockLen bytes with exactly gamma
+// non-zero blocks (each non-zero block has at least one non-zero byte).
+func randSparseBlocks(rng *rand.Rand, k, blockLen, gamma int) [][]byte {
+	z := make([][]byte, k)
+	for j := range z {
+		z[j] = make([]byte, blockLen)
+	}
+	perm := rng.Perm(k)
+	for _, j := range perm[:gamma] {
+		for {
+			rng.Read(z[j])
+			if !isZero(z[j]) {
+				break
+			}
+		}
+	}
+	return z
+}
+
+func blocksEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecoverEnumRoundTripCauchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const k, blockLen = 10, 8
+	g, err := matrix.Cauchy(20, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gamma := 0; gamma <= 4; gamma++ {
+		for trial := 0; trial < 10; trial++ {
+			z := randSparseBlocks(rng, k, blockLen, gamma)
+			// Observe through 2*gamma arbitrary rows (Cauchy rows all
+			// satisfy Criterion 2).
+			rows := rng.Perm(20)[:max(2*gamma, 1)]
+			phi := g.SelectRows(rows)
+			y := phi.MulBlocks(z)
+			got, err := RecoverEnum(phi, y, gamma)
+			if err != nil {
+				t.Fatalf("gamma=%d trial=%d: %v", gamma, trial, err)
+			}
+			if !blocksEqual(got, z) {
+				t.Fatalf("gamma=%d trial=%d: recovered wrong vector", gamma, trial)
+			}
+		}
+	}
+}
+
+func TestRecoverEnumZeroVector(t *testing.T) {
+	g, err := matrix.Cauchy(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := g.SelectRows([]int{0, 1})
+	z := [][]byte{make([]byte, 4), make([]byte, 4), make([]byte, 4)}
+	y := phi.MulBlocks(z)
+	got, err := RecoverEnum(phi, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blocksEqual(got, z) {
+		t.Error("zero vector not recovered as zero")
+	}
+}
+
+func TestRecoverEnumPaperExample(t *testing.T) {
+	// The (6,3) example of Section IV-C: z2 is 1-sparse with the change in
+	// the first block; any 2 rows of the Cauchy generator recover it.
+	g, err := matrix.Cauchy(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := [][]byte{{0xAB, 0xCD}, {0, 0}, {0, 0}}
+	c := g.MulBlocks(z)
+	matrix.Combinations(6, 2, func(idx []int) bool {
+		phi := g.SelectRows(idx)
+		y := [][]byte{c[idx[0]], c[idx[1]]}
+		got, err := RecoverEnum(phi, y, 1)
+		if err != nil {
+			t.Fatalf("rows %v: %v", idx, err)
+		}
+		if !blocksEqual(got, z) {
+			t.Fatalf("rows %v: wrong recovery", idx)
+		}
+		return true
+	})
+}
+
+func TestRecoverEnumSystematicParityRows(t *testing.T) {
+	// Systematic SEC: only parity-row subsets satisfy Criterion 2; they
+	// must still recover the sparse delta.
+	b, err := matrix.Cauchy(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := matrix.Identity(3).Stack(b)
+	z := [][]byte{{0}, {0x5A}, {0}}
+	c := gs.MulBlocks(z)
+	for _, rows := range [][]int{{3, 4}, {3, 5}, {4, 5}} {
+		phi := gs.SelectRows(rows)
+		y := [][]byte{c[rows[0]], c[rows[1]]}
+		got, err := RecoverEnum(phi, y, 1)
+		if err != nil {
+			t.Fatalf("rows %v: %v", rows, err)
+		}
+		if !blocksEqual(got, z) {
+			t.Fatalf("rows %v: wrong recovery", rows)
+		}
+	}
+}
+
+func TestRecoverEnumAmbiguousIdentityRows(t *testing.T) {
+	// Two identity rows do NOT satisfy Criterion 2; a 1-sparse vector
+	// supported outside the observed rows is indistinguishable from zero,
+	// so the decoder returns the zero vector - demonstrating why the
+	// paper restricts systematic sparse reads to parity rows.
+	gs := matrix.Identity(3).Stack(matrix.New(3, 3))
+	z := [][]byte{{0}, {0}, {0x7F}}
+	phi := gs.SelectRows([]int{0, 1})
+	y := phi.MulBlocks(z)
+	got, err := RecoverEnum(phi, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocksEqual(got, z) {
+		t.Fatal("identity rows cannot see block 2; recovery should be wrong")
+	}
+	if !isZero(got[2]) {
+		t.Error("expected the (wrong) zero solution")
+	}
+}
+
+func TestRecoverEnumInconsistentObservations(t *testing.T) {
+	g, err := matrix.Cauchy(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := g.SelectRows([]int{0, 1, 2})
+	// Random y is (with overwhelming probability) not consistent with any
+	// 0- or 1-sparse vector; use a crafted inconsistent one.
+	z := [][]byte{{1}, {2}, {3}} // 3-sparse, gamma=1 requested
+	y := phi.MulBlocks(z)
+	if _, err := RecoverEnum(phi, y, 1); !errors.Is(err, ErrUnrecoverable) {
+		t.Errorf("err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestRecoverEnumArgumentErrors(t *testing.T) {
+	g, err := matrix.Cauchy(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := g.SelectRows([]int{0, 1})
+	if _, err := RecoverEnum(phi, [][]byte{{1}}, 1); err == nil {
+		t.Error("observation count mismatch: want error")
+	}
+	if _, err := RecoverEnum(phi, [][]byte{{1}, {2, 3}}, 1); err == nil {
+		t.Error("ragged observations: want error")
+	}
+	if _, err := RecoverEnum(phi, [][]byte{{1}, {2}}, -1); err == nil {
+		t.Error("negative gamma: want error")
+	}
+}
+
+func TestRecoverEnumGammaLargerThanNeeded(t *testing.T) {
+	// Asking for more sparsity head-room than the true support still
+	// returns the true (sparsest) vector first.
+	rng := rand.New(rand.NewSource(13))
+	g, err := matrix.Cauchy(12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := randSparseBlocks(rng, 6, 4, 1)
+	phi := g.SelectRows([]int{0, 1, 2, 3, 4, 5})
+	y := phi.MulBlocks(z)
+	got, err := RecoverEnum(phi, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blocksEqual(got, z) {
+		t.Error("wrong recovery with slack gamma")
+	}
+}
+
+func TestRecoverEnumEmptyBlocks(t *testing.T) {
+	g, err := matrix.Cauchy(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := g.SelectRows([]int{0, 1})
+	y := [][]byte{{}, {}}
+	got, err := RecoverEnum(phi, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 0 {
+		t.Errorf("empty-block recovery shape = %v", got)
+	}
+}

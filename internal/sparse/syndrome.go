@@ -1,0 +1,233 @@
+package sparse
+
+import (
+	"fmt"
+
+	"github.com/secarchive/sec/internal/gf"
+)
+
+// SyndromeDecoder recovers gamma-sparse block vectors observed through
+// consecutive rows of a Vandermonde generator, using Berlekamp-Massey to
+// locate the support instead of enumerating it.
+//
+// Row r of the Vandermonde generator evaluates the monomials x^0..x^(k-1)
+// at alpha^r, so for consecutive rows firstRow..firstRow+m-1 the
+// observations y_r = sum_j z_j (alpha^j)^(firstRow+r) form a standard
+// syndrome sequence for the modified values z_j*(alpha^j)^firstRow, whose
+// error-locator polynomial depends only on the support. Each byte position
+// of the blocks is decoded independently; positions share at most the block
+// support, so each is at most gamma-sparse.
+type SyndromeDecoder struct {
+	k        int
+	firstRow int
+	rows     int
+}
+
+// NewSyndromeDecoder returns a decoder for k-symbol vectors observed via
+// rows firstRow..firstRow+rows-1 of the Vandermonde generator. A decoder
+// with rows >= 2*gamma recovers any gamma-sparse vector.
+func NewSyndromeDecoder(k, firstRow, rows int) (*SyndromeDecoder, error) {
+	if k <= 0 {
+		return nil, errf("k must be positive, got %d", k)
+	}
+	if firstRow < 0 || rows <= 0 {
+		return nil, errf("invalid row window [%d,%d)", firstRow, firstRow+rows)
+	}
+	if firstRow+rows > gf.Order-1 {
+		return nil, errf("row window end %d exceeds the %d distinct Vandermonde rows", firstRow+rows, gf.Order-1)
+	}
+	return &SyndromeDecoder{k: k, firstRow: firstRow, rows: rows}, nil
+}
+
+// Recover decodes the block observations y (one block per row of the
+// window) into the k-block vector z with at most gamma non-zero blocks.
+func (d *SyndromeDecoder) Recover(y [][]byte, gamma int) ([][]byte, error) {
+	if len(y) != d.rows {
+		return nil, errf("got %d observation blocks for a %d-row window", len(y), d.rows)
+	}
+	if gamma < 0 || 2*gamma > d.rows {
+		return nil, errf("sparsity %d not decodable from %d syndromes", gamma, d.rows)
+	}
+	blockLen, err := uniformBlockLen(y)
+	if err != nil {
+		return nil, err
+	}
+	z := make([][]byte, d.k)
+	for j := range z {
+		z[j] = make([]byte, blockLen)
+	}
+	synd := make([]byte, d.rows)
+	for pos := 0; pos < blockLen; pos++ {
+		for r := range synd {
+			synd[r] = y[r][pos]
+		}
+		if isZero(synd) {
+			continue
+		}
+		support, values, err := d.decodePosition(synd, gamma)
+		if err != nil {
+			return nil, err
+		}
+		for i, j := range support {
+			z[j][pos] = values[i]
+		}
+	}
+	return z, nil
+}
+
+// decodePosition decodes one byte position: synd[r] = sum_j v_j X_j^(b+r)
+// with X_j = alpha^j, |support| <= gamma.
+func (d *SyndromeDecoder) decodePosition(synd []byte, gamma int) (support []int, values []byte, err error) {
+	lambda, degree := berlekampMassey(synd)
+	if degree > gamma {
+		return nil, nil, ErrUnrecoverable
+	}
+	support = d.chienSearch(lambda)
+	if len(support) != degree {
+		// The locator polynomial does not split over the locator set:
+		// the observations are not consistent with any <=gamma-sparse
+		// vector on positions 0..k-1.
+		return nil, nil, ErrUnrecoverable
+	}
+	values, err = d.solveValues(support, synd)
+	if err != nil {
+		return nil, nil, err
+	}
+	return support, values, nil
+}
+
+// berlekampMassey returns the minimal LFSR connection polynomial
+// lambda(x) = 1 + c_1 x + ... + c_L x^L for the syndrome sequence, and its
+// degree L.
+func berlekampMassey(synd []byte) ([]byte, int) {
+	n := len(synd)
+	c := make([]byte, n+1)
+	b := make([]byte, n+1)
+	c[0], b[0] = 1, 1
+	var (
+		l     int
+		m          = 1
+		bDisc byte = 1
+	)
+	for i := 0; i < n; i++ {
+		// Discrepancy d = synd[i] + sum_{j=1}^{l} c[j]*synd[i-j].
+		disc := synd[i]
+		for j := 1; j <= l; j++ {
+			disc ^= gf.Mul(c[j], synd[i-j])
+		}
+		switch {
+		case disc == 0:
+			m++
+		case 2*l <= i:
+			prev := append([]byte(nil), c...)
+			scale := gf.Div(disc, bDisc)
+			for j := 0; j+m < len(c); j++ {
+				c[j+m] ^= gf.Mul(scale, b[j])
+			}
+			l = i + 1 - l
+			copy(b, prev)
+			bDisc = disc
+			m = 1
+		default:
+			scale := gf.Div(disc, bDisc)
+			for j := 0; j+m < len(c); j++ {
+				c[j+m] ^= gf.Mul(scale, b[j])
+			}
+			m++
+		}
+	}
+	return c[:l+1], l
+}
+
+// chienSearch returns every position j in 0..k-1 whose locator
+// X_j = alpha^j has lambda(X_j^-1) = 0.
+func (d *SyndromeDecoder) chienSearch(lambda []byte) []int {
+	var support []int
+	for j := 0; j < d.k; j++ {
+		if evalPoly(lambda, gf.Exp(-j)) == 0 {
+			support = append(support, j)
+		}
+	}
+	return support
+}
+
+// solveValues solves for the non-zero values on the known support using the
+// first len(support) syndromes and verifies the remainder for consistency.
+func (d *SyndromeDecoder) solveValues(support []int, synd []byte) ([]byte, error) {
+	s := len(support)
+	if s == 0 {
+		return nil, nil
+	}
+	// System rows r: sum_i v_i * X_i^(b+r) = synd[r].
+	rows := make([][]byte, s)
+	for r := 0; r < s; r++ {
+		rows[r] = make([]byte, s)
+		for i, j := range support {
+			rows[r][i] = gf.Exp(j * (d.firstRow + r))
+		}
+	}
+	values, ok := solveSquare(rows, synd[:s])
+	if !ok {
+		return nil, ErrUnrecoverable
+	}
+	// Check the remaining syndromes against the solution.
+	for r := s; r < len(synd); r++ {
+		var acc byte
+		for i, j := range support {
+			acc ^= gf.Mul(values[i], gf.Exp(j*(d.firstRow+r)))
+		}
+		if acc != synd[r] {
+			return nil, ErrUnrecoverable
+		}
+	}
+	return values, nil
+}
+
+// solveSquare solves the small dense system rows * x = rhs in place.
+func solveSquare(rows [][]byte, rhs []byte) ([]byte, bool) {
+	s := len(rows)
+	r := append([]byte(nil), rhs...)
+	for col := 0; col < s; col++ {
+		pivot := -1
+		for row := col; row < s; row++ {
+			if rows[row][col] != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		rows[pivot], rows[col] = rows[col], rows[pivot]
+		r[pivot], r[col] = r[col], r[pivot]
+		if p := rows[col][col]; p != 1 {
+			inv := gf.Inv(p)
+			gf.MulSlice(inv, rows[col], rows[col])
+			r[col] = gf.Mul(inv, r[col])
+		}
+		for row := 0; row < s; row++ {
+			if row == col {
+				continue
+			}
+			if f := rows[row][col]; f != 0 {
+				gf.MulAddSlice(f, rows[row], rows[col])
+				r[row] ^= gf.Mul(f, r[col])
+			}
+		}
+	}
+	return r, true
+}
+
+// evalPoly evaluates the polynomial with coefficients c (c[0] constant term)
+// at x via Horner's rule.
+func evalPoly(c []byte, x byte) byte {
+	var acc byte
+	for i := len(c) - 1; i >= 0; i-- {
+		acc = gf.Mul(acc, x) ^ c[i]
+	}
+	return acc
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("sparse: "+format, args...)
+}

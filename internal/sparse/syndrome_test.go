@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/secarchive/sec/internal/gf"
+	"github.com/secarchive/sec/internal/matrix"
+)
+
+func vandermondeWindow(t *testing.T, n, k, first, rows int) matrix.Matrix {
+	t.Helper()
+	g, err := matrix.Vandermonde(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, rows)
+	for i := range idx {
+		idx[i] = first + i
+	}
+	return g.SelectRows(idx)
+}
+
+func TestSyndromeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const k, blockLen = 12, 16
+	for _, first := range []int{0, 3, 7} {
+		for gamma := 0; gamma <= 4; gamma++ {
+			rows := max(2*gamma, 1)
+			phi := vandermondeWindow(t, 24, k, first, rows)
+			dec, err := NewSyndromeDecoder(k, first, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 8; trial++ {
+				z := randSparseBlocks(rng, k, blockLen, gamma)
+				y := phi.MulBlocks(z)
+				got, err := dec.Recover(y, gamma)
+				if err != nil {
+					t.Fatalf("first=%d gamma=%d trial=%d: %v", first, gamma, trial, err)
+				}
+				if !blocksEqual(got, z) {
+					t.Fatalf("first=%d gamma=%d trial=%d: wrong recovery", first, gamma, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestSyndromeMatchesEnum(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const k, blockLen, gamma = 8, 4, 2
+	phi := vandermondeWindow(t, 16, k, 2, 2*gamma)
+	dec, err := NewSyndromeDecoder(k, 2, 2*gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		z := randSparseBlocks(rng, k, blockLen, rng.Intn(gamma+1))
+		y := phi.MulBlocks(z)
+		fromEnum, err := RecoverEnum(phi, y, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromSyndrome, err := dec.Recover(y, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !blocksEqual(fromEnum, fromSyndrome) {
+			t.Fatalf("trial %d: decoders disagree", trial)
+		}
+	}
+}
+
+func TestSyndromeTooDense(t *testing.T) {
+	const k, gamma = 6, 1
+	phi := vandermondeWindow(t, 12, k, 0, 2*gamma)
+	dec, err := NewSyndromeDecoder(k, 0, 2*gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	z := randSparseBlocks(rng, k, 4, 3) // 3-sparse, only gamma=1 requested
+	y := phi.MulBlocks(z)
+	if _, err := dec.Recover(y, gamma); !errors.Is(err, ErrUnrecoverable) {
+		t.Errorf("err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestSyndromeConstructorErrors(t *testing.T) {
+	tests := []struct {
+		name           string
+		k, first, rows int
+	}{
+		{"zero k", 0, 0, 2},
+		{"negative first", 4, -1, 2},
+		{"zero rows", 4, 0, 0},
+		{"window too wide", 4, 250, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSyndromeDecoder(tt.k, tt.first, tt.rows); err == nil {
+				t.Errorf("NewSyndromeDecoder(%d,%d,%d): want error", tt.k, tt.first, tt.rows)
+			}
+		})
+	}
+}
+
+func TestSyndromeRecoverArgumentErrors(t *testing.T) {
+	dec, err := NewSyndromeDecoder(4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Recover([][]byte{{1}}, 1); err == nil {
+		t.Error("observation count mismatch: want error")
+	}
+	if _, err := dec.Recover([][]byte{{1}, {2}}, 2); err == nil {
+		t.Error("gamma too large for window: want error")
+	}
+	if _, err := dec.Recover([][]byte{{1}, {2, 3}}, 1); err == nil {
+		t.Error("ragged observations: want error")
+	}
+}
+
+func TestBerlekampMasseyKnownSequences(t *testing.T) {
+	tests := []struct {
+		name    string
+		synd    []byte
+		wantDeg int
+	}{
+		{"all zero", []byte{0, 0, 0, 0}, 0},
+		{"constant ones has L=1", []byte{1, 1, 1, 1}, 1},
+		{"geometric alpha", []byte{1, 2, 4, 8}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lambda, deg := berlekampMassey(tt.synd)
+			if deg != tt.wantDeg {
+				t.Fatalf("degree = %d, want %d", deg, tt.wantDeg)
+			}
+			// The connection polynomial must annihilate the sequence:
+			// synd[i] = sum_{j=1}^{deg} lambda[j]*synd[i-j].
+			for i := deg; i < len(tt.synd); i++ {
+				var acc byte
+				for j := 1; j <= deg; j++ {
+					acc ^= gf.Mul(lambda[j], tt.synd[i-j])
+				}
+				if acc != tt.synd[i] {
+					t.Errorf("recurrence fails at index %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestBerlekampMasseyLocatorRoots(t *testing.T) {
+	// Syndromes of a 2-sparse vector at positions 3 and 5 with values 9, 77:
+	// S_r = 9*a3^r + 77*a5^r where a3 = alpha^3, a5 = alpha^5.
+	a3, a5 := gf.Exp(3), gf.Exp(5)
+	synd := make([]byte, 4)
+	for r := range synd {
+		synd[r] = gf.Mul(9, gf.Pow(a3, r)) ^ gf.Mul(77, gf.Pow(a5, r))
+	}
+	lambda, deg := berlekampMassey(synd)
+	if deg != 2 {
+		t.Fatalf("degree = %d, want 2", deg)
+	}
+	for _, j := range []int{3, 5} {
+		if evalPoly(lambda, gf.Exp(-j)) != 0 {
+			t.Errorf("locator lacks root for position %d", j)
+		}
+	}
+	for _, j := range []int{0, 1, 2, 4, 6} {
+		if evalPoly(lambda, gf.Exp(-j)) == 0 {
+			t.Errorf("locator has spurious root at position %d", j)
+		}
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	// p(x) = 3 + 2x + x^2 at x=4: 3 ^ Mul(2,4) ^ Mul(1,16).
+	want := byte(3) ^ gf.Mul(2, 4) ^ gf.Mul(4, 4)
+	if got := evalPoly([]byte{3, 2, 1}, 4); got != want {
+		t.Errorf("evalPoly = %d, want %d", got, want)
+	}
+	if got := evalPoly(nil, 7); got != 0 {
+		t.Errorf("evalPoly(nil) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClusterTooSmall is returned when an operation addresses a node index
+// beyond the cluster and the cluster cannot grow.
+var ErrClusterTooSmall = errors.New("store: cluster has too few nodes")
+
+// NodeFactory creates the node with the given index when a growable cluster
+// expands.
+type NodeFactory func(index int) Node
+
+// Cluster is an ordered set of storage nodes. It is safe for concurrent
+// use. Clusters created with a NodeFactory grow on demand (EnsureSize);
+// fixed clusters reject out-of-range node indices.
+type Cluster struct {
+	mu      sync.RWMutex
+	nodes   []Node
+	factory NodeFactory
+}
+
+// NewCluster returns a fixed cluster over the given nodes.
+func NewCluster(nodes []Node) *Cluster {
+	return &Cluster{nodes: append([]Node(nil), nodes...)}
+}
+
+// NewMemCluster returns a growable cluster backed by in-memory nodes,
+// pre-populated with `size` nodes.
+func NewMemCluster(size int) *Cluster {
+	c := &Cluster{factory: func(i int) Node { return NewMemNode(fmt.Sprintf("mem-%d", i)) }}
+	if err := c.EnsureSize(size); err != nil {
+		panic(err) // unreachable: mem factory never fails
+	}
+	return c
+}
+
+// NewGrowableCluster returns an empty cluster that expands with the given
+// factory.
+func NewGrowableCluster(factory NodeFactory) *Cluster {
+	return &Cluster{factory: factory}
+}
+
+// Size returns the current node count.
+func (c *Cluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
+
+// EnsureSize grows the cluster to at least size nodes, or returns
+// ErrClusterTooSmall if the cluster is fixed and smaller than size.
+func (c *Cluster) EnsureSize(size int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.nodes) >= size {
+		return nil
+	}
+	if c.factory == nil {
+		return fmt.Errorf("%w: have %d, need %d", ErrClusterTooSmall, len(c.nodes), size)
+	}
+	for len(c.nodes) < size {
+		c.nodes = append(c.nodes, c.factory(len(c.nodes)))
+	}
+	return nil
+}
+
+// AddNode appends a node and returns its index.
+func (c *Cluster) AddNode(n Node) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes = append(c.nodes, n)
+	return len(c.nodes) - 1
+}
+
+// Node returns the node at the given index.
+func (c *Cluster) Node(i int) (Node, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("%w: node index %d of %d", ErrClusterTooSmall, i, len(c.nodes))
+	}
+	return c.nodes[i], nil
+}
+
+// Put stores a shard on the node with the given index.
+func (c *Cluster) Put(node int, id ShardID, data []byte) error {
+	n, err := c.Node(node)
+	if err != nil {
+		return err
+	}
+	return n.Put(id, data)
+}
+
+// Get reads a shard from the node with the given index.
+func (c *Cluster) Get(node int, id ShardID) ([]byte, error) {
+	n, err := c.Node(node)
+	if err != nil {
+		return nil, err
+	}
+	return n.Get(id)
+}
+
+// Available reports whether the node with the given index is up. Out-of-
+// range indices report false.
+func (c *Cluster) Available(node int) bool {
+	n, err := c.Node(node)
+	if err != nil {
+		return false
+	}
+	return n.Available()
+}
+
+// Fail injects a failure into the given nodes. It returns an error if any
+// node does not support fault injection.
+func (c *Cluster) Fail(nodes ...int) error { return c.setFailed(true, nodes) }
+
+// Heal clears injected failures on the given nodes.
+func (c *Cluster) Heal(nodes ...int) error { return c.setFailed(false, nodes) }
+
+func (c *Cluster) setFailed(failed bool, nodes []int) error {
+	for _, i := range nodes {
+		n, err := c.Node(i)
+		if err != nil {
+			return err
+		}
+		inj, ok := n.(FaultInjector)
+		if !ok {
+			return fmt.Errorf("store: node %s does not support fault injection", n.ID())
+		}
+		inj.SetFailed(failed)
+	}
+	return nil
+}
+
+// HealAll clears injected failures on every node that supports injection.
+func (c *Cluster) HealAll() {
+	c.mu.RLock()
+	nodes := append([]Node(nil), c.nodes...)
+	c.mu.RUnlock()
+	for _, n := range nodes {
+		if inj, ok := n.(FaultInjector); ok {
+			inj.SetFailed(false)
+		}
+	}
+}
+
+// TotalStats returns the sum of all nodes' I/O counters.
+func (c *Cluster) TotalStats() NodeStats {
+	c.mu.RLock()
+	nodes := append([]Node(nil), c.nodes...)
+	c.mu.RUnlock()
+	var total NodeStats
+	for _, n := range nodes {
+		total = total.Add(n.Stats())
+	}
+	return total
+}
+
+// ResetStats zeroes every node's I/O counters.
+func (c *Cluster) ResetStats() {
+	c.mu.RLock()
+	nodes := append([]Node(nil), c.nodes...)
+	c.mu.RUnlock()
+	for _, n := range nodes {
+		n.ResetStats()
+	}
+}

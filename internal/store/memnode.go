@@ -1,0 +1,121 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemNode is an in-memory storage node with failure injection. It is the
+// simulation substitute for the paper's physical storage devices; its I/O
+// counters provide the exact read counts the evaluation reports.
+type MemNode struct {
+	id string
+
+	mu     sync.Mutex
+	failed bool
+	shards map[ShardID][]byte
+	stats  NodeStats
+}
+
+var _ Node = (*MemNode)(nil)
+var _ FaultInjector = (*MemNode)(nil)
+
+// NewMemNode returns an empty, available in-memory node.
+func NewMemNode(id string) *MemNode {
+	return &MemNode{id: id, shards: make(map[ShardID][]byte)}
+}
+
+// ID returns the node identifier.
+func (n *MemNode) ID() string { return n.id }
+
+// Put stores a copy of data under id. It fails with ErrNodeDown while the
+// node is failed.
+func (n *MemNode) Put(id ShardID, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return fmt.Errorf("put %v on %s: %w", id, n.id, ErrNodeDown)
+	}
+	n.shards[id] = append([]byte(nil), data...)
+	n.stats.Writes++
+	n.stats.BytesWritten += uint64(len(data))
+	return nil
+}
+
+// Get returns a copy of the shard contents. It fails with ErrNodeDown while
+// the node is failed and ErrNotFound when the shard is absent; only
+// successful reads are counted.
+func (n *MemNode) Get(id ShardID) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, ErrNodeDown)
+	}
+	data, ok := n.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)
+	}
+	n.stats.Reads++
+	n.stats.BytesRead += uint64(len(data))
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes the shard. It fails with ErrNodeDown while the node is
+// failed and ErrNotFound when the shard is absent.
+func (n *MemNode) Delete(id ShardID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return fmt.Errorf("delete %v from %s: %w", id, n.id, ErrNodeDown)
+	}
+	if _, ok := n.shards[id]; !ok {
+		return fmt.Errorf("delete %v from %s: %w", id, n.id, ErrNotFound)
+	}
+	delete(n.shards, id)
+	n.stats.Deletes++
+	return nil
+}
+
+// Available reports whether the node accepts operations.
+func (n *MemNode) Available() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.failed
+}
+
+// SetFailed injects or clears a crash-stop failure. Data is retained across
+// failures.
+func (n *MemNode) SetFailed(failed bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = failed
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (n *MemNode) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (n *MemNode) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = NodeStats{}
+}
+
+// Len returns the number of shards currently stored.
+func (n *MemNode) Len() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.shards)
+}
+
+// Wipe discards every stored shard, modelling the replacement of a failed
+// device with an empty one. Counters and failure state are unaffected.
+func (n *MemNode) Wipe() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	clear(n.shards)
+}

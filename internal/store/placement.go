@@ -1,0 +1,56 @@
+package store
+
+import "fmt"
+
+// Placement maps the shards of successive stored objects (versions or
+// deltas) to cluster node indices. Section IV of the paper analyzes two
+// strategies, both provided here.
+type Placement interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// NodeFor returns the node index holding shard row `row` of the
+	// object stored at position `object` in the archive (0-based).
+	NodeFor(object, row int) int
+	// NodesRequired returns the cluster size needed for `objects` stored
+	// objects with n shards each.
+	NodesRequired(objects, n int) int
+}
+
+// ColocatedPlacement stores row i of every object on node i, using n nodes
+// total. The paper shows this placement dominates: the archive survives iff
+// any k nodes survive, for every scheme.
+type ColocatedPlacement struct{}
+
+var _ Placement = ColocatedPlacement{}
+
+// Name implements Placement.
+func (ColocatedPlacement) Name() string { return "colocated" }
+
+// NodeFor implements Placement.
+func (ColocatedPlacement) NodeFor(_, row int) int { return row }
+
+// NodesRequired implements Placement.
+func (ColocatedPlacement) NodesRequired(_, n int) int { return n }
+
+// DispersedPlacement stores each object's n shards on a dedicated node
+// group: object j uses nodes j*n..j*n+n-1, for n*L nodes total.
+type DispersedPlacement struct {
+	// N is the codeword length (shards per object).
+	N int
+}
+
+var _ Placement = DispersedPlacement{}
+
+// Name implements Placement.
+func (p DispersedPlacement) Name() string { return "dispersed" }
+
+// NodeFor implements Placement.
+func (p DispersedPlacement) NodeFor(object, row int) int {
+	if p.N <= 0 {
+		panic(fmt.Sprintf("store: DispersedPlacement.N must be positive, got %d", p.N))
+	}
+	return object*p.N + row
+}
+
+// NodesRequired implements Placement.
+func (p DispersedPlacement) NodesRequired(objects, n int) int { return objects * n }

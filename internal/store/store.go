@@ -1,0 +1,84 @@
+// Package store provides the distributed storage substrate for SEC: storage
+// nodes holding coded shards, clusters of nodes, redundancy placement
+// strategies (colocated and dispersed, Section IV of the paper), failure
+// injection, and exact I/O accounting.
+//
+// The paper's retrieval metric is the number of node reads; every
+// successful Get counts as one I/O read in the node's statistics, which the
+// experiment harness aggregates and compares against the closed-form
+// formulas (3)-(4).
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors shared by all node implementations.
+var (
+	// ErrNodeDown is returned by operations on a failed (or unreachable)
+	// node.
+	ErrNodeDown = errors.New("store: node is down")
+	// ErrNotFound is returned by Get and Delete when the shard is not on
+	// the node.
+	ErrNotFound = errors.New("store: shard not found")
+)
+
+// ShardID identifies one coded shard: the Object names the stored codeword
+// (for SEC, one version or delta of one archive) and Row is the generator
+// row index of the shard within it.
+type ShardID struct {
+	Object string
+	Row    int
+}
+
+// String renders the shard ID for logs and error messages.
+func (id ShardID) String() string { return fmt.Sprintf("%s#%d", id.Object, id.Row) }
+
+// NodeStats counts the I/O performed by a node since creation or the last
+// reset. Reads and Writes count successful operations, the unit of the
+// paper's I/O analysis; bytes track payload volume.
+type NodeStats struct {
+	Reads        uint64
+	Writes       uint64
+	Deletes      uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Add returns the element-wise sum of two stat snapshots.
+func (s NodeStats) Add(o NodeStats) NodeStats {
+	return NodeStats{
+		Reads:        s.Reads + o.Reads,
+		Writes:       s.Writes + o.Writes,
+		Deletes:      s.Deletes + o.Deletes,
+		BytesRead:    s.BytesRead + o.BytesRead,
+		BytesWritten: s.BytesWritten + o.BytesWritten,
+	}
+}
+
+// Node is a storage device holding shards. Implementations must be safe for
+// concurrent use.
+type Node interface {
+	// ID returns a stable identifier for logs and placement debugging.
+	ID() string
+	// Put stores a shard, overwriting any previous contents.
+	Put(id ShardID, data []byte) error
+	// Get returns a copy of a shard's contents.
+	Get(id ShardID) ([]byte, error)
+	// Delete removes a shard.
+	Delete(id ShardID) error
+	// Available reports whether the node can currently serve requests.
+	Available() bool
+	// Stats returns an I/O counter snapshot.
+	Stats() NodeStats
+	// ResetStats zeroes the I/O counters.
+	ResetStats()
+}
+
+// FaultInjector is implemented by nodes that support simulated failures
+// (crash-stop: a failed node rejects all operations but keeps its data, so
+// healing models a transient outage).
+type FaultInjector interface {
+	SetFailed(failed bool)
+}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// defaultTimeout bounds each remote operation round trip.
+const defaultTimeout = 5 * time.Second
+
+// RemoteNode is a store.Node backed by a transport server over TCP. It
+// dials lazily, keeps one connection, and re-dials after errors. It is safe
+// for concurrent use; operations are serialized over the connection.
+type RemoteNode struct {
+	id      string
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+var _ store.Node = (*RemoteNode)(nil)
+
+// ClientOption configures a RemoteNode.
+type ClientOption func(*RemoteNode)
+
+// WithTimeout sets the per-operation deadline (default 5s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(n *RemoteNode) { n.timeout = d }
+}
+
+// NewRemoteNode returns a client node for the server at addr. No connection
+// is made until the first operation.
+func NewRemoteNode(id, addr string, opts ...ClientOption) *RemoteNode {
+	n := &RemoteNode{id: id, addr: addr, timeout: defaultTimeout}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// ID returns the client-side node identifier.
+func (n *RemoteNode) ID() string { return n.id }
+
+// Put stores a shard on the remote node.
+func (n *RemoteNode) Put(id store.ShardID, data []byte) error {
+	_, err := n.roundTrip(request{op: opPut, id: id, payload: data})
+	return err
+}
+
+// Get fetches a shard from the remote node.
+func (n *RemoteNode) Get(id store.ShardID) ([]byte, error) {
+	return n.roundTrip(request{op: opGet, id: id})
+}
+
+// Delete removes a shard from the remote node.
+func (n *RemoteNode) Delete(id store.ShardID) error {
+	_, err := n.roundTrip(request{op: opDelete, id: id})
+	return err
+}
+
+// Available reports whether the remote node answers a ping and is up.
+func (n *RemoteNode) Available() bool {
+	_, err := n.roundTrip(request{op: opPing})
+	return err == nil
+}
+
+// Stats fetches the remote node's I/O counters. Transport failures yield
+// zero counters: callers treat an unreachable node like a silent one.
+func (n *RemoteNode) Stats() store.NodeStats {
+	payload, err := n.roundTrip(request{op: opStats})
+	if err != nil {
+		return store.NodeStats{}
+	}
+	stats, err := decodeStats(payload)
+	if err != nil {
+		return store.NodeStats{}
+	}
+	return stats
+}
+
+// ResetStats zeroes the remote node's I/O counters (best effort).
+func (n *RemoteNode) ResetStats() {
+	_, _ = n.roundTrip(request{op: opResetStats})
+}
+
+// Close tears down the client connection. Further operations re-dial.
+func (n *RemoteNode) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropLocked()
+}
+
+func (n *RemoteNode) roundTrip(req request) ([]byte, error) {
+	body, err := encodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.connectLocked(); err != nil {
+		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
+	}
+	deadline := time.Now().Add(n.timeout)
+	if err := n.conn.SetDeadline(deadline); err != nil {
+		_ = n.dropLocked()
+		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
+	}
+	respBody, err := n.exchangeLocked(body)
+	if err != nil {
+		_ = n.dropLocked()
+		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
+	}
+	status, payload, err := decodeResponse(respBody)
+	if err != nil {
+		_ = n.dropLocked()
+		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
+	}
+	if err := errorFor(status, payload, req.id); err != nil {
+		return nil, err
+	}
+	// Copy out of the frame buffer so callers own the result.
+	return append([]byte(nil), payload...), nil
+}
+
+func (n *RemoteNode) exchangeLocked(body []byte) ([]byte, error) {
+	if err := writeFrame(n.w, body); err != nil {
+		return nil, err
+	}
+	if err := n.w.Flush(); err != nil {
+		return nil, err
+	}
+	return readFrame(n.r)
+}
+
+func (n *RemoteNode) connectLocked() error {
+	if n.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", n.addr, n.timeout)
+	if err != nil {
+		return err
+	}
+	n.conn = conn
+	n.r = bufio.NewReader(conn)
+	n.w = bufio.NewWriter(conn)
+	return nil
+}
+
+func (n *RemoteNode) dropLocked() error {
+	if n.conn == nil {
+		return nil
+	}
+	err := n.conn.Close()
+	n.conn, n.r, n.w = nil, nil, nil
+	return err
+}

@@ -1,0 +1,174 @@
+// Package transport exposes storage nodes over TCP so SEC archives can run
+// against a real networked cluster: a Server serves any store.Node, and the
+// RemoteNode client implements store.Node over the wire.
+//
+// The protocol is a simple length-prefixed binary framing:
+//
+//	frame  := u32(length) body
+//	request body  := u8(op) u16(len(object)) object i32(row) payload
+//	response body := u8(status) payload
+//
+// All integers are big-endian. Get responses carry the shard bytes; Stats
+// responses carry five u64 counters; error responses carry a message.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// Operation codes.
+const (
+	opPut byte = iota + 1
+	opGet
+	opDelete
+	opPing
+	opStats
+	opResetStats
+)
+
+// Response status codes.
+const (
+	statusOK byte = iota
+	statusNotFound
+	statusNodeDown
+	statusError
+)
+
+// maxFrame bounds a frame body to keep a malformed peer from forcing huge
+// allocations.
+const maxFrame = 64 << 20
+
+// errFrameTooLarge is returned when a peer announces an oversized frame.
+var errFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+type request struct {
+	op      byte
+	id      store.ShardID
+	payload []byte
+}
+
+func encodeRequest(req request) ([]byte, error) {
+	obj := []byte(req.id.Object)
+	if len(obj) > 0xFFFF {
+		return nil, fmt.Errorf("transport: object name of %d bytes exceeds limit", len(obj))
+	}
+	body := make([]byte, 0, 1+2+len(obj)+4+len(req.payload))
+	body = append(body, req.op)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(obj)))
+	body = append(body, obj...)
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(req.id.Row)))
+	body = append(body, req.payload...)
+	return body, nil
+}
+
+func decodeRequest(body []byte) (request, error) {
+	if len(body) < 3 {
+		return request{}, fmt.Errorf("transport: request body of %d bytes too short", len(body))
+	}
+	op := body[0]
+	objLen := int(binary.BigEndian.Uint16(body[1:3]))
+	rest := body[3:]
+	if len(rest) < objLen+4 {
+		return request{}, fmt.Errorf("transport: request truncated: want %d object bytes + row", objLen)
+	}
+	obj := string(rest[:objLen])
+	row := int(int32(binary.BigEndian.Uint32(rest[objLen : objLen+4])))
+	payload := rest[objLen+4:]
+	return request{op: op, id: store.ShardID{Object: obj, Row: row}, payload: payload}, nil
+}
+
+func encodeResponse(status byte, payload []byte) []byte {
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, status)
+	return append(body, payload...)
+}
+
+func decodeResponse(body []byte) (status byte, payload []byte, err error) {
+	if len(body) < 1 {
+		return 0, nil, errors.New("transport: empty response body")
+	}
+	return body[0], body[1:], nil
+}
+
+func encodeStats(s store.NodeStats) []byte {
+	body := make([]byte, 0, 40)
+	for _, v := range []uint64{s.Reads, s.Writes, s.Deletes, s.BytesRead, s.BytesWritten} {
+		body = binary.BigEndian.AppendUint64(body, v)
+	}
+	return body
+}
+
+func decodeStats(body []byte) (store.NodeStats, error) {
+	if len(body) != 40 {
+		return store.NodeStats{}, fmt.Errorf("transport: stats payload of %d bytes, want 40", len(body))
+	}
+	return store.NodeStats{
+		Reads:        binary.BigEndian.Uint64(body[0:8]),
+		Writes:       binary.BigEndian.Uint64(body[8:16]),
+		Deletes:      binary.BigEndian.Uint64(body[16:24]),
+		BytesRead:    binary.BigEndian.Uint64(body[24:32]),
+		BytesWritten: binary.BigEndian.Uint64(body[32:40]),
+	}, nil
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return errFrameTooLarge
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, errFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// statusFor maps node errors onto wire status codes.
+func statusFor(err error) byte {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, store.ErrNotFound):
+		return statusNotFound
+	case errors.Is(err, store.ErrNodeDown):
+		return statusNodeDown
+	default:
+		return statusError
+	}
+}
+
+// errorFor maps wire status codes back onto node errors.
+func errorFor(status byte, payload []byte, id store.ShardID) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return fmt.Errorf("remote %v: %w", id, store.ErrNotFound)
+	case statusNodeDown:
+		return fmt.Errorf("remote %v: %w", id, store.ErrNodeDown)
+	default:
+		return fmt.Errorf("remote %v: %s", id, payload)
+	}
+}

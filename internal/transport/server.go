@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// Server serves a store.Node over TCP. The zero value is not usable; use
+// NewServer.
+type Server struct {
+	node   store.Node
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLogger directs server diagnostics to the given logger instead of
+// discarding them.
+func WithLogger(l *log.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
+}
+
+// NewServer returns a server exposing the given node.
+func NewServer(node store.Node, opts ...ServerOption) *Server {
+	s := &Server{node: node, conns: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving
+// in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return nil, errors.New("transport: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		body, err := readFrame(r)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		status, payload := s.handle(body)
+		if err := writeFrame(w, encodeResponse(status, payload)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(body []byte) (status byte, payload []byte) {
+	req, err := decodeRequest(body)
+	if err != nil {
+		return statusError, []byte(err.Error())
+	}
+	switch req.op {
+	case opPut:
+		err := s.node.Put(req.id, req.payload)
+		return s.report(err), errText(err)
+	case opGet:
+		data, err := s.node.Get(req.id)
+		if err != nil {
+			return s.report(err), errText(err)
+		}
+		return statusOK, data
+	case opDelete:
+		err := s.node.Delete(req.id)
+		return s.report(err), errText(err)
+	case opPing:
+		if !s.node.Available() {
+			return statusNodeDown, nil
+		}
+		return statusOK, nil
+	case opStats:
+		return statusOK, encodeStats(s.node.Stats())
+	case opResetStats:
+		s.node.ResetStats()
+		return statusOK, nil
+	default:
+		return statusError, []byte(fmt.Sprintf("transport: unknown op %d", req.op))
+	}
+}
+
+func (s *Server) report(err error) byte {
+	status := statusFor(err)
+	if status == statusError && s.logger != nil {
+		s.logger.Printf("transport: node error: %v", err)
+	}
+	return status
+}
+
+func errText(err error) []byte {
+	if err == nil {
+		return nil
+	}
+	return []byte(err.Error())
+}
+
+// Close stops accepting connections, closes active ones, and waits for the
+// handler goroutines to exit. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

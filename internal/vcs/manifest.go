@@ -1,0 +1,106 @@
+package vcs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// repoManifest is the serializable repository state: the template config,
+// the commit history, and each file's archive manifest plus its
+// revision-to-version map.
+type repoManifest struct {
+	Scheme    string                  `json:"scheme"`
+	Code      string                  `json:"code"`
+	N         int                     `json:"n"`
+	K         int                     `json:"k"`
+	BlockSize int                     `json:"block_size"`
+	Commits   []Commit                `json:"commits"`
+	Files     map[string]fileManifest `json:"files"`
+}
+
+type fileManifest struct {
+	Archive   core.Manifest `json:"archive"`
+	VersionAt []int         `json:"version_at"`
+}
+
+// Save writes the repository metadata as JSON. Shards stay on the cluster;
+// Save captures everything needed to reopen the repository against it.
+func (r *Repository) Save(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := repoManifest{
+		Scheme:    r.cfg.Scheme.String(),
+		Code:      r.cfg.Code.String(),
+		N:         r.cfg.N,
+		K:         r.cfg.K,
+		BlockSize: r.cfg.BlockSize,
+		Commits:   append([]Commit(nil), r.commits...),
+		Files:     make(map[string]fileManifest, len(r.files)),
+	}
+	for path, state := range r.files {
+		m.Files[path] = fileManifest{
+			Archive:   state.archive.Manifest(),
+			VersionAt: append([]int(nil), state.versionAt...),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("vcs: encoding repository manifest: %w", err)
+	}
+	return nil
+}
+
+// Load reopens a repository from its manifest against the cluster holding
+// its shards.
+func Load(reader io.Reader, cluster *store.Cluster) (*Repository, error) {
+	var m repoManifest
+	if err := json.NewDecoder(reader).Decode(&m); err != nil {
+		return nil, fmt.Errorf("vcs: decoding repository manifest: %w", err)
+	}
+	scheme, err := core.ParseScheme(m.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := erasure.ParseKind(m.Code)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := NewRepository(Config{
+		Scheme:    scheme,
+		Code:      kind,
+		N:         m.N,
+		K:         m.K,
+		BlockSize: m.BlockSize,
+	}, cluster)
+	if err != nil {
+		return nil, err
+	}
+	repo.commits = append([]Commit(nil), m.Commits...)
+	for i, c := range repo.commits {
+		if c.Revision != i+1 {
+			return nil, fmt.Errorf("vcs: manifest commit %d has revision %d", i, c.Revision)
+		}
+	}
+	for path, fm := range m.Files {
+		archive, err := core.Open(fm.Archive, cluster)
+		if err != nil {
+			return nil, fmt.Errorf("vcs: reopening archive for %q: %w", path, err)
+		}
+		if len(fm.VersionAt) != len(m.Commits) {
+			return nil, fmt.Errorf("vcs: file %q has %d revision entries for %d commits", path, len(fm.VersionAt), len(m.Commits))
+		}
+		for rev, version := range fm.VersionAt {
+			if version < 0 || version > archive.Versions() {
+				return nil, fmt.Errorf("vcs: file %q maps revision %d to invalid version %d", path, rev+1, version)
+			}
+		}
+		repo.files[path] = &fileState{archive: archive, versionAt: append([]int(nil), fm.VersionAt...)}
+	}
+	return repo, nil
+}

@@ -1,0 +1,247 @@
+// Package vcs implements a miniature delta-based version store in the
+// style of the paper's motivating applications (SVN, wiki revision
+// histories): a repository of named files whose revisions are SEC-encoded
+// archives on a shared storage cluster.
+//
+// Each tracked path owns one core.Archive; a repository revision maps every
+// path to a version within its archive. Commits supply the full new
+// contents of changed files (as an SVN working-copy commit does); the
+// archives store deltas per the configured scheme. Files are never removed
+// - like the paper's model, the store is an append-only versioned archive.
+package vcs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// Errors returned by repository operations.
+var (
+	// ErrNoSuchRevision is returned for revisions outside 1..Head().
+	ErrNoSuchRevision = errors.New("vcs: no such revision")
+	// ErrNoSuchFile is returned when a path is not tracked (at the
+	// requested revision).
+	ErrNoSuchFile = errors.New("vcs: no such file")
+)
+
+// Config parameterizes the per-file archives.
+type Config struct {
+	// Scheme, Code, N, K, BlockSize configure every file's archive; see
+	// core.Config.
+	Scheme    core.Scheme
+	Code      erasure.Kind
+	N, K      int
+	BlockSize int
+}
+
+// FileChange records one file's update within a commit.
+type FileChange struct {
+	// Path is the repository path.
+	Path string `json:"path"`
+	// Version is the file's new version number within its archive.
+	Version int `json:"version"`
+	// Gamma is the block sparsity of the delta against the previous
+	// version (0 for a file's first version).
+	Gamma int `json:"gamma"`
+	// StoredDelta reports whether the archive stored a delta (vs a full
+	// version).
+	StoredDelta bool `json:"stored_delta"`
+}
+
+// Commit is one repository revision.
+type Commit struct {
+	// Revision numbers commits from 1.
+	Revision int `json:"revision"`
+	// Message is the free-form commit message.
+	Message string `json:"message"`
+	// Changes lists the files updated in this revision, sorted by path.
+	Changes []FileChange `json:"changes"`
+}
+
+// fileState tracks one path's archive and its version at each repository
+// revision.
+type fileState struct {
+	archive *core.Archive
+	// versionAt[r] is the file's version at repository revision r+1, or
+	// 0 when the file did not exist yet.
+	versionAt []int
+}
+
+// Repository is a delta-based version store over a storage cluster. It is
+// safe for concurrent use.
+type Repository struct {
+	cfg     Config
+	cluster *store.Cluster
+
+	mu      sync.RWMutex
+	files   map[string]*fileState
+	commits []Commit
+}
+
+// NewRepository creates an empty repository storing its archives on the
+// cluster.
+func NewRepository(cfg Config, cluster *store.Cluster) (*Repository, error) {
+	if cluster == nil {
+		return nil, errors.New("vcs: nil cluster")
+	}
+	// Validate the template configuration early with a throwaway archive.
+	if _, err := core.New(archiveConfig(cfg, "vcs-probe"), cluster); err != nil {
+		return nil, err
+	}
+	return &Repository{cfg: cfg, cluster: cluster, files: make(map[string]*fileState)}, nil
+}
+
+func archiveConfig(cfg Config, name string) core.Config {
+	return core.Config{
+		Name:      name,
+		Scheme:    cfg.Scheme,
+		Code:      cfg.Code,
+		N:         cfg.N,
+		K:         cfg.K,
+		BlockSize: cfg.BlockSize,
+	}
+}
+
+// Head returns the latest revision number (0 for an empty repository).
+func (r *Repository) Head() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.commits)
+}
+
+// Files returns the tracked paths, sorted.
+func (r *Repository) Files() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	paths := make([]string, 0, len(r.files))
+	for p := range r.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Commit stores the given file contents as a new revision. Unchanged
+// tracked files carry over; paths whose content equals the stored latest
+// version still get a (zero-delta) version so the revision maps cleanly.
+// It fails without side effects on the revision history if any file cannot
+// be stored.
+func (r *Repository) Commit(message string, contents map[string][]byte) (Commit, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(contents) == 0 {
+		return Commit{}, errors.New("vcs: empty commit")
+	}
+	revision := len(r.commits) + 1
+	paths := make([]string, 0, len(contents))
+	for p := range contents {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	commit := Commit{Revision: revision, Message: message}
+	for _, path := range paths {
+		state, ok := r.files[path]
+		if !ok {
+			archive, err := core.New(archiveConfig(r.cfg, "vcs/"+path), r.cluster)
+			if err != nil {
+				return Commit{}, fmt.Errorf("vcs: creating archive for %q: %w", path, err)
+			}
+			state = &fileState{archive: archive, versionAt: make([]int, revision-1)}
+			r.files[path] = state
+		}
+		info, err := state.archive.Commit(contents[path])
+		if err != nil {
+			return Commit{}, fmt.Errorf("vcs: committing %q: %w", path, err)
+		}
+		commit.Changes = append(commit.Changes, FileChange{
+			Path:        path,
+			Version:     info.Version,
+			Gamma:       info.Gamma,
+			StoredDelta: info.StoredDelta,
+		})
+	}
+	// Extend every tracked file's revision map.
+	for path, state := range r.files {
+		version := 0
+		if len(state.versionAt) > 0 {
+			version = state.versionAt[len(state.versionAt)-1]
+		}
+		if _, changed := contents[path]; changed {
+			version = state.archive.Versions()
+		}
+		state.versionAt = append(state.versionAt, version)
+	}
+	r.commits = append(r.commits, commit)
+	return commit, nil
+}
+
+// Log returns the commit history, oldest first.
+func (r *Repository) Log() []Commit {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Commit, len(r.commits))
+	copy(out, r.commits)
+	return out
+}
+
+// CheckoutFile returns one file's contents at the given revision, with the
+// read accounting of the underlying archive retrieval.
+func (r *Repository) CheckoutFile(path string, revision int) ([]byte, core.RetrievalStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if revision < 1 || revision > len(r.commits) {
+		return nil, core.RetrievalStats{}, fmt.Errorf("%w: %d of %d", ErrNoSuchRevision, revision, len(r.commits))
+	}
+	state, ok := r.files[path]
+	if !ok {
+		return nil, core.RetrievalStats{}, fmt.Errorf("%w: %q", ErrNoSuchFile, path)
+	}
+	version := state.versionAt[revision-1]
+	if version == 0 {
+		return nil, core.RetrievalStats{}, fmt.Errorf("%w: %q at revision %d", ErrNoSuchFile, path, revision)
+	}
+	return state.archive.Retrieve(version)
+}
+
+// Checkout returns the full repository state at the given revision and the
+// aggregate read accounting.
+func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total core.RetrievalStats
+	if revision < 1 || revision > len(r.commits) {
+		return nil, total, fmt.Errorf("%w: %d of %d", ErrNoSuchRevision, revision, len(r.commits))
+	}
+	out := make(map[string][]byte)
+	for path, state := range r.files {
+		version := state.versionAt[revision-1]
+		if version == 0 {
+			continue // file not yet added at this revision
+		}
+		content, stats, err := state.archive.Retrieve(version)
+		if err != nil {
+			return nil, total, fmt.Errorf("vcs: checking out %q@%d: %w", path, revision, err)
+		}
+		total.Merge(stats)
+		out[path] = content
+	}
+	return out, total, nil
+}
+
+// FileArchive exposes the archive backing a path (for manifest export).
+func (r *Repository) FileArchive(path string) (*core.Archive, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	state, ok := r.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, path)
+	}
+	return state.archive, nil
+}

@@ -1,0 +1,283 @@
+package vcs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+func testRepo(t *testing.T) (*Repository, *store.Cluster) {
+	t.Helper()
+	cluster := store.NewMemCluster(0)
+	repo, err := NewRepository(Config{
+		Scheme:    core.BasicSEC,
+		Code:      erasure.NonSystematicCauchy,
+		N:         6,
+		K:         3,
+		BlockSize: 64,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, cluster
+}
+
+func TestNewRepositoryValidation(t *testing.T) {
+	if _, err := NewRepository(Config{}, store.NewMemCluster(0)); err == nil {
+		t.Error("zero config: want error")
+	}
+	if _, err := NewRepository(Config{Scheme: core.BasicSEC, Code: erasure.NonSystematicCauchy, N: 6, K: 3, BlockSize: 8}, nil); err == nil {
+		t.Error("nil cluster: want error")
+	}
+}
+
+func TestCommitCheckoutAcrossRevisions(t *testing.T) {
+	repo, _ := testRepo(t)
+	readme1 := []byte("hello world")
+	main1 := []byte("package main")
+	c1, err := repo.Commit("init", map[string][]byte{"README": readme1, "main.go": main1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Revision != 1 || len(c1.Changes) != 2 {
+		t.Fatalf("commit 1 = %+v", c1)
+	}
+
+	readme2 := []byte("hello there")
+	c2, err := repo.Commit("tweak readme", map[string][]byte{"README": readme2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Revision != 2 || len(c2.Changes) != 1 || !c2.Changes[0].StoredDelta {
+		t.Fatalf("commit 2 = %+v", c2)
+	}
+
+	lib1 := []byte("package lib")
+	if _, err := repo.Commit("add lib", map[string][]byte{"lib.go": lib1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Revision 1: original README, main.go, no lib.go.
+	state, _, err := repo.Checkout(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state["README"], readme1) || !bytes.Equal(state["main.go"], main1) {
+		t.Error("revision 1 state mismatch")
+	}
+	if _, ok := state["lib.go"]; ok {
+		t.Error("lib.go present at revision 1")
+	}
+
+	// Revision 2: updated README, main.go carried over.
+	state, _, err = repo.Checkout(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state["README"], readme2) || !bytes.Equal(state["main.go"], main1) {
+		t.Error("revision 2 state mismatch")
+	}
+
+	// Revision 3: everything.
+	state, _, err = repo.Checkout(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 3 || !bytes.Equal(state["lib.go"], lib1) {
+		t.Error("revision 3 state mismatch")
+	}
+
+	if repo.Head() != 3 {
+		t.Errorf("Head = %d, want 3", repo.Head())
+	}
+	if got := repo.Files(); len(got) != 3 || got[0] != "README" {
+		t.Errorf("Files = %v", got)
+	}
+}
+
+func TestCheckoutFile(t *testing.T) {
+	repo, _ := testRepo(t)
+	v1 := []byte("v1 content")
+	v2 := []byte("v2 content")
+	if _, err := repo.Commit("a", map[string][]byte{"f": v1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Commit("b", map[string][]byte{"f": v2}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := repo.CheckoutFile("f", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Error("f@1 mismatch")
+	}
+	got, stats, err := repo.CheckoutFile("f", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Error("f@2 mismatch")
+	}
+	if stats.NodeReads == 0 {
+		t.Error("no reads accounted")
+	}
+}
+
+func TestSmallEditsUseSparseReads(t *testing.T) {
+	repo, _ := testRepo(t)
+	content := bytes.Repeat([]byte{'x'}, 3*64) // full capacity
+	if _, err := repo.Commit("base", map[string][]byte{"doc": content}); err != nil {
+		t.Fatal(err)
+	}
+	edited := append([]byte(nil), content...)
+	edited[0] = 'y' // single-block edit
+	if _, err := repo.Commit("edit", map[string][]byte{"doc": edited}); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := repo.CheckoutFile("doc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SparseReads != 1 {
+		t.Errorf("sparse reads = %d, want 1", stats.SparseReads)
+	}
+	if stats.NodeReads != 3+2 {
+		t.Errorf("node reads = %d, want 5", stats.NodeReads)
+	}
+}
+
+func TestCommitErrors(t *testing.T) {
+	repo, _ := testRepo(t)
+	if _, err := repo.Commit("empty", nil); err == nil {
+		t.Error("empty commit: want error")
+	}
+	if _, err := repo.Commit("big", map[string][]byte{"f": make([]byte, 3*64+1)}); err == nil {
+		t.Error("over-capacity file: want error")
+	}
+	if repo.Head() != 0 {
+		t.Errorf("failed commits advanced head to %d", repo.Head())
+	}
+}
+
+func TestCheckoutErrors(t *testing.T) {
+	repo, _ := testRepo(t)
+	if _, _, err := repo.Checkout(1); !errors.Is(err, ErrNoSuchRevision) {
+		t.Errorf("err = %v, want ErrNoSuchRevision", err)
+	}
+	if _, err := repo.Commit("a", map[string][]byte{"f": []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repo.CheckoutFile("g", 1); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("err = %v, want ErrNoSuchFile", err)
+	}
+	if _, _, err := repo.CheckoutFile("f", 2); !errors.Is(err, ErrNoSuchRevision) {
+		t.Errorf("err = %v, want ErrNoSuchRevision", err)
+	}
+	if _, err := repo.Commit("b", map[string][]byte{"g": []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repo.CheckoutFile("g", 1); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("g@1: err = %v, want ErrNoSuchFile (added at r2)", err)
+	}
+}
+
+func TestZeroDeltaRecommit(t *testing.T) {
+	repo, _ := testRepo(t)
+	content := []byte("same")
+	if _, err := repo.Commit("a", map[string][]byte{"f": content}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := repo.Commit("b", map[string][]byte{"f": content})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Changes[0].Gamma != 0 {
+		t.Errorf("gamma = %d, want 0", c2.Changes[0].Gamma)
+	}
+	got, stats, err := repo.CheckoutFile("f", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("content mismatch")
+	}
+	if stats.NodeReads != 3 {
+		t.Errorf("reads = %d, want 3 (zero delta free)", stats.NodeReads)
+	}
+}
+
+func TestLogIsACopy(t *testing.T) {
+	repo, _ := testRepo(t)
+	if _, err := repo.Commit("a", map[string][]byte{"f": []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	log := repo.Log()
+	if len(log) != 1 || log[0].Message != "a" {
+		t.Fatalf("Log = %+v", log)
+	}
+	log[0].Message = "mutated"
+	if repo.Log()[0].Message != "a" {
+		t.Error("Log aliases internal state")
+	}
+}
+
+func TestFileArchive(t *testing.T) {
+	repo, _ := testRepo(t)
+	if _, err := repo.Commit("a", map[string][]byte{"f": []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := repo.FileArchive("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Versions() != 1 {
+		t.Errorf("archive versions = %d", a.Versions())
+	}
+	if _, err := repo.FileArchive("nope"); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("err = %v, want ErrNoSuchFile", err)
+	}
+}
+
+func TestRepositoryWithReversedScheme(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	repo, err := NewRepository(Config{
+		Scheme:    core.ReversedSEC,
+		Code:      erasure.SystematicCauchy,
+		N:         6,
+		K:         3,
+		BlockSize: 16,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bytes.Repeat([]byte{'a'}, 48)
+	edit1 := append([]byte(nil), base...)
+	edit1[0] = 'b'
+	edit2 := append([]byte(nil), edit1...)
+	edit2[47] = 'c'
+	for i, c := range [][]byte{base, edit1, edit2} {
+		if _, err := repo.Commit("r", map[string][]byte{"doc": c}); err != nil {
+			t.Fatalf("commit %d: %v", i+1, err)
+		}
+	}
+	// Latest is cheap under Reversed SEC.
+	_, stats, err := repo.CheckoutFile("doc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodeReads != 3 {
+		t.Errorf("latest reads = %d, want 3", stats.NodeReads)
+	}
+	got, _, err := repo.CheckoutFile("doc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, base) {
+		t.Error("doc@1 mismatch")
+	}
+}

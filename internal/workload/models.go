@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// wordAlphabet is the character pool for generated text.
+const wordAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// TextDocument models a wiki article or source file under revision: a
+// fixed-size text buffer whose edits are localized, producing the sparse
+// block deltas SEC exploits. (The paper's fixed-object model maps documents
+// onto fixed-size buffers with padding.)
+type TextDocument struct {
+	text []byte
+}
+
+// NewTextDocument generates a size-byte document of random words.
+func NewTextDocument(rng *rand.Rand, size int) (*TextDocument, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("workload: document size %d must be positive", size)
+	}
+	d := &TextDocument{text: make([]byte, size)}
+	fillWords(rng, d.text)
+	return d, nil
+}
+
+// Bytes returns a copy of the document contents.
+func (d *TextDocument) Bytes() []byte {
+	return append([]byte(nil), d.text...)
+}
+
+// Len returns the document size.
+func (d *TextDocument) Len() int { return len(d.text) }
+
+// Revise rewrites one contiguous span of spanLen bytes at a random
+// position, modelling a localized edit (fixing a paragraph, changing a
+// function). Spans are clamped to the document. It returns the byte range
+// touched.
+func (d *TextDocument) Revise(rng *rand.Rand, spanLen int) (start, end int, err error) {
+	if spanLen <= 0 {
+		return 0, 0, fmt.Errorf("workload: span length %d must be positive", spanLen)
+	}
+	if spanLen > len(d.text) {
+		spanLen = len(d.text)
+	}
+	start = rng.Intn(len(d.text) - spanLen + 1)
+	end = start + spanLen
+	fillWords(rng, d.text[start:end])
+	return start, end, nil
+}
+
+func fillWords(rng *rand.Rand, buf []byte) {
+	for i := range buf {
+		if rng.Intn(6) == 0 {
+			buf[i] = ' '
+			continue
+		}
+		buf[i] = wordAlphabet[rng.Intn(len(wordAlphabet))]
+	}
+}
+
+// BackupImage models the incremental-backup application: a disk image made
+// of fixed-size files, a few of which change between backups. Hot files are
+// re-modified preferentially (Zipf), giving realistic skew.
+type BackupImage struct {
+	data     []byte
+	fileSize int
+	zipf     *rand.Zipf
+}
+
+// NewBackupImage creates an image of files*fileSize random bytes.
+func NewBackupImage(rng *rand.Rand, files, fileSize int) (*BackupImage, error) {
+	if files <= 0 || fileSize <= 0 {
+		return nil, fmt.Errorf("workload: need positive files and fileSize, got %d x %d", files, fileSize)
+	}
+	img := &BackupImage{
+		data:     make([]byte, files*fileSize),
+		fileSize: fileSize,
+		zipf:     rand.NewZipf(rng, 1.3, 1, uint64(files-1)),
+	}
+	rng.Read(img.data)
+	return img, nil
+}
+
+// Bytes returns a copy of the image contents.
+func (b *BackupImage) Bytes() []byte {
+	return append([]byte(nil), b.data...)
+}
+
+// Files returns the number of files in the image.
+func (b *BackupImage) Files() int { return len(b.data) / b.fileSize }
+
+// Churn modifies `count` files (Zipf-skewed toward hot files) by rewriting
+// a random chunk inside each; it returns the indices of the modified files.
+func (b *BackupImage) Churn(rng *rand.Rand, count int) ([]int, error) {
+	if count < 0 || count > b.Files() {
+		return nil, fmt.Errorf("workload: cannot churn %d of %d files", count, b.Files())
+	}
+	touched := make(map[int]bool, count)
+	files := make([]int, 0, count)
+	for len(files) < count {
+		f := int(b.zipf.Uint64())
+		if touched[f] {
+			continue
+		}
+		touched[f] = true
+		files = append(files, f)
+		lo := f * b.fileSize
+		chunk := 1 + rng.Intn(b.fileSize)
+		off := rng.Intn(b.fileSize - chunk + 1)
+		// Overwrite with fresh bytes and force at least one change so
+		// the file's blocks really differ.
+		region := b.data[lo+off : lo+off+chunk]
+		rng.Read(region)
+		region[0] ^= 0x80 | byte(1+rng.Intn(127))
+	}
+	return files, nil
+}

@@ -1,0 +1,128 @@
+// Package workload generates versioned-object workloads for SEC
+// experiments and examples: PMF-driven sparsity sampling (the paper's
+// randomized evaluation methodology), exact-sparsity block edits, and two
+// realistic edit models for the applications the paper's introduction
+// motivates - wiki/SVN-style text revisions and incremental backup churn.
+//
+// All generators are driven by an explicit *rand.Rand so every experiment
+// is reproducible from its seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sampler draws sparsity levels gamma in {1..k} from a PMF, e.g. the
+// truncated exponential/Poisson families of the paper's Section V-B.
+type Sampler struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewSampler validates the PMF (non-negative, sums to 1) and returns a
+// sampler over it.
+func NewSampler(pmf []float64, rng *rand.Rand) (*Sampler, error) {
+	if len(pmf) == 0 {
+		return nil, fmt.Errorf("workload: empty PMF")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	cdf := make([]float64, len(pmf))
+	sum := 0.0
+	for i, v := range pmf {
+		if v < 0 {
+			return nil, fmt.Errorf("workload: negative PMF mass %v at gamma=%d", v, i+1)
+		}
+		sum += v
+		cdf[i] = sum
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("workload: PMF sums to %v, want 1", sum)
+	}
+	cdf[len(cdf)-1] = 1 // absorb rounding
+	return &Sampler{cdf: cdf, rng: rng}, nil
+}
+
+// Sample draws gamma in {1..len(pmf)}.
+func (s *Sampler) Sample() int {
+	u := s.rng.Float64()
+	for i, c := range s.cdf {
+		if u < c {
+			return i + 1
+		}
+	}
+	return len(s.cdf)
+}
+
+// SparseEdit returns a copy of object with exactly gamma modified blocks
+// (of blockSize bytes each), so the delta against object is gamma-sparse.
+// Only blocks overlapping the object's length can be edited; gamma must not
+// exceed ceil(len(object)/blockSize).
+func SparseEdit(rng *rand.Rand, object []byte, blockSize, gamma int) ([]byte, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("workload: block size %d must be positive", blockSize)
+	}
+	editable := (len(object) + blockSize - 1) / blockSize
+	if gamma < 0 || gamma > editable {
+		return nil, fmt.Errorf("workload: cannot edit %d of %d editable blocks", gamma, editable)
+	}
+	out := append([]byte(nil), object...)
+	for _, block := range rng.Perm(editable)[:gamma] {
+		lo := block * blockSize
+		hi := min(lo+blockSize, len(object))
+		// Corrupt 1..4 bytes inside the block; the first flip uses a
+		// non-zero mask so the block is guaranteed to change.
+		edits := 1 + rng.Intn(4)
+		for e := 0; e < edits; e++ {
+			pos := lo + rng.Intn(hi-lo)
+			mask := byte(1 + rng.Intn(255))
+			if e > 0 {
+				mask = byte(rng.Intn(256))
+			}
+			out[pos] ^= mask
+		}
+	}
+	return out, nil
+}
+
+// Chain is a generated sequence of versions of one object.
+type Chain struct {
+	// Versions holds x_1..x_L.
+	Versions [][]byte
+	// Gammas holds the block sparsity of each delta: Gammas[j] is
+	// gamma_{j+2}, the sparsity of Versions[j+1] vs Versions[j].
+	Gammas []int
+}
+
+// GenerateChain builds an L-version chain of k*blockSize-byte objects whose
+// delta sparsity levels are drawn from sample (values are capped at k).
+func GenerateChain(rng *rand.Rand, k, blockSize, l int, sample func() int) (Chain, error) {
+	if l < 1 {
+		return Chain{}, fmt.Errorf("workload: chain length %d must be positive", l)
+	}
+	if k < 1 || blockSize < 1 {
+		return Chain{}, fmt.Errorf("workload: invalid blocking %dx%d", k, blockSize)
+	}
+	first := make([]byte, k*blockSize)
+	rng.Read(first)
+	chain := Chain{Versions: [][]byte{first}}
+	for j := 1; j < l; j++ {
+		gamma := sample()
+		if gamma > k {
+			gamma = k
+		}
+		if gamma < 0 {
+			gamma = 0
+		}
+		next, err := SparseEdit(rng, chain.Versions[j-1], blockSize, gamma)
+		if err != nil {
+			return Chain{}, err
+		}
+		chain.Versions = append(chain.Versions, next)
+		chain.Gammas = append(chain.Gammas, gamma)
+	}
+	return chain, nil
+}

@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/secarchive/sec/internal/analysis"
+	"github.com/secarchive/sec/internal/delta"
+)
+
+// blockSparsity measures the block-level sparsity of next vs prev.
+func blockSparsity(t *testing.T, prev, next []byte, k, blockSize int) int {
+	t.Helper()
+	b, err := delta.NewBlocking(k, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Split(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Split(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := delta.Compute(pb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return delta.Sparsity(d)
+}
+
+func TestSamplerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name string
+		pmf  []float64
+		rng  *rand.Rand
+	}{
+		{"empty", nil, rng},
+		{"negative mass", []float64{1.5, -0.5}, rng},
+		{"not normalized", []float64{0.3, 0.3}, rng},
+		{"nil rng", []float64{1}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSampler(tt.pmf, tt.rng); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestSamplerMatchesPMF(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pmf, err := analysis.TruncatedExponential(1.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(pmf, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		g := s.Sample()
+		if g < 1 || g > 3 {
+			t.Fatalf("sample %d out of support", g)
+		}
+		counts[g-1]++
+	}
+	for g := 0; g < 3; g++ {
+		got := float64(counts[g]) / trials
+		if math.Abs(got-pmf[g]) > 0.01 {
+			t.Errorf("P(%d): empirical %v vs PMF %v", g+1, got, pmf[g])
+		}
+	}
+}
+
+func TestSparseEditExactSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	const k, blockSize = 10, 16
+	object := make([]byte, k*blockSize)
+	rng.Read(object)
+	for gamma := 0; gamma <= k; gamma++ {
+		edited, err := SparseEdit(rng, object, blockSize, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := blockSparsity(t, object, edited, k, blockSize); got != gamma {
+			t.Errorf("gamma=%d: measured sparsity %d", gamma, got)
+		}
+		if len(edited) != len(object) {
+			t.Errorf("gamma=%d: length changed", gamma)
+		}
+	}
+}
+
+func TestSparseEditDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	object := bytes.Repeat([]byte{7}, 64)
+	orig := append([]byte(nil), object...)
+	if _, err := SparseEdit(rng, object, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(object, orig) {
+		t.Error("SparseEdit mutated its input")
+	}
+}
+
+func TestSparseEditShortObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	// 10 bytes over 4-byte blocks: 3 editable blocks (last is partial).
+	object := make([]byte, 10)
+	edited, err := SparseEdit(rng, object, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(edited, object) {
+		t.Error("no change applied")
+	}
+	if _, err := SparseEdit(rng, object, 4, 4); err == nil {
+		t.Error("gamma beyond editable blocks: want error")
+	}
+}
+
+func TestSparseEditValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	if _, err := SparseEdit(rng, make([]byte, 8), 0, 1); err == nil {
+		t.Error("zero block size: want error")
+	}
+	if _, err := SparseEdit(rng, make([]byte, 8), 4, -1); err == nil {
+		t.Error("negative gamma: want error")
+	}
+}
+
+func TestGenerateChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	want := []int{1, 3, 2, 1}
+	i := 0
+	sample := func() int { g := want[i]; i++; return g }
+	chain, err := GenerateChain(rng, 5, 8, 5, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain.Versions) != 5 || len(chain.Gammas) != 4 {
+		t.Fatalf("chain shape: %d versions, %d gammas", len(chain.Versions), len(chain.Gammas))
+	}
+	for j, gamma := range chain.Gammas {
+		if gamma != want[j] {
+			t.Errorf("gamma[%d] = %d, want %d", j, gamma, want[j])
+		}
+		if got := blockSparsity(t, chain.Versions[j], chain.Versions[j+1], 5, 8); got != gamma {
+			t.Errorf("delta %d: measured sparsity %d, want %d", j, got, gamma)
+		}
+	}
+}
+
+func TestGenerateChainCapsGamma(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	chain, err := GenerateChain(rng, 3, 4, 2, func() int { return 99 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Gammas[0] != 3 {
+		t.Errorf("gamma = %d, want capped at k=3", chain.Gammas[0])
+	}
+}
+
+func TestGenerateChainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	if _, err := GenerateChain(rng, 3, 4, 0, func() int { return 1 }); err == nil {
+		t.Error("l=0: want error")
+	}
+	if _, err := GenerateChain(rng, 0, 4, 2, func() int { return 1 }); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestTextDocumentRevisionsAreLocalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	doc, err := NewTextDocument(rng, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := doc.Bytes()
+	start, end, err := doc.Revise(rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := doc.Bytes()
+	if len(after) != 4096 {
+		t.Fatal("revision changed document size")
+	}
+	if bytes.Equal(before, after) {
+		t.Skip("revision produced identical text (astronomically unlikely)")
+	}
+	for i := range before {
+		if before[i] != after[i] && (i < start || i >= end) {
+			t.Fatalf("change outside revised span at %d (span [%d,%d))", i, start, end)
+		}
+	}
+	// A 256-byte span over 256-byte blocks touches at most 2 blocks.
+	if got := blockSparsity(t, before, after, 16, 256); got > 2 {
+		t.Errorf("localized edit produced sparsity %d > 2", got)
+	}
+}
+
+func TestTextDocumentValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	if _, err := NewTextDocument(rng, 0); err == nil {
+		t.Error("size=0: want error")
+	}
+	doc, err := NewTextDocument(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := doc.Revise(rng, 0); err == nil {
+		t.Error("span=0: want error")
+	}
+	// Oversized spans are clamped, not rejected.
+	if _, _, err := doc.Revise(rng, 100); err != nil {
+		t.Errorf("oversized span: %v", err)
+	}
+}
+
+func TestBackupImageChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	img, err := NewBackupImage(rng, 32, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Files() != 32 {
+		t.Fatalf("Files = %d", img.Files())
+	}
+	before := img.Bytes()
+	files, err := img.Churn(rng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("churned %d files, want 3", len(files))
+	}
+	after := img.Bytes()
+	// Every churned file changed; every untouched file is identical.
+	changed := make(map[int]bool)
+	for f := 0; f < 32; f++ {
+		if !bytes.Equal(before[f*128:(f+1)*128], after[f*128:(f+1)*128]) {
+			changed[f] = true
+		}
+	}
+	if len(changed) != 3 {
+		t.Errorf("%d files changed, want 3", len(changed))
+	}
+	for _, f := range files {
+		if !changed[f] {
+			t.Errorf("file %d reported churned but unchanged", f)
+		}
+	}
+	// With 128-byte blocks aligned to files, sparsity equals file count.
+	if got := blockSparsity(t, before, after, 32, 128); got != 3 {
+		t.Errorf("churn sparsity = %d, want 3", got)
+	}
+}
+
+func TestBackupImageValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	if _, err := NewBackupImage(rng, 0, 8); err == nil {
+		t.Error("files=0: want error")
+	}
+	img, err := NewBackupImage(rng, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Churn(rng, 5); err == nil {
+		t.Error("churn beyond file count: want error")
+	}
+	if files, err := img.Churn(rng, 0); err != nil || len(files) != 0 {
+		t.Errorf("churn 0: %v %v", files, err)
+	}
+}
+
+func TestBackupImageZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	img, err := NewBackupImage(rng, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := make([]int, 64)
+	for round := 0; round < 400; round++ {
+		files, err := img.Churn(rng, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			hits[f]++
+		}
+	}
+	// Zipf: low-index files must be much hotter than the tail.
+	head := hits[0] + hits[1] + hits[2]
+	tail := hits[61] + hits[62] + hits[63]
+	if head <= tail*3 {
+		t.Errorf("no Zipf skew: head=%d tail=%d", head, tail)
+	}
+}

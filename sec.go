@@ -1,0 +1,223 @@
+// Package sec is the public API of the SEC (Sparsity Exploiting Coding)
+// library: erasure-coded storage of versioned data that encodes the deltas
+// between versions and exploits their sparsity to retrieve archives with
+// fewer I/O reads, as proposed in "Sparsity Exploiting Erasure Coding for
+// Resilient Storage and Efficient I/O Access in Delta based Versioning
+// Systems" (Harshan, Oggier, Datta; ICDCS 2015).
+//
+// # Quick start
+//
+//	cluster := sec.NewMemCluster(6)
+//	archive, err := sec.NewArchive(sec.ArchiveConfig{
+//		Scheme:    sec.BasicSEC,
+//		Code:      sec.NonSystematicCauchy,
+//		N:         6,
+//		K:         3,
+//		BlockSize: 1024,
+//	}, cluster)
+//	// commit versions ...
+//	info, err := archive.Commit(objectBytes)
+//	// ... and read them back with exact I/O accounting:
+//	object, stats, err := archive.Retrieve(2)
+//
+// Versions whose delta against the previous version is gamma-sparse
+// (gamma < k/2 non-zero blocks) are retrieved from only 2*gamma coded
+// shards instead of k. See DESIGN.md for the architecture and the mapping
+// from the paper's evaluation to the experiments package.
+package sec
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+	"github.com/secarchive/sec/internal/vcs"
+	"github.com/secarchive/sec/internal/workload"
+)
+
+// Core archive types.
+type (
+	// Archive is a SEC-encoded chain of versions of one object.
+	Archive = core.Archive
+	// ArchiveConfig configures an Archive.
+	ArchiveConfig = core.Config
+	// Scheme selects what is stored per version (deltas vs full copies).
+	Scheme = core.Scheme
+	// CommitInfo reports what a commit stored.
+	CommitInfo = core.CommitInfo
+	// RetrievalStats accounts the node reads of a retrieval.
+	RetrievalStats = core.RetrievalStats
+	// ObjectRead details the reads spent on one stored object.
+	ObjectRead = core.ObjectRead
+	// Manifest is the serializable archive description.
+	Manifest = core.Manifest
+)
+
+// Storage schemes (Section III of the paper).
+const (
+	// BasicSEC stores the first version in full and every subsequent
+	// version as a delta.
+	BasicSEC = core.BasicSEC
+	// OptimizedSEC stores dense versions (gamma >= k/2) in full.
+	OptimizedSEC = core.OptimizedSEC
+	// ReversedSEC keeps the latest version in full so recent reads are
+	// cheap.
+	ReversedSEC = core.ReversedSEC
+	// NonDifferential stores every version in full (the baseline).
+	NonDifferential = core.NonDifferential
+)
+
+// CodeKind selects the erasure-code construction.
+type CodeKind = erasure.Kind
+
+// CodeField selects the coding symbol width.
+type CodeField = core.Field
+
+// Coding fields.
+const (
+	// GF8 codes over GF(2^8): all constructions, n+k <= 256 (default).
+	GF8 = core.GF8
+	// GF16 codes over GF(2^16): non-systematic Cauchy with n+k up to
+	// 65536, for very wide archives.
+	GF16 = core.GF16
+)
+
+// Erasure code constructions.
+const (
+	// NonSystematicCauchy is the paper's G_N: any 2*gamma shards
+	// sparse-decode a gamma-sparse delta.
+	NonSystematicCauchy = erasure.NonSystematicCauchy
+	// SystematicCauchy is the paper's G_S = [I; B]: data shards are
+	// stored verbatim; sparse reads use parity shards.
+	SystematicCauchy = erasure.SystematicCauchy
+	// NonSystematicVandermonde enables fast Berlekamp-Massey sparse
+	// decoding on consecutive shard windows.
+	NonSystematicVandermonde = erasure.NonSystematicVandermonde
+	// SystematicVandermonde combines verbatim data shards with
+	// syndrome-decodable parity windows.
+	SystematicVandermonde = erasure.SystematicVandermonde
+)
+
+// Storage substrate types.
+type (
+	// Cluster is an ordered set of storage nodes.
+	Cluster = store.Cluster
+	// StorageNode is one storage device holding coded shards.
+	StorageNode = store.Node
+	// NodeStats is an I/O counter snapshot.
+	NodeStats = store.NodeStats
+	// ShardID identifies one coded shard on a node.
+	ShardID = store.ShardID
+	// Placement maps shards of stored objects to cluster nodes.
+	Placement = store.Placement
+	// ColocatedPlacement stores all versions' shards on one node group
+	// (the paper's optimal choice).
+	ColocatedPlacement = store.ColocatedPlacement
+	// DispersedPlacement gives every stored object its own node group.
+	DispersedPlacement = store.DispersedPlacement
+	// MemNode is an in-memory node with failure injection.
+	MemNode = store.MemNode
+)
+
+// Sentinel errors re-exported from the storage and archive layers.
+var (
+	// ErrNodeDown reports an operation against a failed node.
+	ErrNodeDown = store.ErrNodeDown
+	// ErrShardNotFound reports a missing shard.
+	ErrShardNotFound = store.ErrNotFound
+	// ErrNoSuchVersion reports a version number outside 1..L.
+	ErrNoSuchVersion = core.ErrNoSuchVersion
+	// ErrUnavailable reports that too few live shards remain.
+	ErrUnavailable = core.ErrUnavailable
+)
+
+// NewArchive creates an empty archive on the cluster.
+func NewArchive(cfg ArchiveConfig, cluster *Cluster) (*Archive, error) {
+	return core.New(cfg, cluster)
+}
+
+// OpenArchive reconstructs an archive from its manifest.
+func OpenArchive(m Manifest, cluster *Cluster) (*Archive, error) {
+	return core.Open(m, cluster)
+}
+
+// NewMemCluster returns a growable cluster of in-memory nodes, the
+// simulation substrate used throughout the paper's evaluation.
+func NewMemCluster(size int) *Cluster { return store.NewMemCluster(size) }
+
+// NewCluster returns a fixed cluster over the given nodes (e.g. remote TCP
+// nodes).
+func NewCluster(nodes []StorageNode) *Cluster { return store.NewCluster(nodes) }
+
+// NewMemNode returns an in-memory storage node.
+func NewMemNode(id string) *MemNode { return store.NewMemNode(id) }
+
+// Transport: serving nodes over TCP and connecting to them.
+type (
+	// NodeServer serves a storage node over TCP.
+	NodeServer = transport.Server
+	// RemoteNode is a StorageNode client backed by a NodeServer.
+	RemoteNode = transport.RemoteNode
+)
+
+// NewNodeServer returns a TCP server exposing the given node; call Listen
+// to bind it.
+func NewNodeServer(node StorageNode, opts ...transport.ServerOption) *NodeServer {
+	return transport.NewServer(node, opts...)
+}
+
+// DialNode returns a client for the node server at addr. The connection is
+// established lazily.
+func DialNode(id, addr string, opts ...transport.ClientOption) *RemoteNode {
+	return transport.NewRemoteNode(id, addr, opts...)
+}
+
+// WithNodeTimeout sets a remote node's per-operation deadline.
+func WithNodeTimeout(d time.Duration) transport.ClientOption {
+	return transport.WithTimeout(d)
+}
+
+// Version-store layer (the paper's SVN/wiki motivating applications).
+type (
+	// Repository is a miniature delta-based version store over SEC
+	// archives.
+	Repository = vcs.Repository
+	// RepositoryConfig parameterizes the per-file archives.
+	RepositoryConfig = vcs.Config
+	// RepoCommit is one repository revision.
+	RepoCommit = vcs.Commit
+)
+
+// NewRepository creates an empty version store on the cluster.
+func NewRepository(cfg RepositoryConfig, cluster *Cluster) (*Repository, error) {
+	return vcs.NewRepository(cfg, cluster)
+}
+
+// Workload generators for examples and experiments.
+type (
+	// TextDocument models a wiki article or source file under localized
+	// revision.
+	TextDocument = workload.TextDocument
+	// BackupImage models an incremental-backup disk image with Zipf-hot
+	// file churn.
+	BackupImage = workload.BackupImage
+)
+
+// NewTextDocument generates a random size-byte document.
+func NewTextDocument(rng *rand.Rand, size int) (*TextDocument, error) {
+	return workload.NewTextDocument(rng, size)
+}
+
+// NewBackupImage creates an image of files*fileSize random bytes.
+func NewBackupImage(rng *rand.Rand, files, fileSize int) (*BackupImage, error) {
+	return workload.NewBackupImage(rng, files, fileSize)
+}
+
+// SparseEdit returns a copy of object with exactly gamma modified blocks,
+// handy for constructing versions with known delta sparsity.
+func SparseEdit(rng *rand.Rand, object []byte, blockSize, gamma int) ([]byte, error) {
+	return workload.SparseEdit(rng, object, blockSize, gamma)
+}
