@@ -67,6 +67,143 @@ func BenchmarkGFMulAddSlice(b *testing.B) {
 	}
 }
 
+// --- old-vs-new kernel benches (see DESIGN.md section 2) ---
+//
+// Each benchmark reports allocations and runs once with the scalar
+// reference kernels and once with the vectorized kernels, at 4 KiB, 64 KiB
+// and 1 MiB blocks. The Into variants use pooled shard buffers and must
+// stay at 0 allocs/op in steady state.
+
+var kernelBenchSizes = []int{4 << 10, 64 << 10, 1 << 20}
+
+func kernelBenchName(blockSize int, fast bool) string {
+	kernel := "scalar"
+	if fast {
+		kernel = "fast"
+	}
+	if blockSize >= 1<<20 {
+		return fmt.Sprintf("%dMiB/%s", blockSize>>20, kernel)
+	}
+	return fmt.Sprintf("%dKiB/%s", blockSize>>10, kernel)
+}
+
+func benchCodingKernels(b *testing.B, run func(b *testing.B, blockSize int)) {
+	b.Helper()
+	for _, blockSize := range kernelBenchSizes {
+		for _, fast := range []bool{false, true} {
+			b.Run(kernelBenchName(blockSize, fast), func(b *testing.B) {
+				prev := gf.SetFastKernels(fast)
+				defer gf.SetFastKernels(prev)
+				run(b, blockSize)
+			})
+		}
+	}
+}
+
+func benchBlocks(k, blockSize int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	blocks := make([][]byte, k)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockSize)
+		rng.Read(blocks[i])
+	}
+	return blocks
+}
+
+func BenchmarkEncodeKernels(b *testing.B) {
+	benchCodingKernels(b, func(b *testing.B, blockSize int) {
+		code, err := erasure.New(erasure.NonSystematicCauchy, 20, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks := benchBlocks(10, blockSize, 21)
+		b.SetBytes(int64(10 * blockSize))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := code.Encode(blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEncodeInto(b *testing.B) {
+	benchCodingKernels(b, func(b *testing.B, blockSize int) {
+		code, err := erasure.New(erasure.NonSystematicCauchy, 20, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks := benchBlocks(10, blockSize, 22)
+		shards := erasure.GetBuffers(20, blockSize)
+		defer shards.Release()
+		b.SetBytes(int64(10 * blockSize))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := code.EncodeInto(blocks, shards.Blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDecodeFullKernels(b *testing.B) {
+	benchCodingKernels(b, func(b *testing.B, blockSize int) {
+		code, err := erasure.New(erasure.NonSystematicCauchy, 20, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks := benchBlocks(10, blockSize, 23)
+		shards, err := code.Encode(blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+		sub := make([][]byte, len(rows))
+		for i, r := range rows {
+			sub[i] = shards[r]
+		}
+		b.SetBytes(int64(10 * blockSize))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := code.DecodeFull(rows, sub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDecodeFullInto(b *testing.B) {
+	benchCodingKernels(b, func(b *testing.B, blockSize int) {
+		code, err := erasure.New(erasure.NonSystematicCauchy, 20, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks := benchBlocks(10, blockSize, 24)
+		shards, err := code.Encode(blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+		sub := make([][]byte, len(rows))
+		for i, r := range rows {
+			sub[i] = shards[r]
+		}
+		dst := erasure.GetBuffers(10, blockSize)
+		defer dst.Release()
+		b.SetBytes(int64(10 * blockSize))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := code.DecodeFullInto(rows, sub, dst.Blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func benchEncode(b *testing.B, kind erasure.Kind, n, k, blockSize int) {
 	b.Helper()
 	code, err := erasure.New(kind, n, k)

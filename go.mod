@@ -1,0 +1,3 @@
+module github.com/secarchive/sec
+
+go 1.24

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/secarchive/sec/internal/delta"
+	"github.com/secarchive/sec/internal/erasure"
 	"github.com/secarchive/sec/internal/store"
 )
 
@@ -33,13 +34,18 @@ type entry struct {
 // codec is the erasure-code surface the archive needs; both the GF(2^8)
 // backend (erasure.Code, all four constructions) and the GF(2^16) wide
 // backend (wide.Code, non-systematic Cauchy with n+k > 256) satisfy it.
+// The Into variants encode/decode into caller-provided buffers; the archive
+// hot paths pair them with the erasure package's buffer pool so steady-state
+// commits, repairs, and scrubs do not allocate shard buffers.
 type codec interface {
 	N() int
 	K() int
 	Systematic() bool
 	MaxSparseGamma() int
 	Encode(blocks [][]byte) ([][]byte, error)
+	EncodeInto(blocks, dst [][]byte) error
 	DecodeFull(rows []int, shards [][]byte) ([][]byte, error)
+	DecodeFullInto(rows []int, shards, dst [][]byte) error
 	DecodeSparse(rows []int, shards [][]byte, gamma int) ([][]byte, error)
 	SparseReadRows(live []int, gamma int) []int
 }
@@ -683,12 +689,15 @@ func (a *Archive) liveRows(code codec, version int) []int {
 }
 
 // writeObject encodes blocks with the given code and stores every shard.
+// Shard buffers are pooled: the encode allocates nothing in steady state
+// (cluster nodes copy shard contents on Put).
 func (a *Archive) writeObject(code codec, id string, version int, blocks [][]byte, writes *int) error {
-	shards, err := code.Encode(blocks)
-	if err != nil {
+	bufs := erasure.GetBuffers(code.N(), blockLenOf(blocks))
+	defer bufs.Release()
+	if err := code.EncodeInto(blocks, bufs.Blocks); err != nil {
 		return err
 	}
-	for row, shard := range shards {
+	for row, shard := range bufs.Blocks {
 		node := a.cfg.Placement.NodeFor(version-1, row)
 		if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, shard); err != nil {
 			return fmt.Errorf("core: writing %s#%d to node %d: %w", id, row, node, err)
@@ -754,6 +763,15 @@ func preferSystematic(rows []int, k int) []int {
 		}
 	}
 	return ordered
+}
+
+// blockLenOf returns the uniform block length of a non-empty block vector
+// (codecs validate uniformity; k is always positive).
+func blockLenOf(blocks [][]byte) int {
+	if len(blocks) == 0 {
+		return 0
+	}
+	return len(blocks[0])
 }
 
 func fullID(name string, version int) string {

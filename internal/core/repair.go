@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/secarchive/sec/internal/erasure"
 	"github.com/secarchive/sec/internal/store"
 )
 
@@ -78,7 +79,9 @@ func (a *Archive) repairObject(code codec, id string, version, node int, report 
 }
 
 // rebuildShard reconstructs one missing shard from k surviving shards on
-// other nodes.
+// other nodes. The decoded blocks and re-encoded codeword are transient, so
+// both live in pooled buffers; steady-state repair does not allocate shard
+// buffers.
 func (a *Archive) rebuildShard(code codec, id string, version, node, row int, report *RepairReport) error {
 	live := make([]int, 0, code.N())
 	for r := 0; r < code.N(); r++ {
@@ -98,15 +101,17 @@ func (a *Archive) rebuildShard(code codec, id string, version, node, row int, re
 		return fmt.Errorf("core: rebuilding %s#%d: %w", id, row, err)
 	}
 	report.NodeReads += len(rows)
-	blocks, err := code.DecodeFull(rows, shards)
-	if err != nil {
+	blocks := erasure.GetBuffers(code.K(), blockLenOf(shards))
+	defer blocks.Release()
+	if err := code.DecodeFullInto(rows, shards, blocks.Blocks); err != nil {
 		return err
 	}
-	encoded, err := code.Encode(blocks)
-	if err != nil {
+	encoded := erasure.GetBuffers(code.N(), blockLenOf(shards))
+	defer encoded.Release()
+	if err := code.EncodeInto(blocks.Blocks, encoded.Blocks); err != nil {
 		return err
 	}
-	if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, encoded[row]); err != nil {
+	if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, encoded.Blocks[row]); err != nil {
 		return fmt.Errorf("core: writing rebuilt %s#%d to node %d: %w", id, row, node, err)
 	}
 	report.ShardsRepaired++

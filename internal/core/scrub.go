@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/secarchive/sec/internal/erasure"
 	"github.com/secarchive/sec/internal/store"
 )
 
@@ -125,30 +126,41 @@ func (a *Archive) referenceCodeword(code codec, present map[int][]byte) ([][]byt
 	// Candidate decodes: sliding windows of k rows. With c corrupt
 	// shards, some window avoids them all as long as c <= len(rows)-k;
 	// each candidate is validated against all present shards, requiring
-	// agreement from at least k besides consistency.
+	// agreement from at least k besides consistency. Candidate decodes are
+	// transient, so they run in pooled buffers; only the accepted
+	// reference codeword is allocated (it is returned to the caller).
+	shards := make([][]byte, k)
 	for start := 0; start+k <= len(rows); start++ {
 		window := rows[start : start+k]
-		shards := make([][]byte, k)
 		for i, row := range window {
 			shards[i] = present[row]
 		}
-		blocks, err := code.DecodeFull(window, shards)
-		if err != nil {
-			continue
+		blocks := erasure.GetBuffers(k, len(shards[0]))
+		candidate := erasure.GetBuffers(code.N(), len(shards[0]))
+		err := code.DecodeFullInto(window, shards, blocks.Blocks)
+		if err == nil {
+			err = code.EncodeInto(blocks.Blocks, candidate.Blocks)
 		}
-		reference, err := code.Encode(blocks)
+		blocks.Release()
 		if err != nil {
+			candidate.Release()
 			continue
 		}
 		agree := 0
 		for row, data := range present {
-			if bytes.Equal(data, reference[row]) {
+			if bytes.Equal(data, candidate.Blocks[row]) {
 				agree++
 			}
 		}
 		if agree >= k && agree*2 > len(present) {
+			reference := make([][]byte, len(candidate.Blocks))
+			for i, b := range candidate.Blocks {
+				reference[i] = append([]byte(nil), b...)
+			}
+			candidate.Release()
 			return reference, true
 		}
+		candidate.Release()
 	}
 	return nil, false
 }

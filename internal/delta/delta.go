@@ -10,7 +10,12 @@
 // SEC exploits when gamma < k/2.
 package delta
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/secarchive/sec/internal/gf"
+)
 
 // Blocking describes how objects are split into coding symbols: K blocks of
 // BlockSize bytes each. The object capacity is K*BlockSize bytes; shorter
@@ -112,9 +117,8 @@ func Compute(prev, next [][]byte) ([][]byte, error) {
 			return nil, fmt.Errorf("delta: block %d sizes differ: %d vs %d", i, len(prev[i]), len(next[i]))
 		}
 		d[i] = make([]byte, len(prev[i]))
-		for j := range prev[i] {
-			d[i][j] = prev[i][j] ^ next[i][j]
-		}
+		copy(d[i], prev[i])
+		gf.AddSlice(d[i], next[i]) // word-wide XOR kernel
 	}
 	return d, nil
 }
@@ -187,7 +191,13 @@ func Equal(a, b [][]byte) bool {
 }
 
 func isZeroBlock(b []byte) bool {
-	for _, v := range b {
+	n := len(b) &^ 7
+	for i := 0; i < n; i += 8 {
+		if binary.LittleEndian.Uint64(b[i:]) != 0 {
+			return false
+		}
+	}
+	for _, v := range b[n:] {
 		if v != 0 {
 			return false
 		}

@@ -1,0 +1,85 @@
+package erasure
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/secarchive/sec/internal/matrix"
+)
+
+// invCache is a bounded LRU of decode matrices keyed by (order-sensitive)
+// row-set strings. Hot degraded-read patterns - the same few survivor sets
+// hit over and over - stay cached across insertions of new patterns; only
+// the least recently used entry is evicted when the cache is full.
+type invCache struct {
+	max     int
+	mu      sync.Mutex
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type invEntry struct {
+	key string
+	inv matrix.Matrix
+}
+
+func newInvCache(max int) *invCache {
+	return &invCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached inverse for key, marking it most recently used.
+func (c *invCache) get(key string) (matrix.Matrix, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return matrix.Matrix{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*invEntry).inv, true
+}
+
+// getBytes is get for a byte-slice key: the map lookup converts without
+// allocating, keeping cache hits allocation-free on the decode hot path.
+func (c *invCache) getBytes(key []byte) (matrix.Matrix, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[string(key)]
+	if !ok {
+		return matrix.Matrix{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*invEntry).inv, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entries
+// while the cache exceeds its bound.
+func (c *invCache) put(key string, inv matrix.Matrix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*invEntry).inv = inv
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.max {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*invEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&invEntry{key: key, inv: inv})
+}
+
+// len returns the number of cached entries.
+func (c *invCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

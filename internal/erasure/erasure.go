@@ -79,12 +79,12 @@ type Code struct {
 	gen  matrix.Matrix
 
 	mu         sync.Mutex
-	criterion2 map[string]bool          // verified Criterion-2 verdicts per row set
-	inverses   map[string]matrix.Matrix // decode matrices per row set (bounded)
+	criterion2 map[string]bool // verified Criterion-2 verdicts per row set
+	inverses   *invCache       // decode matrices per row set (bounded LRU)
 }
 
 // maxCachedInverses bounds the decode-matrix cache; degraded-read patterns
-// are few in practice, so a small LRU-free cap suffices.
+// are few in practice, so a small LRU suffices.
 const maxCachedInverses = 256
 
 // New constructs an (n,k) code of the given kind. n must exceed k, and the
@@ -127,7 +127,7 @@ func New(kind Kind, n, k int) (*Code, error) {
 		kind:       kind,
 		gen:        gen,
 		criterion2: make(map[string]bool),
-		inverses:   make(map[string]matrix.Matrix),
+		inverses:   newInvCache(maxCachedInverses),
 	}, nil
 }
 
@@ -173,65 +173,171 @@ func (c *Code) Encode(blocks [][]byte) ([][]byte, error) {
 	return c.gen.MulBlocks(blocks), nil
 }
 
+// EncodeInto is the allocation-free variant of Encode: it writes the n
+// coded shards into the caller-provided dst blocks, which must all have the
+// input block length and must not alias the inputs. Callers on hot paths
+// pair it with GetBuffers/Release to recycle shard buffers.
+func (c *Code) EncodeInto(blocks, dst [][]byte) error {
+	if len(blocks) != c.k {
+		return fmt.Errorf("erasure: got %d data blocks, want k=%d", len(blocks), c.k)
+	}
+	if err := uniformLen(blocks); err != nil {
+		return err
+	}
+	if err := c.checkDst(dst, c.n, blockLenOf(blocks)); err != nil {
+		return err
+	}
+	c.gen.MulBlocksInto(blocks, dst)
+	return nil
+}
+
+// decodeScratch holds the transient row/shard selection state of one
+// DecodeFull(-Into) call: the first-k-distinct pick, a row-indexed seen
+// set, and the cache key bytes. Pooled so steady-state decodes do not
+// allocate.
+type decodeScratch struct {
+	pick   []int
+	shards [][]byte
+	seen   []bool
+	key    []byte
+}
+
+var decodeScratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+func getDecodeScratch(n int) *decodeScratch {
+	sc := decodeScratchPool.Get().(*decodeScratch)
+	if cap(sc.seen) < n {
+		sc.seen = make([]bool, n)
+	}
+	sc.seen = sc.seen[:n]
+	clear(sc.seen)
+	sc.pick = sc.pick[:0]
+	sc.shards = sc.shards[:0]
+	sc.key = sc.key[:0]
+	return sc
+}
+
+func putDecodeScratch(sc *decodeScratch) {
+	for i := range sc.shards {
+		sc.shards[i] = nil // do not retain caller shard data in the pool
+	}
+	decodeScratchPool.Put(sc)
+}
+
 // DecodeFull reconstructs the k data blocks from at least k distinct shards.
 // rows[i] is the shard index (generator row) of shards[i]. For MDS
 // constructions any k distinct rows suffice.
 func (c *Code) DecodeFull(rows []int, shards [][]byte) ([][]byte, error) {
-	if len(rows) != len(shards) {
-		return nil, fmt.Errorf("erasure: %d rows but %d shards", len(rows), len(shards))
-	}
-	if err := c.checkRows(rows); err != nil {
+	sc := getDecodeScratch(c.n)
+	defer putDecodeScratch(sc)
+	if err := c.pickDecodeShards(rows, shards, sc); err != nil {
 		return nil, err
 	}
-	if err := uniformLen(shards); err != nil {
-		return nil, err
-	}
-	pick, pickShards := dedupeFirstK(rows, shards, c.k)
-	if len(pick) < c.k {
-		return nil, fmt.Errorf("erasure: need %d distinct shards to decode, got %d", c.k, len(pick))
-	}
-	inv, err := c.decodeMatrix(pick)
+	inv, err := c.decodeMatrix(sc)
 	if err != nil {
 		return nil, err
 	}
-	return inv.MulBlocks(pickShards), nil
+	return inv.MulBlocks(sc.shards), nil
 }
 
-// decodeMatrix returns the inverse of the row submatrix, cached per row
-// set: repeated reads through the same survivors skip the Gauss-Jordan
-// pass. Note the cache key is order-sensitive on purpose - the inverse
-// depends on the shard order the caller supplies.
-func (c *Code) decodeMatrix(pick []int) (matrix.Matrix, error) {
-	key := orderedRowKey(pick)
-	c.mu.Lock()
-	inv, ok := c.inverses[key]
-	c.mu.Unlock()
-	if ok {
+// DecodeFullInto is the allocation-free variant of DecodeFull: it writes
+// the k data blocks into the caller-provided dst blocks, which must all
+// have the shard block length and must not alias the shards.
+func (c *Code) DecodeFullInto(rows []int, shards, dst [][]byte) error {
+	sc := getDecodeScratch(c.n)
+	defer putDecodeScratch(sc)
+	if err := c.pickDecodeShards(rows, shards, sc); err != nil {
+		return err
+	}
+	if err := c.checkDst(dst, c.k, blockLenOf(sc.shards)); err != nil {
+		return err
+	}
+	inv, err := c.decodeMatrix(sc)
+	if err != nil {
+		return err
+	}
+	inv.MulBlocksInto(sc.shards, dst)
+	return nil
+}
+
+// pickDecodeShards validates a DecodeFull input and selects the first k
+// distinct shard rows into the scratch.
+func (c *Code) pickDecodeShards(rows []int, shards [][]byte, sc *decodeScratch) error {
+	if len(rows) != len(shards) {
+		return fmt.Errorf("erasure: %d rows but %d shards", len(rows), len(shards))
+	}
+	if err := c.checkRows(rows); err != nil {
+		return err
+	}
+	if err := uniformLen(shards); err != nil {
+		return err
+	}
+	for i, r := range rows {
+		if sc.seen[r] {
+			continue
+		}
+		sc.seen[r] = true
+		sc.pick = append(sc.pick, r)
+		sc.shards = append(sc.shards, shards[i])
+		if len(sc.pick) == c.k {
+			break
+		}
+	}
+	if len(sc.pick) < c.k {
+		return fmt.Errorf("erasure: need %d distinct shards to decode, got %d", c.k, len(sc.pick))
+	}
+	return nil
+}
+
+// checkDst validates an Into-destination: count blocks of blockLen bytes.
+func (c *Code) checkDst(dst [][]byte, count, blockLen int) error {
+	if len(dst) != count {
+		return fmt.Errorf("erasure: got %d destination blocks, want %d", len(dst), count)
+	}
+	for i, d := range dst {
+		if len(d) != blockLen {
+			return fmt.Errorf("erasure: destination block %d has %d bytes, want %d", i, len(d), blockLen)
+		}
+	}
+	return nil
+}
+
+func blockLenOf(blocks [][]byte) int {
+	if len(blocks) == 0 {
+		return 0
+	}
+	return len(blocks[0])
+}
+
+// decodeMatrix returns the inverse of the scratch's picked row submatrix,
+// cached per row set with LRU eviction: repeated reads through the same
+// survivors skip the Gauss-Jordan pass (and, via the byte-key lookup, do
+// not allocate), and hot survivor sets stay cached while rare patterns
+// churn through the tail of the cache. Note the cache key is
+// order-sensitive on purpose - the inverse depends on the shard order the
+// caller supplies.
+func (c *Code) decodeMatrix(sc *decodeScratch) (matrix.Matrix, error) {
+	sc.key = appendRowKey(sc.key[:0], sc.pick)
+	if inv, ok := c.inverses.getBytes(sc.key); ok {
 		return inv, nil
 	}
-	sub := c.gen.SelectRows(pick)
+	sub := c.gen.SelectRows(sc.pick)
 	inv, err := sub.Inverse()
 	if err != nil {
-		return matrix.Matrix{}, fmt.Errorf("erasure: shard rows %v do not form an invertible submatrix: %w", pick, err)
+		return matrix.Matrix{}, fmt.Errorf("erasure: shard rows %v do not form an invertible submatrix: %w", sc.pick, err)
 	}
-	c.mu.Lock()
-	if len(c.inverses) >= maxCachedInverses {
-		clear(c.inverses)
-	}
-	c.inverses[key] = inv
-	c.mu.Unlock()
+	c.inverses.put(string(sc.key), inv)
 	return inv, nil
 }
 
-func orderedRowKey(rows []int) string {
-	var b strings.Builder
+func appendRowKey(dst []byte, rows []int) []byte {
 	for i, r := range rows {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.Itoa(r))
+		dst = strconv.AppendInt(dst, int64(r), 10)
 	}
-	return b.String()
+	return dst
 }
 
 // DecodeSparse recovers a block vector with at most gamma non-zero blocks
@@ -393,7 +499,7 @@ func (c *Code) Punctured(t int) (*Code, error) {
 		kind:       c.kind,
 		gen:        c.gen.SelectRows(rows),
 		criterion2: make(map[string]bool),
-		inverses:   make(map[string]matrix.Matrix),
+		inverses:   newInvCache(maxCachedInverses),
 	}, nil
 }
 
@@ -411,24 +517,6 @@ func (c *Code) checkRows(rows []int) error {
 		}
 	}
 	return nil
-}
-
-func dedupeFirstK(rows []int, shards [][]byte, k int) ([]int, [][]byte) {
-	seen := make(map[int]bool, k)
-	outRows := make([]int, 0, k)
-	outShards := make([][]byte, 0, k)
-	for i, r := range rows {
-		if seen[r] {
-			continue
-		}
-		seen[r] = true
-		outRows = append(outRows, r)
-		outShards = append(outShards, shards[i])
-		if len(outRows) == k {
-			break
-		}
-	}
-	return outRows, outShards
 }
 
 func dedupe(sorted []int) []int {

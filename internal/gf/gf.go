@@ -31,6 +31,11 @@ type tables struct {
 	log [256]int
 	// mul[a][b] = a*b for all field elements.
 	mul [256][256]byte
+	// mulLow[c][x] = c*x and mulHigh[c][x] = c*(x<<4) for nibbles x: the
+	// split product tables behind the fast slice kernels (kernels.go),
+	// with c*b = mulLow[c][b&15] ^ mulHigh[c][b>>4].
+	mulLow  [256][16]byte
+	mulHigh [256][16]byte
 	// inv[a] = a^-1 for a != 0. inv[0] is 0 and must not be used.
 	inv [256]byte
 }
@@ -56,6 +61,12 @@ func buildTables() *tables {
 	}
 	for a := 1; a < 256; a++ {
 		t.inv[a] = t.exp[255-t.log[a]]
+	}
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 16; x++ {
+			t.mulLow[c][x] = t.mul[c][x]
+			t.mulHigh[c][x] = t.mul[c][x<<4]
+		}
 	}
 	return t
 }
@@ -128,16 +139,20 @@ func Pow(a byte, e int) byte {
 }
 
 // AddSlice sets dst[i] ^= src[i] for every position. The slices must have
-// equal length.
+// equal length; dst and src may be the same slice (but must not otherwise
+// overlap).
 func AddSlice(dst, src []byte) {
 	assertSameLen(len(dst), len(src))
-	for i, s := range src {
-		dst[i] ^= s
+	if fastKernels {
+		addSliceFast(dst, src)
+		return
 	}
+	addSliceScalar(dst, src)
 }
 
 // MulSlice sets dst[i] = c * src[i] for every position. The slices must have
-// equal length; dst and src may alias.
+// equal length; dst and src may be the same slice (but must not otherwise
+// overlap).
 func MulSlice(c byte, dst, src []byte) {
 	assertSameLen(len(dst), len(src))
 	if c == 0 {
@@ -148,15 +163,17 @@ func MulSlice(c byte, dst, src []byte) {
 		copy(dst, src)
 		return
 	}
-	row := &_tables.mul[c]
-	for i, s := range src {
-		dst[i] = row[s]
+	if fastKernels {
+		mulSliceFast(c, dst, src)
+		return
 	}
+	mulSliceScalar(c, dst, src)
 }
 
 // MulAddSlice sets dst[i] ^= c * src[i] for every position: the fused
 // multiply-accumulate at the heart of matrix-vector encoding. The slices
-// must have equal length.
+// must have equal length; dst and src may be the same slice (but must not
+// otherwise overlap).
 func MulAddSlice(c byte, dst, src []byte) {
 	assertSameLen(len(dst), len(src))
 	if c == 0 {
@@ -166,10 +183,11 @@ func MulAddSlice(c byte, dst, src []byte) {
 		AddSlice(dst, src)
 		return
 	}
-	row := &_tables.mul[c]
-	for i, s := range src {
-		dst[i] ^= row[s]
+	if fastKernels {
+		mulAddSliceFast(c, dst, src)
+		return
 	}
+	mulAddSliceScalar(c, dst, src)
 }
 
 // DotSlice returns the inner product sum_i a[i]*b[i] over GF(2^8). The

@@ -1,0 +1,133 @@
+package gf
+
+import "encoding/binary"
+
+// This file holds the high-throughput GF(2^8) slice kernels. The public
+// entry points in gf.go (AddSlice, MulSlice, MulAddSlice) dispatch either
+// here or to the scalar reference implementations, controlled by
+// SetFastKernels. See DESIGN.md section 2 for the kernel design.
+//
+// Two techniques are used:
+//
+//   - Word-wide XOR: AddSlice processes 8 bytes per iteration through
+//     encoding/binary uint64 loads/stores, which the compiler lowers to
+//     single machine-word operations.
+//
+//   - Split nibble product tables: instead of one 256-entry row of the full
+//     64 KiB product table per coefficient, the multiply kernels use two
+//     16-entry tables (low and high source nibble; the klauspost/reedsolomon
+//     technique): c*b = mulLow[c][b&15] ^ mulHigh[c][b>>4]. Sixteen-entry
+//     tables fit a SIMD register, so on amd64 with AVX2 the multiply runs as
+//     two byte shuffles per 32-byte vector (kernels_amd64.s). Architectures
+//     without an accelerated path fall back to the scalar row loop, which
+//     measures faster than composing nibble lookups byte-wise in pure Go.
+
+// fastKernels selects the vectorized kernels when true (the default). It is
+// a plain bool on purpose: toggling is only meant for differential tests and
+// benchmarks, which do so while no coding operations are in flight.
+var fastKernels = true
+
+// SetFastKernels selects between the fast kernels (true, the default) and
+// the scalar reference kernels (false), returning the previous setting. It
+// must not be called concurrently with coding operations; it exists so tests
+// and benchmarks can compare the two implementations on identical workloads.
+func SetFastKernels(enabled bool) (previous bool) {
+	previous = fastKernels
+	fastKernels = enabled
+	return previous
+}
+
+// FastKernels reports whether the fast kernels are selected.
+func FastKernels() bool { return fastKernels }
+
+// addSliceFast XORs src into dst: the bulk through the accelerated
+// multiply-add hook when one exists (XOR is multiply-add by 1), the rest 8
+// bytes at a time.
+func addSliceFast(dst, src []byte) {
+	done := mulAddSliceAccel(1, dst, src)
+	if done == len(src) {
+		return
+	}
+	dst, src = dst[done:], src[done:]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// mulSliceFast sets dst[i] = c*src[i]. The bulk is handled by the
+// accelerated architecture hook when one exists; the remainder falls back to
+// the scalar row loop. c is non-zero and non-one (the callers handle those
+// cases with clear/copy).
+func mulSliceFast(c byte, dst, src []byte) {
+	done := mulSliceAccel(c, dst, src)
+	if done < len(src) {
+		mulSliceScalar(c, dst[done:], src[done:])
+	}
+}
+
+// mulAddSliceFast sets dst[i] ^= c*src[i], like mulSliceFast.
+func mulAddSliceFast(c byte, dst, src []byte) {
+	done := mulAddSliceAccel(c, dst, src)
+	if done < len(src) {
+		mulAddSliceScalar(c, dst[done:], src[done:])
+	}
+}
+
+// AddSliceRef is the scalar reference implementation of AddSlice, kept for
+// differential testing of the fast kernels.
+func AddSliceRef(dst, src []byte) {
+	assertSameLen(len(dst), len(src))
+	addSliceScalar(dst, src)
+}
+
+// MulSliceRef is the scalar reference implementation of MulSlice.
+func MulSliceRef(c byte, dst, src []byte) {
+	assertSameLen(len(dst), len(src))
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	mulSliceScalar(c, dst, src)
+}
+
+// MulAddSliceRef is the scalar reference implementation of MulAddSlice.
+func MulAddSliceRef(c byte, dst, src []byte) {
+	assertSameLen(len(dst), len(src))
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		addSliceScalar(dst, src)
+		return
+	}
+	mulAddSliceScalar(c, dst, src)
+}
+
+func addSliceScalar(dst, src []byte) {
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+func mulSliceScalar(c byte, dst, src []byte) {
+	row := &_tables.mul[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+func mulAddSliceScalar(c byte, dst, src []byte) {
+	row := &_tables.mul[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}

@@ -1,0 +1,60 @@
+package gf
+
+// AVX2 multiply kernels: the 16-entry nibble product tables fit one XMM
+// register each, so a 32-byte vector is multiplied by a constant with two
+// VPSHUFB byte shuffles (low and high source nibble) and a XOR. Assembly is
+// in kernels_amd64.s; the hooks below run it on the 32-byte-aligned prefix
+// and report how much they handled, leaving the tail to the scalar loop.
+
+// hasAVX2 gates the assembly kernels on both CPU and OS support (the OS
+// must save YMM state across context switches, reported via XGETBV).
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const osxsaveBit = 1 << 27
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&osxsaveBit == 0 {
+		return false
+	}
+	const xmmAndYMMState = 0x6
+	if eax, _ := xgetbv(); eax&xmmAndYMMState != xmmAndYMMState {
+		return false
+	}
+	const avx2Bit = 1 << 5
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&avx2Bit != 0
+}
+
+func mulSliceAccel(c byte, dst, src []byte) int {
+	n := len(src) &^ 31
+	if n == 0 || !hasAVX2 {
+		return 0
+	}
+	mulSliceAVX2(&_tables.mulLow[c], &_tables.mulHigh[c], dst[:n], src[:n])
+	return n
+}
+
+func mulAddSliceAccel(c byte, dst, src []byte) int {
+	n := len(src) &^ 31
+	if n == 0 || !hasAVX2 {
+		return 0
+	}
+	mulAddSliceAVX2(&_tables.mulLow[c], &_tables.mulHigh[c], dst[:n], src[:n])
+	return n
+}
+
+// Implemented in kernels_amd64.s.
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func mulSliceAVX2(low, high *[16]byte, dst, src []byte)
+
+//go:noescape
+func mulAddSliceAVX2(low, high *[16]byte, dst, src []byte)

@@ -1,0 +1,90 @@
+// AVX2 GF(2^8) constant-by-slice multiply kernels using split nibble
+// product tables (see kernels.go). Both kernels require len(src) == len(dst)
+// to be a non-zero multiple of 32, which the Go hooks in kernels_amd64.go
+// guarantee.
+
+#include "textflag.h"
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func mulSliceAVX2(low, high *[16]byte, dst, src []byte)
+// dst[i] = low[src[i]&15] ^ high[src[i]>>4]
+TEXT ·mulSliceAVX2(SB), NOSPLIT, $0-64
+	MOVQ          low+0(FP), SI
+	MOVQ          high+8(FP), DX
+	MOVQ          dst_base+16(FP), DI
+	MOVQ          src_base+40(FP), BX
+	MOVQ          src_len+48(FP), CX
+	VBROADCASTI128 (SI), Y0              // low nibble table in both lanes
+	VBROADCASTI128 (DX), Y1              // high nibble table in both lanes
+	VBROADCASTI128 nibbleMask<>(SB), Y2  // 0x0f per byte
+	SHRQ          $5, CX                 // 32-byte blocks
+
+mulLoop:
+	VMOVDQU (BX), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3  // low nibbles
+	VPAND   Y2, Y4, Y4  // high nibbles
+	VPSHUFB Y3, Y0, Y3  // low[src&15]
+	VPSHUFB Y4, Y1, Y4  // high[src>>4]
+	VPXOR   Y4, Y3, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, BX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     mulLoop
+
+	VZEROUPPER
+	RET
+
+// func mulAddSliceAVX2(low, high *[16]byte, dst, src []byte)
+// dst[i] ^= low[src[i]&15] ^ high[src[i]>>4]
+TEXT ·mulAddSliceAVX2(SB), NOSPLIT, $0-64
+	MOVQ          low+0(FP), SI
+	MOVQ          high+8(FP), DX
+	MOVQ          dst_base+16(FP), DI
+	MOVQ          src_base+40(FP), BX
+	MOVQ          src_len+48(FP), CX
+	VBROADCASTI128 (SI), Y0
+	VBROADCASTI128 (DX), Y1
+	VBROADCASTI128 nibbleMask<>(SB), Y2
+	SHRQ          $5, CX
+
+mulAddLoop:
+	VMOVDQU (BX), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y4, Y3, Y3
+	VPXOR   (DI), Y3, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, BX
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     mulAddLoop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package gf
+
+// Architectures without an accelerated multiply path report zero bytes
+// handled; the callers in kernels.go then run the scalar row loop, which
+// measures faster than composing the nibble lookups byte-wise in pure Go.
+
+func mulSliceAccel(c byte, dst, src []byte) int { return 0 }
+
+func mulAddSliceAccel(c byte, dst, src []byte) int { return 0 }

@@ -1,0 +1,212 @@
+package gf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// kernelLens covers the word-loop boundary cases: empty, sub-word, exactly
+// one word, word+1, and a large unaligned length.
+var kernelLens = []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 4096 + 3}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestKernelsDifferential checks the fast kernels against the scalar
+// reference implementations for every coefficient across unaligned lengths.
+func TestKernelsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelLens {
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+		for c := 0; c < 256; c++ {
+			coeff := byte(c)
+
+			fastDst := append([]byte(nil), base...)
+			refDst := append([]byte(nil), base...)
+			mulAddSliceFast(coeff, fastDst, src)
+			MulAddSliceRef(coeff, refDst, src)
+			if !bytes.Equal(fastDst, refDst) {
+				t.Fatalf("MulAddSlice(%#x) diverges at len %d", coeff, n)
+			}
+
+			fastDst = append(fastDst[:0], base...)
+			refDst = append(refDst[:0], base...)
+			mulSliceFast(coeff, fastDst, src)
+			MulSliceRef(coeff, refDst, src)
+			if !bytes.Equal(fastDst, refDst) {
+				t.Fatalf("MulSlice(%#x) diverges at len %d", coeff, n)
+			}
+		}
+
+		fastDst := append([]byte(nil), base...)
+		refDst := append([]byte(nil), base...)
+		addSliceFast(fastDst, src)
+		AddSliceRef(refDst, src)
+		if !bytes.Equal(fastDst, refDst) {
+			t.Fatalf("AddSlice diverges at len %d", n)
+		}
+	}
+}
+
+// TestKernelsAliased checks the documented aliasing contract (dst == src)
+// for the dispatching entry points under both kernel selections.
+func TestKernelsAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, fast := range []bool{true, false} {
+		prev := SetFastKernels(fast)
+		for _, n := range kernelLens {
+			orig := randBytes(rng, n)
+			for _, coeff := range []byte{0, 1, 2, 0x53, 0xff} {
+				want := make([]byte, n)
+				MulSlice(coeff, want, orig)
+				got := append([]byte(nil), orig...)
+				MulSlice(coeff, got, got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("fast=%v: aliased MulSlice(%#x) diverges at len %d", fast, coeff, n)
+				}
+
+				// dst == src turns MulAddSlice into dst[i] ^= c*dst[i]
+				// = (c+1)*dst[i].
+				want = make([]byte, n)
+				MulSlice(coeff^1, want, orig)
+				got = append(got[:0], orig...)
+				MulAddSlice(coeff, got, got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("fast=%v: aliased MulAddSlice(%#x) diverges at len %d", fast, coeff, n)
+				}
+			}
+			// dst == src zeroes under AddSlice.
+			got := append([]byte(nil), orig...)
+			AddSlice(got, got)
+			for i, v := range got {
+				if v != 0 {
+					t.Fatalf("fast=%v: aliased AddSlice non-zero at %d of len %d", fast, i, n)
+				}
+			}
+		}
+		SetFastKernels(prev)
+	}
+}
+
+// TestSetFastKernels checks the toggle routes the public entry points to the
+// selected implementation and reports the previous setting.
+func TestSetFastKernels(t *testing.T) {
+	if !FastKernels() {
+		t.Fatal("fast kernels should be the default")
+	}
+	if prev := SetFastKernels(false); !prev {
+		t.Fatal("SetFastKernels(false) should report the fast default")
+	}
+	if FastKernels() {
+		t.Fatal("scalar kernels should be selected")
+	}
+	if prev := SetFastKernels(true); prev {
+		t.Fatal("SetFastKernels(true) should report the scalar setting")
+	}
+}
+
+// FuzzMulAddSlice cross-checks the fast and scalar MulAddSlice on arbitrary
+// inputs, including the aliased case.
+func FuzzMulAddSlice(f *testing.F) {
+	f.Add(byte(0x57), []byte("seed corpus payload"), false)
+	f.Add(byte(0), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, true)
+	f.Add(byte(1), []byte{0xff}, false)
+	f.Fuzz(func(t *testing.T, c byte, data []byte, aliased bool) {
+		half := len(data) / 2
+		src, base := data[:half], data[half:half*2]
+		if aliased {
+			base = src
+		}
+		fastDst := append([]byte(nil), base...)
+		refDst := append([]byte(nil), base...)
+		fastSrc, refSrc := src, src
+		if aliased {
+			fastSrc, refSrc = fastDst, refDst
+		}
+		prev := SetFastKernels(true)
+		MulAddSlice(c, fastDst, fastSrc)
+		SetFastKernels(false)
+		MulAddSlice(c, refDst, refSrc)
+		SetFastKernels(prev)
+		if !bytes.Equal(fastDst, refDst) {
+			t.Fatalf("MulAddSlice(%#x, len %d, aliased=%v) diverges", c, half, aliased)
+		}
+	})
+}
+
+// FuzzMulSlice cross-checks the fast and scalar MulSlice.
+func FuzzMulSlice(f *testing.F) {
+	f.Add(byte(0x9c), []byte("another seed payload"))
+	f.Fuzz(func(t *testing.T, c byte, data []byte) {
+		fastDst := make([]byte, len(data))
+		refDst := make([]byte, len(data))
+		prev := SetFastKernels(true)
+		MulSlice(c, fastDst, data)
+		SetFastKernels(false)
+		MulSlice(c, refDst, data)
+		SetFastKernels(prev)
+		if !bytes.Equal(fastDst, refDst) {
+			t.Fatalf("MulSlice(%#x, len %d) diverges", c, len(data))
+		}
+	})
+}
+
+// FuzzAddSlice cross-checks the fast and scalar AddSlice.
+func FuzzAddSlice(f *testing.F) {
+	f.Add([]byte("xor seed payload with enough bytes"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		half := len(data) / 2
+		src, base := data[:half], data[half:half*2]
+		fastDst := append([]byte(nil), base...)
+		refDst := append([]byte(nil), base...)
+		prev := SetFastKernels(true)
+		AddSlice(fastDst, src)
+		SetFastKernels(false)
+		AddSlice(refDst, src)
+		SetFastKernels(prev)
+		if !bytes.Equal(fastDst, refDst) {
+			t.Fatalf("AddSlice(len %d) diverges", half)
+		}
+	})
+}
+
+func benchKernel(b *testing.B, size int, fast bool, fn func(dst, src []byte)) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	src := randBytes(rng, size)
+	dst := randBytes(rng, size)
+	prev := SetFastKernels(fast)
+	defer SetFastKernels(prev)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(dst, src)
+	}
+}
+
+func BenchmarkKernels(b *testing.B) {
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20} {
+		for _, fast := range []bool{false, true} {
+			name := "scalar"
+			if fast {
+				name = "fast"
+			}
+			b.Run(fmt.Sprintf("MulAddSlice/%dKiB/%s", size>>10, name), func(b *testing.B) {
+				benchKernel(b, size, fast, func(dst, src []byte) { MulAddSlice(0x57, dst, src) })
+			})
+			b.Run(fmt.Sprintf("MulSlice/%dKiB/%s", size>>10, name), func(b *testing.B) {
+				benchKernel(b, size, fast, func(dst, src []byte) { MulSlice(0x57, dst, src) })
+			})
+			b.Run(fmt.Sprintf("AddSlice/%dKiB/%s", size>>10, name), func(b *testing.B) {
+				benchKernel(b, size, fast, AddSlice)
+			})
+		}
+	}
+}

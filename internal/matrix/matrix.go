@@ -7,7 +7,10 @@ package matrix
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/secarchive/sec/internal/gf"
 )
@@ -236,11 +239,151 @@ func (m Matrix) MulVec(x []byte) []byte {
 	return y
 }
 
+// Parallel block-multiply tuning: MulBlocksInto stays sequential below
+// mulBlocksParallelMin bytes of output (goroutine fan-out costs more than it
+// saves on small codewords) and above it splits the block byte range into
+// chunks handed to at most GOMAXPROCS workers. Chunks shrink below
+// mulBlocksChunk when needed to give every worker a share of the byte range
+// (but never below mulBlocksMinChunk, so tiny chunks don't drown the work
+// in coordination); the cap bounds the working set per pass (all rows of
+// one chunk touch (rows+cols)*chunk bytes), keeping the streamed operands
+// cache-resident.
+const (
+	mulBlocksParallelMin = 256 << 10
+	mulBlocksChunk       = 64 << 10
+	mulBlocksMinChunk    = 4 << 10
+)
+
+// mulBlocksJob carries one MulBlocksInto call's state to its workers.
+// Jobs are pooled so steady-state encoding does not allocate.
+type mulBlocksJob struct {
+	m        Matrix
+	blocks   [][]byte
+	dst      [][]byte
+	blockLen int
+	chunk    int
+	chunks   int64
+	next     atomic.Int64
+	wg       sync.WaitGroup
+}
+
+var mulBlocksJobs = sync.Pool{New: func() any { return new(mulBlocksJob) }}
+
 // MulBlocks applies m to a block vector: blocks[j] is the j-th symbol as a
 // byte block, and the result's i-th block is sum_j m[i][j]*blocks[j]
 // computed byte-wise. All blocks must have equal length. This is the
 // striped-object encoding primitive.
 func (m Matrix) MulBlocks(blocks [][]byte) [][]byte {
+	blockLen := m.checkBlocks(blocks)
+	out := make([][]byte, m.rows)
+	flat := make([]byte, m.rows*blockLen)
+	for i := range out {
+		out[i] = flat[i*blockLen : (i+1)*blockLen : (i+1)*blockLen]
+	}
+	m.mulBlocksInto(blocks, out, blockLen)
+	return out
+}
+
+// MulBlocksInto is MulBlocks without the result allocation: it overwrites
+// dst, which must hold m.Rows() blocks of the input block length. dst must
+// not alias blocks. Large block lengths are processed in cache-friendly
+// chunks by up to GOMAXPROCS goroutines; the call does not allocate in
+// steady state.
+func (m Matrix) MulBlocksInto(blocks, dst [][]byte) {
+	blockLen := m.checkBlocks(blocks)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: destination block count %d does not match %d rows", len(dst), m.rows))
+	}
+	for i, d := range dst {
+		if len(d) != blockLen {
+			panic(fmt.Sprintf("matrix: destination block %d has length %d, want %d", i, len(d), blockLen))
+		}
+	}
+	m.mulBlocksInto(blocks, dst, blockLen)
+}
+
+func (m Matrix) mulBlocksInto(blocks, dst [][]byte, blockLen int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || m.rows*blockLen < mulBlocksParallelMin {
+		m.mulBlocksRange(blocks, dst, 0, blockLen)
+		return
+	}
+	// Size chunks so every worker gets a share of the byte range, within
+	// the [mulBlocksMinChunk, mulBlocksChunk] bounds, rounded to whole
+	// cache lines so workers do not share dirty lines at chunk seams.
+	chunk := (blockLen + workers - 1) / workers
+	if chunk > mulBlocksChunk {
+		chunk = mulBlocksChunk
+	}
+	if chunk < mulBlocksMinChunk {
+		chunk = mulBlocksMinChunk
+	}
+	chunk = (chunk + 63) &^ 63
+	chunks := (blockLen + chunk - 1) / chunk
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		m.mulBlocksRange(blocks, dst, 0, blockLen)
+		return
+	}
+	job := mulBlocksJobs.Get().(*mulBlocksJob)
+	job.m, job.blocks, job.dst = m, blocks, dst
+	job.blockLen = blockLen
+	job.chunk = chunk
+	job.chunks = int64(chunks)
+	job.next.Store(0)
+	job.wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go mulBlocksWorker(job)
+	}
+	job.runChunks()
+	job.wg.Wait()
+	job.m, job.blocks, job.dst = Matrix{}, nil, nil
+	mulBlocksJobs.Put(job)
+}
+
+func mulBlocksWorker(job *mulBlocksJob) {
+	defer job.wg.Done()
+	job.runChunks()
+}
+
+// runChunks claims chunks off the shared counter until none remain.
+func (job *mulBlocksJob) runChunks() {
+	for {
+		c := job.next.Add(1) - 1
+		if c >= job.chunks {
+			return
+		}
+		lo := int(c) * job.chunk
+		hi := lo + job.chunk
+		if hi > job.blockLen {
+			hi = job.blockLen
+		}
+		job.m.mulBlocksRange(job.blocks, job.dst, lo, hi)
+	}
+}
+
+// mulBlocksRange computes the product on the byte range [lo,hi) of every
+// block.
+func (m Matrix) mulBlocksRange(blocks, dst [][]byte, lo, hi int) {
+	for i := 0; i < m.rows; i++ {
+		acc := dst[i][lo:hi]
+		if m.cols == 0 {
+			clear(acc)
+			continue
+		}
+		row := m.Row(i)
+		gf.MulSlice(row[0], acc, blocks[0][lo:hi])
+		for j := 1; j < m.cols; j++ {
+			gf.MulAddSlice(row[j], acc, blocks[j][lo:hi])
+		}
+	}
+}
+
+// checkBlocks validates a block vector argument against the column count
+// and returns the uniform block length.
+func (m Matrix) checkBlocks(blocks [][]byte) int {
 	if len(blocks) != m.cols {
 		panic(fmt.Sprintf("matrix: block count %d does not match %d columns", len(blocks), m.cols))
 	}
@@ -253,16 +396,7 @@ func (m Matrix) MulBlocks(blocks [][]byte) [][]byte {
 			panic(fmt.Sprintf("matrix: block %d has length %d, want %d", j, len(b), blockLen))
 		}
 	}
-	out := make([][]byte, m.rows)
-	for i := 0; i < m.rows; i++ {
-		acc := make([]byte, blockLen)
-		row := m.Row(i)
-		for j, c := range row {
-			gf.MulAddSlice(c, acc, blocks[j])
-		}
-		out[i] = acc
-	}
-	return out
+	return blockLen
 }
 
 // SelectRows returns a new matrix formed by the given rows of m, in order.
@@ -290,6 +424,28 @@ func (m Matrix) SelectCols(idx []int) Matrix {
 		}
 	}
 	return s
+}
+
+// SelectColsInto writes the given columns of m into dst, reshaping dst to
+// m.Rows() x len(idx) and reusing its storage when large enough. It is the
+// allocation-free variant of SelectCols for hot decode loops.
+func (m Matrix) SelectColsInto(idx []int, dst *Matrix) {
+	need := m.rows * len(idx)
+	if cap(dst.data) < need {
+		dst.data = make([]byte, need)
+	}
+	dst.data = dst.data[:need]
+	dst.rows, dst.cols = m.rows, len(idx)
+	for i := 0; i < m.rows; i++ {
+		src := m.Row(i)
+		out := dst.Row(i)
+		for j, c := range idx {
+			if c < 0 || c >= m.cols {
+				panic(fmt.Sprintf("matrix: column %d out of range for %dx%d matrix", c, m.rows, m.cols))
+			}
+			out[j] = src[c]
+		}
+	}
 }
 
 // Stack returns the vertical concatenation [m; o]. Column counts must

@@ -54,10 +54,13 @@ func RecoverEnum(phi matrix.Matrix, y [][]byte, gamma int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Scratch for the candidate eliminations: support enumeration visits
+	// C(k,s) candidates, so the per-candidate copies reuse one allocation.
+	scratch := newEnumScratch(m, blockLen)
 	for s := 0; s <= gamma; s++ {
 		var z [][]byte
 		matrix.Combinations(k, s, func(idx []int) bool {
-			vals, ok := solveSupport(phi, idx, y, blockLen)
+			vals, ok := solveSupport(phi, idx, y, scratch)
 			if !ok {
 				return true
 			}
@@ -71,15 +74,33 @@ func RecoverEnum(phi matrix.Matrix, y [][]byte, gamma int) ([][]byte, error) {
 	return nil, ErrUnrecoverable
 }
 
+// enumScratch holds the per-candidate elimination state of RecoverEnum: the
+// support-restricted matrix and a mutable copy of the observations.
+type enumScratch struct {
+	a matrix.Matrix
+	r [][]byte
+}
+
+func newEnumScratch(m, blockLen int) *enumScratch {
+	sc := &enumScratch{r: make([][]byte, m)}
+	flat := make([]byte, m*blockLen)
+	for i := range sc.r {
+		sc.r[i] = flat[i*blockLen : (i+1)*blockLen : (i+1)*blockLen]
+	}
+	return sc
+}
+
 // solveSupport solves phi restricted to the candidate support for the block
 // values, returning (values, true) only when the full observation vector is
-// consistent with that support.
-func solveSupport(phi matrix.Matrix, support []int, y [][]byte, blockLen int) ([][]byte, bool) {
+// consistent with that support. The returned values alias the scratch and
+// are only valid until the next call.
+func solveSupport(phi matrix.Matrix, support []int, y [][]byte, scratch *enumScratch) ([][]byte, bool) {
 	m, s := phi.Rows(), len(support)
-	a := phi.SelectCols(support)
-	r := make([][]byte, m)
+	phi.SelectColsInto(support, &scratch.a)
+	a := scratch.a
+	r := scratch.r
 	for i := range r {
-		r[i] = append([]byte(nil), y[i]...)
+		copy(r[i], y[i])
 	}
 	rank := 0
 	for col := 0; col < s; col++ {

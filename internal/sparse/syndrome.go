@@ -56,7 +56,11 @@ func (d *SyndromeDecoder) Recover(y [][]byte, gamma int) ([][]byte, error) {
 	for j := range z {
 		z[j] = make([]byte, blockLen)
 	}
-	synd := make([]byte, d.rows)
+	// Every byte position runs Berlekamp-Massey, Chien search, and a small
+	// solve; their working buffers are allocated once per Recover call and
+	// reused across positions.
+	scratch := newSyndromeScratch(d.rows, gamma)
+	synd := scratch.synd
 	for pos := 0; pos < blockLen; pos++ {
 		for r := range synd {
 			synd[r] = y[r][pos]
@@ -64,7 +68,7 @@ func (d *SyndromeDecoder) Recover(y [][]byte, gamma int) ([][]byte, error) {
 		if isZero(synd) {
 			continue
 		}
-		support, values, err := d.decodePosition(synd, gamma)
+		support, values, err := d.decodePosition(synd, gamma, scratch)
 		if err != nil {
 			return nil, err
 		}
@@ -75,21 +79,51 @@ func (d *SyndromeDecoder) Recover(y [][]byte, gamma int) ([][]byte, error) {
 	return z, nil
 }
 
+// syndromeScratch holds the per-position working buffers of Recover.
+type syndromeScratch struct {
+	synd    []byte
+	c       []byte // Berlekamp-Massey connection polynomial
+	b       []byte // previous connection polynomial
+	prev    []byte // copy of c before an update
+	support []int
+	rows    [][]byte // gamma x gamma value system
+	rowsBuf []byte
+	rhs     []byte
+}
+
+func newSyndromeScratch(rows, gamma int) *syndromeScratch {
+	sc := &syndromeScratch{
+		synd:    make([]byte, rows),
+		c:       make([]byte, rows+1),
+		b:       make([]byte, rows+1),
+		prev:    make([]byte, rows+1),
+		support: make([]int, 0, gamma),
+		rows:    make([][]byte, gamma),
+		rowsBuf: make([]byte, gamma*gamma),
+		rhs:     make([]byte, gamma),
+	}
+	for i := range sc.rows {
+		sc.rows[i] = sc.rowsBuf[i*gamma : (i+1)*gamma : (i+1)*gamma]
+	}
+	return sc
+}
+
 // decodePosition decodes one byte position: synd[r] = sum_j v_j X_j^(b+r)
-// with X_j = alpha^j, |support| <= gamma.
-func (d *SyndromeDecoder) decodePosition(synd []byte, gamma int) (support []int, values []byte, err error) {
-	lambda, degree := berlekampMassey(synd)
+// with X_j = alpha^j, |support| <= gamma. The returned slices alias the
+// scratch and are only valid until the next call.
+func (d *SyndromeDecoder) decodePosition(synd []byte, gamma int, scratch *syndromeScratch) (support []int, values []byte, err error) {
+	lambda, degree := berlekampMassey(synd, scratch)
 	if degree > gamma {
 		return nil, nil, ErrUnrecoverable
 	}
-	support = d.chienSearch(lambda)
+	support = d.chienSearch(lambda, scratch.support[:0])
 	if len(support) != degree {
 		// The locator polynomial does not split over the locator set:
 		// the observations are not consistent with any <=gamma-sparse
 		// vector on positions 0..k-1.
 		return nil, nil, ErrUnrecoverable
 	}
-	values, err = d.solveValues(support, synd)
+	values, err = d.solveValues(support, synd, scratch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,11 +132,13 @@ func (d *SyndromeDecoder) decodePosition(synd []byte, gamma int) (support []int,
 
 // berlekampMassey returns the minimal LFSR connection polynomial
 // lambda(x) = 1 + c_1 x + ... + c_L x^L for the syndrome sequence, and its
-// degree L.
-func berlekampMassey(synd []byte) ([]byte, int) {
+// degree L. The result aliases scratch.c.
+func berlekampMassey(synd []byte, scratch *syndromeScratch) ([]byte, int) {
 	n := len(synd)
-	c := make([]byte, n+1)
-	b := make([]byte, n+1)
+	c := scratch.c[:n+1]
+	b := scratch.b[:n+1]
+	clear(c)
+	clear(b)
 	c[0], b[0] = 1, 1
 	var (
 		l     int
@@ -119,7 +155,8 @@ func berlekampMassey(synd []byte) ([]byte, int) {
 		case disc == 0:
 			m++
 		case 2*l <= i:
-			prev := append([]byte(nil), c...)
+			prev := scratch.prev[:len(c)]
+			copy(prev, c)
 			scale := gf.Div(disc, bDisc)
 			for j := 0; j+m < len(c); j++ {
 				c[j+m] ^= gf.Mul(scale, b[j])
@@ -139,10 +176,9 @@ func berlekampMassey(synd []byte) ([]byte, int) {
 	return c[:l+1], l
 }
 
-// chienSearch returns every position j in 0..k-1 whose locator
+// chienSearch appends to support every position j in 0..k-1 whose locator
 // X_j = alpha^j has lambda(X_j^-1) = 0.
-func (d *SyndromeDecoder) chienSearch(lambda []byte) []int {
-	var support []int
+func (d *SyndromeDecoder) chienSearch(lambda []byte, support []int) []int {
 	for j := 0; j < d.k; j++ {
 		if evalPoly(lambda, gf.Exp(-j)) == 0 {
 			support = append(support, j)
@@ -153,20 +189,23 @@ func (d *SyndromeDecoder) chienSearch(lambda []byte) []int {
 
 // solveValues solves for the non-zero values on the known support using the
 // first len(support) syndromes and verifies the remainder for consistency.
-func (d *SyndromeDecoder) solveValues(support []int, synd []byte) ([]byte, error) {
+// The result aliases the scratch.
+func (d *SyndromeDecoder) solveValues(support []int, synd []byte, scratch *syndromeScratch) ([]byte, error) {
 	s := len(support)
 	if s == 0 {
 		return nil, nil
 	}
-	// System rows r: sum_i v_i * X_i^(b+r) = synd[r].
-	rows := make([][]byte, s)
+	// System rows r: sum_i v_i * X_i^(b+r) = synd[r]. The scratch system is
+	// sized for gamma, and s <= gamma always holds (decodePosition rejects
+	// larger degrees before solving).
+	rows := scratch.rows[:s]
 	for r := 0; r < s; r++ {
-		rows[r] = make([]byte, s)
+		rows[r] = rows[r][:s]
 		for i, j := range support {
 			rows[r][i] = gf.Exp(j * (d.firstRow + r))
 		}
 	}
-	values, ok := solveSquare(rows, synd[:s])
+	values, ok := solveSquare(rows, synd[:s], scratch.rhs[:s])
 	if !ok {
 		return nil, ErrUnrecoverable
 	}
@@ -183,10 +222,12 @@ func (d *SyndromeDecoder) solveValues(support []int, synd []byte) ([]byte, error
 	return values, nil
 }
 
-// solveSquare solves the small dense system rows * x = rhs in place.
-func solveSquare(rows [][]byte, rhs []byte) ([]byte, bool) {
+// solveSquare solves the small dense system rows * x = rhs in place,
+// writing the working copy of rhs into out (len(out) == len(rhs)).
+func solveSquare(rows [][]byte, rhs, out []byte) ([]byte, bool) {
 	s := len(rows)
-	r := append([]byte(nil), rhs...)
+	r := out
+	copy(r, rhs)
 	for col := 0; col < s; col++ {
 		pivot := -1
 		for row := col; row < s; row++ {

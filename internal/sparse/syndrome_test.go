@@ -135,7 +135,7 @@ func TestBerlekampMasseyKnownSequences(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			lambda, deg := berlekampMassey(tt.synd)
+			lambda, deg := berlekampMassey(tt.synd, newSyndromeScratch(len(tt.synd), 2))
 			if deg != tt.wantDeg {
 				t.Fatalf("degree = %d, want %d", deg, tt.wantDeg)
 			}
@@ -162,7 +162,7 @@ func TestBerlekampMasseyLocatorRoots(t *testing.T) {
 	for r := range synd {
 		synd[r] = gf.Mul(9, gf.Pow(a3, r)) ^ gf.Mul(77, gf.Pow(a5, r))
 	}
-	lambda, deg := berlekampMassey(synd)
+	lambda, deg := berlekampMassey(synd, newSyndromeScratch(len(synd), 2))
 	if deg != 2 {
 		t.Fatalf("degree = %d, want 2", deg)
 	}

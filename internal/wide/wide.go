@@ -92,40 +92,78 @@ func (c *Code) Punctured(t int) (*Code, error) {
 
 // Encode maps k equally sized even-length byte blocks to n coded shards.
 func (c *Code) Encode(blocks [][]byte) ([][]byte, error) {
-	words, wordLen, err := toWords(blocks, c.k)
-	if err != nil {
+	shards := make([][]byte, c.n)
+	if len(blocks) == c.k && len(blocks) > 0 {
+		for i := range shards {
+			shards[i] = make([]byte, len(blocks[0]))
+		}
+	}
+	if err := c.EncodeInto(blocks, shards); err != nil {
 		return nil, err
 	}
-	shards := make([][]byte, c.n)
+	return shards, nil
+}
+
+// EncodeInto writes the n coded shards into the caller-provided dst blocks,
+// which must all have the input block length. Unlike the GF(2^8) backend
+// the wide backend still allocates internal word buffers (symbols are
+// 16-bit, so blocks are converted to uint16 sequences first); Into saves
+// only the shard allocations.
+func (c *Code) EncodeInto(blocks, dst [][]byte) error {
+	words, wordLen, err := toWords(blocks, c.k)
+	if err != nil {
+		return err
+	}
+	if err := checkDst(dst, c.n, wordLen*2); err != nil {
+		return err
+	}
 	acc := make([]uint16, wordLen)
 	for i := 0; i < c.n; i++ {
 		clear(acc)
 		for j, coeff := range c.gen[i] {
 			gf.MulAddSlice16(coeff, acc, words[j])
 		}
-		shards[i] = fromWords(acc)
+		fromWordsInto(acc, dst[i])
 	}
-	return shards, nil
+	return nil
 }
 
 // DecodeFull reconstructs the k data blocks from any k distinct shards;
 // rows[i] is the generator row of shards[i].
 func (c *Code) DecodeFull(rows []int, shards [][]byte) ([][]byte, error) {
+	out := make([][]byte, c.k)
+	if len(shards) > 0 {
+		for i := range out {
+			out[i] = make([]byte, len(shards[0]))
+		}
+	}
+	if err := c.DecodeFullInto(rows, shards, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeFullInto writes the k data blocks into the caller-provided dst
+// blocks, which must all have the shard block length.
+func (c *Code) DecodeFullInto(rows []int, shards, dst [][]byte) error {
 	if len(rows) != len(shards) {
-		return nil, fmt.Errorf("wide: %d rows but %d shards", len(rows), len(shards))
+		return fmt.Errorf("wide: %d rows but %d shards", len(rows), len(shards))
 	}
 	pickRows, pickShards := dedupeFirstK(rows, shards, c.k)
 	if len(pickRows) < c.k {
-		return nil, fmt.Errorf("wide: need %d distinct shards, got %d", c.k, len(pickRows))
+		return fmt.Errorf("wide: need %d distinct shards, got %d", c.k, len(pickRows))
 	}
 	for _, r := range pickRows {
 		if r < 0 || r >= c.n {
-			return nil, fmt.Errorf("wide: shard row %d out of range [0,%d)", r, c.n)
+			return fmt.Errorf("wide: shard row %d out of range [0,%d)", r, c.n)
 		}
 	}
 	words, wordLen, err := toWords(pickShards, c.k)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if err := checkDst(dst, c.k, wordLen*2); err != nil {
+		return err
 	}
 	sub := make([][]uint16, c.k)
 	for i, r := range pickRows {
@@ -133,18 +171,17 @@ func (c *Code) DecodeFull(rows []int, shards [][]byte) ([][]byte, error) {
 	}
 	inv, ok := invert16(sub)
 	if !ok {
-		return nil, fmt.Errorf("wide: shard rows %v do not form an invertible submatrix", pickRows)
+		return fmt.Errorf("wide: shard rows %v do not form an invertible submatrix", pickRows)
 	}
-	out := make([][]byte, c.k)
 	acc := make([]uint16, wordLen)
 	for i := 0; i < c.k; i++ {
 		clear(acc)
 		for j, coeff := range inv[i] {
 			gf.MulAddSlice16(coeff, acc, words[j])
 		}
-		out[i] = fromWords(acc)
+		fromWordsInto(acc, dst[i])
 	}
-	return out, nil
+	return nil
 }
 
 // DecodeSparse recovers a block vector with at most gamma non-zero blocks
@@ -338,11 +375,28 @@ func toWords(blocks [][]byte, want int) ([][]uint16, int, error) {
 
 func fromWords(w []uint16) []byte {
 	b := make([]byte, 2*len(w))
+	fromWordsInto(w, b)
+	return b
+}
+
+func fromWordsInto(w []uint16, b []byte) {
 	for j, v := range w {
 		b[2*j] = byte(v)
 		b[2*j+1] = byte(v >> 8)
 	}
-	return b
+}
+
+// checkDst validates an Into-destination: count blocks of blockLen bytes.
+func checkDst(dst [][]byte, count, blockLen int) error {
+	if len(dst) != count {
+		return fmt.Errorf("wide: got %d destination blocks, want %d", len(dst), count)
+	}
+	for i, d := range dst {
+		if len(d) != blockLen {
+			return fmt.Errorf("wide: destination block %d has %d bytes, want %d", i, len(d), blockLen)
+		}
+	}
+	return nil
 }
 
 func dedupeFirstK(rows []int, shards [][]byte, k int) ([]int, [][]byte) {
