@@ -1,13 +1,21 @@
-// Command secnode runs one SEC storage node: an in-memory shard store
-// served over the library's TCP protocol. A set of secnode processes forms
-// the distributed back end for seccli or any program using the sec package
-// with DialNode.
+// Command secnode runs one SEC storage node served over the library's TCP
+// protocol. A set of secnode processes forms the distributed back end for
+// seccli or any program using the sec package with DialNode.
 //
 // Usage:
 //
-//	secnode -addr 127.0.0.1:7070 -id node-0
+//	secnode -addr 127.0.0.1:7070 -id node-0 -data /var/lib/secnode
 //
-// The process serves until SIGINT/SIGTERM, then shuts down gracefully.
+// With -data the node is durable: shards live as checksummed files under
+// the given directory, survive restarts (pointing a new secnode at the same
+// directory serves the shards already there), and bit rot is detected at
+// read time and reported to clients as a corrupt shard so scrub/repair can
+// heal it. Without -data the node is in-memory and loses its shards on
+// exit, which is only appropriate for simulations.
+//
+// The process serves until SIGINT/SIGTERM, then shuts down gracefully:
+// in-flight requests drain and (for durable nodes) directory metadata is
+// flushed to stable storage.
 package main
 
 import (
@@ -38,12 +46,26 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
 	var (
 		addr = fs.String("addr", "127.0.0.1:7070", "TCP address to listen on")
 		id   = fs.String("id", "secnode", "node identifier used in logs")
+		data = fs.String("data", "", "directory for durable shard storage (empty: volatile in-memory node)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(os.Stderr, *id+": ", log.LstdFlags)
-	server := sec.NewNodeServer(sec.NewMemNode(*id), transport.WithLogger(logger))
+	var node sec.StorageNode
+	var disk *sec.DiskNode
+	if *data != "" {
+		var err error
+		disk, err = sec.NewDiskNode(*id, *data)
+		if err != nil {
+			return err
+		}
+		logger.Printf("durable storage in %s (%d shards on disk)", *data, disk.Len())
+		node = disk
+	} else {
+		node = sec.NewMemNode(*id)
+	}
+	server := sec.NewNodeServer(node, transport.WithLogger(logger))
 	bound, err := server.Listen(*addr)
 	if err != nil {
 		return err
@@ -54,5 +76,11 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
 	}
 	<-stop
 	logger.Printf("shutting down")
-	return server.Close()
+	err = server.Close()
+	if disk != nil {
+		if ferr := disk.Close(); err == nil {
+			err = ferr
+		}
+	}
+	return err
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -45,6 +46,73 @@ func TestServeAndShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// startNode runs the secnode entry point with the given args and returns
+// the bound address, the stop channel, and the exit channel.
+func startNode(t *testing.T, args ...string) (string, chan os.Signal, chan error) {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(args, stop, ready) }()
+	select {
+	case addr := <-ready:
+		return addr, stop, done
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not become ready")
+		return "", nil, nil
+	}
+}
+
+func stopNode(t *testing.T, stop chan os.Signal, done chan error) {
+	t.Helper()
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestDurableNodeSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	addr, stop, done := startNode(t, "-addr", "127.0.0.1:0", "-id", "durable-node", "-data", dir)
+	client := sec.DialNode("c", addr)
+	id := store.ShardID{Object: "persist/v1-full", Row: 2}
+	payload := []byte("still here after the crash")
+	if err := client.Put(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	stopNode(t, stop, done)
+	_ = client.Close()
+
+	// A new process over the same data directory serves the shard.
+	addr2, stop2, done2 := startNode(t, "-addr", "127.0.0.1:0", "-id", "durable-node", "-data", dir)
+	client2 := sec.DialNode("c", addr2)
+	defer client2.Close()
+	got, err := client2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("Get after restart = %q, want %q", got, payload)
+	}
+	stopNode(t, stop2, done2)
+}
+
+func TestDurableNodeRejectsBadDataDir(t *testing.T) {
+	stop := make(chan os.Signal)
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-data", file}, stop, nil); err == nil {
+		t.Error("data dir over a regular file: want error")
 	}
 }
 

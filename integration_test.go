@@ -9,6 +9,8 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -172,6 +174,254 @@ func TestIntegrationFullLifecycleOverTCP(t *testing.T) {
 	}
 	if !bytes.Equal(got, doc.Bytes()) {
 		t.Fatal("latest version mismatch after recovery")
+	}
+}
+
+// diskServer is one networked, disk-backed storage node: what a secnode
+// process with -data provides, run in-process so tests can kill and
+// restart it.
+type diskServer struct {
+	t    *testing.T
+	id   string
+	dir  string
+	addr string
+	node *sec.DiskNode
+	srv  *sec.NodeServer
+}
+
+// startDiskServer opens (or creates) the node directory and serves it on
+// addr ("127.0.0.1:0" to pick a port).
+func startDiskServer(t *testing.T, id, dir, addr string) *diskServer {
+	t.Helper()
+	node, err := sec.NewDiskNode(id, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sec.NewNodeServer(node)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &diskServer{t: t, id: id, dir: dir, addr: bound.String(), node: node, srv: srv}
+	t.Cleanup(func() { _ = s.srv.Close() })
+	return s
+}
+
+// kill terminates the server process-style: connections drop, nothing is
+// flushed beyond what Put already made durable.
+func (s *diskServer) kill() {
+	s.t.Helper()
+	if err := s.srv.Close(); err != nil {
+		s.t.Fatal(err)
+	}
+}
+
+// restart brings the node back on the same address over the same
+// directory, as a restarted secnode would.
+func (s *diskServer) restart() {
+	s.t.Helper()
+	node, err := sec.OpenDiskNode(s.id, s.dir)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	s.node = node
+	s.srv = sec.NewNodeServer(node)
+	if _, err := s.srv.Listen(s.addr); err != nil {
+		s.t.Fatal(err)
+	}
+	srv := s.srv
+	s.t.Cleanup(func() { _ = srv.Close() })
+}
+
+// shardFilesOf lists up to limit shard files of a disk node for direct
+// damage injection.
+func shardFilesOf(t *testing.T, node *sec.DiskNode, limit int) []string {
+	t.Helper()
+	files, err := node.ShardFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files[:min(limit, len(files))]
+}
+
+// corruptShardFiles flips a bit in up to limit shard files of a disk node,
+// returning the number damaged.
+func corruptShardFiles(t *testing.T, node *sec.DiskNode, limit int) int {
+	t.Helper()
+	files := shardFilesOf(t, node, limit)
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x10
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(files)
+}
+
+// deleteShardFiles removes up to limit shard files of a disk node,
+// returning the number deleted.
+func deleteShardFiles(t *testing.T, node *sec.DiskNode, limit int) int {
+	t.Helper()
+	files := shardFilesOf(t, node, limit)
+	for _, path := range files {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(files)
+}
+
+func TestIntegrationDurableNodesSurviveRestartAndDamage(t *testing.T) {
+	const (
+		n, k      = 6, 3
+		blockSize = 256
+	)
+	base := t.TempDir()
+	servers := make([]*diskServer, n)
+	nodes := make([]sec.StorageNode, n)
+	for i := 0; i < n; i++ {
+		servers[i] = startDiskServer(t, "node", filepath.Join(base, "node", string(rune('a'+i))), "127.0.0.1:0")
+		client := sec.DialNode("remote", servers[i].addr, sec.WithNodeTimeout(2*time.Second))
+		t.Cleanup(func() { _ = client.Close() })
+		nodes[i] = client
+	}
+	cluster := sec.NewCluster(nodes)
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Name:      "durable",
+		Scheme:    sec.BasicSEC,
+		Code:      sec.NonSystematicCauchy,
+		N:         n,
+		K:         k,
+		BlockSize: blockSize,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var versions [][]byte
+	v := make([]byte, archive.Capacity())
+	rng.Read(v)
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			v, err = sec.SparseEdit(rng, v, blockSize, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := archive.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, v)
+	}
+
+	// (a) Kill every node process and restart it over the same directory:
+	// all shards must survive and serve the whole history.
+	for _, s := range servers {
+		s.kill()
+	}
+	if _, _, err := archive.Retrieve(1); !errors.Is(err, sec.ErrUnavailable) {
+		t.Fatalf("retrieve with all nodes killed = %v, want ErrUnavailable", err)
+	}
+	for _, s := range servers {
+		s.restart()
+	}
+	shardsOnDisk := 0
+	for _, s := range servers {
+		shardsOnDisk += s.node.Len()
+	}
+	if want := len(versions) * n; shardsOnDisk != want {
+		t.Fatalf("%d shards on disk after restart, want %d", shardsOnDisk, want)
+	}
+	for l, want := range versions {
+		got, _, err := archive.Retrieve(l + 1)
+		if err != nil {
+			t.Fatalf("version %d after restart: %v", l+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("version %d mismatch after restart", l+1)
+		}
+	}
+	if report, err := archive.Scrub(false); err != nil || report.ShardsMissing != 0 || report.ShardsCorrupt != 0 {
+		t.Fatalf("post-restart scrub = %+v, %v", report, err)
+	}
+
+	// (b) Flip a bit on node 2's disk: the node itself must detect it at
+	// read time as ErrShardCorrupt, and Scrub(repair=true) must heal it.
+	servers[2].kill()
+	if n := corruptShardFiles(t, servers[2].node, 1); n != 1 {
+		t.Fatalf("damaged %d files, want 1", n)
+	}
+	servers[2].restart()
+	sawCorrupt := false
+	for _, obj := range []string{"durable/v1-full", "durable/v2-delta", "durable/v3-delta", "durable/v4-delta"} {
+		if _, err := cluster.Get(2, sec.ShardID{Object: obj, Row: 2}); errors.Is(err, sec.ErrShardCorrupt) {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("no direct Get surfaced ErrShardCorrupt after bit flip")
+	}
+	report, err := archive.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 1 || report.Repaired != 1 {
+		t.Fatalf("healing scrub = %+v", report)
+	}
+	if report, err = archive.Scrub(false); err != nil || report.ShardsCorrupt != 0 {
+		t.Fatalf("post-heal scrub = %+v, %v", report, err)
+	}
+
+	// (c) Node 4's disk dies entirely while node 0 is simultaneously
+	// missing SOME (not all) shards: repair of node 4 must draw on the
+	// remaining intact rows per object instead of failing.
+	servers[4].kill()
+	if err := os.RemoveAll(servers[4].dir); err != nil {
+		t.Fatal(err)
+	}
+	servers[4].node, err = sec.NewDiskNode("node", servers[4].dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers[4].srv = sec.NewNodeServer(servers[4].node)
+	if _, err := servers[4].srv.Listen(servers[4].addr); err != nil {
+		t.Fatal(err)
+	}
+	replacement := servers[4].srv
+	t.Cleanup(func() { _ = replacement.Close() })
+	servers[0].kill()
+	if n := deleteShardFiles(t, servers[0].node, 2); n != 2 {
+		t.Fatalf("deleted %d files, want 2", n)
+	}
+	servers[0].restart()
+
+	repair, err := archive.RepairNode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair.ShardsRepaired != len(versions) {
+		t.Fatalf("repair = %+v, want %d shards rebuilt", repair, len(versions))
+	}
+	// Heal node 0's holes too, then the archive is fully redundant again.
+	if _, err := archive.RepairNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if report, err := archive.Scrub(false); err != nil ||
+		report.ShardsMissing != 0 || report.ShardsCorrupt != 0 || report.ObjectsUndecodable != 0 {
+		t.Fatalf("final scrub = %+v, %v", report, err)
+	}
+	for l, want := range versions {
+		got, _, err := archive.Retrieve(l + 1)
+		if err != nil {
+			t.Fatalf("final version %d: %v", l+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("final version %d mismatch", l+1)
+		}
 	}
 }
 

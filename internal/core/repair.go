@@ -25,9 +25,11 @@ type RepairReport struct {
 
 // RepairNode reconstructs every shard of this archive that the given
 // cluster node should hold but does not — the maintenance operation run
-// after replacing a failed device. Missing shards are rebuilt by decoding
-// the affected object from k surviving shards and re-encoding; the node
-// must be available to receive the rebuilt shards.
+// after replacing a failed device. Missing and corrupt shards are rebuilt
+// by decoding the affected object from k surviving shards and re-encoding;
+// the node must be available to receive the rebuilt shards. Damage on
+// other nodes is tolerated per shard: reconstruction draws on any k intact
+// surviving shards, not just the first k live nodes.
 //
 // The paper's static-resilience analysis assumes "no further remedial
 // actions"; RepairNode is the remedial action that restores the archive to
@@ -68,7 +70,7 @@ func (a *Archive) repairObject(code codec, id string, version, node int, report 
 		case err == nil:
 			report.ShardsHealthy++
 			continue
-		case !errors.Is(err, store.ErrNotFound):
+		case !errors.Is(err, store.ErrNotFound) && !errors.Is(err, store.ErrCorrupt):
 			return fmt.Errorf("core: probing %s#%d on node %d: %w", id, row, node, err)
 		}
 		if err := a.rebuildShard(code, id, version, node, row, report); err != nil {
@@ -79,10 +81,14 @@ func (a *Archive) repairObject(code codec, id string, version, node int, report 
 }
 
 // rebuildShard reconstructs one missing shard from k surviving shards on
-// other nodes. The decoded blocks and re-encoded codeword are transient, so
-// both live in pooled buffers; steady-state repair does not allocate shard
-// buffers.
+// other nodes. Candidate rows are tried in order: a row whose shard turns
+// out to be missing, corrupt, or freshly unreachable is skipped and the
+// next live row takes its place, so repair of one node survives partial
+// damage elsewhere. The decoded blocks and re-encoded codeword are
+// transient, so both live in pooled buffers; steady-state repair does not
+// allocate shard buffers.
 func (a *Archive) rebuildShard(code codec, id string, version, node, row int, report *RepairReport) error {
+	k := code.K()
 	live := make([]int, 0, code.N())
 	for r := 0; r < code.N(); r++ {
 		if r == row {
@@ -92,16 +98,14 @@ func (a *Archive) rebuildShard(code codec, id string, version, node, row int, re
 			live = append(live, r)
 		}
 	}
-	if len(live) < a.cfg.K {
-		return fmt.Errorf("%w: %d of %d surviving shards of %s", ErrUnavailable, len(live), a.cfg.K, id)
+	if len(live) < k {
+		return fmt.Errorf("%w: %d of %d surviving shards of %s", ErrUnavailable, len(live), k, id)
 	}
-	rows := live[:a.cfg.K]
-	shards, err := a.readShards(id, version, rows)
+	rows, shards, err := a.collectIntactShards(id, version, live, k, &report.NodeReads)
 	if err != nil {
 		return fmt.Errorf("core: rebuilding %s#%d: %w", id, row, err)
 	}
-	report.NodeReads += len(rows)
-	blocks := erasure.GetBuffers(code.K(), blockLenOf(shards))
+	blocks := erasure.GetBuffers(k, blockLenOf(shards))
 	defer blocks.Release()
 	if err := code.DecodeFullInto(rows, shards, blocks.Blocks); err != nil {
 		return err
@@ -116,4 +120,65 @@ func (a *Archive) rebuildShard(code codec, id string, version, node, row int, re
 	}
 	report.ShardsRepaired++
 	return nil
+}
+
+// collectIntactShards reads candidate rows until k intact shards of equal
+// length are in hand. Per-row damage (missing, corrupt, node lost since the
+// liveness probe) skips that row. In the healthy case this costs exactly k
+// reads; once two shard lengths disagree, every remaining candidate is read
+// and only a strict-majority length group (of at least k) is trusted -
+// stopping at the first k same-length shards would let a group of
+// identically length-damaged shards masquerade as the object and rebuild
+// garbage. Every successful node read is counted in reads, including
+// shards a majority later sets aside - they are real repair traffic.
+func (a *Archive) collectIntactShards(id string, version int, candidates []int, k int, reads *int) ([]int, [][]byte, error) {
+	rows := make([]int, 0, len(candidates))
+	shards := make([][]byte, 0, len(candidates))
+	uniform := true
+	for _, r := range candidates {
+		data, err := a.readShard(id, version, r)
+		switch {
+		case err == nil:
+		case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrCorrupt),
+			errors.Is(err, store.ErrNodeDown), errors.Is(err, store.ErrClusterTooSmall):
+			continue // this row cannot help; plenty of others may
+		default:
+			return nil, nil, err
+		}
+		*reads++
+		rows = append(rows, r)
+		shards = append(shards, data)
+		uniform = uniform && len(data) == len(shards[0])
+		if uniform && len(rows) == k {
+			return rows, shards, nil
+		}
+	}
+	if count, modal := modalLength(shardLengths(shards)); count >= k && 2*count > len(shards) {
+		rows, shards = filterByLength(rows, shards, modal)
+		return rows[:k], shards[:k], nil
+	}
+	return nil, nil, fmt.Errorf("%w: no length-majority of %d intact shards among %d read of %s", ErrUnavailable, k, len(shards), id)
+}
+
+// shardLengths projects shards onto their lengths for modalLength.
+func shardLengths(shards [][]byte) []int {
+	lengths := make([]int, len(shards))
+	for i, s := range shards {
+		lengths[i] = len(s)
+	}
+	return lengths
+}
+
+// filterByLength keeps the rows whose shards have the given length,
+// preserving order.
+func filterByLength(rows []int, shards [][]byte, length int) ([]int, [][]byte) {
+	outRows := rows[:0]
+	outShards := shards[:0]
+	for i, s := range shards {
+		if len(s) == length {
+			outRows = append(outRows, rows[i])
+			outShards = append(outShards, s)
+		}
+	}
+	return outRows, outShards
 }

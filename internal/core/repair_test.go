@@ -178,6 +178,200 @@ func TestRepairNodeWithPuncturedDeltas(t *testing.T) {
 	}
 }
 
+func TestRepairNodeWithSecondNodePartiallyWiped(t *testing.T) {
+	// Node 3 is replaced empty; node 1 has additionally lost SOME shards
+	// (partial wipe). Repairing node 3 must route around node 1's holes by
+	// drawing on other surviving rows per object, not give up because the
+	// first k live nodes include a damaged one.
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{21}, a.Capacity())
+	v2 := editBlocks(v1, a.Config().BlockSize, 0)
+	v3 := editBlocks(v2, a.Config().BlockSize, 2)
+	mustCommit(t, a, v1)
+	mustCommit(t, a, v2)
+	mustCommit(t, a, v3)
+
+	deleteArchiveShards(t, a, cluster, 3)
+	node1, err := cluster.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 keeps x1 but loses both deltas: every object still has >= k
+	// intact rows overall.
+	for _, obj := range []string{"t/v2-delta", "t/v3-delta"} {
+		if err := node1.Delete(store.ShardID{Object: obj, Row: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	report, err := a.RepairNode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsChecked != 3 || report.ShardsRepaired != 3 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Rebuilt shards are correct: force reads through node 3 (and around
+	// node 1's still-missing delta shards).
+	if err := cluster.Fail(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for l, want := range [][]byte{v1, v2, v3} {
+		got, _, err := a.Retrieve(l + 1)
+		if err != nil {
+			t.Fatalf("version %d: %v", l+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("version %d mismatch after repair around partial wipe", l+1)
+		}
+	}
+}
+
+func TestRepairNodeSkipsTruncatedSourceShard(t *testing.T) {
+	// A length-corrupt shard on a surviving node must be passed over as a
+	// reconstruction source, not fed into the decoder (mixed-length slices
+	// panic or mis-decode the GF kernels).
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{33}, a.Capacity())
+	mustCommit(t, a, v1)
+
+	deleteArchiveShards(t, a, cluster, 4)
+	id := store.ShardID{Object: "t/v1-full", Row: 0}
+	node0, err := cluster.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := node0.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node0.Put(id, data[:len(data)-1]); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := a.RepairNode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsRepaired != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Verify through the rebuilt shard, avoiding the still-truncated row 0.
+	if err := cluster.Fail(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Error("version 1 mismatch after repair around truncated source")
+	}
+}
+
+func TestRepairNodeRefusesWithoutLengthMajority(t *testing.T) {
+	// With the target's shard gone, two sources truncated to one identical
+	// length and one source missing, no length group reaches k with a
+	// strict majority: repair must refuse (ErrUnavailable), never decode a
+	// group that might be the damaged one.
+	cluster := store.NewMemCluster(0)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{77}, a.Capacity())
+	mustCommit(t, a, v1)
+	deleteArchiveShards(t, a, cluster, 5)
+	for _, row := range []int{0, 1} {
+		id := store.ShardID{Object: "t/v1-full", Row: row}
+		node, err := cluster.Node(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := node.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Put(id, data[:len(data)-2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node4, err := cluster.Node(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node4.Delete(store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Readable sources: rows 0,1 (truncated, equal length) and 2,3
+	// (healthy) - a 2-2 tie with k=3.
+	if _, err := a.RepairNode(5); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRepairNodeHealsCorruptShardOnDisk(t *testing.T) {
+	// On a disk-backed cluster the target node's own shard can be corrupt
+	// rather than missing: the probe gets ErrCorrupt and the shard must be
+	// rebuilt, also routing around a corrupt source on another node.
+	cluster, err := store.NewDiskCluster(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{55}, a.Capacity())
+	mustCommit(t, a, v1)
+
+	// Bit rot on the repair target AND on one potential source node.
+	if n := corruptDiskShardFiles(t, diskNodeAt(t, cluster, 3), 1); n != 1 {
+		t.Fatal("no file damaged on node 3")
+	}
+	if n := corruptDiskShardFiles(t, diskNodeAt(t, cluster, 0), 1); n != 1 {
+		t.Fatal("no file damaged on node 0")
+	}
+	report, err := a.RepairNode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsChecked != 1 || report.ShardsRepaired != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Node 3's shard is readable again.
+	if _, err := cluster.Get(3, store.ShardID{Object: "t/v1-full", Row: 3}); err != nil {
+		t.Fatalf("repaired shard unreadable: %v", err)
+	}
+	// Row 0 is still corrupt; a full scrub heals it too.
+	report2, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.ShardsCorrupt != 1 || report2.Repaired != 1 {
+		t.Fatalf("scrub after repair = %+v", report2)
+	}
+	// Force reads through the rebuilt row 3 and verify the decode.
+	if err := cluster.Fail(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Error("version 1 mismatch after disk repair")
+	}
+}
+
 func TestRepairNodeDispersed(t *testing.T) {
 	cluster := store.NewMemCluster(0)
 	cfg := testConfig(BasicSEC, erasure.NonSystematicCauchy)

@@ -15,8 +15,11 @@ type ScrubReport struct {
 	ShardsChecked int
 	// ShardsMissing counts shards absent from their node.
 	ShardsMissing int
-	// ShardsCorrupt counts shards whose contents disagree with the
-	// codeword re-encoded from k healthy shards.
+	// ShardsCorrupt counts shards found damaged: the node itself failed
+	// the read with store.ErrCorrupt (checksum or header damage detected
+	// at read time), the shard's length disagrees with its siblings
+	// (truncated or grown), or its contents disagree with the codeword
+	// re-encoded from k healthy shards.
 	ShardsCorrupt int
 	// ShardsUnreachable counts shards on failed nodes (state unknown).
 	ShardsUnreachable int
@@ -62,7 +65,7 @@ func (a *Archive) Scrub(repair bool) (ScrubReport, error) {
 func (a *Archive) scrubObject(code codec, id string, version int, repair bool, report *ScrubReport) error {
 	n := code.N()
 	present := make(map[int][]byte, n)
-	var missing, unreachable []int
+	var missing, corrupt, unreachable []int
 	for row := 0; row < n; row++ {
 		node := a.cfg.Placement.NodeFor(version-1, row)
 		data, err := a.cluster.Get(node, store.ShardID{Object: id, Row: row})
@@ -70,6 +73,10 @@ func (a *Archive) scrubObject(code codec, id string, version int, repair bool, r
 		case err == nil:
 			report.ShardsChecked++
 			present[row] = data
+		case errors.Is(err, store.ErrCorrupt):
+			report.ShardsChecked++
+			report.ShardsCorrupt++
+			corrupt = append(corrupt, row)
 		case errors.Is(err, store.ErrNotFound):
 			report.ShardsChecked++
 			report.ShardsMissing++
@@ -79,6 +86,25 @@ func (a *Archive) scrubObject(code codec, id string, version int, repair bool, r
 			unreachable = append(unreachable, row)
 		default:
 			return fmt.Errorf("core: scrubbing %s#%d: %w", id, row, err)
+		}
+	}
+	// A truncated or grown shard cannot belong to any candidate decode
+	// window (the GF kernels require uniform lengths and would read out of
+	// bounds on the size of shards[0]); treat length outliers as corrupt up
+	// front and exclude them from decoding. Excluding them shrinks the
+	// majority denominator referenceCodeword votes over, so only a strict
+	// majority length may be trusted: on a tie (or worse) neither group can
+	// heal the other, and overwriting either would risk destroying the
+	// healthy shards.
+	if outliers := lengthOutliers(present); len(outliers) > 0 {
+		if 2*(len(present)-len(outliers)) <= len(present) {
+			report.ObjectsUndecodable++
+			return nil
+		}
+		for _, row := range outliers {
+			report.ShardsCorrupt++
+			corrupt = append(corrupt, row)
+			delete(present, row)
 		}
 	}
 	reference, ok := a.referenceCodeword(code, present)
@@ -93,6 +119,7 @@ func (a *Archive) scrubObject(code codec, id string, version int, repair bool, r
 			damaged = append(damaged, row)
 		}
 	}
+	damaged = append(damaged, corrupt...)
 	damaged = append(damaged, missing...)
 	if !repair {
 		return nil
@@ -163,6 +190,46 @@ func (a *Archive) referenceCodeword(code codec, present map[int][]byte) ([][]byt
 		candidate.Release()
 	}
 	return nil, false
+}
+
+// modalLength returns the most common value in lengths and how often it
+// appears, breaking ties toward the smaller length so the choice is
+// deterministic. It is the single length-consensus policy shared by both
+// healing paths: scrub's candidate-window filtering and repair's source
+// collection.
+func modalLength(lengths []int) (count, modal int) {
+	counts := make(map[int]int, len(lengths))
+	for _, l := range lengths {
+		counts[l]++
+	}
+	for l, c := range counts {
+		if c > count || (c == count && l < modal) {
+			count, modal = c, l
+		}
+	}
+	return count, modal
+}
+
+// lengthOutliers returns the rows whose shard length differs from the
+// modal length among the present shards, sorted. With no damage, or
+// all-equal lengths, the result is empty.
+func lengthOutliers(present map[int][]byte) []int {
+	lengths := make([]int, 0, len(present))
+	for _, data := range present {
+		lengths = append(lengths, len(data))
+	}
+	count, modal := modalLength(lengths)
+	if count == len(present) {
+		return nil
+	}
+	var outliers []int
+	for row, data := range present {
+		if len(data) != modal {
+			outliers = append(outliers, row)
+		}
+	}
+	sortInts(outliers)
+	return outliers
 }
 
 func sortInts(s []int) {

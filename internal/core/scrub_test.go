@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	"github.com/secarchive/sec/internal/erasure"
@@ -160,6 +161,225 @@ func TestScrubUndecodableObject(t *testing.T) {
 	}
 	if report.ObjectsUndecodable != 1 {
 		t.Errorf("undecodable = %d, want 1", report.ObjectsUndecodable)
+	}
+}
+
+// truncateShard replaces a stored shard with a shortened copy, the damage
+// MemNode cannot detect itself (no checksums in memory).
+func truncateShard(t *testing.T, cluster *store.Cluster, node int, id store.ShardID, drop int) {
+	t.Helper()
+	n, err := cluster.Node(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := n.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put(id, data[:len(data)-drop]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubHealsTruncatedShard(t *testing.T) {
+	a, cluster, versions := scrubArchive(t)
+	truncateShard(t, cluster, 2, store.ShardID{Object: "t/v1-full", Row: 2}, 2)
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 1 || report.Repaired != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	// The healed shard is full length and decodes correctly: force reads
+	// through it.
+	if err := cluster.Fail(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, versions[0]) {
+		t.Error("version 1 mismatch after truncation repair")
+	}
+}
+
+func TestScrubHealsGrownShard(t *testing.T) {
+	a, cluster, _ := scrubArchive(t)
+	node, err := cluster.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := store.ShardID{Object: "t/v2-delta", Row: 1}
+	data, err := node.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Put(id, append(data, 0xEE, 0xEE)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 1 || report.Repaired != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report, err = a.Scrub(false); err != nil || report.ShardsCorrupt != 0 {
+		t.Errorf("post-repair report = %+v, %v", report, err)
+	}
+}
+
+func TestScrubCombinedTruncatedAndMissingShards(t *testing.T) {
+	// Partial damage on two distinct nodes of the same object: one shard
+	// truncated, another missing. Both must be healed in one pass, and the
+	// truncated shard must not poison the candidate decode windows.
+	a, cluster, versions := scrubArchive(t)
+	truncateShard(t, cluster, 0, store.ShardID{Object: "t/v1-full", Row: 0}, 1)
+	node4, err := cluster.Node(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node4.Delete(store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 1 || report.ShardsMissing != 1 || report.Repaired != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	report, err = a.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 0 || report.ShardsMissing != 0 {
+		t.Errorf("post-repair report = %+v", report)
+	}
+	// Reads forced through both healed rows reproduce the object.
+	if err := cluster.Fail(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, versions[0]) {
+		t.Error("version 1 mismatch after combined repair")
+	}
+}
+
+func TestScrubLengthTieIsUndecodableNotDestructive(t *testing.T) {
+	// Half the shards truncated to one identical length: neither group is
+	// a strict majority, so scrub must declare the object undecodable
+	// instead of letting the damaged group outvote (and overwrite) the
+	// healthy one.
+	a, cluster, versions := scrubArchive(t)
+	for _, row := range []int{0, 1, 2} {
+		truncateShard(t, cluster, row, store.ShardID{Object: "t/v1-full", Row: row}, 2)
+	}
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ObjectsUndecodable != 1 {
+		t.Fatalf("report = %+v, want 1 undecodable object", report)
+	}
+	// The healthy shards were not overwritten: the object still decodes
+	// from them.
+	if err := cluster.Fail(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, versions[0]) {
+		t.Error("healthy shards were damaged by a non-majority repair")
+	}
+}
+
+// corruptDiskShardFiles flips a byte in up to limit shard files of a disk
+// node, returning how many were damaged.
+func corruptDiskShardFiles(t *testing.T, n *store.DiskNode, limit int) int {
+	t.Helper()
+	files, err := n.ShardFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := 0
+	for _, path := range files[:min(limit, len(files))] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-1] ^= 0x01
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	return damaged
+}
+
+func diskNodeAt(t *testing.T, cluster *store.Cluster, i int) *store.DiskNode {
+	t.Helper()
+	n, err := cluster.Node(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, ok := n.(*store.DiskNode)
+	if !ok {
+		t.Fatalf("node %d is %T, want *store.DiskNode", i, n)
+	}
+	return disk
+}
+
+func TestScrubHealsDiskBitRot(t *testing.T) {
+	// Disk-backed nodes detect bit rot themselves (CRC32C at read time)
+	// and fail Get with ErrCorrupt; scrub must treat that as damage to
+	// heal, not as a fatal error.
+	cluster, err := store.NewDiskCluster(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{42}, a.Capacity())
+	mustCommit(t, a, v1)
+
+	if n := corruptDiskShardFiles(t, diskNodeAt(t, cluster, 5), 1); n != 1 {
+		t.Fatalf("damaged %d files, want 1", n)
+	}
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsCorrupt != 1 || report.Repaired != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	report, err = a.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScrubReport{ShardsChecked: 6}
+	if report != want {
+		t.Errorf("post-repair report = %+v, want %+v", report, want)
+	}
+	// The healed shard decodes: read through it.
+	if err := cluster.Fail(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Error("version 1 mismatch after disk bit-rot repair")
 	}
 }
 

@@ -3,6 +3,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -42,6 +44,61 @@ func NewMemCluster(size int) *Cluster {
 // factory.
 func NewGrowableCluster(factory NodeFactory) *Cluster {
 	return &Cluster{factory: factory}
+}
+
+// NewDiskCluster returns a growable cluster of durable disk-backed nodes
+// rooted at baseDir (node i lives in baseDir/node-i), pre-populated with
+// size nodes. Reopening the same baseDir reattaches to the shards already
+// on disk. A node whose directory cannot be initialized joins the cluster
+// as a permanently-down node (every operation reports ErrNodeDown with the
+// cause) rather than failing the whole cluster.
+func NewDiskCluster(baseDir string, size int) (*Cluster, error) {
+	if err := os.MkdirAll(baseDir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating disk cluster at %s: %w", baseDir, err)
+	}
+	c := NewGrowableCluster(DiskNodeFactory(baseDir))
+	if err := c.EnsureSize(size); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DiskNodeFactory returns a NodeFactory creating disk-backed nodes under
+// baseDir, for growable clusters. Initialization failures yield a downed
+// placeholder node instead of an error: NodeFactory is infallible by
+// contract, and a cluster member that cannot open its storage is exactly a
+// node that is down.
+func DiskNodeFactory(baseDir string) NodeFactory {
+	return func(i int) Node {
+		id := fmt.Sprintf("disk-%d", i)
+		n, err := NewDiskNode(id, filepath.Join(baseDir, fmt.Sprintf("node-%d", i)))
+		if err != nil {
+			return &downNode{id: id, err: err}
+		}
+		return n
+	}
+}
+
+// downNode is a placeholder for a node whose backend could not be opened.
+// It is permanently unavailable and reports the initialization error from
+// every operation.
+type downNode struct {
+	id  string
+	err error
+}
+
+var _ Node = (*downNode)(nil)
+
+func (n *downNode) ID() string                   { return n.id }
+func (n *downNode) Put(ShardID, []byte) error    { return n.fail("put") }
+func (n *downNode) Get(ShardID) ([]byte, error)  { return nil, n.fail("get") }
+func (n *downNode) Delete(ShardID) error         { return n.fail("delete") }
+func (n *downNode) Available() bool              { return false }
+func (n *downNode) Stats() NodeStats             { return NodeStats{} }
+func (n *downNode) ResetStats()                  {}
+func (n *downNode) StatsErr() (NodeStats, error) { return NodeStats{}, n.fail("stats") }
+func (n *downNode) fail(op string) error {
+	return fmt.Errorf("%s on %s: %w: %w", op, n.id, ErrNodeDown, n.err)
 }
 
 // Size returns the current node count.
@@ -148,16 +205,36 @@ func (c *Cluster) HealAll() {
 	}
 }
 
-// TotalStats returns the sum of all nodes' I/O counters.
+// TotalStats returns the sum of all nodes' I/O counters. Nodes whose stats
+// cannot be fetched contribute zeros; use TotalStatsChecked when the
+// distinction matters (e.g. experiment accounting over a real network).
 func (c *Cluster) TotalStats() NodeStats {
+	total, _ := c.TotalStatsChecked()
+	return total
+}
+
+// TotalStatsChecked returns the sum of the reachable nodes' I/O counters
+// plus the IDs of nodes whose stats could not be fetched. A non-empty
+// second return means the total undercounts the cluster's true I/O.
+func (c *Cluster) TotalStatsChecked() (NodeStats, []string) {
 	c.mu.RLock()
 	nodes := append([]Node(nil), c.nodes...)
 	c.mu.RUnlock()
 	var total NodeStats
+	var unreachable []string
 	for _, n := range nodes {
+		if r, ok := n.(StatsReporter); ok {
+			s, err := r.StatsErr()
+			if err != nil {
+				unreachable = append(unreachable, n.ID())
+				continue
+			}
+			total = total.Add(s)
+			continue
+		}
 		total = total.Add(n.Stats())
 	}
-	return total
+	return total, unreachable
 }
 
 // ResetStats zeroes every node's I/O counters.

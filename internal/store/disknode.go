@@ -1,0 +1,441 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// On-disk shard file format (all integers big-endian):
+//
+//	offset 0   magic   "SECS"
+//	offset 4   version u16 (currently 1)
+//	offset 8   keyLen  u32
+//	offset 12  dataLen u32
+//	offset 16  crc     u32 CRC32C (Castagnoli) over key || payload
+//	offset 20  key     the shard's "object#row" string, then the payload
+//
+// The key is stored so that a (vanishingly unlikely) filename-hash
+// collision, or a file planted at the wrong path, is caught as corruption
+// instead of served as the wrong shard. Any header or content damage -
+// wrong magic, impossible lengths, truncation, growth, or a CRC mismatch -
+// surfaces as ErrCorrupt at read time.
+const (
+	shardMagic        = "SECS"
+	shardFormatV      = 1
+	shardHeaderLen    = 20
+	shardFileSuffix   = ".shard"
+	shardTmpPrefix    = ".tmp-"
+	diskMarkerName    = "SECNODE"
+	diskMarkerContent = "secnode-format 1\n"
+)
+
+var crc32c = crc32.MakeTable(crc32.Castagnoli)
+
+// DiskNode is a durable storage node keeping one file per shard under a
+// fanned-out directory tree. Writes are atomic (temp file + rename + parent
+// directory fsync), every shard carries a checksummed header so bit rot is
+// detected at read time as ErrCorrupt, and a node directory reopened after
+// a crash or restart serves exactly the shards whose writes completed. It
+// is safe for concurrent use.
+type DiskNode struct {
+	id  string
+	dir string
+
+	mu     sync.Mutex
+	failed bool
+	stats  NodeStats
+
+	// dirsMu guards durableDirs, the fan-out subdirectories whose creation
+	// has been flushed to their parents this process lifetime. A shard file
+	// is only crash-durable once every directory entry on its path is, so
+	// the first Put into a subdirectory fsyncs the parent chain.
+	dirsMu      sync.Mutex
+	durableDirs map[string]struct{}
+}
+
+var _ Node = (*DiskNode)(nil)
+var _ FaultInjector = (*DiskNode)(nil)
+
+// NewDiskNode creates (or reopens) a disk-backed node rooted at dir. The
+// directory and its format marker are created if missing, leftover
+// temporary files from an interrupted writer are discarded, and any shards
+// already present are served as-is.
+func NewDiskNode(id, dir string) (*DiskNode, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating disk node %s: %w", id, err)
+	}
+	marker := filepath.Join(dir, diskMarkerName)
+	raw, err := os.ReadFile(marker)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		if err := writeFileAtomic(marker, []byte(diskMarkerContent)); err != nil {
+			return nil, fmt.Errorf("store: initializing disk node %s: %w", id, err)
+		}
+	case err != nil:
+		return nil, fmt.Errorf("store: initializing disk node %s: %w", id, err)
+	case string(raw) != diskMarkerContent:
+		// A marker with foreign content means another tool (or a future
+		// format) owns this tree; writing v1 shards into it would intermix
+		// formats, so refuse exactly as OpenDiskNode does.
+		return nil, fmt.Errorf("store: initializing disk node %s at %s: unsupported format marker %q", id, dir, strings.TrimSpace(string(raw)))
+	}
+	return openDiskNode(id, dir)
+}
+
+// OpenDiskNode reopens an existing disk node directory, e.g. after a
+// process restart. Unlike NewDiskNode it refuses a directory that was not
+// initialized as a disk node, guarding against serving (or later wiping)
+// an unrelated tree.
+func OpenDiskNode(id, dir string) (*DiskNode, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, diskMarkerName))
+	if err != nil {
+		return nil, fmt.Errorf("store: opening disk node %s at %s: not a disk node directory: %w", id, dir, err)
+	}
+	if string(raw) != diskMarkerContent {
+		return nil, fmt.Errorf("store: opening disk node %s at %s: unsupported format marker %q", id, dir, strings.TrimSpace(string(raw)))
+	}
+	return openDiskNode(id, dir)
+}
+
+func openDiskNode(id, dir string) (*DiskNode, error) {
+	n := &DiskNode{id: id, dir: dir, durableDirs: make(map[string]struct{})}
+	if err := n.removeTempFiles(); err != nil {
+		return nil, fmt.Errorf("store: recovering disk node %s: %w", id, err)
+	}
+	return n, nil
+}
+
+// removeTempFiles discards partial writes left by a crashed process; their
+// renames never happened, so the shards they were replacing are intact.
+func (n *DiskNode) removeTempFiles() error {
+	return filepath.WalkDir(n.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // no shards written yet
+			}
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), shardTmpPrefix) {
+			return os.Remove(path)
+		}
+		return nil
+	})
+}
+
+// ID returns the node identifier.
+func (n *DiskNode) ID() string { return n.id }
+
+// Dir returns the node's root directory.
+func (n *DiskNode) Dir() string { return n.dir }
+
+func (n *DiskNode) shardRoot() string { return filepath.Join(n.dir, "shards") }
+
+// shardPath fans shards out over 256 subdirectories keyed by a hash of the
+// shard ID, so archives with millions of shards never pile every file into
+// one directory. The filename is the hash too: object names are arbitrary
+// strings (longer than a filename may be), so the stored key, not the path,
+// is the authority on what a file holds.
+func (n *DiskNode) shardPath(id ShardID) (dir, path string) {
+	sum := sha256.Sum256([]byte(id.String()))
+	dir = filepath.Join(n.shardRoot(), hex.EncodeToString(sum[:1]))
+	return dir, filepath.Join(dir, hex.EncodeToString(sum[1:17])+shardFileSuffix)
+}
+
+// checkUp returns ErrNodeDown while a failure is injected.
+func (n *DiskNode) checkUp(op string, id ShardID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return fmt.Errorf("%s %v on %s: %w", op, id, n.id, ErrNodeDown)
+	}
+	return nil
+}
+
+// Put durably stores a shard, overwriting any previous contents. The shard
+// is written to a temporary file, fsynced, renamed over the final path, and
+// the directory is fsynced: after Put returns, a crash cannot lose the
+// shard or expose a torn write.
+func (n *DiskNode) Put(id ShardID, data []byte) error {
+	if err := n.checkUp("put", id); err != nil {
+		return err
+	}
+	if int64(len(data)) > maxShardLen || int64(len(id.Object)) > maxShardLen {
+		return fmt.Errorf("put %v on %s: %d-byte shard exceeds the u32 format limit", id, n.id, len(data))
+	}
+	dir, path := n.shardPath(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("put %v on %s: %w", id, n.id, err)
+	}
+	if err := n.ensureDirDurable(dir); err != nil {
+		return fmt.Errorf("put %v on %s: %w", id, n.id, err)
+	}
+	if err := writeFileAtomic(path, encodeShardFile(id, data)); err != nil {
+		return fmt.Errorf("put %v on %s: %w", id, n.id, err)
+	}
+	n.mu.Lock()
+	n.stats.Writes++
+	n.stats.BytesWritten += uint64(len(data))
+	n.mu.Unlock()
+	return nil
+}
+
+// Get reads a shard back, verifying the header and CRC32C. It fails with
+// ErrNodeDown while the node is failed, ErrNotFound when the shard is
+// absent, and ErrCorrupt when the file exists but its contents cannot be
+// trusted; only successful reads are counted.
+func (n *DiskNode) Get(id ShardID) ([]byte, error) {
+	if err := n.checkUp("get", id); err != nil {
+		return nil, err
+	}
+	_, path := n.shardPath(id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)
+		}
+		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, err)
+	}
+	data, err := decodeShardFile(id, raw)
+	if err != nil {
+		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, err)
+	}
+	n.mu.Lock()
+	n.stats.Reads++
+	n.stats.BytesRead += uint64(len(data))
+	n.mu.Unlock()
+	return data, nil
+}
+
+// Delete removes the shard. It fails with ErrNodeDown while the node is
+// failed and ErrNotFound when the shard is absent.
+func (n *DiskNode) Delete(id ShardID) error {
+	if err := n.checkUp("delete", id); err != nil {
+		return err
+	}
+	_, path := n.shardPath(id)
+	if err := os.Remove(path); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("delete %v from %s: %w", id, n.id, ErrNotFound)
+		}
+		return fmt.Errorf("delete %v from %s: %w", id, n.id, err)
+	}
+	_ = syncDir(filepath.Dir(path)) // best effort: a resurrected shard is re-deletable
+	n.mu.Lock()
+	n.stats.Deletes++
+	n.mu.Unlock()
+	return nil
+}
+
+// Available reports whether the node accepts operations.
+func (n *DiskNode) Available() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.failed
+}
+
+// SetFailed injects or clears a crash-stop failure. Data is retained across
+// failures (it is on disk).
+func (n *DiskNode) SetFailed(failed bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = failed
+}
+
+// Stats returns a snapshot of the I/O counters. Counters are in-memory
+// only; they restart from zero with the process, like the paper's
+// per-experiment accounting.
+func (n *DiskNode) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (n *DiskNode) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = NodeStats{}
+}
+
+// ShardFiles returns the sorted paths of every shard file currently stored
+// (temporary files excluded). It walks the directory tree, so it is a
+// maintenance and test-tooling helper (damage simulation, offline
+// inspection), not a hot-path call.
+func (n *DiskNode) ShardFiles() ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(n.shardRoot(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // no shards written yet
+			}
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), shardFileSuffix) {
+			files = append(files, path)
+		}
+		return nil
+	})
+	sort.Strings(files)
+	return files, err
+}
+
+// Len returns the number of shard files currently stored, best effort.
+func (n *DiskNode) Len() int {
+	files, _ := n.ShardFiles()
+	return len(files)
+}
+
+// Wipe discards every stored shard, modelling the replacement of a failed
+// device with an empty one. Counters and failure state are unaffected.
+func (n *DiskNode) Wipe() error {
+	n.dirsMu.Lock()
+	clear(n.durableDirs) // recreated subdirectories need their parents re-flushed
+	n.dirsMu.Unlock()
+	if err := os.RemoveAll(n.shardRoot()); err != nil {
+		return fmt.Errorf("store: wiping %s: %w", n.id, err)
+	}
+	return syncDir(n.dir)
+}
+
+// Close flushes the node's directory metadata. Individual shard writes are
+// already durable when Put returns; Close is the graceful-shutdown
+// counterpart that fsyncs the root so directory-level operations (deletes,
+// first-time subdirectory creation) are on stable storage too.
+func (n *DiskNode) Close() error {
+	if err := syncDir(n.shardRoot()); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return syncDir(n.dir)
+}
+
+// ensureDirDurable makes a freshly created fan-out subdirectory itself
+// crash-durable by fsyncing its parents (shards/ and the node root), once
+// per subdirectory per process lifetime. The subdirectory's own contents
+// are fsynced by writeFileAtomic after each rename.
+func (n *DiskNode) ensureDirDurable(dir string) error {
+	n.dirsMu.Lock()
+	defer n.dirsMu.Unlock()
+	if _, ok := n.durableDirs[dir]; ok {
+		return nil
+	}
+	if err := syncDir(n.shardRoot()); err != nil {
+		return err
+	}
+	if err := syncDir(n.dir); err != nil {
+		return err
+	}
+	n.durableDirs[dir] = struct{}{}
+	return nil
+}
+
+// maxShardLen bounds payload and object-name sizes to what the u32 header
+// fields can record; beyond it Put must fail loudly rather than write a
+// file whose lengths wrap (and so can never be read back).
+const maxShardLen = 1<<32 - 1
+
+// encodeShardFile renders the on-disk representation of one shard.
+func encodeShardFile(id ShardID, data []byte) []byte {
+	key := id.String()
+	buf := make([]byte, shardHeaderLen, shardHeaderLen+len(key)+len(data))
+	copy(buf[0:4], shardMagic)
+	binary.BigEndian.PutUint16(buf[4:6], shardFormatV)
+	// buf[6:8] is reserved, zero.
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(key)))
+	binary.BigEndian.PutUint32(buf[12:16], uint32(len(data)))
+	buf = append(buf, key...)
+	buf = append(buf, data...)
+	binary.BigEndian.PutUint32(buf[16:20], crc32.Checksum(buf[shardHeaderLen:], crc32c))
+	return buf
+}
+
+// decodeShardFile validates a shard file and returns its payload. Every
+// failure mode maps to ErrCorrupt: the file exists, so "not found" would be
+// a lie, and trusting the bytes would hand decoding garbage.
+func decodeShardFile(id ShardID, raw []byte) ([]byte, error) {
+	if len(raw) < shardHeaderLen {
+		return nil, fmt.Errorf("%w: %d-byte file shorter than header", ErrCorrupt, len(raw))
+	}
+	if string(raw[0:4]) != shardMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, raw[0:4])
+	}
+	if v := binary.BigEndian.Uint16(raw[4:6]); v != shardFormatV {
+		return nil, fmt.Errorf("%w: unsupported shard format %d", ErrCorrupt, v)
+	}
+	// The reserved bytes are outside the CRC; damage there must still be
+	// flagged, and format v1 always writes them as zero.
+	if flags := binary.BigEndian.Uint16(raw[6:8]); flags != 0 {
+		return nil, fmt.Errorf("%w: unsupported flags %#x", ErrCorrupt, flags)
+	}
+	keyLen := int(binary.BigEndian.Uint32(raw[8:12]))
+	dataLen := int(binary.BigEndian.Uint32(raw[12:16]))
+	if keyLen < 0 || dataLen < 0 || len(raw)-shardHeaderLen != keyLen+dataLen {
+		return nil, fmt.Errorf("%w: header claims %d+%d bytes, file holds %d",
+			ErrCorrupt, keyLen, dataLen, len(raw)-shardHeaderLen)
+	}
+	body := raw[shardHeaderLen:]
+	if got, want := crc32.Checksum(body, crc32c), binary.BigEndian.Uint32(raw[16:20]); got != want {
+		return nil, fmt.Errorf("%w: CRC32C %08x, header says %08x", ErrCorrupt, got, want)
+	}
+	if key := string(body[:keyLen]); key != id.String() {
+		return nil, fmt.Errorf("%w: file holds shard %s", ErrCorrupt, key)
+	}
+	// Copy so the caller owns the result independent of the read buffer.
+	return append([]byte(nil), body[keyLen:]...), nil
+}
+
+// writeFileAtomic writes path via a temporary file in the same directory, an
+// fsync, a rename, and a directory fsync, so concurrent readers and crashes
+// see either the old contents or the complete new ones.
+func writeFileAtomic(path string, contents []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, shardTmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(contents); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil // closed: the deferred cleanup must not double-close
+	if err := os.Rename(name, path); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename or remove within it
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

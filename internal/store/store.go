@@ -7,6 +7,17 @@
 // successful Get counts as one I/O read in the node's statistics, which the
 // experiment harness aggregates and compares against the closed-form
 // formulas (3)-(4).
+//
+// # The ErrCorrupt contract
+//
+// A node that can verify shard integrity (DiskNode checks a per-shard
+// CRC32C at read time) reports a damaged-but-present shard by failing Get
+// with an error wrapping ErrCorrupt. Callers must treat ErrCorrupt exactly
+// like ErrNotFound for healing purposes - the shard is damaged, the object
+// may still be decodable from other rows, and scrub/repair rewrite it -
+// and must never fall back to using the returned bytes (there are none).
+// Nodes that cannot verify integrity (MemNode, and any remote node whose
+// backend cannot) simply never return it.
 package store
 
 import (
@@ -22,6 +33,10 @@ var (
 	// ErrNotFound is returned by Get and Delete when the shard is not on
 	// the node.
 	ErrNotFound = errors.New("store: shard not found")
+	// ErrCorrupt is returned by Get when the shard is present but fails
+	// integrity verification (bad header, truncation, CRC mismatch). See
+	// the package comment for the healing contract.
+	ErrCorrupt = errors.New("store: shard corrupt")
 )
 
 // ShardID identifies one coded shard: the Object names the stored codeword
@@ -74,6 +89,14 @@ type Node interface {
 	Stats() NodeStats
 	// ResetStats zeroes the I/O counters.
 	ResetStats()
+}
+
+// StatsReporter is implemented by nodes that can distinguish "no I/O yet"
+// from "stats could not be fetched" (e.g. a remote node behind a dead
+// network). Aggregators prefer StatsErr over Stats when available, so an
+// unreachable node is reported instead of silently contributing zeros.
+type StatsReporter interface {
+	StatsErr() (NodeStats, error)
 }
 
 // FaultInjector is implemented by nodes that support simulated failures

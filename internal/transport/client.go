@@ -28,6 +28,7 @@ type RemoteNode struct {
 }
 
 var _ store.Node = (*RemoteNode)(nil)
+var _ store.StatsReporter = (*RemoteNode)(nil)
 
 // ClientOption configures a RemoteNode.
 type ClientOption func(*RemoteNode)
@@ -49,6 +50,9 @@ func NewRemoteNode(id, addr string, opts ...ClientOption) *RemoteNode {
 
 // ID returns the client-side node identifier.
 func (n *RemoteNode) ID() string { return n.id }
+
+// Addr returns the server address the node dials.
+func (n *RemoteNode) Addr() string { return n.addr }
 
 // Put stores a shard on the remote node.
 func (n *RemoteNode) Put(id store.ShardID, data []byte) error {
@@ -73,18 +77,28 @@ func (n *RemoteNode) Available() bool {
 	return err == nil
 }
 
-// Stats fetches the remote node's I/O counters. Transport failures yield
-// zero counters: callers treat an unreachable node like a silent one.
+// Stats fetches the remote node's I/O counters. Transport and decode
+// failures yield zero counters to satisfy the store.Node interface; use
+// StatsErr when "unreachable" must be distinguishable from "idle".
 func (n *RemoteNode) Stats() store.NodeStats {
+	stats, _ := n.StatsErr()
+	return stats
+}
+
+// StatsErr fetches the remote node's I/O counters, reporting transport and
+// decode failures instead of swallowing them into zeros. Aggregators
+// (store.Cluster.TotalStatsChecked) use it to flag unreachable nodes so
+// experiment I/O accounting is never silently short.
+func (n *RemoteNode) StatsErr() (store.NodeStats, error) {
 	payload, err := n.roundTrip(request{op: opStats})
 	if err != nil {
-		return store.NodeStats{}
+		return store.NodeStats{}, err
 	}
 	stats, err := decodeStats(payload)
 	if err != nil {
-		return store.NodeStats{}
+		return store.NodeStats{}, fmt.Errorf("node %s: %w", n.id, err)
 	}
-	return stats
+	return stats, nil
 }
 
 // ResetStats zeroes the remote node's I/O counters (best effort).
@@ -106,6 +120,7 @@ func (n *RemoteNode) roundTrip(req request) ([]byte, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	reused := n.conn != nil
 	if err := n.connectLocked(); err != nil {
 		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
 	}
@@ -115,6 +130,20 @@ func (n *RemoteNode) roundTrip(req request) ([]byte, error) {
 		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
 	}
 	respBody, err := n.exchangeLocked(body)
+	if err != nil && reused {
+		// A kept-alive connection may be stale (the server restarted since
+		// the last operation), so retry exactly once on a fresh dial before
+		// reporting the node down. Put/Get/Ping/Stats are idempotent; a
+		// Delete whose first attempt was applied but whose response was
+		// lost reports ErrNotFound on the retry, which callers already
+		// treat as "gone" (at-least-once semantics).
+		_ = n.dropLocked()
+		if err = n.connectLocked(); err == nil {
+			if err = n.conn.SetDeadline(deadline); err == nil {
+				respBody, err = n.exchangeLocked(body)
+			}
+		}
+	}
 	if err != nil {
 		_ = n.dropLocked()
 		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)

@@ -31,12 +31,14 @@ const (
 	opResetStats
 )
 
-// Response status codes.
+// Response status codes. statusCorrupt was added after statusError; new
+// codes must keep appending so wire values stay stable across versions.
 const (
 	statusOK byte = iota
 	statusNotFound
 	statusNodeDown
 	statusError
+	statusCorrupt
 )
 
 // maxFrame bounds a frame body to keep a malformed peer from forcing huge
@@ -154,6 +156,8 @@ func statusFor(err error) byte {
 		return statusNotFound
 	case errors.Is(err, store.ErrNodeDown):
 		return statusNodeDown
+	case errors.Is(err, store.ErrCorrupt):
+		return statusCorrupt
 	default:
 		return statusError
 	}
@@ -168,6 +172,8 @@ func errorFor(status byte, payload []byte, id store.ShardID) error {
 		return fmt.Errorf("remote %v: %w", id, store.ErrNotFound)
 	case statusNodeDown:
 		return fmt.Errorf("remote %v: %w", id, store.ErrNodeDown)
+	case statusCorrupt:
+		return fmt.Errorf("remote %v: %w: %s", id, store.ErrCorrupt, payload)
 	default:
 		return fmt.Errorf("remote %v: %s", id, payload)
 	}

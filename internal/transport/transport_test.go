@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -116,6 +117,133 @@ func TestRemoteStats(t *testing.T) {
 	if mem.Stats() != (store.NodeStats{}) {
 		t.Error("ResetStats did not reach the backing node")
 	}
+}
+
+// corruptOneShardFile flips a byte in the first shard file of a disk node.
+func corruptOneShardFile(t *testing.T, disk *store.DiskNode) {
+	t.Helper()
+	files, err := disk.ShardFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no shard files to corrupt")
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x80
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteCorruptShardPropagates(t *testing.T) {
+	// End to end over the wire: a disk-backed server whose shard file rots
+	// must answer Get with the corrupt status, and the client must surface
+	// it as store.ErrCorrupt (not ErrNotFound, not a generic error).
+	disk, err := store.NewDiskNode("backing", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(disk)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := NewRemoteNode("remote", addr.String(), WithTimeout(2*time.Second))
+	t.Cleanup(func() { _ = client.Close() })
+
+	id := store.ShardID{Object: "o", Row: 0}
+	if err := client.Put(id, []byte("soon to rot")); err != nil {
+		t.Fatal(err)
+	}
+	corruptOneShardFile(t, disk)
+	_, err = client.Get(id)
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("Get = %v, want ErrCorrupt", err)
+	}
+	if errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrNodeDown) {
+		t.Errorf("corrupt shard misreported: %v", err)
+	}
+}
+
+func TestStatusCorruptCodec(t *testing.T) {
+	if got := statusFor(store.ErrCorrupt); got != statusCorrupt {
+		t.Errorf("statusFor(ErrCorrupt) = %d, want %d", got, statusCorrupt)
+	}
+	err := errorFor(statusCorrupt, []byte("CRC mismatch"), store.ShardID{Object: "o", Row: 1})
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("errorFor(statusCorrupt) = %v", err)
+	}
+}
+
+func TestRemoteStatsErr(t *testing.T) {
+	mem, client := startServer(t)
+	id := store.ShardID{Object: "o", Row: 0}
+	if err := client.Put(id, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.StatsErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Writes != 1 || stats.BytesWritten != 3 {
+		t.Errorf("StatsErr = %+v", stats)
+	}
+	_ = mem
+}
+
+func TestRemoteStatsErrReportsUnreachable(t *testing.T) {
+	srv := NewServer(store.NewMemNode("n"))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewRemoteNode("remote", addr.String(), WithTimeout(500*time.Millisecond))
+	t.Cleanup(func() { _ = client.Close() })
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.StatsErr(); err == nil {
+		t.Error("StatsErr against dead server: want error")
+	}
+	// The legacy interface shim still degrades to zeros.
+	if got := client.Stats(); got != (store.NodeStats{}) {
+		t.Errorf("Stats against dead server = %+v, want zeros", got)
+	}
+}
+
+func TestClusterTotalStatsCheckedFlagsDeadRemote(t *testing.T) {
+	// Two remote nodes; one server dies. The aggregate must carry the live
+	// node's counters and name the unreachable one instead of folding it
+	// into silent zeros.
+	memA, clientA := startServer(t)
+	srvB := NewServer(store.NewMemNode("b"))
+	addrB, err := srvB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientB := NewRemoteNode("remote-b", addrB.String(), WithTimeout(500*time.Millisecond))
+	t.Cleanup(func() { _ = clientB.Close() })
+
+	c := store.NewCluster([]store.Node{clientA, clientB})
+	if err := c.Put(0, store.ShardID{Object: "o", Row: 0}, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total, unreachable := c.TotalStatsChecked()
+	if total.Writes != 1 || total.BytesWritten != 2 {
+		t.Errorf("total = %+v", total)
+	}
+	if len(unreachable) != 1 || unreachable[0] != "remote-b" {
+		t.Errorf("unreachable = %v, want [remote-b]", unreachable)
+	}
+	_ = memA
 }
 
 func TestRemoteConcurrentClients(t *testing.T) {

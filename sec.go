@@ -120,6 +120,9 @@ type (
 	DispersedPlacement = store.DispersedPlacement
 	// MemNode is an in-memory node with failure injection.
 	MemNode = store.MemNode
+	// DiskNode is a durable disk-backed node: one checksummed file per
+	// shard, atomic writes, corruption detected at read time.
+	DiskNode = store.DiskNode
 )
 
 // Sentinel errors re-exported from the storage and archive layers.
@@ -128,6 +131,9 @@ var (
 	ErrNodeDown = store.ErrNodeDown
 	// ErrShardNotFound reports a missing shard.
 	ErrShardNotFound = store.ErrNotFound
+	// ErrShardCorrupt reports a shard that is present but failed integrity
+	// verification; Scrub(true) or RepairNode heal it.
+	ErrShardCorrupt = store.ErrCorrupt
 	// ErrNoSuchVersion reports a version number outside 1..L.
 	ErrNoSuchVersion = core.ErrNoSuchVersion
 	// ErrUnavailable reports that too few live shards remain.
@@ -154,6 +160,22 @@ func NewCluster(nodes []StorageNode) *Cluster { return store.NewCluster(nodes) }
 
 // NewMemNode returns an in-memory storage node.
 func NewMemNode(id string) *MemNode { return store.NewMemNode(id) }
+
+// NewDiskNode creates (or reopens) a durable disk-backed storage node
+// rooted at dir. Shards survive process restarts; bit rot is detected at
+// read time as ErrShardCorrupt.
+func NewDiskNode(id, dir string) (*DiskNode, error) { return store.NewDiskNode(id, dir) }
+
+// OpenDiskNode reopens an existing disk node directory (e.g. after a
+// restart), refusing directories not initialized by NewDiskNode.
+func OpenDiskNode(id, dir string) (*DiskNode, error) { return store.OpenDiskNode(id, dir) }
+
+// NewDiskCluster returns a growable cluster of disk-backed nodes rooted at
+// baseDir, pre-populated with size nodes. Reopening the same baseDir
+// reattaches to the shards already on disk.
+func NewDiskCluster(baseDir string, size int) (*Cluster, error) {
+	return store.NewDiskCluster(baseDir, size)
+}
 
 // Transport: serving nodes over TCP and connecting to them.
 type (
