@@ -436,6 +436,68 @@ func BenchmarkArchiveRetrieveLatestSparseChain(b *testing.B) {
 	}
 }
 
+// benchRemoteArchive builds a (20,10) archive whose 20 nodes are real
+// RemoteNode clients talking to loopback TCP servers, commits a chain of
+// one full version plus four sparse deltas, and measures Retrieve of the
+// chain tip. With batching (the default) the whole retrieval costs one
+// concurrent liveness ping per node plus one get-batch RPC per node; with
+// DisableBatchIO it pays one serial ping per row per object and one get
+// RPC per shard over the same topology, so the pair quantifies what
+// per-node batching buys on the wire.
+func benchRemoteArchive(b *testing.B, disableBatch bool) {
+	b.Helper()
+	const n, k = 20, 10
+	nodes := make([]sec.StorageNode, n)
+	for i := 0; i < n; i++ {
+		srv := transport.NewServer(store.NewMemNode(fmt.Sprintf("mem-%d", i)))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		client := transport.NewRemoteNode(fmt.Sprintf("remote-%d", i), addr.String())
+		defer client.Close()
+		nodes[i] = client
+	}
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Scheme:         sec.BasicSEC,
+		Code:           sec.NonSystematicCauchy,
+		N:              n,
+		K:              k,
+		BlockSize:      4096,
+		DisableBatchIO: disableBatch,
+	}, sec.NewCluster(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	v := make([]byte, archive.Capacity())
+	rng.Read(v)
+	if _, err := archive.Commit(v); err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		next, err := sec.SparseEdit(rng, v, 4096, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := archive.Commit(next); err != nil {
+			b.Fatal(err)
+		}
+		v = next
+	}
+	b.SetBytes(int64(len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := archive.Retrieve(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArchiveRetrieveTCPBatched(b *testing.B)  { benchRemoteArchive(b, false) }
+func BenchmarkArchiveRetrieveTCPPerShard(b *testing.B) { benchRemoteArchive(b, true) }
+
 func BenchmarkTransportRoundTrip(b *testing.B) {
 	srv := transport.NewServer(store.NewMemNode("bench"))
 	addr, err := srv.Listen("127.0.0.1:0")

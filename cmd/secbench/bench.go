@@ -1,0 +1,315 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+)
+
+// Machine-readable micro-benchmarks. Unlike the paper experiments (exact,
+// deterministic tables), these measure wall time of the hot paths so CI
+// can track the performance trajectory; each run writes one
+// BENCH_<name>.json artifact.
+
+// benchResult is one measured case within a benchmark.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	// RPC accounting per operation, for the TCP benchmarks: how many get
+	// RPCs (batch or per-shard) and liveness pings one retrieval costs.
+	GetRPCsPerOp  float64 `json:"get_rpcs_per_op,omitempty"`
+	PingRPCsPerOp float64 `json:"ping_rpcs_per_op,omitempty"`
+}
+
+// benchReport is the BENCH_*.json document.
+type benchReport struct {
+	Bench       string        `json:"bench"`
+	Description string        `json:"description"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Results     []benchResult `json:"results"`
+}
+
+// benchIDs lists the available benchmarks in run order.
+func benchIDs() []string { return []string{"encode", "retrieve", "tcp-retrieve"} }
+
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// runBenchmarks executes the selected benchmarks and writes one JSON
+// artifact per benchmark into outDir.
+func runBenchmarks(id, outDir string, out io.Writer) error {
+	ids := benchIDs()
+	if id != "all" {
+		found := false
+		for _, b := range ids {
+			if b == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown benchmark %q (want one of %s, or 'all')", id, strings.Join(benchIDs(), ", "))
+		}
+		ids = []string{id}
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("creating bench output dir: %w", err)
+	}
+	for _, b := range ids {
+		var report benchReport
+		var err error
+		switch b {
+		case "encode":
+			report, err = benchEncode()
+		case "retrieve":
+			report, err = benchRetrieve()
+		case "tcp-retrieve":
+			report, err = benchTCPRetrieve()
+		}
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", b, err)
+		}
+		path := filepath.Join(outDir, "BENCH_"+strings.ReplaceAll(b, "-", "_")+".json")
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		for _, r := range report.Results {
+			if _, err := fmt.Fprintf(out, "%s/%s: %d iters, %.0f ns/op", b, r.Name, r.Iterations, r.NsPerOp); err != nil {
+				return err
+			}
+			if r.MBPerS > 0 {
+				if _, err := fmt.Fprintf(out, ", %.1f MB/s", r.MBPerS); err != nil {
+					return err
+				}
+			}
+			if r.GetRPCsPerOp > 0 {
+				if _, err := fmt.Fprintf(out, ", %.1f get RPCs/op", r.GetRPCsPerOp); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(out); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(out, "wrote %s\n", path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measure runs fn repeatedly (after one warmup call) until minDuration has
+// elapsed or maxIters is reached, returning the iteration count and mean
+// ns/op.
+func measure(fn func() error) (int, float64, error) {
+	const (
+		minDuration = 150 * time.Millisecond
+		maxIters    = 2000
+	)
+	if err := fn(); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minDuration && iters < maxIters {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		iters++
+	}
+	return iters, float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+func mbPerS(bytesPerOp int64, nsPerOp float64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(bytesPerOp) / nsPerOp * 1e9 / 1e6
+}
+
+// benchEncode measures (20,10) erasure encoding throughput at 64 KiB
+// blocks, the coding substrate every commit pays.
+func benchEncode() (benchReport, error) {
+	report := benchReport{
+		Bench:       "encode",
+		Description: "(20,10) non-systematic Cauchy EncodeInto over 10x64KiB blocks",
+		GoMaxProcs:  gomaxprocs(),
+	}
+	const blockSize = 64 << 10
+	code, err := erasure.New(erasure.NonSystematicCauchy, 20, 10)
+	if err != nil {
+		return report, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([][]byte, 10)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockSize)
+		rng.Read(blocks[i])
+	}
+	shards := erasure.GetBuffers(20, blockSize)
+	defer shards.Release()
+	iters, nsPerOp, err := measure(func() error {
+		return code.EncodeInto(blocks, shards.Blocks)
+	})
+	if err != nil {
+		return report, err
+	}
+	bytesPerOp := int64(10 * blockSize)
+	report.Results = append(report.Results, benchResult{
+		Name:       "encode-into",
+		Iterations: iters,
+		NsPerOp:    nsPerOp,
+		BytesPerOp: bytesPerOp,
+		MBPerS:     mbPerS(bytesPerOp, nsPerOp),
+	})
+	return report, nil
+}
+
+// chainArchive commits one full (20,10) version and four 2-sparse deltas,
+// the canonical SEC chain the retrieval benchmarks read back.
+func chainArchive(cluster *sec.Cluster, disableBatch bool) (*sec.Archive, int, error) {
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Scheme:         sec.BasicSEC,
+		Code:           sec.NonSystematicCauchy,
+		N:              20,
+		K:              10,
+		BlockSize:      4096,
+		DisableBatchIO: disableBatch,
+	}, cluster)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(2))
+	v := make([]byte, archive.Capacity())
+	rng.Read(v)
+	if _, err := archive.Commit(v); err != nil {
+		return nil, 0, err
+	}
+	for j := 0; j < 4; j++ {
+		next, err := sec.SparseEdit(rng, v, 4096, 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := archive.Commit(next); err != nil {
+			return nil, 0, err
+		}
+		v = next
+	}
+	return archive, len(v), nil
+}
+
+// benchRetrieve measures chain-tip retrieval on in-memory nodes: the
+// decode and planning cost without any wire.
+func benchRetrieve() (benchReport, error) {
+	report := benchReport{
+		Bench:       "retrieve",
+		Description: "(20,10) BasicSEC Retrieve(5) of 1 full + 4 sparse deltas on in-memory nodes",
+		GoMaxProcs:  gomaxprocs(),
+	}
+	archive, size, err := chainArchive(sec.NewMemCluster(20), false)
+	if err != nil {
+		return report, err
+	}
+	iters, nsPerOp, err := measure(func() error {
+		_, _, err := archive.Retrieve(5)
+		return err
+	})
+	if err != nil {
+		return report, err
+	}
+	report.Results = append(report.Results, benchResult{
+		Name:       "mem-chain",
+		Iterations: iters,
+		NsPerOp:    nsPerOp,
+		BytesPerOp: int64(size),
+		MBPerS:     mbPerS(int64(size), nsPerOp),
+	})
+	return report, nil
+}
+
+// benchTCPRetrieve measures the same chain retrieval over 20 loopback TCP
+// nodes, once with per-node batching (the default) and once with the
+// per-shard path, reporting wall time and RPCs per retrieval for both.
+// This is the benchmark CI tracks: the batched path must issue one get
+// RPC per node, not one per shard.
+func benchTCPRetrieve() (benchReport, error) {
+	report := benchReport{
+		Bench:       "tcp-retrieve",
+		Description: "(20,10) BasicSEC Retrieve(5) over 20 loopback TCP nodes: per-node batches vs per-shard RPCs",
+		GoMaxProcs:  gomaxprocs(),
+	}
+	const n = 20
+	nodes := make([]sec.StorageNode, n)
+	servers := make([]*transport.Server, n)
+	for i := 0; i < n; i++ {
+		srv := transport.NewServer(store.NewMemNode(fmt.Sprintf("mem-%d", i)))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return report, err
+		}
+		defer srv.Close()
+		client := transport.NewRemoteNode(fmt.Sprintf("remote-%d", i), addr.String())
+		defer client.Close()
+		nodes[i] = client
+		servers[i] = srv
+	}
+	sumRPCs := func() (gets, pings uint64) {
+		for _, srv := range servers {
+			st := srv.RequestStats()
+			gets += st.Gets + st.GetBatches
+			pings += st.Pings
+		}
+		return gets, pings
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"batched", false},
+		{"per-shard", true},
+	} {
+		cluster := sec.NewCluster(nodes)
+		archive, size, err := chainArchive(cluster, mode.disable)
+		if err != nil {
+			return report, err
+		}
+		getsBefore, pingsBefore := sumRPCs()
+		iters, nsPerOp, err := measure(func() error {
+			_, _, err := archive.Retrieve(5)
+			return err
+		})
+		if err != nil {
+			return report, err
+		}
+		getsAfter, pingsAfter := sumRPCs()
+		// The warmup iteration is inside the RPC window too.
+		ops := float64(iters + 1)
+		report.Results = append(report.Results, benchResult{
+			Name:          mode.name,
+			Iterations:    iters,
+			NsPerOp:       nsPerOp,
+			BytesPerOp:    int64(size),
+			MBPerS:        mbPerS(int64(size), nsPerOp),
+			GetRPCsPerOp:  float64(getsAfter-getsBefore) / ops,
+			PingRPCsPerOp: float64(pingsAfter-pingsBefore) / ops,
+		})
+	}
+	return report, nil
+}

@@ -9,9 +9,15 @@
 //	secbench -list
 //	secbench -run fig2
 //	secbench -run all -format csv
+//	secbench -bench tcp-retrieve -benchout bench-artifacts
 //
 // Output goes to stdout; every experiment uses the paper's default
 // parameters and fixed seeds, so runs are reproducible.
+//
+// The -bench mode is different in kind: it measures wall time of the hot
+// paths (encode, retrieve, retrieve over loopback TCP) and writes one
+// machine-readable BENCH_<name>.json per benchmark into -benchout, the
+// artifacts CI uploads to track the performance trajectory.
 package main
 
 import (
@@ -34,9 +40,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("secbench", flag.ContinueOnError)
 	var (
-		runID  = fs.String("run", "all", "experiment to run (see -list), or 'all'")
-		format = fs.String("format", "table", "output format: table or csv")
-		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		runID    = fs.String("run", "all", "experiment to run (see -list), or 'all'")
+		format   = fs.String("format", "table", "output format: table or csv")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		bench    = fs.String("bench", "", "benchmark to run ("+strings.Join(benchIDs(), ", ")+", or 'all'); writes BENCH_*.json")
+		benchout = fs.String("benchout", ".", "directory for BENCH_*.json artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +52,9 @@ func run(args []string, out io.Writer) error {
 	if *list {
 		fmt.Fprintln(out, strings.Join(experiments.IDs(), "\n"))
 		return nil
+	}
+	if *bench != "" {
+		return runBenchmarks(*bench, *benchout, out)
 	}
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)

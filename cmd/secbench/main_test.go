@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +60,78 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-format", "xml"}, &out); err == nil {
 		t.Error("unknown format: want error")
+	}
+	if err := run([]string{"-bench", "nope"}, &out); err == nil {
+		t.Error("unknown benchmark: want error")
+	}
+}
+
+func TestBenchEncodeWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "encode", "-benchout", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_encode.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if report.Bench != "encode" || len(report.Results) == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	r := report.Results[0]
+	if r.Iterations <= 0 || r.NsPerOp <= 0 || r.MBPerS <= 0 {
+		t.Errorf("implausible measurement: %+v", r)
+	}
+	if !strings.Contains(out.String(), "BENCH_encode.json") {
+		t.Errorf("output does not name the artifact:\n%s", out.String())
+	}
+}
+
+func TestBenchTCPRetrieveReportsBatchedRPCs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP benchmark in -short mode")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "tcp-retrieve", "-benchout", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_tcp_retrieve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %d, want batched and per-shard", len(report.Results))
+	}
+	var batched, perShard *benchResult
+	for i := range report.Results {
+		switch report.Results[i].Name {
+		case "batched":
+			batched = &report.Results[i]
+		case "per-shard":
+			perShard = &report.Results[i]
+		}
+	}
+	if batched == nil || perShard == nil {
+		t.Fatalf("missing modes in %+v", report.Results)
+	}
+	// The wire-cost contract: the chain touches more shards than nodes, so
+	// batching must issue strictly fewer get RPCs than the per-shard path
+	// (one per node touched vs one per shard).
+	if batched.GetRPCsPerOp >= perShard.GetRPCsPerOp {
+		t.Errorf("batched path issued %.1f get RPCs/op, per-shard %.1f: batching is not collapsing RPCs",
+			batched.GetRPCsPerOp, perShard.GetRPCsPerOp)
+	}
+	if batched.PingRPCsPerOp >= perShard.PingRPCsPerOp {
+		t.Errorf("batched path issued %.1f pings/op, per-shard %.1f", batched.PingRPCsPerOp, perShard.PingRPCsPerOp)
 	}
 }

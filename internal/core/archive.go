@@ -336,7 +336,7 @@ func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
 		e := a.entries[j-1]
 		switch {
 		case e.hasDelta:
-			d, read, err := a.readDelta(j, e.gamma)
+			d, read, err := a.readDelta(j, e.gamma, nil)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -347,7 +347,7 @@ func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
 			}
 			versions[j] = next
 		case e.hasFull:
-			blocks, read, err := a.readFull(j)
+			blocks, read, err := a.readFull(j, nil)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -388,9 +388,13 @@ func (a *Archive) retrieveBlocksLocked(l int, stats *RetrievalStats) ([][]byte, 
 
 // materializeChain executes a chain plan, returning every version the walk
 // passes through (keyed by version number). XOR deltas are self-inverse, so
-// the same Apply advances forward chains and rewinds backward ones.
+// the same Apply advances forward chains and rewinds backward ones. All
+// shard reads of the chain are prefetched up front as one batch per node;
+// the per-object readers consume the prefetched rows and fetch more only
+// where the prefetch fell short.
 func (a *Archive) materializeChain(plan chainPlan, stats *RetrievalStats) (map[int][][]byte, error) {
-	current, read, err := a.readFull(plan.anchor)
+	sets := a.prefetchChain(plan)
+	current, read, err := a.readFull(plan.anchor, sets[fullID(a.cfg.Name, plan.anchor)])
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +403,7 @@ func (a *Archive) materializeChain(plan chainPlan, stats *RetrievalStats) (map[i
 	materialized := map[int][][]byte{ver: current}
 	for _, j := range plan.deltas {
 		e := a.entries[j-1]
-		d, read, err := a.readDelta(j, e.gamma)
+		d, read, err := a.readDelta(j, e.gamma, sets[deltaID(a.cfg.Name, j)])
 		if err != nil {
 			return nil, err
 		}
@@ -554,36 +558,259 @@ func (p chainPlan) materializedVersions() map[int]bool {
 	return covered
 }
 
-// readFull reads and decodes a fully stored version.
-func (a *Archive) readFull(version int) ([][]byte, ObjectRead, error) {
-	id := fullID(a.cfg.Name, version)
+// shardSet accumulates fetched shard rows across re-plan attempts, so a
+// partial failure re-fetches only the rows that are actually missing
+// instead of discarding everything already in hand.
+type shardSet struct {
+	data map[int][]byte // fetched shard contents by row
+	dead map[int]bool   // rows whose fetch failed (skip in later plans)
+	// reads counts successful node reads performed so far, the ObjectRead
+	// accounting (every fetched shard is eventually used or was needed by
+	// a plan at the time, so all of them are real retrieval I/O).
+	reads int
+	// sparseRows records the sparse read plan the chain prefetcher chose
+	// for a delta, so readDelta can decode straight from the prefetched
+	// rows without re-probing liveness.
+	sparseRows []int
+}
+
+func newShardSet() *shardSet {
+	return &shardSet{data: make(map[int][]byte), dead: make(map[int]bool)}
+}
+
+// fetch reads the listed rows of an object into the set, one batch per
+// node, marking permanently lost rows dead. It returns the last per-row
+// error (nil when every row arrived).
+func (s *shardSet) fetch(a *Archive, id string, version int, rows []int) error {
 	var lastErr error
-	for attempt := 0; attempt < readAttempts; attempt++ {
-		rows := a.liveRows(a.code, version)
-		if a.code.Systematic() {
-			rows = preferSystematic(rows, a.cfg.K)
-		}
-		if len(rows) < a.cfg.K {
-			return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(rows), a.cfg.K, id)
-		}
-		rows = rows[:a.cfg.K]
-		shards, err := a.readShards(id, version, rows)
-		if err != nil {
-			lastErr = err
+	for i, res := range a.readRows(id, version, rows) {
+		if res.Err != nil {
+			if rowLost(res.Err) {
+				s.dead[rows[i]] = true
+			}
+			lastErr = fmt.Errorf("core: reading %s#%d: %w", id, rows[i], res.Err)
 			continue
 		}
-		blocks, err := a.code.DecodeFull(rows, shards)
-		if err != nil {
-			return nil, ObjectRead{}, err
+		s.data[rows[i]] = res.Data
+		s.reads++
+	}
+	return lastErr
+}
+
+// rowLost reports whether a per-row read error is permanent for this
+// retrieval: the shard itself is missing or corrupt, so retrying the row
+// is pointless. Transient trouble (node down, transport errors) is NOT
+// marked dead - the next attempt's liveness probe excludes the node if it
+// is really gone and retries the row if it recovered, matching the
+// pre-batching re-plan behavior.
+func rowLost(err error) bool {
+	return errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrCorrupt)
+}
+
+// missing returns the subset of rows not yet fetched.
+func (s *shardSet) missing(rows []int) []int {
+	var missing []int
+	for _, r := range rows {
+		if _, ok := s.data[r]; !ok {
+			missing = append(missing, r)
 		}
-		return blocks, ObjectRead{Version: version, Reads: len(rows)}, nil
+	}
+	return missing
+}
+
+// take returns up to k fetched rows (sorted) and their shards.
+func (s *shardSet) take(k int) ([]int, [][]byte) {
+	rows := make([]int, 0, len(s.data))
+	for r := range s.data {
+		rows = append(rows, r)
+	}
+	sortInts(rows)
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	shards := make([][]byte, len(rows))
+	for i, r := range rows {
+		shards[i] = s.data[r]
+	}
+	return rows, shards
+}
+
+// select returns the shards for an exact row plan; ok is false unless every
+// row has been fetched.
+func (s *shardSet) selectRows(rows []int) ([][]byte, bool) {
+	shards := make([][]byte, len(rows))
+	for i, r := range rows {
+		data, ok := s.data[r]
+		if !ok {
+			return nil, false
+		}
+		shards[i] = data
+	}
+	return shards, true
+}
+
+// prefetchChain plans every shard read of a chain walk up front and
+// issues one batch per node covering all objects in the chain: node
+// liveness is probed concurrently (once per node, not once per row per
+// object), each object's read rows are chosen against that snapshot, and
+// a single cluster batch fetches everything. The result is one get RPC
+// per node for the whole retrieval in the healthy case. Prefetching is
+// purely a wire optimization: rows that fail are marked dead in their
+// object's shard set and the per-object readers top up or re-plan exactly
+// as they would have fetched in the first place, so read counts are
+// unchanged.
+func (a *Archive) prefetchChain(plan chainPlan) map[string]*shardSet {
+	if a.cfg.DisableBatchIO {
+		return nil
+	}
+	type objPlan struct {
+		id      string
+		version int
+		rows    []int
+		sparse  []int // non-nil when rows is a sparse read plan
+	}
+	// Probe each distinct placement node once, concurrently.
+	var nodes []int
+	seen := make(map[int]bool)
+	addNodes := func(code codec, version int) {
+		for row := 0; row < code.N(); row++ {
+			nd := a.cfg.Placement.NodeFor(version-1, row)
+			if !seen[nd] {
+				seen[nd] = true
+				nodes = append(nodes, nd)
+			}
+		}
+	}
+	addNodes(a.code, plan.anchor)
+	for _, j := range plan.deltas {
+		if a.entries[j-1].gamma != 0 {
+			addNodes(a.deltaCode, j)
+		}
+	}
+	avail := make([]bool, len(nodes))
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i, nd int) {
+			defer wg.Done()
+			avail[i] = a.cluster.Available(nd)
+		}(i, nd)
+	}
+	wg.Wait()
+	up := make(map[int]bool, len(nodes))
+	for i, nd := range nodes {
+		up[nd] = avail[i]
+	}
+	liveFor := func(code codec, version int) []int {
+		rows := make([]int, 0, code.N())
+		for row := 0; row < code.N(); row++ {
+			if up[a.cfg.Placement.NodeFor(version-1, row)] {
+				rows = append(rows, row)
+			}
+		}
+		return rows
+	}
+	// Choose the rows each object's reader would read. Objects whose live
+	// set is too small are skipped here; their reader reports the proper
+	// error (or catches a node that came back since the probe).
+	var plans []objPlan
+	if live := liveFor(a.code, plan.anchor); len(live) >= a.cfg.K {
+		if a.code.Systematic() {
+			live = preferSystematic(live, a.cfg.K)
+		}
+		plans = append(plans, objPlan{id: fullID(a.cfg.Name, plan.anchor), version: plan.anchor, rows: live[:a.cfg.K]})
+	}
+	for _, j := range plan.deltas {
+		gamma := a.entries[j-1].gamma
+		if gamma == 0 {
+			continue
+		}
+		live := liveFor(a.deltaCode, j)
+		id := deltaID(a.cfg.Name, j)
+		if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
+			plans = append(plans, objPlan{id: id, version: j, rows: rows, sparse: rows})
+		} else if len(live) >= a.cfg.K {
+			plans = append(plans, objPlan{id: id, version: j, rows: live[:a.cfg.K]})
+		}
+	}
+	if len(plans) == 0 {
+		return nil
+	}
+	var refs []store.ShardRef
+	var owner, rowOf []int
+	for pi, p := range plans {
+		for _, row := range p.rows {
+			refs = append(refs, store.ShardRef{
+				Node: a.cfg.Placement.NodeFor(p.version-1, row),
+				ID:   store.ShardID{Object: p.id, Row: row},
+			})
+			owner = append(owner, pi)
+			rowOf = append(rowOf, row)
+		}
+	}
+	sets := make(map[string]*shardSet, len(plans))
+	for _, p := range plans {
+		s := newShardSet()
+		s.sparseRows = p.sparse
+		sets[p.id] = s
+	}
+	for i, res := range a.cluster.GetBatch(refs) {
+		s := sets[plans[owner[i]].id]
+		if res.Err != nil {
+			if rowLost(res.Err) {
+				s.dead[rowOf[i]] = true
+			}
+			continue
+		}
+		s.data[rowOf[i]] = res.Data
+		s.reads++
+	}
+	return sets
+}
+
+// readFull reads and decodes a fully stored version. Reads are planned per
+// node and issued as one batch per node; rows that fail are marked dead
+// and only the deficit is re-fetched on the next attempt. A non-nil set
+// carries rows already prefetched by the chain planner.
+func (a *Archive) readFull(version int, set *shardSet) ([][]byte, ObjectRead, error) {
+	id := fullID(a.cfg.Name, version)
+	k := a.cfg.K
+	if set == nil {
+		set = newShardSet()
+	}
+	var lastErr error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if len(set.data) < k {
+			candidates := set.missing(a.liveRows(a.code, version, set.dead))
+			if a.code.Systematic() {
+				candidates = preferSystematic(candidates, k)
+			}
+			if len(set.data)+len(candidates) < k {
+				return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(set.data)+len(candidates), k, id)
+			}
+			if err := set.fetch(a, id, version, candidates[:k-len(set.data)]); err != nil {
+				lastErr = err
+			}
+		}
+		if len(set.data) >= k {
+			rows, shards := set.take(k)
+			blocks, err := a.code.DecodeFull(rows, shards)
+			if err != nil {
+				return nil, ObjectRead{}, err
+			}
+			return blocks, ObjectRead{Version: version, Reads: set.reads}, nil
+		}
 	}
 	return nil, ObjectRead{}, lastErr
 }
 
 // readDelta reads and decodes the delta of a version, using a sparse read
-// when the code admits one from the live shards.
-func (a *Archive) readDelta(version, gamma int) ([][]byte, ObjectRead, error) {
+// when the code admits one from the live shards. Shards fetched by a
+// sparse attempt that could not complete are kept and count toward the
+// full read it falls back to. A non-nil set carries rows already
+// prefetched by the chain planner (and, for sparse plans, which rows they
+// are), so the healthy path decodes without any further cluster traffic.
+func (a *Archive) readDelta(version, gamma int, set *shardSet) ([][]byte, ObjectRead, error) {
 	if gamma == 0 {
 		// Nothing changed: the delta is identically zero, no reads
 		// needed.
@@ -594,93 +821,141 @@ func (a *Archive) readDelta(version, gamma int) ([][]byte, ObjectRead, error) {
 		return zero, ObjectRead{Version: version, Delta: true}, nil
 	}
 	id := deltaID(a.cfg.Name, version)
+	k := a.cfg.K
+	if set == nil {
+		set = newShardSet()
+	}
 	var lastErr error
-	for attempt := 0; attempt < readAttempts; attempt++ {
-		live := a.liveRows(a.deltaCode, version)
-		if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
-			shards, err := a.readShards(id, version, rows)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			blocks, err := a.deltaCode.DecodeSparse(rows, shards, gamma)
+	trySparse := true
+	if planned := set.sparseRows; planned != nil {
+		set.sparseRows = nil
+		if shards, ok := set.selectRows(planned); ok {
+			blocks, err := a.deltaCode.DecodeSparse(planned, shards, gamma)
 			if err == nil {
-				return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: len(rows), Sparse: true}, nil
+				return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Sparse: true}, nil
 			}
-			// Sparse decode failure (e.g. stale manifest gamma):
-			// fall through to a full read.
+			// Sparse decode failure (e.g. stale manifest gamma): fall
+			// through to a full read, reusing the fetched shards.
+			trySparse = false
 		}
-		if len(live) < a.cfg.K {
-			return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(live), a.cfg.K, id)
+	}
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		live := a.liveRows(a.deltaCode, version, set.dead)
+		if trySparse {
+			if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
+				if err := set.fetch(a, id, version, set.missing(rows)); err != nil {
+					// Some sparse rows are gone; re-plan against the
+					// shrunken live set, keeping what arrived.
+					lastErr = err
+					continue
+				}
+				shards, ok := set.selectRows(rows)
+				if !ok {
+					continue // unreachable: fetch succeeded for all rows
+				}
+				blocks, err := a.deltaCode.DecodeSparse(rows, shards, gamma)
+				if err == nil {
+					return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Sparse: true}, nil
+				}
+				// Sparse decode failure (e.g. stale manifest gamma): fall
+				// through to a full read, reusing the fetched shards.
+				trySparse = false
+			}
 		}
-		rows := live[:a.cfg.K]
-		shards, err := a.readShards(id, version, rows)
-		if err != nil {
-			lastErr = err
-			continue
+		if len(set.data) < k {
+			candidates := set.missing(live)
+			if len(set.data)+len(candidates) < k {
+				return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(set.data)+len(candidates), k, id)
+			}
+			if err := set.fetch(a, id, version, candidates[:k-len(set.data)]); err != nil {
+				lastErr = err
+			}
 		}
-		blocks, err := a.deltaCode.DecodeFull(rows, shards)
-		if err != nil {
-			return nil, ObjectRead{}, err
+		if len(set.data) >= k {
+			rows, shards := set.take(k)
+			blocks, err := a.deltaCode.DecodeFull(rows, shards)
+			if err != nil {
+				return nil, ObjectRead{}, err
+			}
+			return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads}, nil
 		}
-		return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: len(rows)}, nil
 	}
 	return nil, ObjectRead{}, lastErr
 }
 
-// readShards fetches the given shard rows of an object, in parallel when
-// the archive is configured with ReadConcurrency > 1.
-func (a *Archive) readShards(id string, version int, rows []int) ([][]byte, error) {
-	if a.cfg.ReadConcurrency > 1 && len(rows) > 1 {
-		return a.readShardsParallel(id, version, rows)
-	}
-	shards := make([][]byte, len(rows))
+// rowRefs maps shard rows of an object to their placement nodes.
+func (a *Archive) rowRefs(id string, version int, rows []int) []store.ShardRef {
+	refs := make([]store.ShardRef, len(rows))
 	for i, row := range rows {
-		data, err := a.readShard(id, version, row)
-		if err != nil {
-			return nil, err
-		}
-		shards[i] = data
-	}
-	return shards, nil
-}
-
-func (a *Archive) readShardsParallel(id string, version int, rows []int) ([][]byte, error) {
-	shards := make([][]byte, len(rows))
-	errs := make([]error, len(rows))
-	sem := make(chan struct{}, a.cfg.ReadConcurrency)
-	var wg sync.WaitGroup
-	for i, row := range rows {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i, row int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			shards[i], errs[i] = a.readShard(id, version, row)
-		}(i, row)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		refs[i] = store.ShardRef{
+			Node: a.cfg.Placement.NodeFor(version-1, row),
+			ID:   store.ShardID{Object: id, Row: row},
 		}
 	}
-	return shards, nil
+	return refs
 }
 
-func (a *Archive) readShard(id string, version, row int) ([]byte, error) {
-	node := a.cfg.Placement.NodeFor(version-1, row)
-	data, err := a.cluster.Get(node, store.ShardID{Object: id, Row: row})
-	if err != nil {
-		return nil, fmt.Errorf("core: reading %s#%d from node %d: %w", id, row, node, err)
+// readRows fetches the given shard rows of an object, grouped into one
+// batch per placement node (per-shard cluster operations when
+// Config.DisableBatchIO is set). Results are aligned with rows; each row
+// fails or succeeds independently.
+func (a *Archive) readRows(id string, version int, rows []int) []store.ShardResult {
+	refs := a.rowRefs(id, version, rows)
+	if a.cfg.DisableBatchIO {
+		return a.readRefsPerShard(refs)
 	}
-	return data, nil
+	return a.cluster.GetBatch(refs)
 }
 
-// liveRows returns the shard rows of an object whose nodes are available.
-func (a *Archive) liveRows(code codec, version int) []int {
+// readRefsPerShard is the pre-batching read path: one cluster Get per
+// shard, in parallel when ReadConcurrency > 1.
+func (a *Archive) readRefsPerShard(refs []store.ShardRef) []store.ShardResult {
+	results := make([]store.ShardResult, len(refs))
+	if a.cfg.ReadConcurrency > 1 && len(refs) > 1 {
+		sem := make(chan struct{}, a.cfg.ReadConcurrency)
+		var wg sync.WaitGroup
+		for i, ref := range refs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, ref store.ShardRef) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				data, err := a.cluster.Get(ref.Node, ref.ID)
+				results[i] = store.ShardResult{Data: data, Err: err}
+			}(i, ref)
+		}
+		wg.Wait()
+		return results
+	}
+	for i, ref := range refs {
+		data, err := a.cluster.Get(ref.Node, ref.ID)
+		results[i] = store.ShardResult{Data: data, Err: err}
+	}
+	return results
+}
+
+// writeRows stores data[i] under row rows[i] of an object, grouped into
+// one batch per placement node. The returned errors are aligned with rows.
+func (a *Archive) writeRows(id string, version int, rows []int, data [][]byte) []error {
+	refs := a.rowRefs(id, version, rows)
+	if a.cfg.DisableBatchIO {
+		errs := make([]error, len(refs))
+		for i, ref := range refs {
+			errs[i] = a.cluster.Put(ref.Node, ref.ID, data[i])
+		}
+		return errs
+	}
+	return a.cluster.PutBatch(refs, data)
+}
+
+// liveRows returns the shard rows of an object whose nodes are available,
+// skipping rows already known dead this retrieval.
+func (a *Archive) liveRows(code codec, version int, dead map[int]bool) []int {
 	rows := make([]int, 0, code.N())
 	for row := 0; row < code.N(); row++ {
+		if dead[row] {
+			continue
+		}
 		if a.cluster.Available(a.cfg.Placement.NodeFor(version-1, row)) {
 			rows = append(rows, row)
 		}
@@ -688,23 +963,33 @@ func (a *Archive) liveRows(code codec, version int) []int {
 	return rows
 }
 
-// writeObject encodes blocks with the given code and stores every shard.
-// Shard buffers are pooled: the encode allocates nothing in steady state
-// (cluster nodes copy shard contents on Put).
+// writeObject encodes blocks with the given code and stores every shard,
+// one batch per node. Shard buffers are pooled: the encode allocates
+// nothing in steady state (cluster nodes copy shard contents on Put).
+// Every shard is attempted even when one fails, so a commit interrupted by
+// one dead node leaves as few holes as possible; the first failure is
+// returned.
 func (a *Archive) writeObject(code codec, id string, version int, blocks [][]byte, writes *int) error {
 	bufs := erasure.GetBuffers(code.N(), blockLenOf(blocks))
 	defer bufs.Release()
 	if err := code.EncodeInto(blocks, bufs.Blocks); err != nil {
 		return err
 	}
-	for row, shard := range bufs.Blocks {
-		node := a.cfg.Placement.NodeFor(version-1, row)
-		if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, shard); err != nil {
-			return fmt.Errorf("core: writing %s#%d to node %d: %w", id, row, node, err)
-		}
-		*writes++
+	rows := make([]int, code.N())
+	for row := range rows {
+		rows[row] = row
 	}
-	return nil
+	var firstErr error
+	for row, err := range a.writeRows(id, version, rows, bufs.Blocks) {
+		if err == nil {
+			*writes++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: writing %s#%d to node %d: %w", id, row, a.cfg.Placement.NodeFor(version-1, row), err)
+		}
+	}
+	return firstErr
 }
 
 // deleteObject removes an object's shards best-effort, returning how many

@@ -58,22 +58,28 @@ func (a *Archive) RepairNode(node int) (RepairReport, error) {
 }
 
 // repairObject checks (and if needed rebuilds) the rows of one stored
-// object that live on the target node.
+// object that live on the target node. The probe reads every such row in
+// one batch against the node.
 func (a *Archive) repairObject(code codec, id string, version, node int, report *RepairReport) error {
+	var rows []int
 	for row := 0; row < code.N(); row++ {
-		if a.cfg.Placement.NodeFor(version-1, row) != node {
-			continue
+		if a.cfg.Placement.NodeFor(version-1, row) == node {
+			rows = append(rows, row)
 		}
-		report.ShardsChecked++
-		_, err := a.cluster.Get(node, store.ShardID{Object: id, Row: row})
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	report.ShardsChecked += len(rows)
+	for i, res := range a.readRows(id, version, rows) {
 		switch {
-		case err == nil:
+		case res.Err == nil:
 			report.ShardsHealthy++
 			continue
-		case !errors.Is(err, store.ErrNotFound) && !errors.Is(err, store.ErrCorrupt):
-			return fmt.Errorf("core: probing %s#%d on node %d: %w", id, row, node, err)
+		case !errors.Is(res.Err, store.ErrNotFound) && !errors.Is(res.Err, store.ErrCorrupt):
+			return fmt.Errorf("core: probing %s#%d on node %d: %w", id, rows[i], node, res.Err)
 		}
-		if err := a.rebuildShard(code, id, version, node, row, report); err != nil {
+		if err := a.rebuildShard(code, id, version, node, rows[i], report); err != nil {
 			return err
 		}
 	}
@@ -123,10 +129,11 @@ func (a *Archive) rebuildShard(code codec, id string, version, node, row int, re
 }
 
 // collectIntactShards reads candidate rows until k intact shards of equal
-// length are in hand. Per-row damage (missing, corrupt, node lost since the
-// liveness probe) skips that row. In the healthy case this costs exactly k
-// reads; once two shard lengths disagree, every remaining candidate is read
-// and only a strict-majority length group (of at least k) is trusted -
+// length are in hand, fetching per-node batches of exactly the current
+// deficit. Per-row damage (missing, corrupt, node lost since the liveness
+// probe) skips that row. In the healthy case this costs exactly k reads in
+// one wave; once two shard lengths disagree, every remaining candidate is
+// read and only a strict-majority length group (of at least k) is trusted -
 // stopping at the first k same-length shards would let a group of
 // identically length-damaged shards masquerade as the object and rebuild
 // garbage. Every successful node read is counted in reads, including
@@ -135,23 +142,37 @@ func (a *Archive) collectIntactShards(id string, version int, candidates []int, 
 	rows := make([]int, 0, len(candidates))
 	shards := make([][]byte, 0, len(candidates))
 	uniform := true
-	for _, r := range candidates {
-		data, err := a.readShard(id, version, r)
-		switch {
-		case err == nil:
-		case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrCorrupt),
-			errors.Is(err, store.ErrNodeDown), errors.Is(err, store.ErrClusterTooSmall):
-			continue // this row cannot help; plenty of others may
-		default:
-			return nil, nil, err
+	next := 0
+	for next < len(candidates) {
+		var wave []int
+		if uniform {
+			if len(rows) >= k {
+				return rows, shards, nil
+			}
+			wave = candidates[next:min(next+k-len(rows), len(candidates))]
+		} else {
+			// Lengths disagree: read everything left so the majority vote
+			// sees the full picture.
+			wave = candidates[next:]
 		}
-		*reads++
-		rows = append(rows, r)
-		shards = append(shards, data)
-		uniform = uniform && len(data) == len(shards[0])
-		if uniform && len(rows) == k {
-			return rows, shards, nil
+		next += len(wave)
+		for i, res := range a.readRows(id, version, wave) {
+			switch {
+			case res.Err == nil:
+			case errors.Is(res.Err, store.ErrNotFound), errors.Is(res.Err, store.ErrCorrupt),
+				errors.Is(res.Err, store.ErrNodeDown), errors.Is(res.Err, store.ErrClusterTooSmall):
+				continue // this row cannot help; plenty of others may
+			default:
+				return nil, nil, fmt.Errorf("core: reading %s#%d: %w", id, wave[i], res.Err)
+			}
+			*reads++
+			rows = append(rows, wave[i])
+			shards = append(shards, res.Data)
+			uniform = uniform && len(res.Data) == len(shards[0])
 		}
+	}
+	if uniform && len(rows) >= k {
+		return rows[:k], shards[:k], nil
 	}
 	if count, modal := modalLength(shardLengths(shards)); count >= k && 2*count > len(shards) {
 		rows, shards = filterByLength(rows, shards, modal)

@@ -130,10 +130,17 @@ type Config struct {
 	// of deltas degrades accordingly.
 	PunctureDeltas int
 	// ReadConcurrency bounds the number of shards fetched in parallel
-	// during a retrieval (values below 2 mean sequential reads). Read
-	// counts are unaffected; only latency improves, which matters for
-	// remote (TCP) nodes.
+	// during a retrieval when DisableBatchIO is set (values below 2 mean
+	// sequential reads). The default batched I/O path groups shards into
+	// one operation per node instead, with node batches always running
+	// concurrently. Read counts are unaffected either way; only latency
+	// changes, which matters for remote (TCP) nodes.
 	ReadConcurrency int
+	// DisableBatchIO forces one cluster operation per shard instead of
+	// grouping reads and writes into one batch per node. Batching changes
+	// neither read counts nor results - this switch exists for
+	// differential testing and for measuring what batching buys.
+	DisableBatchIO bool
 }
 
 func (c Config) withDefaults() Config {

@@ -61,31 +61,34 @@ func (a *Archive) Scrub(repair bool) (ScrubReport, error) {
 	return report, nil
 }
 
-// scrubObject checks one stored object's shards.
+// scrubObject checks one stored object's shards. All n rows are read up
+// front, one batch per node, and classified from the per-shard results.
 func (a *Archive) scrubObject(code codec, id string, version int, repair bool, report *ScrubReport) error {
 	n := code.N()
+	rows := make([]int, n)
+	for row := range rows {
+		rows[row] = row
+	}
 	present := make(map[int][]byte, n)
 	var missing, corrupt, unreachable []int
-	for row := 0; row < n; row++ {
-		node := a.cfg.Placement.NodeFor(version-1, row)
-		data, err := a.cluster.Get(node, store.ShardID{Object: id, Row: row})
+	for row, res := range a.readRows(id, version, rows) {
 		switch {
-		case err == nil:
+		case res.Err == nil:
 			report.ShardsChecked++
-			present[row] = data
-		case errors.Is(err, store.ErrCorrupt):
+			present[row] = res.Data
+		case errors.Is(res.Err, store.ErrCorrupt):
 			report.ShardsChecked++
 			report.ShardsCorrupt++
 			corrupt = append(corrupt, row)
-		case errors.Is(err, store.ErrNotFound):
+		case errors.Is(res.Err, store.ErrNotFound):
 			report.ShardsChecked++
 			report.ShardsMissing++
 			missing = append(missing, row)
-		case errors.Is(err, store.ErrNodeDown) || errors.Is(err, store.ErrClusterTooSmall):
+		case errors.Is(res.Err, store.ErrNodeDown) || errors.Is(res.Err, store.ErrClusterTooSmall):
 			report.ShardsUnreachable++
 			unreachable = append(unreachable, row)
 		default:
-			return fmt.Errorf("core: scrubbing %s#%d: %w", id, row, err)
+			return fmt.Errorf("core: scrubbing %s#%d: %w", id, row, res.Err)
 		}
 	}
 	// A truncated or grown shard cannot belong to any candidate decode
@@ -121,17 +124,24 @@ func (a *Archive) scrubObject(code codec, id string, version int, repair bool, r
 	}
 	damaged = append(damaged, corrupt...)
 	damaged = append(damaged, missing...)
-	if !repair {
+	if !repair || len(damaged) == 0 {
 		return nil
 	}
-	for _, row := range damaged {
-		node := a.cfg.Placement.NodeFor(version-1, row)
-		if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, reference[row]); err != nil {
-			return fmt.Errorf("core: rewriting %s#%d: %w", id, row, err)
+	rewrites := make([][]byte, len(damaged))
+	for i, row := range damaged {
+		rewrites[i] = reference[row]
+	}
+	var firstErr error
+	for i, err := range a.writeRows(id, version, damaged, rewrites) {
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: rewriting %s#%d: %w", id, damaged[i], err)
+			}
+			continue
 		}
 		report.Repaired++
 	}
-	return nil
+	return firstErr
 }
 
 // referenceCodeword finds a decode of the object on which at least k of

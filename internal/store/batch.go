@@ -1,0 +1,169 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ShardResult is the per-shard outcome of a batch operation. Exactly one
+// of Data and Err is meaningful: a successful Get carries the shard bytes,
+// a failure carries an error wrapping one of the store sentinels
+// (ErrNotFound, ErrCorrupt, ErrNodeDown) or a transport-specific cause.
+type ShardResult struct {
+	// Data holds the shard contents of a successful Get. It is nil for
+	// Put results and for failures.
+	Data []byte
+	// Err is nil on success. On failure it wraps the store sentinel
+	// describing the shard's fate, so callers can errors.Is their way to
+	// a healing decision per shard instead of per batch.
+	Err error
+}
+
+// BatchNode is an optional capability of storage nodes that can serve
+// several shard operations in one call, amortizing per-operation costs
+// (lock acquisitions, directory syncs, network round trips). The returned
+// slice is aligned with the input: result i is the outcome for ids[i].
+//
+// Batching is a transport optimization, not an accounting one: a batch of
+// m successful reads still counts m Reads in NodeStats, preserving the
+// paper's per-shard I/O metric exactly.
+type BatchNode interface {
+	// GetBatch reads every listed shard, returning one result per id.
+	GetBatch(ids []ShardID) []ShardResult
+	// PutBatch stores data[i] under ids[i], returning one error per
+	// shard (nil for successes). len(data) must equal len(ids).
+	PutBatch(ids []ShardID, data [][]byte) []error
+}
+
+// GetShards reads a batch of shards from any node: natively when the node
+// implements BatchNode, with a transparent per-shard loop otherwise.
+func GetShards(n Node, ids []ShardID) []ShardResult {
+	if b, ok := n.(BatchNode); ok {
+		return b.GetBatch(ids)
+	}
+	results := make([]ShardResult, len(ids))
+	for i, id := range ids {
+		data, err := n.Get(id)
+		results[i] = ShardResult{Data: data, Err: err}
+	}
+	return results
+}
+
+// PutShards stores a batch of shards on any node: natively when the node
+// implements BatchNode, with a transparent per-shard loop otherwise.
+func PutShards(n Node, ids []ShardID, data [][]byte) []error {
+	if b, ok := n.(BatchNode); ok {
+		return b.PutBatch(ids, data)
+	}
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		errs[i] = n.Put(id, data[i])
+	}
+	return errs
+}
+
+// ShardRef addresses one shard on one cluster node, the unit of a
+// cluster-level batch.
+type ShardRef struct {
+	// Node is the cluster node index holding the shard.
+	Node int
+	// ID names the shard on that node.
+	ID ShardID
+}
+
+// nodeBatch collects the positions of one node's refs within a
+// cluster-level batch, so per-node results can be scattered back in order.
+type nodeBatch struct {
+	node    Node
+	nodeErr error // non-nil when the node index was out of range
+	idx     []int // positions into the original refs slice
+	ids     []ShardID
+}
+
+// groupByNode partitions refs into per-node batches, preserving the
+// original order within each node.
+func (c *Cluster) groupByNode(refs []ShardRef) []*nodeBatch {
+	order := make([]*nodeBatch, 0, 4)
+	byNode := make(map[int]*nodeBatch, 4)
+	for i, ref := range refs {
+		b, ok := byNode[ref.Node]
+		if !ok {
+			n, err := c.Node(ref.Node)
+			b = &nodeBatch{node: n, nodeErr: err}
+			byNode[ref.Node] = b
+			order = append(order, b)
+		}
+		b.idx = append(b.idx, i)
+		b.ids = append(b.ids, ref.ID)
+	}
+	return order
+}
+
+// GetBatch reads the listed shards, grouping them by node and issuing one
+// batch per node; batches to distinct nodes run concurrently. The result
+// slice is aligned with refs. Nodes that do not implement BatchNode are
+// served by a per-shard loop, so mixed clusters (in-memory, disk, remote)
+// work transparently; out-of-range node indices yield per-shard
+// ErrClusterTooSmall results instead of failing the whole batch.
+func (c *Cluster) GetBatch(refs []ShardRef) []ShardResult {
+	results := make([]ShardResult, len(refs))
+	runNodeBatches(c.groupByNode(refs), func(b *nodeBatch) {
+		if b.nodeErr != nil {
+			for _, i := range b.idx {
+				results[i] = ShardResult{Err: b.nodeErr}
+			}
+			return
+		}
+		for j, res := range GetShards(b.node, b.ids) {
+			results[b.idx[j]] = res
+		}
+	})
+	return results
+}
+
+// PutBatch stores data[i] under refs[i], grouped into one batch per node;
+// batches to distinct nodes run concurrently. It returns one error per
+// shard, aligned with refs.
+func (c *Cluster) PutBatch(refs []ShardRef, data [][]byte) []error {
+	if len(data) != len(refs) {
+		panic(fmt.Sprintf("store: PutBatch got %d refs but %d payloads", len(refs), len(data)))
+	}
+	errs := make([]error, len(refs))
+	runNodeBatches(c.groupByNode(refs), func(b *nodeBatch) {
+		if b.nodeErr != nil {
+			for _, i := range b.idx {
+				errs[i] = b.nodeErr
+			}
+			return
+		}
+		payloads := make([][]byte, len(b.idx))
+		for j, i := range b.idx {
+			payloads[j] = data[i]
+		}
+		for j, err := range PutShards(b.node, b.ids, payloads) {
+			errs[b.idx[j]] = err
+		}
+	})
+	return errs
+}
+
+// runNodeBatches executes one function per node batch, in parallel when
+// more than one node is involved (each batch writes disjoint result
+// positions, so no further synchronization is needed).
+func runNodeBatches(batches []*nodeBatch, run func(*nodeBatch)) {
+	if len(batches) <= 1 {
+		for _, b := range batches {
+			run(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, b := range batches {
+		wg.Add(1)
+		go func(b *nodeBatch) {
+			defer wg.Done()
+			run(b)
+		}(b)
+	}
+	wg.Wait()
+}

@@ -64,6 +64,7 @@ type DiskNode struct {
 }
 
 var _ Node = (*DiskNode)(nil)
+var _ BatchNode = (*DiskNode)(nil)
 var _ FaultInjector = (*DiskNode)(nil)
 
 // NewDiskNode creates (or reopens) a disk-backed node rooted at dir. The
@@ -214,6 +215,107 @@ func (n *DiskNode) Get(id ShardID) ([]byte, error) {
 	n.stats.BytesRead += uint64(len(data))
 	n.mu.Unlock()
 	return data, nil
+}
+
+// GetBatch reads several shards with one availability check and one
+// counter update. Each shard fails or succeeds independently with the same
+// ErrNotFound/ErrCorrupt contract as Get, and each success counts one read.
+func (n *DiskNode) GetBatch(ids []ShardID) []ShardResult {
+	results := make([]ShardResult, len(ids))
+	n.mu.Lock()
+	failed := n.failed
+	n.mu.Unlock()
+	if failed {
+		for i, id := range ids {
+			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, ErrNodeDown)}
+		}
+		return results
+	}
+	var reads, bytesRead uint64
+	for i, id := range ids {
+		_, path := n.shardPath(id)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				err = fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)
+			} else {
+				err = fmt.Errorf("get %v from %s: %w", id, n.id, err)
+			}
+			results[i] = ShardResult{Err: err}
+			continue
+		}
+		data, err := decodeShardFile(id, raw)
+		if err != nil {
+			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, err)}
+			continue
+		}
+		reads++
+		bytesRead += uint64(len(data))
+		results[i] = ShardResult{Data: data}
+	}
+	n.mu.Lock()
+	n.stats.Reads += reads
+	n.stats.BytesRead += bytesRead
+	n.mu.Unlock()
+	return results
+}
+
+// PutBatch durably stores several shards, amortizing the directory
+// traversal: every shard is written and renamed first, then each affected
+// fan-out directory is fsynced once, instead of once per shard. When the
+// batch returns, every shard whose error is nil is as durable as an
+// individual Put would have made it; each success counts one write.
+func (n *DiskNode) PutBatch(ids []ShardID, data [][]byte) []error {
+	errs := make([]error, len(ids))
+	n.mu.Lock()
+	failed := n.failed
+	n.mu.Unlock()
+	if failed {
+		for i, id := range ids {
+			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, ErrNodeDown)
+		}
+		return errs
+	}
+	// dirty maps each touched directory to the batch positions whose
+	// durability depends on its fsync.
+	dirty := make(map[string][]int, 4)
+	for i, id := range ids {
+		if int64(len(data[i])) > maxShardLen || int64(len(id.Object)) > maxShardLen {
+			errs[i] = fmt.Errorf("put %v on %s: %d-byte shard exceeds the u32 format limit", id, n.id, len(data[i]))
+			continue
+		}
+		dir, path := n.shardPath(id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, err)
+			continue
+		}
+		if err := n.ensureDirDurable(dir); err != nil {
+			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, err)
+			continue
+		}
+		if err := renameFileAtomic(path, encodeShardFile(id, data[i])); err != nil {
+			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, err)
+			continue
+		}
+		dirty[dir] = append(dirty[dir], i)
+	}
+	var writes, bytesWritten uint64
+	for dir, positions := range dirty {
+		err := syncDir(dir)
+		for _, i := range positions {
+			if err != nil {
+				errs[i] = fmt.Errorf("put %v on %s: %w", ids[i], n.id, err)
+				continue
+			}
+			writes++
+			bytesWritten += uint64(len(data[i]))
+		}
+	}
+	n.mu.Lock()
+	n.stats.Writes += writes
+	n.stats.BytesWritten += bytesWritten
+	n.mu.Unlock()
+	return errs
 }
 
 // Delete removes the shard. It fails with ErrNodeDown while the node is
@@ -397,6 +499,16 @@ func decodeShardFile(id ShardID, raw []byte) ([]byte, error) {
 // fsync, a rename, and a directory fsync, so concurrent readers and crashes
 // see either the old contents or the complete new ones.
 func writeFileAtomic(path string, contents []byte) error {
+	if err := renameFileAtomic(path, contents); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// renameFileAtomic is writeFileAtomic without the trailing directory fsync,
+// for batch writers that flush each directory once after renaming every
+// file into it. The rename is not crash-durable until that fsync happens.
+func renameFileAtomic(path string, contents []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, shardTmpPrefix+"*")
 	if err != nil {
@@ -423,7 +535,7 @@ func writeFileAtomic(path string, contents []byte) error {
 		_ = os.Remove(name)
 		return err
 	}
-	return syncDir(dir)
+	return nil
 }
 
 // syncDir fsyncs a directory so a completed rename or remove within it

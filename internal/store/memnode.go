@@ -18,6 +18,7 @@ type MemNode struct {
 }
 
 var _ Node = (*MemNode)(nil)
+var _ BatchNode = (*MemNode)(nil)
 var _ FaultInjector = (*MemNode)(nil)
 
 // NewMemNode returns an empty, available in-memory node.
@@ -58,6 +59,48 @@ func (n *MemNode) Get(id ShardID) ([]byte, error) {
 	n.stats.Reads++
 	n.stats.BytesRead += uint64(len(data))
 	return append([]byte(nil), data...), nil
+}
+
+// GetBatch reads several shards under one lock acquisition. Each shard
+// fails or succeeds independently; successful reads are counted one by
+// one, exactly as the equivalent sequence of Gets would be.
+func (n *MemNode) GetBatch(ids []ShardID) []ShardResult {
+	results := make([]ShardResult, len(ids))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, id := range ids {
+		if n.failed {
+			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, ErrNodeDown)}
+			continue
+		}
+		data, ok := n.shards[id]
+		if !ok {
+			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)}
+			continue
+		}
+		n.stats.Reads++
+		n.stats.BytesRead += uint64(len(data))
+		results[i] = ShardResult{Data: append([]byte(nil), data...)}
+	}
+	return results
+}
+
+// PutBatch stores several shards under one lock acquisition, counting each
+// successful write individually.
+func (n *MemNode) PutBatch(ids []ShardID, data [][]byte) []error {
+	errs := make([]error, len(ids))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, id := range ids {
+		if n.failed {
+			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, ErrNodeDown)
+			continue
+		}
+		n.shards[id] = append([]byte(nil), data[i]...)
+		n.stats.Writes++
+		n.stats.BytesWritten += uint64(len(data[i]))
+	}
+	return errs
 }
 
 // Delete removes the shard. It fails with ErrNodeDown while the node is

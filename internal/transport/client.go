@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -13,21 +14,62 @@ import (
 // defaultTimeout bounds each remote operation round trip.
 const defaultTimeout = 5 * time.Second
 
+// defaultPingTimeout bounds a liveness ping. Pings answer "is the node up
+// right now", so waiting out a full transfer timeout would make liveness
+// probes the slowest part of a degraded read; they get their own short
+// deadline and their own connection.
+const defaultPingTimeout = time.Second
+
+// defaultPoolSize is the number of pooled connections per remote node.
+// Batches to different objects and concurrent archives multiplex over the
+// pool instead of queuing behind one serialized connection; a handful of
+// connections is enough to keep a node busy without holding a large fd
+// budget per peer.
+const defaultPoolSize = 4
+
+// maxBatchPutBytes bounds the payload bytes packed into one put-batch
+// frame, leaving slack under maxFrame for the request header and per-shard
+// framing.
+const maxBatchPutBytes = maxFrame - 64<<10
+
+// poolConn is one pooled client connection with its buffered reader and
+// writer.
+type poolConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func (p *poolConn) close() {
+	_ = p.c.Close()
+}
+
 // RemoteNode is a store.Node backed by a transport server over TCP. It
-// dials lazily, keeps one connection, and re-dials after errors. It is safe
-// for concurrent use; operations are serialized over the connection.
+// dials lazily and keeps a small pool of connections, so concurrent
+// operations (and batches to different objects) run in parallel instead of
+// serializing over a single connection; broken connections are re-dialed
+// transparently. Liveness pings use a dedicated connection with a short
+// deadline, so Available stays fast while transfers are in flight. It is
+// safe for concurrent use.
 type RemoteNode struct {
-	id      string
-	addr    string
-	timeout time.Duration
+	id          string
+	addr        string
+	timeout     time.Duration
+	pingTimeout time.Duration
+	poolSize    int
+
+	sem chan struct{} // caps connections checked out concurrently
 
 	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	free []*poolConn // idle pooled connections
+	gen  int         // bumped by Close so in-flight connections retire instead of re-pooling
+
+	pingMu   sync.Mutex
+	pingConn *poolConn // dedicated liveness connection
 }
 
 var _ store.Node = (*RemoteNode)(nil)
+var _ store.BatchNode = (*RemoteNode)(nil)
 var _ store.StatsReporter = (*RemoteNode)(nil)
 
 // ClientOption configures a RemoteNode.
@@ -38,13 +80,37 @@ func WithTimeout(d time.Duration) ClientOption {
 	return func(n *RemoteNode) { n.timeout = d }
 }
 
+// WithPingTimeout sets the deadline for liveness pings (default 1s).
+// Available answers false once it expires, so keep it above the expected
+// network round trip but well below the operation timeout.
+func WithPingTimeout(d time.Duration) ClientOption {
+	return func(n *RemoteNode) { n.pingTimeout = d }
+}
+
+// WithPoolSize sets how many connections the node keeps pooled (default 4,
+// minimum 1). The liveness-ping connection is separate and not counted.
+func WithPoolSize(size int) ClientOption {
+	return func(n *RemoteNode) {
+		if size > 0 {
+			n.poolSize = size
+		}
+	}
+}
+
 // NewRemoteNode returns a client node for the server at addr. No connection
 // is made until the first operation.
 func NewRemoteNode(id, addr string, opts ...ClientOption) *RemoteNode {
-	n := &RemoteNode{id: id, addr: addr, timeout: defaultTimeout}
+	n := &RemoteNode{
+		id:          id,
+		addr:        addr,
+		timeout:     defaultTimeout,
+		pingTimeout: defaultPingTimeout,
+		poolSize:    defaultPoolSize,
+	}
 	for _, opt := range opts {
 		opt(n)
 	}
+	n.sem = make(chan struct{}, n.poolSize)
 	return n
 }
 
@@ -71,10 +137,150 @@ func (n *RemoteNode) Delete(id store.ShardID) error {
 	return err
 }
 
-// Available reports whether the remote node answers a ping and is up.
+// GetBatch fetches several shards in one round trip per batch frame (large
+// batches are chunked). Per-shard outcomes come back independently, so one
+// missing or corrupt shard no longer costs the rest of the batch. Against
+// a server that cannot serve the batch (a pre-batching peer, or a response
+// that would outgrow the frame limit) it falls back to per-shard gets.
+func (n *RemoteNode) GetBatch(ids []store.ShardID) []store.ShardResult {
+	results := make([]store.ShardResult, len(ids))
+	for start := 0; start < len(ids); start += maxBatchShards {
+		end := min(start+maxBatchShards, len(ids))
+		n.getBatchChunk(ids[start:end], results[start:end])
+	}
+	return results
+}
+
+func (n *RemoteNode) getBatchChunk(ids []store.ShardID, out []store.ShardResult) {
+	body, err := encodeGetBatch(ids)
+	if err != nil {
+		n.getPerShard(ids, out)
+		return
+	}
+	payload, err := n.roundTrip(request{op: opGetBatch, payload: body})
+	if err != nil {
+		if errors.Is(err, store.ErrNodeDown) {
+			for i := range out {
+				out[i] = store.ShardResult{Err: err}
+			}
+			return
+		}
+		// The server answered but could not serve the batch (unknown op on
+		// an old peer, oversized response, malformed frame): degrade to
+		// per-shard operations instead of failing the shards.
+		n.getPerShard(ids, out)
+		return
+	}
+	results, err := decodeBatchResults(payload, ids)
+	if err != nil {
+		n.getPerShard(ids, out)
+		return
+	}
+	copy(out, results)
+}
+
+func (n *RemoteNode) getPerShard(ids []store.ShardID, out []store.ShardResult) {
+	for i, id := range ids {
+		data, err := n.Get(id)
+		out[i] = store.ShardResult{Data: data, Err: err}
+	}
+}
+
+// PutBatch stores several shards in one round trip per batch frame,
+// chunking on both shard count and payload volume so every frame stays
+// under the transport size limit. Like GetBatch, it degrades to per-shard
+// puts against servers that cannot serve the batch.
+func (n *RemoteNode) PutBatch(ids []store.ShardID, data [][]byte) []error {
+	errs := make([]error, len(ids))
+	start := 0
+	for start < len(ids) {
+		end, size := start, 4
+		for end < len(ids) && end-start < maxBatchShards {
+			entry := 2 + len(ids[end].Object) + 4 + 4 + len(data[end])
+			if end > start && size+entry > maxBatchPutBytes {
+				break
+			}
+			size += entry
+			end++
+		}
+		n.putBatchChunk(ids[start:end], data[start:end], errs[start:end])
+		start = end
+	}
+	return errs
+}
+
+func (n *RemoteNode) putBatchChunk(ids []store.ShardID, data [][]byte, out []error) {
+	body, err := encodePutBatch(ids, data)
+	if err != nil {
+		n.putPerShard(ids, data, out)
+		return
+	}
+	payload, err := n.roundTrip(request{op: opPutBatch, payload: body})
+	if err != nil {
+		if errors.Is(err, store.ErrNodeDown) {
+			for i := range out {
+				out[i] = err
+			}
+			return
+		}
+		n.putPerShard(ids, data, out)
+		return
+	}
+	results, err := decodeBatchResults(payload, ids)
+	if err != nil {
+		n.putPerShard(ids, data, out)
+		return
+	}
+	for i, res := range results {
+		out[i] = res.Err
+	}
+}
+
+func (n *RemoteNode) putPerShard(ids []store.ShardID, data [][]byte, out []error) {
+	for i, id := range ids {
+		out[i] = n.Put(id, data[i])
+	}
+}
+
+// Available reports whether the remote node answers a ping and is up. The
+// ping runs on its own connection with its own short deadline, so liveness
+// probes stay fast even while every pooled connection is busy with bulk
+// transfers.
 func (n *RemoteNode) Available() bool {
-	_, err := n.roundTrip(request{op: opPing})
-	return err == nil
+	body, err := encodeRequest(request{op: opPing})
+	if err != nil {
+		return false
+	}
+	n.pingMu.Lock()
+	defer n.pingMu.Unlock()
+	deadline := time.Now().Add(n.pingTimeout)
+	reused := n.pingConn != nil
+	if n.pingConn == nil {
+		cn, err := n.dial(n.pingTimeout)
+		if err != nil {
+			return false
+		}
+		n.pingConn = cn
+	}
+	status, _, err := exchangeOn(n.pingConn, body, deadline)
+	if err != nil && reused {
+		// The kept-alive ping connection may be stale (server restarted);
+		// retry exactly once on a fresh dial.
+		n.pingConn.close()
+		n.pingConn = nil
+		cn, derr := n.dial(n.pingTimeout)
+		if derr != nil {
+			return false
+		}
+		n.pingConn = cn
+		status, _, err = exchangeOn(n.pingConn, body, deadline)
+	}
+	if err != nil {
+		n.pingConn.close()
+		n.pingConn = nil
+		return false
+	}
+	return status == statusOK
 }
 
 // Stats fetches the remote node's I/O counters. Transport and decode
@@ -106,53 +312,59 @@ func (n *RemoteNode) ResetStats() {
 	_, _ = n.roundTrip(request{op: opResetStats})
 }
 
-// Close tears down the client connection. Further operations re-dial.
+// Close tears down the node's idle pooled connections and the ping
+// connection. Connections checked out by in-flight operations close when
+// those operations finish; further operations re-dial.
 func (n *RemoteNode) Close() error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropLocked()
+	free := n.free
+	n.free = nil
+	n.gen++ // connections checked out right now close instead of re-pooling
+	n.mu.Unlock()
+	for _, cn := range free {
+		cn.close()
+	}
+	n.pingMu.Lock()
+	if n.pingConn != nil {
+		n.pingConn.close()
+		n.pingConn = nil
+	}
+	n.pingMu.Unlock()
+	return nil
 }
 
+// roundTrip sends one request frame and reads one response frame over a
+// pooled connection, re-dialing once if a kept-alive connection turns out
+// to be stale (the server restarted since the last operation; Put/Get/
+// Ping/Stats are idempotent, and a Delete whose first attempt was applied
+// but whose response was lost reports ErrNotFound on the retry, which
+// callers already treat as "gone" - at-least-once semantics).
 func (n *RemoteNode) roundTrip(req request) ([]byte, error) {
 	body, err := encodeRequest(req)
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	reused := n.conn != nil
-	if err := n.connectLocked(); err != nil {
-		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
-	}
+	n.sem <- struct{}{}
+	defer func() { <-n.sem }()
 	deadline := time.Now().Add(n.timeout)
-	if err := n.conn.SetDeadline(deadline); err != nil {
-		_ = n.dropLocked()
+	cn, reused, gen, err := n.takeConn()
+	if err != nil {
 		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
 	}
-	respBody, err := n.exchangeLocked(body)
+	status, payload, err := exchangeOn(cn, body, deadline)
 	if err != nil && reused {
-		// A kept-alive connection may be stale (the server restarted since
-		// the last operation), so retry exactly once on a fresh dial before
-		// reporting the node down. Put/Get/Ping/Stats are idempotent; a
-		// Delete whose first attempt was applied but whose response was
-		// lost reports ErrNotFound on the retry, which callers already
-		// treat as "gone" (at-least-once semantics).
-		_ = n.dropLocked()
-		if err = n.connectLocked(); err == nil {
-			if err = n.conn.SetDeadline(deadline); err == nil {
-				respBody, err = n.exchangeLocked(body)
-			}
+		cn.close()
+		if cn, err = n.dial(n.timeout); err == nil {
+			status, payload, err = exchangeOn(cn, body, deadline)
 		}
 	}
 	if err != nil {
-		_ = n.dropLocked()
+		if cn != nil {
+			cn.close()
+		}
 		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
 	}
-	status, payload, err := decodeResponse(respBody)
-	if err != nil {
-		_ = n.dropLocked()
-		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
-	}
+	n.putConn(cn, gen)
 	if err := errorFor(status, payload, req.id); err != nil {
 		return nil, err
 	}
@@ -160,35 +372,75 @@ func (n *RemoteNode) roundTrip(req request) ([]byte, error) {
 	return append([]byte(nil), payload...), nil
 }
 
-func (n *RemoteNode) exchangeLocked(body []byte) ([]byte, error) {
-	if err := writeFrame(n.w, body); err != nil {
-		return nil, err
+// exchangeOn writes one request frame and reads one logical response on
+// the given connection under the deadline, reassembling statusPartial
+// continuation frames into a single payload.
+func exchangeOn(cn *poolConn, body []byte, deadline time.Time) (byte, []byte, error) {
+	if err := cn.c.SetDeadline(deadline); err != nil {
+		return 0, nil, err
 	}
-	if err := n.w.Flush(); err != nil {
-		return nil, err
+	if err := writeFrame(cn.w, body); err != nil {
+		return 0, nil, err
 	}
-	return readFrame(n.r)
+	if err := cn.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	var full []byte
+	for {
+		frame, err := readFrame(cn.r)
+		if err != nil {
+			return 0, nil, err
+		}
+		status, payload, err := decodeResponse(frame)
+		if err != nil {
+			return 0, nil, err
+		}
+		if status != statusPartial {
+			if full != nil {
+				payload = append(full, payload...)
+			}
+			return status, payload, nil
+		}
+		full = append(full, payload...)
+	}
 }
 
-func (n *RemoteNode) connectLocked() error {
-	if n.conn != nil {
-		return nil
+// takeConn pops an idle pooled connection or dials a new one, returning
+// the pool generation the connection belongs to. The caller must hold a
+// sem slot, which caps checked-out connections at poolSize.
+func (n *RemoteNode) takeConn() (cn *poolConn, reused bool, gen int, err error) {
+	n.mu.Lock()
+	gen = n.gen
+	if len(n.free) > 0 {
+		cn = n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
 	}
-	conn, err := net.DialTimeout("tcp", n.addr, n.timeout)
+	n.mu.Unlock()
+	if cn != nil {
+		return cn, true, gen, nil
+	}
+	cn, err = n.dial(n.timeout)
+	return cn, false, gen, err
+}
+
+// putConn returns a healthy connection to the pool, unless Close ran
+// since it was taken (the generation moved on) or the pool is full.
+func (n *RemoteNode) putConn(cn *poolConn, gen int) {
+	n.mu.Lock()
+	if gen == n.gen && len(n.free) < n.poolSize {
+		n.free = append(n.free, cn)
+		cn = nil
+	}
+	n.mu.Unlock()
+	if cn != nil {
+		cn.close()
+	}
+}
+
+func (n *RemoteNode) dial(timeout time.Duration) (*poolConn, error) {
+	c, err := net.DialTimeout("tcp", n.addr, timeout)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	n.conn = conn
-	n.r = bufio.NewReader(conn)
-	n.w = bufio.NewWriter(conn)
-	return nil
-}
-
-func (n *RemoteNode) dropLocked() error {
-	if n.conn == nil {
-		return nil
-	}
-	err := n.conn.Close()
-	n.conn, n.r, n.w = nil, nil, nil
-	return err
+	return &poolConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
 }

@@ -21,7 +21,8 @@ import (
 	"github.com/secarchive/sec/internal/store"
 )
 
-// Operation codes.
+// Operation codes. opGetBatch/opPutBatch were added after opResetStats;
+// new codes must keep appending so wire values stay stable across versions.
 const (
 	opPut byte = iota + 1
 	opGet
@@ -29,16 +30,28 @@ const (
 	opPing
 	opStats
 	opResetStats
+	opGetBatch
+	opPutBatch
 )
 
-// Response status codes. statusCorrupt was added after statusError; new
-// codes must keep appending so wire values stay stable across versions.
+// Response status codes. statusCorrupt was added after statusError, and
+// statusPartial after statusCorrupt; new codes must keep appending so wire
+// values stay stable across versions.
 const (
 	statusOK byte = iota
 	statusNotFound
 	statusNodeDown
 	statusError
 	statusCorrupt
+	// statusPartial marks a continuation frame: the logical response
+	// payload exceeds one frame (e.g. a get batch whose shards together
+	// outgrow maxFrame), so the server splits it across several frames,
+	// all but the last carrying statusPartial. The client concatenates
+	// payloads until a terminal status arrives. Splitting - instead of
+	// refusing the batch - matters for I/O accounting: the shards were
+	// already read and counted on the node, so forcing a per-shard
+	// fallback would read and count them all a second time.
+	statusPartial
 )
 
 // maxFrame bounds a frame body to keep a malformed peer from forcing huge
@@ -116,6 +129,228 @@ func decodeStats(body []byte) (store.NodeStats, error) {
 		BytesRead:    binary.BigEndian.Uint64(body[24:32]),
 		BytesWritten: binary.BigEndian.Uint64(body[32:40]),
 	}, nil
+}
+
+// Batch framing. A batch request travels as an ordinary request frame
+// whose op is opGetBatch/opPutBatch (the per-request object/row fields are
+// unused) and whose payload is:
+//
+//	get batch  := u32(count) count*( u16(len(object)) object i32(row) )
+//	put batch  := u32(count) count*( u16(len(object)) object i32(row) u32(len(data)) data )
+//
+// A batch response is a logical response frame: the outer status is
+// statusOK whenever the batch itself was parsed and dispatched (statusError
+// reports a malformed batch, and lets clients fall back to per-shard
+// operations against servers that predate batching); a response payload
+// larger than one frame is split across statusPartial continuation frames
+// so already-performed (and already-counted) shard reads are never thrown
+// away. Per-shard outcomes travel inside the payload:
+//
+//	batch response := u32(count) count*( u8(status) u32(len) bytes )
+//
+// where bytes is the shard contents for statusOK entries of a get batch
+// and an error message otherwise. count always equals the request's count.
+
+// maxBatchShards bounds the shard count of one batch frame: enough for any
+// codeword a single node can hold a row of, small enough that a forged
+// count cannot force a large allocation before the length checks bite.
+const maxBatchShards = 4096
+
+var (
+	errBatchTooLarge  = errors.New("transport: batch exceeds shard-count limit")
+	errBatchMalformed = errors.New("transport: malformed batch frame")
+)
+
+// appendShardID appends the u16-length-prefixed object and i32 row of one
+// shard ID.
+func appendShardID(body []byte, id store.ShardID) ([]byte, error) {
+	if len(id.Object) > 0xFFFF {
+		return nil, fmt.Errorf("transport: object name of %d bytes exceeds limit", len(id.Object))
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(id.Object)))
+	body = append(body, id.Object...)
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(id.Row)))
+	return body, nil
+}
+
+// readShardID consumes one shard ID from p, returning the remainder.
+func readShardID(p []byte) (store.ShardID, []byte, error) {
+	if len(p) < 2 {
+		return store.ShardID{}, nil, errBatchMalformed
+	}
+	objLen := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < objLen+4 {
+		return store.ShardID{}, nil, errBatchMalformed
+	}
+	obj := string(p[:objLen])
+	row := int(int32(binary.BigEndian.Uint32(p[objLen : objLen+4])))
+	return store.ShardID{Object: obj, Row: row}, p[objLen+4:], nil
+}
+
+// readChunk consumes a u32-length-prefixed byte chunk from p.
+func readChunk(p []byte) ([]byte, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, errBatchMalformed
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if n < 0 || len(p) < n {
+		return nil, nil, errBatchMalformed
+	}
+	return p[:n], p[n:], nil
+}
+
+// readBatchCount consumes and validates the leading shard count of a batch
+// payload. minEntry is the smallest possible wire size of one entry, so a
+// forged count can be rejected before any allocation sized by it.
+func readBatchCount(p []byte, minEntry int) (int, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, errBatchMalformed
+	}
+	count := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if count < 0 || count > maxBatchShards {
+		return 0, nil, errBatchTooLarge
+	}
+	if len(p) < count*minEntry {
+		return 0, nil, errBatchMalformed
+	}
+	return count, p, nil
+}
+
+func encodeGetBatch(ids []store.ShardID) ([]byte, error) {
+	if len(ids) > maxBatchShards {
+		return nil, errBatchTooLarge
+	}
+	body := binary.BigEndian.AppendUint32(make([]byte, 0, 4+len(ids)*16), uint32(len(ids)))
+	var err error
+	for _, id := range ids {
+		if body, err = appendShardID(body, id); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+func decodeGetBatch(payload []byte) ([]store.ShardID, error) {
+	count, p, err := readBatchCount(payload, 6)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]store.ShardID, count)
+	for i := range ids {
+		if ids[i], p, err = readShardID(p); err != nil {
+			return nil, err
+		}
+	}
+	if len(p) != 0 {
+		return nil, errBatchMalformed
+	}
+	return ids, nil
+}
+
+func encodePutBatch(ids []store.ShardID, data [][]byte) ([]byte, error) {
+	if len(ids) > maxBatchShards {
+		return nil, errBatchTooLarge
+	}
+	if len(data) != len(ids) {
+		return nil, fmt.Errorf("%w: %d ids, %d payloads", errBatchMalformed, len(ids), len(data))
+	}
+	size := 4
+	for i, id := range ids {
+		size += 2 + len(id.Object) + 4 + 4 + len(data[i])
+	}
+	body := binary.BigEndian.AppendUint32(make([]byte, 0, size), uint32(len(ids)))
+	var err error
+	for i, id := range ids {
+		if body, err = appendShardID(body, id); err != nil {
+			return nil, err
+		}
+		body = binary.BigEndian.AppendUint32(body, uint32(len(data[i])))
+		body = append(body, data[i]...)
+	}
+	return body, nil
+}
+
+func decodePutBatch(payload []byte) ([]store.ShardID, [][]byte, error) {
+	count, p, err := readBatchCount(payload, 10)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]store.ShardID, count)
+	data := make([][]byte, count)
+	for i := range ids {
+		if ids[i], p, err = readShardID(p); err != nil {
+			return nil, nil, err
+		}
+		if data[i], p, err = readChunk(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(p) != 0 {
+		return nil, nil, errBatchMalformed
+	}
+	return ids, data, nil
+}
+
+// encodeBatchResults renders per-shard outcomes: shard data for successful
+// gets, error text otherwise. Put batches pass nil Data throughout.
+func encodeBatchResults(results []store.ShardResult) []byte {
+	size := 4
+	for _, res := range results {
+		size += 1 + 4
+		if res.Err == nil {
+			size += len(res.Data)
+		}
+	}
+	body := binary.BigEndian.AppendUint32(make([]byte, 0, size), uint32(len(results)))
+	for _, res := range results {
+		body = append(body, statusFor(res.Err))
+		if res.Err == nil {
+			body = binary.BigEndian.AppendUint32(body, uint32(len(res.Data)))
+			body = append(body, res.Data...)
+			continue
+		}
+		msg := res.Err.Error()
+		body = binary.BigEndian.AppendUint32(body, uint32(len(msg)))
+		body = append(body, msg...)
+	}
+	return body
+}
+
+// decodeBatchResults parses a batch response into per-shard results
+// aligned with ids; the response count must match len(ids) exactly, so a
+// truncated or padded response is rejected rather than misattributed.
+func decodeBatchResults(payload []byte, ids []store.ShardID) ([]store.ShardResult, error) {
+	count, p, err := readBatchCount(payload, 5)
+	if err != nil {
+		return nil, err
+	}
+	if count != len(ids) {
+		return nil, fmt.Errorf("%w: %d results for %d shards", errBatchMalformed, count, len(ids))
+	}
+	results := make([]store.ShardResult, count)
+	for i := range results {
+		if len(p) < 1 {
+			return nil, errBatchMalformed
+		}
+		status := p[0]
+		var chunk []byte
+		if chunk, p, err = readChunk(p[1:]); err != nil {
+			return nil, err
+		}
+		if status == statusOK {
+			// Copy out of the frame buffer so callers own the result.
+			results[i] = store.ShardResult{Data: append([]byte(nil), chunk...)}
+			continue
+		}
+		results[i] = store.ShardResult{Err: errorFor(status, chunk, ids[i])}
+	}
+	if len(p) != 0 {
+		return nil, errBatchMalformed
+	}
+	return results, nil
 }
 
 func writeFrame(w io.Writer, body []byte) error {

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/secarchive/sec/internal/store"
 )
@@ -17,12 +18,53 @@ type Server struct {
 	node   store.Node
 	logger *log.Logger
 
+	reqs requestCounters
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
+
+// RequestStats counts the requests a server has dispatched, by kind. It
+// distinguishes per-shard operations from batches so tests and benchmarks
+// can assert the wire cost of a workload (e.g. one GetBatches RPC per node
+// per retrieval instead of one Gets RPC per shard).
+type RequestStats struct {
+	Puts, Gets, Deletes, Pings, Stats uint64
+	// GetBatches and PutBatches count batch RPCs; GetBatchShards and
+	// PutBatchShards count the shards they carried.
+	GetBatches, PutBatches         uint64
+	GetBatchShards, PutBatchShards uint64
+}
+
+type requestCounters struct {
+	puts, gets, deletes, pings, stats atomic.Uint64
+	getBatches, putBatches            atomic.Uint64
+	getBatchShards, putBatchShards    atomic.Uint64
+}
+
+// RequestStats returns a snapshot of the server's request counters.
+func (s *Server) RequestStats() RequestStats {
+	return RequestStats{
+		Puts:           s.reqs.puts.Load(),
+		Gets:           s.reqs.gets.Load(),
+		Deletes:        s.reqs.deletes.Load(),
+		Pings:          s.reqs.pings.Load(),
+		Stats:          s.reqs.stats.Load(),
+		GetBatches:     s.reqs.getBatches.Load(),
+		PutBatches:     s.reqs.putBatches.Load(),
+		GetBatchShards: s.reqs.getBatchShards.Load(),
+		PutBatchShards: s.reqs.putBatchShards.Load(),
+	}
+}
+
+// maxResponseChunk is the largest response payload sent in one frame
+// (frame body = status byte + payload); longer payloads continue across
+// statusPartial frames. A variable so tests can force splitting without
+// 64 MiB payloads.
+var maxResponseChunk = maxFrame - 1
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -98,6 +140,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // EOF or broken peer: drop the connection
 		}
 		status, payload := s.handle(body)
+		// A logical response larger than one frame (a get batch whose
+		// shards together exceed maxFrame) is split across continuation
+		// frames; the terminal frame carries the real status.
+		for len(payload) > maxResponseChunk {
+			if err := writeFrame(w, encodeResponse(statusPartial, payload[:maxResponseChunk])); err != nil {
+				return
+			}
+			payload = payload[maxResponseChunk:]
+		}
 		if err := writeFrame(w, encodeResponse(status, payload)); err != nil {
 			return
 		}
@@ -114,27 +165,52 @@ func (s *Server) handle(body []byte) (status byte, payload []byte) {
 	}
 	switch req.op {
 	case opPut:
+		s.reqs.puts.Add(1)
 		err := s.node.Put(req.id, req.payload)
 		return s.report(err), errText(err)
 	case opGet:
+		s.reqs.gets.Add(1)
 		data, err := s.node.Get(req.id)
 		if err != nil {
 			return s.report(err), errText(err)
 		}
 		return statusOK, data
 	case opDelete:
+		s.reqs.deletes.Add(1)
 		err := s.node.Delete(req.id)
 		return s.report(err), errText(err)
 	case opPing:
+		s.reqs.pings.Add(1)
 		if !s.node.Available() {
 			return statusNodeDown, nil
 		}
 		return statusOK, nil
 	case opStats:
+		s.reqs.stats.Add(1)
 		return statusOK, encodeStats(s.node.Stats())
 	case opResetStats:
 		s.node.ResetStats()
 		return statusOK, nil
+	case opGetBatch:
+		ids, err := decodeGetBatch(req.payload)
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		s.reqs.getBatches.Add(1)
+		s.reqs.getBatchShards.Add(uint64(len(ids)))
+		return statusOK, encodeBatchResults(store.GetShards(s.node, ids))
+	case opPutBatch:
+		ids, data, err := decodePutBatch(req.payload)
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		s.reqs.putBatches.Add(1)
+		s.reqs.putBatchShards.Add(uint64(len(ids)))
+		results := make([]store.ShardResult, len(ids))
+		for i, err := range store.PutShards(s.node, ids, data) {
+			results[i] = store.ShardResult{Err: err}
+		}
+		return statusOK, encodeBatchResults(results)
 	default:
 		return statusError, []byte(fmt.Sprintf("transport: unknown op %d", req.op))
 	}

@@ -202,6 +202,20 @@ func WithNodeTimeout(d time.Duration) transport.ClientOption {
 	return transport.WithTimeout(d)
 }
 
+// WithNodePingTimeout sets a remote node's liveness-ping deadline (default
+// 1s). Pings run on a dedicated connection so liveness probes stay fast
+// while bulk transfers are in flight.
+func WithNodePingTimeout(d time.Duration) transport.ClientOption {
+	return transport.WithPingTimeout(d)
+}
+
+// WithNodePoolSize sets how many connections a remote node keeps pooled
+// (default 4). Shard batches to different objects and concurrent archives
+// multiplex over the pool instead of serializing on one connection.
+func WithNodePoolSize(size int) transport.ClientOption {
+	return transport.WithPoolSize(size)
+}
+
 // Version-store layer (the paper's SVN/wiki motivating applications).
 type (
 	// Repository is a miniature delta-based version store over SEC
