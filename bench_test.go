@@ -6,6 +6,7 @@ package sec_test
 // archive hot paths, including the ablation benches DESIGN.md calls out.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -509,13 +510,13 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 	defer client.Close()
 	id := store.ShardID{Object: "o", Row: 0}
 	payload := make([]byte, 4096)
-	if err := client.Put(id, payload); err != nil {
+	if err := client.Put(context.Background(), id, payload); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(payload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Get(id); err != nil {
+		if _, err := client.Get(context.Background(), id); err != nil {
 			b.Fatal(err)
 		}
 	}

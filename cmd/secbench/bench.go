@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,7 +51,7 @@ func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
 
 // runBenchmarks executes the selected benchmarks and writes one JSON
 // artifact per benchmark into outDir.
-func runBenchmarks(id, outDir string, out io.Writer) error {
+func runBenchmarks(ctx context.Context, id, outDir string, out io.Writer) error {
 	ids := benchIDs()
 	if id != "all" {
 		found := false
@@ -73,11 +74,11 @@ func runBenchmarks(id, outDir string, out io.Writer) error {
 		var err error
 		switch b {
 		case "encode":
-			report, err = benchEncode()
+			report, err = benchEncode(ctx)
 		case "retrieve":
-			report, err = benchRetrieve()
+			report, err = benchRetrieve(ctx)
 		case "tcp-retrieve":
-			report, err = benchTCPRetrieve()
+			report, err = benchTCPRetrieve(ctx)
 		}
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", b, err)
@@ -116,9 +117,9 @@ func runBenchmarks(id, outDir string, out io.Writer) error {
 }
 
 // measure runs fn repeatedly (after one warmup call) until minDuration has
-// elapsed or maxIters is reached, returning the iteration count and mean
-// ns/op.
-func measure(fn func() error) (int, float64, error) {
+// elapsed, maxIters is reached, or ctx is cancelled, returning the
+// iteration count and mean ns/op.
+func measure(ctx context.Context, fn func() error) (int, float64, error) {
 	const (
 		minDuration = 150 * time.Millisecond
 		maxIters    = 2000
@@ -129,6 +130,9 @@ func measure(fn func() error) (int, float64, error) {
 	start := time.Now()
 	iters := 0
 	for time.Since(start) < minDuration && iters < maxIters {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
 		if err := fn(); err != nil {
 			return 0, 0, err
 		}
@@ -146,7 +150,7 @@ func mbPerS(bytesPerOp int64, nsPerOp float64) float64 {
 
 // benchEncode measures (20,10) erasure encoding throughput at 64 KiB
 // blocks, the coding substrate every commit pays.
-func benchEncode() (benchReport, error) {
+func benchEncode(ctx context.Context) (benchReport, error) {
 	report := benchReport{
 		Bench:       "encode",
 		Description: "(20,10) non-systematic Cauchy EncodeInto over 10x64KiB blocks",
@@ -165,7 +169,7 @@ func benchEncode() (benchReport, error) {
 	}
 	shards := erasure.GetBuffers(20, blockSize)
 	defer shards.Release()
-	iters, nsPerOp, err := measure(func() error {
+	iters, nsPerOp, err := measure(ctx, func() error {
 		return code.EncodeInto(blocks, shards.Blocks)
 	})
 	if err != nil {
@@ -184,7 +188,7 @@ func benchEncode() (benchReport, error) {
 
 // chainArchive commits one full (20,10) version and four 2-sparse deltas,
 // the canonical SEC chain the retrieval benchmarks read back.
-func chainArchive(cluster *sec.Cluster, disableBatch bool) (*sec.Archive, int, error) {
+func chainArchive(ctx context.Context, cluster *sec.Cluster, disableBatch bool) (*sec.Archive, int, error) {
 	archive, err := sec.NewArchive(sec.ArchiveConfig{
 		Scheme:         sec.BasicSEC,
 		Code:           sec.NonSystematicCauchy,
@@ -199,7 +203,7 @@ func chainArchive(cluster *sec.Cluster, disableBatch bool) (*sec.Archive, int, e
 	rng := rand.New(rand.NewSource(2))
 	v := make([]byte, archive.Capacity())
 	rng.Read(v)
-	if _, err := archive.Commit(v); err != nil {
+	if _, err := archive.CommitContext(ctx, v); err != nil {
 		return nil, 0, err
 	}
 	for j := 0; j < 4; j++ {
@@ -207,7 +211,7 @@ func chainArchive(cluster *sec.Cluster, disableBatch bool) (*sec.Archive, int, e
 		if err != nil {
 			return nil, 0, err
 		}
-		if _, err := archive.Commit(next); err != nil {
+		if _, err := archive.CommitContext(ctx, next); err != nil {
 			return nil, 0, err
 		}
 		v = next
@@ -217,18 +221,18 @@ func chainArchive(cluster *sec.Cluster, disableBatch bool) (*sec.Archive, int, e
 
 // benchRetrieve measures chain-tip retrieval on in-memory nodes: the
 // decode and planning cost without any wire.
-func benchRetrieve() (benchReport, error) {
+func benchRetrieve(ctx context.Context) (benchReport, error) {
 	report := benchReport{
 		Bench:       "retrieve",
 		Description: "(20,10) BasicSEC Retrieve(5) of 1 full + 4 sparse deltas on in-memory nodes",
 		GoMaxProcs:  gomaxprocs(),
 	}
-	archive, size, err := chainArchive(sec.NewMemCluster(20), false)
+	archive, size, err := chainArchive(ctx, sec.NewMemCluster(20), false)
 	if err != nil {
 		return report, err
 	}
-	iters, nsPerOp, err := measure(func() error {
-		_, _, err := archive.Retrieve(5)
+	iters, nsPerOp, err := measure(ctx, func() error {
+		_, _, err := archive.RetrieveContext(ctx, 5)
 		return err
 	})
 	if err != nil {
@@ -249,7 +253,7 @@ func benchRetrieve() (benchReport, error) {
 // per-shard path, reporting wall time and RPCs per retrieval for both.
 // This is the benchmark CI tracks: the batched path must issue one get
 // RPC per node, not one per shard.
-func benchTCPRetrieve() (benchReport, error) {
+func benchTCPRetrieve(ctx context.Context) (benchReport, error) {
 	report := benchReport{
 		Bench:       "tcp-retrieve",
 		Description: "(20,10) BasicSEC Retrieve(5) over 20 loopback TCP nodes: per-node batches vs per-shard RPCs",
@@ -286,13 +290,13 @@ func benchTCPRetrieve() (benchReport, error) {
 		{"per-shard", true},
 	} {
 		cluster := sec.NewCluster(nodes)
-		archive, size, err := chainArchive(cluster, mode.disable)
+		archive, size, err := chainArchive(ctx, cluster, mode.disable)
 		if err != nil {
 			return report, err
 		}
 		getsBefore, pingsBefore := sumRPCs()
-		iters, nsPerOp, err := measure(func() error {
-			_, _, err := archive.Retrieve(5)
+		iters, nsPerOp, err := measure(ctx, func() error {
+			_, _, err := archive.RetrieveContext(ctx, 5)
 			return err
 		})
 		if err != nil {

@@ -21,23 +21,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/secarchive/sec/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run context: in-flight retrievals abort
+	// promptly via their contexts and the loopback servers drain instead of
+	// dying mid-write.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "secbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("secbench", flag.ContinueOnError)
 	var (
 		runID    = fs.String("run", "all", "experiment to run (see -list), or 'all'")
@@ -54,7 +62,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	if *bench != "" {
-		return runBenchmarks(*bench, *benchout, out)
+		return runBenchmarks(ctx, *bench, *benchout, out)
 	}
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)
@@ -64,6 +72,9 @@ func run(args []string, out io.Writer) error {
 		ids = []string{*runID}
 	}
 	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("aborted before %s: %w", id, err)
+		}
 		table, err := experiments.Run(id)
 		if err != nil {
 			return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"table1", "fig2", "fig9", "census"} {
@@ -23,7 +24,7 @@ func TestList(t *testing.T) {
 
 func TestRunSingleExperimentTable(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "census"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-run", "census"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -40,7 +41,7 @@ func TestRunSingleExperimentTable(t *testing.T) {
 
 func TestRunCSVFormat(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "fig6", "-format", "csv"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-run", "fig6", "-format", "csv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -55,13 +56,13 @@ func TestRunCSVFormat(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-run", "nope"}, &out); err == nil {
 		t.Error("unknown experiment: want error")
 	}
-	if err := run([]string{"-format", "xml"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-format", "xml"}, &out); err == nil {
 		t.Error("unknown format: want error")
 	}
-	if err := run([]string{"-bench", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bench", "nope"}, &out); err == nil {
 		t.Error("unknown benchmark: want error")
 	}
 }
@@ -69,7 +70,7 @@ func TestRunErrors(t *testing.T) {
 func TestBenchEncodeWritesJSON(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-bench", "encode", "-benchout", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-bench", "encode", "-benchout", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_encode.json"))
@@ -98,7 +99,7 @@ func TestBenchTCPRetrieveReportsBatchedRPCs(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-bench", "tcp-retrieve", "-benchout", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-bench", "tcp-retrieve", "-benchout", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_tcp_retrieve.json"))

@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	sec "github.com/secarchive/sec"
 	"github.com/secarchive/sec/internal/core"
@@ -29,13 +32,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the operation context, so a retrieval stuck on
+	// a dead node aborts promptly instead of waiting out every timeout.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "seccli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("seccli", flag.ContinueOnError)
 	var (
 		nodesFlag    = fs.String("nodes", "", "comma-separated secnode addresses (shard i goes to node i)")
@@ -58,17 +65,17 @@ func run(args []string, out io.Writer) error {
 	case "init":
 		return cmdInit(out, cluster, *manifestPath, subArgs)
 	case "commit":
-		return cmdCommit(out, cluster, *manifestPath, subArgs)
+		return cmdCommit(ctx, out, cluster, *manifestPath, subArgs)
 	case "get":
-		return cmdGet(out, cluster, *manifestPath, subArgs)
+		return cmdGet(ctx, out, cluster, *manifestPath, subArgs)
 	case "info":
 		return cmdInfo(out, cluster, *manifestPath)
 	case "repair":
-		return cmdRepair(out, cluster, *manifestPath, subArgs)
+		return cmdRepair(ctx, out, cluster, *manifestPath, subArgs)
 	case "scrub":
-		return cmdScrub(out, cluster, *manifestPath, subArgs)
+		return cmdScrub(ctx, out, cluster, *manifestPath, subArgs)
 	case "attach":
-		return cmdAttach(out, cluster, *manifestPath, subArgs)
+		return cmdAttach(ctx, out, cluster, *manifestPath, subArgs)
 	default:
 		return fmt.Errorf("unknown subcommand %q", sub)
 	}
@@ -132,7 +139,7 @@ func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []st
 	return nil
 }
 
-func cmdCommit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdCommit(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	if len(args) != 1 {
 		return errors.New("usage: commit <file>")
 	}
@@ -144,7 +151,7 @@ func cmdCommit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []
 	if err != nil {
 		return err
 	}
-	info, err := archive.Commit(content)
+	info, err := archive.CommitContext(ctx, content)
 	if err != nil {
 		return err
 	}
@@ -153,7 +160,7 @@ func cmdCommit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []
 	}
 	// Replicate the manifest onto the nodes too, so `attach` can recover
 	// it if the local copy is lost; best effort.
-	_ = archive.SaveToCluster()
+	_ = archive.SaveToClusterContext(ctx)
 	what := "full version"
 	if info.StoredDelta {
 		what = fmt.Sprintf("delta (gamma=%d)", info.Gamma)
@@ -162,7 +169,7 @@ func cmdCommit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []
 	return nil
 }
 
-func cmdGet(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdGet(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("get", flag.ContinueOnError)
 	var (
 		version = fs.Int("version", 0, "version to retrieve (default: latest)")
@@ -179,7 +186,7 @@ func cmdGet(out io.Writer, cluster *sec.Cluster, manifestPath string, args []str
 	if l == 0 {
 		l = archive.Versions()
 	}
-	content, stats, err := archive.Retrieve(l)
+	content, stats, err := archive.RetrieveContext(ctx, l)
 	if err != nil {
 		return err
 	}
@@ -217,7 +224,7 @@ func cmdInfo(out io.Writer, cluster *sec.Cluster, manifestPath string) error {
 	return nil
 }
 
-func cmdRepair(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdRepair(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
 	node := fs.Int("node", -1, "cluster node index to repair (position in -nodes)")
 	if err := fs.Parse(args); err != nil {
@@ -230,7 +237,7 @@ func cmdRepair(out io.Writer, cluster *sec.Cluster, manifestPath string, args []
 	if err != nil {
 		return err
 	}
-	report, err := archive.RepairNode(*node)
+	report, err := archive.RepairNodeContext(ctx, *node)
 	if err != nil {
 		return err
 	}
@@ -239,7 +246,7 @@ func cmdRepair(out io.Writer, cluster *sec.Cluster, manifestPath string, args []
 	return nil
 }
 
-func cmdScrub(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdScrub(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
 	repair := fs.Bool("repair", false, "rewrite missing or corrupt shards")
 	if err := fs.Parse(args); err != nil {
@@ -249,7 +256,7 @@ func cmdScrub(out io.Writer, cluster *sec.Cluster, manifestPath string, args []s
 	if err != nil {
 		return err
 	}
-	report, err := archive.Scrub(*repair)
+	report, err := archive.ScrubContext(ctx, *repair)
 	if err != nil {
 		return err
 	}
@@ -259,7 +266,7 @@ func cmdScrub(out io.Writer, cluster *sec.Cluster, manifestPath string, args []s
 	return nil
 }
 
-func cmdAttach(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdAttach(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("attach", flag.ContinueOnError)
 	name := fs.String("name", "archive", "archive name to recover from the cluster")
 	if err := fs.Parse(args); err != nil {
@@ -268,7 +275,7 @@ func cmdAttach(out io.Writer, cluster *sec.Cluster, manifestPath string, args []
 	if _, err := os.Stat(manifestPath); err == nil {
 		return fmt.Errorf("manifest %s already exists", manifestPath)
 	}
-	archive, err := core.LoadFromCluster(*name, cluster)
+	archive, err := core.LoadFromClusterContext(ctx, *name, cluster)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,7 +36,7 @@ func TestEndToEndCLI(t *testing.T) {
 	manifest := filepath.Join(dir, "archive.json")
 
 	var out bytes.Buffer
-	err := run([]string{"-nodes", nodes, "-manifest", manifest, "init",
+	err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init",
 		"-scheme", "basic-sec", "-code", "non-systematic-cauchy",
 		"-n", "6", "-k", "3", "-blocksize", "16"}, &out)
 	if err != nil {
@@ -58,14 +59,14 @@ func TestEndToEndCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file1}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file1}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "committed version 1 as full version") {
 		t.Errorf("commit 1 output: %s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file2}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file2}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "committed version 2 as delta (gamma=1)") {
@@ -75,7 +76,7 @@ func TestEndToEndCLI(t *testing.T) {
 	// Retrieve both versions.
 	got1 := filepath.Join(dir, "out1.bin")
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "get", "-version", "1", "-out", got1}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "get", "-version", "1", "-out", got1}, &out); err != nil {
 		t.Fatal(err)
 	}
 	content, err := os.ReadFile(got1)
@@ -87,7 +88,7 @@ func TestEndToEndCLI(t *testing.T) {
 	}
 	got2 := filepath.Join(dir, "out2.bin")
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "get", "-out", got2}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "get", "-out", got2}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "with 5 node reads") {
@@ -103,7 +104,7 @@ func TestEndToEndCLI(t *testing.T) {
 
 	// Info summarises the archive.
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	info := out.String()
@@ -114,21 +115,21 @@ func TestEndToEndCLI(t *testing.T) {
 
 func TestCLIErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"info"}, &out); err == nil {
+	if err := run(context.Background(), []string{"info"}, &out); err == nil {
 		t.Error("missing -nodes: want error")
 	}
-	if err := run([]string{"-nodes", "127.0.0.1:1"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1"}, &out); err == nil {
 		t.Error("missing subcommand: want error")
 	}
-	if err := run([]string{"-nodes", "127.0.0.1:1", "frob"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "frob"}, &out); err == nil {
 		t.Error("unknown subcommand: want error")
 	}
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "m.json")
-	if err := run([]string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "commit", "x"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "commit", "x"}, &out); err == nil {
 		t.Error("commit without init: want error")
 	}
-	if err := run([]string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "init", "-scheme", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "init", "-scheme", "bogus"}, &out); err == nil {
 		t.Error("bogus scheme: want error")
 	}
 }
@@ -138,22 +139,22 @@ func TestCLIRepair(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "v.bin")
 	if err := os.WriteFile(file, bytes.Repeat([]byte{9}, 24), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// Wipe node 4's backing store (device replacement).
-	if err := backings[4].Delete(sec.ShardID{Object: "archive/v1-full", Row: 4}); err != nil {
+	if err := backings[4].Delete(context.Background(), sec.ShardID{Object: "archive/v1-full", Row: 4}); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 rebuilt") {
@@ -161,14 +162,14 @@ func TestCLIRepair(t *testing.T) {
 	}
 	// Second pass finds everything healthy.
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 healthy, 0 rebuilt") {
 		t.Errorf("second repair output: %s", out.String())
 	}
 	// Missing -node flag.
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "repair"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "repair"}, &out); err == nil {
 		t.Error("repair without -node: want error")
 	}
 }
@@ -178,42 +179,42 @@ func TestCLIScrub(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "v.bin")
 	if err := os.WriteFile(file, bytes.Repeat([]byte{7}, 24), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt one shard silently.
 	id := sec.ShardID{Object: "archive/v1-full", Row: 3}
-	data, err := backings[3].Get(id)
+	data, err := backings[3].Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[0] ^= 0xAA
-	if err := backings[3].Put(id, data); err != nil {
+	if err := backings[3].Put(context.Background(), id, data); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 corrupt") {
 		t.Errorf("scrub output: %s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "scrub", "-repair"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "scrub", "-repair"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 repaired") {
 		t.Errorf("scrub -repair output: %s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "0 missing, 0 corrupt") {
@@ -226,7 +227,7 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "v.bin")
@@ -234,7 +235,7 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 	if err := os.WriteFile(file, want, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// The laptop dies: the local manifest is gone.
@@ -243,14 +244,14 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 	}
 	recovered := filepath.Join(dir, "recovered.json")
 	out.Reset()
-	if err := run([]string{"-nodes", nodes, "-manifest", recovered, "attach", "-name", "archive"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", recovered, "attach", "-name", "archive"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "attached to archive") {
 		t.Errorf("attach output: %s", out.String())
 	}
 	got := filepath.Join(dir, "out.bin")
-	if err := run([]string{"-nodes", nodes, "-manifest", recovered, "get", "-out", got}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", recovered, "get", "-out", got}, &out); err != nil {
 		t.Fatal(err)
 	}
 	content, err := os.ReadFile(got)
@@ -261,12 +262,12 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 		t.Error("recovered archive content mismatch")
 	}
 	// Attach refuses to clobber an existing manifest.
-	if err := run([]string{"-nodes", nodes, "-manifest", recovered, "attach"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", recovered, "attach"}, &out); err == nil {
 		t.Error("attach over existing manifest: want error")
 	}
 	// Attach to a name that does not exist fails.
 	ghost := filepath.Join(dir, "ghost.json")
-	if err := run([]string{"-nodes", nodes, "-manifest", ghost, "attach", "-name", "ghost"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", ghost, "attach", "-name", "ghost"}, &out); err == nil {
 		t.Error("attach to unknown archive: want error")
 	}
 }
@@ -276,10 +277,10 @@ func TestCLIInitRefusesOverwrite(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err == nil {
 		t.Error("double init: want error")
 	}
 }

@@ -14,39 +14,44 @@
 // exit, which is only appropriate for simulations.
 //
 // The process serves until SIGINT/SIGTERM, then shuts down gracefully:
-// in-flight requests drain and (for durable nodes) directory metadata is
-// flushed to stable storage.
+// in-flight requests drain (bounded by -drain), connections close as they
+// go idle, and (for durable nodes) directory metadata is flushed to stable
+// storage. A second signal aborts the drain immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	sec "github.com/secarchive/sec"
 	"github.com/secarchive/sec/internal/transport"
 )
 
 func main() {
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := run(os.Args[1:], stop, nil); err != nil {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
 		fmt.Fprintln(os.Stderr, "secnode:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves until a value arrives on stop. If ready is non-nil it receives
-// the bound address once the server is listening.
-func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
+// run serves until ctx is cancelled (the signal arrives), then drains and
+// flushes. If ready is non-nil it receives the bound address once the
+// server is listening.
+func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("secnode", flag.ContinueOnError)
 	var (
-		addr = fs.String("addr", "127.0.0.1:7070", "TCP address to listen on")
-		id   = fs.String("id", "secnode", "node identifier used in logs")
-		data = fs.String("data", "", "directory for durable shard storage (empty: volatile in-memory node)")
+		addr  = fs.String("addr", "127.0.0.1:7070", "TCP address to listen on")
+		id    = fs.String("id", "secnode", "node identifier used in logs")
+		data  = fs.String("data", "", "directory for durable shard storage (empty: volatile in-memory node)")
+		drain = fs.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests to finish")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,12 +79,23 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
 	if ready != nil {
 		ready <- bound.String()
 	}
-	<-stop
-	logger.Printf("shutting down")
-	err = server.Close()
+	<-ctx.Done()
+	logger.Printf("shutting down: draining in-flight requests (up to %v)", *drain)
+	// A fresh signal context re-arms SIGINT/SIGTERM, so a second signal
+	// cancels the drain and force-closes instead of waiting it out.
+	drainCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drainCtx, cancelDrain := context.WithTimeout(drainCtx, *drain)
+	defer cancelDrain()
+	err = server.Shutdown(drainCtx)
+	if err != nil {
+		logger.Printf("drain aborted: %v", err)
+	}
 	if disk != nil {
 		if ferr := disk.Close(); err == nil {
 			err = ferr
+		} else if ferr != nil {
+			logger.Printf("disk flush failed: %v", ferr)
 		}
 	}
 	return err

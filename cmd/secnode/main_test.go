@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,11 +12,12 @@ import (
 )
 
 func TestServeAndShutdown(t *testing.T) {
-	stop := make(chan os.Signal, 1)
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-id", "test-node"}, stop, ready)
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-id", "test-node"}, ready)
 	}()
 	var addr string
 	select {
@@ -27,10 +29,10 @@ func TestServeAndShutdown(t *testing.T) {
 	client := sec.DialNode("c", addr)
 	defer client.Close()
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(id, []byte{1, 2, 3}); err != nil {
+	if err := client.Put(context.Background(), id, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(id)
+	got, err := client.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func TestServeAndShutdown(t *testing.T) {
 		t.Errorf("Get = %v", got)
 	}
 
-	stop <- os.Interrupt
+	stop()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -50,13 +52,14 @@ func TestServeAndShutdown(t *testing.T) {
 }
 
 // startNode runs the secnode entry point with the given args and returns
-// the bound address, the stop channel, and the exit channel.
-func startNode(t *testing.T, args ...string) (string, chan os.Signal, chan error) {
+// the bound address, the stop function, and the exit channel.
+func startNode(t *testing.T, args ...string) (string, context.CancelFunc, chan error) {
 	t.Helper()
-	stop := make(chan os.Signal, 1)
+	ctx, stop := context.WithCancel(context.Background())
+	t.Cleanup(stop)
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- run(args, stop, ready) }()
+	go func() { done <- run(ctx, args, ready) }()
 	select {
 	case addr := <-ready:
 		return addr, stop, done
@@ -66,9 +69,9 @@ func startNode(t *testing.T, args ...string) (string, chan os.Signal, chan error
 	}
 }
 
-func stopNode(t *testing.T, stop chan os.Signal, done chan error) {
+func stopNode(t *testing.T, stop context.CancelFunc, done chan error) {
 	t.Helper()
-	stop <- os.Interrupt
+	stop()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -85,7 +88,7 @@ func TestDurableNodeSurvivesRestart(t *testing.T) {
 	client := sec.DialNode("c", addr)
 	id := store.ShardID{Object: "persist/v1-full", Row: 2}
 	payload := []byte("still here after the crash")
-	if err := client.Put(id, payload); err != nil {
+	if err := client.Put(context.Background(), id, payload); err != nil {
 		t.Fatal(err)
 	}
 	stopNode(t, stop, done)
@@ -95,7 +98,7 @@ func TestDurableNodeSurvivesRestart(t *testing.T) {
 	addr2, stop2, done2 := startNode(t, "-addr", "127.0.0.1:0", "-id", "durable-node", "-data", dir)
 	client2 := sec.DialNode("c", addr2)
 	defer client2.Close()
-	got, err := client2.Get(id)
+	got, err := client2.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,22 +109,20 @@ func TestDurableNodeSurvivesRestart(t *testing.T) {
 }
 
 func TestDurableNodeRejectsBadDataDir(t *testing.T) {
-	stop := make(chan os.Signal)
 	file := filepath.Join(t.TempDir(), "not-a-dir")
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-addr", "127.0.0.1:0", "-data", file}, stop, nil); err == nil {
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-data", file}, nil); err == nil {
 		t.Error("data dir over a regular file: want error")
 	}
 }
 
 func TestBadFlags(t *testing.T) {
-	stop := make(chan os.Signal)
-	if err := run([]string{"-addr"}, stop, nil); err == nil {
+	if err := run(context.Background(), []string{"-addr"}, nil); err == nil {
 		t.Error("dangling flag: want error")
 	}
-	if err := run([]string{"-addr", "256.256.256.256:99999"}, stop, nil); err == nil {
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, nil); err == nil {
 		t.Error("bad address: want error")
 	}
 }

@@ -1,6 +1,7 @@
 package sec_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 // only the first kilobyte. The sparse delta is read back with 2 node reads
 // instead of 3.
 func Example() {
+	ctx := context.Background()
 	cluster := sec.NewMemCluster(6)
 	archive, err := sec.NewArchive(sec.ArchiveConfig{
 		Scheme:    sec.BasicSEC,
@@ -28,7 +30,7 @@ func Example() {
 	for i := range v1 {
 		v1[i] = byte(i)
 	}
-	if _, err := archive.Commit(v1); err != nil {
+	if _, err := archive.CommitContext(ctx, v1); err != nil {
 		log.Fatal(err)
 	}
 
@@ -36,13 +38,13 @@ func Example() {
 	for i := 0; i < 1024; i++ { // modify only the first block
 		v2[i] ^= 0xFF
 	}
-	info, err := archive.Commit(v2)
+	info, err := archive.CommitContext(ctx, v2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("version 2 stored as delta with gamma=%d\n", info.Gamma)
 
-	_, stats, err := archive.Retrieve(2)
+	_, stats, err := archive.RetrieveContext(ctx, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,6 +58,7 @@ func Example() {
 // version is the anchor's k reads plus min(2*gamma, k) per delta on the
 // chain.
 func ExampleArchive_PlannedReads() {
+	ctx := context.Background()
 	archive, err := sec.NewArchive(sec.ArchiveConfig{
 		Scheme:    sec.BasicSEC,
 		Code:      sec.NonSystematicCauchy,
@@ -67,12 +70,12 @@ func ExampleArchive_PlannedReads() {
 		log.Fatal(err)
 	}
 	v := make([]byte, 10)
-	if _, err := archive.Commit(v); err != nil {
+	if _, err := archive.CommitContext(ctx, v); err != nil {
 		log.Fatal(err)
 	}
 	v = append([]byte(nil), v...)
 	v[0] ^= 1 // gamma = 1
-	if _, err := archive.Commit(v); err != nil {
+	if _, err := archive.CommitContext(ctx, v); err != nil {
 		log.Fatal(err)
 	}
 	planned, err := archive.PlannedReads(2)
@@ -87,6 +90,7 @@ func ExampleArchive_PlannedReads() {
 // ExampleNewRepository runs the version-control layer: a one-line edit is
 // stored as a sparse delta.
 func ExampleNewRepository() {
+	ctx := context.Background()
 	repo, err := sec.NewRepository(sec.RepositoryConfig{
 		Scheme:    sec.BasicSEC,
 		Code:      sec.NonSystematicCauchy,
@@ -97,10 +101,10 @@ func ExampleNewRepository() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := repo.Commit("init", map[string][]byte{"notes.txt": []byte("hello world")}); err != nil {
+	if _, err := repo.CommitContext(ctx, "init", map[string][]byte{"notes.txt": []byte("hello world")}); err != nil {
 		log.Fatal(err)
 	}
-	c, err := repo.Commit("edit", map[string][]byte{"notes.txt": []byte("hello there")})
+	c, err := repo.CommitContext(ctx, "edit", map[string][]byte{"notes.txt": []byte("hello there")})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,12 +17,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	const (
 		files    = 16
 		fileSize = 256 // image capacity: 4 KiB
@@ -48,7 +49,7 @@ func run() error {
 	}
 
 	fmt.Printf("image: %d files x %d bytes; (n,k)=(%d,%d) reversed SEC\n\n", files, fileSize, n, k)
-	if _, err := backups.Commit(image.Bytes()); err != nil {
+	if _, err := backups.CommitContext(ctx, image.Bytes()); err != nil {
 		return err
 	}
 	fmt.Println("night 1: full backup")
@@ -57,7 +58,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		info, err := backups.Commit(image.Bytes())
+		info, err := backups.CommitContext(ctx, image.Bytes())
 		if err != nil {
 			return err
 		}
@@ -67,7 +68,7 @@ func run() error {
 
 	fmt.Println("\nrestore costs (node reads):")
 	for l := nights; l >= 1; l-- {
-		content, stats, err := backups.Retrieve(l)
+		content, stats, err := backups.RetrieveContext(ctx, l)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,12 +17,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	const (
 		n, k      = 6, 3
 		blockSize = 1024
@@ -63,14 +64,14 @@ func run() error {
 		return err
 	}
 	for i, v := range [][]byte{v1, v2} {
-		info, err := archive.Commit(v)
+		info, err := archive.CommitContext(ctx, v)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("committed v%d over TCP: %d shard writes\n", i+1, info.ShardWrites)
 	}
 
-	got, stats, err := archive.Retrieve(2)
+	got, stats, err := archive.RetrieveContext(ctx, 2)
 	if err != nil {
 		return err
 	}
@@ -84,7 +85,7 @@ func run() error {
 	for _, i := range []int{0, 2, 4} {
 		backings[i].SetFailed(true)
 	}
-	got, stats, err = archive.Retrieve(2)
+	got, stats, err = archive.RetrieveContext(ctx, 2)
 	if err != nil {
 		return err
 	}
@@ -97,7 +98,7 @@ func run() error {
 	// One more failure exceeds the fault tolerance for the full version.
 	fmt.Println("\ncrashing node 1 as well (only 2 survivors)...")
 	backings[1].SetFailed(true)
-	if _, _, err := archive.Retrieve(2); err != nil {
+	if _, _, err := archive.RetrieveContext(ctx, 2); err != nil {
 		fmt.Printf("retrieval now fails as expected: %v\n", err)
 	} else {
 		return fmt.Errorf("retrieval unexpectedly succeeded with 2 survivors")
@@ -107,7 +108,7 @@ func run() error {
 	for _, b := range backings {
 		b.SetFailed(false)
 	}
-	if _, _, err := archive.Retrieve(2); err != nil {
+	if _, _, err := archive.RetrieveContext(ctx, 2); err != nil {
 		return err
 	}
 	fmt.Println("retrieval works again")

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,12 +24,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	const (
 		n, k      = 6, 3
 		blockSize = 1024
@@ -84,7 +85,7 @@ func run() error {
 				return err
 			}
 		}
-		info, err := archive.Commit(v)
+		info, err := archive.CommitContext(ctx, v)
 		if err != nil {
 			return err
 		}
@@ -104,7 +105,7 @@ func run() error {
 			return err
 		}
 	}
-	if _, _, err := archive.Retrieve(1); err != nil {
+	if _, _, err := archive.RetrieveContext(ctx, 1); err != nil {
 		fmt.Printf("retrieval now fails as expected: %v\n", err)
 	} else {
 		return fmt.Errorf("retrieval unexpectedly succeeded with every node dead")
@@ -133,7 +134,7 @@ func run() error {
 		return err
 	}
 	for l, want := range versions {
-		got, _, err := restored.Retrieve(l + 1)
+		got, _, err := restored.RetrieveContext(ctx, l+1)
 		if err != nil {
 			return fmt.Errorf("version %d after restart: %w", l+1, err)
 		}
@@ -150,7 +151,7 @@ func run() error {
 	if err := flipOneBit(restarted[4]); err != nil {
 		return err
 	}
-	report, err := restored.Scrub(true)
+	report, err := restored.ScrubContext(ctx, true)
 	if err != nil {
 		return err
 	}
@@ -158,7 +159,7 @@ func run() error {
 	if report.ShardsCorrupt != 1 || report.Repaired != 1 {
 		return fmt.Errorf("unexpected scrub report %+v", report)
 	}
-	report, err = restored.Scrub(false)
+	report, err = restored.ScrubContext(ctx, false)
 	if err != nil {
 		return err
 	}

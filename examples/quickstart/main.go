@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,12 +14,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	const (
 		n, k      = 20, 10
 		blockSize = 1024
@@ -63,11 +64,11 @@ func run() error {
 				return err
 			}
 		}
-		info, err := archive.Commit(version)
+		info, err := archive.CommitContext(ctx, version)
 		if err != nil {
 			return err
 		}
-		if _, err := baseline.Commit(version); err != nil {
+		if _, err := baseline.CommitContext(ctx, version); err != nil {
 			return err
 		}
 		what := "full version"
@@ -80,11 +81,11 @@ func run() error {
 	fmt.Println("\nreads to retrieve each version (paper Fig. 9):")
 	fmt.Println("  l    SEC    non-differential")
 	for l := 1; l <= 5; l++ {
-		content, stats, err := archive.Retrieve(l)
+		content, stats, err := archive.RetrieveContext(ctx, l)
 		if err != nil {
 			return err
 		}
-		_, base, err := baseline.Retrieve(l)
+		_, base, err := baseline.RetrieveContext(ctx, l)
 		if err != nil {
 			return err
 		}
@@ -92,11 +93,11 @@ func run() error {
 			l, stats.NodeReads, base.NodeReads, len(content), stats.SparseReads)
 	}
 
-	_, all, err := archive.RetrieveAll(5)
+	_, all, err := archive.RetrieveAllContext(ctx, 5)
 	if err != nil {
 		return err
 	}
-	_, baseAll, err := baseline.RetrieveAll(5)
+	_, baseAll, err := baseline.RetrieveAllContext(ctx, 5)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -14,12 +15,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	repo, err := sec.NewRepository(sec.RepositoryConfig{
 		Scheme:    sec.BasicSEC,
 		Code:      sec.NonSystematicCauchy,
@@ -33,7 +34,7 @@ func run() error {
 
 	mainV1 := "package main\n\nfunc main() {\n\tprintln(\"hello\")\n}\n"
 	readme := "A demo project stored with sparsity exploiting coding.\n"
-	if _, err := repo.Commit("initial import", map[string][]byte{
+	if _, err := repo.CommitContext(ctx, "initial import", map[string][]byte{
 		"main.go": []byte(mainV1),
 		"README":  []byte(readme),
 	}); err != nil {
@@ -42,13 +43,13 @@ func run() error {
 
 	// A one-line change: the delta touches a single block.
 	mainV2 := strings.Replace(mainV1, "hello", "hello, world", 1)
-	if _, err := repo.Commit("friendlier greeting", map[string][]byte{
+	if _, err := repo.CommitContext(ctx, "friendlier greeting", map[string][]byte{
 		"main.go": []byte(mainV2),
 	}); err != nil {
 		return err
 	}
 
-	if _, err := repo.Commit("add license", map[string][]byte{
+	if _, err := repo.CommitContext(ctx, "add license", map[string][]byte{
 		"LICENSE": []byte("MIT. Do what you like.\n"),
 	}); err != nil {
 		return err
@@ -69,7 +70,7 @@ func run() error {
 	}
 
 	fmt.Println("\ncheckout r1:")
-	state, stats, err := repo.Checkout(1)
+	state, stats, err := repo.CheckoutContext(ctx, 1)
 	if err != nil {
 		return err
 	}
@@ -82,7 +83,7 @@ func run() error {
 	}
 
 	fmt.Println("\ncheckout head:")
-	state, stats, err = repo.Checkout(repo.Head())
+	state, stats, err = repo.CheckoutContext(ctx, repo.Head())
 	if err != nil {
 		return err
 	}
@@ -91,7 +92,7 @@ func run() error {
 	}
 	fmt.Printf("  %d files, %d node reads (%d sparse)\n", len(state), stats.NodeReads, stats.SparseReads)
 
-	content, stats, err := repo.CheckoutFile("main.go", 2)
+	content, stats, err := repo.CheckoutFileContext(ctx, "main.go", 2)
 	if err != nil {
 		return err
 	}

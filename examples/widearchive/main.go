@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,12 +17,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	const (
 		n, k      = 200, 100
 		blockSize = 64 // object capacity: 6400 bytes
@@ -50,7 +51,7 @@ func run() error {
 	rng := rand.New(rand.NewSource(21))
 	v1 := make([]byte, archive.Capacity())
 	rng.Read(v1)
-	if _, err := archive.Commit(v1); err != nil {
+	if _, err := archive.CommitContext(ctx, v1); err != nil {
 		return err
 	}
 
@@ -61,7 +62,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		info, err := archive.Commit(v)
+		info, err := archive.CommitContext(ctx, v)
 		if err != nil {
 			return err
 		}
@@ -69,7 +70,7 @@ func run() error {
 			info.Version, info.Gamma, 2*info.Gamma, n)
 	}
 
-	got, stats, err := archive.Retrieve(4)
+	got, stats, err := archive.RetrieveContext(ctx, 4)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,12 +16,12 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	const (
 		n, k      = 12, 6
 		blockSize = 512 // article capacity: 3 KiB
@@ -46,7 +47,7 @@ func run() error {
 	}
 
 	fmt.Printf("article: %d bytes in %d blocks of %d\n\n", article.Len(), k, blockSize)
-	if _, err := history.Commit(article.Bytes()); err != nil {
+	if _, err := history.CommitContext(ctx, article.Bytes()); err != nil {
 		return err
 	}
 	fmt.Println("rev 1: initial import (stored in full)")
@@ -56,7 +57,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		info, err := history.Commit(article.Bytes())
+		info, err := history.CommitContext(ctx, article.Bytes())
 		if err != nil {
 			return err
 		}
@@ -65,7 +66,7 @@ func run() error {
 	}
 
 	fmt.Println("\nreading back the whole history:")
-	versions, stats, err := history.RetrieveAll(revisions)
+	versions, stats, err := history.RetrieveAllContext(ctx, revisions)
 	if err != nil {
 		return err
 	}
@@ -79,11 +80,11 @@ func run() error {
 	fmt.Printf("  SEC saves %.0f%% of the I/O\n", saving)
 
 	// Vandalism check: diff two revisions.
-	v3, _, err := history.Retrieve(3)
+	v3, _, err := history.RetrieveContext(ctx, 3)
 	if err != nil {
 		return err
 	}
-	v4, _, err := history.Retrieve(4)
+	v4, _, err := history.RetrieveContext(ctx, 4)
 	if err != nil {
 		return err
 	}

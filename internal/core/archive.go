@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/secarchive/sec/internal/delta"
 	"github.com/secarchive/sec/internal/erasure"
@@ -180,10 +182,11 @@ func (a *Archive) Versions() int {
 	return len(a.entries)
 }
 
-// Commit stores object as the next version. The object must fit the
-// configured capacity (K*BlockSize bytes); shorter objects are zero-padded,
-// matching the paper's fixed-size object model.
-func (a *Archive) Commit(object []byte) (CommitInfo, error) {
+// CommitContext stores object as the next version, under the context's
+// deadline and cancellation. The object must fit the configured capacity
+// (K*BlockSize bytes); shorter objects are zero-padded, matching the
+// paper's fixed-size object model.
+func (a *Archive) CommitContext(ctx context.Context, object []byte) (CommitInfo, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
@@ -197,7 +200,7 @@ func (a *Archive) Commit(object []byte) (CommitInfo, error) {
 	}
 	if version == 1 {
 		info := CommitInfo{Version: 1, StoredFull: true}
-		if err := a.writeObject(a.code, fullID(a.cfg.Name, 1), 1, blocks, &info.ShardWrites); err != nil {
+		if err := a.writeObject(ctx, a.code, fullID(a.cfg.Name, 1), 1, blocks, &info.ShardWrites); err != nil {
 			return CommitInfo{}, err
 		}
 		a.entries = append(a.entries, entry{hasFull: true, length: len(object)})
@@ -206,7 +209,7 @@ func (a *Archive) Commit(object []byte) (CommitInfo, error) {
 	}
 
 	if a.cache == nil {
-		if err := a.restoreCacheLocked(); err != nil {
+		if err := a.restoreCacheLocked(ctx); err != nil {
 			return CommitInfo{}, fmt.Errorf("core: restoring latest-version cache: %w", err)
 		}
 	}
@@ -219,13 +222,13 @@ func (a *Archive) Commit(object []byte) (CommitInfo, error) {
 
 	storeDelta, storeFull := a.commitPlan(gamma)
 	if storeDelta {
-		if err := a.writeObject(a.deltaCode, deltaID(a.cfg.Name, version), version, d, &info.ShardWrites); err != nil {
+		if err := a.writeObject(ctx, a.deltaCode, deltaID(a.cfg.Name, version), version, d, &info.ShardWrites); err != nil {
 			return CommitInfo{}, err
 		}
 		info.StoredDelta = true
 	}
 	if storeFull {
-		if err := a.writeObject(a.code, fullID(a.cfg.Name, version), version, blocks, &info.ShardWrites); err != nil {
+		if err := a.writeObject(ctx, a.code, fullID(a.cfg.Name, version), version, blocks, &info.ShardWrites); err != nil {
 			return CommitInfo{}, err
 		}
 		info.StoredFull = true
@@ -241,7 +244,7 @@ func (a *Archive) Commit(object []byte) (CommitInfo, error) {
 		// now reaches it through the new delta.
 		prev := version - 1
 		if a.entries[prev-1].hasFull {
-			info.OrphanShards = a.deleteObject(a.code, fullID(a.cfg.Name, prev), prev)
+			info.OrphanShards = a.deleteObject(ctx, a.code, fullID(a.cfg.Name, prev), prev)
 			a.entries[prev-1].hasFull = false
 		}
 	}
@@ -266,13 +269,16 @@ func (a *Archive) commitPlan(gamma int) (storeDelta, storeFull bool) {
 	}
 }
 
-// Retrieve reconstructs version l (1-based), returning its bytes and the
-// read accounting.
-func (a *Archive) Retrieve(l int) ([]byte, RetrievalStats, error) {
+// RetrieveContext reconstructs version l (1-based) under the context's
+// deadline and cancellation, returning its bytes and the read accounting.
+// The context bounds the whole retrieval end to end: a chain walk against
+// a stalled node returns once the context expires instead of waiting out
+// per-operation timeouts link by link.
+func (a *Archive) RetrieveContext(ctx context.Context, l int) ([]byte, RetrievalStats, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var stats RetrievalStats
-	blocks, err := a.retrieveBlocksLocked(l, &stats)
+	blocks, err := a.retrieveBlocksLocked(ctx, l, &stats)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -283,9 +289,9 @@ func (a *Archive) Retrieve(l int) ([]byte, RetrievalStats, error) {
 	return object, stats, nil
 }
 
-// Latest reconstructs the most recent version from storage.
-func (a *Archive) Latest() ([]byte, RetrievalStats, error) {
-	return a.Retrieve(a.Versions())
+// LatestContext reconstructs the most recent version from storage.
+func (a *Archive) LatestContext(ctx context.Context) ([]byte, RetrievalStats, error) {
+	return a.RetrieveContext(ctx, a.Versions())
 }
 
 // CachedLatest returns the in-memory copy of the latest version, if the
@@ -304,9 +310,10 @@ func (a *Archive) CachedLatest() ([]byte, bool) {
 	return object, true
 }
 
-// RetrieveAll reconstructs versions 1..l in order (the whole-archive read
-// of formula (4) when l = L).
-func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
+// RetrieveAllContext reconstructs versions 1..l in order (the whole-
+// archive read of formula (4) when l = L), under the context's deadline
+// and cancellation.
+func (a *Archive) RetrieveAllContext(ctx context.Context, l int) ([][]byte, RetrievalStats, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var stats RetrievalStats
@@ -319,7 +326,7 @@ func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
 	}
 	// A backward walk to version 1 (Reversed SEC) materializes every
 	// intermediate version for free; keep them instead of re-reading.
-	materialized, err := a.materializeChain(plan, &stats)
+	materialized, err := a.materializeChain(ctx, plan, &stats)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -336,7 +343,7 @@ func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
 		e := a.entries[j-1]
 		switch {
 		case e.hasDelta:
-			d, read, err := a.readDelta(j, e.gamma, nil)
+			d, read, err := a.readDelta(ctx, j, e.gamma, nil)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -347,7 +354,7 @@ func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
 			}
 			versions[j] = next
 		case e.hasFull:
-			blocks, read, err := a.readFull(j, nil)
+			blocks, read, err := a.readFull(ctx, j, nil)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -370,12 +377,12 @@ func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
 
 // retrieveBlocksLocked reconstructs the blocks of version l, adding reads
 // to stats. Caller holds at least a read lock.
-func (a *Archive) retrieveBlocksLocked(l int, stats *RetrievalStats) ([][]byte, error) {
+func (a *Archive) retrieveBlocksLocked(ctx context.Context, l int, stats *RetrievalStats) ([][]byte, error) {
 	plan, err := a.planChain(l)
 	if err != nil {
 		return nil, err
 	}
-	materialized, err := a.materializeChain(plan, stats)
+	materialized, err := a.materializeChain(ctx, plan, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -392,9 +399,9 @@ func (a *Archive) retrieveBlocksLocked(l int, stats *RetrievalStats) ([][]byte, 
 // shard reads of the chain are prefetched up front as one batch per node;
 // the per-object readers consume the prefetched rows and fetch more only
 // where the prefetch fell short.
-func (a *Archive) materializeChain(plan chainPlan, stats *RetrievalStats) (map[int][][]byte, error) {
-	sets := a.prefetchChain(plan)
-	current, read, err := a.readFull(plan.anchor, sets[fullID(a.cfg.Name, plan.anchor)])
+func (a *Archive) materializeChain(ctx context.Context, plan chainPlan, stats *RetrievalStats) (map[int][][]byte, error) {
+	sets := a.prefetchChain(ctx, plan)
+	current, read, err := a.readFull(ctx, plan.anchor, sets[fullID(a.cfg.Name, plan.anchor)])
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +410,7 @@ func (a *Archive) materializeChain(plan chainPlan, stats *RetrievalStats) (map[i
 	materialized := map[int][][]byte{ver: current}
 	for _, j := range plan.deltas {
 		e := a.entries[j-1]
-		d, read, err := a.readDelta(j, e.gamma, sets[deltaID(a.cfg.Name, j)])
+		d, read, err := a.readDelta(ctx, j, e.gamma, sets[deltaID(a.cfg.Name, j)])
 		if err != nil {
 			return nil, err
 		}
@@ -572,6 +579,10 @@ type shardSet struct {
 	// for a delta, so readDelta can decode straight from the prefetched
 	// rows without re-probing liveness.
 	sparseRows []int
+	// err records the last per-row error of the chain prefetch, so a
+	// reader that must abort (cancelled context) can surface the failure
+	// with its full node/shard provenance instead of a bare ctx error.
+	err error
 }
 
 func newShardSet() *shardSet {
@@ -581,9 +592,9 @@ func newShardSet() *shardSet {
 // fetch reads the listed rows of an object into the set, one batch per
 // node, marking permanently lost rows dead. It returns the last per-row
 // error (nil when every row arrived).
-func (s *shardSet) fetch(a *Archive, id string, version int, rows []int) error {
+func (s *shardSet) fetch(ctx context.Context, a *Archive, id string, version int, rows []int) error {
 	var lastErr error
-	for i, res := range a.readRows(id, version, rows) {
+	for i, res := range a.readRows(ctx, id, version, rows) {
 		if res.Err != nil {
 			if rowLost(res.Err) {
 				s.dead[rows[i]] = true
@@ -659,7 +670,7 @@ func (s *shardSet) selectRows(rows []int) ([][]byte, bool) {
 // object's shard set and the per-object readers top up or re-plan exactly
 // as they would have fetched in the first place, so read counts are
 // unchanged.
-func (a *Archive) prefetchChain(plan chainPlan) map[string]*shardSet {
+func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]*shardSet {
 	if a.cfg.DisableBatchIO {
 		return nil
 	}
@@ -693,7 +704,7 @@ func (a *Archive) prefetchChain(plan chainPlan) map[string]*shardSet {
 		wg.Add(1)
 		go func(i, nd int) {
 			defer wg.Done()
-			avail[i] = a.cluster.Available(nd)
+			avail[i] = a.cluster.Available(ctx, nd)
 		}(i, nd)
 	}
 	wg.Wait()
@@ -754,12 +765,13 @@ func (a *Archive) prefetchChain(plan chainPlan) map[string]*shardSet {
 		s.sparseRows = p.sparse
 		sets[p.id] = s
 	}
-	for i, res := range a.cluster.GetBatch(refs) {
+	for i, res := range a.cluster.GetBatch(ctx, refs) {
 		s := sets[plans[owner[i]].id]
 		if res.Err != nil {
 			if rowLost(res.Err) {
 				s.dead[rowOf[i]] = true
 			}
+			s.err = fmt.Errorf("core: reading %s#%d: %w", plans[owner[i]].id, rowOf[i], res.Err)
 			continue
 		}
 		s.data[rowOf[i]] = res.Data
@@ -771,24 +783,32 @@ func (a *Archive) prefetchChain(plan chainPlan) map[string]*shardSet {
 // readFull reads and decodes a fully stored version. Reads are planned per
 // node and issued as one batch per node; rows that fail are marked dead
 // and only the deficit is re-fetched on the next attempt. A non-nil set
-// carries rows already prefetched by the chain planner.
-func (a *Archive) readFull(version int, set *shardSet) ([][]byte, ObjectRead, error) {
+// carries rows already prefetched by the chain planner. A done context
+// aborts the re-plan loop immediately - cancellation is not a node
+// failure, so no further liveness probing or re-planning is worth doing.
+func (a *Archive) readFull(ctx context.Context, version int, set *shardSet) ([][]byte, ObjectRead, error) {
 	id := fullID(a.cfg.Name, version)
 	k := a.cfg.K
 	if set == nil {
 		set = newShardSet()
 	}
-	var lastErr error
+	lastErr := set.err
 	for attempt := 0; attempt < readAttempts; attempt++ {
+		if err := chainAbort(ctx, lastErr); err != nil {
+			return nil, ObjectRead{}, err
+		}
 		if len(set.data) < k {
-			candidates := set.missing(a.liveRows(a.code, version, set.dead))
+			candidates := set.missing(a.liveRows(ctx, a.code, version, set.dead))
 			if a.code.Systematic() {
 				candidates = preferSystematic(candidates, k)
 			}
 			if len(set.data)+len(candidates) < k {
+				if err := chainAbort(ctx, lastErr); err != nil {
+					return nil, ObjectRead{}, err
+				}
 				return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(set.data)+len(candidates), k, id)
 			}
-			if err := set.fetch(a, id, version, candidates[:k-len(set.data)]); err != nil {
+			if err := set.fetch(ctx, a, id, version, candidates[:k-len(set.data)]); err != nil {
 				lastErr = err
 			}
 		}
@@ -804,13 +824,35 @@ func (a *Archive) readFull(version int, set *shardSet) ([][]byte, ObjectRead, er
 	return nil, ObjectRead{}, lastErr
 }
 
+// chainAbort decides whether a retrieval loop should stop because its
+// context is done (or its deadline has passed, even if the context timer
+// has not fired yet - the wire deadlines are copied from it, so further
+// reads are pointless). It prefers the last per-row error when that error
+// already carries the cancellation (it names the node and shard, so
+// errors.As finds the full provenance), falling back to a plain wrap of
+// the context's cause.
+func chainAbort(ctx context.Context, lastErr error) error {
+	cause := ctx.Err()
+	if cause == nil {
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			cause = context.DeadlineExceeded
+		} else {
+			return nil
+		}
+	}
+	if lastErr != nil && errors.Is(lastErr, cause) {
+		return lastErr
+	}
+	return fmt.Errorf("core: retrieval aborted: %w", cause)
+}
+
 // readDelta reads and decodes the delta of a version, using a sparse read
 // when the code admits one from the live shards. Shards fetched by a
 // sparse attempt that could not complete are kept and count toward the
 // full read it falls back to. A non-nil set carries rows already
 // prefetched by the chain planner (and, for sparse plans, which rows they
 // are), so the healthy path decodes without any further cluster traffic.
-func (a *Archive) readDelta(version, gamma int, set *shardSet) ([][]byte, ObjectRead, error) {
+func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardSet) ([][]byte, ObjectRead, error) {
 	if gamma == 0 {
 		// Nothing changed: the delta is identically zero, no reads
 		// needed.
@@ -825,7 +867,7 @@ func (a *Archive) readDelta(version, gamma int, set *shardSet) ([][]byte, Object
 	if set == nil {
 		set = newShardSet()
 	}
-	var lastErr error
+	lastErr := set.err
 	trySparse := true
 	if planned := set.sparseRows; planned != nil {
 		set.sparseRows = nil
@@ -840,10 +882,13 @@ func (a *Archive) readDelta(version, gamma int, set *shardSet) ([][]byte, Object
 		}
 	}
 	for attempt := 0; attempt < readAttempts; attempt++ {
-		live := a.liveRows(a.deltaCode, version, set.dead)
+		if err := chainAbort(ctx, lastErr); err != nil {
+			return nil, ObjectRead{}, err
+		}
+		live := a.liveRows(ctx, a.deltaCode, version, set.dead)
 		if trySparse {
 			if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
-				if err := set.fetch(a, id, version, set.missing(rows)); err != nil {
+				if err := set.fetch(ctx, a, id, version, set.missing(rows)); err != nil {
 					// Some sparse rows are gone; re-plan against the
 					// shrunken live set, keeping what arrived.
 					lastErr = err
@@ -865,9 +910,12 @@ func (a *Archive) readDelta(version, gamma int, set *shardSet) ([][]byte, Object
 		if len(set.data) < k {
 			candidates := set.missing(live)
 			if len(set.data)+len(candidates) < k {
+				if err := chainAbort(ctx, lastErr); err != nil {
+					return nil, ObjectRead{}, err
+				}
 				return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(set.data)+len(candidates), k, id)
 			}
-			if err := set.fetch(a, id, version, candidates[:k-len(set.data)]); err != nil {
+			if err := set.fetch(ctx, a, id, version, candidates[:k-len(set.data)]); err != nil {
 				lastErr = err
 			}
 		}
@@ -899,17 +947,17 @@ func (a *Archive) rowRefs(id string, version int, rows []int) []store.ShardRef {
 // batch per placement node (per-shard cluster operations when
 // Config.DisableBatchIO is set). Results are aligned with rows; each row
 // fails or succeeds independently.
-func (a *Archive) readRows(id string, version int, rows []int) []store.ShardResult {
+func (a *Archive) readRows(ctx context.Context, id string, version int, rows []int) []store.ShardResult {
 	refs := a.rowRefs(id, version, rows)
 	if a.cfg.DisableBatchIO {
-		return a.readRefsPerShard(refs)
+		return a.readRefsPerShard(ctx, refs)
 	}
-	return a.cluster.GetBatch(refs)
+	return a.cluster.GetBatch(ctx, refs)
 }
 
 // readRefsPerShard is the pre-batching read path: one cluster Get per
 // shard, in parallel when ReadConcurrency > 1.
-func (a *Archive) readRefsPerShard(refs []store.ShardRef) []store.ShardResult {
+func (a *Archive) readRefsPerShard(ctx context.Context, refs []store.ShardRef) []store.ShardResult {
 	results := make([]store.ShardResult, len(refs))
 	if a.cfg.ReadConcurrency > 1 && len(refs) > 1 {
 		sem := make(chan struct{}, a.cfg.ReadConcurrency)
@@ -920,7 +968,7 @@ func (a *Archive) readRefsPerShard(refs []store.ShardRef) []store.ShardResult {
 			go func(i int, ref store.ShardRef) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				data, err := a.cluster.Get(ref.Node, ref.ID)
+				data, err := a.cluster.Get(ctx, ref.Node, ref.ID)
 				results[i] = store.ShardResult{Data: data, Err: err}
 			}(i, ref)
 		}
@@ -928,7 +976,7 @@ func (a *Archive) readRefsPerShard(refs []store.ShardRef) []store.ShardResult {
 		return results
 	}
 	for i, ref := range refs {
-		data, err := a.cluster.Get(ref.Node, ref.ID)
+		data, err := a.cluster.Get(ctx, ref.Node, ref.ID)
 		results[i] = store.ShardResult{Data: data, Err: err}
 	}
 	return results
@@ -936,27 +984,27 @@ func (a *Archive) readRefsPerShard(refs []store.ShardRef) []store.ShardResult {
 
 // writeRows stores data[i] under row rows[i] of an object, grouped into
 // one batch per placement node. The returned errors are aligned with rows.
-func (a *Archive) writeRows(id string, version int, rows []int, data [][]byte) []error {
+func (a *Archive) writeRows(ctx context.Context, id string, version int, rows []int, data [][]byte) []error {
 	refs := a.rowRefs(id, version, rows)
 	if a.cfg.DisableBatchIO {
 		errs := make([]error, len(refs))
 		for i, ref := range refs {
-			errs[i] = a.cluster.Put(ref.Node, ref.ID, data[i])
+			errs[i] = a.cluster.Put(ctx, ref.Node, ref.ID, data[i])
 		}
 		return errs
 	}
-	return a.cluster.PutBatch(refs, data)
+	return a.cluster.PutBatch(ctx, refs, data)
 }
 
 // liveRows returns the shard rows of an object whose nodes are available,
 // skipping rows already known dead this retrieval.
-func (a *Archive) liveRows(code codec, version int, dead map[int]bool) []int {
+func (a *Archive) liveRows(ctx context.Context, code codec, version int, dead map[int]bool) []int {
 	rows := make([]int, 0, code.N())
 	for row := 0; row < code.N(); row++ {
 		if dead[row] {
 			continue
 		}
-		if a.cluster.Available(a.cfg.Placement.NodeFor(version-1, row)) {
+		if a.cluster.Available(ctx, a.cfg.Placement.NodeFor(version-1, row)) {
 			rows = append(rows, row)
 		}
 	}
@@ -969,7 +1017,7 @@ func (a *Archive) liveRows(code codec, version int, dead map[int]bool) []int {
 // Every shard is attempted even when one fails, so a commit interrupted by
 // one dead node leaves as few holes as possible; the first failure is
 // returned.
-func (a *Archive) writeObject(code codec, id string, version int, blocks [][]byte, writes *int) error {
+func (a *Archive) writeObject(ctx context.Context, code codec, id string, version int, blocks [][]byte, writes *int) error {
 	bufs := erasure.GetBuffers(code.N(), blockLenOf(blocks))
 	defer bufs.Release()
 	if err := code.EncodeInto(blocks, bufs.Blocks); err != nil {
@@ -980,7 +1028,7 @@ func (a *Archive) writeObject(code codec, id string, version int, blocks [][]byt
 		rows[row] = row
 	}
 	var firstErr error
-	for row, err := range a.writeRows(id, version, rows, bufs.Blocks) {
+	for row, err := range a.writeRows(ctx, id, version, rows, bufs.Blocks) {
 		if err == nil {
 			*writes++
 			continue
@@ -994,7 +1042,7 @@ func (a *Archive) writeObject(code codec, id string, version int, blocks [][]byt
 
 // deleteObject removes an object's shards best-effort, returning how many
 // could not be deleted.
-func (a *Archive) deleteObject(code codec, id string, version int) (orphans int) {
+func (a *Archive) deleteObject(ctx context.Context, code codec, id string, version int) (orphans int) {
 	for row := 0; row < code.N(); row++ {
 		node := a.cfg.Placement.NodeFor(version-1, row)
 		n, err := a.cluster.Node(node)
@@ -1002,7 +1050,7 @@ func (a *Archive) deleteObject(code codec, id string, version int) (orphans int)
 			orphans++
 			continue
 		}
-		if err := n.Delete(store.ShardID{Object: id, Row: row}); err != nil {
+		if err := n.Delete(ctx, store.ShardID{Object: id, Row: row}); err != nil {
 			orphans++
 		}
 	}
@@ -1016,9 +1064,9 @@ func (a *Archive) ensureNodes(version int) error {
 
 // restoreCacheLocked rebuilds the latest-version cache from storage after
 // the archive was reopened from a manifest.
-func (a *Archive) restoreCacheLocked() error {
+func (a *Archive) restoreCacheLocked(ctx context.Context) error {
 	var stats RetrievalStats
-	blocks, err := a.retrieveBlocksLocked(len(a.entries), &stats)
+	blocks, err := a.retrieveBlocksLocked(ctx, len(a.entries), &stats)
 	if err != nil {
 		return err
 	}

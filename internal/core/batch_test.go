@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func runBatchWorkload(t *testing.T, a *Archive, cluster *store.Cluster) []Retrie
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n1.Delete(store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 1}); err != nil {
+	if err := n1.Delete(context.Background(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.Scrub(true); err != nil {
@@ -108,7 +109,7 @@ func TestPartialFailureRefetchesOnlyMissingRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n0.Delete(store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 0}); err != nil {
+	if err := n0.Delete(context.Background(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 0}); err != nil {
 		t.Fatal(err)
 	}
 	cluster.ResetStats()
@@ -227,13 +228,19 @@ func TestRemoteRetrieveOneRPCPerNode(t *testing.T) {
 // must fall back to per-shard operations for it.
 type opaqueNode struct{ inner store.Node }
 
-func (o opaqueNode) ID() string                           { return o.inner.ID() }
-func (o opaqueNode) Put(id store.ShardID, d []byte) error { return o.inner.Put(id, d) }
-func (o opaqueNode) Get(id store.ShardID) ([]byte, error) { return o.inner.Get(id) }
-func (o opaqueNode) Delete(id store.ShardID) error        { return o.inner.Delete(id) }
-func (o opaqueNode) Available() bool                      { return o.inner.Available() }
-func (o opaqueNode) Stats() store.NodeStats               { return o.inner.Stats() }
-func (o opaqueNode) ResetStats()                          { o.inner.ResetStats() }
+func (o opaqueNode) ID() string { return o.inner.ID() }
+func (o opaqueNode) Put(ctx context.Context, id store.ShardID, d []byte) error {
+	return o.inner.Put(ctx, id, d)
+}
+func (o opaqueNode) Get(ctx context.Context, id store.ShardID) ([]byte, error) {
+	return o.inner.Get(ctx, id)
+}
+func (o opaqueNode) Delete(ctx context.Context, id store.ShardID) error {
+	return o.inner.Delete(ctx, id)
+}
+func (o opaqueNode) Available(ctx context.Context) bool { return o.inner.Available(ctx) }
+func (o opaqueNode) Stats() store.NodeStats             { return o.inner.Stats() }
+func (o opaqueNode) ResetStats()                        { o.inner.ResetStats() }
 
 // TestMixedClusterBatchedArchive runs a full commit/retrieve/damage/scrub
 // cycle on a cluster mixing MemNode, DiskNode, a plain (batch-incapable)
@@ -277,10 +284,10 @@ func TestMixedClusterBatchedArchive(t *testing.T) {
 	}
 	// Damage the shard on the plain node and one remote-backed shard; scrub
 	// must heal both through their respective paths.
-	if err := nodes[2].Delete(store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 2}); err != nil {
+	if err := nodes[2].Delete(context.Background(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := remoteMem.Delete(store.ShardID{Object: deltaID(a.cfg.Name, 2), Row: 4}); err != nil {
+	if err := remoteMem.Delete(context.Background(), store.ShardID{Object: deltaID(a.cfg.Name, 2), Row: 4}); err != nil {
 		t.Fatal(err)
 	}
 	report, err := a.Scrub(true)

@@ -1,0 +1,47 @@
+package core
+
+import "context"
+
+// Context-free compatibility wrappers. The ctx-first methods
+// (CommitContext, RetrieveContext, ...) are the primary API: they bound
+// every node operation by the caller's deadline and cancel promptly. The
+// wrappers below run the same operations under context.Background() - no
+// deadline beyond the transport's per-operation timeout, no cancellation -
+// and exist so callers written against the original API (and the paper's
+// experiment harness, whose read-count accounting they share exactly) keep
+// compiling and behaving identically.
+
+// Commit stores object as the next version without cancellation; see
+// CommitContext.
+func (a *Archive) Commit(object []byte) (CommitInfo, error) {
+	return a.CommitContext(context.Background(), object)
+}
+
+// Retrieve reconstructs version l (1-based) without cancellation; see
+// RetrieveContext.
+func (a *Archive) Retrieve(l int) ([]byte, RetrievalStats, error) {
+	return a.RetrieveContext(context.Background(), l)
+}
+
+// RetrieveAll reconstructs versions 1..l without cancellation; see
+// RetrieveAllContext.
+func (a *Archive) RetrieveAll(l int) ([][]byte, RetrievalStats, error) {
+	return a.RetrieveAllContext(context.Background(), l)
+}
+
+// Latest reconstructs the most recent version without cancellation; see
+// LatestContext.
+func (a *Archive) Latest() ([]byte, RetrievalStats, error) {
+	return a.LatestContext(context.Background())
+}
+
+// Scrub runs an integrity pass without cancellation; see ScrubContext.
+func (a *Archive) Scrub(repair bool) (ScrubReport, error) {
+	return a.ScrubContext(context.Background(), repair)
+}
+
+// RepairNode rebuilds one node's shards without cancellation; see
+// RepairNodeContext.
+func (a *Archive) RepairNode(node int) (RepairReport, error) {
+	return a.RepairNodeContext(context.Background(), node)
+}

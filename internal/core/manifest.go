@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -144,13 +145,13 @@ func Load(r io.Reader, cluster *store.Cluster) (*Archive, error) {
 // manifests.
 func manifestID(name string) string { return name + "/manifest" }
 
-// SaveToCluster replicates the manifest JSON onto every cluster node the
-// archive uses, making the archive self-contained: a client holding only
-// the archive name and node addresses can reopen it with LoadFromCluster.
-// The manifest is tiny metadata, so plain replication (not erasure coding)
-// maximizes its availability. Archives have a single writer; the freshest
-// replica is the one with the most entries.
-func (a *Archive) SaveToCluster() error {
+// SaveToClusterContext replicates the manifest JSON onto every cluster
+// node the archive uses, making the archive self-contained: a client
+// holding only the archive name and node addresses can reopen it with
+// LoadFromCluster. The manifest is tiny metadata, so plain replication
+// (not erasure coding) maximizes its availability. Archives have a single
+// writer; the freshest replica is the one with the most entries.
+func (a *Archive) SaveToClusterContext(ctx context.Context) error {
 	var buf bytes.Buffer
 	if err := a.Save(&buf); err != nil {
 		return err
@@ -160,24 +161,32 @@ func (a *Archive) SaveToCluster() error {
 	id := store.ShardID{Object: manifestID(a.cfg.Name)}
 	written := 0
 	for node := 0; node < a.cluster.Size(); node++ {
-		if err := a.cluster.Put(node, id, buf.Bytes()); err == nil {
+		if err := a.cluster.Put(ctx, node, id, buf.Bytes()); err == nil {
 			written++
 		}
 	}
 	if written == 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: saving manifest for %q: %w", a.cfg.Name, err)
+		}
 		return fmt.Errorf("core: no node accepted the manifest for %q", a.cfg.Name)
 	}
 	return nil
 }
 
-// LoadFromCluster reopens the named archive from manifest replicas stored
-// with SaveToCluster, picking the replica with the most entries (replicas
-// on nodes that were down during the last save may lag behind).
-func LoadFromCluster(name string, cluster *store.Cluster) (*Archive, error) {
+// SaveToCluster is SaveToClusterContext without cancellation.
+func (a *Archive) SaveToCluster() error {
+	return a.SaveToClusterContext(context.Background())
+}
+
+// LoadFromClusterContext reopens the named archive from manifest replicas
+// stored with SaveToCluster, picking the replica with the most entries
+// (replicas on nodes that were down during the last save may lag behind).
+func LoadFromClusterContext(ctx context.Context, name string, cluster *store.Cluster) (*Archive, error) {
 	id := store.ShardID{Object: manifestID(name)}
 	var best *Manifest
 	for node := 0; node < cluster.Size(); node++ {
-		data, err := cluster.Get(node, id)
+		data, err := cluster.Get(ctx, node, id)
 		if err != nil {
 			continue
 		}
@@ -190,9 +199,17 @@ func LoadFromCluster(name string, cluster *store.Cluster) (*Archive, error) {
 		}
 	}
 	if best == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: loading manifest for %q: %w", name, err)
+		}
 		return nil, fmt.Errorf("core: no manifest replica for %q found on %d nodes", name, cluster.Size())
 	}
 	return Open(*best, cluster)
+}
+
+// LoadFromCluster is LoadFromClusterContext without cancellation.
+func LoadFromCluster(name string, cluster *store.Cluster) (*Archive, error) {
+	return LoadFromClusterContext(context.Background(), name, cluster)
 }
 
 func parsePlacement(name string, n int) (store.Placement, error) {

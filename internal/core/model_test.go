@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -150,7 +151,7 @@ func editRandomBlocks(rng *rand.Rand, object []byte, blockSize, gamma int) ([]by
 
 func allNodesUp(cluster *store.Cluster) bool {
 	for i := 0; i < cluster.Size(); i++ {
-		if !cluster.Available(i) {
+		if !cluster.Available(context.Background(), i) {
 			return false
 		}
 	}
@@ -171,10 +172,10 @@ func wipeArchiveShards(t *testing.T, a *Archive, cluster *store.Cluster, node in
 				continue
 			}
 			if e.Full {
-				_ = nd.Delete(store.ShardID{Object: fullID(m.Name, e.Version), Row: row})
+				_ = nd.Delete(context.Background(), store.ShardID{Object: fullID(m.Name, e.Version), Row: row})
 			}
 			if e.Delta {
-				_ = nd.Delete(store.ShardID{Object: deltaID(m.Name, e.Version), Row: row})
+				_ = nd.Delete(context.Background(), store.ShardID{Object: deltaID(m.Name, e.Version), Row: row})
 			}
 		}
 	}

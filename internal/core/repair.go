@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,33 +24,41 @@ type RepairReport struct {
 	NodeReads int
 }
 
-// RepairNode reconstructs every shard of this archive that the given
-// cluster node should hold but does not — the maintenance operation run
-// after replacing a failed device. Missing and corrupt shards are rebuilt
-// by decoding the affected object from k surviving shards and re-encoding;
-// the node must be available to receive the rebuilt shards. Damage on
-// other nodes is tolerated per shard: reconstruction draws on any k intact
-// surviving shards, not just the first k live nodes.
+// RepairNodeContext reconstructs every shard of this archive that the
+// given cluster node should hold but does not — the maintenance operation
+// run after replacing a failed device — under the context's deadline and
+// cancellation (the pass stops at the first cancelled read, returning the
+// partial report). Missing and corrupt shards are rebuilt by decoding the
+// affected object from k surviving shards and re-encoding; the node must
+// be available to receive the rebuilt shards. Damage on other nodes is
+// tolerated per shard: reconstruction draws on any k intact surviving
+// shards, not just the first k live nodes.
 //
 // The paper's static-resilience analysis assumes "no further remedial
-// actions"; RepairNode is the remedial action that restores the archive to
-// full redundancy afterwards.
-func (a *Archive) RepairNode(node int) (RepairReport, error) {
+// actions"; RepairNodeContext is the remedial action that restores the
+// archive to full redundancy afterwards.
+func (a *Archive) RepairNodeContext(ctx context.Context, node int) (RepairReport, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var report RepairReport
-	if !a.cluster.Available(node) {
+	if !a.cluster.Available(ctx, node) {
+		if err := ctx.Err(); err != nil {
+			return report, fmt.Errorf("core: repairing node %d: %w", node, err)
+		}
 		return report, fmt.Errorf("core: repairing node %d: %w", node, store.ErrNodeDown)
 	}
 	for v := 1; v <= len(a.entries); v++ {
+		if err := ctx.Err(); err != nil {
+			return report, fmt.Errorf("core: repair aborted at version %d: %w", v, err)
+		}
 		e := a.entries[v-1]
 		if e.hasFull {
-			if err := a.repairObject(a.code, fullID(a.cfg.Name, v), v, node, &report); err != nil {
+			if err := a.repairObject(ctx, a.code, fullID(a.cfg.Name, v), v, node, &report); err != nil {
 				return report, err
 			}
 		}
 		if e.hasDelta {
-			if err := a.repairObject(a.deltaCode, deltaID(a.cfg.Name, v), v, node, &report); err != nil {
+			if err := a.repairObject(ctx, a.deltaCode, deltaID(a.cfg.Name, v), v, node, &report); err != nil {
 				return report, err
 			}
 		}
@@ -60,7 +69,7 @@ func (a *Archive) RepairNode(node int) (RepairReport, error) {
 // repairObject checks (and if needed rebuilds) the rows of one stored
 // object that live on the target node. The probe reads every such row in
 // one batch against the node.
-func (a *Archive) repairObject(code codec, id string, version, node int, report *RepairReport) error {
+func (a *Archive) repairObject(ctx context.Context, code codec, id string, version, node int, report *RepairReport) error {
 	var rows []int
 	for row := 0; row < code.N(); row++ {
 		if a.cfg.Placement.NodeFor(version-1, row) == node {
@@ -71,7 +80,7 @@ func (a *Archive) repairObject(code codec, id string, version, node int, report 
 		return nil
 	}
 	report.ShardsChecked += len(rows)
-	for i, res := range a.readRows(id, version, rows) {
+	for i, res := range a.readRows(ctx, id, version, rows) {
 		switch {
 		case res.Err == nil:
 			report.ShardsHealthy++
@@ -79,7 +88,7 @@ func (a *Archive) repairObject(code codec, id string, version, node int, report 
 		case !errors.Is(res.Err, store.ErrNotFound) && !errors.Is(res.Err, store.ErrCorrupt):
 			return fmt.Errorf("core: probing %s#%d on node %d: %w", id, rows[i], node, res.Err)
 		}
-		if err := a.rebuildShard(code, id, version, node, rows[i], report); err != nil {
+		if err := a.rebuildShard(ctx, code, id, version, node, rows[i], report); err != nil {
 			return err
 		}
 	}
@@ -93,21 +102,24 @@ func (a *Archive) repairObject(code codec, id string, version, node int, report 
 // damage elsewhere. The decoded blocks and re-encoded codeword are
 // transient, so both live in pooled buffers; steady-state repair does not
 // allocate shard buffers.
-func (a *Archive) rebuildShard(code codec, id string, version, node, row int, report *RepairReport) error {
+func (a *Archive) rebuildShard(ctx context.Context, code codec, id string, version, node, row int, report *RepairReport) error {
 	k := code.K()
 	live := make([]int, 0, code.N())
 	for r := 0; r < code.N(); r++ {
 		if r == row {
 			continue
 		}
-		if a.cluster.Available(a.cfg.Placement.NodeFor(version-1, r)) {
+		if a.cluster.Available(ctx, a.cfg.Placement.NodeFor(version-1, r)) {
 			live = append(live, r)
 		}
 	}
 	if len(live) < k {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: rebuilding %s#%d: %w", id, row, err)
+		}
 		return fmt.Errorf("%w: %d of %d surviving shards of %s", ErrUnavailable, len(live), k, id)
 	}
-	rows, shards, err := a.collectIntactShards(id, version, live, k, &report.NodeReads)
+	rows, shards, err := a.collectIntactShards(ctx, id, version, live, k, &report.NodeReads)
 	if err != nil {
 		return fmt.Errorf("core: rebuilding %s#%d: %w", id, row, err)
 	}
@@ -121,7 +133,7 @@ func (a *Archive) rebuildShard(code codec, id string, version, node, row int, re
 	if err := code.EncodeInto(blocks.Blocks, encoded.Blocks); err != nil {
 		return err
 	}
-	if err := a.cluster.Put(node, store.ShardID{Object: id, Row: row}, encoded.Blocks[row]); err != nil {
+	if err := a.cluster.Put(ctx, node, store.ShardID{Object: id, Row: row}, encoded.Blocks[row]); err != nil {
 		return fmt.Errorf("core: writing rebuilt %s#%d to node %d: %w", id, row, node, err)
 	}
 	report.ShardsRepaired++
@@ -138,12 +150,15 @@ func (a *Archive) rebuildShard(code codec, id string, version, node, row int, re
 // identically length-damaged shards masquerade as the object and rebuild
 // garbage. Every successful node read is counted in reads, including
 // shards a majority later sets aside - they are real repair traffic.
-func (a *Archive) collectIntactShards(id string, version int, candidates []int, k int, reads *int) ([]int, [][]byte, error) {
+func (a *Archive) collectIntactShards(ctx context.Context, id string, version int, candidates []int, k int, reads *int) ([]int, [][]byte, error) {
 	rows := make([]int, 0, len(candidates))
 	shards := make([][]byte, 0, len(candidates))
 	uniform := true
 	next := 0
 	for next < len(candidates) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		var wave []int
 		if uniform {
 			if len(rows) >= k {
@@ -156,7 +171,7 @@ func (a *Archive) collectIntactShards(id string, version int, candidates []int, 
 			wave = candidates[next:]
 		}
 		next += len(wave)
-		for i, res := range a.readRows(id, version, wave) {
+		for i, res := range a.readRows(ctx, id, version, wave) {
 			switch {
 			case res.Err == nil:
 			case errors.Is(res.Err, store.ErrNotFound), errors.Is(res.Err, store.ErrCorrupt),

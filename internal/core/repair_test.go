@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -25,12 +26,12 @@ func deleteArchiveShards(t *testing.T, a *Archive, cluster *store.Cluster, node 
 				continue
 			}
 			if e.Full {
-				if err := n.Delete(store.ShardID{Object: fullID(m.Name, e.Version), Row: row}); err == nil {
+				if err := n.Delete(context.Background(), store.ShardID{Object: fullID(m.Name, e.Version), Row: row}); err == nil {
 					deleted++
 				}
 			}
 			if e.Delta {
-				if err := n.Delete(store.ShardID{Object: deltaID(m.Name, e.Version), Row: row}); err == nil {
+				if err := n.Delete(context.Background(), store.ShardID{Object: deltaID(m.Name, e.Version), Row: row}); err == nil {
 					deleted++
 				}
 			}
@@ -203,7 +204,7 @@ func TestRepairNodeWithSecondNodePartiallyWiped(t *testing.T) {
 	// Node 1 keeps x1 but loses both deltas: every object still has >= k
 	// intact rows overall.
 	for _, obj := range []string{"t/v2-delta", "t/v3-delta"} {
-		if err := node1.Delete(store.ShardID{Object: obj, Row: 1}); err != nil {
+		if err := node1.Delete(context.Background(), store.ShardID{Object: obj, Row: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -249,11 +250,11 @@ func TestRepairNodeSkipsTruncatedSourceShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := node0.Get(id)
+	data, err := node0.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node0.Put(id, data[:len(data)-1]); err != nil {
+	if err := node0.Put(context.Background(), id, data[:len(data)-1]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -296,11 +297,11 @@ func TestRepairNodeRefusesWithoutLengthMajority(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		data, err := node.Get(id)
+		data, err := node.Get(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := node.Put(id, data[:len(data)-2]); err != nil {
+		if err := node.Put(context.Background(), id, data[:len(data)-2]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -308,7 +309,7 @@ func TestRepairNodeRefusesWithoutLengthMajority(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node4.Delete(store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
+	if err := node4.Delete(context.Background(), store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
 		t.Fatal(err)
 	}
 	// Readable sources: rows 0,1 (truncated, equal length) and 2,3
@@ -348,7 +349,7 @@ func TestRepairNodeHealsCorruptShardOnDisk(t *testing.T) {
 		t.Fatalf("report = %+v", report)
 	}
 	// Node 3's shard is readable again.
-	if _, err := cluster.Get(3, store.ShardID{Object: "t/v1-full", Row: 3}); err != nil {
+	if _, err := cluster.Get(context.Background(), 3, store.ShardID{Object: "t/v1-full", Row: 3}); err != nil {
 		t.Fatalf("repaired shard unreadable: %v", err)
 	}
 	// Row 0 is still corrupt; a full scrub heals it too.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,29 +32,34 @@ type ScrubReport struct {
 	Repaired int
 }
 
-// Scrub verifies every shard of the archive against the codeword
+// ScrubContext verifies every shard of the archive against the codeword
 // re-encoded from the object's surviving shards, detecting both missing
-// and silently corrupted shards. With repair true, damaged shards are
-// rewritten in place. Nodes that are down are skipped and reported as
-// unreachable.
+// and silently corrupted shards, under the context's deadline and
+// cancellation (the pass stops at the first object whose reads were
+// cancelled, returning the partial report). With repair true, damaged
+// shards are rewritten in place. Nodes that are down are skipped and
+// reported as unreachable.
 //
 // Decoding is consistency-checked: an object's healthy shards are found by
 // majority re-encoding - for each candidate decode from k shards, the
 // re-encoded codeword must reproduce the shards read. Objects with fewer
 // than k consistent shards are counted as undecodable.
-func (a *Archive) Scrub(repair bool) (ScrubReport, error) {
+func (a *Archive) ScrubContext(ctx context.Context, repair bool) (ScrubReport, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var report ScrubReport
 	for v := 1; v <= len(a.entries); v++ {
+		if err := ctx.Err(); err != nil {
+			return report, fmt.Errorf("core: scrub aborted at version %d: %w", v, err)
+		}
 		e := a.entries[v-1]
 		if e.hasFull {
-			if err := a.scrubObject(a.code, fullID(a.cfg.Name, v), v, repair, &report); err != nil {
+			if err := a.scrubObject(ctx, a.code, fullID(a.cfg.Name, v), v, repair, &report); err != nil {
 				return report, err
 			}
 		}
 		if e.hasDelta {
-			if err := a.scrubObject(a.deltaCode, deltaID(a.cfg.Name, v), v, repair, &report); err != nil {
+			if err := a.scrubObject(ctx, a.deltaCode, deltaID(a.cfg.Name, v), v, repair, &report); err != nil {
 				return report, err
 			}
 		}
@@ -63,7 +69,7 @@ func (a *Archive) Scrub(repair bool) (ScrubReport, error) {
 
 // scrubObject checks one stored object's shards. All n rows are read up
 // front, one batch per node, and classified from the per-shard results.
-func (a *Archive) scrubObject(code codec, id string, version int, repair bool, report *ScrubReport) error {
+func (a *Archive) scrubObject(ctx context.Context, code codec, id string, version int, repair bool, report *ScrubReport) error {
 	n := code.N()
 	rows := make([]int, n)
 	for row := range rows {
@@ -71,7 +77,7 @@ func (a *Archive) scrubObject(code codec, id string, version int, repair bool, r
 	}
 	present := make(map[int][]byte, n)
 	var missing, corrupt, unreachable []int
-	for row, res := range a.readRows(id, version, rows) {
+	for row, res := range a.readRows(ctx, id, version, rows) {
 		switch {
 		case res.Err == nil:
 			report.ShardsChecked++
@@ -132,7 +138,7 @@ func (a *Archive) scrubObject(code codec, id string, version int, repair bool, r
 		rewrites[i] = reference[row]
 	}
 	var firstErr error
-	for i, err := range a.writeRows(id, version, damaged, rewrites) {
+	for i, err := range a.writeRows(ctx, id, version, damaged, rewrites) {
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("core: rewriting %s#%d: %w", id, damaged[i], err)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -29,21 +30,23 @@ type ShardResult struct {
 // paper's per-shard I/O metric exactly.
 type BatchNode interface {
 	// GetBatch reads every listed shard, returning one result per id.
-	GetBatch(ids []ShardID) []ShardResult
+	// Implementations check the context between shards, so a cancelled
+	// batch stops early with its remaining shards failed by ctx.Err().
+	GetBatch(ctx context.Context, ids []ShardID) []ShardResult
 	// PutBatch stores data[i] under ids[i], returning one error per
 	// shard (nil for successes). len(data) must equal len(ids).
-	PutBatch(ids []ShardID, data [][]byte) []error
+	PutBatch(ctx context.Context, ids []ShardID, data [][]byte) []error
 }
 
 // GetShards reads a batch of shards from any node: natively when the node
 // implements BatchNode, with a transparent per-shard loop otherwise.
-func GetShards(n Node, ids []ShardID) []ShardResult {
+func GetShards(ctx context.Context, n Node, ids []ShardID) []ShardResult {
 	if b, ok := n.(BatchNode); ok {
-		return b.GetBatch(ids)
+		return b.GetBatch(ctx, ids)
 	}
 	results := make([]ShardResult, len(ids))
 	for i, id := range ids {
-		data, err := n.Get(id)
+		data, err := n.Get(ctx, id)
 		results[i] = ShardResult{Data: data, Err: err}
 	}
 	return results
@@ -51,13 +54,13 @@ func GetShards(n Node, ids []ShardID) []ShardResult {
 
 // PutShards stores a batch of shards on any node: natively when the node
 // implements BatchNode, with a transparent per-shard loop otherwise.
-func PutShards(n Node, ids []ShardID, data [][]byte) []error {
+func PutShards(ctx context.Context, n Node, ids []ShardID, data [][]byte) []error {
 	if b, ok := n.(BatchNode); ok {
-		return b.PutBatch(ids, data)
+		return b.PutBatch(ctx, ids, data)
 	}
 	errs := make([]error, len(ids))
 	for i, id := range ids {
-		errs[i] = n.Put(id, data[i])
+		errs[i] = n.Put(ctx, id, data[i])
 	}
 	return errs
 }
@@ -105,7 +108,7 @@ func (c *Cluster) groupByNode(refs []ShardRef) []*nodeBatch {
 // served by a per-shard loop, so mixed clusters (in-memory, disk, remote)
 // work transparently; out-of-range node indices yield per-shard
 // ErrClusterTooSmall results instead of failing the whole batch.
-func (c *Cluster) GetBatch(refs []ShardRef) []ShardResult {
+func (c *Cluster) GetBatch(ctx context.Context, refs []ShardRef) []ShardResult {
 	results := make([]ShardResult, len(refs))
 	runNodeBatches(c.groupByNode(refs), func(b *nodeBatch) {
 		if b.nodeErr != nil {
@@ -114,7 +117,7 @@ func (c *Cluster) GetBatch(refs []ShardRef) []ShardResult {
 			}
 			return
 		}
-		for j, res := range GetShards(b.node, b.ids) {
+		for j, res := range GetShards(ctx, b.node, b.ids) {
 			results[b.idx[j]] = res
 		}
 	})
@@ -124,7 +127,7 @@ func (c *Cluster) GetBatch(refs []ShardRef) []ShardResult {
 // PutBatch stores data[i] under refs[i], grouped into one batch per node;
 // batches to distinct nodes run concurrently. It returns one error per
 // shard, aligned with refs.
-func (c *Cluster) PutBatch(refs []ShardRef, data [][]byte) []error {
+func (c *Cluster) PutBatch(ctx context.Context, refs []ShardRef, data [][]byte) []error {
 	if len(data) != len(refs) {
 		panic(fmt.Sprintf("store: PutBatch got %d refs but %d payloads", len(refs), len(data)))
 	}
@@ -140,7 +143,7 @@ func (c *Cluster) PutBatch(refs []ShardRef, data [][]byte) []error {
 		for j, i := range b.idx {
 			payloads[j] = data[i]
 		}
-		for j, err := range PutShards(b.node, b.ids, payloads) {
+		for j, err := range PutShards(ctx, b.node, b.ids, payloads) {
 			errs[b.idx[j]] = err
 		}
 	})

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// walkTempFiles returns every leftover temporary file under the node's
+// directory; a cancelled batch must leave none.
+func walkTempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var temps []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), shardTmpPrefix) {
+			temps = append(temps, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return temps
+}
+
+func TestDiskNodePutBatchPreCancelled(t *testing.T) {
+	dir := t.TempDir()
+	n, err := NewDiskNode("d0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]ShardID, 8)
+	data := make([][]byte, len(ids))
+	for i := range ids {
+		ids[i] = ShardID{Object: "obj", Row: i}
+		data[i] = []byte{byte(i)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, err := range n.PutBatch(ctx, ids, data) {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("shard %d: err = %v, want context.Canceled", i, err)
+		}
+		var se *ShardError
+		if !errors.As(err, &se) || se.Shard != ids[i] || se.Op != "put" {
+			t.Errorf("shard %d: no ShardError provenance in %v", i, err)
+		}
+	}
+	if got := n.Len(); got != 0 {
+		t.Errorf("%d shards written under a cancelled context", got)
+	}
+	if temps := walkTempFiles(t, dir); len(temps) != 0 {
+		t.Errorf("temp files left behind: %v", temps)
+	}
+	if got := n.Stats().Writes; got != 0 {
+		t.Errorf("Writes = %d after fully cancelled batch, want 0", got)
+	}
+}
+
+func TestDiskNodePutBatchCancelledMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	n, err := NewDiskNode("d0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 128
+	ids := make([]ShardID, shards)
+	data := make([][]byte, shards)
+	for i := range ids {
+		ids[i] = ShardID{Object: fmt.Sprintf("obj-%d", i), Row: i % 7}
+		data[i] = []byte(strings.Repeat("x", 256) + fmt.Sprint(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var errs []error
+	go func() {
+		defer wg.Done()
+		errs = n.PutBatch(ctx, ids, data)
+	}()
+	cancel() // races the batch: some prefix may land, the rest must not
+	wg.Wait()
+
+	// Invariants that must hold wherever the cancellation struck:
+	// no temporary files survive, every per-shard outcome is either a
+	// clean success or the context's error, and every shard reported
+	// written reads back intact (no torn files).
+	if temps := walkTempFiles(t, dir); len(temps) != 0 {
+		t.Errorf("temp files left behind: %v", temps)
+	}
+	var written uint64
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			written++
+			got, gerr := n.Get(context.Background(), ids[i])
+			if gerr != nil || string(got) != string(data[i]) {
+				t.Errorf("shard %d reported written but reads back %q/%v", i, got, gerr)
+			}
+		case errors.Is(err, context.Canceled):
+			if _, gerr := n.Get(context.Background(), ids[i]); !errors.Is(gerr, ErrNotFound) {
+				// A cancelled entry may still be on disk only if its rename
+				// completed before the cancellation check - PutBatch renames
+				// then fsyncs per directory, and entries failed for
+				// cancellation never rename. So it must be absent.
+				t.Errorf("shard %d failed with Canceled but exists on disk (%v)", i, gerr)
+			}
+		default:
+			t.Errorf("shard %d: err = %v, want nil or context.Canceled", i, err)
+		}
+	}
+	if got := n.Stats().Writes; got != written {
+		t.Errorf("Writes = %d, want %d (counters must match completed shards exactly)", got, written)
+	}
+}

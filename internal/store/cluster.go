@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -89,16 +90,20 @@ type downNode struct {
 
 var _ Node = (*downNode)(nil)
 
-func (n *downNode) ID() string                   { return n.id }
-func (n *downNode) Put(ShardID, []byte) error    { return n.fail("put") }
-func (n *downNode) Get(ShardID) ([]byte, error)  { return nil, n.fail("get") }
-func (n *downNode) Delete(ShardID) error         { return n.fail("delete") }
-func (n *downNode) Available() bool              { return false }
-func (n *downNode) Stats() NodeStats             { return NodeStats{} }
-func (n *downNode) ResetStats()                  {}
-func (n *downNode) StatsErr() (NodeStats, error) { return NodeStats{}, n.fail("stats") }
+func (n *downNode) ID() string                                 { return n.id }
+func (n *downNode) Put(context.Context, ShardID, []byte) error { return n.fail("put") }
+func (n *downNode) Get(context.Context, ShardID) ([]byte, error) {
+	return nil, n.fail("get")
+}
+func (n *downNode) Delete(context.Context, ShardID) error { return n.fail("delete") }
+func (n *downNode) Available(context.Context) bool        { return false }
+func (n *downNode) Stats() NodeStats                      { return NodeStats{} }
+func (n *downNode) ResetStats()                           {}
+func (n *downNode) StatsErr(context.Context) (NodeStats, error) {
+	return NodeStats{}, n.fail("stats")
+}
 func (n *downNode) fail(op string) error {
-	return fmt.Errorf("%s on %s: %w: %w", op, n.id, ErrNodeDown, n.err)
+	return shardErr(op, ShardID{}, n.id, fmt.Errorf("%w: %w", ErrNodeDown, n.err))
 }
 
 // Size returns the current node count.
@@ -144,31 +149,31 @@ func (c *Cluster) Node(i int) (Node, error) {
 }
 
 // Put stores a shard on the node with the given index.
-func (c *Cluster) Put(node int, id ShardID, data []byte) error {
+func (c *Cluster) Put(ctx context.Context, node int, id ShardID, data []byte) error {
 	n, err := c.Node(node)
 	if err != nil {
 		return err
 	}
-	return n.Put(id, data)
+	return n.Put(ctx, id, data)
 }
 
 // Get reads a shard from the node with the given index.
-func (c *Cluster) Get(node int, id ShardID) ([]byte, error) {
+func (c *Cluster) Get(ctx context.Context, node int, id ShardID) ([]byte, error) {
 	n, err := c.Node(node)
 	if err != nil {
 		return nil, err
 	}
-	return n.Get(id)
+	return n.Get(ctx, id)
 }
 
 // Available reports whether the node with the given index is up. Out-of-
 // range indices report false.
-func (c *Cluster) Available(node int) bool {
+func (c *Cluster) Available(ctx context.Context, node int) bool {
 	n, err := c.Node(node)
 	if err != nil {
 		return false
 	}
-	return n.Available()
+	return n.Available(ctx)
 }
 
 // Fail injects a failure into the given nodes. It returns an error if any
@@ -209,14 +214,15 @@ func (c *Cluster) HealAll() {
 // cannot be fetched contribute zeros; use TotalStatsChecked when the
 // distinction matters (e.g. experiment accounting over a real network).
 func (c *Cluster) TotalStats() NodeStats {
-	total, _ := c.TotalStatsChecked()
+	total, _ := c.TotalStatsChecked(context.Background())
 	return total
 }
 
 // TotalStatsChecked returns the sum of the reachable nodes' I/O counters
-// plus the IDs of nodes whose stats could not be fetched. A non-empty
-// second return means the total undercounts the cluster's true I/O.
-func (c *Cluster) TotalStatsChecked() (NodeStats, []string) {
+// plus the IDs of nodes whose stats could not be fetched (within the
+// context's deadline). A non-empty second return means the total
+// undercounts the cluster's true I/O.
+func (c *Cluster) TotalStatsChecked(ctx context.Context) (NodeStats, []string) {
 	c.mu.RLock()
 	nodes := append([]Node(nil), c.nodes...)
 	c.mu.RUnlock()
@@ -224,7 +230,7 @@ func (c *Cluster) TotalStatsChecked() (NodeStats, []string) {
 	var unreachable []string
 	for _, n := range nodes {
 		if r, ok := n.(StatsReporter); ok {
-			s, err := r.StatsErr()
+			s, err := r.StatsErr(ctx)
 			if err != nil {
 				unreachable = append(unreachable, n.ID())
 				continue

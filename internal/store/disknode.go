@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -152,12 +153,16 @@ func (n *DiskNode) shardPath(id ShardID) (dir, path string) {
 	return dir, filepath.Join(dir, hex.EncodeToString(sum[1:17])+shardFileSuffix)
 }
 
-// checkUp returns ErrNodeDown while a failure is injected.
-func (n *DiskNode) checkUp(op string, id ShardID) error {
+// checkUp returns an error while a failure is injected or the context is
+// done.
+func (n *DiskNode) checkUp(ctx context.Context, op string, id ShardID) error {
+	if err := ctxErr(ctx, op, id, n.id); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
-		return fmt.Errorf("%s %v on %s: %w", op, id, n.id, ErrNodeDown)
+		return shardErr(op, id, n.id, ErrNodeDown)
 	}
 	return nil
 }
@@ -166,22 +171,22 @@ func (n *DiskNode) checkUp(op string, id ShardID) error {
 // is written to a temporary file, fsynced, renamed over the final path, and
 // the directory is fsynced: after Put returns, a crash cannot lose the
 // shard or expose a torn write.
-func (n *DiskNode) Put(id ShardID, data []byte) error {
-	if err := n.checkUp("put", id); err != nil {
+func (n *DiskNode) Put(ctx context.Context, id ShardID, data []byte) error {
+	if err := n.checkUp(ctx, "put", id); err != nil {
 		return err
 	}
 	if int64(len(data)) > maxShardLen || int64(len(id.Object)) > maxShardLen {
-		return fmt.Errorf("put %v on %s: %d-byte shard exceeds the u32 format limit", id, n.id, len(data))
+		return shardErr("put", id, n.id, fmt.Errorf("%d-byte shard exceeds the u32 format limit", len(data)))
 	}
 	dir, path := n.shardPath(id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("put %v on %s: %w", id, n.id, err)
+		return shardErr("put", id, n.id, err)
 	}
 	if err := n.ensureDirDurable(dir); err != nil {
-		return fmt.Errorf("put %v on %s: %w", id, n.id, err)
+		return shardErr("put", id, n.id, err)
 	}
 	if err := writeFileAtomic(path, encodeShardFile(id, data)); err != nil {
-		return fmt.Errorf("put %v on %s: %w", id, n.id, err)
+		return shardErr("put", id, n.id, err)
 	}
 	n.mu.Lock()
 	n.stats.Writes++
@@ -194,21 +199,21 @@ func (n *DiskNode) Put(id ShardID, data []byte) error {
 // ErrNodeDown while the node is failed, ErrNotFound when the shard is
 // absent, and ErrCorrupt when the file exists but its contents cannot be
 // trusted; only successful reads are counted.
-func (n *DiskNode) Get(id ShardID) ([]byte, error) {
-	if err := n.checkUp("get", id); err != nil {
+func (n *DiskNode) Get(ctx context.Context, id ShardID) ([]byte, error) {
+	if err := n.checkUp(ctx, "get", id); err != nil {
 		return nil, err
 	}
 	_, path := n.shardPath(id)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return nil, fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)
+			return nil, shardErr("get", id, n.id, ErrNotFound)
 		}
-		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, err)
+		return nil, shardErr("get", id, n.id, err)
 	}
 	data, err := decodeShardFile(id, raw)
 	if err != nil {
-		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, err)
+		return nil, shardErr("get", id, n.id, err)
 	}
 	n.mu.Lock()
 	n.stats.Reads++
@@ -220,33 +225,37 @@ func (n *DiskNode) Get(id ShardID) ([]byte, error) {
 // GetBatch reads several shards with one availability check and one
 // counter update. Each shard fails or succeeds independently with the same
 // ErrNotFound/ErrCorrupt contract as Get, and each success counts one read.
-func (n *DiskNode) GetBatch(ids []ShardID) []ShardResult {
+// The context is checked between shards: once it is done, the remaining
+// shards fail with its error while completed reads stay counted.
+func (n *DiskNode) GetBatch(ctx context.Context, ids []ShardID) []ShardResult {
 	results := make([]ShardResult, len(ids))
 	n.mu.Lock()
 	failed := n.failed
 	n.mu.Unlock()
 	if failed {
 		for i, id := range ids {
-			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, ErrNodeDown)}
+			results[i] = ShardResult{Err: shardErr("get", id, n.id, ErrNodeDown)}
 		}
 		return results
 	}
 	var reads, bytesRead uint64
 	for i, id := range ids {
+		if err := ctxErr(ctx, "get", id, n.id); err != nil {
+			results[i] = ShardResult{Err: err}
+			continue
+		}
 		_, path := n.shardPath(id)
 		raw, err := os.ReadFile(path)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
-				err = fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)
-			} else {
-				err = fmt.Errorf("get %v from %s: %w", id, n.id, err)
+				err = ErrNotFound
 			}
-			results[i] = ShardResult{Err: err}
+			results[i] = ShardResult{Err: shardErr("get", id, n.id, err)}
 			continue
 		}
 		data, err := decodeShardFile(id, raw)
 		if err != nil {
-			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, err)}
+			results[i] = ShardResult{Err: shardErr("get", id, n.id, err)}
 			continue
 		}
 		reads++
@@ -265,14 +274,20 @@ func (n *DiskNode) GetBatch(ids []ShardID) []ShardResult {
 // fan-out directory is fsynced once, instead of once per shard. When the
 // batch returns, every shard whose error is nil is as durable as an
 // individual Put would have made it; each success counts one write.
-func (n *DiskNode) PutBatch(ids []ShardID, data [][]byte) []error {
+//
+// The context is checked before each shard's write: a cancelled batch
+// stops renaming new shards (the remaining entries fail with the context's
+// error) but still fsyncs every directory already renamed into, so no
+// shard is ever reported written without being durable and no temporary
+// file survives the cancellation.
+func (n *DiskNode) PutBatch(ctx context.Context, ids []ShardID, data [][]byte) []error {
 	errs := make([]error, len(ids))
 	n.mu.Lock()
 	failed := n.failed
 	n.mu.Unlock()
 	if failed {
 		for i, id := range ids {
-			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, ErrNodeDown)
+			errs[i] = shardErr("put", id, n.id, ErrNodeDown)
 		}
 		return errs
 	}
@@ -280,21 +295,25 @@ func (n *DiskNode) PutBatch(ids []ShardID, data [][]byte) []error {
 	// durability depends on its fsync.
 	dirty := make(map[string][]int, 4)
 	for i, id := range ids {
+		if err := ctxErr(ctx, "put", id, n.id); err != nil {
+			errs[i] = err
+			continue
+		}
 		if int64(len(data[i])) > maxShardLen || int64(len(id.Object)) > maxShardLen {
-			errs[i] = fmt.Errorf("put %v on %s: %d-byte shard exceeds the u32 format limit", id, n.id, len(data[i]))
+			errs[i] = shardErr("put", id, n.id, fmt.Errorf("%d-byte shard exceeds the u32 format limit", len(data[i])))
 			continue
 		}
 		dir, path := n.shardPath(id)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, err)
+			errs[i] = shardErr("put", id, n.id, err)
 			continue
 		}
 		if err := n.ensureDirDurable(dir); err != nil {
-			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, err)
+			errs[i] = shardErr("put", id, n.id, err)
 			continue
 		}
 		if err := renameFileAtomic(path, encodeShardFile(id, data[i])); err != nil {
-			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, err)
+			errs[i] = shardErr("put", id, n.id, err)
 			continue
 		}
 		dirty[dir] = append(dirty[dir], i)
@@ -304,7 +323,7 @@ func (n *DiskNode) PutBatch(ids []ShardID, data [][]byte) []error {
 		err := syncDir(dir)
 		for _, i := range positions {
 			if err != nil {
-				errs[i] = fmt.Errorf("put %v on %s: %w", ids[i], n.id, err)
+				errs[i] = shardErr("put", ids[i], n.id, err)
 				continue
 			}
 			writes++
@@ -320,16 +339,16 @@ func (n *DiskNode) PutBatch(ids []ShardID, data [][]byte) []error {
 
 // Delete removes the shard. It fails with ErrNodeDown while the node is
 // failed and ErrNotFound when the shard is absent.
-func (n *DiskNode) Delete(id ShardID) error {
-	if err := n.checkUp("delete", id); err != nil {
+func (n *DiskNode) Delete(ctx context.Context, id ShardID) error {
+	if err := n.checkUp(ctx, "delete", id); err != nil {
 		return err
 	}
 	_, path := n.shardPath(id)
 	if err := os.Remove(path); err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return fmt.Errorf("delete %v from %s: %w", id, n.id, ErrNotFound)
+			return shardErr("delete", id, n.id, ErrNotFound)
 		}
-		return fmt.Errorf("delete %v from %s: %w", id, n.id, err)
+		return shardErr("delete", id, n.id, err)
 	}
 	_ = syncDir(filepath.Dir(path)) // best effort: a resurrected shard is re-deletable
 	n.mu.Lock()
@@ -339,7 +358,10 @@ func (n *DiskNode) Delete(id ShardID) error {
 }
 
 // Available reports whether the node accepts operations.
-func (n *DiskNode) Available() bool {
+func (n *DiskNode) Available(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return !n.failed

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -22,10 +23,10 @@ func TestDiskNodePutGetDelete(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "arch/v1-full", Row: 3}
 	payload := []byte("hello durable world")
-	if err := n.Put(id, payload); err != nil {
+	if err := n.Put(context.Background(), id, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Get(id)
+	got, err := n.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,22 +34,22 @@ func TestDiskNodePutGetDelete(t *testing.T) {
 		t.Errorf("Get = %q, want %q", got, payload)
 	}
 	// Overwrite.
-	if err := n.Put(id, []byte("v2")); err != nil {
+	if err := n.Put(context.Background(), id, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := n.Get(id); !bytes.Equal(got, []byte("v2")) {
+	if got, _ := n.Get(context.Background(), id); !bytes.Equal(got, []byte("v2")) {
 		t.Errorf("after overwrite Get = %q", got)
 	}
 	if n.Len() != 1 {
 		t.Errorf("Len = %d, want 1", n.Len())
 	}
-	if err := n.Delete(id); err != nil {
+	if err := n.Delete(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(id); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after delete = %v, want ErrNotFound", err)
 	}
-	if err := n.Delete(id); !errors.Is(err, ErrNotFound) {
+	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("double delete = %v, want ErrNotFound", err)
 	}
 }
@@ -56,10 +57,10 @@ func TestDiskNodePutGetDelete(t *testing.T) {
 func TestDiskNodeEmptyShardAndZeroBytes(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(id, nil); err != nil {
+	if err := n.Put(context.Background(), id, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Get(id)
+	got, err := n.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,13 +72,13 @@ func TestDiskNodeEmptyShardAndZeroBytes(t *testing.T) {
 func TestDiskNodeStats(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 1}
-	if err := n.Put(id, []byte{1, 2, 3, 4}); err != nil {
+	if err := n.Put(context.Background(), id, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(id); err != nil {
+	if _, err := n.Get(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(ShardID{Object: "absent", Row: 0}); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(context.Background(), ShardID{Object: "absent", Row: 0}); !errors.Is(err, ErrNotFound) {
 		t.Fatal(err)
 	}
 	want := NodeStats{Reads: 1, Writes: 1, BytesRead: 4, BytesWritten: 4}
@@ -93,24 +94,24 @@ func TestDiskNodeStats(t *testing.T) {
 func TestDiskNodeFaultInjection(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(id, []byte("x")); err != nil {
+	if err := n.Put(context.Background(), id, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	n.SetFailed(true)
-	if n.Available() {
+	if n.Available(context.Background()) {
 		t.Error("failed node reports available")
 	}
-	if err := n.Put(id, []byte("y")); !errors.Is(err, ErrNodeDown) {
+	if err := n.Put(context.Background(), id, []byte("y")); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Put on failed node = %v", err)
 	}
-	if _, err := n.Get(id); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Get on failed node = %v", err)
 	}
-	if err := n.Delete(id); !errors.Is(err, ErrNodeDown) {
+	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Delete on failed node = %v", err)
 	}
 	n.SetFailed(false)
-	if got, err := n.Get(id); err != nil || !bytes.Equal(got, []byte("x")) {
+	if got, err := n.Get(context.Background(), id); err != nil || !bytes.Equal(got, []byte("x")) {
 		t.Errorf("data lost across injected failure: %q, %v", got, err)
 	}
 }
@@ -127,7 +128,7 @@ func TestDiskNodeRestartRecovery(t *testing.T) {
 		{Object: "arch/v2-delta", Row: 0},
 	}
 	for i, id := range ids {
-		if err := n.Put(id, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
+		if err := n.Put(context.Background(), id, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -144,7 +145,7 @@ func TestDiskNodeRestartRecovery(t *testing.T) {
 		t.Errorf("Len after reopen = %d, want %d", n2.Len(), len(ids))
 	}
 	for i, id := range ids {
-		got, err := n2.Get(id)
+		got, err := n2.Get(context.Background(), id)
 		if err != nil {
 			t.Fatalf("reopened Get %v: %v", id, err)
 		}
@@ -178,7 +179,7 @@ func TestNewDiskNodeIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Put(ShardID{Object: "o", Row: 0}, []byte("keep")); err != nil {
+	if err := n.Put(context.Background(), ShardID{Object: "o", Row: 0}, []byte("keep")); err != nil {
 		t.Fatal(err)
 	}
 	// NewDiskNode over an existing node dir reattaches; it must not wipe.
@@ -186,7 +187,7 @@ func TestNewDiskNodeIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := n2.Get(ShardID{Object: "o", Row: 0}); err != nil || string(got) != "keep" {
+	if got, err := n2.Get(context.Background(), ShardID{Object: "o", Row: 0}); err != nil || string(got) != "keep" {
 		t.Errorf("re-created node lost data: %q, %v", got, err)
 	}
 }
@@ -204,7 +205,7 @@ func shardFileOf(t *testing.T, n *DiskNode, id ShardID) string {
 func TestDiskNodeDetectsBitRot(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 2}
-	if err := n.Put(id, bytes.Repeat([]byte{0xAB}, 128)); err != nil {
+	if err := n.Put(context.Background(), id, bytes.Repeat([]byte{0xAB}, 128)); err != nil {
 		t.Fatal(err)
 	}
 	path := shardFileOf(t, n, id)
@@ -217,14 +218,14 @@ func TestDiskNodeDetectsBitRot(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(id); !errors.Is(err, ErrCorrupt) {
+	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("Get of bit-rotted shard = %v, want ErrCorrupt", err)
 	}
 	// A corrupt shard is still deletable and replaceable.
-	if err := n.Put(id, []byte("healed")); err != nil {
+	if err := n.Put(context.Background(), id, []byte("healed")); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := n.Get(id); err != nil || string(got) != "healed" {
+	if got, err := n.Get(context.Background(), id); err != nil || string(got) != "healed" {
 		t.Errorf("after heal: %q, %v", got, err)
 	}
 }
@@ -232,7 +233,7 @@ func TestDiskNodeDetectsBitRot(t *testing.T) {
 func TestDiskNodeDetectsTruncationAndGrowth(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(id, bytes.Repeat([]byte{7}, 100)); err != nil {
+	if err := n.Put(context.Background(), id, bytes.Repeat([]byte{7}, 100)); err != nil {
 		t.Fatal(err)
 	}
 	path := shardFileOf(t, n, id)
@@ -250,7 +251,7 @@ func TestDiskNodeDetectsTruncationAndGrowth(t *testing.T) {
 		if err := os.WriteFile(path, mutated, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := n.Get(id); !errors.Is(err, ErrCorrupt) {
+		if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrCorrupt) {
 			t.Errorf("%s: Get = %v, want ErrCorrupt", name, err)
 		}
 	}
@@ -262,10 +263,10 @@ func TestDiskNodeDetectsWrongKey(t *testing.T) {
 	n := newDiskNode(t)
 	a := ShardID{Object: "o", Row: 0}
 	b := ShardID{Object: "o", Row: 1}
-	if err := n.Put(a, []byte("A")); err != nil {
+	if err := n.Put(context.Background(), a, []byte("A")); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Put(b, []byte("B")); err != nil {
+	if err := n.Put(context.Background(), b, []byte("B")); err != nil {
 		t.Fatal(err)
 	}
 	rawB, err := os.ReadFile(shardFileOf(t, n, b))
@@ -275,7 +276,7 @@ func TestDiskNodeDetectsWrongKey(t *testing.T) {
 	if err := os.WriteFile(shardFileOf(t, n, a), rawB, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(a); !errors.Is(err, ErrCorrupt) {
+	if _, err := n.Get(context.Background(), a); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("Get of transplanted shard = %v, want ErrCorrupt", err)
 	}
 }
@@ -287,7 +288,7 @@ func TestDiskNodeRecoveryDiscardsTempFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(id, []byte("committed")); err != nil {
+	if err := n.Put(context.Background(), id, []byte("committed")); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a crash mid-write: a temp file next to the shard.
@@ -303,7 +304,7 @@ func TestDiskNodeRecoveryDiscardsTempFiles(t *testing.T) {
 	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
 		t.Error("recovery left the temp file behind")
 	}
-	if got, err := n2.Get(id); err != nil || string(got) != "committed" {
+	if got, err := n2.Get(context.Background(), id); err != nil || string(got) != "committed" {
 		t.Errorf("committed shard damaged by recovery: %q, %v", got, err)
 	}
 	if n2.Len() != 1 {
@@ -314,7 +315,7 @@ func TestDiskNodeRecoveryDiscardsTempFiles(t *testing.T) {
 func TestDiskNodeWipe(t *testing.T) {
 	n := newDiskNode(t)
 	for row := 0; row < 5; row++ {
-		if err := n.Put(ShardID{Object: "o", Row: row}, []byte{byte(row)}); err != nil {
+		if err := n.Put(context.Background(), ShardID{Object: "o", Row: row}, []byte{byte(row)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -324,11 +325,11 @@ func TestDiskNodeWipe(t *testing.T) {
 	if n.Len() != 0 {
 		t.Errorf("Len after wipe = %d", n.Len())
 	}
-	if _, err := n.Get(ShardID{Object: "o", Row: 0}); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(context.Background(), ShardID{Object: "o", Row: 0}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after wipe = %v, want ErrNotFound", err)
 	}
 	// The node keeps working after a wipe (device replacement).
-	if err := n.Put(ShardID{Object: "o", Row: 0}, []byte("new life")); err != nil {
+	if err := n.Put(context.Background(), ShardID{Object: "o", Row: 0}, []byte("new life")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -337,7 +338,7 @@ func TestDiskNodeFansOutDirectories(t *testing.T) {
 	n := newDiskNode(t)
 	const shards = 200
 	for row := 0; row < shards; row++ {
-		if err := n.Put(ShardID{Object: "fan", Row: row}, []byte{1}); err != nil {
+		if err := n.Put(context.Background(), ShardID{Object: "fan", Row: row}, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -366,10 +367,10 @@ func TestDiskNodeConcurrentAccess(t *testing.T) {
 			var firstErr error
 			for i := 0; i < 20; i++ {
 				id := ShardID{Object: "conc", Row: i % 4}
-				if err := n.Put(id, bytes.Repeat([]byte{byte(g)}, 32)); err != nil && firstErr == nil {
+				if err := n.Put(context.Background(), id, bytes.Repeat([]byte{byte(g)}, 32)); err != nil && firstErr == nil {
 					firstErr = err
 				}
-				if _, err := n.Get(id); err != nil && !errors.Is(err, ErrNotFound) && firstErr == nil {
+				if _, err := n.Get(context.Background(), id); err != nil && !errors.Is(err, ErrNotFound) && firstErr == nil {
 					firstErr = err
 				}
 			}
@@ -396,7 +397,7 @@ func TestDiskClusterRestart(t *testing.T) {
 		t.Fatalf("Size = %d", c.Size())
 	}
 	id := ShardID{Object: "o", Row: 0}
-	if err := c.Put(2, id, []byte("persists")); err != nil {
+	if err := c.Put(context.Background(), 2, id, []byte("persists")); err != nil {
 		t.Fatal(err)
 	}
 	// A second cluster over the same base dir sees the shard.
@@ -404,7 +405,7 @@ func TestDiskClusterRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c2.Get(2, id)
+	got, err := c2.Get(context.Background(), 2, id)
 	if err != nil || string(got) != "persists" {
 		t.Errorf("reopened cluster Get = %q, %v", got, err)
 	}
@@ -412,7 +413,7 @@ func TestDiskClusterRestart(t *testing.T) {
 	if err := c2.EnsureSize(6); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Put(5, id, []byte("grown")); err != nil {
+	if err := c2.Put(context.Background(), 5, id, []byte("grown")); err != nil {
 		t.Fatal(err)
 	}
 }

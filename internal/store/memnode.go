@@ -1,7 +1,7 @@
 package store
 
 import (
-	"fmt"
+	"context"
 	"sync"
 )
 
@@ -31,11 +31,14 @@ func (n *MemNode) ID() string { return n.id }
 
 // Put stores a copy of data under id. It fails with ErrNodeDown while the
 // node is failed.
-func (n *MemNode) Put(id ShardID, data []byte) error {
+func (n *MemNode) Put(ctx context.Context, id ShardID, data []byte) error {
+	if err := ctxErr(ctx, "put", id, n.id); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
-		return fmt.Errorf("put %v on %s: %w", id, n.id, ErrNodeDown)
+		return shardErr("put", id, n.id, ErrNodeDown)
 	}
 	n.shards[id] = append([]byte(nil), data...)
 	n.stats.Writes++
@@ -46,15 +49,18 @@ func (n *MemNode) Put(id ShardID, data []byte) error {
 // Get returns a copy of the shard contents. It fails with ErrNodeDown while
 // the node is failed and ErrNotFound when the shard is absent; only
 // successful reads are counted.
-func (n *MemNode) Get(id ShardID) ([]byte, error) {
+func (n *MemNode) Get(ctx context.Context, id ShardID) ([]byte, error) {
+	if err := ctxErr(ctx, "get", id, n.id); err != nil {
+		return nil, err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
-		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, ErrNodeDown)
+		return nil, shardErr("get", id, n.id, ErrNodeDown)
 	}
 	data, ok := n.shards[id]
 	if !ok {
-		return nil, fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)
+		return nil, shardErr("get", id, n.id, ErrNotFound)
 	}
 	n.stats.Reads++
 	n.stats.BytesRead += uint64(len(data))
@@ -63,19 +69,25 @@ func (n *MemNode) Get(id ShardID) ([]byte, error) {
 
 // GetBatch reads several shards under one lock acquisition. Each shard
 // fails or succeeds independently; successful reads are counted one by
-// one, exactly as the equivalent sequence of Gets would be.
-func (n *MemNode) GetBatch(ids []ShardID) []ShardResult {
+// one, exactly as the equivalent sequence of Gets would be. The context is
+// checked per shard, so a cancelled batch fails its remaining shards with
+// the context's error.
+func (n *MemNode) GetBatch(ctx context.Context, ids []ShardID) []ShardResult {
 	results := make([]ShardResult, len(ids))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for i, id := range ids {
+		if err := ctxErr(ctx, "get", id, n.id); err != nil {
+			results[i] = ShardResult{Err: err}
+			continue
+		}
 		if n.failed {
-			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, ErrNodeDown)}
+			results[i] = ShardResult{Err: shardErr("get", id, n.id, ErrNodeDown)}
 			continue
 		}
 		data, ok := n.shards[id]
 		if !ok {
-			results[i] = ShardResult{Err: fmt.Errorf("get %v from %s: %w", id, n.id, ErrNotFound)}
+			results[i] = ShardResult{Err: shardErr("get", id, n.id, ErrNotFound)}
 			continue
 		}
 		n.stats.Reads++
@@ -86,14 +98,18 @@ func (n *MemNode) GetBatch(ids []ShardID) []ShardResult {
 }
 
 // PutBatch stores several shards under one lock acquisition, counting each
-// successful write individually.
-func (n *MemNode) PutBatch(ids []ShardID, data [][]byte) []error {
+// successful write individually. The context is checked per shard.
+func (n *MemNode) PutBatch(ctx context.Context, ids []ShardID, data [][]byte) []error {
 	errs := make([]error, len(ids))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for i, id := range ids {
+		if err := ctxErr(ctx, "put", id, n.id); err != nil {
+			errs[i] = err
+			continue
+		}
 		if n.failed {
-			errs[i] = fmt.Errorf("put %v on %s: %w", id, n.id, ErrNodeDown)
+			errs[i] = shardErr("put", id, n.id, ErrNodeDown)
 			continue
 		}
 		n.shards[id] = append([]byte(nil), data[i]...)
@@ -105,14 +121,17 @@ func (n *MemNode) PutBatch(ids []ShardID, data [][]byte) []error {
 
 // Delete removes the shard. It fails with ErrNodeDown while the node is
 // failed and ErrNotFound when the shard is absent.
-func (n *MemNode) Delete(id ShardID) error {
+func (n *MemNode) Delete(ctx context.Context, id ShardID) error {
+	if err := ctxErr(ctx, "delete", id, n.id); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
-		return fmt.Errorf("delete %v from %s: %w", id, n.id, ErrNodeDown)
+		return shardErr("delete", id, n.id, ErrNodeDown)
 	}
 	if _, ok := n.shards[id]; !ok {
-		return fmt.Errorf("delete %v from %s: %w", id, n.id, ErrNotFound)
+		return shardErr("delete", id, n.id, ErrNotFound)
 	}
 	delete(n.shards, id)
 	n.stats.Deletes++
@@ -120,7 +139,10 @@ func (n *MemNode) Delete(id ShardID) error {
 }
 
 // Available reports whether the node accepts operations.
-func (n *MemNode) Available() bool {
+func (n *MemNode) Available(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return !n.failed

@@ -8,6 +8,28 @@
 // experiment harness aggregates and compares against the closed-form
 // formulas (3)-(4).
 //
+// # Contexts
+//
+// Every node operation takes a context.Context as its first argument and is
+// expected to honor it: an implementation returns promptly once the context
+// is cancelled or its deadline passes, failing the operation with an error
+// wrapping ctx.Err(). Cancellation is a property of the request, not the
+// node - a cancelled operation says nothing about node health, so
+// implementations must not surface it as ErrNodeDown, and callers must not
+// treat it as one (healing and re-planning logic checks ctx.Err() before
+// attributing a failure to a node). Batch implementations check the context
+// between shards, so a cancelled batch stops early with the remaining
+// shards failed by ctx.Err(); shards already completed stay completed (and
+// counted).
+//
+// # The ShardError taxonomy
+//
+// Failed operations return a *ShardError naming the node, the shard, and
+// the operation, wrapping one of the sentinels below (or a transport/OS
+// cause). errors.Is answers "what happened" (ErrNodeDown? ErrCorrupt?
+// context.DeadlineExceeded?) and errors.As(&ShardError{}) answers "where",
+// end-to-end: the TCP transport carries the provenance across the wire.
+//
 // # The ErrCorrupt contract
 //
 // A node that can verify shard integrity (DiskNode checks a per-shard
@@ -21,6 +43,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -38,6 +61,52 @@ var (
 	// the package comment for the healing contract.
 	ErrCorrupt = errors.New("store: shard corrupt")
 )
+
+// ShardError attributes one failed shard operation: which node, which
+// shard, which operation, and what went wrong. It is the structured error
+// every storage layer returns, so callers can errors.As their way from an
+// archive-level failure down to the exact node and shard that caused it.
+// The cause wraps one of the store sentinels, a context error, or a
+// transport/OS error; errors.Is traverses it as usual.
+type ShardError struct {
+	// Node is the ID of the node the operation ran against.
+	Node string
+	// Shard names the affected shard. It is the zero ShardID for
+	// node-scoped operations (ping, stats).
+	Shard ShardID
+	// Op is the operation that failed: "get", "put", "delete", "ping",
+	// "stats".
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the provenance and the cause.
+func (e *ShardError) Error() string {
+	if e.Shard == (ShardID{}) {
+		return fmt.Sprintf("%s on %s: %v", e.Op, e.Node, e.Err)
+	}
+	return fmt.Sprintf("%s %v on %s: %v", e.Op, e.Shard, e.Node, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is and errors.As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// shardErr builds the canonical per-operation error.
+func shardErr(op string, id ShardID, node string, cause error) error {
+	return &ShardError{Node: node, Shard: id, Op: op, Err: cause}
+}
+
+// ctxErr returns a ShardError wrapping the context's error if ctx is done,
+// and nil otherwise. Node implementations call it at operation entry (and
+// between shards of a batch) so a cancelled request fails with its context
+// cause instead of being misattributed to node health.
+func ctxErr(ctx context.Context, op string, id ShardID, node string) error {
+	if err := ctx.Err(); err != nil {
+		return shardErr(op, id, node, err)
+	}
+	return nil
+}
 
 // ShardID identifies one coded shard: the Object names the stored codeword
 // (for SEC, one version or delta of one archive) and Row is the generator
@@ -73,18 +142,21 @@ func (s NodeStats) Add(o NodeStats) NodeStats {
 }
 
 // Node is a storage device holding shards. Implementations must be safe for
-// concurrent use.
+// concurrent use and must honor the context contract described in the
+// package comment: every operation returns promptly (with an error wrapping
+// ctx.Err()) once its context is cancelled or past its deadline.
 type Node interface {
 	// ID returns a stable identifier for logs and placement debugging.
 	ID() string
 	// Put stores a shard, overwriting any previous contents.
-	Put(id ShardID, data []byte) error
+	Put(ctx context.Context, id ShardID, data []byte) error
 	// Get returns a copy of a shard's contents.
-	Get(id ShardID) ([]byte, error)
+	Get(ctx context.Context, id ShardID) ([]byte, error)
 	// Delete removes a shard.
-	Delete(id ShardID) error
-	// Available reports whether the node can currently serve requests.
-	Available() bool
+	Delete(ctx context.Context, id ShardID) error
+	// Available reports whether the node can currently serve requests,
+	// bounded by the context (an expired context reads as unavailable).
+	Available(ctx context.Context) bool
 	// Stats returns an I/O counter snapshot.
 	Stats() NodeStats
 	// ResetStats zeroes the I/O counters.
@@ -96,7 +168,7 @@ type Node interface {
 // network). Aggregators prefer StatsErr over Stats when available, so an
 // unreachable node is reported instead of silently contributing zeros.
 type StatsReporter interface {
-	StatsErr() (NodeStats, error)
+	StatsErr(ctx context.Context) (NodeStats, error)
 }
 
 // FaultInjector is implemented by nodes that support simulated failures

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -27,23 +28,23 @@ func TestNodeStatsAdd(t *testing.T) {
 func TestMemNodePutGetDelete(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 1}
-	if err := n.Put(id, []byte{1, 2, 3}); err != nil {
+	if err := n.Put(context.Background(), id, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Get(id)
+	got, err := n.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, []byte{1, 2, 3}) {
 		t.Errorf("Get = %v, want [1 2 3]", got)
 	}
-	if err := n.Delete(id); err != nil {
+	if err := n.Delete(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(id); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after delete: err = %v, want ErrNotFound", err)
 	}
-	if err := n.Delete(id); !errors.Is(err, ErrNotFound) {
+	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("double Delete: err = %v, want ErrNotFound", err)
 	}
 }
@@ -52,11 +53,11 @@ func TestMemNodeCopiesAtBoundaries(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 0}
 	data := []byte{9, 9}
-	if err := n.Put(id, data); err != nil {
+	if err := n.Put(context.Background(), id, data); err != nil {
 		t.Fatal(err)
 	}
 	data[0] = 0 // caller mutation must not affect stored copy
-	got, err := n.Get(id)
+	got, err := n.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestMemNodeCopiesAtBoundaries(t *testing.T) {
 		t.Error("Put did not copy its input")
 	}
 	got[1] = 0 // reader mutation must not affect stored copy
-	again, err := n.Get(id)
+	again, err := n.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,25 +77,25 @@ func TestMemNodeCopiesAtBoundaries(t *testing.T) {
 func TestMemNodeFailureInjection(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 0}
-	if err := n.Put(id, []byte{1}); err != nil {
+	if err := n.Put(context.Background(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	n.SetFailed(true)
-	if n.Available() {
+	if n.Available(context.Background()) {
 		t.Error("failed node reports Available")
 	}
-	if _, err := n.Get(id); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Get on failed node: err = %v, want ErrNodeDown", err)
 	}
-	if err := n.Put(id, []byte{2}); !errors.Is(err, ErrNodeDown) {
+	if err := n.Put(context.Background(), id, []byte{2}); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Put on failed node: err = %v, want ErrNodeDown", err)
 	}
-	if err := n.Delete(id); !errors.Is(err, ErrNodeDown) {
+	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Delete on failed node: err = %v, want ErrNodeDown", err)
 	}
 	// Crash-stop keeps data: healing restores access.
 	n.SetFailed(false)
-	got, err := n.Get(id)
+	got, err := n.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,20 +107,20 @@ func TestMemNodeFailureInjection(t *testing.T) {
 func TestMemNodeStatsCountExactIO(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 0}
-	if err := n.Put(id, []byte{1, 2, 3, 4}); err != nil {
+	if err := n.Put(context.Background(), id, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := n.Get(id); err != nil {
+		if _, err := n.Get(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Unsuccessful reads are not I/O reads in the paper's model.
-	if _, err := n.Get(ShardID{Object: "missing", Row: 0}); err == nil {
+	if _, err := n.Get(context.Background(), ShardID{Object: "missing", Row: 0}); err == nil {
 		t.Fatal("expected miss")
 	}
 	n.SetFailed(true)
-	_, _ = n.Get(id)
+	_, _ = n.Get(context.Background(), id)
 	n.SetFailed(false)
 
 	got := n.Stats()
@@ -142,11 +143,11 @@ func TestMemNodeConcurrent(t *testing.T) {
 			defer wg.Done()
 			id := ShardID{Object: "obj", Row: g}
 			for i := 0; i < 100; i++ {
-				if err := n.Put(id, []byte{byte(i)}); err != nil {
+				if err := n.Put(context.Background(), id, []byte{byte(i)}); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := n.Get(id); err != nil {
+				if _, err := n.Get(context.Background(), id); err != nil {
 					t.Error(err)
 					return
 				}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -26,12 +27,12 @@ func TestRemoteBatchRoundTrip(t *testing.T) {
 	mem, client := startServer(t)
 	ids := testIDs("arch/v1", 0, 1, 2, 3)
 	data := [][]byte{{1}, {2, 2}, {3, 3, 3}, {}}
-	for i, err := range client.PutBatch(ids, data) {
+	for i, err := range client.PutBatch(context.Background(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
-	for i, res := range client.GetBatch(ids) {
+	for i, res := range client.GetBatch(context.Background(), ids) {
 		if res.Err != nil {
 			t.Fatalf("get %d: %v", i, res.Err)
 		}
@@ -61,8 +62,8 @@ func TestRemoteBatchIsOneRPC(t *testing.T) {
 	for i := range data {
 		data[i] = []byte{byte(i)}
 	}
-	client.PutBatch(ids, data)
-	client.GetBatch(ids)
+	client.PutBatch(context.Background(), ids, data)
+	client.GetBatch(context.Background(), ids)
 	stats := srv.RequestStats()
 	if stats.PutBatches != 1 || stats.PutBatchShards != 10 {
 		t.Errorf("put batches = %d/%d shards, want 1/10", stats.PutBatches, stats.PutBatchShards)
@@ -78,10 +79,10 @@ func TestRemoteBatchIsOneRPC(t *testing.T) {
 func TestRemoteBatchPerShardStatuses(t *testing.T) {
 	mem, client := startServer(t)
 	present := store.ShardID{Object: "o", Row: 0}
-	if err := mem.Put(present, []byte{7}); err != nil {
+	if err := mem.Put(context.Background(), present, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
-	results := client.GetBatch(testIDs("o", 0, 1, 2))
+	results := client.GetBatch(context.Background(), testIDs("o", 0, 1, 2))
 	if results[0].Err != nil || !bytes.Equal(results[0].Data, []byte{7}) {
 		t.Errorf("present shard = %v/%v", results[0].Data, results[0].Err)
 	}
@@ -110,13 +111,13 @@ func TestRemoteBatchCorruptStatusPropagates(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 
 	ids := testIDs("o", 0, 1, 2)
-	for i, err := range client.PutBatch(ids, [][]byte{{1}, {2}, {3}}) {
+	for i, err := range client.PutBatch(context.Background(), ids, [][]byte{{1}, {2}, {3}}) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
 	corruptOneShardFile(t, disk)
-	results := client.GetBatch(ids)
+	results := client.GetBatch(context.Background(), ids)
 	var corrupt, healthy int
 	for i, res := range results {
 		switch {
@@ -141,19 +142,19 @@ type flakyNode struct {
 	remaining atomic.Int64
 }
 
-func (f *flakyNode) Get(id store.ShardID) ([]byte, error) {
+func (f *flakyNode) Get(ctx context.Context, id store.ShardID) ([]byte, error) {
 	if f.remaining.Add(-1) < 0 {
 		return nil, fmt.Errorf("get %v: %w", id, store.ErrNodeDown)
 	}
-	return f.MemNode.Get(id)
+	return f.MemNode.Get(ctx, id)
 }
 
 // GetBatch routes through the crashing Get (instead of the embedded
 // MemNode's native batch) so the crash hits mid-batch.
-func (f *flakyNode) GetBatch(ids []store.ShardID) []store.ShardResult {
+func (f *flakyNode) GetBatch(ctx context.Context, ids []store.ShardID) []store.ShardResult {
 	results := make([]store.ShardResult, len(ids))
 	for i, id := range ids {
-		data, err := f.Get(id)
+		data, err := f.Get(ctx, id)
 		results[i] = store.ShardResult{Data: data, Err: err}
 	}
 	return results
@@ -163,7 +164,7 @@ func TestRemoteBatchMidBatchCrash(t *testing.T) {
 	flaky := &flakyNode{MemNode: store.NewMemNode("flaky")}
 	ids := testIDs("o", 0, 1, 2, 3)
 	for i, id := range ids {
-		if err := flaky.MemNode.Put(id, []byte{byte(i)}); err != nil {
+		if err := flaky.MemNode.Put(context.Background(), id, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -177,7 +178,7 @@ func TestRemoteBatchMidBatchCrash(t *testing.T) {
 	client := NewRemoteNode("remote", addr.String(), WithTimeout(2*time.Second))
 	t.Cleanup(func() { _ = client.Close() })
 
-	results := client.GetBatch(ids)
+	results := client.GetBatch(context.Background(), ids)
 	for i := 0; i < 2; i++ {
 		if results[i].Err != nil || !bytes.Equal(results[i].Data, []byte{byte(i)}) {
 			t.Errorf("pre-crash shard %d = %v/%v", i, results[i].Data, results[i].Err)
@@ -202,12 +203,12 @@ func TestRemoteBatchServerGone(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for i, res := range client.GetBatch(testIDs("o", 0, 1)) {
+	for i, res := range client.GetBatch(context.Background(), testIDs("o", 0, 1)) {
 		if !errors.Is(res.Err, store.ErrNodeDown) {
 			t.Errorf("shard %d err = %v, want ErrNodeDown", i, res.Err)
 		}
 	}
-	for i, err := range client.PutBatch(testIDs("o", 0, 1), [][]byte{{1}, {2}}) {
+	for i, err := range client.PutBatch(context.Background(), testIDs("o", 0, 1), [][]byte{{1}, {2}}) {
 		if !errors.Is(err, store.ErrNodeDown) {
 			t.Errorf("put %d err = %v, want ErrNodeDown", i, err)
 		}
@@ -242,7 +243,7 @@ func legacyServer(t *testing.T, node store.Node) net.Addr {
 					if req, err := decodeRequest(body); err == nil && (req.op == opGetBatch || req.op == opPutBatch) {
 						status, payload = statusError, []byte(fmt.Sprintf("transport: unknown op %d", req.op))
 					} else {
-						status, payload = inner.handle(body)
+						status, payload = inner.handle(context.Background(), body)
 					}
 					if err := writeFrame(conn, encodeResponse(status, payload)); err != nil {
 						return
@@ -262,12 +263,12 @@ func TestRemoteBatchFallsBackOnLegacyServer(t *testing.T) {
 
 	ids := testIDs("o", 0, 1, 2)
 	data := [][]byte{{1}, {2}, {3}}
-	for i, err := range client.PutBatch(ids, data) {
+	for i, err := range client.PutBatch(context.Background(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d against legacy server: %v", i, err)
 		}
 	}
-	for i, res := range client.GetBatch(ids) {
+	for i, res := range client.GetBatch(context.Background(), ids) {
 		if res.Err != nil || !bytes.Equal(res.Data, data[i]) {
 			t.Errorf("legacy get %d = %v/%v, want %v", i, res.Data, res.Err, data[i])
 		}
@@ -285,10 +286,13 @@ type blockingNode struct {
 	release chan struct{}
 }
 
-func (b *blockingNode) Get(id store.ShardID) ([]byte, error) {
+func (b *blockingNode) Get(ctx context.Context, id store.ShardID) ([]byte, error) {
 	b.entered <- struct{}{}
-	<-b.release
-	return b.MemNode.Get(id)
+	select {
+	case <-b.release:
+	case <-ctx.Done(): // a force-closed server cancels parked operations
+	}
+	return b.MemNode.Get(ctx, id)
 }
 
 func TestRemotePoolMultiplexesConnections(t *testing.T) {
@@ -299,7 +303,7 @@ func TestRemotePoolMultiplexesConnections(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(id, []byte{1}); err != nil {
+	if err := node.MemNode.Put(context.Background(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -317,7 +321,7 @@ func TestRemotePoolMultiplexesConnections(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := client.Get(id); err != nil {
+			if _, err := client.Get(context.Background(), id); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -345,7 +349,7 @@ func TestAvailableFastUnderLoad(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(id, []byte{1}); err != nil {
+	if err := node.MemNode.Put(context.Background(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -363,13 +367,13 @@ func TestAvailableFastUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = client.Get(id)
+			_, _ = client.Get(context.Background(), id)
 		}()
 	}
 	<-node.entered
 	<-node.entered // both pooled connections now held by blocked transfers
 	start := time.Now()
-	up := client.Available()
+	up := client.Available(context.Background())
 	elapsed := time.Since(start)
 	close(node.release)
 	wg.Wait()
@@ -394,7 +398,7 @@ func TestRemoteBatchAfterServerRestart(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 	ids := testIDs("o", 0, 1)
 	data := [][]byte{{1}, {2}}
-	for _, err := range client.PutBatch(ids, data) {
+	for _, err := range client.PutBatch(context.Background(), ids, data) {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -407,7 +411,7 @@ func TestRemoteBatchAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv2.Close() })
-	for i, res := range client.GetBatch(ids) {
+	for i, res := range client.GetBatch(context.Background(), ids) {
 		if res.Err != nil || !bytes.Equal(res.Data, data[i]) {
 			t.Errorf("post-restart shard %d = %v/%v", i, res.Data, res.Err)
 		}
@@ -466,13 +470,13 @@ func TestRemoteBatchSplitResponseCountsReadsOnce(t *testing.T) {
 	for i := range data {
 		data[i] = bytes.Repeat([]byte{byte(i + 1)}, 100) // each shard > chunk
 	}
-	for i, err := range client.PutBatch(ids, data) {
+	for i, err := range client.PutBatch(context.Background(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
 	mem.ResetStats()
-	for i, res := range client.GetBatch(ids) {
+	for i, res := range client.GetBatch(context.Background(), ids) {
 		if res.Err != nil {
 			t.Fatalf("get %d: %v", i, res.Err)
 		}
@@ -486,15 +490,17 @@ func TestRemoteBatchSplitResponseCountsReadsOnce(t *testing.T) {
 }
 
 func TestCloseRetiresInFlightConnections(t *testing.T) {
-	// A connection checked out when Close runs must not slip back into the
-	// pool afterwards (that would leak it forever).
+	// Close tears down the connection a running Get has checked out: the
+	// Get fails as ErrNodeDown (never a bare I/O error), nothing slips
+	// back into the pool, and later operations fail fast instead of
+	// re-dialing a closed client.
 	node := &blockingNode{
 		MemNode: store.NewMemNode("slow"),
 		entered: make(chan struct{}, 1),
 		release: make(chan struct{}),
 	}
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(id, []byte{1}); err != nil {
+	if err := node.MemNode.Put(context.Background(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -506,7 +512,7 @@ func TestCloseRetiresInFlightConnections(t *testing.T) {
 	client := NewRemoteNode("remote", addr.String(), WithTimeout(5*time.Second), WithPoolSize(1))
 	done := make(chan error, 1)
 	go func() {
-		_, err := client.Get(id)
+		_, err := client.Get(context.Background(), id)
 		done <- err
 	}()
 	<-node.entered // the Get holds the only pooled connection
@@ -514,14 +520,22 @@ func TestCloseRetiresInFlightConnections(t *testing.T) {
 		t.Fatal(err)
 	}
 	close(node.release)
-	if err := <-done; err != nil {
-		t.Fatal(err)
+	err = <-done
+	if !errors.Is(err, store.ErrNodeDown) {
+		t.Fatalf("in-flight Get after Close = %v, want ErrNodeDown", err)
+	}
+	var se *store.ShardError
+	if !errors.As(err, &se) || se.Shard != id || se.Op != "get" {
+		t.Errorf("in-flight Get after Close: no ShardError provenance in %v", err)
 	}
 	client.mu.Lock()
-	leaked := len(client.free)
+	leaked := len(client.free) + len(client.inflight)
 	client.mu.Unlock()
 	if leaked != 0 {
-		t.Errorf("%d connections re-pooled after Close", leaked)
+		t.Errorf("%d connections still held after Close", leaked)
+	}
+	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) {
+		t.Errorf("Get after Close = %v, want ErrNodeDown", err)
 	}
 }
 
@@ -565,7 +579,7 @@ func TestBatchProtocolRoundTrip(t *testing.T) {
 		{Err: fmt.Errorf("rotten: %w", store.ErrCorrupt)},
 	}
 	rb := encodeBatchResults(results)
-	decoded, err := decodeBatchResults(rb, ids)
+	decoded, err := decodeBatchResults(rb, ids, "test-node", "get")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -589,12 +603,12 @@ func TestBatchProtocolRejectsMalformed(t *testing.T) {
 	if _, _, err := decodePutBatch(forged); err == nil {
 		t.Error("forged put-batch count: want error")
 	}
-	if _, err := decodeBatchResults(forged, nil); err == nil {
+	if _, err := decodeBatchResults(forged, nil, "test-node", "get"); err == nil {
 		t.Error("forged result count: want error")
 	}
 	// Count/ids mismatch must be rejected, not misattributed.
 	rb := encodeBatchResults([]store.ShardResult{{Data: []byte{1}}})
-	if _, err := decodeBatchResults(rb, testIDs("o", 0, 1)); err == nil {
+	if _, err := decodeBatchResults(rb, testIDs("o", 0, 1), "test-node", "get"); err == nil {
 		t.Error("result count mismatch: want error")
 	}
 	// Truncated frames.
@@ -624,7 +638,7 @@ func TestServerRejectsMalformedBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		status, _ := srv.handle(body)
+		status, _ := srv.handle(context.Background(), body)
 		if status != statusError {
 			t.Errorf("malformed batch payload %v: status = %d, want statusError", payload, status)
 		}

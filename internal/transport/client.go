@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -11,7 +12,8 @@ import (
 	"github.com/secarchive/sec/internal/store"
 )
 
-// defaultTimeout bounds each remote operation round trip.
+// defaultTimeout bounds each remote operation round trip when the caller's
+// context carries no (earlier) deadline.
 const defaultTimeout = 5 * time.Second
 
 // defaultPingTimeout bounds a liveness ping. Pings answer "is the node up
@@ -32,6 +34,12 @@ const defaultPoolSize = 4
 // framing.
 const maxBatchPutBytes = maxFrame - 64<<10
 
+// errClientClosed is the cause recorded when an operation hits a RemoteNode
+// whose Close has been called; it wraps into ErrNodeDown so retrieval
+// re-planning treats the torn-down client exactly like a transient node
+// failure.
+var errClientClosed = errors.New("transport: client closed")
+
 // poolConn is one pooled client connection with its buffered reader and
 // writer.
 type poolConn struct {
@@ -51,6 +59,14 @@ func (p *poolConn) close() {
 // transparently. Liveness pings use a dedicated connection with a short
 // deadline, so Available stays fast while transfers are in flight. It is
 // safe for concurrent use.
+//
+// Every operation honors its context: the context deadline (when earlier
+// than the per-operation timeout) becomes the wire deadline, and
+// cancellation interrupts the in-flight read or write immediately. A
+// connection whose RPC was cancelled mid-frame is retired, never returned
+// to the pool, so later operations see a clean connection. Cancellation
+// surfaces as the context's own error (wrapped in a *store.ShardError),
+// not as ErrNodeDown: a cancelled request says nothing about node health.
 type RemoteNode struct {
 	id          string
 	addr        string
@@ -60,9 +76,11 @@ type RemoteNode struct {
 
 	sem chan struct{} // caps connections checked out concurrently
 
-	mu   sync.Mutex
-	free []*poolConn // idle pooled connections
-	gen  int         // bumped by Close so in-flight connections retire instead of re-pooling
+	mu       sync.Mutex
+	free     []*poolConn            // idle pooled connections
+	inflight map[*poolConn]struct{} // connections checked out by running operations
+	gen      int                    // bumped by Close so in-flight connections retire instead of re-pooling
+	closed   bool                   // set by Close: operations fail fast with ErrNodeDown
 
 	pingMu   sync.Mutex
 	pingConn *poolConn // dedicated liveness connection
@@ -75,7 +93,8 @@ var _ store.StatsReporter = (*RemoteNode)(nil)
 // ClientOption configures a RemoteNode.
 type ClientOption func(*RemoteNode)
 
-// WithTimeout sets the per-operation deadline (default 5s).
+// WithTimeout sets the per-operation deadline applied when the caller's
+// context has no earlier one (default 5s).
 func WithTimeout(d time.Duration) ClientOption {
 	return func(n *RemoteNode) { n.timeout = d }
 }
@@ -106,6 +125,7 @@ func NewRemoteNode(id, addr string, opts ...ClientOption) *RemoteNode {
 		timeout:     defaultTimeout,
 		pingTimeout: defaultPingTimeout,
 		poolSize:    defaultPoolSize,
+		inflight:    make(map[*poolConn]struct{}),
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -121,19 +141,19 @@ func (n *RemoteNode) ID() string { return n.id }
 func (n *RemoteNode) Addr() string { return n.addr }
 
 // Put stores a shard on the remote node.
-func (n *RemoteNode) Put(id store.ShardID, data []byte) error {
-	_, err := n.roundTrip(request{op: opPut, id: id, payload: data})
+func (n *RemoteNode) Put(ctx context.Context, id store.ShardID, data []byte) error {
+	_, err := n.roundTrip(ctx, "put", request{op: opPut, id: id, payload: data})
 	return err
 }
 
 // Get fetches a shard from the remote node.
-func (n *RemoteNode) Get(id store.ShardID) ([]byte, error) {
-	return n.roundTrip(request{op: opGet, id: id})
+func (n *RemoteNode) Get(ctx context.Context, id store.ShardID) ([]byte, error) {
+	return n.roundTrip(ctx, "get", request{op: opGet, id: id})
 }
 
 // Delete removes a shard from the remote node.
-func (n *RemoteNode) Delete(id store.ShardID) error {
-	_, err := n.roundTrip(request{op: opDelete, id: id})
+func (n *RemoteNode) Delete(ctx context.Context, id store.ShardID) error {
+	_, err := n.roundTrip(ctx, "delete", request{op: opDelete, id: id})
 	return err
 }
 
@@ -141,56 +161,69 @@ func (n *RemoteNode) Delete(id store.ShardID) error {
 // batches are chunked). Per-shard outcomes come back independently, so one
 // missing or corrupt shard no longer costs the rest of the batch. Against
 // a server that cannot serve the batch (a pre-batching peer, or a response
-// that would outgrow the frame limit) it falls back to per-shard gets.
-func (n *RemoteNode) GetBatch(ids []store.ShardID) []store.ShardResult {
+// that would outgrow the frame limit) it falls back to per-shard gets; a
+// cancelled or timed-out batch fails outright with the context's error.
+func (n *RemoteNode) GetBatch(ctx context.Context, ids []store.ShardID) []store.ShardResult {
 	results := make([]store.ShardResult, len(ids))
 	for start := 0; start < len(ids); start += maxBatchShards {
 		end := min(start+maxBatchShards, len(ids))
-		n.getBatchChunk(ids[start:end], results[start:end])
+		n.getBatchChunk(ctx, ids[start:end], results[start:end])
 	}
 	return results
 }
 
-func (n *RemoteNode) getBatchChunk(ids []store.ShardID, out []store.ShardResult) {
+func (n *RemoteNode) getBatchChunk(ctx context.Context, ids []store.ShardID, out []store.ShardResult) {
 	body, err := encodeGetBatch(ids)
 	if err != nil {
-		n.getPerShard(ids, out)
+		n.getPerShard(ctx, ids, out)
 		return
 	}
-	payload, err := n.roundTrip(request{op: opGetBatch, payload: body})
+	payload, err := n.roundTrip(ctx, "get", request{op: opGetBatch, payload: body})
 	if err != nil {
-		if errors.Is(err, store.ErrNodeDown) {
-			for i := range out {
-				out[i] = store.ShardResult{Err: err}
+		if errors.Is(err, store.ErrNodeDown) || ctxCause(ctx) != nil {
+			for i, id := range ids {
+				out[i] = store.ShardResult{Err: n.batchErr("get", id, err)}
 			}
 			return
 		}
 		// The server answered but could not serve the batch (unknown op on
 		// an old peer, oversized response, malformed frame): degrade to
 		// per-shard operations instead of failing the shards.
-		n.getPerShard(ids, out)
+		n.getPerShard(ctx, ids, out)
 		return
 	}
-	results, err := decodeBatchResults(payload, ids)
+	results, err := decodeBatchResults(payload, ids, n.id, "get")
 	if err != nil {
-		n.getPerShard(ids, out)
+		n.getPerShard(ctx, ids, out)
 		return
 	}
 	copy(out, results)
 }
 
-func (n *RemoteNode) getPerShard(ids []store.ShardID, out []store.ShardResult) {
+func (n *RemoteNode) getPerShard(ctx context.Context, ids []store.ShardID, out []store.ShardResult) {
 	for i, id := range ids {
-		data, err := n.Get(id)
+		data, err := n.Get(ctx, id)
 		out[i] = store.ShardResult{Data: data, Err: err}
 	}
+}
+
+// batchErr re-attributes a whole-batch failure to one shard, preserving
+// the cause chain (ErrNodeDown, context errors) while naming the shard the
+// caller asked for.
+func (n *RemoteNode) batchErr(op string, id store.ShardID, err error) error {
+	cause := err
+	var se *store.ShardError
+	if errors.As(err, &se) && se.Err != nil {
+		cause = se.Err
+	}
+	return &store.ShardError{Node: n.id, Shard: id, Op: op, Err: cause}
 }
 
 // PutBatch stores several shards in one round trip per batch frame,
 // chunking on both shard count and payload volume so every frame stays
 // under the transport size limit. Like GetBatch, it degrades to per-shard
 // puts against servers that cannot serve the batch.
-func (n *RemoteNode) PutBatch(ids []store.ShardID, data [][]byte) []error {
+func (n *RemoteNode) PutBatch(ctx context.Context, ids []store.ShardID, data [][]byte) []error {
 	errs := make([]error, len(ids))
 	start := 0
 	for start < len(ids) {
@@ -203,32 +236,32 @@ func (n *RemoteNode) PutBatch(ids []store.ShardID, data [][]byte) []error {
 			size += entry
 			end++
 		}
-		n.putBatchChunk(ids[start:end], data[start:end], errs[start:end])
+		n.putBatchChunk(ctx, ids[start:end], data[start:end], errs[start:end])
 		start = end
 	}
 	return errs
 }
 
-func (n *RemoteNode) putBatchChunk(ids []store.ShardID, data [][]byte, out []error) {
+func (n *RemoteNode) putBatchChunk(ctx context.Context, ids []store.ShardID, data [][]byte, out []error) {
 	body, err := encodePutBatch(ids, data)
 	if err != nil {
-		n.putPerShard(ids, data, out)
+		n.putPerShard(ctx, ids, data, out)
 		return
 	}
-	payload, err := n.roundTrip(request{op: opPutBatch, payload: body})
+	payload, err := n.roundTrip(ctx, "put", request{op: opPutBatch, payload: body})
 	if err != nil {
-		if errors.Is(err, store.ErrNodeDown) {
-			for i := range out {
-				out[i] = err
+		if errors.Is(err, store.ErrNodeDown) || ctxCause(ctx) != nil {
+			for i, id := range ids {
+				out[i] = n.batchErr("put", id, err)
 			}
 			return
 		}
-		n.putPerShard(ids, data, out)
+		n.putPerShard(ctx, ids, data, out)
 		return
 	}
-	results, err := decodeBatchResults(payload, ids)
+	results, err := decodeBatchResults(payload, ids, n.id, "put")
 	if err != nil {
-		n.putPerShard(ids, data, out)
+		n.putPerShard(ctx, ids, data, out)
 		return
 	}
 	for i, res := range results {
@@ -236,49 +269,56 @@ func (n *RemoteNode) putBatchChunk(ids []store.ShardID, data [][]byte, out []err
 	}
 }
 
-func (n *RemoteNode) putPerShard(ids []store.ShardID, data [][]byte, out []error) {
+func (n *RemoteNode) putPerShard(ctx context.Context, ids []store.ShardID, data [][]byte, out []error) {
 	for i, id := range ids {
-		out[i] = n.Put(id, data[i])
+		out[i] = n.Put(ctx, id, data[i])
 	}
 }
 
-// Available reports whether the remote node answers a ping and is up. The
-// ping runs on its own connection with its own short deadline, so liveness
-// probes stay fast even while every pooled connection is busy with bulk
-// transfers.
-func (n *RemoteNode) Available() bool {
+// Available reports whether the remote node answers a ping and is up
+// within the ping timeout and the context's deadline, whichever is
+// earlier. The ping runs on its own connection with its own short
+// deadline, so liveness probes stay fast even while every pooled
+// connection is busy with bulk transfers.
+func (n *RemoteNode) Available(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
 	body, err := encodeRequest(request{op: opPing})
 	if err != nil {
 		return false
 	}
 	n.pingMu.Lock()
 	defer n.pingMu.Unlock()
-	deadline := time.Now().Add(n.pingTimeout)
+	if n.isClosed() {
+		return false
+	}
+	deadline := earliestDeadline(ctx, n.pingTimeout)
 	reused := n.pingConn != nil
 	if n.pingConn == nil {
-		cn, err := n.dial(n.pingTimeout)
+		cn, err := n.dialDeadline(deadline)
 		if err != nil {
 			return false
 		}
 		n.pingConn = cn
 	}
-	status, _, err := exchangeOn(n.pingConn, body, deadline)
-	if err != nil && reused {
+	status, _, clean, err := n.exchangeCtx(ctx, n.pingConn, body, deadline)
+	if err != nil && reused && ctx.Err() == nil {
 		// The kept-alive ping connection may be stale (server restarted);
 		// retry exactly once on a fresh dial.
 		n.pingConn.close()
 		n.pingConn = nil
-		cn, derr := n.dial(n.pingTimeout)
+		cn, derr := n.dialDeadline(deadline)
 		if derr != nil {
 			return false
 		}
 		n.pingConn = cn
-		status, _, err = exchangeOn(n.pingConn, body, deadline)
+		status, _, clean, err = n.exchangeCtx(ctx, n.pingConn, body, deadline)
 	}
-	if err != nil {
+	if err != nil || !clean {
 		n.pingConn.close()
 		n.pingConn = nil
-		return false
+		return err == nil && status == statusOK
 	}
 	return status == statusOK
 }
@@ -287,7 +327,7 @@ func (n *RemoteNode) Available() bool {
 // failures yield zero counters to satisfy the store.Node interface; use
 // StatsErr when "unreachable" must be distinguishable from "idle".
 func (n *RemoteNode) Stats() store.NodeStats {
-	stats, _ := n.StatsErr()
+	stats, _ := n.StatsErr(context.Background())
 	return stats
 }
 
@@ -295,8 +335,8 @@ func (n *RemoteNode) Stats() store.NodeStats {
 // decode failures instead of swallowing them into zeros. Aggregators
 // (store.Cluster.TotalStatsChecked) use it to flag unreachable nodes so
 // experiment I/O accounting is never silently short.
-func (n *RemoteNode) StatsErr() (store.NodeStats, error) {
-	payload, err := n.roundTrip(request{op: opStats})
+func (n *RemoteNode) StatsErr(ctx context.Context) (store.NodeStats, error) {
+	payload, err := n.roundTrip(ctx, "stats", request{op: opStats})
 	if err != nil {
 		return store.NodeStats{}, err
 	}
@@ -309,19 +349,30 @@ func (n *RemoteNode) StatsErr() (store.NodeStats, error) {
 
 // ResetStats zeroes the remote node's I/O counters (best effort).
 func (n *RemoteNode) ResetStats() {
-	_, _ = n.roundTrip(request{op: opResetStats})
+	_, _ = n.roundTrip(context.Background(), "stats", request{op: opResetStats})
 }
 
-// Close tears down the node's idle pooled connections and the ping
-// connection. Connections checked out by in-flight operations close when
-// those operations finish; further operations re-dial.
+// Close tears down every connection - idle, checked out by an in-flight
+// operation, and the ping connection - and fails future operations fast.
+// An in-flight RPC whose connection is torn mid-frame surfaces ErrNodeDown
+// (wrapping errClientClosed and the I/O cause), never a bare I/O error, so
+// retrieval re-planning treats the closed client exactly like a transient
+// node failure. The node does not re-dial afterwards.
 func (n *RemoteNode) Close() error {
 	n.mu.Lock()
 	free := n.free
 	n.free = nil
-	n.gen++ // connections checked out right now close instead of re-pooling
+	inflight := make([]*poolConn, 0, len(n.inflight))
+	for cn := range n.inflight {
+		inflight = append(inflight, cn)
+	}
+	n.gen++ // connections checked out right now retire instead of re-pooling
+	n.closed = true
 	n.mu.Unlock()
 	for _, cn := range free {
+		cn.close()
+	}
+	for _, cn := range inflight {
 		cn.close()
 	}
 	n.pingMu.Lock()
@@ -333,43 +384,114 @@ func (n *RemoteNode) Close() error {
 	return nil
 }
 
+func (n *RemoteNode) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// opErr classifies a failed round trip: a done context surfaces its own
+// error (cancellation is a property of the request), everything else is
+// attributed to the node as ErrNodeDown so healing treats it as a
+// transient node failure.
+func (n *RemoteNode) opErr(ctx context.Context, op string, id store.ShardID, cause error) error {
+	if ctxErr := ctxCause(ctx); ctxErr != nil {
+		return &store.ShardError{Node: n.id, Shard: id, Op: op, Err: ctxErr}
+	}
+	return &store.ShardError{Node: n.id, Shard: id, Op: op, Err: fmt.Errorf("%w: %w", store.ErrNodeDown, cause)}
+}
+
 // roundTrip sends one request frame and reads one response frame over a
 // pooled connection, re-dialing once if a kept-alive connection turns out
 // to be stale (the server restarted since the last operation; Put/Get/
 // Ping/Stats are idempotent, and a Delete whose first attempt was applied
 // but whose response was lost reports ErrNotFound on the retry, which
 // callers already treat as "gone" - at-least-once semantics).
-func (n *RemoteNode) roundTrip(req request) ([]byte, error) {
+//
+// The wire deadline is the earlier of the per-operation timeout and the
+// context's deadline; cancellation interrupts the exchange immediately and
+// the connection is retired instead of re-pooled.
+func (n *RemoteNode) roundTrip(ctx context.Context, op string, req request) ([]byte, error) {
 	body, err := encodeRequest(req)
 	if err != nil {
 		return nil, err
 	}
-	n.sem <- struct{}{}
-	defer func() { <-n.sem }()
-	deadline := time.Now().Add(n.timeout)
-	cn, reused, gen, err := n.takeConn()
-	if err != nil {
-		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
+	select {
+	case n.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, n.opErr(ctx, op, req.id, ctx.Err())
 	}
-	status, payload, err := exchangeOn(cn, body, deadline)
-	if err != nil && reused {
-		cn.close()
-		if cn, err = n.dial(n.timeout); err == nil {
-			status, payload, err = exchangeOn(cn, body, deadline)
+	defer func() { <-n.sem }()
+	deadline := earliestDeadline(ctx, n.timeout)
+	cn, reused, gen, err := n.takeConn(deadline)
+	if err != nil {
+		return nil, n.opErr(ctx, op, req.id, err)
+	}
+	status, payload, clean, err := n.exchangeCtx(ctx, cn, body, deadline)
+	if err != nil && reused && ctxCause(ctx) == nil && !n.isClosed() {
+		n.retireConn(cn)
+		if cn, err = n.dialConn(deadline); err == nil {
+			status, payload, clean, err = n.exchangeCtx(ctx, cn, body, deadline)
+		} else {
+			cn = nil
 		}
 	}
 	if err != nil {
 		if cn != nil {
-			cn.close()
+			n.retireConn(cn)
 		}
-		return nil, fmt.Errorf("node %s: %w: %w", n.id, store.ErrNodeDown, err)
+		return nil, n.opErr(ctx, op, req.id, err)
 	}
-	n.putConn(cn, gen)
-	if err := errorFor(status, payload, req.id); err != nil {
+	if !clean {
+		n.retireConn(cn)
+	} else {
+		n.putConn(cn, gen)
+	}
+	if err := errorFor(status, payload, n.id, op, req.id); err != nil {
 		return nil, err
 	}
 	// Copy out of the frame buffer so callers own the result.
 	return append([]byte(nil), payload...), nil
+}
+
+// exchangeCtx runs one request/response exchange under both the wire
+// deadline and the context: if the context is cancelled mid-exchange, the
+// connection's deadline is pulled into the past, failing the blocked read
+// or write immediately. clean reports whether the connection is still fit
+// for re-pooling; it is false on any error (a partial frame may be on the
+// wire) and on the rare race where the exchange succeeded but the
+// cancellation callback had already started - the conn must then be
+// retired so the callback cannot poison a later operation's deadline.
+func (n *RemoteNode) exchangeCtx(ctx context.Context, cn *poolConn, body []byte, deadline time.Time) (status byte, payload []byte, clean bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, true, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		_ = cn.c.SetDeadline(time.Unix(1, 0)) // interrupt the in-flight read/write
+	})
+	status, payload, err = exchangeOn(cn, body, deadline)
+	clean = stop() && err == nil
+	if err != nil {
+		if cause := ctxCause(ctx); cause != nil {
+			err = cause
+		}
+	}
+	return status, payload, clean, err
+}
+
+// ctxCause reports why a failed exchange should be attributed to the
+// context: its Err when done, or DeadlineExceeded when its deadline has
+// passed even though the context timer has not fired yet (the net poller
+// and the context run on separate timers, so a wire deadline copied from
+// the context can expire a moment before ctx.Err() flips).
+func ctxCause(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // exchangeOn writes one request frame and reads one logical response on
@@ -405,28 +527,63 @@ func exchangeOn(cn *poolConn, body []byte, deadline time.Time) (byte, []byte, er
 	}
 }
 
-// takeConn pops an idle pooled connection or dials a new one, returning
-// the pool generation the connection belongs to. The caller must hold a
-// sem slot, which caps checked-out connections at poolSize.
-func (n *RemoteNode) takeConn() (cn *poolConn, reused bool, gen int, err error) {
+// takeConn pops an idle pooled connection or dials a new one, registering
+// it as in-flight so Close can tear it down, and returns the pool
+// generation it belongs to. The caller must hold a sem slot, which caps
+// checked-out connections at poolSize. After Close it fails with
+// errClientClosed instead of resurrecting the pool.
+func (n *RemoteNode) takeConn(deadline time.Time) (cn *poolConn, reused bool, gen int, err error) {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, false, 0, errClientClosed
+	}
 	gen = n.gen
 	if len(n.free) > 0 {
 		cn = n.free[len(n.free)-1]
 		n.free = n.free[:len(n.free)-1]
+		n.inflight[cn] = struct{}{}
 	}
 	n.mu.Unlock()
 	if cn != nil {
 		return cn, true, gen, nil
 	}
-	cn, err = n.dial(n.timeout)
+	cn, err = n.dialConn(deadline)
 	return cn, false, gen, err
+}
+
+// dialConn dials a fresh connection and registers it as in-flight; if
+// Close ran while the dial was outstanding, the connection is torn down
+// and errClientClosed returned.
+func (n *RemoteNode) dialConn(deadline time.Time) (*poolConn, error) {
+	cn, err := n.dialDeadline(deadline)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		cn.close()
+		return nil, errClientClosed
+	}
+	n.inflight[cn] = struct{}{}
+	n.mu.Unlock()
+	return cn, nil
+}
+
+// retireConn drops a checked-out connection for good.
+func (n *RemoteNode) retireConn(cn *poolConn) {
+	n.mu.Lock()
+	delete(n.inflight, cn)
+	n.mu.Unlock()
+	cn.close()
 }
 
 // putConn returns a healthy connection to the pool, unless Close ran
 // since it was taken (the generation moved on) or the pool is full.
 func (n *RemoteNode) putConn(cn *poolConn, gen int) {
 	n.mu.Lock()
+	delete(n.inflight, cn)
 	if gen == n.gen && len(n.free) < n.poolSize {
 		n.free = append(n.free, cn)
 		cn = nil
@@ -437,10 +594,27 @@ func (n *RemoteNode) putConn(cn *poolConn, gen int) {
 	}
 }
 
-func (n *RemoteNode) dial(timeout time.Duration) (*poolConn, error) {
+// dialDeadline dials the node, giving up at the wire deadline. A deadline
+// already in the past fails immediately (net.DialTimeout would read a
+// non-positive timeout as "no timeout").
+func (n *RemoteNode) dialDeadline(deadline time.Time) (*poolConn, error) {
+	timeout := time.Until(deadline)
+	if timeout <= 0 {
+		return nil, context.DeadlineExceeded
+	}
 	c, err := net.DialTimeout("tcp", n.addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	return &poolConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+// earliestDeadline returns now+fallback or the context's deadline,
+// whichever comes first.
+func earliestDeadline(ctx context.Context, fallback time.Duration) time.Time {
+	deadline := time.Now().Add(fallback)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	return deadline
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/secarchive/sec/internal/store"
@@ -73,7 +74,7 @@ func FuzzServerHandle(f *testing.F) {
 	f.Add([]byte{opResetStats, 0, 0, 0, 0, 0, 0})
 	srv := NewServer(store.NewMemNode("fuzz"))
 	f.Fuzz(func(t *testing.T, body []byte) {
-		status, payload := srv.handle(body)
+		status, payload := srv.handle(context.Background(), body)
 		if _, _, err := decodeResponse(encodeResponse(status, payload)); err != nil {
 			t.Fatalf("response does not decode: %v", err)
 		}
@@ -169,7 +170,7 @@ func FuzzDecodeBatchResults(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 2, 0xEE, 0, 0, 0, 0, 7, 0, 0, 0, 0}) // unknown status byte
 	f.Add([]byte{0, 0, 0, 2, 0, 0xFF, 0xFF, 0xFF, 0xFF})       // forged chunk length
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		results, err := decodeBatchResults(payload, ids)
+		results, err := decodeBatchResults(payload, ids, "test-node", "get")
 		if err != nil {
 			return
 		}

@@ -13,6 +13,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -295,7 +296,8 @@ func decodePutBatch(payload []byte) ([]store.ShardID, [][]byte, error) {
 }
 
 // encodeBatchResults renders per-shard outcomes: shard data for successful
-// gets, error text otherwise. Put batches pass nil Data throughout.
+// gets, a wire error (with ShardError provenance when present) otherwise.
+// Put batches pass nil Data throughout.
 func encodeBatchResults(results []store.ShardResult) []byte {
 	size := 4
 	for _, res := range results {
@@ -312,7 +314,7 @@ func encodeBatchResults(results []store.ShardResult) []byte {
 			body = append(body, res.Data...)
 			continue
 		}
-		msg := res.Err.Error()
+		msg := encodeWireError(res.Err)
 		body = binary.BigEndian.AppendUint32(body, uint32(len(msg)))
 		body = append(body, msg...)
 	}
@@ -322,7 +324,9 @@ func encodeBatchResults(results []store.ShardResult) []byte {
 // decodeBatchResults parses a batch response into per-shard results
 // aligned with ids; the response count must match len(ids) exactly, so a
 // truncated or padded response is rejected rather than misattributed.
-func decodeBatchResults(payload []byte, ids []store.ShardID) ([]store.ShardResult, error) {
+// node and op provide the client-side provenance for error entries whose
+// payload carries none.
+func decodeBatchResults(payload []byte, ids []store.ShardID, node, op string) ([]store.ShardResult, error) {
 	count, p, err := readBatchCount(payload, 5)
 	if err != nil {
 		return nil, err
@@ -345,7 +349,7 @@ func decodeBatchResults(payload []byte, ids []store.ShardID) ([]store.ShardResul
 			results[i] = store.ShardResult{Data: append([]byte(nil), chunk...)}
 			continue
 		}
-		results[i] = store.ShardResult{Err: errorFor(status, chunk, ids[i])}
+		results[i] = store.ShardResult{Err: errorFor(status, chunk, node, op, ids[i])}
 	}
 	if len(p) != 0 {
 		return nil, errBatchMalformed
@@ -398,18 +402,122 @@ func statusFor(err error) byte {
 	}
 }
 
-// errorFor maps wire status codes back onto node errors.
-func errorFor(status byte, payload []byte, id store.ShardID) error {
-	switch status {
-	case statusOK:
+// Error provenance framing. An error payload (the body of a non-OK
+// response, or the bytes of a failed batch entry) is either plain message
+// text (legacy peers) or a structured record carrying the server-side
+// *store.ShardError provenance, marked by a magic prefix no log-style
+// message starts with:
+//
+//	error payload := "SE1\x00" u8(len(node)) node u8(len(op)) op
+//	                 u16(len(object)) object i32(row) message
+//
+// The client decodes the record back into a ShardError, so errors.As names
+// the node and shard that actually failed even across the wire; payloads
+// without the magic fall back to client-side provenance.
+var wireErrMagic = []byte("SE1\x00")
+
+// encodeWireError renders an error for the wire, embedding ShardError
+// provenance when the error carries it.
+func encodeWireError(err error) []byte {
+	if err == nil {
 		return nil
-	case statusNotFound:
-		return fmt.Errorf("remote %v: %w", id, store.ErrNotFound)
-	case statusNodeDown:
-		return fmt.Errorf("remote %v: %w", id, store.ErrNodeDown)
-	case statusCorrupt:
-		return fmt.Errorf("remote %v: %w: %s", id, store.ErrCorrupt, payload)
-	default:
-		return fmt.Errorf("remote %v: %s", id, payload)
 	}
+	msg := err.Error()
+	var se *store.ShardError
+	if !errors.As(err, &se) || len(se.Node) > 0xFF || len(se.Op) > 0xFF || len(se.Shard.Object) > 0xFFFF {
+		return []byte(msg)
+	}
+	if cause := se.Err; cause != nil {
+		// The provenance fields travel structurally; the message only needs
+		// the cause chain below the ShardError.
+		msg = cause.Error()
+	}
+	body := make([]byte, 0, len(wireErrMagic)+1+len(se.Node)+1+len(se.Op)+2+len(se.Shard.Object)+4+len(msg))
+	body = append(body, wireErrMagic...)
+	body = append(body, byte(len(se.Node)))
+	body = append(body, se.Node...)
+	body = append(body, byte(len(se.Op)))
+	body = append(body, se.Op...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(se.Shard.Object)))
+	body = append(body, se.Shard.Object...)
+	body = binary.BigEndian.AppendUint32(body, uint32(int32(se.Shard.Row)))
+	body = append(body, msg...)
+	return body
+}
+
+// decodeWireError splits an error payload into its provenance (ok reports
+// whether the payload carried one) and message text.
+func decodeWireError(payload []byte) (node, op string, id store.ShardID, msg string, ok bool) {
+	p, found := bytes.CutPrefix(payload, wireErrMagic)
+	if !found {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	take := func(n int) ([]byte, bool) {
+		if len(p) < n {
+			return nil, false
+		}
+		chunk := p[:n]
+		p = p[n:]
+		return chunk, true
+	}
+	lenByte, ok1 := take(1)
+	if !ok1 {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	nodeRaw, ok1 := take(int(lenByte[0]))
+	if !ok1 {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	lenByte, ok1 = take(1)
+	if !ok1 {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	opRaw, ok1 := take(int(lenByte[0]))
+	if !ok1 {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	lenWord, ok1 := take(2)
+	if !ok1 {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	objRaw, ok1 := take(int(binary.BigEndian.Uint16(lenWord)))
+	if !ok1 {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	rowRaw, ok1 := take(4)
+	if !ok1 {
+		return "", "", store.ShardID{}, string(payload), false
+	}
+	id = store.ShardID{Object: string(objRaw), Row: int(int32(binary.BigEndian.Uint32(rowRaw)))}
+	return string(nodeRaw), string(opRaw), id, string(p), true
+}
+
+// errorFor maps a wire status and error payload back onto a *store.
+// ShardError wrapping the matching sentinel. Provenance embedded in the
+// payload wins; otherwise the client-side node ID, operation, and shard
+// requested fill in.
+func errorFor(status byte, payload []byte, node, op string, id store.ShardID) error {
+	if status == statusOK {
+		return nil
+	}
+	if wnode, wop, wid, msg, ok := decodeWireError(payload); ok {
+		node, op, id = wnode, wop, wid
+		payload = []byte(msg)
+	}
+	var cause error
+	switch status {
+	case statusNotFound:
+		cause = store.ErrNotFound
+	case statusNodeDown:
+		cause = store.ErrNodeDown
+	case statusCorrupt:
+		cause = store.ErrCorrupt
+	}
+	switch {
+	case cause == nil:
+		cause = fmt.Errorf("remote: %s", payload)
+	case len(payload) > 0 && string(payload) != cause.Error():
+		cause = fmt.Errorf("%w: remote: %s", cause, payload)
+	}
+	return &store.ShardError{Node: node, Shard: id, Op: op, Err: cause}
 }

@@ -2,12 +2,14 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/secarchive/sec/internal/store"
 )
@@ -17,6 +19,12 @@ import (
 type Server struct {
 	node   store.Node
 	logger *log.Logger
+
+	// ops is the base context handed to every node operation; cancelOps
+	// aborts in-flight operations when the server is force-closed (Close,
+	// or a Shutdown whose drain deadline expired).
+	ops       context.Context
+	cancelOps context.CancelFunc
 
 	reqs requestCounters
 
@@ -78,6 +86,7 @@ func WithLogger(l *log.Logger) ServerOption {
 // NewServer returns a server exposing the given node.
 func NewServer(node store.Node, opts ...ServerOption) *Server {
 	s := &Server{node: node, conns: make(map[net.Conn]struct{})}
+	s.ops, s.cancelOps = context.WithCancel(context.Background())
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -137,9 +146,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		body, err := readFrame(r)
 		if err != nil {
-			return // EOF or broken peer: drop the connection
+			return // EOF, broken peer, or drain deadline: drop the connection
 		}
-		status, payload := s.handle(body)
+		status, payload := s.handle(s.ops, body)
 		// A logical response larger than one frame (a get batch whose
 		// shards together exceed maxFrame) is split across continuation
 		// frames; the terminal frame carries the real status.
@@ -158,7 +167,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(body []byte) (status byte, payload []byte) {
+func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload []byte) {
 	req, err := decodeRequest(body)
 	if err != nil {
 		return statusError, []byte(err.Error())
@@ -166,22 +175,22 @@ func (s *Server) handle(body []byte) (status byte, payload []byte) {
 	switch req.op {
 	case opPut:
 		s.reqs.puts.Add(1)
-		err := s.node.Put(req.id, req.payload)
-		return s.report(err), errText(err)
+		err := s.node.Put(ctx, req.id, req.payload)
+		return s.report(err), encodeWireError(err)
 	case opGet:
 		s.reqs.gets.Add(1)
-		data, err := s.node.Get(req.id)
+		data, err := s.node.Get(ctx, req.id)
 		if err != nil {
-			return s.report(err), errText(err)
+			return s.report(err), encodeWireError(err)
 		}
 		return statusOK, data
 	case opDelete:
 		s.reqs.deletes.Add(1)
-		err := s.node.Delete(req.id)
-		return s.report(err), errText(err)
+		err := s.node.Delete(ctx, req.id)
+		return s.report(err), encodeWireError(err)
 	case opPing:
 		s.reqs.pings.Add(1)
-		if !s.node.Available() {
+		if !s.node.Available(ctx) {
 			return statusNodeDown, nil
 		}
 		return statusOK, nil
@@ -198,7 +207,7 @@ func (s *Server) handle(body []byte) (status byte, payload []byte) {
 		}
 		s.reqs.getBatches.Add(1)
 		s.reqs.getBatchShards.Add(uint64(len(ids)))
-		return statusOK, encodeBatchResults(store.GetShards(s.node, ids))
+		return statusOK, encodeBatchResults(store.GetShards(ctx, s.node, ids))
 	case opPutBatch:
 		ids, data, err := decodePutBatch(req.payload)
 		if err != nil {
@@ -207,7 +216,7 @@ func (s *Server) handle(body []byte) (status byte, payload []byte) {
 		s.reqs.putBatches.Add(1)
 		s.reqs.putBatchShards.Add(uint64(len(ids)))
 		results := make([]store.ShardResult, len(ids))
-		for i, err := range store.PutShards(s.node, ids, data) {
+		for i, err := range store.PutShards(ctx, s.node, ids, data) {
 			results[i] = store.ShardResult{Err: err}
 		}
 		return statusOK, encodeBatchResults(results)
@@ -224,36 +233,93 @@ func (s *Server) report(err error) byte {
 	return status
 }
 
-func errText(err error) []byte {
-	if err == nil {
-		return nil
-	}
-	return []byte(err.Error())
-}
-
-// Close stops accepting connections, closes active ones, and waits for the
-// handler goroutines to exit. It is idempotent.
-func (s *Server) Close() error {
+// beginClose marks the server closed and returns the listener and a
+// snapshot of the active connections, or ok=false when it was already
+// closed.
+func (s *Server) beginClose() (ln net.Listener, conns []net.Conn, ok bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return nil
+		return nil, nil, false
 	}
 	s.closed = true
-	ln := s.listener
+	ln = s.listener
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	return ln, conns, true
+}
+
+// connSnapshot returns the connections still being served.
+func (s *Server) connSnapshot() []net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
-	s.mu.Unlock()
+	return conns
+}
 
+// Close stops accepting connections, cancels in-flight node operations,
+// closes active connections, and waits for the handler goroutines to exit.
+// It is idempotent. Use Shutdown to drain in-flight requests instead of
+// aborting them.
+func (s *Server) Close() error {
+	ln, conns, ok := s.beginClose()
+	if !ok {
+		s.wg.Wait()
+		return nil
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	s.cancelOps()
 	for _, c := range conns {
 		_ = c.Close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// lets every request already in flight finish and flush its response, and
+// closes each connection once it goes idle. If the context expires before
+// the drain completes, the remaining operations are cancelled and their
+// connections force-closed, and the context's error is returned. Like
+// Close, it is idempotent (a concurrent or prior Close/Shutdown wins).
+func (s *Server) Shutdown(ctx context.Context) error {
+	ln, conns, ok := s.beginClose()
+	if !ok {
+		s.wg.Wait()
+		return nil
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	// Poison reads on every open connection: an idle conn fails its next
+	// readFrame immediately and closes; a conn mid-request finishes the
+	// request, writes the response, and then fails the next read. Requests
+	// never block on the read deadline - only the wait between them does.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Unix(1, 0))
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.cancelOps()
+		for _, c := range s.connSnapshot() {
+			_ = c.Close()
+		}
+		<-done
+		return ctx.Err()
+	}
 }

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+func TestShutdownDrainsInFlightRequest(t *testing.T) {
+	node := &blockingNode{
+		MemNode: store.NewMemNode("slow"),
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	id := store.ShardID{Object: "o", Row: 0}
+	if err := node.MemNode.Put(context.Background(), id, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(node)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewRemoteNode("remote", addr.String(), WithTimeout(10*time.Second))
+	t.Cleanup(func() { _ = client.Close() })
+
+	got := make(chan error, 1)
+	go func() {
+		data, err := client.Get(context.Background(), id)
+		if err == nil && len(data) != 1 {
+			err = errors.New("wrong payload")
+		}
+		got <- err
+	}()
+	<-node.entered // request is in flight
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+	// The drain must wait for the in-flight request, not abort it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v while a request was in flight", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+	close(node.release)
+	if err := <-got; err != nil {
+		t.Errorf("in-flight request during graceful shutdown: %v, want success", err)
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Errorf("Shutdown = %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not complete after the request drained")
+	}
+	// The listener is gone: new operations fail.
+	if _, err := client.Get(context.Background(), id); err == nil {
+		t.Error("Get after Shutdown succeeded, want connection failure")
+	}
+}
+
+func TestShutdownDeadlineForceCloses(t *testing.T) {
+	node := &blockingNode{
+		MemNode: store.NewMemNode("slow"),
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	defer close(node.release)
+	id := store.ShardID{Object: "o", Row: 0}
+	if err := node.MemNode.Put(context.Background(), id, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(node)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewRemoteNode("remote", addr.String(), WithTimeout(10*time.Second))
+	t.Cleanup(func() { _ = client.Close() })
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := client.Get(context.Background(), id)
+		got <- err
+	}()
+	<-node.entered // request is parked and will never finish on its own
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("Shutdown took %v despite its drain deadline", elapsed)
+	}
+	if err := <-got; err == nil {
+		t.Error("parked request survived a force-closed shutdown")
+	}
+}

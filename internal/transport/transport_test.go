@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"os"
@@ -32,20 +33,20 @@ func TestRemotePutGetDelete(t *testing.T) {
 	_, client := startServer(t)
 	id := store.ShardID{Object: "arch/v1", Row: 3}
 	payload := []byte{1, 2, 3, 4, 5}
-	if err := client.Put(id, payload); err != nil {
+	if err := client.Put(context.Background(), id, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(id)
+	got, err := client.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Errorf("Get = %v, want %v", got, payload)
 	}
-	if err := client.Delete(id); err != nil {
+	if err := client.Delete(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Get(id); !errors.Is(err, store.ErrNotFound) {
+	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNotFound) {
 		t.Errorf("Get after delete: err = %v, want ErrNotFound", err)
 	}
 }
@@ -57,10 +58,10 @@ func TestRemoteLargePayload(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	if err := client.Put(id, payload); err != nil {
+	if err := client.Put(context.Background(), id, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(id)
+	got, err := client.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,10 +73,10 @@ func TestRemoteLargePayload(t *testing.T) {
 func TestRemoteEmptyPayloadAndObject(t *testing.T) {
 	_, client := startServer(t)
 	id := store.ShardID{Object: "", Row: -2}
-	if err := client.Put(id, nil); err != nil {
+	if err := client.Put(context.Background(), id, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(id)
+	got, err := client.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,14 +89,14 @@ func TestRemoteNodeDownPropagates(t *testing.T) {
 	mem, client := startServer(t)
 	mem.SetFailed(true)
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(id, []byte{1}); !errors.Is(err, store.ErrNodeDown) {
+	if err := client.Put(context.Background(), id, []byte{1}); !errors.Is(err, store.ErrNodeDown) {
 		t.Errorf("Put on failed node: err = %v, want ErrNodeDown", err)
 	}
-	if client.Available() {
+	if client.Available(context.Background()) {
 		t.Error("Available = true for failed backing node")
 	}
 	mem.SetFailed(false)
-	if !client.Available() {
+	if !client.Available(context.Background()) {
 		t.Error("Available = false after heal")
 	}
 }
@@ -103,10 +104,10 @@ func TestRemoteNodeDownPropagates(t *testing.T) {
 func TestRemoteStats(t *testing.T) {
 	mem, client := startServer(t)
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(id, []byte{1, 2}); err != nil {
+	if err := client.Put(context.Background(), id, []byte{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Get(id); err != nil {
+	if _, err := client.Get(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 	got := client.Stats()
@@ -157,11 +158,11 @@ func TestRemoteCorruptShardPropagates(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(id, []byte("soon to rot")); err != nil {
+	if err := client.Put(context.Background(), id, []byte("soon to rot")); err != nil {
 		t.Fatal(err)
 	}
 	corruptOneShardFile(t, disk)
-	_, err = client.Get(id)
+	_, err = client.Get(context.Background(), id)
 	if !errors.Is(err, store.ErrCorrupt) {
 		t.Errorf("Get = %v, want ErrCorrupt", err)
 	}
@@ -174,7 +175,7 @@ func TestStatusCorruptCodec(t *testing.T) {
 	if got := statusFor(store.ErrCorrupt); got != statusCorrupt {
 		t.Errorf("statusFor(ErrCorrupt) = %d, want %d", got, statusCorrupt)
 	}
-	err := errorFor(statusCorrupt, []byte("CRC mismatch"), store.ShardID{Object: "o", Row: 1})
+	err := errorFor(statusCorrupt, []byte("CRC mismatch"), "n0", "get", store.ShardID{Object: "o", Row: 1})
 	if !errors.Is(err, store.ErrCorrupt) {
 		t.Errorf("errorFor(statusCorrupt) = %v", err)
 	}
@@ -183,10 +184,10 @@ func TestStatusCorruptCodec(t *testing.T) {
 func TestRemoteStatsErr(t *testing.T) {
 	mem, client := startServer(t)
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(id, []byte{1, 2, 3}); err != nil {
+	if err := client.Put(context.Background(), id, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := client.StatsErr()
+	stats, err := client.StatsErr(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestRemoteStatsErrReportsUnreachable(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.StatsErr(); err == nil {
+	if _, err := client.StatsErr(context.Background()); err == nil {
 		t.Error("StatsErr against dead server: want error")
 	}
 	// The legacy interface shim still degrades to zeros.
@@ -230,13 +231,13 @@ func TestClusterTotalStatsCheckedFlagsDeadRemote(t *testing.T) {
 	t.Cleanup(func() { _ = clientB.Close() })
 
 	c := store.NewCluster([]store.Node{clientA, clientB})
-	if err := c.Put(0, store.ShardID{Object: "o", Row: 0}, []byte{9, 9}); err != nil {
+	if err := c.Put(context.Background(), 0, store.ShardID{Object: "o", Row: 0}, []byte{9, 9}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srvB.Close(); err != nil {
 		t.Fatal(err)
 	}
-	total, unreachable := c.TotalStatsChecked()
+	total, unreachable := c.TotalStatsChecked(context.Background())
 	if total.Writes != 1 || total.BytesWritten != 2 {
 		t.Errorf("total = %+v", total)
 	}
@@ -256,11 +257,11 @@ func TestRemoteConcurrentClients(t *testing.T) {
 			id := store.ShardID{Object: "o", Row: g}
 			for i := 0; i < 30; i++ {
 				want := []byte{byte(g), byte(i)}
-				if err := client.Put(id, want); err != nil {
+				if err := client.Put(context.Background(), id, want); err != nil {
 					t.Error(err)
 					return
 				}
-				got, err := client.Get(id)
+				got, err := client.Get(context.Background(), id)
 				if err != nil {
 					t.Error(err)
 					return
@@ -285,16 +286,16 @@ func TestRemoteReconnectsAfterServerRestart(t *testing.T) {
 	client := NewRemoteNode("remote", addr.String(), WithTimeout(time.Second))
 	t.Cleanup(func() { _ = client.Close() })
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(id, []byte{1}); err != nil {
+	if err := client.Put(context.Background(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Get(id); !errors.Is(err, store.ErrNodeDown) {
+	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) {
 		t.Fatalf("Get with server down: err = %v, want ErrNodeDown", err)
 	}
-	if client.Available() {
+	if client.Available(context.Background()) {
 		t.Error("Available = true with server down")
 	}
 	// Restart on the same address; the client must re-dial transparently.
@@ -303,7 +304,7 @@ func TestRemoteReconnectsAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv2.Close() })
-	got, err := client.Get(id)
+	got, err := client.Get(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,17 +318,17 @@ func TestRemoteNodeInCluster(t *testing.T) {
 	_, client := startServer(t)
 	c := store.NewCluster([]store.Node{client})
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := c.Put(0, id, []byte{42}); err != nil {
+	if err := c.Put(context.Background(), 0, id, []byte{42}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get(0, id)
+	got, err := c.Get(context.Background(), 0, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, []byte{42}) {
 		t.Error("cluster round trip through remote node failed")
 	}
-	if !c.Available(0) {
+	if !c.Available(context.Background(), 0) {
 		t.Error("remote node not available through cluster")
 	}
 }

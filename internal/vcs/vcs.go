@@ -11,6 +11,7 @@
 package vcs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -127,12 +128,16 @@ func (r *Repository) Files() []string {
 	return paths
 }
 
-// Commit stores the given file contents as a new revision. Unchanged
-// tracked files carry over; paths whose content equals the stored latest
-// version still get a (zero-delta) version so the revision maps cleanly.
-// It fails without side effects on the revision history if any file cannot
-// be stored.
-func (r *Repository) Commit(message string, contents map[string][]byte) (Commit, error) {
+// CommitContext stores the given file contents as a new revision, under
+// the context's deadline and cancellation. Unchanged tracked files carry
+// over; paths whose content equals the stored latest version still get a
+// (zero-delta) version so the revision maps cleanly. A commit that fails
+// partway (a storage error, or cancellation between files) records no
+// revision and untracks any paths it was adding, so the repository's
+// visible state is unchanged; archive versions already stored for earlier
+// files in the batch remain on the nodes as unreferenced garbage until
+// the commit is retried (which overwrites the same shard objects).
+func (r *Repository) CommitContext(ctx context.Context, message string, contents map[string][]byte) (Commit, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(contents) == 0 {
@@ -146,19 +151,33 @@ func (r *Repository) Commit(message string, contents map[string][]byte) (Commit,
 	sort.Strings(paths)
 
 	commit := Commit{Revision: revision, Message: message}
+	// Paths first tracked by this commit are untracked again if it fails:
+	// a phantom path visible in Files() but present at no revision would
+	// otherwise survive an aborted commit.
+	var added []string
+	fail := func(err error) (Commit, error) {
+		for _, p := range added {
+			delete(r.files, p)
+		}
+		return Commit{}, err
+	}
 	for _, path := range paths {
+		if err := ctx.Err(); err != nil {
+			return fail(fmt.Errorf("vcs: commit aborted before %q: %w", path, err))
+		}
 		state, ok := r.files[path]
 		if !ok {
 			archive, err := core.New(archiveConfig(r.cfg, "vcs/"+path), r.cluster)
 			if err != nil {
-				return Commit{}, fmt.Errorf("vcs: creating archive for %q: %w", path, err)
+				return fail(fmt.Errorf("vcs: creating archive for %q: %w", path, err))
 			}
 			state = &fileState{archive: archive, versionAt: make([]int, revision-1)}
 			r.files[path] = state
+			added = append(added, path)
 		}
-		info, err := state.archive.Commit(contents[path])
+		info, err := state.archive.CommitContext(ctx, contents[path])
 		if err != nil {
-			return Commit{}, fmt.Errorf("vcs: committing %q: %w", path, err)
+			return fail(fmt.Errorf("vcs: committing %q: %w", path, err))
 		}
 		commit.Changes = append(commit.Changes, FileChange{
 			Path:        path,
@@ -191,9 +210,10 @@ func (r *Repository) Log() []Commit {
 	return out
 }
 
-// CheckoutFile returns one file's contents at the given revision, with the
-// read accounting of the underlying archive retrieval.
-func (r *Repository) CheckoutFile(path string, revision int) ([]byte, core.RetrievalStats, error) {
+// CheckoutFileContext returns one file's contents at the given revision,
+// with the read accounting of the underlying archive retrieval, under the
+// context's deadline and cancellation.
+func (r *Repository) CheckoutFileContext(ctx context.Context, path string, revision int) ([]byte, core.RetrievalStats, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if revision < 1 || revision > len(r.commits) {
@@ -207,12 +227,18 @@ func (r *Repository) CheckoutFile(path string, revision int) ([]byte, core.Retri
 	if version == 0 {
 		return nil, core.RetrievalStats{}, fmt.Errorf("%w: %q at revision %d", ErrNoSuchFile, path, revision)
 	}
-	return state.archive.Retrieve(version)
+	return state.archive.RetrieveContext(ctx, version)
 }
 
-// Checkout returns the full repository state at the given revision and the
-// aggregate read accounting.
-func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalStats, error) {
+// CheckoutFile is CheckoutFileContext without cancellation.
+func (r *Repository) CheckoutFile(path string, revision int) ([]byte, core.RetrievalStats, error) {
+	return r.CheckoutFileContext(context.Background(), path, revision)
+}
+
+// CheckoutContext returns the full repository state at the given revision
+// and the aggregate read accounting, under the context's deadline and
+// cancellation (a multi-file checkout stops at the first cancelled file).
+func (r *Repository) CheckoutContext(ctx context.Context, revision int) (map[string][]byte, core.RetrievalStats, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var total core.RetrievalStats
@@ -225,7 +251,7 @@ func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalSt
 		if version == 0 {
 			continue // file not yet added at this revision
 		}
-		content, stats, err := state.archive.Retrieve(version)
+		content, stats, err := state.archive.RetrieveContext(ctx, version)
 		if err != nil {
 			return nil, total, fmt.Errorf("vcs: checking out %q@%d: %w", path, revision, err)
 		}
@@ -233,6 +259,16 @@ func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalSt
 		out[path] = content
 	}
 	return out, total, nil
+}
+
+// Checkout is CheckoutContext without cancellation.
+func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalStats, error) {
+	return r.CheckoutContext(context.Background(), revision)
+}
+
+// Commit is CommitContext without cancellation.
+func (r *Repository) Commit(message string, contents map[string][]byte) (Commit, error) {
+	return r.CommitContext(context.Background(), message, contents)
 }
 
 // FileArchive exposes the archive backing a path (for manifest export).

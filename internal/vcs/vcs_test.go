@@ -2,6 +2,7 @@ package vcs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -279,5 +280,50 @@ func TestRepositoryWithReversedScheme(t *testing.T) {
 	}
 	if !bytes.Equal(got, base) {
 		t.Error("doc@1 mismatch")
+	}
+}
+
+func TestFailedCommitLeavesNoPhantomPaths(t *testing.T) {
+	repo, _ := testRepo(t)
+	good := bytes.Repeat([]byte{'g'}, 48)
+	oversized := bytes.Repeat([]byte{'z'}, 64*3+1) // exceeds K*BlockSize capacity
+
+	// "a" sorts before "z-too-big", so its archive commit succeeds before
+	// the oversized file fails the batch: both paths were new, so both
+	// must be untracked again and no revision recorded.
+	if _, err := repo.Commit("r1", map[string][]byte{"a": good, "z-too-big": oversized}); err == nil {
+		t.Fatal("oversized file: want commit error")
+	}
+	if head := repo.Head(); head != 0 {
+		t.Errorf("Head = %d after failed commit, want 0", head)
+	}
+	if files := repo.Files(); len(files) != 0 {
+		t.Errorf("Files = %v after failed commit, want none (phantom paths)", files)
+	}
+
+	// A pre-cancelled context aborts before any file and tracks nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := repo.CommitContext(ctx, "r1", map[string][]byte{"a": good}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled commit = %v, want context.Canceled", err)
+	}
+	if files := repo.Files(); len(files) != 0 {
+		t.Errorf("Files = %v after cancelled commit, want none", files)
+	}
+
+	// The retried commit starts clean.
+	if _, err := repo.Commit("r1", map[string][]byte{"a": good}); err != nil {
+		t.Fatalf("retry after failed commit: %v", err)
+	}
+	content, _, err := repo.CheckoutFile("a", 1)
+	if err != nil || !bytes.Equal(content, good) {
+		t.Errorf("a@1 = %q/%v after retry", content, err)
+	}
+	// Already-tracked paths survive a later failed commit untouched.
+	if _, err := repo.Commit("r2", map[string][]byte{"a": good, "b": oversized}); err == nil {
+		t.Fatal("want commit error")
+	}
+	if files := repo.Files(); len(files) != 1 || files[0] != "a" {
+		t.Errorf("Files = %v, want [a]", files)
 	}
 }

@@ -7,6 +7,7 @@
 //
 // # Quick start
 //
+//	ctx := context.Background() // or a per-request context with a deadline
 //	cluster := sec.NewMemCluster(6)
 //	archive, err := sec.NewArchive(sec.ArchiveConfig{
 //		Scheme:    sec.BasicSEC,
@@ -16,14 +17,36 @@
 //		BlockSize: 1024,
 //	}, cluster)
 //	// commit versions ...
-//	info, err := archive.Commit(objectBytes)
+//	info, err := archive.CommitContext(ctx, objectBytes)
 //	// ... and read them back with exact I/O accounting:
-//	object, stats, err := archive.Retrieve(2)
+//	object, stats, err := archive.RetrieveContext(ctx, 2)
 //
 // Versions whose delta against the previous version is gamma-sparse
 // (gamma < k/2 non-zero blocks) are retrieved from only 2*gamma coded
 // shards instead of k. See DESIGN.md for the architecture and the mapping
 // from the paper's evaluation to the experiments package.
+//
+// # Contexts, deadlines, and cancellation
+//
+// The ctx-first methods (CommitContext, RetrieveContext,
+// RetrieveAllContext, LatestContext, ScrubContext, RepairNodeContext) are
+// the primary API: the context bounds the whole operation end to end.
+// Against TCP nodes the context deadline becomes the wire deadline (when
+// earlier than the per-node operation timeout), and cancellation
+// interrupts in-flight RPCs immediately, so a retrieval against a stalled
+// node returns when the caller's deadline passes instead of waiting out
+// per-operation timeouts link by link along the version chain. The
+// context-free methods (Commit, Retrieve, ...) are thin
+// context.Background() wrappers kept for existing callers.
+//
+// # Error taxonomy
+//
+// Failed operations carry structured provenance: errors.As with a
+// *ShardError yields the node ID, shard, and operation that failed - even
+// across the TCP transport - while errors.Is classifies the cause
+// (ErrNodeDown, ErrShardNotFound, ErrShardCorrupt, context.Canceled,
+// context.DeadlineExceeded). Cancellation is deliberately NOT ErrNodeDown:
+// a cancelled request says nothing about node health.
 package sec
 
 import (
@@ -125,6 +148,16 @@ type (
 	DiskNode = store.DiskNode
 )
 
+// ShardError is the structured error attributing a failed shard operation
+// to a node, shard, and operation. Every storage layer returns it (the TCP
+// transport carries it across the wire), so
+//
+//	var se *sec.ShardError
+//	if errors.As(err, &se) { log.Printf("node %s failed %s of %v", se.Node, se.Op, se.Shard) }
+//
+// works on any failed Commit, Retrieve, Scrub, or RepairNode.
+type ShardError = store.ShardError
+
 // Sentinel errors re-exported from the storage and archive layers.
 var (
 	// ErrNodeDown reports an operation against a failed node.
@@ -197,7 +230,9 @@ func DialNode(id, addr string, opts ...transport.ClientOption) *RemoteNode {
 	return transport.NewRemoteNode(id, addr, opts...)
 }
 
-// WithNodeTimeout sets a remote node's per-operation deadline.
+// WithNodeTimeout sets a remote node's per-operation deadline, used when
+// the caller's context carries no earlier one. A per-call context deadline
+// always wins when it is sooner.
 func WithNodeTimeout(d time.Duration) transport.ClientOption {
 	return transport.WithTimeout(d)
 }
