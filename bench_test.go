@@ -521,3 +521,104 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRetrieveOldestByChainState measures what compaction buys the
+// paper's linear-in-chain-length cost: reading the oldest version of a
+// (20,10) Reversed-SEC chain of 1 full + 8 sparse deltas, against the
+// same history compacted to MaxChainLength=4.
+func BenchmarkRetrieveOldestByChainState(b *testing.B) {
+	build := func(b *testing.B, compact bool) *sec.Archive {
+		b.Helper()
+		archive, err := sec.NewArchive(sec.ArchiveConfig{
+			Scheme:    sec.ReversedSEC,
+			Code:      sec.NonSystematicCauchy,
+			N:         20,
+			K:         10,
+			BlockSize: 4096,
+		}, sec.NewMemCluster(20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		object := make([]byte, 10*4096)
+		rng.Read(object)
+		for j := 0; j < 9; j++ {
+			if j > 0 {
+				if object, err = sec.SparseEdit(rng, object, 4096, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := archive.CommitContext(context.Background(), object); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if compact {
+			if _, err := archive.CompactToContext(context.Background(), 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return archive
+	}
+	for _, state := range []struct {
+		name    string
+		compact bool
+	}{{"chained", false}, {"compacted", true}} {
+		b.Run(state.name, func(b *testing.B) {
+			archive := build(b, state.compact)
+			b.SetBytes(10 * 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			reads := 0
+			for i := 0; i < b.N; i++ {
+				_, stats, err := archive.RetrieveContext(context.Background(), 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reads = stats.NodeReads
+			}
+			b.ReportMetric(float64(reads), "node-reads/op")
+		})
+	}
+}
+
+// BenchmarkCompactPass prices the maintenance operation itself: one full
+// compaction of the 9-version chain above (materialize, merge, re-encode,
+// swap, GC).
+func BenchmarkCompactPass(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	base := make([]byte, 10*4096)
+	rng.Read(base)
+	history := [][]byte{base}
+	object := base
+	var err error
+	for j := 1; j < 9; j++ {
+		if object, err = sec.SparseEdit(rng, object, 4096, 1); err != nil {
+			b.Fatal(err)
+		}
+		history = append(history, object)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		archive, err := sec.NewArchive(sec.ArchiveConfig{
+			Scheme:    sec.ReversedSEC,
+			Code:      sec.NonSystematicCauchy,
+			N:         20,
+			K:         10,
+			BlockSize: 4096,
+		}, sec.NewMemCluster(20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range history {
+			if _, err := archive.CommitContext(context.Background(), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := archive.CompactToContext(context.Background(), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

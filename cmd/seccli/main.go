@@ -4,14 +4,25 @@
 //
 // Usage:
 //
+//	seccli [-nodes addrs] [-manifest path] [-timeout d] <subcommand> [flags]
+//
 //	seccli -nodes 127.0.0.1:7070,127.0.0.1:7071,... -manifest a.json init \
-//	       -scheme basic-sec -code non-systematic-cauchy -n 6 -k 3 -blocksize 1024
+//	       -scheme basic-sec -code non-systematic-cauchy -n 6 -k 3 -blocksize 1024 \
+//	       -max-chain 8 -checkpoint-every 16
 //	seccli -nodes ... -manifest a.json commit document.bin
 //	seccli -nodes ... -manifest a.json get -version 2 -out document.v2.bin
 //	seccli -nodes ... -manifest a.json info
 //	seccli -nodes ... -manifest a.json repair -node 2
 //	seccli -nodes ... -manifest a.json scrub -repair
+//	seccli -nodes ... -manifest a.json compact -max-chain 4
 //	seccli -nodes ... -manifest recovered.json attach -name archive
+//
+// Global flags:
+//
+//	-nodes     comma-separated secnode addresses (required; shard i goes to node i)
+//	-manifest  path of the archive manifest file (default archive.json)
+//	-timeout   deadline for the whole operation (0 = none); SIGINT/SIGTERM
+//	           also cancel the operation context immediately
 package main
 
 import (
@@ -44,18 +55,32 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("seccli", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
 		nodesFlag    = fs.String("nodes", "", "comma-separated secnode addresses (shard i goes to node i)")
 		manifestPath = fs.String("manifest", "archive.json", "path of the archive manifest file")
+		timeout      = fs.Duration("timeout", 0, "deadline for the whole operation (0 = no deadline; signals still cancel)")
 	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: seccli [flags] <init|commit|get|info|repair|scrub|compact|attach> [subcommand flags]")
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	if fs.NArg() == 0 {
-		return errors.New("missing subcommand: init, commit, get or info")
+		return errors.New("missing subcommand: init, commit, get, info, repair, scrub, compact or attach")
 	}
 	if *nodesFlag == "" {
 		return errors.New("-nodes is required")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	cluster, closeNodes := dialCluster(strings.Split(*nodesFlag, ","))
 	defer closeNodes()
@@ -74,6 +99,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cmdRepair(ctx, out, cluster, *manifestPath, subArgs)
 	case "scrub":
 		return cmdScrub(ctx, out, cluster, *manifestPath, subArgs)
+	case "compact":
+		return cmdCompact(ctx, out, cluster, *manifestPath, subArgs)
 	case "attach":
 		return cmdAttach(ctx, out, cluster, *manifestPath, subArgs)
 	default:
@@ -98,15 +125,21 @@ func dialCluster(addrs []string) (*sec.Cluster, func()) {
 
 func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("init", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		scheme    = fs.String("scheme", "basic-sec", "storage scheme")
-		code      = fs.String("code", "non-systematic-cauchy", "erasure code construction")
-		n         = fs.Int("n", 6, "shards per object")
-		k         = fs.Int("k", 3, "data blocks per object")
-		blockSize = fs.Int("blocksize", 1024, "bytes per block")
-		name      = fs.String("name", "archive", "archive name (shard ID prefix)")
+		scheme     = fs.String("scheme", "basic-sec", "storage scheme")
+		code       = fs.String("code", "non-systematic-cauchy", "erasure code construction")
+		n          = fs.Int("n", 6, "shards per object")
+		k          = fs.Int("k", 3, "data blocks per object")
+		blockSize  = fs.Int("blocksize", 1024, "bytes per block")
+		name       = fs.String("name", "archive", "archive name (shard ID prefix)")
+		maxChain   = fs.Int("max-chain", 0, "auto-compact when a chain exceeds this many deltas (0 = never)")
+		checkpoint = fs.Int("checkpoint-every", 0, "store/retain a full codeword at least every N versions (0 = scheme default)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	if _, err := os.Stat(manifestPath); err == nil {
@@ -121,12 +154,14 @@ func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []st
 		return err
 	}
 	archive, err := sec.NewArchive(sec.ArchiveConfig{
-		Name:      *name,
-		Scheme:    parsedScheme,
-		Code:      parsedKind,
-		N:         *n,
-		K:         *k,
-		BlockSize: *blockSize,
+		Name:            *name,
+		Scheme:          parsedScheme,
+		Code:            parsedKind,
+		N:               *n,
+		K:               *k,
+		BlockSize:       *blockSize,
+		MaxChainLength:  *maxChain,
+		CheckpointEvery: *checkpoint,
 	}, cluster)
 	if err != nil {
 		return err
@@ -152,30 +187,63 @@ func cmdCommit(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifes
 		return err
 	}
 	info, err := archive.CommitContext(ctx, content)
+	if info.Version == 0 {
+		return err // nothing was stored
+	}
+	// The commit is durable even when err is non-nil (a failed
+	// auto-compaction reports the committed version alongside the error),
+	// and for Reversed SEC the previous tip's full codeword is already
+	// gone from the nodes - so the manifest MUST be persisted now either
+	// way, or a reopen would anchor on deleted objects.
+	if serr := saveManifest(archive, manifestPath); serr != nil {
+		// Both failures matter: the commit error explains the chain state,
+		// the save error explains why the manifest on disk is stale.
+		err = errors.Join(err, fmt.Errorf("saving manifest: %w", serr))
+	} else {
+		// Replicate the manifest onto the nodes too, so `attach` can
+		// recover it if the local copy is lost; best effort. Only after
+		// the manifest is safe are compaction-superseded codewords
+		// reclaimed from the nodes.
+		_ = archive.SaveToClusterContext(ctx)
+		if info.Compaction != nil {
+			deleted, _, rerr := archive.ReclaimSupersededContext(ctx)
+			if rerr == nil {
+				info.Compaction.ShardsDeleted += deleted
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
-	if err := saveManifest(archive, manifestPath); err != nil {
-		return err
-	}
-	// Replicate the manifest onto the nodes too, so `attach` can recover
-	// it if the local copy is lost; best effort.
-	_ = archive.SaveToClusterContext(ctx)
 	what := "full version"
 	if info.StoredDelta {
 		what = fmt.Sprintf("delta (gamma=%d)", info.Gamma)
+		if info.StoredFull {
+			what += " + full"
+		}
+	}
+	if info.Checkpoint {
+		what += " (checkpoint)"
 	}
 	fmt.Fprintf(out, "committed version %d as %s: %d shard writes\n", info.Version, what, info.ShardWrites)
+	if ci := info.Compaction; ci != nil && ci.Changed() {
+		fmt.Fprintf(out, "auto-compacted to max chain %d: %d rebased, %d promoted, %d superseded shards deleted\n",
+			ci.MaxChainLength, len(ci.Rebased), len(ci.Promoted), ci.ShardsDeleted)
+	}
 	return nil
 }
 
 func cmdGet(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("get", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
 		version = fs.Int("version", 0, "version to retrieve (default: latest)")
 		outPath = fs.String("out", "", "output file (default: stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	archive, err := loadManifest(cluster, manifestPath)
@@ -210,24 +278,43 @@ func cmdInfo(out io.Writer, cluster *sec.Cluster, manifestPath string) error {
 	m := archive.Manifest()
 	fmt.Fprintf(out, "archive %q: scheme=%s code=%s (n,k)=(%d,%d) blocksize=%d versions=%d\n",
 		m.Name, m.Scheme, m.Code, m.N, m.K, m.BlockSize, len(m.Entries))
+	// One pass over the chain graph prices every version; per-version
+	// ChainDepth/PlannedReads calls would redo it L times.
+	depths, planned, err := archive.ChainStats()
+	if err != nil {
+		return err
+	}
 	for _, e := range m.Entries {
-		kind := "full"
+		kind := "no object (reached via chain)"
+		if e.Full {
+			kind = "full"
+		}
 		if e.Delta {
 			kind = fmt.Sprintf("delta gamma=%d", e.Gamma)
+			if e.Base != 0 && e.Base != e.Version-1 {
+				kind += fmt.Sprintf(" base=%d", e.Base)
+			}
+			if e.Full {
+				kind = "full + " + kind
+			}
 		}
-		planned, err := archive.PlannedReads(e.Version)
-		if err != nil {
-			return err
+		if e.Checkpoint {
+			kind += " (checkpoint)"
 		}
-		fmt.Fprintf(out, "  v%d: %s, %d bytes, planned reads %d\n", e.Version, kind, e.Length, planned)
+		fmt.Fprintf(out, "  v%d: %s, %d bytes, chain depth %d, planned reads %d\n",
+			e.Version, kind, e.Length, depths[e.Version-1], planned[e.Version-1])
 	}
 	return nil
 }
 
 func cmdRepair(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	fs.SetOutput(out)
 	node := fs.Int("node", -1, "cluster node index to repair (position in -nodes)")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	if *node < 0 {
@@ -248,8 +335,12 @@ func cmdRepair(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifes
 
 func cmdScrub(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	fs.SetOutput(out)
 	repair := fs.Bool("repair", false, "rewrite missing or corrupt shards")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	archive, err := loadManifest(cluster, manifestPath)
@@ -266,10 +357,60 @@ func cmdScrub(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifest
 	return nil
 }
 
+func cmdCompact(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
+	fs.SetOutput(out)
+	maxChain := fs.Int("max-chain", 0, "chain-depth bound to enforce (default: the archive's configured MaxChainLength)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	archive, err := loadManifest(cluster, manifestPath)
+	if err != nil {
+		return err
+	}
+	bound := *maxChain
+	if bound <= 0 {
+		bound = archive.Config().MaxChainLength
+	}
+	if bound <= 0 {
+		return errors.New("compact: archive has no MaxChainLength configured; pass -max-chain")
+	}
+	// Crash-safe ordering: rewrite and swap while keeping the superseded
+	// codewords, persist the new manifest (locally and onto the nodes),
+	// and only then reclaim - a crash at any step leaves every persisted
+	// manifest pointing at objects that still exist.
+	info, err := archive.CompactKeepSupersededContext(ctx, bound)
+	if err != nil {
+		return err
+	}
+	if !info.Changed() {
+		fmt.Fprintf(out, "chains already within %d deltas: nothing to compact\n", info.MaxChainLength)
+		return nil
+	}
+	if err := saveManifest(archive, manifestPath); err != nil {
+		return err
+	}
+	_ = archive.SaveToClusterContext(ctx) // best effort, like commit
+	deleted, orphans, err := archive.ReclaimSupersededContext(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "compacted to max chain %d: %d versions rebased, %d promoted to checkpoints, %d shard writes, %d superseded shards deleted (%d orphaned), %d node reads\n",
+		info.MaxChainLength, len(info.Rebased), len(info.Promoted), info.ShardWrites, deleted, orphans, info.NodeReads)
+	return nil
+}
+
 func cmdAttach(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("attach", flag.ContinueOnError)
+	fs.SetOutput(out)
 	name := fs.String("name", "archive", "archive name to recover from the cluster")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	if _, err := os.Stat(manifestPath); err == nil {

@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	sec "github.com/secarchive/sec"
 )
@@ -282,5 +284,146 @@ func TestCLIInitRefusesOverwrite(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err == nil {
 		t.Error("double init: want error")
+	}
+}
+
+func TestCLICompact(t *testing.T) {
+	nodes, backings := startNodes(t, 6)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "archive.json")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init",
+		"-scheme", "reversed-sec", "-blocksize", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Build a chain of 1 full + 7 deltas: version j+1 edits one block.
+	object := bytes.Repeat([]byte{'x'}, 12)
+	versions := [][]byte{append([]byte(nil), object...)}
+	file := filepath.Join(dir, "v.bin")
+	if err := os.WriteFile(file, object, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 7; j++ {
+		object = append([]byte(nil), object...)
+		object[(j%3)*4] ^= 0xA5
+		versions = append(versions, append([]byte(nil), object...))
+		if err := os.WriteFile(file, object, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := 0
+	for _, b := range backings {
+		before += b.Len()
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "compact", "-max-chain", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "compacted to max chain 3") {
+		t.Errorf("compact output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "superseded shards deleted") {
+		t.Errorf("compact output lacks GC accounting: %s", out.String())
+	}
+	after := 0
+	for _, b := range backings {
+		after += b.Len()
+	}
+	if after >= before+4*6 { // superseded codewords must actually vanish
+		t.Errorf("shards %d -> %d: nothing reclaimed", before, after)
+	}
+	// Every version still reads back byte-identically through the CLI.
+	for v, want := range versions {
+		got := filepath.Join(dir, "out.bin")
+		out.Reset()
+		if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "get",
+			"-version", fmt.Sprint(v + 1), "-out", got}, &out); err != nil {
+			t.Fatalf("get v%d: %v", v+1, err)
+		}
+		content, err := os.ReadFile(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(content, want) {
+			t.Errorf("v%d differs after CLI compaction", v+1)
+		}
+	}
+	// Info renders the compacted chain (rebased bases and depths).
+	out.Reset()
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chain depth") {
+		t.Errorf("info output lacks chain depth: %s", out.String())
+	}
+	// A second compact pass is a no-op.
+	out.Reset()
+	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "compact", "-max-chain", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "nothing to compact") {
+		t.Errorf("second compact output: %s", out.String())
+	}
+}
+
+// TestCLIUsageListsAllFlagsAndSubcommands pins the -h output to the
+// current flag surface, so new flags cannot silently go undocumented
+// (the PR-4 context flags once did).
+func TestCLIUsageListsAllFlagsAndSubcommands(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-h"}, &out); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	usage := out.String()
+	for _, want := range []string{"-nodes", "-manifest", "-timeout", "init", "commit", "get", "info", "repair", "scrub", "compact", "attach"} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("usage output missing %q:\n%s", want, usage)
+		}
+	}
+	// Subcommand -h prints usage to the writer and exits cleanly.
+	out.Reset()
+	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "init", "-h"}, &out); err != nil {
+		t.Fatalf("init -h: %v", err)
+	}
+	for _, want := range []string{"-scheme", "-max-chain", "-checkpoint-every"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("init usage missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "compact", "-h"}, &out); err != nil {
+		t.Fatalf("compact -h: %v", err)
+	}
+	if !strings.Contains(out.String(), "-max-chain") {
+		t.Errorf("compact usage missing -max-chain:\n%s", out.String())
+	}
+}
+
+func TestCLITimeoutFlagBoundsOperations(t *testing.T) {
+	// Dead addresses: every operation fails fast once -timeout expires.
+	dead := strings.TrimSuffix(strings.Repeat("127.0.0.1:1,", 6), ",")
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "m.json")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-nodes", dead, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "v.bin")
+	if err := os.WriteFile(file, bytes.Repeat([]byte{1}, 24), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := run(context.Background(), []string{"-nodes", dead, "-manifest", manifest, "-timeout", "150ms", "commit", file}, &out)
+	if err == nil {
+		t.Fatal("commit against dead nodes with -timeout: want error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("-timeout did not bound the operation: took %v", elapsed)
 	}
 }

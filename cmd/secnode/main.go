@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	secnode -addr 127.0.0.1:7070 -id node-0 -data /var/lib/secnode
+//	secnode -addr 127.0.0.1:7070 -id node-0 -data /var/lib/secnode -drain 10s
+//
+// Flags:
+//
+//	-addr   TCP address to listen on (default 127.0.0.1:7070)
+//	-id     node identifier used in logs (default secnode)
+//	-data   directory for durable shard storage (empty: volatile in-memory node)
+//	-drain  how long shutdown waits for in-flight requests (default 10s)
 //
 // With -data the node is durable: shards live as checksummed files under
 // the given directory, survive restarts (pointing a new secnode at the same
@@ -21,8 +28,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -32,6 +41,10 @@ import (
 	sec "github.com/secarchive/sec"
 	"github.com/secarchive/sec/internal/transport"
 )
+
+// flagOutput receives flag-parse diagnostics and -h usage text; tests
+// redirect it to assert the usage output stays complete.
+var flagOutput io.Writer = os.Stderr
 
 func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -47,13 +60,21 @@ func main() {
 // server is listening.
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("secnode", flag.ContinueOnError)
+	fs.SetOutput(flagOutput)
 	var (
 		addr  = fs.String("addr", "127.0.0.1:7070", "TCP address to listen on")
 		id    = fs.String("id", "secnode", "node identifier used in logs")
 		data  = fs.String("data", "", "directory for durable shard storage (empty: volatile in-memory node)")
 		drain = fs.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests to finish")
 	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: secnode [-addr host:port] [-id name] [-data dir] [-drain duration]")
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	logger := log.New(os.Stderr, *id+": ", log.LstdFlags)

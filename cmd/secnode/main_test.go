@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -124,5 +126,22 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, nil); err == nil {
 		t.Error("bad address: want error")
+	}
+}
+
+// TestUsageListsAllFlags pins the -h output to the current flag surface,
+// so flags like -drain cannot silently go undocumented.
+func TestUsageListsAllFlags(t *testing.T) {
+	var buf bytes.Buffer
+	old := flagOutput
+	flagOutput = &buf
+	defer func() { flagOutput = old }()
+	if err := run(context.Background(), []string{"-h"}, nil); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	for _, want := range []string{"-addr", "-id", "-data", "-drain"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("usage output missing %q:\n%s", want, buf.String())
+		}
 	}
 }

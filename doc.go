@@ -1,0 +1,79 @@
+// Package sec is the public API of the SEC (Sparsity Exploiting Coding)
+// library: erasure-coded storage of versioned data that encodes the deltas
+// between versions and exploits their sparsity to retrieve archives with
+// fewer I/O reads, as proposed in "Sparsity Exploiting Erasure Coding for
+// Resilient Storage and Efficient I/O Access in Delta based Versioning
+// Systems" (Harshan, Oggier, Datta; ICDCS 2015).
+//
+// # Quick start
+//
+//	ctx := context.Background() // or a per-request context with a deadline
+//	cluster := sec.NewMemCluster(6)
+//	archive, err := sec.NewArchive(sec.ArchiveConfig{
+//		Scheme:    sec.BasicSEC,
+//		Code:      sec.NonSystematicCauchy,
+//		N:         6,
+//		K:         3,
+//		BlockSize: 1024,
+//	}, cluster)
+//	// commit versions ...
+//	info, err := archive.CommitContext(ctx, objectBytes)
+//	// ... and read them back with exact I/O accounting:
+//	object, stats, err := archive.RetrieveContext(ctx, 2)
+//
+// Versions whose delta against the previous version is gamma-sparse
+// (gamma < k/2 non-zero blocks) are retrieved from only 2*gamma coded
+// shards instead of k. See DESIGN.md for the architecture and the mapping
+// from the paper's evaluation to the experiments package, and
+// OPERATIONS.md for running a real cluster.
+//
+// # Chain lifecycle: checkpoints and compaction
+//
+// Delta chains grow with every commit, and with them the cost of reaching
+// old versions (Basic SEC) or early versions (Reversed SEC). Two
+// ArchiveConfig knobs bound that growth:
+//
+//   - CheckpointEvery stores (or, for Reversed SEC, retains) a full
+//     codeword at least every CheckpointEvery versions, bounding chains
+//     proactively at commit time.
+//   - MaxChainLength bounds how many delta applications any retrieval may
+//     need. A commit that pushes a version past the bound triggers
+//     compaction, and Archive.CompactContext (or CompactToContext with an
+//     explicit bound) runs the same pass on demand: over-deep versions are
+//     rebased onto their nearest full anchor with a merged (XOR-composed)
+//     delta whose sparsity is recomputed, merged deltas too dense to
+//     sparse-read are promoted to full checkpoints, the manifest is
+//     swapped atomically, and the superseded delta codewords are deleted
+//     from the storage nodes in one batch per node. Commit-triggered
+//     passes defer that deletion by one operation (the next commit, or an
+//     explicit ReclaimSupersededContext, frees the queued codewords) so a
+//     caller that persists its manifest after each commit is never left
+//     with a persisted manifest naming deleted objects; for the same
+//     ordering on demand, pair CompactKeepSupersededContext with
+//     ReclaimSupersededContext.
+//
+// Every version stays retrievable byte-identically through and after a
+// compaction; only the stored representation (and the read cost) changes.
+//
+// # Contexts, deadlines, and cancellation
+//
+// The ctx-first methods (CommitContext, RetrieveContext,
+// RetrieveAllContext, LatestContext, ScrubContext, RepairNodeContext,
+// CompactContext) are the primary API: the context bounds the whole
+// operation end to end. Against TCP nodes the context deadline becomes the
+// wire deadline (when earlier than the per-node operation timeout), and
+// cancellation interrupts in-flight RPCs immediately, so a retrieval
+// against a stalled node returns when the caller's deadline passes instead
+// of waiting out per-operation timeouts link by link along the version
+// chain. The context-free methods (Commit, Retrieve, ...) are thin
+// context.Background() wrappers kept for existing callers.
+//
+// # Error taxonomy
+//
+// Failed operations carry structured provenance: errors.As with a
+// *ShardError yields the node ID, shard, and operation that failed - even
+// across the TCP transport - while errors.Is classifies the cause
+// (ErrNodeDown, ErrShardNotFound, ErrShardCorrupt, context.Canceled,
+// context.DeadlineExceeded). Cancellation is deliberately NOT ErrNodeDown:
+// a cancelled request says nothing about node health.
+package sec

@@ -87,6 +87,88 @@ func ExampleArchive_PlannedReads() {
 	// eta(x2) = 12
 }
 
+// ExampleArchive_CompactToContext bounds a deep Reversed SEC chain: the
+// versions furthest from the full anchor are rebased onto it with merged
+// deltas, the superseded delta codewords are reclaimed from the nodes, and
+// the oldest version becomes dramatically cheaper to read.
+func ExampleArchive_CompactToContext() {
+	ctx := context.Background()
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Scheme:    sec.ReversedSEC,
+		Code:      sec.NonSystematicCauchy,
+		N:         6,
+		K:         3,
+		BlockSize: 4,
+	}, sec.NewMemCluster(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	object := make([]byte, 12)
+	for v := 1; v <= 7; v++ {
+		object = append([]byte(nil), object...)
+		object[0] = byte(v) // every version edits block 0: sparse deltas
+		if _, err := archive.CommitContext(ctx, object); err != nil {
+			log.Fatal(err)
+		}
+	}
+	_, before, err := archive.RetrieveContext(ctx, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := archive.CompactToContext(ctx, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, after, err := archive.RetrieveContext(ctx, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebased %d versions, reclaimed %d superseded shards\n", len(info.Rebased), info.ShardsDeleted)
+	fmt.Printf("oldest version: %d node reads before, %d after\n", before.NodeReads, after.NodeReads)
+	// Output:
+	// rebased 4 versions, reclaimed 18 superseded shards
+	// oldest version: 15 node reads before, 5 after
+}
+
+// ExampleArchiveConfig_checkpointing shows the proactive half of the chain
+// lifecycle: with CheckpointEvery set, commits store a full codeword at
+// regular intervals, so no retrieval ever walks more than a few deltas.
+func ExampleArchiveConfig_checkpointing() {
+	ctx := context.Background()
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Scheme:          sec.BasicSEC,
+		Code:            sec.NonSystematicCauchy,
+		N:               6,
+		K:               3,
+		BlockSize:       4,
+		CheckpointEvery: 3,
+	}, sec.NewMemCluster(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	object := make([]byte, 12)
+	for v := 1; v <= 7; v++ {
+		object = append([]byte(nil), object...)
+		object[0] = byte(v)
+		info, err := archive.CommitContext(ctx, object)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.Checkpoint {
+			fmt.Printf("v%d stored a checkpoint\n", info.Version)
+		}
+	}
+	planned, err := archive.PlannedReads(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reading v7 needs %d node reads (an unbounded chain would need 15)\n", planned)
+	// Output:
+	// v4 stored a checkpoint
+	// v7 stored a checkpoint
+	// reading v7 needs 3 node reads (an unbounded chain would need 15)
+}
+
 // ExampleNewRepository runs the version-control layer: a one-line edit is
 // stored as a sparse delta.
 func ExampleNewRepository() {

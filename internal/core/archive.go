@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -11,6 +12,26 @@ import (
 	"github.com/secarchive/sec/internal/erasure"
 	"github.com/secarchive/sec/internal/store"
 )
+
+// planItem/planHeap implement the retrieval planner's priority queue:
+// versions ordered by (planned cost, delta hops, version number).
+type planItem struct{ v, dist, hops int }
+
+type planHeap []planItem
+
+func (h planHeap) Len() int { return len(h) }
+func (h planHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].hops != h[j].hops {
+		return h[i].hops < h[j].hops
+	}
+	return h[i].v < h[j].v
+}
+func (h planHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *planHeap) Push(x any)   { *h = append(*h, x.(planItem)) }
+func (h *planHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 // Retrieval errors.
 var (
@@ -31,6 +52,17 @@ type entry struct {
 	hasDelta bool
 	gamma    int // block sparsity of the delta, valid when hasDelta
 	length   int // original object length in bytes
+	// base is the version the delta is computed against: x_version =
+	// x_base + z_version. Zero means the implicit chain predecessor
+	// (version-1); compaction rebases deltas onto nearer anchors, recording
+	// the anchor here. Valid when hasDelta.
+	base int
+	// checkpoint marks a full codeword placed (or retained) by the chain
+	// lifecycle - an auto-checkpoint commit, a CheckpointEvery retention,
+	// or a compaction promotion - rather than by the storage scheme.
+	// Reversed SEC never deletes a checkpointed full when the chain tip
+	// moves on.
+	checkpoint bool
 }
 
 // codec is the erasure-code surface the archive needs; both the GF(2^8)
@@ -65,6 +97,16 @@ type Archive struct {
 	entries  []entry
 	cache    [][]byte // blocks of the latest version, for delta computation
 	cacheLen int      // byte length of the cached version
+	// superseded queues delta codewords replaced by compaction whose
+	// deletion is deferred (CompactKeepSupersededContext) or failed
+	// (orphans on unreachable nodes), drained by reclaimLocked.
+	superseded []gcObject
+}
+
+// gcObject names one superseded codeword awaiting garbage collection.
+type gcObject struct {
+	id      string
+	version int
 }
 
 // CommitInfo reports what a Commit stored.
@@ -74,6 +116,10 @@ type CommitInfo struct {
 	// StoredDelta and StoredFull report which codewords were written.
 	StoredDelta bool
 	StoredFull  bool
+	// Checkpoint reports that the commit stored (or, for Reversed SEC,
+	// retained) a full codeword as a chain checkpoint under the
+	// CheckpointEvery policy, beyond what the storage scheme required.
+	Checkpoint bool
 	// Gamma is the block sparsity of the delta against the previous
 	// version (0 for the first version).
 	Gamma int
@@ -83,6 +129,17 @@ type CommitInfo struct {
 	// not be deleted (their nodes were down); they are garbage, not a
 	// correctness problem.
 	OrphanShards int
+	// ReclaimedShards counts shards of codewords superseded by EARLIER
+	// compaction passes that this commit garbage-collected (deferred GC
+	// drains one operation later, once the caller has had a chance to
+	// persist the post-compaction manifest).
+	ReclaimedShards int
+	// Compaction reports the auto-compaction this commit triggered (nil
+	// when MaxChainLength is unset or no chain exceeded it). Its
+	// superseded codewords are queued, not yet deleted: the next commit
+	// (or an explicit ReclaimSupersededContext / compaction pass) frees
+	// them.
+	Compaction *CompactionInfo
 }
 
 // ObjectRead details the retrieval of one stored object.
@@ -190,18 +247,25 @@ func (a *Archive) CommitContext(ctx context.Context, object []byte) (CommitInfo,
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
+	// Codewords superseded by earlier compaction passes have outlived
+	// their grace period (the caller has had a full operation in which to
+	// persist the post-compaction manifest), so reclaim them first.
+	reclaimed := 0
+	if len(a.superseded) > 0 {
+		reclaimed, _ = a.reclaimLocked(ctx)
+	}
 	blocks, err := a.blocking.Split(object)
 	if err != nil {
-		return CommitInfo{}, err
+		return CommitInfo{ReclaimedShards: reclaimed}, err
 	}
 	version := len(a.entries) + 1
 	if err := a.ensureNodes(version); err != nil {
-		return CommitInfo{}, err
+		return CommitInfo{ReclaimedShards: reclaimed}, err
 	}
 	if version == 1 {
-		info := CommitInfo{Version: 1, StoredFull: true}
+		info := CommitInfo{Version: 1, StoredFull: true, ReclaimedShards: reclaimed}
 		if err := a.writeObject(ctx, a.code, fullID(a.cfg.Name, 1), 1, blocks, &info.ShardWrites); err != nil {
-			return CommitInfo{}, err
+			return CommitInfo{ReclaimedShards: reclaimed}, err
 		}
 		a.entries = append(a.entries, entry{hasFull: true, length: len(object)})
 		a.setCache(blocks, len(object))
@@ -210,46 +274,94 @@ func (a *Archive) CommitContext(ctx context.Context, object []byte) (CommitInfo,
 
 	if a.cache == nil {
 		if err := a.restoreCacheLocked(ctx); err != nil {
-			return CommitInfo{}, fmt.Errorf("core: restoring latest-version cache: %w", err)
+			return CommitInfo{ReclaimedShards: reclaimed}, fmt.Errorf("core: restoring latest-version cache: %w", err)
 		}
 	}
 	d, err := delta.Compute(a.cache, blocks)
 	if err != nil {
-		return CommitInfo{}, err
+		return CommitInfo{ReclaimedShards: reclaimed}, err
 	}
 	gamma := delta.Sparsity(d)
-	info := CommitInfo{Version: version, Gamma: gamma}
+	info := CommitInfo{Version: version, Gamma: gamma, ReclaimedShards: reclaimed}
 
 	storeDelta, storeFull := a.commitPlan(gamma)
+	// Auto-checkpoint: when CheckpointEvery is set and the new version
+	// would land CheckpointEvery or more versions past the last stored
+	// full codeword, store a full codeword alongside the delta so no chain
+	// grows unboundedly deep (Reversed SEC checkpoints at deletion time
+	// below instead, since it stores a full every commit).
+	if !storeFull && a.cfg.CheckpointEvery > 0 && version-a.lastFullBelow(version) >= a.cfg.CheckpointEvery {
+		storeFull = true
+		info.Checkpoint = true
+	}
 	if storeDelta {
 		if err := a.writeObject(ctx, a.deltaCode, deltaID(a.cfg.Name, version), version, d, &info.ShardWrites); err != nil {
-			return CommitInfo{}, err
+			return CommitInfo{ReclaimedShards: reclaimed}, err
 		}
 		info.StoredDelta = true
 	}
 	if storeFull {
 		if err := a.writeObject(ctx, a.code, fullID(a.cfg.Name, version), version, blocks, &info.ShardWrites); err != nil {
-			return CommitInfo{}, err
+			return CommitInfo{ReclaimedShards: reclaimed}, err
 		}
 		info.StoredFull = true
 	}
 	a.entries = append(a.entries, entry{
-		hasFull:  storeFull,
-		hasDelta: storeDelta,
-		gamma:    gamma,
-		length:   len(object),
+		hasFull:    storeFull,
+		hasDelta:   storeDelta,
+		gamma:      gamma,
+		length:     len(object),
+		checkpoint: info.Checkpoint,
 	})
 	if a.cfg.Scheme == ReversedSEC {
 		// The previous version's full codeword is superseded: the chain
-		// now reaches it through the new delta.
+		// now reaches it through the new delta. Checkpoints are the
+		// exception - a full retained under CheckpointEvery (or placed by
+		// compaction) stays so old versions keep a nearby anchor.
 		prev := version - 1
-		if a.entries[prev-1].hasFull {
-			info.OrphanShards = a.deleteObject(ctx, a.code, fullID(a.cfg.Name, prev), prev)
-			a.entries[prev-1].hasFull = false
+		if pe := &a.entries[prev-1]; pe.hasFull {
+			keep := pe.checkpoint
+			if !keep && a.cfg.CheckpointEvery > 0 && prev-a.lastFullBelow(prev) >= a.cfg.CheckpointEvery {
+				pe.checkpoint = true
+				info.Checkpoint = true
+				keep = true
+			}
+			if !keep {
+				info.OrphanShards = a.deleteObject(ctx, a.code, fullID(a.cfg.Name, prev), prev)
+				pe.hasFull = false
+			}
 		}
 	}
 	a.setCache(blocks, len(object))
+	if a.cfg.MaxChainLength > 0 {
+		if depths, _, err := a.chainDepths(); err == nil && maxDepth(depths) > a.cfg.MaxChainLength {
+			// Superseded codewords are kept (queued) rather than deleted:
+			// the caller has not persisted the post-compaction manifest
+			// yet, so deleting now could strand a crash-recovered manifest.
+			// ReclaimSupersededContext (or the next compaction pass) frees
+			// them once the caller has saved.
+			ci, err := a.compactLocked(ctx, a.cfg.MaxChainLength, true)
+			if err != nil {
+				// The commit itself is durable and the chain is intact; only
+				// the maintenance pass failed. Surface it without undoing
+				// the commit - the caller can retry CompactContext.
+				return info, fmt.Errorf("core: version %d committed, but auto-compaction failed: %w", version, err)
+			}
+			info.Compaction = &ci
+		}
+	}
 	return info, nil
+}
+
+// lastFullBelow returns the largest version below v whose full codeword is
+// stored, or 0 when none is.
+func (a *Archive) lastFullBelow(v int) int {
+	for j := v - 1; j >= 1; j-- {
+		if a.entries[j-1].hasFull {
+			return j
+		}
+	}
+	return 0
 }
 
 // commitPlan decides what to store for a non-first version.
@@ -330,43 +442,55 @@ func (a *Archive) RetrieveAllContext(ctx context.Context, l int) ([][]byte, Retr
 	if err != nil {
 		return nil, stats, err
 	}
-	versions := make([][][]byte, l+1) // 1-based; nil = not yet materialized
-	for v, blocks := range materialized {
-		if v <= l {
-			versions[v] = blocks
-		}
-	}
 	for j := 2; j <= l; j++ {
-		if versions[j] != nil {
+		if materialized[j] != nil {
 			continue
 		}
 		e := a.entries[j-1]
+		base := a.baseOf(j)
 		switch {
-		case e.hasDelta:
+		case e.hasDelta && materialized[base] != nil:
 			d, read, err := a.readDelta(ctx, j, e.gamma, nil)
 			if err != nil {
 				return nil, stats, err
 			}
 			stats.add(read)
-			next, err := delta.Apply(versions[j-1], d)
+			next, err := delta.Apply(materialized[base], d)
 			if err != nil {
 				return nil, stats, err
 			}
-			versions[j] = next
+			materialized[j] = next
 		case e.hasFull:
 			blocks, read, err := a.readFull(ctx, j, nil)
 			if err != nil {
 				return nil, stats, err
 			}
 			stats.add(read)
-			versions[j] = blocks
+			materialized[j] = blocks
+		case e.hasDelta:
+			// The delta's base is not in hand (a compaction rebase onto a
+			// later anchor): walk the version's own chain plan, keeping
+			// every version it materializes on the way.
+			plan, err := a.planChain(j)
+			if err != nil {
+				return nil, stats, err
+			}
+			walked, err := a.materializeChain(ctx, plan, &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			for v, blocks := range walked {
+				if materialized[v] == nil {
+					materialized[v] = blocks
+				}
+			}
 		default:
 			return nil, stats, fmt.Errorf("core: version %d has neither delta nor full object", j)
 		}
 	}
 	out := make([][]byte, l)
 	for j := 1; j <= l; j++ {
-		object, err := a.blocking.Join(versions[j], a.entries[j-1].length)
+		object, err := a.blocking.Join(materialized[j], a.entries[j-1].length)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -410,7 +534,7 @@ func (a *Archive) materializeChain(ctx context.Context, plan chainPlan, stats *R
 	materialized := map[int][][]byte{ver: current}
 	for _, j := range plan.deltas {
 		e := a.entries[j-1]
-		d, read, err := a.readDelta(ctx, j, e.gamma, sets[deltaID(a.cfg.Name, j)])
+		d, read, err := a.readDelta(ctx, j, e.gamma, sets[a.deltaObjectID(j)])
 		if err != nil {
 			return nil, err
 		}
@@ -419,10 +543,13 @@ func (a *Archive) materializeChain(ctx context.Context, plan chainPlan, stats *R
 		if err != nil {
 			return nil, err
 		}
-		if j > ver {
-			ver = j // forward: applying z_j to x_{j-1} yields x_j
-		} else {
-			ver = j - 1 // backward: applying z_j to x_j yields x_{j-1}
+		switch b := a.baseOf(j); ver {
+		case b:
+			ver = j // forward: applying z_j to x_base yields x_j
+		case j:
+			ver = b // backward: applying z_j to x_j yields x_base
+		default:
+			return nil, fmt.Errorf("core: chain plan applies delta %d at version %d", j, ver)
 		}
 		materialized[ver] = current
 	}
@@ -434,79 +561,120 @@ type chainPlan struct {
 	anchor int   // version read in full
 	deltas []int // versions whose deltas are applied, in order
 	cost   int   // planned node reads (formula (3))
+	hops   int   // number of delta applications (the chain depth)
 }
 
-// planChain finds the cheapest chain to version l: forward from the nearest
-// full version at or before l, or backward from the nearest full version at
-// or after l (Reversed SEC).
+// planChain finds the cheapest way to materialize version l. Deltas form a
+// graph over versions - each stored delta z_j connects its base to j, and
+// XOR deltas are self-inverse, so every edge works in both directions
+// (forward: x_base + z_j = x_j; backward: x_j + z_j = x_base). On an
+// uncompacted chain (every base the chain predecessor) this reduces to the
+// paper's two candidates: forward from the nearest full version at or
+// before l, or backward from the nearest full version at or after l
+// (Reversed SEC). Compaction rebases deltas onto distant anchors, turning
+// the chain into a tree; the planner runs a small Dijkstra pass so those
+// shortcut edges are used whenever they are cheaper. Ties prefer fewer
+// delta applications (and then the smaller version) so plans are
+// deterministic.
 func (a *Archive) planChain(l int) (chainPlan, error) {
 	if l < 1 || l > len(a.entries) {
 		return chainPlan{}, fmt.Errorf("%w: %d of %d", ErrNoSuchVersion, l, len(a.entries))
 	}
-	var plans []chainPlan
-	// Forward: anchor f <= l, deltas f+1..l ascending.
-	for f := l; f >= 1; f-- {
-		if !a.entries[f-1].hasFull {
-			continue
-		}
-		plan := chainPlan{anchor: f, cost: a.cfg.K}
-		valid := true
-		for j := f + 1; j <= l; j++ {
-			if !a.entries[j-1].hasDelta {
-				valid = false
-				break
-			}
-			plan.deltas = append(plan.deltas, j)
-			plan.cost += a.plannedDeltaReads(a.entries[j-1].gamma)
-		}
-		if valid {
-			plans = append(plans, plan)
-		}
-		break // only the nearest forward anchor can be cheapest
+	dist, hops, via, prev, err := a.planAll(l)
+	if err != nil {
+		return chainPlan{}, err
 	}
-	// Backward: anchor f >= l, deltas f..l+1 descending.
-	for f := l; f <= len(a.entries); f++ {
-		if !a.entries[f-1].hasFull {
-			continue
-		}
-		plan := chainPlan{anchor: f, cost: a.cfg.K}
-		valid := true
-		for j := f; j > l; j-- {
-			if !a.entries[j-1].hasDelta {
-				valid = false
-				break
-			}
-			plan.deltas = append(plan.deltas, j)
-			plan.cost += a.plannedDeltaReads(a.entries[j-1].gamma)
-		}
-		if valid && f != l { // f == l already covered by forward
-			plans = append(plans, plan)
-		}
-		break // only the nearest backward anchor can be cheapest
-	}
-	if len(plans) == 0 {
+	if dist[l] == unreachedCost {
 		return chainPlan{}, fmt.Errorf("core: version %d unreachable from any full version", l)
 	}
-	best := plans[0]
-	for _, p := range plans[1:] {
-		if p.cost < best.cost {
-			best = p
-		}
+	plan := chainPlan{cost: dist[l], hops: hops[l]}
+	deltas := make([]int, 0, hops[l])
+	v := l
+	for via[v] != 0 {
+		deltas = append(deltas, via[v])
+		v = prev[v]
 	}
-	return best, nil
+	plan.anchor = v
+	for i, j := 0, len(deltas)-1; i < j; i, j = i+1, j-1 {
+		deltas[i], deltas[j] = deltas[j], deltas[i]
+	}
+	plan.deltas = deltas
+	return plan, nil
 }
 
-// plannedDeltaReads is the paper's eta_j: 2*gamma when the delta code can
-// sparse-read the delta, k otherwise, and 0 for an all-zero delta.
-func (a *Archive) plannedDeltaReads(gamma int) int {
-	switch {
-	case gamma == 0:
-		return 0
-	case gamma <= a.deltaCode.MaxSparseGamma():
-		return 2 * gamma
-	default:
-		return a.cfg.K
+// unreachedCost marks versions the planner could not reach.
+const unreachedCost = int(^uint(0) >> 1)
+
+// planAll runs the planner's Dijkstra pass over the whole version graph,
+// returning per-version cost, hop count, the delta applied to reach each
+// version, and the path predecessor. With target > 0 the pass stops once
+// that version settles; target 0 prices every version (one pass instead
+// of one per version, for whole-archive summaries).
+func (a *Archive) planAll(target int) (dist, hops, via, prev []int, err error) {
+	L := len(a.entries)
+	type edge struct {
+		to, via, w int // neighbor version, delta version applied, read cost
 	}
+	adj := make([][]edge, L+1)
+	for j := 1; j <= L; j++ {
+		e := a.entries[j-1]
+		if !e.hasDelta {
+			continue
+		}
+		b := a.baseOf(j)
+		if b < 1 || b > L || b == j {
+			return nil, nil, nil, nil, fmt.Errorf("core: version %d has invalid delta base %d", j, b)
+		}
+		w := a.plannedDeltaReads(e.gamma)
+		adj[b] = append(adj[b], edge{to: j, via: j, w: w})
+		adj[j] = append(adj[j], edge{to: b, via: j, w: w})
+	}
+	dist = make([]int, L+1)
+	hops = make([]int, L+1)
+	via = make([]int, L+1)  // delta applied to reach the version (0 at anchors)
+	prev = make([]int, L+1) // predecessor version on the best path
+	done := make([]bool, L+1)
+	for v := 1; v <= L; v++ {
+		dist[v] = unreachedCost
+	}
+	// Lazy-deletion Dijkstra off a heap keyed (cost, hops, version), so a
+	// retrieval plans in O(E log L) even on very long archives; stale heap
+	// entries are skipped on pop. Anchors enter in ascending version order,
+	// so equal-cost ties settle toward forward plans, matching the original
+	// nearest-anchor planner.
+	h := make(planHeap, 0, L)
+	for v := 1; v <= L; v++ {
+		if a.entries[v-1].hasFull {
+			dist[v] = a.cfg.K
+			hops[v] = 0
+			h = append(h, planItem{v: v, dist: a.cfg.K})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 && (target == 0 || !done[target]) {
+		it := heap.Pop(&h).(planItem)
+		u := it.v
+		if done[u] || it.dist != dist[u] || it.hops != hops[u] {
+			continue // stale entry superseded by a later relaxation
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			nd, nh := dist[u]+e.w, hops[u]+1
+			if nd < dist[e.to] || (nd == dist[e.to] && nh < hops[e.to]) {
+				dist[e.to], hops[e.to] = nd, nh
+				via[e.to], prev[e.to] = e.via, u
+				heap.Push(&h, planItem{v: e.to, dist: nd, hops: nh})
+			}
+		}
+	}
+	return dist, hops, via, prev, nil
+}
+
+// plannedDeltaReads is the paper's eta_j, delegated to the delta package's
+// shared cost model so the retrieval planner and the lifecycle planners
+// can never drift apart.
+func (a *Archive) plannedDeltaReads(gamma int) int {
+	return delta.ReadCost(gamma, a.cfg.K, a.deltaCode.MaxSparseGamma())
 }
 
 // PlannedReads returns the number of node reads formula (3) predicts for
@@ -534,16 +702,33 @@ func (a *Archive) PlannedReadsAll(l int) (int, error) {
 		return 0, err
 	}
 	total := plan.cost
-	covered := plan.materializedVersions()
+	covered := a.materializedVersions(plan)
 	for j := 2; j <= l; j++ {
 		if covered[j] {
 			continue
 		}
 		e := a.entries[j-1]
-		if e.hasDelta {
+		switch {
+		case e.hasDelta && covered[a.baseOf(j)]:
 			total += a.plannedDeltaReads(e.gamma)
-		} else {
+			covered[j] = true
+		case e.hasFull:
 			total += a.cfg.K
+			covered[j] = true
+		case e.hasDelta:
+			// The delta's base is not on the walk (a compaction rebase onto
+			// a later anchor): the version costs its own chain plan, which
+			// materializes the base and anchor as side effects.
+			plan, err := a.planChain(j)
+			if err != nil {
+				return 0, err
+			}
+			total += plan.cost
+			for v := range a.materializedVersions(plan) {
+				covered[v] = true
+			}
+		default:
+			return 0, fmt.Errorf("core: version %d has neither delta nor full object", j)
 		}
 	}
 	return total, nil
@@ -551,14 +736,14 @@ func (a *Archive) PlannedReadsAll(l int) (int, error) {
 
 // materializedVersions returns the set of versions a chain walk passes
 // through.
-func (p chainPlan) materializedVersions() map[int]bool {
+func (a *Archive) materializedVersions(p chainPlan) map[int]bool {
 	covered := map[int]bool{p.anchor: true}
 	ver := p.anchor
 	for _, j := range p.deltas {
-		if j > ver {
+		if b := a.baseOf(j); ver == b {
 			ver = j
 		} else {
-			ver = j - 1
+			ver = b
 		}
 		covered[ver] = true
 	}
@@ -737,7 +922,7 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 			continue
 		}
 		live := liveFor(a.deltaCode, j)
-		id := deltaID(a.cfg.Name, j)
+		id := a.deltaObjectID(j)
 		if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
 			plans = append(plans, objPlan{id: id, version: j, rows: rows, sparse: rows})
 		} else if len(live) >= a.cfg.K {
@@ -862,7 +1047,7 @@ func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardS
 		}
 		return zero, ObjectRead{Version: version, Delta: true}, nil
 	}
-	id := deltaID(a.cfg.Name, version)
+	id := a.deltaObjectID(version)
 	k := a.cfg.K
 	if set == nil {
 		set = newShardSet()
@@ -1040,17 +1225,32 @@ func (a *Archive) writeObject(ctx context.Context, code codec, id string, versio
 	return firstErr
 }
 
-// deleteObject removes an object's shards best-effort, returning how many
-// could not be deleted.
+// deleteObject removes an object's shards best-effort, one delete batch
+// per placement node, returning how many could not be deleted. A shard
+// already absent (ErrNotFound) counts as deleted: the goal is that the
+// shard is gone, not that this call removed it.
 func (a *Archive) deleteObject(ctx context.Context, code codec, id string, version int) (orphans int) {
-	for row := 0; row < code.N(); row++ {
-		node := a.cfg.Placement.NodeFor(version-1, row)
-		n, err := a.cluster.Node(node)
-		if err != nil {
-			orphans++
-			continue
+	rows := make([]int, code.N())
+	for row := range rows {
+		rows[row] = row
+	}
+	refs := a.rowRefs(id, version, rows)
+	var errs []error
+	if a.cfg.DisableBatchIO {
+		errs = make([]error, len(refs))
+		for i, ref := range refs {
+			n, err := a.cluster.Node(ref.Node)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = n.Delete(ctx, ref.ID)
 		}
-		if err := n.Delete(ctx, store.ShardID{Object: id, Row: row}); err != nil {
+	} else {
+		errs = a.cluster.DeleteBatch(ctx, refs)
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, store.ErrNotFound) {
 			orphans++
 		}
 	}
@@ -1113,4 +1313,31 @@ func fullID(name string, version int) string {
 
 func deltaID(name string, version int) string {
 	return fmt.Sprintf("%s/v%d-delta", name, version)
+}
+
+// rebasedDeltaID names a delta object whose base is not the chain
+// predecessor. The base is part of the object name so a compaction that
+// rebases a version writes a fresh object: until the manifest swap, the
+// old chain remains fully readable, and afterwards the old object is
+// garbage-collected by name.
+func rebasedDeltaID(name string, version, base int) string {
+	return fmt.Sprintf("%s/v%d-delta-b%d", name, version, base)
+}
+
+// baseOf returns the version the given version's delta applies to:
+// entry.base when set, the chain predecessor otherwise.
+func (a *Archive) baseOf(version int) int {
+	if b := a.entries[version-1].base; b != 0 {
+		return b
+	}
+	return version - 1
+}
+
+// deltaObjectID returns the stored object name of a version's delta,
+// accounting for compaction rebases.
+func (a *Archive) deltaObjectID(version int) string {
+	if b := a.entries[version-1].base; b != 0 && b != version-1 {
+		return rebasedDeltaID(a.cfg.Name, version, b)
+	}
+	return deltaID(a.cfg.Name, version)
 }

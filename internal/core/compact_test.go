@@ -1,0 +1,759 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/secarchive/sec/internal/delta"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// chain20x10 builds the acceptance scenario: a (20,10) Reversed SEC
+// archive whose chain is 1 full codeword (the tip) plus 8 deltas, so the
+// oldest version sits 8 delta applications from the anchor.
+func chain20x10(t *testing.T, cluster *store.Cluster) (*Archive, [][]byte) {
+	t.Helper()
+	cfg := Config{
+		Name:      "t",
+		Scheme:    ReversedSEC,
+		Code:      erasure.NonSystematicCauchy,
+		N:         20,
+		K:         10,
+		BlockSize: 8,
+	}
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	object := make([]byte, 80)
+	rng.Read(object)
+	versions := [][]byte{append([]byte(nil), object...)}
+	mustCommit(t, a, object)
+	for j := 1; j <= 8; j++ {
+		object = editBlocks(object, 8, j%3)
+		versions = append(versions, append([]byte(nil), object...))
+		mustCommit(t, a, object)
+	}
+	return a, versions
+}
+
+// shardCount sums the shards held across a cluster's nodes.
+func shardCount(t *testing.T, cluster *store.Cluster) int {
+	t.Helper()
+	total := 0
+	for i := 0; i < cluster.Size(); i++ {
+		n, err := cluster.Node(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch node := n.(type) {
+		case *store.MemNode:
+			total += node.Len()
+		case *store.DiskNode:
+			total += node.Len()
+		default:
+			t.Fatalf("unexpected node type %T", n)
+		}
+	}
+	return total
+}
+
+// objectGone asserts no node holds any row of the object.
+func objectGone(t *testing.T, cluster *store.Cluster, a *Archive, id string, version int) {
+	t.Helper()
+	for row := 0; row < a.cfg.N; row++ {
+		node := a.cfg.Placement.NodeFor(version-1, row)
+		if _, err := cluster.Get(context.Background(), node, store.ShardID{Object: id, Row: row}); !errors.Is(err, store.ErrNotFound) {
+			t.Errorf("superseded shard %s#%d still on node %d (err=%v)", id, row, node, err)
+		}
+	}
+}
+
+// TestCompactAcceptance is the PR's acceptance scenario over both local
+// node kinds: a (20,10) chain of 1 full + 8 deltas compacted with
+// MaxChainLength=4 retrieves every historical version byte-identically,
+// the oldest version costs strictly fewer node reads afterwards (asserted
+// via NodeStats), and the superseded shards are physically deleted.
+func TestCompactAcceptance(t *testing.T) {
+	clusters := map[string]func(t *testing.T) *store.Cluster{
+		"mem": func(t *testing.T) *store.Cluster { return store.NewMemCluster(20) },
+		"disk": func(t *testing.T) *store.Cluster {
+			c, err := store.NewDiskCluster(t.TempDir(), 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+	}
+	for name, mk := range clusters {
+		t.Run(name, func(t *testing.T) {
+			cluster := mk(t)
+			a, versions := chain20x10(t, cluster)
+
+			cluster.ResetStats()
+			_, preStats, err := a.RetrieveContext(context.Background(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preReads := int(cluster.TotalStats().Reads)
+			if preReads != preStats.NodeReads {
+				t.Fatalf("pre-compaction accounting: NodeStats %d != RetrievalStats %d", preReads, preStats.NodeReads)
+			}
+			if want := 10 + 8*2; preReads != want {
+				t.Fatalf("pre-compaction oldest-version reads = %d, want %d", preReads, want)
+			}
+			supersededIDs := []string{deltaID("t", 2), deltaID("t", 3), deltaID("t", 4)}
+			before := shardCount(t, cluster)
+
+			info, err := a.CompactToContext(context.Background(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Versions 1..4 sat 8..5 deltas from the tip anchor x9; all were
+			// rebased (the merged deltas stay sparse: the edits overlap).
+			if want := []int{1, 2, 3, 4}; len(info.Rebased) != 4 || len(info.Promoted) != 0 {
+				t.Fatalf("rebased %v promoted %v, want rebased %v", info.Rebased, info.Promoted, want)
+			}
+			// v2..v4 had chain deltas to supersede; v1 had no object at all.
+			if want := 3 * 20; info.ShardsDeleted != want || info.OrphanShards != 0 {
+				t.Fatalf("deleted %d orphaned %d shards, want %d/0", info.ShardsDeleted, info.OrphanShards, want)
+			}
+			if info.PlannedReadGain <= 0 {
+				t.Errorf("planned read gain = %d, want positive (deep walks replaced by single merges)", info.PlannedReadGain)
+			}
+			for i, id := range supersededIDs {
+				objectGone(t, cluster, a, id, i+2)
+			}
+			if got, want := shardCount(t, cluster), before+4*20-3*20; got != want {
+				t.Fatalf("cluster holds %d shards post-compaction, want %d", got, want)
+			}
+
+			// Every historical version is byte-identical.
+			for v, want := range versions {
+				got, _, err := a.RetrieveContext(context.Background(), v+1)
+				if err != nil {
+					t.Fatalf("retrieve v%d: %v", v+1, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("v%d differs after compaction", v+1)
+				}
+			}
+			// The oldest version now reads strictly fewer shards.
+			cluster.ResetStats()
+			_, postStats, err := a.RetrieveContext(context.Background(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			postReads := int(cluster.TotalStats().Reads)
+			if postReads != postStats.NodeReads {
+				t.Fatalf("post-compaction accounting: NodeStats %d != RetrievalStats %d", postReads, postStats.NodeReads)
+			}
+			if postReads >= preReads {
+				t.Fatalf("oldest-version reads = %d post-compaction, want < %d", postReads, preReads)
+			}
+			// And no chain is deeper than the bound.
+			for v := 1; v <= a.Versions(); v++ {
+				depth, err := a.ChainDepth(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if depth > 4 {
+					t.Errorf("v%d chain depth %d exceeds bound 4", v, depth)
+				}
+			}
+		})
+	}
+}
+
+// TestChainStatsMatchesPerVersionCalls pins the batched summary to the
+// per-version planner across a compacted (non-trivial) graph.
+func TestChainStatsMatchesPerVersionCalls(t *testing.T) {
+	cluster := store.NewMemCluster(20)
+	a, _ := chain20x10(t, cluster)
+	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	depths, planned, err := a.ChainStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= a.Versions(); v++ {
+		d, err := a.ChainDepth(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := a.PlannedReads(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depths[v-1] != d || planned[v-1] != p {
+			t.Errorf("v%d: ChainStats = (%d,%d), per-version = (%d,%d)", v, depths[v-1], planned[v-1], d, p)
+		}
+	}
+}
+
+// TestCompactGammaRecomputed checks the merged deltas' manifest gammas
+// against a brute-force block diff of the materialized versions.
+func TestCompactGammaRecomputed(t *testing.T) {
+	cluster := store.NewMemCluster(20)
+	a, versions := chain20x10(t, cluster)
+	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	m := a.Manifest()
+	for _, e := range m.Entries {
+		if !e.Delta || e.Base == 0 {
+			continue
+		}
+		baseBlocks, err := a.blocking.Split(versions[e.Base-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		verBlocks, err := a.blocking.Split(versions[e.Version-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := delta.Compute(baseBlocks, verBlocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := delta.Sparsity(d); e.Gamma != want {
+			t.Errorf("v%d merged gamma = %d, brute force = %d", e.Version, e.Gamma, want)
+		}
+	}
+}
+
+// TestCompactPromotesDenseMergedDelta drives merged sparsity over the
+// promotion limit: the version is stored as a full checkpoint instead.
+func TestCompactPromotesDenseMergedDelta(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	cfg := testConfig(BasicSEC, erasure.NonSystematicCauchy) // (6,3): MaxSparseGamma = 1
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	object := bytes.Repeat([]byte{1}, 12)
+	mustCommit(t, a, object)
+	var versions [][]byte
+	versions = append(versions, append([]byte(nil), object...))
+	// Each commit edits a distinct block, so merged deltas go dense fast.
+	for j := 1; j <= 5; j++ {
+		object = editBlocks(object, 4, j%3)
+		versions = append(versions, append([]byte(nil), object...))
+		mustCommit(t, a, object)
+	}
+	info, err := a.CompactToContext(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Promoted) == 0 {
+		t.Fatalf("no promotion despite dense merged deltas: %+v", info)
+	}
+	m := a.Manifest()
+	for _, v := range info.Promoted {
+		e := m.Entries[v-1]
+		if !e.Full || !e.Checkpoint || e.Delta {
+			t.Errorf("promoted v%d entry = %+v, want a checkpointed full without delta", v, e)
+		}
+	}
+	for v, want := range versions {
+		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		if err != nil {
+			t.Fatalf("retrieve v%d: %v", v+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d differs after promotion", v+1)
+		}
+		depth, err := a.ChainDepth(v + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth > 2 {
+			t.Errorf("v%d depth %d exceeds bound 2", v+1, depth)
+		}
+	}
+}
+
+func TestCompactNoOpWithinBound(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	a, err := New(testConfig(BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	object := bytes.Repeat([]byte{2}, 12)
+	mustCommit(t, a, object)
+	mustCommit(t, a, editBlocks(object, 4, 0))
+	before := shardCount(t, cluster)
+	info, err := a.CompactToContext(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Changed() || info.ShardWrites != 0 || info.ShardsDeleted != 0 {
+		t.Errorf("no-op compaction changed state: %+v", info)
+	}
+	if got := shardCount(t, cluster); got != before {
+		t.Errorf("shard count moved %d -> %d on a no-op", before, got)
+	}
+	if _, err := a.CompactContext(context.Background()); err == nil {
+		t.Error("CompactContext without MaxChainLength: want error")
+	}
+	if _, err := a.CompactToContext(context.Background(), 0); err == nil {
+		t.Error("CompactToContext(0): want error")
+	}
+}
+
+// TestAutoCompactionOnCommit checks that MaxChainLength keeps chains
+// bounded commit after commit without explicit maintenance calls.
+func TestAutoCompactionOnCommit(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	cfg := testConfig(ReversedSEC, erasure.NonSystematicCauchy)
+	cfg.MaxChainLength = 2
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	object := bytes.Repeat([]byte{3}, 12)
+	var versions [][]byte
+	compactions, supersededQueued, reclaimed := 0, 0, 0
+	for j := 0; j < 8; j++ {
+		if j > 0 {
+			object = editBlocks(object, 4, j%3)
+		}
+		versions = append(versions, append([]byte(nil), object...))
+		info := mustCommit(t, a, object)
+		if info.Compaction != nil && info.Compaction.Changed() {
+			compactions++
+			supersededQueued += info.Compaction.SupersededShards
+		}
+		reclaimed += info.ReclaimedShards
+		for v := 1; v <= a.Versions(); v++ {
+			depth, err := a.ChainDepth(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if depth > 2 {
+				t.Fatalf("after commit %d: v%d depth %d exceeds bound 2", j+1, v, depth)
+			}
+		}
+	}
+	if compactions == 0 {
+		t.Error("8 commits with MaxChainLength=2 never auto-compacted")
+	}
+	// Auto-compaction defers GC by one operation: later commits drain the
+	// codewords queued by earlier passes, so superseded shards do not
+	// accumulate unboundedly. Whatever the last pass queued is still
+	// pending, reclaimable explicitly.
+	if supersededQueued > 0 && reclaimed == 0 {
+		t.Errorf("commits queued %d superseded shards but later commits reclaimed none", supersededQueued)
+	}
+	lastDeleted, _, err := a.ReclaimSupersededContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed+lastDeleted != supersededQueued {
+		t.Errorf("reclaimed %d during commits + %d explicitly != %d queued", reclaimed, lastDeleted, supersededQueued)
+	}
+	for v, want := range versions {
+		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		if err != nil {
+			t.Fatalf("retrieve v%d: %v", v+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d differs under auto-compaction", v+1)
+		}
+	}
+}
+
+func TestCheckpointEveryBasic(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	cfg := testConfig(BasicSEC, erasure.NonSystematicCauchy)
+	cfg.CheckpointEvery = 3
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	object := bytes.Repeat([]byte{4}, 12)
+	for j := 0; j < 7; j++ {
+		if j > 0 {
+			object = editBlocks(object, 4, 0)
+		}
+		info := mustCommit(t, a, object)
+		wantCheckpoint := info.Version == 4 || info.Version == 7
+		if info.Checkpoint != wantCheckpoint {
+			t.Errorf("v%d checkpoint = %v, want %v", info.Version, info.Checkpoint, wantCheckpoint)
+		}
+	}
+	m := a.Manifest()
+	for _, e := range m.Entries {
+		wantFull := e.Version == 1 || e.Version == 4 || e.Version == 7
+		if e.Full != wantFull {
+			t.Errorf("v%d full = %v, want %v", e.Version, e.Full, wantFull)
+		}
+	}
+	for v := 1; v <= 7; v++ {
+		depth, err := a.ChainDepth(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth > 2 {
+			t.Errorf("v%d depth = %d, want <= 2 with CheckpointEvery=3", v, depth)
+		}
+	}
+}
+
+func TestCheckpointEveryReversedRetainsAnchors(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	cfg := testConfig(ReversedSEC, erasure.NonSystematicCauchy)
+	cfg.CheckpointEvery = 3
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	object := bytes.Repeat([]byte{5}, 12)
+	var versions [][]byte
+	for j := 0; j < 8; j++ {
+		if j > 0 {
+			object = editBlocks(object, 4, j%3)
+		}
+		versions = append(versions, append([]byte(nil), object...))
+		mustCommit(t, a, object)
+	}
+	m := a.Manifest()
+	for _, e := range m.Entries {
+		wantFull := e.Version == 3 || e.Version == 6 || e.Version == 8 // 8 is the tip
+		if e.Full != wantFull {
+			t.Errorf("v%d full = %v, want %v", e.Version, e.Full, wantFull)
+		}
+		if wantFull && e.Version != 8 && !e.Checkpoint {
+			t.Errorf("retained full v%d not marked as checkpoint", e.Version)
+		}
+	}
+	for v, want := range versions {
+		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		if err != nil {
+			t.Fatalf("retrieve v%d: %v", v+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d differs with retained checkpoints", v+1)
+		}
+		depth, err := a.ChainDepth(v + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth > 2 {
+			t.Errorf("v%d depth = %d, want <= 2", v+1, depth)
+		}
+	}
+}
+
+// TestCompactedManifestRoundTrip reopens a compacted archive from its
+// manifest and checks retrieval, scrub, and repair all honor the rebased
+// chain.
+func TestCompactedManifestRoundTrip(t *testing.T) {
+	cluster := store.NewMemCluster(20)
+	a, versions := chain20x10(t, cluster)
+	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Load(&buf, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range versions {
+		got, _, err := reopened.RetrieveContext(context.Background(), v+1)
+		if err != nil {
+			t.Fatalf("retrieve v%d after reopen: %v", v+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d differs after manifest round trip", v+1)
+		}
+	}
+	// Scrub sees a fully healthy archive: no references to GC'd objects.
+	report, err := reopened.ScrubContext(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsMissing != 0 || report.ShardsCorrupt != 0 || report.ObjectsUndecodable != 0 {
+		t.Errorf("post-compaction scrub = %+v, want clean", report)
+	}
+	// Repair heals a wiped node's rebased-delta shards too.
+	n, err := cluster.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.(*store.MemNode).Wipe()
+	repair, err := reopened.RepairNodeContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repair.ShardsRepaired == 0 {
+		t.Error("repair rebuilt nothing on a wiped node")
+	}
+	if got, _, err := reopened.RetrieveContext(context.Background(), 1); err != nil || !bytes.Equal(got, versions[0]) {
+		t.Errorf("v1 unreadable after repair: %v", err)
+	}
+}
+
+// TestRetrieveAllAfterCompaction exercises the whole-archive read across
+// rebased chains (bases later than their versions).
+func TestRetrieveAllAfterCompaction(t *testing.T) {
+	cluster := store.NewMemCluster(20)
+	a, versions := chain20x10(t, cluster)
+	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	cluster.ResetStats()
+	all, stats, err := a.RetrieveAllContext(context.Background(), len(versions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range versions {
+		if !bytes.Equal(all[v], want) {
+			t.Errorf("RetrieveAll v%d differs", v+1)
+		}
+	}
+	if got := int(cluster.TotalStats().Reads); got != stats.NodeReads {
+		t.Errorf("RetrieveAll accounting: NodeStats %d != RetrievalStats %d", got, stats.NodeReads)
+	}
+	planned, err := a.PlannedReadsAll(len(versions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned != stats.NodeReads {
+		t.Errorf("PlannedReadsAll = %d, measured %d", planned, stats.NodeReads)
+	}
+}
+
+// TestCompactCrashBeforeSwapLeavesOldChainReadable simulates a compaction
+// that dies after writing some new codewords but before the manifest swap:
+// the old manifest (on disk, and the in-memory entries) must still read
+// every version byte-identically, and a retried compaction must succeed.
+func TestCompactCrashBeforeSwapLeavesOldChainReadable(t *testing.T) {
+	cluster, err := store.NewDiskCluster(t.TempDir(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, versions := chain20x10(t, cluster)
+	var preManifest bytes.Buffer
+	if err := a.Save(&preManifest); err != nil {
+		t.Fatal(err)
+	}
+	preJSON := append([]byte(nil), preManifest.Bytes()...)
+
+	// Node 19 dies mid-pass: materialization still has k=10 of 19 live
+	// rows per object, but the first writeObject cannot place its shard
+	// and the pass aborts - after writing the other 19 shards of the new
+	// object, exactly the torn state a crash would leave.
+	if err := cluster.Fail(19); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CompactToContext(context.Background(), 4); err == nil {
+		t.Fatal("compaction with a dead write target: want error")
+	}
+	if err := cluster.Heal(19); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-memory manifest was never swapped...
+	m := a.Manifest()
+	for _, e := range m.Entries {
+		if e.Base != 0 {
+			t.Fatalf("aborted compaction leaked base rewrite into manifest: %+v", e)
+		}
+	}
+	// ...and a fresh archive opened from the pre-compaction manifest (the
+	// crashed process's on-disk state) reads everything, orphan shards
+	// notwithstanding.
+	reopened, err := Load(bytes.NewReader(preJSON), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range versions {
+		got, _, err := reopened.RetrieveContext(context.Background(), v+1)
+		if err != nil {
+			t.Fatalf("retrieve v%d from old manifest: %v", v+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d differs reading the old chain", v+1)
+		}
+	}
+	// The retry overwrites the orphans and completes.
+	info, err := reopened.CompactToContext(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Changed() {
+		t.Fatal("retried compaction changed nothing")
+	}
+	for v, want := range versions {
+		got, _, err := reopened.RetrieveContext(context.Background(), v+1)
+		if err != nil {
+			t.Fatalf("retrieve v%d after retried compaction: %v", v+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d differs after retried compaction", v+1)
+		}
+	}
+}
+
+// TestCompactKeepSupersededThenReclaim exercises the crash-safe two-phase
+// flow: after CompactKeepSupersededContext, BOTH the pre- and
+// post-compaction manifests describe fully readable chains (a crash
+// between swap and persistence loses nothing); ReclaimSupersededContext
+// then frees the superseded codewords once the caller has persisted.
+func TestCompactKeepSupersededThenReclaim(t *testing.T) {
+	cluster := store.NewMemCluster(20)
+	a, versions := chain20x10(t, cluster)
+	var preManifest bytes.Buffer
+	if err := a.Save(&preManifest); err != nil {
+		t.Fatal(err)
+	}
+	preJSON := append([]byte(nil), preManifest.Bytes()...)
+
+	info, err := a.CompactKeepSupersededContext(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ShardsDeleted != 0 || info.OrphanShards != 0 {
+		t.Fatalf("keep variant deleted shards: %+v", info)
+	}
+	if want := 3 * 20; info.SupersededShards != want {
+		t.Fatalf("superseded shards = %d, want %d", info.SupersededShards, want)
+	}
+	// The OLD manifest still reads every version: nothing it references
+	// has been deleted yet.
+	old, err := Load(bytes.NewReader(preJSON), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range versions {
+		got, _, err := old.RetrieveContext(context.Background(), v+1)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("old manifest v%d unreadable before reclaim: %v", v+1, err)
+		}
+	}
+	// So does the new one.
+	for v, want := range versions {
+		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("new manifest v%d unreadable: %v", v+1, err)
+		}
+	}
+	// Reclaim frees exactly the superseded codewords.
+	deleted, orphans, err := a.ReclaimSupersededContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != info.SupersededShards || orphans != 0 {
+		t.Fatalf("reclaim = %d deleted / %d orphans, want %d/0", deleted, orphans, info.SupersededShards)
+	}
+	for i, id := range []string{deltaID("t", 2), deltaID("t", 3), deltaID("t", 4)} {
+		objectGone(t, cluster, a, id, i+2)
+	}
+	// Idempotent: a second reclaim has nothing to do.
+	if deleted, orphans, err := a.ReclaimSupersededContext(context.Background()); err != nil || deleted != 0 || orphans != 0 {
+		t.Fatalf("second reclaim = %d/%d/%v, want 0/0/nil", deleted, orphans, err)
+	}
+	// And the compacted chain still reads everything.
+	for v, want := range versions {
+		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("v%d unreadable after reclaim: %v", v+1, err)
+		}
+	}
+}
+
+// TestCompactWithBatchIODisabled runs the same pass down the per-shard
+// cluster path (including per-shard deletes).
+func TestCompactWithBatchIODisabled(t *testing.T) {
+	cluster := store.NewMemCluster(20)
+	cfg := Config{
+		Name:           "t",
+		Scheme:         ReversedSEC,
+		Code:           erasure.NonSystematicCauchy,
+		N:              20,
+		K:              10,
+		BlockSize:      8,
+		DisableBatchIO: true,
+	}
+	a, err := New(cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	object := bytes.Repeat([]byte{6}, 80)
+	var versions [][]byte
+	for j := 0; j < 9; j++ {
+		if j > 0 {
+			object = editBlocks(object, 8, j%3)
+		}
+		versions = append(versions, append([]byte(nil), object...))
+		mustCommit(t, a, object)
+	}
+	info, err := a.CompactToContext(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Changed() || info.ShardsDeleted == 0 {
+		t.Fatalf("per-shard compaction did not run: %+v", info)
+	}
+	for v, want := range versions {
+		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		if err != nil {
+			t.Fatalf("retrieve v%d: %v", v+1, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("v%d differs (per-shard I/O path)", v+1)
+		}
+	}
+}
+
+// TestUnqueueSupersededProtectsRewrittenNames pins the guard against the
+// queue/rewrite collision: an object name queued for reclaim by an
+// earlier pass and then rewritten with live content must be dropped from
+// the queue, or the next reclaim would delete the live codeword.
+func TestUnqueueSupersededProtectsRewrittenNames(t *testing.T) {
+	a := &Archive{superseded: []gcObject{
+		{id: "t/v6-delta", version: 6},
+		{id: "t/v7-delta-b9", version: 7},
+		{id: "t/v6-delta", version: 6},
+	}}
+	a.unqueueSuperseded("t/v6-delta")
+	if len(a.superseded) != 1 || a.superseded[0].id != "t/v7-delta-b9" {
+		t.Fatalf("queue after unqueue = %+v, want only t/v7-delta-b9", a.superseded)
+	}
+	a.unqueueSuperseded("t/v7-delta-b9")
+	if len(a.superseded) != 0 {
+		t.Fatalf("queue not emptied: %+v", a.superseded)
+	}
+}
+
+func TestConfigLifecycleValidation(t *testing.T) {
+	cluster := store.NewMemCluster(0)
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative max chain", func(c *Config) { c.MaxChainLength = -1 }},
+		{"negative checkpoint interval", func(c *Config) { c.CheckpointEvery = -2 }},
+		{"negative gamma limit", func(c *Config) { c.CompactGammaLimit = -1 }},
+		{"gamma limit above k", func(c *Config) { c.CompactGammaLimit = 4 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig(BasicSEC, erasure.NonSystematicCauchy)
+			tt.mut(&cfg)
+			if _, err := New(cfg, cluster); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}

@@ -45,3 +45,15 @@ func (a *Archive) Scrub(repair bool) (ScrubReport, error) {
 func (a *Archive) RepairNode(node int) (RepairReport, error) {
 	return a.RepairNodeContext(context.Background(), node)
 }
+
+// Compact bounds chain depth to the configured MaxChainLength without
+// cancellation; see CompactContext.
+func (a *Archive) Compact() (CompactionInfo, error) {
+	return a.CompactContext(context.Background())
+}
+
+// CompactTo bounds chain depth to maxLen without cancellation; see
+// CompactToContext.
+func (a *Archive) CompactTo(maxLen int) (CompactionInfo, error) {
+	return a.CompactToContext(context.Background(), maxLen)
+}

@@ -16,16 +16,22 @@ import (
 // metadata the paper assumes (version count and per-delta sparsity levels
 // gamma_j, which retrieval needs to size its sparse reads).
 type Manifest struct {
-	Name           string          `json:"name"`
-	Scheme         string          `json:"scheme"`
-	Code           string          `json:"code"`
-	Field          string          `json:"field,omitempty"`
-	N              int             `json:"n"`
-	K              int             `json:"k"`
-	BlockSize      int             `json:"block_size"`
-	PunctureDeltas int             `json:"puncture_deltas,omitempty"`
-	Placement      string          `json:"placement"`
-	Entries        []ManifestEntry `json:"entries"`
+	Name           string `json:"name"`
+	Scheme         string `json:"scheme"`
+	Code           string `json:"code"`
+	Field          string `json:"field,omitempty"`
+	N              int    `json:"n"`
+	K              int    `json:"k"`
+	BlockSize      int    `json:"block_size"`
+	PunctureDeltas int    `json:"puncture_deltas,omitempty"`
+	Placement      string `json:"placement"`
+	// MaxChainLength, CheckpointEvery, and CompactGammaLimit persist the
+	// chain-lifecycle policy (see Config) so an archive reopened from its
+	// manifest keeps compacting the way it was created to.
+	MaxChainLength    int             `json:"max_chain_length,omitempty"`
+	CheckpointEvery   int             `json:"checkpoint_every,omitempty"`
+	CompactGammaLimit int             `json:"compact_gamma_limit,omitempty"`
+	Entries           []ManifestEntry `json:"entries"`
 }
 
 // ManifestEntry describes one version's stored objects.
@@ -35,6 +41,13 @@ type ManifestEntry struct {
 	Delta   bool `json:"delta"`
 	Gamma   int  `json:"gamma"`
 	Length  int  `json:"length"`
+	// Base is the version the delta applies to; 0 means the chain
+	// predecessor (version-1). Compaction rebases deltas onto anchors and
+	// records the anchor here.
+	Base int `json:"base,omitempty"`
+	// Checkpoint marks a lifecycle-placed full codeword that Reversed SEC
+	// must not delete when the chain tip moves on.
+	Checkpoint bool `json:"checkpoint,omitempty"`
 }
 
 // Manifest captures the archive's current state.
@@ -42,24 +55,33 @@ func (a *Archive) Manifest() Manifest {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	m := Manifest{
-		Name:           a.cfg.Name,
-		Scheme:         a.cfg.Scheme.String(),
-		Code:           a.cfg.Code.String(),
-		Field:          a.cfg.Field.String(),
-		N:              a.cfg.N,
-		K:              a.cfg.K,
-		BlockSize:      a.cfg.BlockSize,
-		PunctureDeltas: a.cfg.PunctureDeltas,
-		Placement:      a.cfg.Placement.Name(),
-		Entries:        make([]ManifestEntry, len(a.entries)),
+		Name:              a.cfg.Name,
+		Scheme:            a.cfg.Scheme.String(),
+		Code:              a.cfg.Code.String(),
+		Field:             a.cfg.Field.String(),
+		N:                 a.cfg.N,
+		K:                 a.cfg.K,
+		BlockSize:         a.cfg.BlockSize,
+		PunctureDeltas:    a.cfg.PunctureDeltas,
+		Placement:         a.cfg.Placement.Name(),
+		MaxChainLength:    a.cfg.MaxChainLength,
+		CheckpointEvery:   a.cfg.CheckpointEvery,
+		CompactGammaLimit: a.cfg.CompactGammaLimit,
+		Entries:           make([]ManifestEntry, len(a.entries)),
 	}
 	for i, e := range a.entries {
+		base := 0
+		if e.hasDelta && e.base != 0 && e.base != i {
+			base = e.base // i is version-1: only non-default bases persist
+		}
 		m.Entries[i] = ManifestEntry{
-			Version: i + 1,
-			Full:    e.hasFull,
-			Delta:   e.hasDelta,
-			Gamma:   e.gamma,
-			Length:  e.length,
+			Version:    i + 1,
+			Full:       e.hasFull,
+			Delta:      e.hasDelta,
+			Gamma:      e.gamma,
+			Length:     e.length,
+			Base:       base,
+			Checkpoint: e.checkpoint,
 		}
 	}
 	return m
@@ -96,15 +118,18 @@ func Open(m Manifest, cluster *store.Cluster) (*Archive, error) {
 		return nil, err
 	}
 	cfg := Config{
-		Name:           m.Name,
-		Scheme:         scheme,
-		Code:           kind,
-		Field:          field,
-		N:              m.N,
-		K:              m.K,
-		BlockSize:      m.BlockSize,
-		Placement:      placement,
-		PunctureDeltas: m.PunctureDeltas,
+		Name:              m.Name,
+		Scheme:            scheme,
+		Code:              kind,
+		Field:             field,
+		N:                 m.N,
+		K:                 m.K,
+		BlockSize:         m.BlockSize,
+		Placement:         placement,
+		PunctureDeltas:    m.PunctureDeltas,
+		MaxChainLength:    m.MaxChainLength,
+		CheckpointEvery:   m.CheckpointEvery,
+		CompactGammaLimit: m.CompactGammaLimit,
 	}
 	a, err := New(cfg, cluster)
 	if err != nil {
@@ -115,16 +140,36 @@ func Open(m Manifest, cluster *store.Cluster) (*Archive, error) {
 		if me.Version != i+1 {
 			return nil, fmt.Errorf("core: manifest entry %d has version %d", i, me.Version)
 		}
-		if !me.Full && !me.Delta {
-			return nil, fmt.Errorf("core: manifest version %d stores neither full nor delta", me.Version)
-		}
 		if me.Gamma < 0 || me.Gamma > m.K {
 			return nil, fmt.Errorf("core: manifest version %d has invalid gamma %d", me.Version, me.Gamma)
 		}
 		if me.Length < 0 || me.Length > m.K*m.BlockSize {
 			return nil, fmt.Errorf("core: manifest version %d has invalid length %d", me.Version, me.Length)
 		}
-		a.entries[i] = entry{hasFull: me.Full, hasDelta: me.Delta, gamma: me.Gamma, length: me.Length}
+		if me.Base != 0 {
+			if !me.Delta {
+				return nil, fmt.Errorf("core: manifest version %d has a delta base but no delta", me.Version)
+			}
+			if me.Base < 1 || me.Base > len(m.Entries) || me.Base == me.Version {
+				return nil, fmt.Errorf("core: manifest version %d has invalid delta base %d", me.Version, me.Base)
+			}
+		}
+		a.entries[i] = entry{
+			hasFull:    me.Full,
+			hasDelta:   me.Delta,
+			gamma:      me.Gamma,
+			length:     me.Length,
+			base:       me.Base,
+			checkpoint: me.Checkpoint,
+		}
+	}
+	// A version may store neither a full nor its own delta (Reversed SEC
+	// reaches version 1 through version 2's delta), but every version must
+	// be reachable from some full codeword along the delta graph.
+	if len(a.entries) > 0 {
+		if _, _, err := a.chainDepths(); err != nil {
+			return nil, fmt.Errorf("core: manifest describes an unretrievable chain: %w", err)
+		}
 	}
 	if err := cluster.EnsureSize(placement.NodesRequired(max(len(m.Entries), 1), m.N)); err != nil {
 		return nil, err

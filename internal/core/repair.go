@@ -58,7 +58,7 @@ func (a *Archive) RepairNodeContext(ctx context.Context, node int) (RepairReport
 			}
 		}
 		if e.hasDelta {
-			if err := a.repairObject(ctx, a.deltaCode, deltaID(a.cfg.Name, v), v, node, &report); err != nil {
+			if err := a.repairObject(ctx, a.deltaCode, a.deltaObjectID(v), v, node, &report); err != nil {
 				return report, err
 			}
 		}

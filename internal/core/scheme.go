@@ -129,6 +129,29 @@ type Config struct {
 	// the paper flags as future work for non-systematic SEC; resilience
 	// of deltas degrades accordingly.
 	PunctureDeltas int
+	// MaxChainLength bounds how many delta applications any version's
+	// retrieval may need (0 = unbounded). When set, a commit that pushes
+	// some version's chain depth beyond the bound triggers compaction:
+	// over-deep versions are rebased onto their nearest full anchor with a
+	// merged (XOR-composed) delta, or promoted to a full checkpoint when
+	// the merged delta is dense. The superseded delta codewords are
+	// garbage-collected one operation later - the next commit (or an
+	// explicit ReclaimSupersededContext or compaction pass) frees them, so
+	// a caller persisting the manifest after each commit never has a
+	// persisted manifest referencing deleted objects. CompactContext
+	// applies the same bound on demand.
+	MaxChainLength int
+	// CheckpointEvery stores (or, for Reversed SEC, retains) a full
+	// codeword at least every CheckpointEvery versions (0 = only what the
+	// scheme stores). Checkpoints bound chain growth proactively at commit
+	// time, where MaxChainLength bounds it reactively by compaction.
+	CheckpointEvery int
+	// CompactGammaLimit is the sparsity above which compaction promotes a
+	// merged delta to a full checkpoint instead of storing it (0 = the
+	// delta code's maximum sparse-readable gamma). A merged delta denser
+	// than the limit would cost as much to read as a full codeword while
+	// being less resilient, so promotion is strictly better.
+	CompactGammaLimit int
 	// ReadConcurrency bounds the number of shards fetched in parallel
 	// during a retrieval when DisableBatchIO is set (values below 2 mean
 	// sequential reads). The default batched I/O path groups shards into
@@ -164,6 +187,15 @@ func (c Config) validate() error {
 	}
 	if c.PunctureDeltas < 0 {
 		return fmt.Errorf("core: negative puncture count %d", c.PunctureDeltas)
+	}
+	if c.MaxChainLength < 0 {
+		return fmt.Errorf("core: negative max chain length %d", c.MaxChainLength)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: negative checkpoint interval %d", c.CheckpointEvery)
+	}
+	if c.CompactGammaLimit < 0 || c.CompactGammaLimit > c.K {
+		return fmt.Errorf("core: compact gamma limit %d outside [0,%d]", c.CompactGammaLimit, c.K)
 	}
 	switch c.Field {
 	case GF8:

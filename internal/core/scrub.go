@@ -59,7 +59,7 @@ func (a *Archive) ScrubContext(ctx context.Context, repair bool) (ScrubReport, e
 			}
 		}
 		if e.hasDelta {
-			if err := a.scrubObject(ctx, a.deltaCode, deltaID(a.cfg.Name, v), v, repair, &report); err != nil {
+			if err := a.scrubObject(ctx, a.deltaCode, a.deltaObjectID(v), v, repair, &report); err != nil {
 				return report, err
 			}
 		}

@@ -1,0 +1,204 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDelta builds a delta with exactly gamma non-zero blocks.
+func randomDelta(rng *rand.Rand, k, blockSize, gamma int) [][]byte {
+	d := make([][]byte, k)
+	for i := range d {
+		d[i] = make([]byte, blockSize)
+	}
+	for _, i := range rng.Perm(k)[:gamma] {
+		for {
+			rng.Read(d[i])
+			if !isZeroBlock(d[i]) {
+				break
+			}
+		}
+	}
+	return d
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 4 + rng.Intn(12)
+		blockSize := 1 + rng.Intn(64)
+		a := randomDelta(rng, k, blockSize, rng.Intn(k+1))
+		b := randomDelta(rng, k, blockSize, rng.Intn(k+1))
+		c := randomDelta(rng, k, blockSize, rng.Intn(k+1))
+
+		bc, err := Merge(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, err := Merge(a, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := Merge(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := Merge(ab, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := Merge(a, b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(left, right) {
+			t.Fatalf("trial %d: merge(a, merge(b,c)) != merge(merge(a,b), c)", trial)
+		}
+		if !Equal(left, flat) {
+			t.Fatalf("trial %d: merge(a,b,c) != nested merges", trial)
+		}
+	}
+}
+
+func TestMergeMatchesVersionDifference(t *testing.T) {
+	// Merging the chain deltas z_2..z_L must equal x_L - x_1 exactly, the
+	// identity compaction relies on.
+	rng := rand.New(rand.NewSource(8))
+	k, blockSize := 8, 32
+	version := randomDelta(rng, k, blockSize, k) // random initial object
+	first := Clone(version)
+	var chain [][][]byte
+	for i := 0; i < 6; i++ {
+		z := randomDelta(rng, k, blockSize, 1+rng.Intn(k))
+		chain = append(chain, z)
+		next, err := Apply(version, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		version = next
+	}
+	merged, err := Merge(chain...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Compute(first, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(merged, direct) {
+		t.Fatal("merged chain deltas != x_L - x_1")
+	}
+}
+
+func TestMergeSelfInverseAndClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := randomDelta(rng, 6, 16, 4)
+	self, err := Merge(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsZero(self) {
+		t.Error("merge(d, d) is not the zero delta")
+	}
+	single, err := Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(single, d) {
+		t.Error("merge of one delta differs from the delta")
+	}
+	single[0][0] ^= 1
+	if Equal(single, d) {
+		t.Error("merge of one delta aliases its input")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("merge of zero deltas: want error")
+	}
+}
+
+// TestMergedGammaBruteForce recomputes merged sparsity block by block and
+// checks Sparsity agrees, across overlapping and disjoint supports.
+func TestMergedGammaBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(14)
+		blockSize := 1 + rng.Intn(32)
+		a := randomDelta(rng, k, blockSize, rng.Intn(k+1))
+		b := randomDelta(rng, k, blockSize, rng.Intn(k+1))
+		merged, err := Merge(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := 0
+		for i := 0; i < k; i++ {
+			nonzero := false
+			for j := 0; j < blockSize; j++ {
+				if a[i][j]^b[i][j] != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if nonzero {
+				brute++
+			}
+		}
+		if got := Sparsity(merged); got != brute {
+			t.Fatalf("trial %d: Sparsity(merged) = %d, brute force = %d", trial, got, brute)
+		}
+	}
+}
+
+func TestMergedGammaOverlapAndCancellation(t *testing.T) {
+	k, blockSize := 8, 4
+	mk := func(blocks map[int]byte) [][]byte {
+		d := make([][]byte, k)
+		for i := range d {
+			d[i] = make([]byte, blockSize)
+		}
+		for i, v := range blocks {
+			for j := range d[i] {
+				d[i][j] = v
+			}
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		a, b map[int]byte
+		want int
+	}{
+		{"disjoint supports add", map[int]byte{0: 1, 1: 2}, map[int]byte{5: 3}, 3},
+		{"identical blocks cancel", map[int]byte{2: 7}, map[int]byte{2: 7}, 0},
+		{"overlap without cancelling", map[int]byte{2: 7, 3: 1}, map[int]byte{2: 5}, 2},
+	}
+	for _, tc := range cases {
+		merged, err := Merge(mk(tc.a), mk(tc.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Sparsity(merged); got != tc.want {
+			t.Errorf("%s: gamma = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestReadCostAndMergeGain(t *testing.T) {
+	k, maxSparse := 10, 4
+	if got := ReadCost(0, k, maxSparse); got != 0 {
+		t.Errorf("zero delta cost = %d, want 0", got)
+	}
+	if got := ReadCost(3, k, maxSparse); got != 6 {
+		t.Errorf("sparse cost = %d, want 6", got)
+	}
+	if got := ReadCost(5, k, maxSparse); got != k {
+		t.Errorf("dense cost = %d, want %d", got, k)
+	}
+	// Four 1-sparse deltas merged into a 2-sparse delta: 4*2 - 2*2 = 4.
+	if got := MergeGain(k, maxSparse, []int{1, 1, 1, 1}, 2); got != 4 {
+		t.Errorf("merge gain = %d, want 4", got)
+	}
+	// Merging into a dense delta can lose on a single walk.
+	if got := MergeGain(k, maxSparse, []int{1, 1}, 9); got != 4-k {
+		t.Errorf("dense merge gain = %d, want %d", got, 4-k)
+	}
+}

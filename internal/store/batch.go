@@ -36,6 +36,11 @@ type BatchNode interface {
 	// PutBatch stores data[i] under ids[i], returning one error per
 	// shard (nil for successes). len(data) must equal len(ids).
 	PutBatch(ctx context.Context, ids []ShardID, data [][]byte) []error
+	// DeleteBatch removes every listed shard, returning one error per
+	// shard (nil for successes, ErrNotFound for shards already absent).
+	// It is the garbage-collection primitive of chain compaction: one
+	// call per node reclaims a whole superseded codeword.
+	DeleteBatch(ctx context.Context, ids []ShardID) []error
 }
 
 // GetShards reads a batch of shards from any node: natively when the node
@@ -61,6 +66,19 @@ func PutShards(ctx context.Context, n Node, ids []ShardID, data [][]byte) []erro
 	errs := make([]error, len(ids))
 	for i, id := range ids {
 		errs[i] = n.Put(ctx, id, data[i])
+	}
+	return errs
+}
+
+// DeleteShards removes a batch of shards from any node: natively when the
+// node implements BatchNode, with a transparent per-shard loop otherwise.
+func DeleteShards(ctx context.Context, n Node, ids []ShardID) []error {
+	if b, ok := n.(BatchNode); ok {
+		return b.DeleteBatch(ctx, ids)
+	}
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		errs[i] = n.Delete(ctx, id)
 	}
 	return errs
 }
@@ -144,6 +162,26 @@ func (c *Cluster) PutBatch(ctx context.Context, refs []ShardRef, data [][]byte) 
 			payloads[j] = data[i]
 		}
 		for j, err := range PutShards(ctx, b.node, b.ids, payloads) {
+			errs[b.idx[j]] = err
+		}
+	})
+	return errs
+}
+
+// DeleteBatch removes the listed shards, grouped into one batch per node;
+// batches to distinct nodes run concurrently. It returns one error per
+// shard, aligned with refs (nil for successes, errors wrapping ErrNotFound
+// for shards already absent).
+func (c *Cluster) DeleteBatch(ctx context.Context, refs []ShardRef) []error {
+	errs := make([]error, len(refs))
+	runNodeBatches(c.groupByNode(refs), func(b *nodeBatch) {
+		if b.nodeErr != nil {
+			for _, i := range b.idx {
+				errs[i] = b.nodeErr
+			}
+			return
+		}
+		for j, err := range DeleteShards(ctx, b.node, b.ids) {
 			errs[b.idx[j]] = err
 		}
 	})

@@ -357,6 +357,51 @@ func (n *DiskNode) Delete(ctx context.Context, id ShardID) error {
 	return nil
 }
 
+// DeleteBatch removes several shards, amortizing the directory flushes the
+// way PutBatch does: every file is unlinked first, then each affected
+// fan-out directory is fsynced once. Each shard fails or succeeds
+// independently with the same ErrNotFound contract as Delete; each success
+// counts one delete. The context is checked before each unlink, so a
+// cancelled batch stops removing shards while directories already touched
+// are still flushed.
+func (n *DiskNode) DeleteBatch(ctx context.Context, ids []ShardID) []error {
+	errs := make([]error, len(ids))
+	n.mu.Lock()
+	failed := n.failed
+	n.mu.Unlock()
+	if failed {
+		for i, id := range ids {
+			errs[i] = shardErr("delete", id, n.id, ErrNodeDown)
+		}
+		return errs
+	}
+	var deletes uint64
+	dirty := make(map[string]struct{}, 4)
+	for i, id := range ids {
+		if err := ctxErr(ctx, "delete", id, n.id); err != nil {
+			errs[i] = err
+			continue
+		}
+		dir, path := n.shardPath(id)
+		if err := os.Remove(path); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				err = ErrNotFound
+			}
+			errs[i] = shardErr("delete", id, n.id, err)
+			continue
+		}
+		deletes++
+		dirty[dir] = struct{}{}
+	}
+	for dir := range dirty {
+		_ = syncDir(dir) // best effort, matching Delete: a resurrected shard is re-deletable
+	}
+	n.mu.Lock()
+	n.stats.Deletes += deletes
+	n.mu.Unlock()
+	return errs
+}
+
 // Available reports whether the node accepts operations.
 func (n *DiskNode) Available(ctx context.Context) bool {
 	if ctx.Err() != nil {

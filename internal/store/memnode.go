@@ -119,6 +119,33 @@ func (n *MemNode) PutBatch(ctx context.Context, ids []ShardID, data [][]byte) []
 	return errs
 }
 
+// DeleteBatch removes several shards under one lock acquisition, counting
+// each successful delete individually. Each shard fails or succeeds
+// independently with the same ErrNotFound contract as Delete; the context
+// is checked per shard.
+func (n *MemNode) DeleteBatch(ctx context.Context, ids []ShardID) []error {
+	errs := make([]error, len(ids))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, id := range ids {
+		if err := ctxErr(ctx, "delete", id, n.id); err != nil {
+			errs[i] = err
+			continue
+		}
+		if n.failed {
+			errs[i] = shardErr("delete", id, n.id, ErrNodeDown)
+			continue
+		}
+		if _, ok := n.shards[id]; !ok {
+			errs[i] = shardErr("delete", id, n.id, ErrNotFound)
+			continue
+		}
+		delete(n.shards, id)
+		n.stats.Deletes++
+	}
+	return errs
+}
+
 // Delete removes the shard. It fails with ErrNodeDown while the node is
 // failed and ErrNotFound when the shard is absent.
 func (n *MemNode) Delete(ctx context.Context, id ShardID) error {

@@ -240,7 +240,7 @@ func legacyServer(t *testing.T, node store.Node) net.Addr {
 					}
 					var status byte
 					var payload []byte
-					if req, err := decodeRequest(body); err == nil && (req.op == opGetBatch || req.op == opPutBatch) {
+					if req, err := decodeRequest(body); err == nil && (req.op == opGetBatch || req.op == opPutBatch || req.op == opDeleteBatch) {
 						status, payload = statusError, []byte(fmt.Sprintf("transport: unknown op %d", req.op))
 					} else {
 						status, payload = inner.handle(context.Background(), body)

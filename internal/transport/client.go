@@ -275,6 +275,56 @@ func (n *RemoteNode) putPerShard(ctx context.Context, ids []store.ShardID, data 
 	}
 }
 
+// DeleteBatch removes several shards in one round trip per batch frame.
+// Per-shard outcomes come back independently (a shard already absent fails
+// with ErrNotFound without costing the rest of the batch). Like GetBatch,
+// it degrades to per-shard deletes against servers that predate the
+// delete-batch op; a cancelled or timed-out batch fails outright with the
+// context's error.
+func (n *RemoteNode) DeleteBatch(ctx context.Context, ids []store.ShardID) []error {
+	errs := make([]error, len(ids))
+	for start := 0; start < len(ids); start += maxBatchShards {
+		end := min(start+maxBatchShards, len(ids))
+		n.deleteBatchChunk(ctx, ids[start:end], errs[start:end])
+	}
+	return errs
+}
+
+func (n *RemoteNode) deleteBatchChunk(ctx context.Context, ids []store.ShardID, out []error) {
+	body, err := encodeDeleteBatch(ids)
+	if err != nil {
+		n.deletePerShard(ctx, ids, out)
+		return
+	}
+	payload, err := n.roundTrip(ctx, "delete", request{op: opDeleteBatch, payload: body})
+	if err != nil {
+		if errors.Is(err, store.ErrNodeDown) || ctxCause(ctx) != nil {
+			for i, id := range ids {
+				out[i] = n.batchErr("delete", id, err)
+			}
+			return
+		}
+		// The server answered but could not serve the batch (unknown op on
+		// an old peer, malformed frame): degrade to per-shard deletes.
+		n.deletePerShard(ctx, ids, out)
+		return
+	}
+	results, err := decodeBatchResults(payload, ids, n.id, "delete")
+	if err != nil {
+		n.deletePerShard(ctx, ids, out)
+		return
+	}
+	for i, res := range results {
+		out[i] = res.Err
+	}
+}
+
+func (n *RemoteNode) deletePerShard(ctx context.Context, ids []store.ShardID, out []error) {
+	for i, id := range ids {
+		out[i] = n.Delete(ctx, id)
+	}
+}
+
 // Available reports whether the remote node answers a ping and is up
 // within the ping timeout and the context's deadline, whichever is
 // earlier. The ping runs on its own connection with its own short

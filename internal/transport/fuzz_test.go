@@ -66,10 +66,19 @@ func FuzzServerHandle(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	deleteBatchBody, err := encodeDeleteBatch([]store.ShardID{{Object: "o", Row: 0}, {Object: "o", Row: 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	deleteBatch, err := encodeRequest(request{op: opDeleteBatch, payload: deleteBatchBody})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(put)
 	f.Add(get)
 	f.Add(getBatch)
 	f.Add(putBatch)
+	f.Add(deleteBatch)
 	f.Add([]byte{0})
 	f.Add([]byte{opResetStats, 0, 0, 0, 0, 0, 0})
 	srv := NewServer(store.NewMemNode("fuzz"))

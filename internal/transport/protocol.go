@@ -22,8 +22,9 @@ import (
 	"github.com/secarchive/sec/internal/store"
 )
 
-// Operation codes. opGetBatch/opPutBatch were added after opResetStats;
-// new codes must keep appending so wire values stay stable across versions.
+// Operation codes. opGetBatch/opPutBatch were added after opResetStats and
+// opDeleteBatch after opPutBatch; new codes must keep appending so wire
+// values stay stable across versions.
 const (
 	opPut byte = iota + 1
 	opGet
@@ -33,6 +34,7 @@ const (
 	opResetStats
 	opGetBatch
 	opPutBatch
+	opDeleteBatch
 )
 
 // Response status codes. statusCorrupt was added after statusError, and
@@ -133,11 +135,12 @@ func decodeStats(body []byte) (store.NodeStats, error) {
 }
 
 // Batch framing. A batch request travels as an ordinary request frame
-// whose op is opGetBatch/opPutBatch (the per-request object/row fields are
-// unused) and whose payload is:
+// whose op is opGetBatch/opPutBatch/opDeleteBatch (the per-request
+// object/row fields are unused) and whose payload is:
 //
-//	get batch  := u32(count) count*( u16(len(object)) object i32(row) )
-//	put batch  := u32(count) count*( u16(len(object)) object i32(row) u32(len(data)) data )
+//	get batch    := u32(count) count*( u16(len(object)) object i32(row) )
+//	put batch    := u32(count) count*( u16(len(object)) object i32(row) u32(len(data)) data )
+//	delete batch := u32(count) count*( u16(len(object)) object i32(row) )
 //
 // A batch response is a logical response frame: the outer status is
 // statusOK whenever the batch itself was parsed and dispatched (statusError
@@ -249,6 +252,13 @@ func decodeGetBatch(payload []byte) ([]store.ShardID, error) {
 		return nil, errBatchMalformed
 	}
 	return ids, nil
+}
+
+// Delete batches carry exactly the shard-ID list a get batch does; the
+// aliases keep call sites honest about which op they are framing.
+func encodeDeleteBatch(ids []store.ShardID) ([]byte, error) { return encodeGetBatch(ids) }
+func decodeDeleteBatch(payload []byte) ([]store.ShardID, error) {
+	return decodeGetBatch(payload)
 }
 
 func encodePutBatch(ids []store.ShardID, data [][]byte) ([]byte, error) {

@@ -41,30 +41,34 @@ type Server struct {
 // per retrieval instead of one Gets RPC per shard).
 type RequestStats struct {
 	Puts, Gets, Deletes, Pings, Stats uint64
-	// GetBatches and PutBatches count batch RPCs; GetBatchShards and
-	// PutBatchShards count the shards they carried.
-	GetBatches, PutBatches         uint64
-	GetBatchShards, PutBatchShards uint64
+	// GetBatches, PutBatches, and DeleteBatches count batch RPCs;
+	// GetBatchShards, PutBatchShards, and DeleteBatchShards count the
+	// shards they carried.
+	GetBatches, PutBatches, DeleteBatches             uint64
+	GetBatchShards, PutBatchShards, DeleteBatchShards uint64
 }
 
 type requestCounters struct {
-	puts, gets, deletes, pings, stats atomic.Uint64
-	getBatches, putBatches            atomic.Uint64
-	getBatchShards, putBatchShards    atomic.Uint64
+	puts, gets, deletes, pings, stats     atomic.Uint64
+	getBatches, putBatches, deleteBatches atomic.Uint64
+	getBatchShards, putBatchShards        atomic.Uint64
+	deleteBatchShards                     atomic.Uint64
 }
 
 // RequestStats returns a snapshot of the server's request counters.
 func (s *Server) RequestStats() RequestStats {
 	return RequestStats{
-		Puts:           s.reqs.puts.Load(),
-		Gets:           s.reqs.gets.Load(),
-		Deletes:        s.reqs.deletes.Load(),
-		Pings:          s.reqs.pings.Load(),
-		Stats:          s.reqs.stats.Load(),
-		GetBatches:     s.reqs.getBatches.Load(),
-		PutBatches:     s.reqs.putBatches.Load(),
-		GetBatchShards: s.reqs.getBatchShards.Load(),
-		PutBatchShards: s.reqs.putBatchShards.Load(),
+		Puts:              s.reqs.puts.Load(),
+		Gets:              s.reqs.gets.Load(),
+		Deletes:           s.reqs.deletes.Load(),
+		Pings:             s.reqs.pings.Load(),
+		Stats:             s.reqs.stats.Load(),
+		GetBatches:        s.reqs.getBatches.Load(),
+		PutBatches:        s.reqs.putBatches.Load(),
+		DeleteBatches:     s.reqs.deleteBatches.Load(),
+		GetBatchShards:    s.reqs.getBatchShards.Load(),
+		PutBatchShards:    s.reqs.putBatchShards.Load(),
+		DeleteBatchShards: s.reqs.deleteBatchShards.Load(),
 	}
 }
 
@@ -217,6 +221,18 @@ func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload 
 		s.reqs.putBatchShards.Add(uint64(len(ids)))
 		results := make([]store.ShardResult, len(ids))
 		for i, err := range store.PutShards(ctx, s.node, ids, data) {
+			results[i] = store.ShardResult{Err: err}
+		}
+		return statusOK, encodeBatchResults(results)
+	case opDeleteBatch:
+		ids, err := decodeDeleteBatch(req.payload)
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		s.reqs.deleteBatches.Add(1)
+		s.reqs.deleteBatchShards.Add(uint64(len(ids)))
+		results := make([]store.ShardResult, len(ids))
+		for i, err := range store.DeleteShards(ctx, s.node, ids) {
 			results[i] = store.ShardResult{Err: err}
 		}
 		return statusOK, encodeBatchResults(results)

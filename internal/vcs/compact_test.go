@@ -1,0 +1,135 @@
+package vcs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+func TestRepositoryCompactBoundsHotFiles(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	repo, err := NewRepository(Config{
+		Scheme:    core.BasicSEC,
+		Code:      erasure.NonSystematicCauchy,
+		N:         6,
+		K:         3,
+		BlockSize: 4,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One hot file revised every commit, one cold file written once.
+	hot := bytes.Repeat([]byte{1}, 12)
+	if _, err := repo.CommitContext(context.Background(), "r1", map[string][]byte{
+		"hot.txt":  hot,
+		"cold.txt": bytes.Repeat([]byte{9}, 12),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var hots [][]byte
+	hots = append(hots, append([]byte(nil), hot...))
+	for r := 2; r <= 8; r++ {
+		hot = append([]byte(nil), hot...)
+		hot[(r%3)*4] ^= 0xA5
+		hots = append(hots, append([]byte(nil), hot...))
+		if _, err := repo.CommitContext(context.Background(), fmt.Sprintf("r%d", r), map[string][]byte{"hot.txt": hot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	changed, err := repo.CompactContext(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := changed["hot.txt"]; !ok {
+		t.Fatalf("hot file not compacted: %v", changed)
+	}
+	if _, ok := changed["cold.txt"]; ok {
+		t.Error("cold file reported as compacted")
+	}
+	for r := 1; r <= 8; r++ {
+		content, _, err := repo.CheckoutFileContext(context.Background(), "hot.txt", r)
+		if err != nil {
+			t.Fatalf("checkout hot.txt@%d: %v", r, err)
+		}
+		if !bytes.Equal(content, hots[r-1]) {
+			t.Errorf("hot.txt@%d differs after compaction", r)
+		}
+	}
+	arch, err := repo.FileArchive("hot.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= arch.Versions(); v++ {
+		depth, err := arch.ChainDepth(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth > 3 {
+			t.Errorf("hot.txt v%d depth %d exceeds bound 3", v, depth)
+		}
+	}
+}
+
+func TestRepositoryLifecycleConfigFlowsToArchives(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	repo, err := NewRepository(Config{
+		Scheme:          core.BasicSEC,
+		Code:            erasure.NonSystematicCauchy,
+		N:               6,
+		K:               3,
+		BlockSize:       4,
+		MaxChainLength:  2,
+		CheckpointEvery: 4,
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte{2}, 12)
+	var want [][]byte
+	for r := 1; r <= 7; r++ {
+		if r > 1 {
+			content = append([]byte(nil), content...)
+			content[(r%3)*4] ^= 0x5A
+		}
+		want = append(want, append([]byte(nil), content...))
+		if _, err := repo.CommitContext(context.Background(), "r", map[string][]byte{"f": content}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arch, err := repo.FileArchive("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arch.Config().MaxChainLength; got != 2 {
+		t.Errorf("archive MaxChainLength = %d, want 2", got)
+	}
+	// Auto-compactions reclaimed their superseded codewords as they went:
+	// nothing is left queued for a manual reclaim, so node storage does
+	// not leak commit over commit.
+	if deleted, orphans, err := arch.ReclaimSupersededContext(context.Background()); err != nil || deleted != 0 || orphans != 0 {
+		t.Errorf("superseded queue not drained by commits: deleted=%d orphans=%d err=%v", deleted, orphans, err)
+	}
+	for v := 1; v <= arch.Versions(); v++ {
+		depth, err := arch.ChainDepth(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth > 2 {
+			t.Errorf("v%d depth %d exceeds auto-compaction bound 2", v, depth)
+		}
+	}
+	for r := 1; r <= 7; r++ {
+		content, _, err := repo.CheckoutFileContext(context.Background(), "f", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(content, want[r-1]) {
+			t.Errorf("f@%d differs under lifecycle config", r)
+		}
+	}
+}

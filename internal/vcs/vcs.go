@@ -39,6 +39,13 @@ type Config struct {
 	Code      erasure.Kind
 	N, K      int
 	BlockSize int
+	// MaxChainLength, CheckpointEvery, and CompactGammaLimit set every
+	// file archive's chain-lifecycle policy; see core.Config. Hot files
+	// accumulate deep delta chains fastest, so repositories are where
+	// bounding chain depth matters most.
+	MaxChainLength    int
+	CheckpointEvery   int
+	CompactGammaLimit int
 }
 
 // FileChange records one file's update within a commit.
@@ -100,12 +107,15 @@ func NewRepository(cfg Config, cluster *store.Cluster) (*Repository, error) {
 
 func archiveConfig(cfg Config, name string) core.Config {
 	return core.Config{
-		Name:      name,
-		Scheme:    cfg.Scheme,
-		Code:      cfg.Code,
-		N:         cfg.N,
-		K:         cfg.K,
-		BlockSize: cfg.BlockSize,
+		Name:              name,
+		Scheme:            cfg.Scheme,
+		Code:              cfg.Code,
+		N:                 cfg.N,
+		K:                 cfg.K,
+		BlockSize:         cfg.BlockSize,
+		MaxChainLength:    cfg.MaxChainLength,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		CompactGammaLimit: cfg.CompactGammaLimit,
 	}
 }
 
@@ -136,7 +146,11 @@ func (r *Repository) Files() []string {
 // revision and untracks any paths it was adding, so the repository's
 // visible state is unchanged; archive versions already stored for earlier
 // files in the batch remain on the nodes as unreferenced garbage until
-// the commit is retried (which overwrites the same shard objects).
+// the commit is retried (which overwrites the same shard objects). The
+// exception is a maintenance failure: when a file's version committed
+// durably but its auto-compaction pass failed, the revision IS recorded
+// (dropping it would desynchronize the log from the archives) and the
+// maintenance error is returned alongside the commit.
 func (r *Repository) CommitContext(ctx context.Context, message string, contents map[string][]byte) (Commit, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -155,6 +169,10 @@ func (r *Repository) CommitContext(ctx context.Context, message string, contents
 	// a phantom path visible in Files() but present at no revision would
 	// otherwise survive an aborted commit.
 	var added []string
+	// maintErrs collects maintenance failures (auto-compaction) from
+	// commits that stored their version durably: the revision is recorded
+	// regardless, with the errors surfaced alongside it.
+	var maintErrs []error
 	fail := func(err error) (Commit, error) {
 		for _, p := range added {
 			delete(r.files, p)
@@ -176,8 +194,25 @@ func (r *Repository) CommitContext(ctx context.Context, message string, contents
 			added = append(added, path)
 		}
 		info, err := state.archive.CommitContext(ctx, contents[path])
-		if err != nil {
+		if err != nil && info.Version == 0 {
 			return fail(fmt.Errorf("vcs: committing %q: %w", path, err))
+		}
+		if err != nil {
+			// The version committed durably; only the commit's maintenance
+			// pass (auto-compaction) failed. The revision must record the
+			// change - dropping it would desynchronize the commit log from
+			// the archive's version list and make a retry store the same
+			// bytes as an extra version - so collect the maintenance error
+			// and surface it alongside the recorded commit.
+			maintErrs = append(maintErrs, fmt.Errorf("vcs: compacting %q after commit: %w", path, err))
+		}
+		if info.Compaction != nil {
+			// The repository keeps its metadata in memory (no external
+			// manifest to persist first), so codewords superseded by the
+			// commit's auto-compaction are reclaimed right away. Best
+			// effort: the version is committed either way, and anything
+			// unreclaimed stays queued for the next pass.
+			_, _, _ = state.archive.ReclaimSupersededContext(ctx)
 		}
 		commit.Changes = append(commit.Changes, FileChange{
 			Path:        path,
@@ -198,6 +233,12 @@ func (r *Repository) CommitContext(ctx context.Context, message string, contents
 		state.versionAt = append(state.versionAt, version)
 	}
 	r.commits = append(r.commits, commit)
+	if len(maintErrs) > 0 {
+		// The revision is recorded and every change durable; like
+		// core.Archive.CommitContext, a failed maintenance pass is
+		// reported without undoing the commit.
+		return commit, errors.Join(maintErrs...)
+	}
 	return commit, nil
 }
 
@@ -269,6 +310,34 @@ func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalSt
 // Commit is CommitContext without cancellation.
 func (r *Repository) Commit(message string, contents map[string][]byte) (Commit, error) {
 	return r.CommitContext(context.Background(), message, contents)
+}
+
+// CompactContext bounds every file archive's chain depth to maxLen (see
+// core.Archive.CompactToContext), under the context's deadline and
+// cancellation. It returns the per-path compaction reports for the files
+// whose chains actually changed, in stable path order by key. Files are
+// compacted one at a time so the repository lock is the only lock held
+// across archives; a failure stops the pass at that file, with earlier
+// files' compactions already applied (they are independently consistent).
+func (r *Repository) CompactContext(ctx context.Context, maxLen int) (map[string]core.CompactionInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	changed := make(map[string]core.CompactionInfo)
+	paths := make([]string, 0, len(r.files))
+	for p := range r.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		info, err := r.files[path].archive.CompactToContext(ctx, maxLen)
+		if err != nil {
+			return changed, fmt.Errorf("vcs: compacting %q: %w", path, err)
+		}
+		if info.Changed() {
+			changed[path] = info
+		}
+	}
+	return changed, nil
 }
 
 // FileArchive exposes the archive backing a path (for manifest export).

@@ -1,52 +1,3 @@
-// Package sec is the public API of the SEC (Sparsity Exploiting Coding)
-// library: erasure-coded storage of versioned data that encodes the deltas
-// between versions and exploits their sparsity to retrieve archives with
-// fewer I/O reads, as proposed in "Sparsity Exploiting Erasure Coding for
-// Resilient Storage and Efficient I/O Access in Delta based Versioning
-// Systems" (Harshan, Oggier, Datta; ICDCS 2015).
-//
-// # Quick start
-//
-//	ctx := context.Background() // or a per-request context with a deadline
-//	cluster := sec.NewMemCluster(6)
-//	archive, err := sec.NewArchive(sec.ArchiveConfig{
-//		Scheme:    sec.BasicSEC,
-//		Code:      sec.NonSystematicCauchy,
-//		N:         6,
-//		K:         3,
-//		BlockSize: 1024,
-//	}, cluster)
-//	// commit versions ...
-//	info, err := archive.CommitContext(ctx, objectBytes)
-//	// ... and read them back with exact I/O accounting:
-//	object, stats, err := archive.RetrieveContext(ctx, 2)
-//
-// Versions whose delta against the previous version is gamma-sparse
-// (gamma < k/2 non-zero blocks) are retrieved from only 2*gamma coded
-// shards instead of k. See DESIGN.md for the architecture and the mapping
-// from the paper's evaluation to the experiments package.
-//
-// # Contexts, deadlines, and cancellation
-//
-// The ctx-first methods (CommitContext, RetrieveContext,
-// RetrieveAllContext, LatestContext, ScrubContext, RepairNodeContext) are
-// the primary API: the context bounds the whole operation end to end.
-// Against TCP nodes the context deadline becomes the wire deadline (when
-// earlier than the per-node operation timeout), and cancellation
-// interrupts in-flight RPCs immediately, so a retrieval against a stalled
-// node returns when the caller's deadline passes instead of waiting out
-// per-operation timeouts link by link along the version chain. The
-// context-free methods (Commit, Retrieve, ...) are thin
-// context.Background() wrappers kept for existing callers.
-//
-// # Error taxonomy
-//
-// Failed operations carry structured provenance: errors.As with a
-// *ShardError yields the node ID, shard, and operation that failed - even
-// across the TCP transport - while errors.Is classifies the cause
-// (ErrNodeDown, ErrShardNotFound, ErrShardCorrupt, context.Canceled,
-// context.DeadlineExceeded). Cancellation is deliberately NOT ErrNodeDown:
-// a cancelled request says nothing about node health.
 package sec
 
 import (
@@ -71,12 +22,20 @@ type (
 	Scheme = core.Scheme
 	// CommitInfo reports what a commit stored.
 	CommitInfo = core.CommitInfo
+	// CompactionInfo reports what a chain compaction pass changed.
+	CompactionInfo = core.CompactionInfo
 	// RetrievalStats accounts the node reads of a retrieval.
 	RetrievalStats = core.RetrievalStats
 	// ObjectRead details the reads spent on one stored object.
 	ObjectRead = core.ObjectRead
+	// ScrubReport summarizes an integrity pass over an archive's shards.
+	ScrubReport = core.ScrubReport
+	// RepairReport summarizes a node repair pass.
+	RepairReport = core.RepairReport
 	// Manifest is the serializable archive description.
 	Manifest = core.Manifest
+	// ManifestEntry describes one version's stored objects in a Manifest.
+	ManifestEntry = core.ManifestEntry
 )
 
 // Storage schemes (Section III of the paper).
