@@ -34,6 +34,12 @@ type benchResult struct {
 	// RPCs (batch or per-shard) and liveness pings one retrieval costs.
 	GetRPCsPerOp  float64 `json:"get_rpcs_per_op,omitempty"`
 	PingRPCsPerOp float64 `json:"ping_rpcs_per_op,omitempty"`
+	// Latency distribution and hedging accounting, for the fault-drill
+	// benchmark (-faults): tail latency is the whole point there, so the
+	// mean alone would hide the straggler.
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	HedgesPerOp float64 `json:"hedges_per_op,omitempty"`
 }
 
 // benchReport is the BENCH_*.json document.

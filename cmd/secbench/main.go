@@ -18,6 +18,10 @@
 // paths (encode, retrieve, retrieve over loopback TCP) and writes one
 // machine-readable BENCH_<name>.json per benchmark into -benchout, the
 // artifacts CI uploads to track the performance trajectory.
+//
+// The -faults <seed> mode is the fault drill: it slows one node by ~10x
+// and measures retrieval tail latency with and without hedged reads,
+// writing BENCH_faults.json (p50/p99 and hedges per op).
 package main
 
 import (
@@ -53,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		bench    = fs.String("bench", "", "benchmark to run ("+strings.Join(benchIDs(), ", ")+", or 'all'); writes BENCH_*.json")
 		benchout = fs.String("benchout", ".", "directory for BENCH_*.json artifacts")
+		faultRun = fs.Int64("faults", 0, "fault drill seed: retrieval latency with one slow node, clean vs hedged; writes BENCH_faults.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +68,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *bench != "" {
 		return runBenchmarks(ctx, *bench, *benchout, out)
+	}
+	if *faultRun != 0 {
+		return runFaultBench(ctx, *faultRun, *benchout, out)
 	}
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)

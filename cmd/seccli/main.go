@@ -94,7 +94,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "get":
 		return cmdGet(ctx, out, cluster, *manifestPath, subArgs)
 	case "info":
-		return cmdInfo(out, cluster, *manifestPath)
+		return cmdInfo(ctx, out, cluster, *manifestPath)
 	case "repair":
 		return cmdRepair(ctx, out, cluster, *manifestPath, subArgs)
 	case "scrub":
@@ -270,7 +270,7 @@ func cmdGet(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPa
 	return nil
 }
 
-func cmdInfo(out io.Writer, cluster *sec.Cluster, manifestPath string) error {
+func cmdInfo(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string) error {
 	archive, err := loadManifest(cluster, manifestPath)
 	if err != nil {
 		return err
@@ -303,6 +303,36 @@ func cmdInfo(out io.Writer, cluster *sec.Cluster, manifestPath string) error {
 		}
 		fmt.Fprintf(out, "  v%d: %s, %d bytes, chain depth %d, planned reads %d\n",
 			e.Version, kind, e.Length, depths[e.Version-1], planned[e.Version-1])
+	}
+	// Per-node health: one liveness probe per node now, plus the cluster's
+	// accumulated breaker and failure counters, so degraded nodes are
+	// visible before a retrieval trips over them.
+	_, unreachable := cluster.TotalStatsChecked(ctx)
+	down := make(map[string]bool, len(unreachable))
+	for _, id := range unreachable {
+		down[id] = true
+	}
+	fmt.Fprintf(out, "nodes (%d):\n", cluster.Size())
+	for _, h := range cluster.Health() {
+		probe := "up"
+		if down[h.ID] {
+			probe = "DOWN"
+		}
+		line := fmt.Sprintf("  node %d (%s): probe %s, breaker %s, ok=%d fail=%d",
+			h.Node, h.ID, probe, h.State, h.Successes, h.Failures)
+		if h.ConsecutiveFailures > 0 {
+			line += fmt.Sprintf(" consecutive=%d", h.ConsecutiveFailures)
+		}
+		if h.ProbeFailures > 0 {
+			line += fmt.Sprintf(" probe-failures=%d", h.ProbeFailures)
+		}
+		if h.BreakerSkips > 0 {
+			line += fmt.Sprintf(" breaker-skips=%d", h.BreakerSkips)
+		}
+		if h.Hedges > 0 {
+			line += fmt.Sprintf(" hedged-away=%d", h.Hedges)
+		}
+		fmt.Fprintln(out, line)
 	}
 	return nil
 }

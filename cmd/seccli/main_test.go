@@ -113,6 +113,13 @@ func TestEndToEndCLI(t *testing.T) {
 	if !strings.Contains(info, "versions=2") || !strings.Contains(info, "delta gamma=1") {
 		t.Errorf("info output: %s", info)
 	}
+	// The health section probes every node; all are live here.
+	if !strings.Contains(info, "probe up") || !strings.Contains(info, "breaker closed") {
+		t.Errorf("info output lacks node health: %s", info)
+	}
+	if strings.Contains(info, "probe DOWN") {
+		t.Errorf("info reports a live node down: %s", info)
+	}
 }
 
 func TestCLIErrors(t *testing.T) {

@@ -154,6 +154,11 @@ type ObjectRead struct {
 	Reads int
 	// Sparse reports whether a reduced sparse read was used.
 	Sparse bool
+	// Hedges is the number of speculative shard reads issued because a
+	// node batch outlived Config.HedgeDelay (0 unless hedging is on and
+	// a straggler was hedged). Successful hedged reads are already
+	// included in Reads.
+	Hedges int
 }
 
 // RetrievalStats accounts the node reads of one retrieval.
@@ -164,12 +169,16 @@ type RetrievalStats struct {
 	// SparseReads and FullReads count objects by decode style.
 	SparseReads int
 	FullReads   int
+	// Hedges totals the speculative reads issued against stragglers
+	// (see Config.HedgeDelay); 0 whenever hedging is disabled.
+	Hedges int
 	// Objects details every object read, in read order.
 	Objects []ObjectRead
 }
 
 func (s *RetrievalStats) add(o ObjectRead) {
 	s.NodeReads += o.Reads
+	s.Hedges += o.Hedges
 	if o.Reads == 0 {
 		return // zero delta: nothing was read
 	}
@@ -187,6 +196,7 @@ func (s *RetrievalStats) Merge(o RetrievalStats) {
 	s.NodeReads += o.NodeReads
 	s.SparseReads += o.SparseReads
 	s.FullReads += o.FullReads
+	s.Hedges += o.Hedges
 	s.Objects = append(s.Objects, o.Objects...)
 }
 
@@ -764,6 +774,9 @@ type shardSet struct {
 	// for a delta, so readDelta can decode straight from the prefetched
 	// rows without re-probing liveness.
 	sparseRows []int
+	// hedges counts the speculative reads issued for this object because
+	// a node batch outlived the hedge delay.
+	hedges int
 	// err records the last per-row error of the chain prefetch, so a
 	// reader that must abort (cancelled context) can surface the failure
 	// with its full node/shard provenance instead of a bare ctx error.
@@ -864,6 +877,7 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 		version int
 		rows    []int
 		sparse  []int // non-nil when rows is a sparse read plan
+		n       int   // shard rows of the object's code, for hedged spares
 	}
 	// Probe each distinct placement node once, concurrently.
 	var nodes []int
@@ -914,7 +928,7 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 		if a.code.Systematic() {
 			live = preferSystematic(live, a.cfg.K)
 		}
-		plans = append(plans, objPlan{id: fullID(a.cfg.Name, plan.anchor), version: plan.anchor, rows: live[:a.cfg.K]})
+		plans = append(plans, objPlan{id: fullID(a.cfg.Name, plan.anchor), version: plan.anchor, rows: live[:a.cfg.K], n: a.code.N()})
 	}
 	for _, j := range plan.deltas {
 		gamma := a.entries[j-1].gamma
@@ -924,24 +938,21 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 		live := liveFor(a.deltaCode, j)
 		id := a.deltaObjectID(j)
 		if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
-			plans = append(plans, objPlan{id: id, version: j, rows: rows, sparse: rows})
+			plans = append(plans, objPlan{id: id, version: j, rows: rows, sparse: rows, n: a.deltaCode.N()})
 		} else if len(live) >= a.cfg.K {
-			plans = append(plans, objPlan{id: id, version: j, rows: live[:a.cfg.K]})
+			plans = append(plans, objPlan{id: id, version: j, rows: live[:a.cfg.K], n: a.deltaCode.N()})
 		}
 	}
 	if len(plans) == 0 {
 		return nil
 	}
 	var refs []store.ShardRef
-	var owner, rowOf []int
-	for pi, p := range plans {
+	for _, p := range plans {
 		for _, row := range p.rows {
 			refs = append(refs, store.ShardRef{
 				Node: a.cfg.Placement.NodeFor(p.version-1, row),
 				ID:   store.ShardID{Object: p.id, Row: row},
 			})
-			owner = append(owner, pi)
-			rowOf = append(rowOf, row)
 		}
 	}
 	sets := make(map[string]*shardSet, len(plans))
@@ -950,18 +961,80 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 		s.sparseRows = p.sparse
 		sets[p.id] = s
 	}
-	for i, res := range a.cluster.GetBatch(ctx, refs) {
-		s := sets[plans[owner[i]].id]
+	sink := func(ref store.ShardRef, res store.ShardResult) {
+		s := sets[ref.ID.Object]
+		row := ref.ID.Row
 		if res.Err != nil {
 			if rowLost(res.Err) {
-				s.dead[rowOf[i]] = true
+				s.dead[row] = true
 			}
-			s.err = fmt.Errorf("core: reading %s#%d: %w", plans[owner[i]].id, rowOf[i], res.Err)
-			continue
+			s.err = fmt.Errorf("core: reading %s#%d: %w", ref.ID.Object, row, res.Err)
+			return
 		}
-		s.data[rowOf[i]] = res.Data
-		s.reads++
+		if _, ok := s.data[row]; !ok {
+			s.data[row] = res.Data
+			s.reads++
+		}
 	}
+	if !a.hedgeEnabled() {
+		for i, res := range a.cluster.GetBatch(ctx, refs) {
+			sink(refs[i], res)
+		}
+		return sets
+	}
+	// Hedged prefetch: each node's batch lands independently; a straggler
+	// past the hedge delay triggers speculative fetches of spare parity
+	// rows for every not-yet-satisfied object, and the prefetch returns
+	// the moment each object can decode (its planned rows arrived, or any
+	// K rows are in hand - readers decode full from K even when the
+	// sparse plan was hedged away).
+	satisfied := func(p objPlan) bool {
+		s := sets[p.id]
+		if len(s.data) >= a.cfg.K {
+			return true
+		}
+		_, ok := s.selectRows(p.rows)
+		return ok
+	}
+	spare := func(straggling map[int]bool) []store.ShardRef {
+		var extra []store.ShardRef
+		for _, p := range plans {
+			if satisfied(p) {
+				continue
+			}
+			s := sets[p.id]
+			planned := make(map[int]bool, len(p.rows))
+			for _, r := range p.rows {
+				planned[r] = true
+			}
+			need := a.cfg.K - len(s.data)
+			for row := 0; row < p.n && need > 0; row++ {
+				if planned[row] || s.dead[row] {
+					continue
+				}
+				if _, ok := s.data[row]; ok {
+					continue
+				}
+				node := a.cfg.Placement.NodeFor(p.version-1, row)
+				if straggling[node] || !up[node] {
+					continue
+				}
+				extra = append(extra, store.ShardRef{Node: node, ID: store.ShardID{Object: p.id, Row: row}})
+				s.hedges++
+				need--
+			}
+		}
+		return extra
+	}
+	enough := func() bool {
+		for _, p := range plans {
+			if !satisfied(p) {
+				return false
+			}
+		}
+		return true
+	}
+	a.hedgedRead(ctx, refs, spare, enough, sink)
 	return sets
 }
 
@@ -993,7 +1066,10 @@ func (a *Archive) readFull(ctx context.Context, version int, set *shardSet) ([][
 				}
 				return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(set.data)+len(candidates), k, id)
 			}
-			if err := set.fetch(ctx, a, id, version, candidates[:k-len(set.data)]); err != nil {
+			deficit := k - len(set.data)
+			err := a.fetchPlanned(ctx, set, id, version, candidates[:deficit], candidates[deficit:],
+				func() bool { return len(set.data) >= k })
+			if err != nil {
 				lastErr = err
 			}
 		}
@@ -1003,7 +1079,7 @@ func (a *Archive) readFull(ctx context.Context, version int, set *shardSet) ([][
 			if err != nil {
 				return nil, ObjectRead{}, err
 			}
-			return blocks, ObjectRead{Version: version, Reads: set.reads}, nil
+			return blocks, ObjectRead{Version: version, Reads: set.reads, Hedges: set.hedges}, nil
 		}
 	}
 	return nil, ObjectRead{}, lastErr
@@ -1059,7 +1135,7 @@ func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardS
 		if shards, ok := set.selectRows(planned); ok {
 			blocks, err := a.deltaCode.DecodeSparse(planned, shards, gamma)
 			if err == nil {
-				return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Sparse: true}, nil
+				return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Sparse: true, Hedges: set.hedges}, nil
 			}
 			// Sparse decode failure (e.g. stale manifest gamma): fall
 			// through to a full read, reusing the fetched shards.
@@ -1073,23 +1149,36 @@ func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardS
 		live := a.liveRows(ctx, a.deltaCode, version, set.dead)
 		if trySparse {
 			if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
-				if err := set.fetch(ctx, a, id, version, set.missing(rows)); err != nil {
+				sparseDone := func() bool { _, ok := set.selectRows(rows); return ok }
+				err := a.fetchPlanned(ctx, set, id, version, set.missing(rows), set.missing(rowsExcluding(live, rows)),
+					func() bool { return sparseDone() || len(set.data) >= k })
+				switch {
+				case sparseDone():
+					shards, _ := set.selectRows(rows)
+					blocks, derr := a.deltaCode.DecodeSparse(rows, shards, gamma)
+					if derr == nil {
+						return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Sparse: true, Hedges: set.hedges}, nil
+					}
+					// Sparse decode failure (e.g. stale manifest gamma):
+					// fall through to a full read, reusing the fetched
+					// shards.
+					trySparse = false
+				case set.hedges > 0 && len(set.data) >= k:
+					// Hedged spares assembled a full decode's worth before
+					// the sparse plan completed; stop chasing the straggler
+					// for its sparse rows and decode full below.
+					if err != nil {
+						lastErr = err
+					}
+					trySparse = false
+				default:
 					// Some sparse rows are gone; re-plan against the
 					// shrunken live set, keeping what arrived.
-					lastErr = err
+					if err != nil {
+						lastErr = err
+					}
 					continue
 				}
-				shards, ok := set.selectRows(rows)
-				if !ok {
-					continue // unreachable: fetch succeeded for all rows
-				}
-				blocks, err := a.deltaCode.DecodeSparse(rows, shards, gamma)
-				if err == nil {
-					return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Sparse: true}, nil
-				}
-				// Sparse decode failure (e.g. stale manifest gamma): fall
-				// through to a full read, reusing the fetched shards.
-				trySparse = false
 			}
 		}
 		if len(set.data) < k {
@@ -1100,7 +1189,10 @@ func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardS
 				}
 				return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(set.data)+len(candidates), k, id)
 			}
-			if err := set.fetch(ctx, a, id, version, candidates[:k-len(set.data)]); err != nil {
+			deficit := k - len(set.data)
+			err := a.fetchPlanned(ctx, set, id, version, candidates[:deficit], candidates[deficit:],
+				func() bool { return len(set.data) >= k })
+			if err != nil {
 				lastErr = err
 			}
 		}
@@ -1110,7 +1202,7 @@ func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardS
 			if err != nil {
 				return nil, ObjectRead{}, err
 			}
-			return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads}, nil
+			return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Hedges: set.hedges}, nil
 		}
 	}
 	return nil, ObjectRead{}, lastErr

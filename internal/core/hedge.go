@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// hedgeEnabled reports whether retrievals should hedge slow node batches.
+// Hedging rides the batched read path; with per-shard I/O forced there is
+// no node batch to hedge.
+func (a *Archive) hedgeEnabled() bool {
+	return a.cfg.HedgeDelay > 0 && !a.cfg.DisableBatchIO
+}
+
+// groupRefsByNode splits shard refs into one batch per node, preserving
+// order within each batch.
+func groupRefsByNode(refs []store.ShardRef) map[int][]store.ShardRef {
+	byNode := make(map[int][]store.ShardRef)
+	for _, ref := range refs {
+		byNode[ref.Node] = append(byNode[ref.Node], ref)
+	}
+	return byNode
+}
+
+// hedgedRead fetches refs with one cluster batch per node, every batch in
+// flight concurrently, and hands each arriving result to sink. If some
+// node has not answered within Config.HedgeDelay, spare is invoked once
+// with the set of straggling nodes and the refs it returns are issued as
+// speculative batches (each straggler is reported to the cluster's health
+// tracker). The call returns as soon as enough() is satisfied - or when
+// every issued batch has answered - cancelling and draining outstanding
+// batches first, so no goroutine outlives the call. Results arriving
+// after satisfaction are discarded, which is what demotes the straggler:
+// the retrieval stops waiting on it.
+//
+// sink, spare, and enough all run on the caller's goroutine and may share
+// state with it freely. The return value is the number of speculative
+// refs issued.
+func (a *Archive) hedgedRead(ctx context.Context, refs []store.ShardRef, spare func(straggling map[int]bool) []store.ShardRef, enough func() bool, sink func(store.ShardRef, store.ShardResult)) int {
+	if len(refs) == 0 || enough() {
+		return 0
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		node    int
+		refs    []store.ShardRef
+		results []store.ShardResult
+	}
+	done := make(chan outcome)
+	issued := 0
+	pending := make(map[int]int) // node -> outstanding batches
+	issue := func(node int, batch []store.ShardRef) {
+		issued++
+		pending[node]++
+		go func() {
+			done <- outcome{node, batch, a.cluster.GetBatch(ctx, batch)}
+		}()
+	}
+	for node, batch := range groupRefsByNode(refs) {
+		issue(node, batch)
+	}
+	timer := time.NewTimer(a.cfg.HedgeDelay)
+	defer timer.Stop()
+	hedges := 0
+	satisfied := false
+	for returned := 0; returned < issued; {
+		select {
+		case out := <-done:
+			returned++
+			pending[out.node]--
+			if satisfied {
+				continue
+			}
+			for i := range out.refs {
+				sink(out.refs[i], out.results[i])
+			}
+			if enough() {
+				satisfied = true
+				cancel()
+			}
+		case <-timer.C:
+			if satisfied || hedges > 0 {
+				continue
+			}
+			straggling := make(map[int]bool)
+			for node, n := range pending {
+				if n > 0 {
+					straggling[node] = true
+					a.cluster.ReportHedge(node)
+				}
+			}
+			extra := spare(straggling)
+			hedges = len(extra)
+			for node, batch := range groupRefsByNode(extra) {
+				issue(node, batch)
+			}
+		}
+	}
+	return hedges
+}
+
+// fetchRowsHedged is shardSet.fetch with hedging: rows are fetched one
+// batch per node, and if a node stalls past the hedge delay, spare rows
+// (extra parity rows beyond the plan, skipped when they live on a
+// straggling node or are already in hand) are fetched speculatively. The
+// call returns as soon as need() is satisfied; like fetch, it returns the
+// last per-row error. Speculative fetches are tallied in set.hedges.
+func (a *Archive) fetchRowsHedged(ctx context.Context, set *shardSet, id string, version int, rows, spares []int, need func() bool) error {
+	var lastErr error
+	sink := func(ref store.ShardRef, res store.ShardResult) {
+		row := ref.ID.Row
+		if res.Err != nil {
+			if rowLost(res.Err) {
+				set.dead[row] = true
+			}
+			lastErr = fmt.Errorf("core: reading %s#%d: %w", id, row, res.Err)
+			return
+		}
+		if _, ok := set.data[row]; !ok {
+			set.data[row] = res.Data
+			set.reads++
+		}
+	}
+	spare := func(straggling map[int]bool) []store.ShardRef {
+		var extra []store.ShardRef
+		for _, row := range spares {
+			if set.dead[row] {
+				continue
+			}
+			if _, ok := set.data[row]; ok {
+				continue
+			}
+			node := a.cfg.Placement.NodeFor(version-1, row)
+			if straggling[node] {
+				continue
+			}
+			extra = append(extra, store.ShardRef{Node: node, ID: store.ShardID{Object: id, Row: row}})
+			set.hedges++
+		}
+		return extra
+	}
+	a.hedgedRead(ctx, a.rowRefs(id, version, rows), spare, need, sink)
+	return lastErr
+}
+
+// fetchPlanned fetches the missing rows of a plan into the set: hedged
+// (with the remaining candidates as spares) when hedging is enabled,
+// plain otherwise. need is the satisfaction check hedging may stop at,
+// typically "k rows in hand".
+func (a *Archive) fetchPlanned(ctx context.Context, set *shardSet, id string, version int, rows, spares []int, need func() bool) error {
+	if a.hedgeEnabled() {
+		return a.fetchRowsHedged(ctx, set, id, version, rows, spares, need)
+	}
+	return set.fetch(ctx, a, id, version, rows)
+}
+
+// rowsExcluding returns the rows of live not present in exclude,
+// preserving order.
+func rowsExcluding(live, exclude []int) []int {
+	ex := make(map[int]bool, len(exclude))
+	for _, r := range exclude {
+		ex[r] = true
+	}
+	var out []int
+	for _, r := range live {
+		if !ex[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnChaos perturbs the transport layer itself: a connection wrapper for
+// transport.WithConnWrapper that injects per-read latency and probabilistic
+// connection resets, seeded like every other fault source. Where ChaosNode
+// models a sick storage device behind a healthy network, ConnChaos models
+// a healthy device behind a sick network — stale pooled connections,
+// mid-frame stalls — which is exactly what client retry policies exist to
+// absorb.
+type ConnChaos struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	latency time.Duration
+	resetP  float64
+}
+
+// NewConnChaos returns a connection perturber: each Read on a wrapped
+// connection first sleeps up to latency (uniform), and with probability
+// resetP the connection is reset instead (closed, the read failing).
+func NewConnChaos(seed int64, latency time.Duration, resetP float64) *ConnChaos {
+	return &ConnChaos{rng: rand.New(rand.NewSource(seed)), latency: latency, resetP: resetP}
+}
+
+// Wrap decorates one accepted connection. Pass it to
+// transport.WithConnWrapper.
+func (c *ConnChaos) Wrap(conn net.Conn) net.Conn {
+	return &chaosConn{Conn: conn, chaos: c}
+}
+
+// draw decides the fate of one read.
+func (c *ConnChaos) draw() (sleep time.Duration, reset bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.resetP > 0 && c.rng.Float64() < c.resetP {
+		return 0, true
+	}
+	if c.latency > 0 {
+		sleep = time.Duration(c.rng.Int63n(int64(c.latency) + 1))
+	}
+	return sleep, false
+}
+
+// chaosConn is one perturbed connection.
+type chaosConn struct {
+	net.Conn
+	chaos *ConnChaos
+}
+
+// Read injects the drawn latency or reset before delegating.
+func (c *chaosConn) Read(p []byte) (int, error) {
+	sleep, reset := c.chaos.draw()
+	if reset {
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset", ErrInjected)
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// TestDiskNodeCrashMidDeleteBatch models a node crashing partway through a
+// delete batch: a torn DeleteBatch unlinks only a prefix of the shards.
+// The surviving shards must stay readable with their integrity intact, and
+// re-issuing the batch after the "restart" must converge - already-deleted
+// shards answer ErrNotFound, the rest are removed.
+func TestDiskNodeCrashMidDeleteBatch(t *testing.T) {
+	disk, err := store.NewDiskNode("d", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 8
+	ids := make([]store.ShardID, shards)
+	for i := range ids {
+		ids[i] = store.ShardID{Object: "o", Row: i}
+		if err := disk.Put(context.Background(), ids[i], []byte{byte(i), 0xEE}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	chaos := NewChaosNode(disk, Schedule{
+		Seed:  4, // tears this batch at shard 5: a mid-batch crash
+		Rules: []Rule{{Kind: FaultTorn, Ops: OpDelete}},
+	})
+	errs := chaos.DeleteBatch(context.Background(), ids)
+	cut := len(errs)
+	for i, err := range errs {
+		if err != nil {
+			cut = i
+			break
+		}
+	}
+	if cut == len(errs) || cut == 0 {
+		t.Fatalf("tear at %d of %d: want a strict partial batch", cut, len(errs))
+	}
+	for i, err := range errs {
+		if (err == nil) != (i < cut) {
+			t.Fatalf("errs[%d] = %v: not a clean tear at %d", i, err, cut)
+		}
+	}
+	if got := disk.Len(); got != shards-cut {
+		t.Fatalf("disk holds %d shards after torn delete, want %d", got, shards-cut)
+	}
+	// The shards the crash spared are untouched and verify cleanly.
+	for i := cut; i < shards; i++ {
+		data, err := disk.Get(context.Background(), ids[i])
+		if err != nil || !bytes.Equal(data, []byte{byte(i), 0xEE}) {
+			t.Errorf("surviving shard %d = %v, %v; want intact data", i, data, err)
+		}
+	}
+
+	// Restart: the recovering caller re-issues the whole batch against the
+	// plain node. Deletion converges; shards already gone just say so.
+	errs = disk.DeleteBatch(context.Background(), ids)
+	for i, err := range errs {
+		if i < cut {
+			if !errors.Is(err, store.ErrNotFound) {
+				t.Errorf("re-delete of unlinked shard %d = %v, want ErrNotFound", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("re-delete of surviving shard %d: %v", i, err)
+		}
+	}
+	if got := disk.Len(); got != 0 {
+		t.Errorf("disk holds %d shards after recovery delete, want 0", got)
+	}
+}

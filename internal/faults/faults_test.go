@@ -1,0 +1,241 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+func seedNode(t *testing.T, id string, shards int) *store.MemNode {
+	t.Helper()
+	n := store.NewMemNode(id)
+	for i := 0; i < shards; i++ {
+		if err := n.Put(context.Background(), store.ShardID{Object: "o", Row: i}, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestChaosErrorWindow(t *testing.T) {
+	n := NewChaosNode(seedNode(t, "m", 1), Schedule{
+		Rules: []Rule{{Kind: FaultError, From: 2, To: 4}},
+	})
+	id := store.ShardID{Object: "o", Row: 0}
+	for tick := 0; tick < 6; tick++ {
+		_, err := n.Get(context.Background(), id)
+		wantFault := tick == 2 || tick == 3
+		if gotFault := err != nil; gotFault != wantFault {
+			t.Errorf("tick %d: err = %v, want fault %v", tick, err, wantFault)
+		}
+		if wantFault {
+			if !errors.Is(err, ErrInjected) || !errors.Is(err, store.ErrNodeDown) {
+				t.Errorf("tick %d: err %v not marked injected+transient", tick, err)
+			}
+			var se *store.ShardError
+			if !errors.As(err, &se) || se.Node != "m" {
+				t.Errorf("tick %d: err %v lacks shard provenance", tick, err)
+			}
+		}
+	}
+	if got := n.InjectionStats().Errors; got != 2 {
+		t.Errorf("injected errors = %d, want 2", got)
+	}
+}
+
+func TestChaosPartitionFlaps(t *testing.T) {
+	n := NewChaosNode(seedNode(t, "m", 1), Schedule{
+		Rules: []Rule{{Kind: FaultPartition, Period: 2}},
+	})
+	// Period 2: ticks 0,1 partitioned; 2,3 clear; 4,5 partitioned; ...
+	want := []bool{false, false, true, true, false, false}
+	for tick, wantUp := range want {
+		if got := n.Available(context.Background()); got != wantUp {
+			t.Errorf("tick %d: Available = %v, want %v", tick, got, wantUp)
+		}
+	}
+}
+
+func TestChaosCorruptIsDetectedCorruption(t *testing.T) {
+	n := NewChaosNode(seedNode(t, "m", 1), Schedule{
+		Rules: []Rule{{Kind: FaultCorrupt, Ops: OpGet}},
+	})
+	id := store.ShardID{Object: "o", Row: 0}
+	_, err := n.Get(context.Background(), id)
+	if !errors.Is(err, store.ErrCorrupt) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("corrupt read err = %v, want ErrCorrupt+ErrInjected", err)
+	}
+	// Corruption never applies to writes.
+	if err := n.Put(context.Background(), id, []byte{7}); err != nil {
+		t.Fatalf("Put under corrupt-read rule: %v", err)
+	}
+}
+
+func TestChaosTornBatch(t *testing.T) {
+	inner := store.NewMemNode("m")
+	n := NewChaosNode(inner, Schedule{
+		Seed:  7,
+		Rules: []Rule{{Kind: FaultTorn, Ops: OpPut}},
+	})
+	ids := make([]store.ShardID, 8)
+	data := make([][]byte, 8)
+	for i := range ids {
+		ids[i] = store.ShardID{Object: "o", Row: i}
+		data[i] = []byte{byte(i)}
+	}
+	errs := n.PutBatch(context.Background(), ids, data)
+	// A torn batch applies a strict prefix: successes then failures, with
+	// the boundary matching what actually landed on the inner node.
+	cut := len(errs)
+	for i, err := range errs {
+		if err != nil {
+			cut = i
+			break
+		}
+	}
+	if cut == len(errs) {
+		t.Fatal("torn batch applied in full")
+	}
+	for i, err := range errs {
+		if (err == nil) != (i < cut) {
+			t.Fatalf("errs[%d] = %v: not a clean tear at %d", i, err, cut)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Errorf("torn shard %d err = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := inner.Len(); got != cut {
+		t.Errorf("inner node has %d shards, want the %d-shard prefix", got, cut)
+	}
+}
+
+func TestChaosLatencyHonorsContext(t *testing.T) {
+	n := NewChaosNode(seedNode(t, "m", 1), Schedule{
+		Rules: []Rule{{Kind: FaultLatency, Latency: time.Hour}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Get(ctx, store.ShardID{Object: "o", Row: 0})
+	if err == nil {
+		t.Fatal("latency-injected Get under expired ctx succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("injected sleep ignored the context")
+	}
+}
+
+func TestChaosReplayableFromSeed(t *testing.T) {
+	run := func() ([]bool, InjectionStats) {
+		n := NewChaosNode(seedNode(t, "m", 1), Schedule{
+			Seed:  42,
+			Rules: []Rule{{Kind: FaultError, P: 0.5}},
+		})
+		id := store.ShardID{Object: "o", Row: 0}
+		outcomes := make([]bool, 50)
+		for i := range outcomes {
+			_, err := n.Get(context.Background(), id)
+			outcomes[i] = err != nil
+		}
+		return outcomes, n.InjectionStats()
+	}
+	a, as := run()
+	b, bs := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at op %d", i)
+		}
+	}
+	if as != bs {
+		t.Fatalf("replay stats diverged: %+v vs %+v", as, bs)
+	}
+	if as.Errors == 0 || as.Errors == 50 {
+		t.Errorf("p=0.5 injected %d/50 errors; schedule not probabilistic", as.Errors)
+	}
+}
+
+func TestChaosCrashStopViaCluster(t *testing.T) {
+	// ChaosNode implements FaultInjector, so Cluster.Fail drives it even
+	// when the inner node has no injection support.
+	inner := plainNode{seedNode(t, "m", 1)}
+	n := NewChaosNode(inner, Schedule{})
+	c := store.NewCluster([]store.Node{n})
+	if err := c.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Available(context.Background(), 0) {
+		t.Error("crash-stopped chaos node reported available")
+	}
+	if _, err := c.Get(context.Background(), 0, store.ShardID{Object: "o", Row: 0}); !errors.Is(err, store.ErrNodeDown) {
+		t.Errorf("Get on crashed node = %v, want ErrNodeDown", err)
+	}
+	if err := c.Heal(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(context.Background(), 0, store.ShardID{Object: "o", Row: 0})
+	if err != nil || !bytes.Equal(got, []byte{0}) {
+		t.Errorf("Get after heal = %v, %v; data should survive the crash", got, err)
+	}
+}
+
+// plainNode hides the inner node's FaultInjector interface.
+type plainNode struct{ store.Node }
+
+func TestSharedClockAlignsWindows(t *testing.T) {
+	clock := &Clock{}
+	sched := Schedule{Rules: []Rule{{Kind: FaultPartition, From: 0, To: 2}}}
+	a := NewChaosNode(seedNode(t, "a", 1), sched)
+	b := NewChaosNode(seedNode(t, "b", 1), sched)
+	a.UseClock(clock)
+	b.UseClock(clock)
+	// Ticks 0 and 1 land inside the window regardless of which node
+	// consumes them; ticks 2+ are clear for both.
+	if a.Available(context.Background()) { // tick 0
+		t.Error("node a up inside shared window")
+	}
+	if b.Available(context.Background()) { // tick 1
+		t.Error("node b up inside shared window")
+	}
+	if !a.Available(context.Background()) || !b.Available(context.Background()) { // ticks 2, 3
+		t.Error("nodes down after shared window expired")
+	}
+	if clock.Ticks() != 4 {
+		t.Errorf("shared clock ticks = %d, want 4", clock.Ticks())
+	}
+}
+
+func TestSoakSchedulesBoundFaultyNodes(t *testing.T) {
+	const nodes, maxFaulty, windows = 8, 3, 20
+	schedules, clock, desc := SoakSchedules(99, nodes, maxFaulty, 100, windows)
+	if len(schedules) != nodes || clock == nil || desc == "" {
+		t.Fatalf("SoakSchedules shape: %d schedules, clock %v", len(schedules), clock)
+	}
+	// Count, per window, how many nodes carry a rule there.
+	perWindow := make([]int, windows)
+	for _, s := range schedules {
+		for _, r := range s.Rules {
+			w := int(r.From / 100)
+			if r.To != r.From+100 || w >= windows {
+				t.Fatalf("rule window [%d,%d) not aligned", r.From, r.To)
+			}
+			perWindow[w]++
+		}
+	}
+	for w, count := range perWindow {
+		if count > maxFaulty {
+			t.Errorf("window %d has %d faulty nodes, max %d", w, count, maxFaulty)
+		}
+	}
+	// Replayable: the same seed yields the same description.
+	_, _, desc2 := SoakSchedules(99, nodes, maxFaulty, 100, windows)
+	if desc != desc2 {
+		t.Error("SoakSchedules not replayable from seed")
+	}
+}

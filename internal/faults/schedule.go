@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// SoakSchedules generates one randomized schedule per node for a chaos
+// soak, replayable from the seed. The schedules share a Clock (returned
+// for wiring into every ChaosNode via UseClock), and time is divided into
+// `windows` windows of `windowLen` shared ticks; within each window at
+// most maxFaulty nodes carry a fault, so a workload over the whole cluster
+// never sees more than maxFaulty nodes perturbed at any instant — the
+// precondition for an (n, k) code with maxFaulty <= n-k to stay decodable
+// throughout.
+//
+// The returned description lists every per-node rule and is the artifact
+// to log with a failing run: SoakSchedules(seed, ...) with the same
+// arguments rebuilds the identical schedules.
+func SoakSchedules(seed int64, nodes, maxFaulty int, windowLen uint64, windows int) ([]Schedule, *Clock, string) {
+	rng := rand.New(rand.NewSource(seed))
+	schedules := make([]Schedule, nodes)
+	for i := range schedules {
+		// Distinct per-node seeds keep the per-node draws independent but
+		// still derived from the master seed.
+		schedules[i].Seed = rng.Int63()
+	}
+	for w := 0; w < windows; w++ {
+		from := uint64(w) * windowLen
+		to := from + windowLen
+		faulty := 0
+		if maxFaulty > 0 {
+			faulty = rng.Intn(maxFaulty + 1) // 0..maxFaulty, clean windows included
+		}
+		for _, node := range rng.Perm(nodes)[:faulty] {
+			schedules[node].Rules = append(schedules[node].Rules, randomRule(rng, from, to, windowLen))
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak seed=%d nodes=%d maxFaulty=%d windowLen=%d windows=%d\n",
+		seed, nodes, maxFaulty, windowLen, windows)
+	for i, s := range schedules {
+		fmt.Fprintf(&b, "node %d: %v\n", i, s)
+	}
+	return schedules, &Clock{}, b.String()
+}
+
+// randomRule draws one fault for a window: a partition (solid or
+// flapping), a latency spike, probabilistic errors, detected corruption,
+// or torn batches.
+func randomRule(rng *rand.Rand, from, to, windowLen uint64) Rule {
+	switch rng.Intn(6) {
+	case 0:
+		return Rule{Kind: FaultPartition, From: from, To: to}
+	case 1:
+		period := windowLen / 8
+		if period == 0 {
+			period = 1
+		}
+		return Rule{Kind: FaultPartition, From: from, To: to, Period: period}
+	case 2:
+		return Rule{
+			Kind: FaultLatency, Ops: OpData, From: from, To: to,
+			Latency: time.Duration(1+rng.Intn(3)) * time.Millisecond,
+			Jitter:  2 * time.Millisecond,
+		}
+	case 3:
+		return Rule{Kind: FaultError, Ops: OpData, From: from, To: to, P: 0.3}
+	case 4:
+		return Rule{Kind: FaultCorrupt, Ops: OpGet, From: from, To: to, P: 0.2}
+	default:
+		return Rule{Kind: FaultTorn, Ops: OpData, From: from, To: to, P: 0.5}
+	}
+}

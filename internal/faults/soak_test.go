@@ -1,0 +1,253 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+)
+
+// The chaos soak drives a full archive workload - commit, retrieve,
+// scrub, repair, compact - against a cluster whose nodes run randomized
+// seeded fault schedules, then verifies every committed version retrieves
+// byte-identically. SoakSchedules keeps at most n-k nodes inside a fault
+// window at any instant (the nodes share one Clock), so correctness is
+// owed, not lucky. The run is replayable: set CHAOS_SEED to rerun a
+// failure, and CHAOS_ARTIFACTS to a directory to save the schedule
+// descriptions (CI uploads them as artifacts).
+const (
+	soakNodes     = 6
+	soakK         = 3
+	soakWindowLen = 40
+	soakWindows   = 6
+)
+
+func soakSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return 20260807
+	}
+	seed, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED %q: %v", s, err)
+	}
+	return seed
+}
+
+func logSchedules(t *testing.T, kind string, seed int64, desc string) {
+	t.Helper()
+	t.Logf("chaos soak %s seed=%d:\n%s", kind, seed, desc)
+	dir := os.Getenv("CHAOS_ARTIFACTS")
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, "chaos-schedule-"+kind+".txt")
+	if err := os.WriteFile(path, []byte(desc+"\n"), 0o644); err != nil {
+		t.Logf("writing schedule artifact: %v", err)
+	}
+}
+
+// soakFixture is a chaos-wrapped cluster of one node kind plus its
+// teardown.
+type soakFixture struct {
+	cluster *store.Cluster
+	chaos   []*ChaosNode
+	clock   *Clock
+	desc    string
+	close   func()
+}
+
+func memSoak(t *testing.T, seed int64) *soakFixture {
+	t.Helper()
+	schedules, clock, desc := SoakSchedules(seed, soakNodes, soakNodes-soakK, soakWindowLen, soakWindows)
+	nodes := make([]store.Node, soakNodes)
+	chaos := make([]*ChaosNode, soakNodes)
+	for i := range nodes {
+		chaos[i] = NewChaosNode(store.NewMemNode(fmt.Sprintf("mem-%d", i)), schedules[i])
+		chaos[i].UseClock(clock)
+		nodes[i] = chaos[i]
+	}
+	return &soakFixture{cluster: store.NewCluster(nodes), chaos: chaos, clock: clock, desc: desc, close: func() {}}
+}
+
+func diskSoak(t *testing.T, seed int64) *soakFixture {
+	t.Helper()
+	schedules, clock, desc := SoakSchedules(seed, soakNodes, soakNodes-soakK, soakWindowLen, soakWindows)
+	nodes := make([]store.Node, soakNodes)
+	chaos := make([]*ChaosNode, soakNodes)
+	for i := range nodes {
+		disk, err := store.NewDiskNode(fmt.Sprintf("disk-%d", i), t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		chaos[i] = NewChaosNode(disk, schedules[i])
+		chaos[i].UseClock(clock)
+		nodes[i] = chaos[i]
+	}
+	return &soakFixture{cluster: store.NewCluster(nodes), chaos: chaos, clock: clock, desc: desc, close: func() {}}
+}
+
+func tcpSoak(t *testing.T, seed int64) *soakFixture {
+	t.Helper()
+	schedules, clock, desc := SoakSchedules(seed, soakNodes, soakNodes-soakK, soakWindowLen, soakWindows)
+	nodes := make([]store.Node, soakNodes)
+	chaos := make([]*ChaosNode, soakNodes)
+	var closers []func()
+	for i := range nodes {
+		chaos[i] = NewChaosNode(store.NewMemNode(fmt.Sprintf("tcp-%d", i)), schedules[i])
+		chaos[i].UseClock(clock)
+		srv := transport.NewServer(chaos[i])
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := transport.NewRemoteNode(fmt.Sprintf("tcp-%d", i), addr.String(),
+			transport.WithTimeout(5*time.Second),
+			transport.WithRetryPolicy(store.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}))
+		nodes[i] = client
+		closers = append(closers, func() { _ = client.Close(); _ = srv.Close() })
+	}
+	return &soakFixture{cluster: store.NewCluster(nodes), chaos: chaos, clock: clock, desc: desc, close: func() {
+		for _, c := range closers {
+			c()
+		}
+	}}
+}
+
+func TestChaosSoak(t *testing.T) {
+	fixtures := map[string]func(*testing.T, int64) *soakFixture{
+		"mem":  memSoak,
+		"disk": diskSoak,
+		"tcp":  tcpSoak,
+	}
+	for kind, mk := range fixtures {
+		t.Run(kind, func(t *testing.T) { runSoak(t, kind, mk) })
+	}
+}
+
+func runSoak(t *testing.T, kind string, mk func(*testing.T, int64) *soakFixture) {
+	seed := soakSeed(t)
+	before := runtime.NumGoroutine()
+	fx := mk(t, seed)
+	logSchedules(t, kind, seed, fx.desc)
+	fx.cluster.SetRetryPolicy(store.DefaultRetryPolicy)
+	fx.cluster.SetHealthConfig(store.HealthConfig{TripAfter: 5, Cooldown: 2 * time.Second})
+	cfg := core.Config{
+		Name:            "soak",
+		Scheme:          core.OptimizedSEC,
+		Code:            erasure.SystematicCauchy,
+		N:               soakNodes,
+		K:               soakK,
+		BlockSize:       8,
+		CheckpointEvery: 4,
+		HedgeDelay:      5 * time.Millisecond,
+	}
+	a, err := core.New(cfg, fx.cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	object := make([]byte, a.Capacity())
+	rng.Read(object)
+	var versions [][]byte
+	commitFailures, retrieveRetries, opErrs := 0, 0, 0
+	tryCommit := func() {
+		if _, err := a.CommitContext(ctx, object); err != nil {
+			commitFailures++ // transient: the same object retries later
+			return
+		}
+		versions = append(versions, append([]byte(nil), object...))
+		object = append([]byte(nil), object...)
+		object[rng.Intn(len(object))] ^= 0xA5
+	}
+	checkVersion := func(l int, attempts int, when string) {
+		t.Helper()
+		for attempt := 0; ; attempt++ {
+			got, _, err := a.RetrieveContext(ctx, l)
+			if err == nil {
+				if !bytes.Equal(got, versions[l-1]) {
+					t.Fatalf("%s: version %d bytes diverged (seed %d)", when, l, seed)
+				}
+				return
+			}
+			if attempt+1 >= attempts {
+				t.Fatalf("%s: version %d unretrievable after %d attempts (seed %d): %v", when, l, attempts, seed, err)
+			}
+			retrieveRetries++
+		}
+	}
+
+	// Chaos phase: ride the operation clock through every fault window.
+	soakEnd := uint64(soakWindows * soakWindowLen)
+	for iter := 0; fx.clock.Ticks() < soakEnd && iter < 600; iter++ {
+		switch {
+		case len(versions) == 0 || iter%5 < 2:
+			tryCommit()
+		case iter%5 < 4:
+			checkVersion(1+rng.Intn(len(versions)), 10, "chaos phase")
+		case iter%15 == 4:
+			if _, err := a.ScrubContext(ctx, true); err != nil {
+				opErrs++
+			}
+		case iter%15 == 9:
+			if _, err := a.RepairNodeContext(ctx, rng.Intn(soakNodes)); err != nil {
+				opErrs++
+			}
+		default:
+			if _, err := a.CompactToContext(ctx, 4); err != nil {
+				opErrs++
+			}
+		}
+	}
+	if fx.clock.Ticks() < soakEnd {
+		t.Fatalf("soak ended at tick %d of %d; workload too small", fx.clock.Ticks(), soakEnd)
+	}
+	if len(versions) < 3 {
+		t.Fatalf("only %d versions committed under chaos (seed %d)", len(versions), seed)
+	}
+
+	// Quiet phase: every schedule has expired, so every version must now
+	// retrieve cleanly and byte-identically (a couple of attempts absorbs
+	// a breaker cooling down).
+	for l := 1; l <= len(versions); l++ {
+		checkVersion(l, 3, "quiet phase")
+	}
+
+	var injected InjectionStats
+	for _, ch := range fx.chaos {
+		s := ch.InjectionStats()
+		injected.Delayed += s.Delayed
+		injected.Errors += s.Errors
+		injected.Corruptions += s.Corruptions
+		injected.Torn += s.Torn
+		injected.PartitionDrops += s.PartitionDrops
+	}
+	if injected == (InjectionStats{}) {
+		t.Errorf("soak injected no faults (seed %d); schedules too tame", seed)
+	}
+	t.Logf("%s soak: %d versions, %d commit failures, %d retrieve retries, %d op errors, injected %+v, health %+v",
+		kind, len(versions), commitFailures, retrieveRetries, opErrs, injected, fx.cluster.Health())
+
+	// No goroutine leaks once the fixture is torn down.
+	fx.close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak: %d before soak, %d after teardown", before, g)
+	}
+}

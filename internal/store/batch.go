@@ -95,6 +95,7 @@ type ShardRef struct {
 // nodeBatch collects the positions of one node's refs within a
 // cluster-level batch, so per-node results can be scattered back in order.
 type nodeBatch struct {
+	index   int // cluster node index
 	node    Node
 	nodeErr error // non-nil when the node index was out of range
 	idx     []int // positions into the original refs slice
@@ -110,7 +111,7 @@ func (c *Cluster) groupByNode(refs []ShardRef) []*nodeBatch {
 		b, ok := byNode[ref.Node]
 		if !ok {
 			n, err := c.Node(ref.Node)
-			b = &nodeBatch{node: n, nodeErr: err}
+			b = &nodeBatch{index: ref.Node, node: n, nodeErr: err}
 			byNode[ref.Node] = b
 			order = append(order, b)
 		}
@@ -120,13 +121,68 @@ func (c *Cluster) groupByNode(refs []ShardRef) []*nodeBatch {
 	return order
 }
 
+// observeBatch feeds one node batch's outcome to the health tracker as a
+// single observation: any authoritative response (success, ErrNotFound,
+// ErrCorrupt) counts as node-healthy; a batch that produced only transient
+// failures counts as one failure, not one per shard, so a single dead
+// batch cannot trip a breaker on its own.
+func (c *Cluster) observeBatch(node int, n int, errAt func(int) error) {
+	var transient error
+	for i := 0; i < n; i++ {
+		failure, observable := transientFailure(errAt(i))
+		if observable && !failure {
+			c.health.observe(node, nil)
+			return
+		}
+		if failure {
+			transient = errAt(i)
+		}
+	}
+	if transient != nil {
+		c.health.observe(node, transient)
+	}
+}
+
+// retryableIdx returns the positions whose error is transient per
+// Retryable, i.e. the shards worth re-issuing.
+func retryableIdx(n int, errAt func(int) error) []int {
+	var idx []int
+	for i := 0; i < n; i++ {
+		if Retryable(errAt(i)) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
 // GetBatch reads the listed shards, grouping them by node and issuing one
 // batch per node; batches to distinct nodes run concurrently. The result
 // slice is aligned with refs. Nodes that do not implement BatchNode are
 // served by a per-shard loop, so mixed clusters (in-memory, disk, remote)
 // work transparently; out-of-range node indices yield per-shard
-// ErrClusterTooSmall results instead of failing the whole batch.
+// ErrClusterTooSmall results instead of failing the whole batch. Shards
+// that fail transiently are re-issued under the cluster's retry policy.
 func (c *Cluster) GetBatch(ctx context.Context, refs []ShardRef) []ShardResult {
+	results := c.getBatchOnce(ctx, refs)
+	p := c.retryPolicy()
+	for retry := 1; retry < p.attempts(); retry++ {
+		idx := retryableIdx(len(results), func(i int) error { return results[i].Err })
+		if len(idx) == 0 || p.Sleep(ctx, retry) != nil {
+			break
+		}
+		sub := make([]ShardRef, len(idx))
+		for j, i := range idx {
+			sub[j] = refs[i]
+		}
+		for j, res := range c.getBatchOnce(ctx, sub) {
+			results[idx[j]] = res
+		}
+	}
+	return results
+}
+
+// getBatchOnce performs one pass of GetBatch with no retries.
+func (c *Cluster) getBatchOnce(ctx context.Context, refs []ShardRef) []ShardResult {
 	results := make([]ShardResult, len(refs))
 	runNodeBatches(c.groupByNode(refs), func(b *nodeBatch) {
 		if b.nodeErr != nil {
@@ -138,17 +194,40 @@ func (c *Cluster) GetBatch(ctx context.Context, refs []ShardRef) []ShardResult {
 		for j, res := range GetShards(ctx, b.node, b.ids) {
 			results[b.idx[j]] = res
 		}
+		c.observeBatch(b.index, len(b.idx), func(j int) error { return results[b.idx[j]].Err })
 	})
 	return results
 }
 
 // PutBatch stores data[i] under refs[i], grouped into one batch per node;
 // batches to distinct nodes run concurrently. It returns one error per
-// shard, aligned with refs.
+// shard, aligned with refs. Shards that fail transiently are re-issued
+// under the cluster's retry policy.
 func (c *Cluster) PutBatch(ctx context.Context, refs []ShardRef, data [][]byte) []error {
 	if len(data) != len(refs) {
 		panic(fmt.Sprintf("store: PutBatch got %d refs but %d payloads", len(refs), len(data)))
 	}
+	errs := c.putBatchOnce(ctx, refs, data)
+	p := c.retryPolicy()
+	for retry := 1; retry < p.attempts(); retry++ {
+		idx := retryableIdx(len(errs), func(i int) error { return errs[i] })
+		if len(idx) == 0 || p.Sleep(ctx, retry) != nil {
+			break
+		}
+		sub := make([]ShardRef, len(idx))
+		subData := make([][]byte, len(idx))
+		for j, i := range idx {
+			sub[j], subData[j] = refs[i], data[i]
+		}
+		for j, err := range c.putBatchOnce(ctx, sub, subData) {
+			errs[idx[j]] = err
+		}
+	}
+	return errs
+}
+
+// putBatchOnce performs one pass of PutBatch with no retries.
+func (c *Cluster) putBatchOnce(ctx context.Context, refs []ShardRef, data [][]byte) []error {
 	errs := make([]error, len(refs))
 	runNodeBatches(c.groupByNode(refs), func(b *nodeBatch) {
 		if b.nodeErr != nil {
@@ -164,6 +243,7 @@ func (c *Cluster) PutBatch(ctx context.Context, refs []ShardRef, data [][]byte) 
 		for j, err := range PutShards(ctx, b.node, b.ids, payloads) {
 			errs[b.idx[j]] = err
 		}
+		c.observeBatch(b.index, len(b.idx), func(j int) error { return errs[b.idx[j]] })
 	})
 	return errs
 }
@@ -171,8 +251,30 @@ func (c *Cluster) PutBatch(ctx context.Context, refs []ShardRef, data [][]byte) 
 // DeleteBatch removes the listed shards, grouped into one batch per node;
 // batches to distinct nodes run concurrently. It returns one error per
 // shard, aligned with refs (nil for successes, errors wrapping ErrNotFound
-// for shards already absent).
+// for shards already absent). Shards that fail transiently are re-issued
+// under the cluster's retry policy; a delete retried past a success
+// reports ErrNotFound, the documented at-least-once contract.
 func (c *Cluster) DeleteBatch(ctx context.Context, refs []ShardRef) []error {
+	errs := c.deleteBatchOnce(ctx, refs)
+	p := c.retryPolicy()
+	for retry := 1; retry < p.attempts(); retry++ {
+		idx := retryableIdx(len(errs), func(i int) error { return errs[i] })
+		if len(idx) == 0 || p.Sleep(ctx, retry) != nil {
+			break
+		}
+		sub := make([]ShardRef, len(idx))
+		for j, i := range idx {
+			sub[j] = refs[i]
+		}
+		for j, err := range c.deleteBatchOnce(ctx, sub) {
+			errs[idx[j]] = err
+		}
+	}
+	return errs
+}
+
+// deleteBatchOnce performs one pass of DeleteBatch with no retries.
+func (c *Cluster) deleteBatchOnce(ctx context.Context, refs []ShardRef) []error {
 	errs := make([]error, len(refs))
 	runNodeBatches(c.groupByNode(refs), func(b *nodeBatch) {
 		if b.nodeErr != nil {
@@ -184,6 +286,7 @@ func (c *Cluster) DeleteBatch(ctx context.Context, refs []ShardRef) []error {
 		for j, err := range DeleteShards(ctx, b.node, b.ids) {
 			errs[b.idx[j]] = err
 		}
+		c.observeBatch(b.index, len(b.idx), func(j int) error { return errs[b.idx[j]] })
 	})
 	return errs
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -24,17 +25,26 @@ type Cluster struct {
 	mu      sync.RWMutex
 	nodes   []Node
 	factory NodeFactory
+
+	// health tracks per-node failure history and drives the optional
+	// circuit breaker (see SetHealthConfig).
+	health *healthTracker
+
+	// retry is the per-operation retry policy (see SetRetryPolicy). The
+	// zero policy performs exactly one attempt.
+	retryMu sync.RWMutex
+	retry   RetryPolicy
 }
 
 // NewCluster returns a fixed cluster over the given nodes.
 func NewCluster(nodes []Node) *Cluster {
-	return &Cluster{nodes: append([]Node(nil), nodes...)}
+	return &Cluster{nodes: append([]Node(nil), nodes...), health: newHealthTracker()}
 }
 
 // NewMemCluster returns a growable cluster backed by in-memory nodes,
 // pre-populated with `size` nodes.
 func NewMemCluster(size int) *Cluster {
-	c := &Cluster{factory: func(i int) Node { return NewMemNode(fmt.Sprintf("mem-%d", i)) }}
+	c := NewGrowableCluster(func(i int) Node { return NewMemNode(fmt.Sprintf("mem-%d", i)) })
 	if err := c.EnsureSize(size); err != nil {
 		panic(err) // unreachable: mem factory never fails
 	}
@@ -44,7 +54,27 @@ func NewMemCluster(size int) *Cluster {
 // NewGrowableCluster returns an empty cluster that expands with the given
 // factory.
 func NewGrowableCluster(factory NodeFactory) *Cluster {
-	return &Cluster{factory: factory}
+	return &Cluster{factory: factory, health: newHealthTracker()}
+}
+
+// SetRetryPolicy configures how cluster operations retry transient
+// failures: each Get/Put and each retryable shard of a batch is retried
+// under the policy's attempt budget with jittered exponential backoff.
+// Only transient errors (see Retryable) are retried; ErrNotFound,
+// ErrCorrupt, and context cancellation never are. The default (zero)
+// policy performs exactly one attempt, preserving the paper experiments'
+// exact I/O accounting.
+func (c *Cluster) SetRetryPolicy(p RetryPolicy) {
+	c.retryMu.Lock()
+	defer c.retryMu.Unlock()
+	c.retry = p
+}
+
+// retryPolicy returns the configured retry policy.
+func (c *Cluster) retryPolicy() RetryPolicy {
+	c.retryMu.RLock()
+	defer c.retryMu.RUnlock()
+	return c.retry
 }
 
 // NewDiskCluster returns a growable cluster of durable disk-backed nodes
@@ -148,32 +178,60 @@ func (c *Cluster) Node(i int) (Node, error) {
 	return c.nodes[i], nil
 }
 
-// Put stores a shard on the node with the given index.
+// Put stores a shard on the node with the given index, retrying transient
+// failures under the configured retry policy.
 func (c *Cluster) Put(ctx context.Context, node int, id ShardID, data []byte) error {
 	n, err := c.Node(node)
 	if err != nil {
 		return err
 	}
-	return n.Put(ctx, id, data)
+	err = c.retryPolicy().Do(ctx, func() error {
+		e := n.Put(ctx, id, data)
+		c.health.observe(node, e)
+		return e
+	})
+	return err
 }
 
-// Get reads a shard from the node with the given index.
+// Get reads a shard from the node with the given index, retrying transient
+// failures under the configured retry policy.
 func (c *Cluster) Get(ctx context.Context, node int, id ShardID) ([]byte, error) {
 	n, err := c.Node(node)
 	if err != nil {
 		return nil, err
 	}
-	return n.Get(ctx, id)
+	var data []byte
+	err = c.retryPolicy().Do(ctx, func() error {
+		var e error
+		data, e = n.Get(ctx, id)
+		c.health.observe(node, e)
+		return e
+	})
+	return data, err
 }
 
 // Available reports whether the node with the given index is up. Out-of-
-// range indices report false.
+// range indices report false. When the circuit breaker is enabled (see
+// SetHealthConfig) and the node's breaker is open, the probe is answered
+// "down" locally without pinging the node until the cooldown elapses.
 func (c *Cluster) Available(ctx context.Context, node int) bool {
 	n, err := c.Node(node)
 	if err != nil {
 		return false
 	}
-	return n.Available(ctx)
+	if !c.health.gateProbe(node) {
+		return false
+	}
+	up := n.Available(ctx)
+	if !up && ctx.Err() != nil {
+		// An expired context reads as unavailable but says nothing about
+		// the node; don't let it trip the breaker. The gate's half-open
+		// claim is released so a later probe can go through.
+		c.health.releaseProbe(node)
+		return false
+	}
+	c.health.observeProbe(node, up)
+	return up
 }
 
 // Fail injects a failure into the given nodes. It returns an error if any
@@ -183,7 +241,13 @@ func (c *Cluster) Fail(nodes ...int) error { return c.setFailed(true, nodes) }
 // Heal clears injected failures on the given nodes.
 func (c *Cluster) Heal(nodes ...int) error { return c.setFailed(false, nodes) }
 
+// setFailed applies the failure flag to every listed node, or to none:
+// all targets are resolved and validated before any node is mutated, so a
+// bad index or a node without fault injection cannot leave a prefix of the
+// list failed. The error names every offending node, not just the first.
 func (c *Cluster) setFailed(failed bool, nodes []int) error {
+	injectors := make([]FaultInjector, 0, len(nodes))
+	var unsupported []string
 	for _, i := range nodes {
 		n, err := c.Node(i)
 		if err != nil {
@@ -191,8 +255,16 @@ func (c *Cluster) setFailed(failed bool, nodes []int) error {
 		}
 		inj, ok := n.(FaultInjector)
 		if !ok {
-			return fmt.Errorf("store: node %s does not support fault injection", n.ID())
+			unsupported = append(unsupported, n.ID())
+			continue
 		}
+		injectors = append(injectors, inj)
+	}
+	if len(unsupported) > 0 {
+		return fmt.Errorf("store: node %s does not support fault injection",
+			strings.Join(unsupported, ", "))
+	}
+	for _, inj := range injectors {
 		inj.SetFailed(failed)
 	}
 	return nil

@@ -1,0 +1,335 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state of one cluster node.
+type BreakerState int
+
+const (
+	// BreakerClosed: the node is believed healthy; operations and probes
+	// flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the node tripped on consecutive transient failures;
+	// availability probes are answered "down" locally (no ping storm)
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe is being
+	// allowed through to test the node; concurrent probes are still
+	// short-circuited.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and CLI output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthConfig configures a cluster's per-node circuit breaker.
+type HealthConfig struct {
+	// TripAfter is the number of consecutive transient failures that trip
+	// a node's breaker open. Zero or negative disables the breaker
+	// (failures are still counted, so health snapshots stay informative).
+	TripAfter int
+	// Cooldown is how long a tripped breaker stays open before a single
+	// half-open probe is allowed through. Zero means 5s.
+	Cooldown time.Duration
+}
+
+// cooldown returns the effective open→half-open delay.
+func (c HealthConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return c.Cooldown
+}
+
+// NodeHealth is a snapshot of one node's failure-tracking state: breaker
+// state plus the counters that make degraded operation visible (probe
+// failures, breaker short-circuits, hedged-read demotions).
+type NodeHealth struct {
+	// Node is the cluster node index.
+	Node int
+	// ID is the node identifier.
+	ID string
+	// State is the breaker state at snapshot time.
+	State BreakerState
+	// ConsecutiveFailures counts transient failures since the last
+	// success; TripAfter of these open the breaker.
+	ConsecutiveFailures int
+	// Successes and Failures count health observations (per operation or
+	// per node batch, not per shard).
+	Successes, Failures uint64
+	// ProbeFailures counts Available() pings the node failed.
+	ProbeFailures uint64
+	// BreakerSkips counts probes short-circuited by an open breaker
+	// (each one is a ping the cluster did not have to pay for).
+	BreakerSkips uint64
+	// Hedges counts hedged reads that demoted this node as the straggler.
+	Hedges uint64
+}
+
+// nodeHealth is the mutable per-node record behind a NodeHealth snapshot.
+type nodeHealth struct {
+	state         BreakerState
+	consecutive   int
+	successes     uint64
+	failures      uint64
+	probeFailures uint64
+	breakerSkips  uint64
+	hedges        uint64
+	openedAt      time.Time
+	probing       bool
+}
+
+// healthTracker tracks per-node failure history for a cluster. All methods
+// are safe for concurrent use and nil-safe (a nil tracker is a no-op), so
+// cluster paths can call it unconditionally.
+type healthTracker struct {
+	mu    sync.Mutex
+	cfg   HealthConfig
+	nodes map[int]*nodeHealth
+	now   func() time.Time // test hook
+}
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{nodes: make(map[int]*nodeHealth), now: time.Now}
+}
+
+func (t *healthTracker) configure(cfg HealthConfig) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg = cfg
+}
+
+// node returns the record for index i, creating it on first use. Caller
+// holds t.mu.
+func (t *healthTracker) node(i int) *nodeHealth {
+	h, ok := t.nodes[i]
+	if !ok {
+		h = &nodeHealth{}
+		t.nodes[i] = h
+	}
+	return h
+}
+
+// transientFailure reports whether err should count against node health:
+// true for transient (ErrNodeDown-class) failures, false for authoritative
+// answers (nil, ErrNotFound, ErrCorrupt — the node responded) and for
+// context cancellation (the request was withdrawn; says nothing about the
+// node).
+func transientFailure(err error) (failure, observable bool) {
+	if err == nil {
+		return false, true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, false
+	}
+	if errors.Is(err, ErrNodeDown) {
+		return true, true
+	}
+	return false, true
+}
+
+// observe records the outcome of one operation (or one node batch) against
+// node i.
+func (t *healthTracker) observe(i int, err error) {
+	if t == nil {
+		return
+	}
+	failure, observable := transientFailure(err)
+	if !observable {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.node(i)
+	if failure {
+		t.recordFailure(h)
+	} else {
+		t.recordSuccess(h)
+	}
+}
+
+// recordSuccess resets the node to closed. Caller holds t.mu.
+func (t *healthTracker) recordSuccess(h *nodeHealth) {
+	h.successes++
+	h.consecutive = 0
+	h.state = BreakerClosed
+	h.probing = false
+}
+
+// recordFailure counts a transient failure and trips the breaker when the
+// threshold is crossed. Caller holds t.mu.
+func (t *healthTracker) recordFailure(h *nodeHealth) {
+	h.failures++
+	h.consecutive++
+	if h.state == BreakerHalfOpen {
+		// The half-open probe failed: back to open with a fresh cooldown.
+		h.state = BreakerOpen
+		h.openedAt = t.now()
+		h.probing = false
+		return
+	}
+	if t.cfg.TripAfter > 0 && h.state == BreakerClosed && h.consecutive >= t.cfg.TripAfter {
+		h.state = BreakerOpen
+		h.openedAt = t.now()
+	}
+}
+
+// gateProbe decides whether an Available() probe for node i may reach the
+// node. While the breaker is open (and cooling down) it answers false
+// locally and counts a BreakerSkip; once the cooldown elapses it lets
+// exactly one caller through as the half-open probe.
+func (t *healthTracker) gateProbe(i int) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.TripAfter <= 0 {
+		return true
+	}
+	h := t.node(i)
+	switch h.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if t.now().Sub(h.openedAt) < t.cfg.cooldown() {
+			h.breakerSkips++
+			return false
+		}
+		h.state = BreakerHalfOpen
+		h.probing = true
+		return true
+	case BreakerHalfOpen:
+		if h.probing {
+			h.breakerSkips++
+			return false
+		}
+		h.probing = true
+		return true
+	}
+	return true
+}
+
+// releaseProbe abandons a half-open probe claim without recording an
+// outcome (the probe was cancelled by its context), so a later probe can
+// go through.
+func (t *healthTracker) releaseProbe(i int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.node(i).probing = false
+}
+
+// observeProbe records the result of an Available() probe that was allowed
+// through the gate.
+func (t *healthTracker) observeProbe(i int, up bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.node(i)
+	if up {
+		t.recordSuccess(h)
+		return
+	}
+	h.probeFailures++
+	t.recordFailure(h)
+}
+
+// reportHedge counts a hedged read that demoted node i as the straggler.
+func (t *healthTracker) reportHedge(i int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.node(i).hedges++
+}
+
+// snapshot returns the record for node i (zero value if never observed).
+func (t *healthTracker) snapshot(i int) NodeHealth {
+	if t == nil {
+		return NodeHealth{Node: i}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.nodes[i]
+	if !ok {
+		return NodeHealth{Node: i}
+	}
+	return NodeHealth{
+		Node:                i,
+		State:               h.state,
+		ConsecutiveFailures: h.consecutive,
+		Successes:           h.successes,
+		Failures:            h.failures,
+		ProbeFailures:       h.probeFailures,
+		BreakerSkips:        h.breakerSkips,
+		Hedges:              h.hedges,
+	}
+}
+
+// SetHealthConfig configures the cluster's per-node circuit breaker.
+// With TripAfter > 0, a node that fails that many consecutive operations
+// or probes has its breaker tripped open: Available reports it down
+// locally (no ping) until the cooldown elapses, then a single half-open
+// probe decides between reset and re-trip. The default config (zero
+// TripAfter) disables the breaker while still counting failures, so
+// simulation-driven experiments keep their exact probe accounting.
+func (c *Cluster) SetHealthConfig(cfg HealthConfig) {
+	c.health.configure(cfg)
+}
+
+// ReportHedge records that a hedged read demoted the given node as a
+// straggler. The archive layer calls it when a hedge delay expires against
+// the node; it feeds the health counters surfaced by Health.
+func (c *Cluster) ReportHedge(node int) {
+	c.health.reportHedge(node)
+}
+
+// Health returns a per-node health snapshot: breaker state, consecutive
+// failures, probe failures, breaker skips, and hedged-read demotions.
+func (c *Cluster) Health() []NodeHealth {
+	c.mu.RLock()
+	nodes := append([]Node(nil), c.nodes...)
+	c.mu.RUnlock()
+	out := make([]NodeHealth, len(nodes))
+	for i, n := range nodes {
+		out[i] = c.health.snapshot(i)
+		out[i].ID = n.ID()
+	}
+	return out
+}
+
+// NodeHealth returns the health snapshot of one node.
+func (c *Cluster) NodeHealth(i int) (NodeHealth, error) {
+	n, err := c.Node(i)
+	if err != nil {
+		return NodeHealth{}, err
+	}
+	h := c.health.snapshot(i)
+	h.ID = n.ID()
+	return h, nil
+}

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripHalfOpenReset(t *testing.T) {
+	c := NewMemCluster(2)
+	c.SetHealthConfig(HealthConfig{TripAfter: 3, Cooldown: time.Hour})
+	now := time.Unix(1000, 0)
+	c.health.now = func() time.Time { return now }
+
+	if err := c.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	// Three failed probes trip the breaker.
+	for i := 0; i < 3; i++ {
+		if c.Available(context.Background(), 1) {
+			t.Fatal("failed node reported available")
+		}
+	}
+	h, err := c.NodeHealth(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != BreakerOpen || h.ProbeFailures != 3 {
+		t.Fatalf("after trip: state=%v probeFailures=%d, want open/3", h.State, h.ProbeFailures)
+	}
+
+	// While open and cooling down, probes are answered locally: the node
+	// never sees them, and each one counts as a breaker skip.
+	if err := c.Heal(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if c.Available(context.Background(), 1) {
+			t.Fatal("open breaker let a probe through")
+		}
+	}
+	h, _ = c.NodeHealth(1)
+	if h.BreakerSkips != 4 {
+		t.Fatalf("breaker skips = %d, want 4", h.BreakerSkips)
+	}
+
+	// After the cooldown a single half-open probe goes through; the node
+	// is healed, so the breaker resets to closed.
+	now = now.Add(2 * time.Hour)
+	if !c.Available(context.Background(), 1) {
+		t.Fatal("half-open probe against healed node reported down")
+	}
+	h, _ = c.NodeHealth(1)
+	if h.State != BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Fatalf("after reset: %+v, want closed/0", h)
+	}
+
+	// The healthy node was never affected.
+	h, _ = c.NodeHealth(0)
+	if h.State != BreakerClosed || h.BreakerSkips != 0 {
+		t.Fatalf("healthy node health = %+v", h)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	c := NewMemCluster(1)
+	c.SetHealthConfig(HealthConfig{TripAfter: 1, Cooldown: time.Hour})
+	now := time.Unix(0, 0)
+	c.health.now = func() time.Time { return now }
+
+	if err := c.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Available(context.Background(), 0) // trips
+	now = now.Add(2 * time.Hour)
+	// Half-open probe fails: breaker re-opens with a fresh cooldown.
+	if c.Available(context.Background(), 0) {
+		t.Fatal("failed node reported available")
+	}
+	h, _ := c.NodeHealth(0)
+	if h.State != BreakerOpen {
+		t.Fatalf("state after failed half-open probe = %v, want open", h.State)
+	}
+	// Still inside the fresh cooldown: skipped locally.
+	now = now.Add(30 * time.Minute)
+	c.Available(context.Background(), 0)
+	h, _ = c.NodeHealth(0)
+	if h.BreakerSkips == 0 {
+		t.Error("probe inside fresh cooldown was not skipped")
+	}
+}
+
+func TestBreakerOpsObserved(t *testing.T) {
+	c := NewMemCluster(1)
+	c.SetHealthConfig(HealthConfig{TripAfter: 2, Cooldown: time.Hour})
+	if err := c.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	id := ShardID{Object: "o", Row: 0}
+	// Failed operations (not just probes) count toward the trip.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(context.Background(), 0, id); !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("Get = %v, want ErrNodeDown", err)
+		}
+	}
+	h, _ := c.NodeHealth(0)
+	if h.State != BreakerOpen || h.Failures != 2 {
+		t.Fatalf("after failed ops: %+v, want open/2", h)
+	}
+	// A successful op through the open breaker resets it.
+	if err := c.Heal(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(context.Background(), 0, id, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = c.NodeHealth(0)
+	if h.State != BreakerClosed {
+		t.Fatalf("state after successful op = %v, want closed", h.State)
+	}
+}
+
+func TestHealthAuthoritativeAnswersAreHealthy(t *testing.T) {
+	c := NewMemCluster(1)
+	c.SetHealthConfig(HealthConfig{TripAfter: 1})
+	// ErrNotFound is the node answering, not failing: never trips.
+	if _, err := c.Get(context.Background(), 0, ShardID{Object: "absent"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+	h, _ := c.NodeHealth(0)
+	if h.State != BreakerClosed || h.Failures != 0 || h.Successes == 0 {
+		t.Fatalf("health after ErrNotFound = %+v, want closed success", h)
+	}
+	// Context cancellation is ignored entirely.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.Get(ctx, 0, ShardID{Object: "absent"})
+	h2, _ := c.NodeHealth(0)
+	if h2.Failures != h.Failures || h2.Successes != h.Successes {
+		t.Fatalf("cancelled op changed health: %+v -> %+v", h, h2)
+	}
+}
+
+func TestHealthBatchCountsOncePerNode(t *testing.T) {
+	c := NewMemCluster(2)
+	c.SetHealthConfig(HealthConfig{TripAfter: 5})
+	if err := c.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]ShardRef, 0, 8)
+	for row := 0; row < 4; row++ {
+		refs = append(refs,
+			ShardRef{Node: 0, ID: ShardID{Object: "o", Row: row}},
+			ShardRef{Node: 1, ID: ShardID{Object: "o", Row: row}})
+	}
+	c.GetBatch(context.Background(), refs)
+	h, _ := c.NodeHealth(1)
+	// Four dead shards in one batch count as one failure, so a single
+	// batch cannot trip a breaker with TripAfter > 1.
+	if h.Failures != 1 || h.State != BreakerClosed {
+		t.Fatalf("batch failure accounting = %+v, want 1 failure, closed", h)
+	}
+}
+
+func TestClusterSetFailedAllOrNothing(t *testing.T) {
+	// Node 1 does not support fault injection: Fail(0, 1, 2) must leave
+	// nodes 0 and 2 untouched and name the offender.
+	c := NewCluster([]Node{NewMemNode("a"), plainNode{NewMemNode("b")}, NewMemNode("c")})
+	err := c.Fail(0, 1, 2)
+	if err == nil {
+		t.Fatal("Fail with non-injectable target: want error")
+	}
+	if !strings.Contains(err.Error(), "b") {
+		t.Errorf("error %q does not name the offending node", err)
+	}
+	for _, i := range []int{0, 2} {
+		if !c.Available(context.Background(), i) {
+			t.Errorf("node %d was failed despite the rejected Fail call", i)
+		}
+	}
+	// Multiple offenders are all named.
+	c2 := NewCluster([]Node{plainNode{NewMemNode("x")}, NewMemNode("m"), plainNode{NewMemNode("y")}})
+	err = c2.Fail(0, 1, 2)
+	if err == nil || !strings.Contains(err.Error(), "x") || !strings.Contains(err.Error(), "y") {
+		t.Errorf("error %v does not name every offending node", err)
+	}
+	if !c2.Available(context.Background(), 1) {
+		t.Error("injectable node was failed despite the rejected Fail call")
+	}
+}
+
+func TestClusterHealthSnapshotIDs(t *testing.T) {
+	c := NewMemCluster(3)
+	hs := c.Health()
+	if len(hs) != 3 {
+		t.Fatalf("Health len = %d, want 3", len(hs))
+	}
+	for i, h := range hs {
+		if h.Node != i || h.ID == "" {
+			t.Errorf("Health[%d] = %+v, want node index and ID set", i, h)
+		}
+	}
+	if _, err := c.NodeHealth(9); !errors.Is(err, ErrClusterTooSmall) {
+		t.Errorf("NodeHealth out of range = %v, want ErrClusterTooSmall", err)
+	}
+}

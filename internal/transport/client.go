@@ -73,6 +73,7 @@ type RemoteNode struct {
 	timeout     time.Duration
 	pingTimeout time.Duration
 	poolSize    int
+	retry       store.RetryPolicy
 
 	sem chan struct{} // caps connections checked out concurrently
 
@@ -114,6 +115,19 @@ func WithPoolSize(size int) ClientOption {
 			n.poolSize = size
 		}
 	}
+}
+
+// WithRetryPolicy sets how transport-level failures — dial errors, broken,
+// stale, or timed-out connections — are retried, with the policy's attempt
+// budget and jittered exponential backoff (see store.RetryPolicy). Errors
+// the server itself answered with (ErrNotFound, ErrCorrupt, ErrNodeDown
+// statuses) are never retried here: the transport worked, and node-level
+// retries belong to the cluster's policy. The default is a single attempt
+// — plus the free stale-connection re-dial every attempt gets when a
+// kept-alive pooled connection turns out to be dead, which preserves the
+// longstanding behavior against server restarts.
+func WithRetryPolicy(p store.RetryPolicy) ClientOption {
+	return func(n *RemoteNode) { n.retry = p }
 }
 
 // NewRemoteNode returns a client node for the server at addr. No connection
@@ -452,15 +466,20 @@ func (n *RemoteNode) opErr(ctx context.Context, op string, id store.ShardID, cau
 }
 
 // roundTrip sends one request frame and reads one response frame over a
-// pooled connection, re-dialing once if a kept-alive connection turns out
-// to be stale (the server restarted since the last operation; Put/Get/
-// Ping/Stats are idempotent, and a Delete whose first attempt was applied
-// but whose response was lost reports ErrNotFound on the retry, which
-// callers already treat as "gone" - at-least-once semantics).
+// pooled connection, retrying transport-level failures under the
+// configured retry policy (WithRetryPolicy; default one attempt). Every
+// attempt additionally re-dials once for free when a kept-alive connection
+// turns out to be stale (the server restarted since the last operation).
+// Retrying is safe: Put/Get/Ping/Stats are idempotent, and a Delete whose
+// earlier attempt was applied but whose response was lost reports
+// ErrNotFound on the retry, which callers already treat as "gone" -
+// at-least-once semantics. Errors the server answered with are returned
+// without retry; only failures to complete the exchange are re-attempted.
 //
 // The wire deadline is the earlier of the per-operation timeout and the
-// context's deadline; cancellation interrupts the exchange immediately and
-// the connection is retired instead of re-pooled.
+// context's deadline, recomputed per attempt; cancellation interrupts the
+// exchange immediately, stops the retry loop, and the connection is
+// retired instead of re-pooled.
 func (n *RemoteNode) roundTrip(ctx context.Context, op string, req request) ([]byte, error) {
 	body, err := encodeRequest(req)
 	if err != nil {
@@ -472,10 +491,40 @@ func (n *RemoteNode) roundTrip(ctx context.Context, op string, req request) ([]b
 		return nil, n.opErr(ctx, op, req.id, ctx.Err())
 	}
 	defer func() { <-n.sem }()
+	maxAttempts := n.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		status, payload, err := n.tryExchange(ctx, body)
+		if err == nil {
+			if err := errorFor(status, payload, n.id, op, req.id); err != nil {
+				return nil, err
+			}
+			// Copy out of the frame buffer so callers own the result.
+			return append([]byte(nil), payload...), nil
+		}
+		lastErr = err
+		if attempt >= maxAttempts || ctxCause(ctx) != nil || n.isClosed() {
+			break
+		}
+		if n.retry.Sleep(ctx, attempt) != nil {
+			break
+		}
+	}
+	return nil, n.opErr(ctx, op, req.id, lastErr)
+}
+
+// tryExchange performs one pooled request/response exchange, including the
+// free stale-connection re-dial when a reused pooled connection fails. The
+// returned error is a raw transport cause (not yet attributed to the
+// node); a nil error means the server answered with status and payload.
+func (n *RemoteNode) tryExchange(ctx context.Context, body []byte) (byte, []byte, error) {
 	deadline := earliestDeadline(ctx, n.timeout)
 	cn, reused, gen, err := n.takeConn(deadline)
 	if err != nil {
-		return nil, n.opErr(ctx, op, req.id, err)
+		return 0, nil, err
 	}
 	status, payload, clean, err := n.exchangeCtx(ctx, cn, body, deadline)
 	if err != nil && reused && ctxCause(ctx) == nil && !n.isClosed() {
@@ -490,18 +539,14 @@ func (n *RemoteNode) roundTrip(ctx context.Context, op string, req request) ([]b
 		if cn != nil {
 			n.retireConn(cn)
 		}
-		return nil, n.opErr(ctx, op, req.id, err)
+		return 0, nil, err
 	}
 	if !clean {
 		n.retireConn(cn)
 	} else {
 		n.putConn(cn, gen)
 	}
-	if err := errorFor(status, payload, n.id, op, req.id); err != nil {
-		return nil, err
-	}
-	// Copy out of the frame buffer so callers own the result.
-	return append([]byte(nil), payload...), nil
+	return status, payload, nil
 }
 
 // exchangeCtx runs one request/response exchange under both the wire

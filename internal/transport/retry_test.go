@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/faults"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// killFirstConns closes the first n accepted connections on their first
+// read, a deterministic stand-in for a flaky network path.
+type killFirstConns struct {
+	mu        sync.Mutex
+	remaining int
+}
+
+func (k *killFirstConns) wrap(c net.Conn) net.Conn {
+	k.mu.Lock()
+	kill := k.remaining > 0
+	if kill {
+		k.remaining--
+	}
+	k.mu.Unlock()
+	if kill {
+		return &dyingConn{Conn: c}
+	}
+	return c
+}
+
+type dyingConn struct{ net.Conn }
+
+func (c *dyingConn) Read(p []byte) (int, error) {
+	_ = c.Conn.Close()
+	return 0, errors.New("killed by test")
+}
+
+func TestRetryPolicySurvivesDyingConnections(t *testing.T) {
+	mem := store.NewMemNode("backing")
+	killer := &killFirstConns{remaining: 3}
+	srv := NewServer(mem, WithConnWrapper(killer.wrap))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// Without a retry policy, the first operation fails: its fresh
+	// connection dies and the single stale-conn re-dial does not apply.
+	bare := NewRemoteNode("bare", addr.String(), WithTimeout(2*time.Second))
+	id := store.ShardID{Object: "o", Row: 0}
+	if err := bare.Put(context.Background(), id, []byte{1}); !errors.Is(err, store.ErrNodeDown) {
+		t.Fatalf("Put without retry = %v, want ErrNodeDown", err)
+	}
+	_ = bare.Close()
+
+	killer.mu.Lock()
+	killer.remaining = 3
+	killer.mu.Unlock()
+
+	// With a retry budget covering the dead connections, the same
+	// operation sequence succeeds.
+	client := NewRemoteNode("retrying", addr.String(),
+		WithTimeout(2*time.Second),
+		WithRetryPolicy(store.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: 0.5}))
+	t.Cleanup(func() { _ = client.Close() })
+	if err := client.Put(context.Background(), id, []byte{42}); err != nil {
+		t.Fatalf("Put with retry: %v", err)
+	}
+	got, err := client.Get(context.Background(), id)
+	if err != nil || !bytes.Equal(got, []byte{42}) {
+		t.Fatalf("Get with retry = %v, %v", got, err)
+	}
+}
+
+func TestRetryPolicyDoesNotRetryServerAnswers(t *testing.T) {
+	mem := store.NewMemNode("backing")
+	srv := NewServer(mem)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := NewRemoteNode("r", addr.String(),
+		WithTimeout(2*time.Second),
+		WithRetryPolicy(store.RetryPolicy{MaxAttempts: 4}))
+	t.Cleanup(func() { _ = client.Close() })
+
+	// ErrNotFound is an authoritative server answer: exactly one request
+	// must reach the node, not four.
+	start := time.Now()
+	if _, err := client.Get(context.Background(), store.ShardID{Object: "absent"}); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("ErrNotFound took %v; was it retried?", elapsed)
+	}
+	if gets := srv.RequestStats().Gets; gets != 1 {
+		t.Errorf("server saw %d gets, want 1 (no retries of an answered request)", gets)
+	}
+}
+
+func TestRetryPolicyStopsOnCancel(t *testing.T) {
+	// Nothing listens on this address: every attempt fails at dial.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	client := NewRemoteNode("r", addr,
+		WithTimeout(200*time.Millisecond),
+		WithRetryPolicy(store.RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond}))
+	t.Cleanup(func() { _ = client.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Get(ctx, store.ShardID{Object: "o"})
+	if err == nil {
+		t.Fatal("Get against dead address succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("cancelled retry loop kept running")
+	}
+}
+
+func TestChaosScheduleDrivesRemoteNode(t *testing.T) {
+	// The same Schedule that perturbs an in-process node drives a remote
+	// client over real TCP when the served node is wrapped: a partition
+	// window makes the remote unavailable and fails its reads with
+	// ErrNodeDown, and the node recovers once the window closes.
+	mem := store.NewMemNode("backing")
+	id := store.ShardID{Object: "o", Row: 0}
+	if err := mem.Put(context.Background(), id, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	chaos := faults.NewChaosNode(mem, faults.Schedule{
+		Rules: []faults.Rule{{Kind: faults.FaultPartition, From: 0, To: 3}},
+	})
+	srv := NewServer(chaos)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := NewRemoteNode("r", addr.String(), WithTimeout(2*time.Second))
+	t.Cleanup(func() { _ = client.Close() })
+
+	if client.Available(context.Background()) { // tick 0
+		t.Error("remote available inside partition window")
+	}
+	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) { // tick 1
+		t.Errorf("Get inside partition = %v, want ErrNodeDown", err)
+	}
+	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) { // tick 2
+		t.Errorf("Get inside partition = %v, want ErrNodeDown", err)
+	}
+	got, err := client.Get(context.Background(), id) // tick 3: window closed
+	if err != nil || !bytes.Equal(got, []byte{7}) {
+		t.Errorf("Get after partition = %v, %v; want recovery", got, err)
+	}
+	if stats := chaos.InjectionStats(); stats.PartitionDrops != 3 {
+		t.Errorf("partition drops = %d, want 3", stats.PartitionDrops)
+	}
+}
+
+func TestConnChaosWithRetries(t *testing.T) {
+	// ConnChaos perturbs the wire itself; a client with a retry budget
+	// still completes every operation.
+	mem := store.NewMemNode("backing")
+	srv := NewServer(mem, WithConnWrapper(faults.NewConnChaos(11, time.Millisecond, 0.2).Wrap))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := NewRemoteNode("r", addr.String(),
+		WithTimeout(2*time.Second),
+		WithRetryPolicy(store.RetryPolicy{MaxAttempts: 20, BaseDelay: time.Millisecond, Jitter: 0.5}))
+	t.Cleanup(func() { _ = client.Close() })
+
+	for i := 0; i < 10; i++ {
+		id := store.ShardID{Object: "o", Row: i}
+		if err := client.Put(context.Background(), id, []byte{byte(i)}); err != nil {
+			t.Fatalf("Put %d under conn chaos: %v", i, err)
+		}
+		got, err := client.Get(context.Background(), id)
+		if err != nil || !bytes.Equal(got, []byte{byte(i)}) {
+			t.Fatalf("Get %d under conn chaos = %v, %v", i, got, err)
+		}
+	}
+}

@@ -17,8 +17,9 @@ import (
 // Server serves a store.Node over TCP. The zero value is not usable; use
 // NewServer.
 type Server struct {
-	node   store.Node
-	logger *log.Logger
+	node     store.Node
+	logger   *log.Logger
+	wrapConn func(net.Conn) net.Conn
 
 	// ops is the base context handed to every node operation; cancelOps
 	// aborts in-flight operations when the server is force-closed (Close,
@@ -87,6 +88,16 @@ func WithLogger(l *log.Logger) ServerOption {
 	return func(s *Server) { s.logger = l }
 }
 
+// WithConnWrapper installs a hook that decorates every accepted
+// connection before it is served. It exists for transport-level fault
+// injection (see faults.ConnChaos: per-read latency, connection resets),
+// so chaos drills can perturb the wire itself and not just the node
+// behind it. The wrapper must pass Close and deadline calls through to
+// the underlying connection.
+func WithConnWrapper(wrap func(net.Conn) net.Conn) ServerOption {
+	return func(s *Server) { s.wrapConn = wrap }
+}
+
 // NewServer returns a server exposing the given node.
 func NewServer(node store.Node, opts ...ServerOption) *Server {
 	s := &Server{node: node, conns: make(map[net.Conn]struct{})}
@@ -123,6 +134,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.wrapConn != nil {
+			conn = s.wrapConn(conn)
 		}
 		s.mu.Lock()
 		if s.closed {
