@@ -6,7 +6,6 @@ package sec_test
 // archive hot paths, including the ablation benches DESIGN.md calls out.
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -510,13 +509,13 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 	defer client.Close()
 	id := store.ShardID{Object: "o", Row: 0}
 	payload := make([]byte, 4096)
-	if err := client.Put(context.Background(), id, payload); err != nil {
+	if err := client.Put(b.Context(), id, payload); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(payload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Get(context.Background(), id); err != nil {
+		if _, err := client.Get(b.Context(), id); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -548,12 +547,12 @@ func BenchmarkRetrieveOldestByChainState(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			if _, err := archive.CommitContext(context.Background(), object); err != nil {
+			if _, err := archive.CommitContext(b.Context(), object); err != nil {
 				b.Fatal(err)
 			}
 		}
 		if compact {
-			if _, err := archive.CompactToContext(context.Background(), 4); err != nil {
+			if _, err := archive.CompactToContext(b.Context(), 4); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -570,7 +569,7 @@ func BenchmarkRetrieveOldestByChainState(b *testing.B) {
 			b.ResetTimer()
 			reads := 0
 			for i := 0; i < b.N; i++ {
-				_, stats, err := archive.RetrieveContext(context.Background(), 1)
+				_, stats, err := archive.RetrieveContext(b.Context(), 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -612,12 +611,12 @@ func BenchmarkCompactPass(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, v := range history {
-			if _, err := archive.CommitContext(context.Background(), v); err != nil {
+			if _, err := archive.CommitContext(b.Context(), v); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.StartTimer()
-		if _, err := archive.CompactToContext(context.Background(), 4); err != nil {
+		if _, err := archive.CompactToContext(b.Context(), 4); err != nil {
 			b.Fatal(err)
 		}
 	}

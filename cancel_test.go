@@ -95,7 +95,7 @@ func TestRetrieveDeadlineBoundsStalledChain(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	object := make([]byte, archive.Capacity())
 	rng.Read(object)
-	if _, err := archive.CommitContext(context.Background(), object); err != nil {
+	if _, err := archive.CommitContext(t.Context(), object); err != nil {
 		t.Fatal(err)
 	}
 	for v := 2; v <= versions; v++ {
@@ -103,14 +103,14 @@ func TestRetrieveDeadlineBoundsStalledChain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := archive.CommitContext(context.Background(), next); err != nil {
+		if _, err := archive.CommitContext(t.Context(), next); err != nil {
 			t.Fatal(err)
 		}
 		object = next
 	}
 
 	readsBefore := cluster.TotalStats().Reads
-	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	ctx, cancel := context.WithTimeout(t.Context(), deadline)
 	defer cancel()
 	start := time.Now()
 	_, _, err = archive.RetrieveContext(ctx, versions)
@@ -154,7 +154,7 @@ func TestRetrieveDeadlineBoundsStalledChain(t *testing.T) {
 		}
 		break
 	}
-	got, stats, err := archive.RetrieveContext(context.Background(), versions)
+	got, stats, err := archive.RetrieveContext(t.Context(), versions)
 	if err != nil {
 		t.Fatalf("Retrieve after releasing the stall: %v (pool poisoned?)", err)
 	}

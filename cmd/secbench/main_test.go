@@ -2,7 +2,6 @@ package main
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -12,7 +11,7 @@ import (
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"table1", "fig2", "fig9", "census"} {
@@ -24,7 +23,7 @@ func TestList(t *testing.T) {
 
 func TestRunSingleExperimentTable(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-run", "census"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-run", "census"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -41,7 +40,7 @@ func TestRunSingleExperimentTable(t *testing.T) {
 
 func TestRunCSVFormat(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-run", "fig6", "-format", "csv"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-run", "fig6", "-format", "csv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -56,13 +55,13 @@ func TestRunCSVFormat(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-run", "nope"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-run", "nope"}, &out); err == nil {
 		t.Error("unknown experiment: want error")
 	}
-	if err := run(context.Background(), []string{"-format", "xml"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-format", "xml"}, &out); err == nil {
 		t.Error("unknown format: want error")
 	}
-	if err := run(context.Background(), []string{"-bench", "nope"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-bench", "nope"}, &out); err == nil {
 		t.Error("unknown benchmark: want error")
 	}
 }
@@ -70,7 +69,7 @@ func TestRunErrors(t *testing.T) {
 func TestBenchEncodeWritesJSON(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-bench", "encode", "-benchout", dir}, &out); err != nil {
+	if err := run(t.Context(), []string{"-bench", "encode", "-benchout", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_encode.json"))
@@ -99,7 +98,7 @@ func TestBenchTCPRetrieveReportsBatchedRPCs(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-bench", "tcp-retrieve", "-benchout", dir}, &out); err != nil {
+	if err := run(t.Context(), []string{"-bench", "tcp-retrieve", "-benchout", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_tcp_retrieve.json"))

@@ -2,7 +2,6 @@ package main
 
 import (
 	"bytes"
-	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -38,7 +37,7 @@ func TestEndToEndCLI(t *testing.T) {
 	manifest := filepath.Join(dir, "archive.json")
 
 	var out bytes.Buffer
-	err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init",
+	err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init",
 		"-scheme", "basic-sec", "-code", "non-systematic-cauchy",
 		"-n", "6", "-k", "3", "-blocksize", "16"}, &out)
 	if err != nil {
@@ -61,14 +60,14 @@ func TestEndToEndCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file1}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file1}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "committed version 1 as full version") {
 		t.Errorf("commit 1 output: %s", out.String())
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file2}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file2}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "committed version 2 as delta (gamma=1)") {
@@ -78,7 +77,7 @@ func TestEndToEndCLI(t *testing.T) {
 	// Retrieve both versions.
 	got1 := filepath.Join(dir, "out1.bin")
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "get", "-version", "1", "-out", got1}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "get", "-version", "1", "-out", got1}, &out); err != nil {
 		t.Fatal(err)
 	}
 	content, err := os.ReadFile(got1)
@@ -90,7 +89,7 @@ func TestEndToEndCLI(t *testing.T) {
 	}
 	got2 := filepath.Join(dir, "out2.bin")
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "get", "-out", got2}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "get", "-out", got2}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "with 5 node reads") {
@@ -106,7 +105,7 @@ func TestEndToEndCLI(t *testing.T) {
 
 	// Info summarises the archive.
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	info := out.String()
@@ -124,21 +123,21 @@ func TestEndToEndCLI(t *testing.T) {
 
 func TestCLIErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"info"}, &out); err == nil {
+	if err := run(t.Context(), []string{"info"}, &out); err == nil {
 		t.Error("missing -nodes: want error")
 	}
-	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", "127.0.0.1:1"}, &out); err == nil {
 		t.Error("missing subcommand: want error")
 	}
-	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "frob"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", "127.0.0.1:1", "frob"}, &out); err == nil {
 		t.Error("unknown subcommand: want error")
 	}
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "m.json")
-	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "commit", "x"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "commit", "x"}, &out); err == nil {
 		t.Error("commit without init: want error")
 	}
-	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "init", "-scheme", "bogus"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", "127.0.0.1:1", "-manifest", manifest, "init", "-scheme", "bogus"}, &out); err == nil {
 		t.Error("bogus scheme: want error")
 	}
 }
@@ -148,22 +147,22 @@ func TestCLIRepair(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "v.bin")
 	if err := os.WriteFile(file, bytes.Repeat([]byte{9}, 24), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// Wipe node 4's backing store (device replacement).
-	if err := backings[4].Delete(context.Background(), sec.ShardID{Object: "archive/v1-full", Row: 4}); err != nil {
+	if err := backings[4].Delete(t.Context(), sec.ShardID{Object: "archive/v1-full", Row: 4}); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 rebuilt") {
@@ -171,14 +170,14 @@ func TestCLIRepair(t *testing.T) {
 	}
 	// Second pass finds everything healthy.
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "repair", "-node", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 healthy, 0 rebuilt") {
 		t.Errorf("second repair output: %s", out.String())
 	}
 	// Missing -node flag.
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "repair"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "repair"}, &out); err == nil {
 		t.Error("repair without -node: want error")
 	}
 }
@@ -188,42 +187,42 @@ func TestCLIScrub(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "v.bin")
 	if err := os.WriteFile(file, bytes.Repeat([]byte{7}, 24), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt one shard silently.
 	id := sec.ShardID{Object: "archive/v1-full", Row: 3}
-	data, err := backings[3].Get(context.Background(), id)
+	data, err := backings[3].Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[0] ^= 0xAA
-	if err := backings[3].Put(context.Background(), id, data); err != nil {
+	if err := backings[3].Put(t.Context(), id, data); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 corrupt") {
 		t.Errorf("scrub output: %s", out.String())
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "scrub", "-repair"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "scrub", "-repair"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "1 repaired") {
 		t.Errorf("scrub -repair output: %s", out.String())
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "scrub"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "0 missing, 0 corrupt") {
@@ -236,7 +235,7 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "v.bin")
@@ -244,7 +243,7 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 	if err := os.WriteFile(file, want, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// The laptop dies: the local manifest is gone.
@@ -253,14 +252,14 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 	}
 	recovered := filepath.Join(dir, "recovered.json")
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", recovered, "attach", "-name", "archive"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", recovered, "attach", "-name", "archive"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "attached to archive") {
 		t.Errorf("attach output: %s", out.String())
 	}
 	got := filepath.Join(dir, "out.bin")
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", recovered, "get", "-out", got}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", recovered, "get", "-out", got}, &out); err != nil {
 		t.Fatal(err)
 	}
 	content, err := os.ReadFile(got)
@@ -271,12 +270,12 @@ func TestCLIAttachRecoversLostManifest(t *testing.T) {
 		t.Error("recovered archive content mismatch")
 	}
 	// Attach refuses to clobber an existing manifest.
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", recovered, "attach"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", recovered, "attach"}, &out); err == nil {
 		t.Error("attach over existing manifest: want error")
 	}
 	// Attach to a name that does not exist fails.
 	ghost := filepath.Join(dir, "ghost.json")
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", ghost, "attach", "-name", "ghost"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", ghost, "attach", "-name", "ghost"}, &out); err == nil {
 		t.Error("attach to unknown archive: want error")
 	}
 }
@@ -286,10 +285,10 @@ func TestCLIInitRefusesOverwrite(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err == nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init"}, &out); err == nil {
 		t.Error("double init: want error")
 	}
 }
@@ -299,7 +298,7 @@ func TestCLICompact(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "archive.json")
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "init",
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init",
 		"-scheme", "reversed-sec", "-blocksize", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +309,7 @@ func TestCLICompact(t *testing.T) {
 	if err := os.WriteFile(file, object, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for j := 1; j <= 7; j++ {
@@ -320,7 +319,7 @@ func TestCLICompact(t *testing.T) {
 		if err := os.WriteFile(file, object, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+		if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -329,7 +328,7 @@ func TestCLICompact(t *testing.T) {
 		before += b.Len()
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "compact", "-max-chain", "3"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "compact", "-max-chain", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "compacted to max chain 3") {
@@ -349,7 +348,7 @@ func TestCLICompact(t *testing.T) {
 	for v, want := range versions {
 		got := filepath.Join(dir, "out.bin")
 		out.Reset()
-		if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "get",
+		if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "get",
 			"-version", fmt.Sprint(v + 1), "-out", got}, &out); err != nil {
 			t.Fatalf("get v%d: %v", v+1, err)
 		}
@@ -363,7 +362,7 @@ func TestCLICompact(t *testing.T) {
 	}
 	// Info renders the compacted chain (rebased bases and depths).
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "chain depth") {
@@ -371,7 +370,7 @@ func TestCLICompact(t *testing.T) {
 	}
 	// A second compact pass is a no-op.
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", nodes, "-manifest", manifest, "compact", "-max-chain", "3"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "compact", "-max-chain", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "nothing to compact") {
@@ -384,7 +383,7 @@ func TestCLICompact(t *testing.T) {
 // (the PR-4 context flags once did).
 func TestCLIUsageListsAllFlagsAndSubcommands(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-h"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-h"}, &out); err != nil {
 		t.Fatalf("-h: %v", err)
 	}
 	usage := out.String()
@@ -395,7 +394,7 @@ func TestCLIUsageListsAllFlagsAndSubcommands(t *testing.T) {
 	}
 	// Subcommand -h prints usage to the writer and exits cleanly.
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "init", "-h"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", "127.0.0.1:1", "init", "-h"}, &out); err != nil {
 		t.Fatalf("init -h: %v", err)
 	}
 	for _, want := range []string{"-scheme", "-max-chain", "-checkpoint-every"} {
@@ -404,7 +403,7 @@ func TestCLIUsageListsAllFlagsAndSubcommands(t *testing.T) {
 		}
 	}
 	out.Reset()
-	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "compact", "-h"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", "127.0.0.1:1", "compact", "-h"}, &out); err != nil {
 		t.Fatalf("compact -h: %v", err)
 	}
 	if !strings.Contains(out.String(), "-max-chain") {
@@ -418,7 +417,7 @@ func TestCLITimeoutFlagBoundsOperations(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "m.json")
 	var out bytes.Buffer
-	if err := run(context.Background(), []string{"-nodes", dead, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
+	if err := run(t.Context(), []string{"-nodes", dead, "-manifest", manifest, "init", "-blocksize", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	file := filepath.Join(dir, "v.bin")
@@ -426,7 +425,7 @@ func TestCLITimeoutFlagBoundsOperations(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err := run(context.Background(), []string{"-nodes", dead, "-manifest", manifest, "-timeout", "150ms", "commit", file}, &out)
+	err := run(t.Context(), []string{"-nodes", dead, "-manifest", manifest, "-timeout", "150ms", "commit", file}, &out)
 	if err == nil {
 		t.Fatal("commit against dead nodes with -timeout: want error")
 	}

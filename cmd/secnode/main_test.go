@@ -14,7 +14,7 @@ import (
 )
 
 func TestServeAndShutdown(t *testing.T) {
-	ctx, stop := context.WithCancel(context.Background())
+	ctx, stop := context.WithCancel(t.Context())
 	defer stop()
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
@@ -31,10 +31,10 @@ func TestServeAndShutdown(t *testing.T) {
 	client := sec.DialNode("c", addr)
 	defer client.Close()
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(context.Background(), id, []byte{1, 2, 3}); err != nil {
+	if err := client.Put(t.Context(), id, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(context.Background(), id)
+	got, err := client.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestServeAndShutdown(t *testing.T) {
 // the bound address, the stop function, and the exit channel.
 func startNode(t *testing.T, args ...string) (string, context.CancelFunc, chan error) {
 	t.Helper()
-	ctx, stop := context.WithCancel(context.Background())
+	ctx, stop := context.WithCancel(t.Context())
 	t.Cleanup(stop)
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
@@ -90,7 +90,7 @@ func TestDurableNodeSurvivesRestart(t *testing.T) {
 	client := sec.DialNode("c", addr)
 	id := store.ShardID{Object: "persist/v1-full", Row: 2}
 	payload := []byte("still here after the crash")
-	if err := client.Put(context.Background(), id, payload); err != nil {
+	if err := client.Put(t.Context(), id, payload); err != nil {
 		t.Fatal(err)
 	}
 	stopNode(t, stop, done)
@@ -100,7 +100,7 @@ func TestDurableNodeSurvivesRestart(t *testing.T) {
 	addr2, stop2, done2 := startNode(t, "-addr", "127.0.0.1:0", "-id", "durable-node", "-data", dir)
 	client2 := sec.DialNode("c", addr2)
 	defer client2.Close()
-	got, err := client2.Get(context.Background(), id)
+	got, err := client2.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,16 +115,16 @@ func TestDurableNodeRejectsBadDataDir(t *testing.T) {
 	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-data", file}, nil); err == nil {
+	if err := run(t.Context(), []string{"-addr", "127.0.0.1:0", "-data", file}, nil); err == nil {
 		t.Error("data dir over a regular file: want error")
 	}
 }
 
 func TestBadFlags(t *testing.T) {
-	if err := run(context.Background(), []string{"-addr"}, nil); err == nil {
+	if err := run(t.Context(), []string{"-addr"}, nil); err == nil {
 		t.Error("dangling flag: want error")
 	}
-	if err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, nil); err == nil {
+	if err := run(t.Context(), []string{"-addr", "256.256.256.256:99999"}, nil); err == nil {
 		t.Error("bad address: want error")
 	}
 }
@@ -136,7 +136,7 @@ func TestUsageListsAllFlags(t *testing.T) {
 	old := flagOutput
 	flagOutput = &buf
 	defer func() { flagOutput = old }()
-	if err := run(context.Background(), []string{"-h"}, nil); err != nil {
+	if err := run(t.Context(), []string{"-h"}, nil); err != nil {
 		t.Fatalf("-h: %v", err)
 	}
 	for _, want := range []string{"-addr", "-id", "-data", "-drain"} {

@@ -7,7 +7,6 @@ package sec_test
 
 import (
 	"bytes"
-	"context"
 	"errors"
 	"math/rand"
 	"os"
@@ -120,12 +119,12 @@ func TestIntegrationFullLifecycleOverTCP(t *testing.T) {
 
 	// Phase 4: silent corruption on another node, caught by scrubbing.
 	id := store.ShardID{Object: "lifecycle/v3-delta", Row: 6}
-	data, err := backings[6].Get(context.Background(), id)
+	data, err := backings[6].Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0x42
-	if err := backings[6].Put(context.Background(), id, data); err != nil {
+	if err := backings[6].Put(t.Context(), id, data); err != nil {
 		t.Fatal(err)
 	}
 	scrub, err := archive.Scrub(true)
@@ -359,7 +358,7 @@ func TestIntegrationDurableNodesSurviveRestartAndDamage(t *testing.T) {
 	servers[2].restart()
 	sawCorrupt := false
 	for _, obj := range []string{"durable/v1-full", "durable/v2-delta", "durable/v3-delta", "durable/v4-delta"} {
-		if _, err := cluster.Get(context.Background(), 2, sec.ShardID{Object: obj, Row: 2}); errors.Is(err, sec.ErrShardCorrupt) {
+		if _, err := cluster.Get(t.Context(), 2, sec.ShardID{Object: obj, Row: 2}); errors.Is(err, sec.ErrShardCorrupt) {
 			sawCorrupt = true
 		}
 	}

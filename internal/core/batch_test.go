@@ -37,7 +37,7 @@ func runBatchWorkload(t *testing.T, a *Archive, cluster *store.Cluster) []Retrie
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n1.Delete(context.Background(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 1}); err != nil {
+	if err := n1.Delete(t.Context(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.Scrub(true); err != nil {
@@ -109,7 +109,7 @@ func TestPartialFailureRefetchesOnlyMissingRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n0.Delete(context.Background(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 0}); err != nil {
+	if err := n0.Delete(t.Context(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 0}); err != nil {
 		t.Fatal(err)
 	}
 	cluster.ResetStats()
@@ -284,10 +284,10 @@ func TestMixedClusterBatchedArchive(t *testing.T) {
 	}
 	// Damage the shard on the plain node and one remote-backed shard; scrub
 	// must heal both through their respective paths.
-	if err := nodes[2].Delete(context.Background(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 2}); err != nil {
+	if err := nodes[2].Delete(t.Context(), store.ShardID{Object: fullID(a.cfg.Name, 1), Row: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := remoteMem.Delete(context.Background(), store.ShardID{Object: deltaID(a.cfg.Name, 2), Row: 4}); err != nil {
+	if err := remoteMem.Delete(t.Context(), store.ShardID{Object: deltaID(a.cfg.Name, 2), Row: 4}); err != nil {
 		t.Fatal(err)
 	}
 	report, err := a.Scrub(true)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -68,7 +67,7 @@ func objectGone(t *testing.T, cluster *store.Cluster, a *Archive, id string, ver
 	t.Helper()
 	for row := 0; row < a.cfg.N; row++ {
 		node := a.cfg.Placement.NodeFor(version-1, row)
-		if _, err := cluster.Get(context.Background(), node, store.ShardID{Object: id, Row: row}); !errors.Is(err, store.ErrNotFound) {
+		if _, err := cluster.Get(t.Context(), node, store.ShardID{Object: id, Row: row}); !errors.Is(err, store.ErrNotFound) {
 			t.Errorf("superseded shard %s#%d still on node %d (err=%v)", id, row, node, err)
 		}
 	}
@@ -96,7 +95,7 @@ func TestCompactAcceptance(t *testing.T) {
 			a, versions := chain20x10(t, cluster)
 
 			cluster.ResetStats()
-			_, preStats, err := a.RetrieveContext(context.Background(), 1)
+			_, preStats, err := a.RetrieveContext(t.Context(), 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +109,7 @@ func TestCompactAcceptance(t *testing.T) {
 			supersededIDs := []string{deltaID("t", 2), deltaID("t", 3), deltaID("t", 4)}
 			before := shardCount(t, cluster)
 
-			info, err := a.CompactToContext(context.Background(), 4)
+			info, err := a.CompactToContext(t.Context(), 4)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -135,7 +134,7 @@ func TestCompactAcceptance(t *testing.T) {
 
 			// Every historical version is byte-identical.
 			for v, want := range versions {
-				got, _, err := a.RetrieveContext(context.Background(), v+1)
+				got, _, err := a.RetrieveContext(t.Context(), v+1)
 				if err != nil {
 					t.Fatalf("retrieve v%d: %v", v+1, err)
 				}
@@ -145,7 +144,7 @@ func TestCompactAcceptance(t *testing.T) {
 			}
 			// The oldest version now reads strictly fewer shards.
 			cluster.ResetStats()
-			_, postStats, err := a.RetrieveContext(context.Background(), 1)
+			_, postStats, err := a.RetrieveContext(t.Context(), 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -175,7 +174,7 @@ func TestCompactAcceptance(t *testing.T) {
 func TestChainStatsMatchesPerVersionCalls(t *testing.T) {
 	cluster := store.NewMemCluster(20)
 	a, _ := chain20x10(t, cluster)
-	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+	if _, err := a.CompactToContext(t.Context(), 4); err != nil {
 		t.Fatal(err)
 	}
 	depths, planned, err := a.ChainStats()
@@ -202,7 +201,7 @@ func TestChainStatsMatchesPerVersionCalls(t *testing.T) {
 func TestCompactGammaRecomputed(t *testing.T) {
 	cluster := store.NewMemCluster(20)
 	a, versions := chain20x10(t, cluster)
-	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+	if _, err := a.CompactToContext(t.Context(), 4); err != nil {
 		t.Fatal(err)
 	}
 	m := a.Manifest()
@@ -247,7 +246,7 @@ func TestCompactPromotesDenseMergedDelta(t *testing.T) {
 		versions = append(versions, append([]byte(nil), object...))
 		mustCommit(t, a, object)
 	}
-	info, err := a.CompactToContext(context.Background(), 2)
+	info, err := a.CompactToContext(t.Context(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +261,7 @@ func TestCompactPromotesDenseMergedDelta(t *testing.T) {
 		}
 	}
 	for v, want := range versions {
-		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		got, _, err := a.RetrieveContext(t.Context(), v+1)
 		if err != nil {
 			t.Fatalf("retrieve v%d: %v", v+1, err)
 		}
@@ -289,7 +288,7 @@ func TestCompactNoOpWithinBound(t *testing.T) {
 	mustCommit(t, a, object)
 	mustCommit(t, a, editBlocks(object, 4, 0))
 	before := shardCount(t, cluster)
-	info, err := a.CompactToContext(context.Background(), 4)
+	info, err := a.CompactToContext(t.Context(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,10 +298,10 @@ func TestCompactNoOpWithinBound(t *testing.T) {
 	if got := shardCount(t, cluster); got != before {
 		t.Errorf("shard count moved %d -> %d on a no-op", before, got)
 	}
-	if _, err := a.CompactContext(context.Background()); err == nil {
+	if _, err := a.CompactContext(t.Context()); err == nil {
 		t.Error("CompactContext without MaxChainLength: want error")
 	}
-	if _, err := a.CompactToContext(context.Background(), 0); err == nil {
+	if _, err := a.CompactToContext(t.Context(), 0); err == nil {
 		t.Error("CompactToContext(0): want error")
 	}
 }
@@ -351,7 +350,7 @@ func TestAutoCompactionOnCommit(t *testing.T) {
 	if supersededQueued > 0 && reclaimed == 0 {
 		t.Errorf("commits queued %d superseded shards but later commits reclaimed none", supersededQueued)
 	}
-	lastDeleted, _, err := a.ReclaimSupersededContext(context.Background())
+	lastDeleted, _, err := a.ReclaimSupersededContext(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +358,7 @@ func TestAutoCompactionOnCommit(t *testing.T) {
 		t.Errorf("reclaimed %d during commits + %d explicitly != %d queued", reclaimed, lastDeleted, supersededQueued)
 	}
 	for v, want := range versions {
-		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		got, _, err := a.RetrieveContext(t.Context(), v+1)
 		if err != nil {
 			t.Fatalf("retrieve v%d: %v", v+1, err)
 		}
@@ -434,7 +433,7 @@ func TestCheckpointEveryReversedRetainsAnchors(t *testing.T) {
 		}
 	}
 	for v, want := range versions {
-		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		got, _, err := a.RetrieveContext(t.Context(), v+1)
 		if err != nil {
 			t.Fatalf("retrieve v%d: %v", v+1, err)
 		}
@@ -457,7 +456,7 @@ func TestCheckpointEveryReversedRetainsAnchors(t *testing.T) {
 func TestCompactedManifestRoundTrip(t *testing.T) {
 	cluster := store.NewMemCluster(20)
 	a, versions := chain20x10(t, cluster)
-	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+	if _, err := a.CompactToContext(t.Context(), 4); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -469,7 +468,7 @@ func TestCompactedManifestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v, want := range versions {
-		got, _, err := reopened.RetrieveContext(context.Background(), v+1)
+		got, _, err := reopened.RetrieveContext(t.Context(), v+1)
 		if err != nil {
 			t.Fatalf("retrieve v%d after reopen: %v", v+1, err)
 		}
@@ -478,7 +477,7 @@ func TestCompactedManifestRoundTrip(t *testing.T) {
 		}
 	}
 	// Scrub sees a fully healthy archive: no references to GC'd objects.
-	report, err := reopened.ScrubContext(context.Background(), false)
+	report, err := reopened.ScrubContext(t.Context(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,14 +490,14 @@ func TestCompactedManifestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.(*store.MemNode).Wipe()
-	repair, err := reopened.RepairNodeContext(context.Background(), 0)
+	repair, err := reopened.RepairNodeContext(t.Context(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if repair.ShardsRepaired == 0 {
 		t.Error("repair rebuilt nothing on a wiped node")
 	}
-	if got, _, err := reopened.RetrieveContext(context.Background(), 1); err != nil || !bytes.Equal(got, versions[0]) {
+	if got, _, err := reopened.RetrieveContext(t.Context(), 1); err != nil || !bytes.Equal(got, versions[0]) {
 		t.Errorf("v1 unreadable after repair: %v", err)
 	}
 }
@@ -508,11 +507,11 @@ func TestCompactedManifestRoundTrip(t *testing.T) {
 func TestRetrieveAllAfterCompaction(t *testing.T) {
 	cluster := store.NewMemCluster(20)
 	a, versions := chain20x10(t, cluster)
-	if _, err := a.CompactToContext(context.Background(), 4); err != nil {
+	if _, err := a.CompactToContext(t.Context(), 4); err != nil {
 		t.Fatal(err)
 	}
 	cluster.ResetStats()
-	all, stats, err := a.RetrieveAllContext(context.Background(), len(versions))
+	all, stats, err := a.RetrieveAllContext(t.Context(), len(versions))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -556,7 +555,7 @@ func TestCompactCrashBeforeSwapLeavesOldChainReadable(t *testing.T) {
 	if err := cluster.Fail(19); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.CompactToContext(context.Background(), 4); err == nil {
+	if _, err := a.CompactToContext(t.Context(), 4); err == nil {
 		t.Fatal("compaction with a dead write target: want error")
 	}
 	if err := cluster.Heal(19); err != nil {
@@ -578,7 +577,7 @@ func TestCompactCrashBeforeSwapLeavesOldChainReadable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v, want := range versions {
-		got, _, err := reopened.RetrieveContext(context.Background(), v+1)
+		got, _, err := reopened.RetrieveContext(t.Context(), v+1)
 		if err != nil {
 			t.Fatalf("retrieve v%d from old manifest: %v", v+1, err)
 		}
@@ -587,7 +586,7 @@ func TestCompactCrashBeforeSwapLeavesOldChainReadable(t *testing.T) {
 		}
 	}
 	// The retry overwrites the orphans and completes.
-	info, err := reopened.CompactToContext(context.Background(), 4)
+	info, err := reopened.CompactToContext(t.Context(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -595,7 +594,7 @@ func TestCompactCrashBeforeSwapLeavesOldChainReadable(t *testing.T) {
 		t.Fatal("retried compaction changed nothing")
 	}
 	for v, want := range versions {
-		got, _, err := reopened.RetrieveContext(context.Background(), v+1)
+		got, _, err := reopened.RetrieveContext(t.Context(), v+1)
 		if err != nil {
 			t.Fatalf("retrieve v%d after retried compaction: %v", v+1, err)
 		}
@@ -619,7 +618,7 @@ func TestCompactKeepSupersededThenReclaim(t *testing.T) {
 	}
 	preJSON := append([]byte(nil), preManifest.Bytes()...)
 
-	info, err := a.CompactKeepSupersededContext(context.Background(), 4)
+	info, err := a.CompactKeepSupersededContext(t.Context(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -636,20 +635,20 @@ func TestCompactKeepSupersededThenReclaim(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v, want := range versions {
-		got, _, err := old.RetrieveContext(context.Background(), v+1)
+		got, _, err := old.RetrieveContext(t.Context(), v+1)
 		if err != nil || !bytes.Equal(got, want) {
 			t.Fatalf("old manifest v%d unreadable before reclaim: %v", v+1, err)
 		}
 	}
 	// So does the new one.
 	for v, want := range versions {
-		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		got, _, err := a.RetrieveContext(t.Context(), v+1)
 		if err != nil || !bytes.Equal(got, want) {
 			t.Fatalf("new manifest v%d unreadable: %v", v+1, err)
 		}
 	}
 	// Reclaim frees exactly the superseded codewords.
-	deleted, orphans, err := a.ReclaimSupersededContext(context.Background())
+	deleted, orphans, err := a.ReclaimSupersededContext(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -660,12 +659,12 @@ func TestCompactKeepSupersededThenReclaim(t *testing.T) {
 		objectGone(t, cluster, a, id, i+2)
 	}
 	// Idempotent: a second reclaim has nothing to do.
-	if deleted, orphans, err := a.ReclaimSupersededContext(context.Background()); err != nil || deleted != 0 || orphans != 0 {
+	if deleted, orphans, err := a.ReclaimSupersededContext(t.Context()); err != nil || deleted != 0 || orphans != 0 {
 		t.Fatalf("second reclaim = %d/%d/%v, want 0/0/nil", deleted, orphans, err)
 	}
 	// And the compacted chain still reads everything.
 	for v, want := range versions {
-		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		got, _, err := a.RetrieveContext(t.Context(), v+1)
 		if err != nil || !bytes.Equal(got, want) {
 			t.Fatalf("v%d unreadable after reclaim: %v", v+1, err)
 		}
@@ -698,7 +697,7 @@ func TestCompactWithBatchIODisabled(t *testing.T) {
 		versions = append(versions, append([]byte(nil), object...))
 		mustCommit(t, a, object)
 	}
-	info, err := a.CompactToContext(context.Background(), 4)
+	info, err := a.CompactToContext(t.Context(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -706,7 +705,7 @@ func TestCompactWithBatchIODisabled(t *testing.T) {
 		t.Fatalf("per-shard compaction did not run: %+v", info)
 	}
 	for v, want := range versions {
-		got, _, err := a.RetrieveContext(context.Background(), v+1)
+		got, _, err := a.RetrieveContext(t.Context(), v+1)
 		if err != nil {
 			t.Fatalf("retrieve v%d: %v", v+1, err)
 		}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"context"
 	"math/rand"
 	"testing"
 
@@ -47,7 +46,7 @@ func TestReclaimUnderPartitionNeverDeletesLiveCodewords(t *testing.T) {
 
 	// Phase one: compact, swapping the manifest but keeping the
 	// superseded delta codewords queued for a later reclaim.
-	info, err := a.CompactKeepSupersededContext(context.Background(), 2)
+	info, err := a.CompactKeepSupersededContext(t.Context(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +60,7 @@ func TestReclaimUnderPartitionNeverDeletesLiveCodewords(t *testing.T) {
 	chaos.SetSchedule(faults.Schedule{
 		Rules: []faults.Rule{{Kind: faults.FaultPartition}},
 	})
-	deleted, orphans, err := a.ReclaimSupersededContext(context.Background())
+	deleted, orphans, err := a.ReclaimSupersededContext(t.Context())
 	if err != nil {
 		t.Fatalf("reclaim under partition: %v", err)
 	}
@@ -74,7 +73,7 @@ func TestReclaimUnderPartitionNeverDeletesLiveCodewords(t *testing.T) {
 	// Heal and drain the queue: the orphans are reclaimed, and the live
 	// chain is still intact - the GC only ever deleted superseded shards.
 	chaos.SetSchedule(faults.Schedule{})
-	if _, orphans, err = a.ReclaimSupersededContext(context.Background()); err != nil {
+	if _, orphans, err = a.ReclaimSupersededContext(t.Context()); err != nil {
 		t.Fatalf("reclaim after heal: %v", err)
 	}
 	if orphans != 0 {

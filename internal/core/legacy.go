@@ -1,6 +1,10 @@
 package core
 
-import "context"
+import (
+	"context"
+
+	"github.com/secarchive/sec/internal/store"
+)
 
 // Context-free compatibility wrappers. The ctx-first methods
 // (CommitContext, RetrieveContext, ...) are the primary API: they bound
@@ -56,4 +60,14 @@ func (a *Archive) Compact() (CompactionInfo, error) {
 // CompactToContext.
 func (a *Archive) CompactTo(maxLen int) (CompactionInfo, error) {
 	return a.CompactToContext(context.Background(), maxLen)
+}
+
+// SaveToCluster is SaveToClusterContext without cancellation.
+func (a *Archive) SaveToCluster() error {
+	return a.SaveToClusterContext(context.Background())
+}
+
+// LoadFromCluster is LoadFromClusterContext without cancellation.
+func LoadFromCluster(name string, cluster *store.Cluster) (*Archive, error) {
+	return LoadFromClusterContext(context.Background(), name, cluster)
 }

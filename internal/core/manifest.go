@@ -201,6 +201,7 @@ func (a *Archive) SaveToClusterContext(ctx context.Context) error {
 	if err := a.Save(&buf); err != nil {
 		return err
 	}
+	//lint:allow lockheld manifest snapshot must be consistent with the chain state it serializes
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	id := store.ShardID{Object: manifestID(a.cfg.Name)}
@@ -217,11 +218,6 @@ func (a *Archive) SaveToClusterContext(ctx context.Context) error {
 		return fmt.Errorf("core: no node accepted the manifest for %q", a.cfg.Name)
 	}
 	return nil
-}
-
-// SaveToCluster is SaveToClusterContext without cancellation.
-func (a *Archive) SaveToCluster() error {
-	return a.SaveToClusterContext(context.Background())
 }
 
 // LoadFromClusterContext reopens the named archive from manifest replicas
@@ -250,11 +246,6 @@ func LoadFromClusterContext(ctx context.Context, name string, cluster *store.Clu
 		return nil, fmt.Errorf("core: no manifest replica for %q found on %d nodes", name, cluster.Size())
 	}
 	return Open(*best, cluster)
-}
-
-// LoadFromCluster is LoadFromClusterContext without cancellation.
-func LoadFromCluster(name string, cluster *store.Cluster) (*Archive, error) {
-	return LoadFromClusterContext(context.Background(), name, cluster)
 }
 
 func parsePlacement(name string, n int) (store.Placement, error) {

@@ -172,10 +172,10 @@ func wipeArchiveShards(t *testing.T, a *Archive, cluster *store.Cluster, node in
 				continue
 			}
 			if e.Full {
-				_ = nd.Delete(context.Background(), store.ShardID{Object: fullID(m.Name, e.Version), Row: row})
+				_ = nd.Delete(t.Context(), store.ShardID{Object: fullID(m.Name, e.Version), Row: row})
 			}
 			if e.Delta {
-				_ = nd.Delete(context.Background(), store.ShardID{Object: deltaID(m.Name, e.Version), Row: row})
+				_ = nd.Delete(t.Context(), store.ShardID{Object: deltaID(m.Name, e.Version), Row: row})
 			}
 		}
 	}

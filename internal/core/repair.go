@@ -38,6 +38,7 @@ type RepairReport struct {
 // actions"; RepairNodeContext is the remedial action that restores the
 // archive to full redundancy afterwards.
 func (a *Archive) RepairNodeContext(ctx context.Context, node int) (RepairReport, error) {
+	//lint:allow lockheld repair reads the whole chain; the read lock keeps compaction from moving shards mid-repair
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var report RepairReport

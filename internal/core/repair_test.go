@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"context"
 	"errors"
 	"testing"
 
@@ -26,12 +25,12 @@ func deleteArchiveShards(t *testing.T, a *Archive, cluster *store.Cluster, node 
 				continue
 			}
 			if e.Full {
-				if err := n.Delete(context.Background(), store.ShardID{Object: fullID(m.Name, e.Version), Row: row}); err == nil {
+				if err := n.Delete(t.Context(), store.ShardID{Object: fullID(m.Name, e.Version), Row: row}); err == nil {
 					deleted++
 				}
 			}
 			if e.Delta {
-				if err := n.Delete(context.Background(), store.ShardID{Object: deltaID(m.Name, e.Version), Row: row}); err == nil {
+				if err := n.Delete(t.Context(), store.ShardID{Object: deltaID(m.Name, e.Version), Row: row}); err == nil {
 					deleted++
 				}
 			}
@@ -204,7 +203,7 @@ func TestRepairNodeWithSecondNodePartiallyWiped(t *testing.T) {
 	// Node 1 keeps x1 but loses both deltas: every object still has >= k
 	// intact rows overall.
 	for _, obj := range []string{"t/v2-delta", "t/v3-delta"} {
-		if err := node1.Delete(context.Background(), store.ShardID{Object: obj, Row: 1}); err != nil {
+		if err := node1.Delete(t.Context(), store.ShardID{Object: obj, Row: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -250,11 +249,11 @@ func TestRepairNodeSkipsTruncatedSourceShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := node0.Get(context.Background(), id)
+	data, err := node0.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node0.Put(context.Background(), id, data[:len(data)-1]); err != nil {
+	if err := node0.Put(t.Context(), id, data[:len(data)-1]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -297,11 +296,11 @@ func TestRepairNodeRefusesWithoutLengthMajority(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		data, err := node.Get(context.Background(), id)
+		data, err := node.Get(t.Context(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := node.Put(context.Background(), id, data[:len(data)-2]); err != nil {
+		if err := node.Put(t.Context(), id, data[:len(data)-2]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -309,7 +308,7 @@ func TestRepairNodeRefusesWithoutLengthMajority(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node4.Delete(context.Background(), store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
+	if err := node4.Delete(t.Context(), store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
 		t.Fatal(err)
 	}
 	// Readable sources: rows 0,1 (truncated, equal length) and 2,3
@@ -349,7 +348,7 @@ func TestRepairNodeHealsCorruptShardOnDisk(t *testing.T) {
 		t.Fatalf("report = %+v", report)
 	}
 	// Node 3's shard is readable again.
-	if _, err := cluster.Get(context.Background(), 3, store.ShardID{Object: "t/v1-full", Row: 3}); err != nil {
+	if _, err := cluster.Get(t.Context(), 3, store.ShardID{Object: "t/v1-full", Row: 3}); err != nil {
 		t.Fatalf("repaired shard unreadable: %v", err)
 	}
 	// Row 0 is still corrupt; a full scrub heals it too.

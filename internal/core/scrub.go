@@ -45,6 +45,7 @@ type ScrubReport struct {
 // re-encoded codeword must reproduce the shards read. Objects with fewer
 // than k consistent shards are counted as undecodable.
 func (a *Archive) ScrubContext(ctx context.Context, repair bool) (ScrubReport, error) {
+	//lint:allow lockheld scrub reads the whole chain; the read lock keeps compaction from moving shards mid-scrub
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var report ScrubReport

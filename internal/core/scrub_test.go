@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"context"
 	"os"
 	"testing"
 
@@ -42,7 +41,7 @@ func TestScrubDetectsMissingShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node.Delete(context.Background(), store.ShardID{Object: "t/v1-full", Row: 2}); err != nil {
+	if err := node.Delete(t.Context(), store.ShardID{Object: "t/v1-full", Row: 2}); err != nil {
 		t.Fatal(err)
 	}
 	report, err := a.Scrub(false)
@@ -62,12 +61,12 @@ func TestScrubDetectsAndRepairsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := store.ShardID{Object: "t/v2-delta", Row: 4}
-	data, err := node.Get(context.Background(), id)
+	data, err := node.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[0] ^= 0xFF
-	if err := node.Put(context.Background(), id, data); err != nil {
+	if err := node.Put(t.Context(), id, data); err != nil {
 		t.Fatal(err)
 	}
 
@@ -107,7 +106,7 @@ func TestScrubRepairsMissingShards(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, obj := range []string{"t/v1-full", "t/v2-delta"} {
-		if err := node.Delete(context.Background(), store.ShardID{Object: obj, Row: 5}); err != nil {
+		if err := node.Delete(t.Context(), store.ShardID{Object: obj, Row: 5}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,7 +151,7 @@ func TestScrubUndecodableObject(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := node.Delete(context.Background(), store.ShardID{Object: "t/v1-full", Row: row}); err != nil {
+		if err := node.Delete(t.Context(), store.ShardID{Object: "t/v1-full", Row: row}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -173,11 +172,11 @@ func truncateShard(t *testing.T, cluster *store.Cluster, node int, id store.Shar
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := n.Get(context.Background(), id)
+	data, err := n.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Put(context.Background(), id, data[:len(data)-drop]); err != nil {
+	if err := n.Put(t.Context(), id, data[:len(data)-drop]); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -213,11 +212,11 @@ func TestScrubHealsGrownShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := store.ShardID{Object: "t/v2-delta", Row: 1}
-	data, err := node.Get(context.Background(), id)
+	data, err := node.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node.Put(context.Background(), id, append(data, 0xEE, 0xEE)); err != nil {
+	if err := node.Put(t.Context(), id, append(data, 0xEE, 0xEE)); err != nil {
 		t.Fatal(err)
 	}
 	report, err := a.Scrub(true)
@@ -242,7 +241,7 @@ func TestScrubCombinedTruncatedAndMissingShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := node4.Delete(context.Background(), store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
+	if err := node4.Delete(t.Context(), store.ShardID{Object: "t/v1-full", Row: 4}); err != nil {
 		t.Fatal(err)
 	}
 	report, err := a.Scrub(true)
@@ -393,12 +392,12 @@ func TestScrubMajorityOutvotesCorruptShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := store.ShardID{Object: "t/v1-full", Row: 0}
-	data, err := node.Get(context.Background(), id)
+	data, err := node.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[1] ^= 0x55
-	if err := node.Put(context.Background(), id, data); err != nil {
+	if err := node.Put(t.Context(), id, data); err != nil {
 		t.Fatal(err)
 	}
 	report, err := a.Scrub(true)

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"math/rand"
 	"testing"
 
@@ -58,7 +57,7 @@ func TestFormulasHoldOnUncompactedPrefix(t *testing.T) {
 		}
 		gammas = append(gammas, info.Gamma)
 	}
-	if _, err := a.CompactToContext(context.Background(), maxChain); err != nil {
+	if _, err := a.CompactToContext(t.Context(), maxChain); err != nil {
 		t.Fatal(err)
 	}
 

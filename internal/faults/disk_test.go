@@ -2,7 +2,6 @@ package faults
 
 import (
 	"bytes"
-	"context"
 	"errors"
 	"testing"
 
@@ -23,7 +22,7 @@ func TestDiskNodeCrashMidDeleteBatch(t *testing.T) {
 	ids := make([]store.ShardID, shards)
 	for i := range ids {
 		ids[i] = store.ShardID{Object: "o", Row: i}
-		if err := disk.Put(context.Background(), ids[i], []byte{byte(i), 0xEE}); err != nil {
+		if err := disk.Put(t.Context(), ids[i], []byte{byte(i), 0xEE}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -32,7 +31,7 @@ func TestDiskNodeCrashMidDeleteBatch(t *testing.T) {
 		Seed:  4, // tears this batch at shard 5: a mid-batch crash
 		Rules: []Rule{{Kind: FaultTorn, Ops: OpDelete}},
 	})
-	errs := chaos.DeleteBatch(context.Background(), ids)
+	errs := chaos.DeleteBatch(t.Context(), ids)
 	cut := len(errs)
 	for i, err := range errs {
 		if err != nil {
@@ -53,7 +52,7 @@ func TestDiskNodeCrashMidDeleteBatch(t *testing.T) {
 	}
 	// The shards the crash spared are untouched and verify cleanly.
 	for i := cut; i < shards; i++ {
-		data, err := disk.Get(context.Background(), ids[i])
+		data, err := disk.Get(t.Context(), ids[i])
 		if err != nil || !bytes.Equal(data, []byte{byte(i), 0xEE}) {
 			t.Errorf("surviving shard %d = %v, %v; want intact data", i, data, err)
 		}
@@ -61,7 +60,7 @@ func TestDiskNodeCrashMidDeleteBatch(t *testing.T) {
 
 	// Restart: the recovering caller re-issues the whole batch against the
 	// plain node. Deletion converges; shards already gone just say so.
-	errs = disk.DeleteBatch(context.Background(), ids)
+	errs = disk.DeleteBatch(t.Context(), ids)
 	for i, err := range errs {
 		if i < cut {
 			if !errors.Is(err, store.ErrNotFound) {

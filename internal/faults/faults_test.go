@@ -14,7 +14,7 @@ func seedNode(t *testing.T, id string, shards int) *store.MemNode {
 	t.Helper()
 	n := store.NewMemNode(id)
 	for i := 0; i < shards; i++ {
-		if err := n.Put(context.Background(), store.ShardID{Object: "o", Row: i}, []byte{byte(i)}); err != nil {
+		if err := n.Put(t.Context(), store.ShardID{Object: "o", Row: i}, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -27,7 +27,7 @@ func TestChaosErrorWindow(t *testing.T) {
 	})
 	id := store.ShardID{Object: "o", Row: 0}
 	for tick := 0; tick < 6; tick++ {
-		_, err := n.Get(context.Background(), id)
+		_, err := n.Get(t.Context(), id)
 		wantFault := tick == 2 || tick == 3
 		if gotFault := err != nil; gotFault != wantFault {
 			t.Errorf("tick %d: err = %v, want fault %v", tick, err, wantFault)
@@ -54,7 +54,7 @@ func TestChaosPartitionFlaps(t *testing.T) {
 	// Period 2: ticks 0,1 partitioned; 2,3 clear; 4,5 partitioned; ...
 	want := []bool{false, false, true, true, false, false}
 	for tick, wantUp := range want {
-		if got := n.Available(context.Background()); got != wantUp {
+		if got := n.Available(t.Context()); got != wantUp {
 			t.Errorf("tick %d: Available = %v, want %v", tick, got, wantUp)
 		}
 	}
@@ -65,12 +65,12 @@ func TestChaosCorruptIsDetectedCorruption(t *testing.T) {
 		Rules: []Rule{{Kind: FaultCorrupt, Ops: OpGet}},
 	})
 	id := store.ShardID{Object: "o", Row: 0}
-	_, err := n.Get(context.Background(), id)
+	_, err := n.Get(t.Context(), id)
 	if !errors.Is(err, store.ErrCorrupt) || !errors.Is(err, ErrInjected) {
 		t.Fatalf("corrupt read err = %v, want ErrCorrupt+ErrInjected", err)
 	}
 	// Corruption never applies to writes.
-	if err := n.Put(context.Background(), id, []byte{7}); err != nil {
+	if err := n.Put(t.Context(), id, []byte{7}); err != nil {
 		t.Fatalf("Put under corrupt-read rule: %v", err)
 	}
 }
@@ -87,7 +87,7 @@ func TestChaosTornBatch(t *testing.T) {
 		ids[i] = store.ShardID{Object: "o", Row: i}
 		data[i] = []byte{byte(i)}
 	}
-	errs := n.PutBatch(context.Background(), ids, data)
+	errs := n.PutBatch(t.Context(), ids, data)
 	// A torn batch applies a strict prefix: successes then failures, with
 	// the boundary matching what actually landed on the inner node.
 	cut := len(errs)
@@ -117,7 +117,7 @@ func TestChaosLatencyHonorsContext(t *testing.T) {
 	n := NewChaosNode(seedNode(t, "m", 1), Schedule{
 		Rules: []Rule{{Kind: FaultLatency, Latency: time.Hour}},
 	})
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	ctx, cancel := context.WithTimeout(t.Context(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()
 	_, err := n.Get(ctx, store.ShardID{Object: "o", Row: 0})
@@ -170,16 +170,16 @@ func TestChaosCrashStopViaCluster(t *testing.T) {
 	if err := c.Fail(0); err != nil {
 		t.Fatal(err)
 	}
-	if c.Available(context.Background(), 0) {
+	if c.Available(t.Context(), 0) {
 		t.Error("crash-stopped chaos node reported available")
 	}
-	if _, err := c.Get(context.Background(), 0, store.ShardID{Object: "o", Row: 0}); !errors.Is(err, store.ErrNodeDown) {
+	if _, err := c.Get(t.Context(), 0, store.ShardID{Object: "o", Row: 0}); !errors.Is(err, store.ErrNodeDown) {
 		t.Errorf("Get on crashed node = %v, want ErrNodeDown", err)
 	}
 	if err := c.Heal(0); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get(context.Background(), 0, store.ShardID{Object: "o", Row: 0})
+	got, err := c.Get(t.Context(), 0, store.ShardID{Object: "o", Row: 0})
 	if err != nil || !bytes.Equal(got, []byte{0}) {
 		t.Errorf("Get after heal = %v, %v; data should survive the crash", got, err)
 	}
@@ -197,13 +197,13 @@ func TestSharedClockAlignsWindows(t *testing.T) {
 	b.UseClock(clock)
 	// Ticks 0 and 1 land inside the window regardless of which node
 	// consumes them; ticks 2+ are clear for both.
-	if a.Available(context.Background()) { // tick 0
+	if a.Available(t.Context()) { // tick 0
 		t.Error("node a up inside shared window")
 	}
-	if b.Available(context.Background()) { // tick 1
+	if b.Available(t.Context()) { // tick 1
 		t.Error("node b up inside shared window")
 	}
-	if !a.Available(context.Background()) || !b.Available(context.Background()) { // ticks 2, 3
+	if !a.Available(t.Context()) || !b.Available(t.Context()) { // ticks 2, 3
 		t.Error("nodes down after shared window expired")
 	}
 	if clock.Ticks() != 4 {

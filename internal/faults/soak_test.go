@@ -2,7 +2,6 @@ package faults
 
 import (
 	"bytes"
-	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -158,7 +157,7 @@ func runSoak(t *testing.T, kind string, mk func(*testing.T, int64) *soakFixture)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx := context.Background()
+	ctx := t.Context()
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	object := make([]byte, a.Capacity())
 	rng.Read(object)

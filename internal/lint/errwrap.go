@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the error-provenance contract (DESIGN.md section 8):
+// errors crossing package boundaries carry their cause chain, so
+// errors.Is against the ShardError taxonomy keeps working at every layer.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: `require provenance-preserving error construction in library packages
+
+An error built mid-function with errors.New, or an error argument
+flattened through fmt.Errorf's %v/%s (or err.Error()), severs the cause
+chain: callers can no longer classify it with errors.Is/As against the
+ShardError taxonomy, so retry, health tracking, and repair all
+misclassify it as an unknown permanent failure. Sentinels must be
+declared at package level; wrapping must use %w. Test files are exempt
+(tests construct throwaway errors deliberately).`,
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	pkg := pass.Pkg
+	if pkg.isMain() {
+		return nil
+	}
+	for _, file := range pkg.Files {
+		if isTestFile(pkg.fileName(file.Pos())) {
+			continue
+		}
+		// Package-level var/const specs are the sanctioned home for
+		// sentinels; collect their ranges so errors.New there is allowed.
+		sentinel := make(map[*ast.CallExpr]bool)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isErrorsNew(pass, call) {
+					sentinel[call] = true
+				}
+				return true
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isErrorsNew(pass, call) && !sentinel[call] {
+				pass.Reportf(call.Pos(),
+					"in-function errors.New loses provenance; declare a package-level sentinel or wrap a cause with fmt.Errorf and %%w")
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorsNew reports whether call is errors.New(...).
+func isErrorsNew(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	return fn != nil && fn.Name() == "New" && funcPkgPath(fn) == "errors"
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error-typed argument
+// without a %w verb, and err.Error() arguments that flatten the chain
+// even when %w is present elsewhere.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Name() != "Errorf" || funcPkgPath(fn) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass.Pkg.Info, call.Args[0])
+	hasWrap := ok && strings.Contains(format, "%w")
+	for _, arg := range call.Args[1:] {
+		if isErrorDotError(pass.Pkg.Info, arg) {
+			pass.Reportf(arg.Pos(),
+				"err.Error() in fmt.Errorf flattens the cause chain; pass the error itself with %%w")
+			continue
+		}
+		if hasWrap || !ok {
+			continue
+		}
+		tv, found := pass.Pkg.Info.Types[arg]
+		if !found || tv.Type == nil {
+			continue
+		}
+		if implementsError(tv.Type) {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%v/%%s loses the cause chain; use %%w so errors.Is keeps working across package boundaries")
+		}
+	}
+}
+
+// constantString returns the constant string value of expr, if any.
+func constantString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorDotError reports whether expr is a call of the error
+// interface's Error method.
+func isErrorDotError(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && tv.Type != nil && implementsError(tv.Type)
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors golang.org/x/tools/go/analysis/analysistest
+// in miniature: each testdata/<analyzer> directory is a self-contained
+// module whose sources carry `// want "substring"` markers on the lines
+// where the analyzer must report, and nowhere else. A fixture run fails
+// on both missed and unexpected diagnostics, so the positive and negative
+// cases live side by side in the same files.
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+type wantMark struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// collectWants scans every .go file under dir for want markers.
+func collectWants(t *testing.T, dir string) []*wantMark {
+	t.Helper()
+	var wants []*wantMark
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, &wantMark{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixture %s: %v", dir, err)
+	}
+	return wants
+}
+
+// matchWant consumes the first unmatched marker covering the diagnostic.
+func matchWant(wants []*wantMark, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+			strings.Contains(d.Message, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// runFixture loads testdata/<name> as its own module and checks the
+// analyzer's diagnostics against the want markers exactly.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", name)
+	}
+	diags, err := RunAnalyzers([]*Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s on fixture: %v", a.Name, err)
+	}
+	wants := collectWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want markers; a fixture must assert something", name)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic containing %q was reported", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestCtxCheckFixture(t *testing.T)     { runFixture(t, CtxCheck, "ctxcheck") }
+func TestErrWrapFixture(t *testing.T)      { runFixture(t, ErrWrap, "errwrap") }
+func TestPoolCheckFixture(t *testing.T)    { runFixture(t, PoolCheck, "poolcheck") }
+func TestLockHeldFixture(t *testing.T)     { runFixture(t, LockHeld, "lockheld") }
+func TestRetryDefaultFixture(t *testing.T) { runFixture(t, RetryDefault, "retrydefault") }
+
+// TestModuleClean is the smoke test the lint CI job depends on staying
+// meaningful: the suite reports nothing on the repository itself, so any
+// new diagnostic in CI is a regression introduced by the change under
+// review, not pre-existing noise.
+func TestModuleClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := RunAnalyzers(All(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("module is expected to be secvet-clean, got: %s", d)
+	}
+}
+
+// TestLookup pins the analyzer registry: every analyzer is reachable by
+// name and unknown names miss.
+func TestLookup(t *testing.T) {
+	for _, a := range All() {
+		if Lookup(a.Name) != a {
+			t.Errorf("Lookup(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if Lookup("nosuch") != nil {
+		t.Error("Lookup of an unknown name should return nil")
+	}
+}
+
+// TestAllowRequiresReason pins the directive grammar: no reason, no
+// suppression.
+func TestAllowRequiresReason(t *testing.T) {
+	for directive, ok := range map[string]bool{
+		"//lint:allow lockheld serialized by design": true,
+		"//lint:allow lockheld":                      false,
+		"//lint:allow":                               false,
+		"// lint:allow lockheld reason":              false,
+	} {
+		if got := allowRE.MatchString(directive); got != ok {
+			t.Errorf("allowRE.MatchString(%q) = %v, want %v", directive, got, ok)
+		}
+	}
+}

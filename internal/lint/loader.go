@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns in dir (module-aware, via the
+// go command), parses the matched packages from source, and typechecks
+// them against compiler export data for their dependencies. It is the
+// standalone-mode counterpart of the `go vet -vettool` driver: both feed
+// the same analyzers, but Load owns package discovery itself.
+//
+// Only non-test files are loaded in this mode; the vettool path (which the
+// CI lint job uses) additionally covers test compilation units.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var all []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		all = append(all, lp)
+	}
+
+	exportFor := make(map[string]string)
+	byPath := make(map[string]*listPackage)
+	for _, lp := range all {
+		byPath[lp.ImportPath] = lp
+		if lp.Export != "" {
+			exportFor[lp.ImportPath] = lp.Export
+		}
+	}
+
+	var targets []*listPackage
+	for _, lp := range all {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, lp)
+	}
+	sortTopologically(targets, byPath)
+
+	fset := token.NewFileSet()
+	ld := &loaderImporter{
+		fset:      fset,
+		exportFor: exportFor,
+		source:    make(map[string]*types.Package),
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, ld, lp)
+		if err != nil {
+			return nil, err
+		}
+		ld.source[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and typechecks one listed package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	var files []*ast.File
+	var names []string
+	for _, f := range lp.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(lp.Dir, f)
+		}
+		parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", f, err)
+		}
+		files = append(files, parsed)
+		names = append(names, f)
+	}
+	goVersion := ""
+	if lp.Module != nil && lp.Module.GoVersion != "" {
+		goVersion = "go" + lp.Module.GoVersion
+	}
+	return typecheckFiles(fset, imp, lp.ImportPath, lp.Dir, goVersion, files, names)
+}
+
+// typecheckFiles typechecks one compilation unit from already-parsed
+// files. It is shared by the standalone loader and the vettool driver.
+func typecheckFiles(fset *token.FileSet, imp types.Importer, importPath, dir, goVersion string, files []*ast.File, names []string) (*Package, error) {
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error:     func(error) {}, // keep going; first hard error returned below
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		FileNames:  names,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// newTypesInfo returns a types.Info with every map analyzers consume.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// loaderImporter resolves imports for source-typechecked packages: targets
+// already checked from source are returned directly, everything else is
+// read from the compiler export data `go list -export` produced.
+type loaderImporter struct {
+	fset      *token.FileSet
+	exportFor map[string]string
+	source    map[string]*types.Package
+	gc        types.Importer
+}
+
+func (l *loaderImporter) Import(path string) (*types.Package, error) {
+	if p, ok := l.source[path]; ok {
+		return p, nil
+	}
+	return l.gc.Import(path)
+}
+
+// lookup feeds export data files to the gc importer.
+func (l *loaderImporter) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exportFor[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// sortTopologically orders targets so that every package follows its
+// in-target dependencies (imports among non-targets don't matter: those
+// are satisfied from export data).
+func sortTopologically(targets []*listPackage, byPath map[string]*listPackage) {
+	index := make(map[string]int, len(targets))
+	for i, lp := range targets {
+		index[lp.ImportPath] = i
+	}
+	order := make(map[string]int, len(targets))
+	var visit func(lp *listPackage) int
+	visit = func(lp *listPackage) int {
+		if d, ok := order[lp.ImportPath]; ok {
+			return d
+		}
+		order[lp.ImportPath] = 0 // cycle guard; go packages cannot cycle
+		depth := 0
+		for _, imp := range lp.Imports {
+			dep, ok := byPath[imp]
+			if !ok {
+				continue
+			}
+			if _, isTarget := index[imp]; !isTarget {
+				continue
+			}
+			if d := visit(dep) + 1; d > depth {
+				depth = d
+			}
+		}
+		order[lp.ImportPath] = depth
+		return depth
+	}
+	for _, lp := range targets {
+		visit(lp)
+	}
+	sort.SliceStable(targets, func(i, j int) bool {
+		return order[targets[i].ImportPath] < order[targets[j].ImportPath]
+	})
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockHeld enforces the no-locks-across-RPCs rule: a mutex held across a
+// call that can block on the network or on a context turns one slow node
+// into a process-wide stall (every other goroutine queues on the lock
+// behind the straggler).
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: `forbid holding a sync.Mutex/RWMutex across blocking calls
+
+Inside a region where a sync.Mutex or sync.RWMutex is held — from
+x.Lock()/x.RLock() until the matching unlock, or to the end of the
+function when the unlock is deferred — no call may be made to a callee
+whose first parameter is a context.Context. Such callees are exactly
+the operations that can block on the network or on cancellation
+(Node.Get/Put, Cluster batches, transport round trips, retry sleeps).
+Functions in package context itself (WithCancel etc.) are exempt: they
+only derive contexts and never block.`,
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLockRegions(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockCall identifies a call statement as a mutex (un)lock and returns
+// the receiver object so lock/unlock pairs can be matched.
+func lockCall(info *types.Info, call *ast.CallExpr) (obj types.Object, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	return lockReceiverObj(info, sel.X), sel.Sel.Name
+}
+
+// lockReceiverObj resolves the identifier chain of a mutex receiver to a
+// stable key object: the root identifier's object plus nothing else, so
+// `c.mu` and `c.mu` match while `a.mu` and `b.mu` do not. Selector chains
+// resolve to the field object of the final selector.
+func lockReceiverObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// checkLockRegions scans one function body for lock/unlock regions and
+// reports blocking calls inside them. Regions are tracked lexically over
+// the statement list of each block, which matches how the codebase writes
+// locking (lock and unlock in the same block, or a defer).
+func checkLockRegions(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	type region struct {
+		obj   types.Object
+		start ast.Node
+		end   ast.Node // nil: held to end of function (deferred or missing unlock)
+	}
+	var regions []region
+
+	var locks []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // nested literals get their own pass
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, m := lockCall(info, call); obj != nil && (m == "Lock" || m == "RLock") {
+			locks = append(locks, call)
+		}
+		return true
+	})
+
+	for _, lk := range locks {
+		obj, _ := lockCall(info, lk)
+		var unlock ast.Node
+		deferred := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+				return false
+			}
+			switch st := n.(type) {
+			case *ast.DeferStmt:
+				if o, m := lockCall(info, st.Call); o == obj && (m == "Unlock" || m == "RUnlock") && st.Pos() > lk.Pos() {
+					deferred = true
+				}
+			case *ast.CallExpr:
+				if o, m := lockCall(info, st); o == obj && (m == "Unlock" || m == "RUnlock") &&
+					st.Pos() > lk.Pos() && !insideDefer(body, st) {
+					if unlock == nil || st.Pos() < unlock.Pos() {
+						unlock = st
+					}
+				}
+			}
+			return true
+		})
+		if deferred {
+			regions = append(regions, region{obj: obj, start: lk, end: nil})
+		} else {
+			regions = append(regions, region{obj: obj, start: lk, end: unlock})
+		}
+	}
+
+	if len(regions) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBlockingCall(pass, call) {
+			return true
+		}
+		for _, r := range regions {
+			if call.Pos() <= r.start.End() {
+				continue
+			}
+			if r.end != nil && call.Pos() >= r.end.Pos() {
+				continue
+			}
+			pass.ReportfRegion(call.Pos(), r.start.Pos(),
+				"blocking context-aware call while holding a mutex locked at line %d; release the lock (or snapshot state) before calls that can block on the network or ctx",
+				pass.Pkg.Fset.Position(r.start.Pos()).Line)
+			return true
+		}
+		return true
+	})
+}
+
+// insideDefer reports whether the call is the direct call of a defer
+// statement within body.
+func insideDefer(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBlockingCall reports whether the callee's first parameter is a
+// context.Context — the codebase's marker for "can block on the network
+// or on cancellation". Context-derivation helpers in package context are
+// exempt.
+func isBlockingCall(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	sig := calleeSignature(info, call)
+	if sig == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	if !isContextType(sig.Params().At(0).Type()) {
+		return false
+	}
+	if fn := calleeFunc(info, call); fn != nil && funcPkgPath(fn) == "context" {
+		return false
+	}
+	return true
+}

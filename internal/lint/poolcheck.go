@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the pooled-buffer discipline from PR 1: every
+// erasure.GetBuffers acquisition is released exactly once on every path,
+// or the zero-allocation hot paths quietly degrade into allocation storms
+// as the pool drains.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc: `require a release for every pooled buffer acquisition
+
+Each call to erasure.GetBuffers must be bound to a variable and paired
+with either a deferred Release on that variable or an explicit Release
+before every exit (return, continue, or loop-iteration end) that follows
+the acquisition. The check is lexical, not a full control-flow analysis:
+an exit is considered covered when a Release of the variable appears
+between the acquisition and the exit. Acquisitions whose result is not
+bound to a variable cannot be released and are always reported.`,
+	Run: runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPoolFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isGetBuffers reports whether call acquires pooled buffers: a call of a
+// function named GetBuffers in a package named erasure.
+func isGetBuffers(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Name() != "GetBuffers" || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Name() == "erasure"
+}
+
+// acquisition is one GetBuffers call bound to a variable.
+type acquisition struct {
+	call *ast.CallExpr
+	obj  types.Object // the bound variable; nil if unbound
+}
+
+// checkPoolFunc verifies every acquisition belonging directly to one
+// function body. Acquisitions inside nested function literals are skipped
+// here — each literal is checked as its own function — but a release in a
+// nested literal still counts for the enclosing body's acquisitions
+// (lexical coverage is deliberately permissive; see the analyzer doc).
+func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var acquisitions []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // nested literal: checked separately
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isGetBuffers(pass, call) {
+			return true
+		}
+		acquisitions = append(acquisitions, acquisition{call: call, obj: boundVar(info, body, call)})
+		return true
+	})
+	if len(acquisitions) == 0 {
+		return
+	}
+	for _, acq := range acquisitions {
+		if acq.obj == nil {
+			pass.Reportf(acq.call.Pos(),
+				"pooled buffers acquired without binding the result; the set can never be released")
+			continue
+		}
+		checkReleased(pass, body, acq)
+	}
+}
+
+// boundVar returns the variable the acquisition's result is bound to via
+// `v := GetBuffers(...)`, `v = GetBuffers(...)`, or `var v = ...`.
+func boundVar(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if ast.Unparen(rhs) == call && i < len(st.Lhs) {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if o := info.Defs[id]; o != nil {
+							obj = o
+						} else if o := info.Uses[id]; o != nil {
+							obj = o
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range st.Values {
+				if ast.Unparen(rhs) == call && i < len(st.Names) {
+					if o := info.Defs[st.Names[i]]; o != nil {
+						obj = o
+					}
+				}
+			}
+		}
+		return true
+	})
+	return obj
+}
+
+// checkReleased verifies that acq.obj is released on every exit after the
+// acquisition.
+func checkReleased(pass *Pass, body *ast.BlockStmt, acq acquisition) {
+	info := pass.Pkg.Info
+	acqPos := acq.call.End()
+
+	// Pass 1: a deferred release after the acquisition covers everything.
+	deferred := false
+	var releases []token.Pos // positions of non-deferred releases
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if isReleaseOf(info, st.Call, acq.obj) && st.Pos() >= acqPos {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isReleaseOf(info, st, acq.obj) && st.Pos() >= acqPos {
+				releases = append(releases, st.Pos())
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	if len(releases) == 0 {
+		pass.Reportf(acq.call.Pos(),
+			"pooled buffers are never released; add `defer %s.Release()` after the acquisition", acq.obj.Name())
+		return
+	}
+
+	// Pass 2: every exit after the acquisition must have a release
+	// lexically between the acquisition and itself.
+	covered := func(exitPos token.Pos) bool {
+		for _, r := range releases {
+			if r >= acqPos && r <= exitPos {
+				return true
+			}
+		}
+		return false
+	}
+	loop := enclosingLoopBody(body, acq.call.Pos())
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			if st.Pos() >= acqPos && !covered(st.Pos()) {
+				pass.Reportf(st.Pos(),
+					"return without releasing pooled buffers %q acquired earlier; release before every exit or use defer", acq.obj.Name())
+			}
+		case *ast.BranchStmt:
+			if loop != nil && st.Tok == token.CONTINUE && st.Pos() >= acqPos && st.Pos() <= loop.End() && !covered(st.Pos()) {
+				pass.Reportf(st.Pos(),
+					"continue without releasing pooled buffers %q acquired this iteration", acq.obj.Name())
+			}
+		}
+		return true
+	})
+	// Loop-iteration fallthrough: an acquisition inside a loop body must
+	// be released before the iteration ends or each pass leaks one set.
+	if loop != nil && !covered(loop.End()) {
+		pass.Reportf(acq.call.Pos(),
+			"pooled buffers %q acquired inside a loop are not released before the iteration ends", acq.obj.Name())
+	}
+}
+
+// isReleaseOf reports whether call is obj.Release().
+func isReleaseOf(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Uses[id] == obj
+}
+
+// enclosingLoopBody returns the body of the innermost for/range statement
+// whose body contains pos, or nil.
+func enclosingLoopBody(body *ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	var innermost *ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		var lb *ast.BlockStmt
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			lb = st.Body
+		case *ast.RangeStmt:
+			lb = st.Body
+		default:
+			return true
+		}
+		if lb.Pos() <= pos && pos <= lb.End() {
+			innermost = lb
+		}
+		return true
+	})
+	return innermost
+}

@@ -1,0 +1,10 @@
+package lib
+
+import "context"
+
+// Files named legacy.go are the sanctioned home for context-free
+// compatibility wrappers; ctxcheck exempts them wholesale.
+
+func legacyFetch() error {
+	return fetch(context.Background())
+}

@@ -1,0 +1,41 @@
+// Package lib is the ctxcheck fixture: library code that mints root
+// contexts, hides the context parameter, or passes nil contexts.
+package lib
+
+import "context"
+
+func fetch(ctx context.Context) error { return ctx.Err() }
+
+func detached() error {
+	ctx := context.Background() // want "context.Background"
+	return fetch(ctx)
+}
+
+func todo() error {
+	return fetch(context.TODO()) // want "context.TODO"
+}
+
+func ctxSecond(name string, ctx context.Context) error { // want "first parameter"
+	_ = name
+	return fetch(ctx)
+}
+
+func ctxSecondLit() func(int, context.Context) error {
+	return func(n int, ctx context.Context) error { // want "first parameter"
+		_ = n
+		return fetch(ctx)
+	}
+}
+
+func nilCtx() error {
+	return fetch(nil) // want "nil context"
+}
+
+func propagated(ctx context.Context) error {
+	return fetch(ctx)
+}
+
+func allowed() error {
+	//lint:allow ctxcheck fixture demonstrates a sanctioned root context
+	return fetch(context.Background())
+}

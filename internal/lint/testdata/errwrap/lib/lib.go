@@ -1,0 +1,43 @@
+// Package lib is the errwrap fixture: sentinel declarations, %w wraps,
+// and the provenance-losing constructions the analyzer reports.
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errMissing = errors.New("lib: missing")
+
+func wrap(err error) error {
+	return fmt.Errorf("lib: reading index: %w", err)
+}
+
+func inFunction() error {
+	return errors.New("lib: ad-hoc failure") // want "in-function errors.New"
+}
+
+func flattenVerb(err error) error {
+	return fmt.Errorf("lib: reading index: %v", err) // want "loses the cause chain"
+}
+
+func flattenString(err error) error {
+	return fmt.Errorf("lib: reading index: %s", err.Error()) // want "flattens the cause chain"
+}
+
+func flattenBesideWrap(err, cause error) error {
+	return fmt.Errorf("lib: %w after %s", err, cause.Error()) // want "flattens the cause chain"
+}
+
+func nonError(n int) error {
+	return fmt.Errorf("lib: %d shards", n)
+}
+
+func sentinel() error {
+	return errMissing
+}
+
+func allowed() error {
+	//lint:allow errwrap fixture demonstrates a sanctioned ad-hoc error
+	return errors.New("lib: sanctioned")
+}

@@ -1,0 +1,49 @@
+// Package lib is the lockheld fixture: mutexes held (or not) across
+// context-aware calls.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+type client struct {
+	mu    sync.Mutex
+	state int
+}
+
+func fetch(ctx context.Context) error { return ctx.Err() }
+
+func (c *client) heldAcross(ctx context.Context) error {
+	c.mu.Lock()
+	err := fetch(ctx) // want "holding a mutex locked"
+	c.mu.Unlock()
+	return err
+}
+
+func (c *client) deferredHold(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fetch(ctx) // want "holding a mutex locked"
+}
+
+func (c *client) releasedFirst(ctx context.Context) error {
+	c.mu.Lock()
+	c.state++
+	c.mu.Unlock()
+	return fetch(ctx)
+}
+
+func (c *client) derivesContext(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, cancel := context.WithCancel(ctx)
+	cancel()
+}
+
+func (c *client) allowedRegion(ctx context.Context) error {
+	//lint:allow lockheld fixture serializes the exchange by design
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fetch(ctx)
+}

@@ -1,0 +1,13 @@
+// Package erasure is a stand-in for the real pool API: poolcheck matches
+// GetBuffers by package and function name, so the fixture only needs the
+// shapes, not the pooling.
+package erasure
+
+// Buffers is a pooled set of shard buffers.
+type Buffers struct{ data [][]byte }
+
+// GetBuffers acquires a pooled set of n buffers.
+func GetBuffers(n int) *Buffers { return &Buffers{data: make([][]byte, n)} }
+
+// Release returns the set to the pool.
+func (b *Buffers) Release() {}

@@ -1,0 +1,62 @@
+// Package use is the poolcheck fixture: acquisition/release pairings in
+// every shape the analyzer distinguishes.
+package use
+
+import "fixture/erasure"
+
+func deferred() {
+	bufs := erasure.GetBuffers(4)
+	defer bufs.Release()
+}
+
+func neverReleased() {
+	bufs := erasure.GetBuffers(4) // want "never released"
+	_ = bufs
+}
+
+func earlyReturn(skip bool) int {
+	bufs := erasure.GetBuffers(4)
+	if skip {
+		return 0 // want "return without releasing"
+	}
+	bufs.Release()
+	return 1
+}
+
+func unbound() {
+	erasure.GetBuffers(4) // want "without binding"
+}
+
+func loopContinue(n int) {
+	for i := 0; i < n; i++ {
+		bufs := erasure.GetBuffers(1)
+		if i%2 == 0 {
+			continue // want "continue without releasing"
+		}
+		bufs.Release()
+	}
+}
+
+func loopLeak(n int) {
+	var last *erasure.Buffers
+	for i := 0; i < n; i++ {
+		last = erasure.GetBuffers(1) // want "iteration ends"
+	}
+	last.Release()
+}
+
+func releasedOnAllPaths(skip bool) int {
+	bufs := erasure.GetBuffers(4)
+	if skip {
+		bufs.Release()
+		return 0
+	}
+	bufs.Release()
+	return 1
+}
+
+func allowed() *erasure.Buffers {
+	//lint:allow poolcheck fixture hands the set to the caller to release
+	bufs := erasure.GetBuffers(4)
+	return bufs
+}

@@ -1,0 +1,55 @@
+// Package lib is the retrydefault fixture. The analyzer matches the
+// RetryPolicy/HealthConfig/HedgeDelay names, not the defining package, so
+// the fixture declares look-alike types of its own.
+package lib
+
+import "time"
+
+type RetryPolicy struct {
+	MaxAttempts int
+}
+
+type HealthConfig struct {
+	TripAfter int
+}
+
+type Config struct {
+	HedgeDelay time.Duration
+}
+
+// DefaultRetryPolicy is the sanctioned opt-in surface: package-level
+// Default* declarations are exempt even though they enable retries.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3}
+
+func enabledRetries() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3} // want "MaxAttempts > 1"
+}
+
+func enabledBreaker() HealthConfig {
+	return HealthConfig{TripAfter: 5} // want "TripAfter > 0"
+}
+
+func enabledHedge() Config {
+	return Config{HedgeDelay: 20 * time.Millisecond} // want "positive HedgeDelay"
+}
+
+func hedgeAssign(c *Config) {
+	c.HedgeDelay = time.Millisecond // want "positive HedgeDelay"
+}
+
+func nonConstant(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts} // want "MaxAttempts > 1"
+}
+
+func defaultRef() RetryPolicy {
+	return DefaultRetryPolicy // want "DefaultRetryPolicy"
+}
+
+func disabled() (RetryPolicy, HealthConfig, Config) {
+	return RetryPolicy{MaxAttempts: 1}, HealthConfig{TripAfter: 0}, Config{HedgeDelay: 0}
+}
+
+func allowed() RetryPolicy {
+	//lint:allow retrydefault fixture opts in deliberately
+	return RetryPolicy{MaxAttempts: 4}
+}

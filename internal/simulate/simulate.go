@@ -63,6 +63,14 @@ func (r Result) Availability() float64 {
 	return float64(r.AvailableSteps) / float64(r.Steps)
 }
 
+// Simulation input errors.
+var (
+	// errNilInputs rejects a run without an archive and its cluster.
+	errNilInputs = errors.New("simulate: nil archive or cluster")
+	// errNoVersions rejects a run against an archive with nothing stored.
+	errNoVersions = errors.New("simulate: archive holds no versions")
+)
+
 // Run simulates the failure/repair process against the archive. The
 // cluster must be the archive's cluster with every node a *store.MemNode
 // (the simulation substrate); the archive must already hold its versions.
@@ -70,7 +78,7 @@ func (r Result) Availability() float64 {
 func Run(archive *core.Archive, cluster *store.Cluster, cfg Config) (Result, error) {
 	var result Result
 	if archive == nil || cluster == nil {
-		return result, errors.New("simulate: nil archive or cluster")
+		return result, errNilInputs
 	}
 	if cfg.FailurePerStep < 0 || cfg.FailurePerStep > 1 {
 		return result, fmt.Errorf("simulate: failure probability %v out of [0,1]", cfg.FailurePerStep)
@@ -82,7 +90,7 @@ func Run(archive *core.Archive, cluster *store.Cluster, cfg Config) (Result, err
 		return result, fmt.Errorf("simulate: invalid repair delay %d", cfg.RepairDelay)
 	}
 	if archive.Versions() == 0 {
-		return result, errors.New("simulate: archive holds no versions")
+		return result, errNoVersions
 	}
 	nodes := make([]*store.MemNode, cluster.Size())
 	for i := range nodes {

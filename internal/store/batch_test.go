@@ -2,7 +2,6 @@ package store
 
 import (
 	"bytes"
-	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -39,12 +38,12 @@ func TestBatchNodeRoundTrip(t *testing.T) {
 			}
 			ids := batchIDs("obj", 0, 1, 2, 3)
 			data := [][]byte{{1}, {2, 2}, {3, 3, 3}, nil}
-			for i, err := range PutShards(context.Background(), n, ids, data) {
+			for i, err := range PutShards(t.Context(), n, ids, data) {
 				if err != nil {
 					t.Fatalf("put %d: %v", i, err)
 				}
 			}
-			results := GetShards(context.Background(), n, ids)
+			results := GetShards(t.Context(), n, ids)
 			for i, res := range results {
 				if res.Err != nil {
 					t.Fatalf("get %d: %v", i, res.Err)
@@ -54,7 +53,7 @@ func TestBatchNodeRoundTrip(t *testing.T) {
 				}
 			}
 			// A missing row fails alone; its neighbors still succeed.
-			mixed := GetShards(context.Background(), n, batchIDs("obj", 1, 9, 2))
+			mixed := GetShards(t.Context(), n, batchIDs("obj", 1, 9, 2))
 			if mixed[0].Err != nil || mixed[2].Err != nil {
 				t.Errorf("present rows failed: %v, %v", mixed[0].Err, mixed[2].Err)
 			}
@@ -77,24 +76,24 @@ func TestBatchStatsMatchPerShard(t *testing.T) {
 			}
 			// Per-shard reference run.
 			for i, id := range ids {
-				if err := n.Put(context.Background(), id, data[i]); err != nil {
+				if err := n.Put(t.Context(), id, data[i]); err != nil {
 					t.Fatal(err)
 				}
 			}
 			for _, id := range ids {
-				if _, err := n.Get(context.Background(), id); err != nil {
+				if _, err := n.Get(t.Context(), id); err != nil {
 					t.Fatal(err)
 				}
 			}
 			want := n.Stats()
 			n.ResetStats()
 			// Batched run over the same shards.
-			for i, err := range PutShards(context.Background(), n, ids, data) {
+			for i, err := range PutShards(t.Context(), n, ids, data) {
 				if err != nil {
 					t.Fatalf("batched put %d: %v", i, err)
 				}
 			}
-			for i, res := range GetShards(context.Background(), n, ids) {
+			for i, res := range GetShards(t.Context(), n, ids) {
 				if res.Err != nil {
 					t.Fatalf("batched get %d: %v", i, res.Err)
 				}
@@ -104,7 +103,7 @@ func TestBatchStatsMatchPerShard(t *testing.T) {
 			}
 			// Failed entries must not count: one missing row in a batch.
 			n.ResetStats()
-			_ = GetShards(context.Background(), n, batchIDs("obj", 0, 99))
+			_ = GetShards(t.Context(), n, batchIDs("obj", 0, 99))
 			if got := n.Stats().Reads; got != 1 {
 				t.Errorf("reads with one missing row = %d, want 1", got)
 			}
@@ -118,12 +117,12 @@ func TestBatchOnFailedNode(t *testing.T) {
 			ids := batchIDs("obj", 0, 1)
 			data := [][]byte{{1}, {2}}
 			n.(FaultInjector).SetFailed(true)
-			for _, err := range PutShards(context.Background(), n, ids, data) {
+			for _, err := range PutShards(t.Context(), n, ids, data) {
 				if !errors.Is(err, ErrNodeDown) {
 					t.Errorf("put on failed node: %v, want ErrNodeDown", err)
 				}
 			}
-			for _, res := range GetShards(context.Background(), n, ids) {
+			for _, res := range GetShards(t.Context(), n, ids) {
 				if !errors.Is(res.Err, ErrNodeDown) {
 					t.Errorf("get on failed node: %v, want ErrNodeDown", res.Err)
 				}
@@ -142,7 +141,7 @@ func TestDiskBatchCorruptStatusPerShard(t *testing.T) {
 	}
 	ids := batchIDs("obj", 0, 1, 2)
 	for i, id := range ids {
-		if err := disk.Put(context.Background(), id, []byte{byte(i), byte(i)}); err != nil {
+		if err := disk.Put(t.Context(), id, []byte{byte(i), byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -160,7 +159,7 @@ func TestDiskBatchCorruptStatusPerShard(t *testing.T) {
 	if err := os.WriteFile(files[1], raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	results := disk.GetBatch(context.Background(), ids)
+	results := disk.GetBatch(t.Context(), ids)
 	var corrupt, healthy int
 	for _, res := range results {
 		switch {
@@ -186,12 +185,12 @@ func TestClusterBatchGroupsByNode(t *testing.T) {
 		{Node: 2, ID: ShardID{Object: "o", Row: 3}},
 	}
 	data := [][]byte{{0}, {1}, {2}, {3}}
-	for i, err := range c.PutBatch(context.Background(), refs, data) {
+	for i, err := range c.PutBatch(t.Context(), refs, data) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
-	results := c.GetBatch(context.Background(), refs)
+	results := c.GetBatch(t.Context(), refs)
 	for i, res := range results {
 		if res.Err != nil {
 			t.Fatalf("get %d: %v", i, res.Err)
@@ -229,7 +228,7 @@ func TestClusterBatchMixedNodeKinds(t *testing.T) {
 		{Node: 7, ID: ShardID{Object: "o", Row: 3}},
 	}
 	data := [][]byte{{10}, {11}, {12}, {13}}
-	errs := c.PutBatch(context.Background(), refs, data)
+	errs := c.PutBatch(t.Context(), refs, data)
 	if errs[0] != nil || errs[1] != nil {
 		t.Fatalf("healthy puts failed: %v, %v", errs[0], errs[1])
 	}
@@ -239,7 +238,7 @@ func TestClusterBatchMixedNodeKinds(t *testing.T) {
 	if !errors.Is(errs[3], ErrClusterTooSmall) {
 		t.Errorf("out-of-range put err = %v, want ErrClusterTooSmall", errs[3])
 	}
-	results := c.GetBatch(context.Background(), refs)
+	results := c.GetBatch(t.Context(), refs)
 	for i := 0; i < 2; i++ {
 		if results[i].Err != nil || !bytes.Equal(results[i].Data, data[i]) {
 			t.Errorf("shard %d = %v/%v, want %v", i, results[i].Data, results[i].Err, data[i])
@@ -255,10 +254,10 @@ func TestClusterBatchMixedNodeKinds(t *testing.T) {
 
 func TestClusterBatchEmpty(t *testing.T) {
 	c := NewMemCluster(1)
-	if got := c.GetBatch(context.Background(), nil); len(got) != 0 {
+	if got := c.GetBatch(t.Context(), nil); len(got) != 0 {
 		t.Errorf("empty GetBatch = %v", got)
 	}
-	if got := c.PutBatch(context.Background(), nil, nil); len(got) != 0 {
+	if got := c.PutBatch(t.Context(), nil, nil); len(got) != 0 {
 		t.Errorf("empty PutBatch = %v", got)
 	}
 }
@@ -268,19 +267,19 @@ func TestPutShardsFallbackMatchesNative(t *testing.T) {
 	wrapped := plainNode{NewMemNode("wrapped")}
 	ids := batchIDs("o", 0, 1, 2)
 	data := [][]byte{{1}, {2}, {3}}
-	for _, err := range PutShards(context.Background(), native, ids, data) {
+	for _, err := range PutShards(t.Context(), native, ids, data) {
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	for _, err := range PutShards(context.Background(), wrapped, ids, data) {
+	for _, err := range PutShards(t.Context(), wrapped, ids, data) {
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i, id := range ids {
-		a, errA := native.Get(context.Background(), id)
-		b, errB := wrapped.Get(context.Background(), id)
+		a, errA := native.Get(t.Context(), id)
+		b, errB := wrapped.Get(t.Context(), id)
 		if errA != nil || errB != nil || !bytes.Equal(a, b) {
 			t.Errorf("shard %d: native %v/%v wrapped %v/%v", i, a, errA, b, errB)
 		}
@@ -301,7 +300,7 @@ func TestDiskBatchDurableAfterReopen(t *testing.T) {
 	for i := range data {
 		data[i] = []byte(fmt.Sprintf("shard-%d", i))
 	}
-	for i, err := range disk.PutBatch(context.Background(), ids, data) {
+	for i, err := range disk.PutBatch(t.Context(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
@@ -313,7 +312,7 @@ func TestDiskBatchDurableAfterReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, res := range reopened.GetBatch(context.Background(), ids) {
+	for i, res := range reopened.GetBatch(t.Context(), ids) {
 		if res.Err != nil || !bytes.Equal(res.Data, data[i]) {
 			t.Errorf("reopened shard %d = %v/%v", i, res.Data, res.Err)
 		}

@@ -43,7 +43,7 @@ func TestDiskNodePutBatchPreCancelled(t *testing.T) {
 		ids[i] = ShardID{Object: "obj", Row: i}
 		data[i] = []byte{byte(i)}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	cancel()
 	for i, err := range n.PutBatch(ctx, ids, data) {
 		if !errors.Is(err, context.Canceled) {
@@ -78,7 +78,7 @@ func TestDiskNodePutBatchCancelledMidBatch(t *testing.T) {
 		ids[i] = ShardID{Object: fmt.Sprintf("obj-%d", i), Row: i % 7}
 		data[i] = []byte(strings.Repeat("x", 256) + fmt.Sprint(i))
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	var wg sync.WaitGroup
 	wg.Add(1)
 	var errs []error
@@ -101,12 +101,12 @@ func TestDiskNodePutBatchCancelledMidBatch(t *testing.T) {
 		switch {
 		case err == nil:
 			written++
-			got, gerr := n.Get(context.Background(), ids[i])
+			got, gerr := n.Get(t.Context(), ids[i])
 			if gerr != nil || string(got) != string(data[i]) {
 				t.Errorf("shard %d reported written but reads back %q/%v", i, got, gerr)
 			}
 		case errors.Is(err, context.Canceled):
-			if _, gerr := n.Get(context.Background(), ids[i]); !errors.Is(gerr, ErrNotFound) {
+			if _, gerr := n.Get(t.Context(), ids[i]); !errors.Is(gerr, ErrNotFound) {
 				// A cancelled entry may still be on disk only if its rename
 				// completed before the cancellation check - PutBatch renames
 				// then fsyncs per directory, and entries failed for

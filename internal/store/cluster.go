@@ -286,6 +286,7 @@ func (c *Cluster) HealAll() {
 // cannot be fetched contribute zeros; use TotalStatsChecked when the
 // distinction matters (e.g. experiment accounting over a real network).
 func (c *Cluster) TotalStats() NodeStats {
+	//lint:allow ctxcheck mirrors the ctx-less store.Node Stats contract; TotalStatsChecked is the ctx-aware form
 	total, _ := c.TotalStatsChecked(context.Background())
 	return total
 }

@@ -14,10 +14,10 @@ func TestMemClusterBasicOps(t *testing.T) {
 		t.Fatalf("Size = %d, want 3", c.Size())
 	}
 	id := ShardID{Object: "o", Row: 0}
-	if err := c.Put(context.Background(), 1, id, []byte{7}); err != nil {
+	if err := c.Put(t.Context(), 1, id, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get(context.Background(), 1, id)
+	got, err := c.Get(t.Context(), 1, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestMemClusterBasicOps(t *testing.T) {
 		t.Errorf("Get = %v, want [7]", got)
 	}
 	// The shard lives only on node 1.
-	if _, err := c.Get(context.Background(), 0, id); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(t.Context(), 0, id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get from wrong node: err = %v, want ErrNotFound", err)
 	}
 }
@@ -33,13 +33,13 @@ func TestMemClusterBasicOps(t *testing.T) {
 func TestClusterOutOfRange(t *testing.T) {
 	c := NewMemCluster(2)
 	id := ShardID{Object: "o", Row: 0}
-	if err := c.Put(context.Background(), 5, id, nil); !errors.Is(err, ErrClusterTooSmall) {
+	if err := c.Put(t.Context(), 5, id, nil); !errors.Is(err, ErrClusterTooSmall) {
 		t.Errorf("Put out of range: err = %v, want ErrClusterTooSmall", err)
 	}
-	if _, err := c.Get(context.Background(), -1, id); !errors.Is(err, ErrClusterTooSmall) {
+	if _, err := c.Get(t.Context(), -1, id); !errors.Is(err, ErrClusterTooSmall) {
 		t.Errorf("Get out of range: err = %v, want ErrClusterTooSmall", err)
 	}
-	if c.Available(context.Background(), 9) {
+	if c.Available(t.Context(), 9) {
 		t.Error("out-of-range node reported available")
 	}
 }
@@ -89,18 +89,18 @@ func TestClusterFailHeal(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, wantUp := range []bool{true, false, true, false} {
-		if got := c.Available(context.Background(), i); got != wantUp {
+		if got := c.Available(t.Context(), i); got != wantUp {
 			t.Errorf("Available(%d) = %v, want %v", i, got, wantUp)
 		}
 	}
 	if err := c.Heal(1); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Available(context.Background(), 1) {
+	if !c.Available(t.Context(), 1) {
 		t.Error("node 1 still down after Heal")
 	}
 	c.HealAll()
-	if !c.Available(context.Background(), 3) {
+	if !c.Available(t.Context(), 3) {
 		t.Error("node 3 still down after HealAll")
 	}
 	if err := c.Fail(17); !errors.Is(err, ErrClusterTooSmall) {
@@ -122,14 +122,14 @@ func TestClusterStatsAggregation(t *testing.T) {
 	c := NewMemCluster(3)
 	id := ShardID{Object: "o", Row: 0}
 	for i := 0; i < 3; i++ {
-		if err := c.Put(context.Background(), i, id, []byte{1, 2}); err != nil {
+		if err := c.Put(t.Context(), i, id, []byte{1, 2}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Get(context.Background(), 0, id); err != nil {
+	if _, err := c.Get(t.Context(), 0, id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get(context.Background(), 2, id); err != nil {
+	if _, err := c.Get(t.Context(), 2, id); err != nil {
 		t.Fatal(err)
 	}
 	got := c.TotalStats()

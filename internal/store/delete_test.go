@@ -18,7 +18,7 @@ func deleteBatchNodes(t *testing.T, ids []ShardID) map[string]Node {
 	nodes := map[string]Node{"mem": mem, "disk": disk}
 	for _, n := range nodes {
 		for i, id := range ids {
-			if err := n.Put(context.Background(), id, []byte{byte(i)}); err != nil {
+			if err := n.Put(t.Context(), id, []byte{byte(i)}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -34,15 +34,15 @@ func TestDeleteBatchRemovesShards(t *testing.T) {
 	}
 	for name, n := range deleteBatchNodes(t, ids) {
 		b := n.(BatchNode)
-		for i, err := range b.DeleteBatch(context.Background(), ids[:2]) {
+		for i, err := range b.DeleteBatch(t.Context(), ids[:2]) {
 			if err != nil {
 				t.Errorf("%s: delete %d: %v", name, i, err)
 			}
 		}
-		if _, err := n.Get(context.Background(), ids[0]); !errors.Is(err, ErrNotFound) {
+		if _, err := n.Get(t.Context(), ids[0]); !errors.Is(err, ErrNotFound) {
 			t.Errorf("%s: deleted shard still readable (err=%v)", name, err)
 		}
-		if data, err := n.Get(context.Background(), ids[2]); err != nil || len(data) != 1 {
+		if data, err := n.Get(t.Context(), ids[2]); err != nil || len(data) != 1 {
 			t.Errorf("%s: surviving shard damaged: %v/%v", name, data, err)
 		}
 		if got := n.Stats().Deletes; got != 2 {
@@ -55,7 +55,7 @@ func TestDeleteBatchPerShardNotFound(t *testing.T) {
 	ids := []ShardID{{Object: "o", Row: 0}}
 	for name, n := range deleteBatchNodes(t, ids) {
 		b := n.(BatchNode)
-		errs := b.DeleteBatch(context.Background(), []ShardID{
+		errs := b.DeleteBatch(t.Context(), []ShardID{
 			{Object: "o", Row: 0},
 			{Object: "ghost", Row: 9},
 		})
@@ -75,13 +75,13 @@ func TestDeleteBatchOnFailedNode(t *testing.T) {
 	ids := []ShardID{{Object: "o", Row: 0}, {Object: "o", Row: 1}}
 	for name, n := range deleteBatchNodes(t, ids) {
 		n.(FaultInjector).SetFailed(true)
-		for i, err := range n.(BatchNode).DeleteBatch(context.Background(), ids) {
+		for i, err := range n.(BatchNode).DeleteBatch(t.Context(), ids) {
 			if !errors.Is(err, ErrNodeDown) {
 				t.Errorf("%s: delete %d on failed node = %v, want ErrNodeDown", name, i, err)
 			}
 		}
 		n.(FaultInjector).SetFailed(false)
-		if _, err := n.Get(context.Background(), ids[0]); err != nil {
+		if _, err := n.Get(t.Context(), ids[0]); err != nil {
 			t.Errorf("%s: shard lost despite failed delete: %v", name, err)
 		}
 	}
@@ -90,7 +90,7 @@ func TestDeleteBatchOnFailedNode(t *testing.T) {
 func TestDeleteBatchHonorsContext(t *testing.T) {
 	ids := []ShardID{{Object: "o", Row: 0}, {Object: "o", Row: 1}}
 	for name, n := range deleteBatchNodes(t, ids) {
-		ctx, cancel := context.WithCancel(context.Background())
+		ctx, cancel := context.WithCancel(t.Context())
 		cancel()
 		for i, err := range n.(BatchNode).DeleteBatch(ctx, ids) {
 			if !errors.Is(err, context.Canceled) {
@@ -100,7 +100,7 @@ func TestDeleteBatchHonorsContext(t *testing.T) {
 				t.Errorf("%s: delete %d misattributes cancellation to node health", name, i)
 			}
 		}
-		if _, err := n.Get(context.Background(), ids[0]); err != nil {
+		if _, err := n.Get(t.Context(), ids[0]); err != nil {
 			t.Errorf("%s: shard deleted despite cancelled batch: %v", name, err)
 		}
 	}
@@ -112,24 +112,24 @@ func TestClusterDeleteBatchGroupsByNode(t *testing.T) {
 	for node := 0; node < 3; node++ {
 		for row := 0; row < 2; row++ {
 			ref := ShardRef{Node: node, ID: ShardID{Object: "o", Row: node*2 + row}}
-			if err := c.Put(context.Background(), ref.Node, ref.ID, []byte{1}); err != nil {
+			if err := c.Put(t.Context(), ref.Node, ref.ID, []byte{1}); err != nil {
 				t.Fatal(err)
 			}
 			refs = append(refs, ref)
 		}
 	}
-	for i, err := range c.DeleteBatch(context.Background(), refs) {
+	for i, err := range c.DeleteBatch(t.Context(), refs) {
 		if err != nil {
 			t.Fatalf("delete %d: %v", i, err)
 		}
 	}
 	for _, ref := range refs {
-		if _, err := c.Get(context.Background(), ref.Node, ref.ID); !errors.Is(err, ErrNotFound) {
+		if _, err := c.Get(t.Context(), ref.Node, ref.ID); !errors.Is(err, ErrNotFound) {
 			t.Errorf("shard %v on node %d survived the batch (err=%v)", ref.ID, ref.Node, err)
 		}
 	}
 	// Out-of-range nodes fail per shard without sinking the batch.
-	errs := c.DeleteBatch(context.Background(), []ShardRef{{Node: 99, ID: ShardID{Object: "o"}}})
+	errs := c.DeleteBatch(t.Context(), []ShardRef{{Node: 99, ID: ShardID{Object: "o"}}})
 	if !errors.Is(errs[0], ErrClusterTooSmall) {
 		t.Errorf("out-of-range node err = %v, want ErrClusterTooSmall", errs[0])
 	}
@@ -141,16 +141,16 @@ func TestDeleteShardsFallback(t *testing.T) {
 	n := plainNode{Node: NewMemNode("plain")}
 	ids := []ShardID{{Object: "o", Row: 0}, {Object: "o", Row: 1}}
 	for _, id := range ids {
-		if err := n.Put(context.Background(), id, []byte{1}); err != nil {
+		if err := n.Put(t.Context(), id, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for i, err := range DeleteShards(context.Background(), n, ids) {
+	for i, err := range DeleteShards(t.Context(), n, ids) {
 		if err != nil {
 			t.Fatalf("delete %d: %v", i, err)
 		}
 	}
-	if _, err := n.Get(context.Background(), ids[0]); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(t.Context(), ids[0]); !errors.Is(err, ErrNotFound) {
 		t.Errorf("fallback delete left shard behind (err=%v)", err)
 	}
 }
@@ -163,11 +163,11 @@ func TestDiskDeleteBatchDurableAfterReopen(t *testing.T) {
 	}
 	ids := []ShardID{{Object: "o", Row: 0}, {Object: "o", Row: 1}}
 	for _, id := range ids {
-		if err := disk.Put(context.Background(), id, []byte{1}); err != nil {
+		if err := disk.Put(t.Context(), id, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for i, err := range disk.DeleteBatch(context.Background(), ids) {
+	for i, err := range disk.DeleteBatch(t.Context(), ids) {
 		if err != nil {
 			t.Fatalf("delete %d: %v", i, err)
 		}

@@ -23,10 +23,10 @@ func TestDiskNodePutGetDelete(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "arch/v1-full", Row: 3}
 	payload := []byte("hello durable world")
-	if err := n.Put(context.Background(), id, payload); err != nil {
+	if err := n.Put(t.Context(), id, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Get(context.Background(), id)
+	got, err := n.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,22 +34,22 @@ func TestDiskNodePutGetDelete(t *testing.T) {
 		t.Errorf("Get = %q, want %q", got, payload)
 	}
 	// Overwrite.
-	if err := n.Put(context.Background(), id, []byte("v2")); err != nil {
+	if err := n.Put(t.Context(), id, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := n.Get(context.Background(), id); !bytes.Equal(got, []byte("v2")) {
+	if got, _ := n.Get(t.Context(), id); !bytes.Equal(got, []byte("v2")) {
 		t.Errorf("after overwrite Get = %q", got)
 	}
 	if n.Len() != 1 {
 		t.Errorf("Len = %d, want 1", n.Len())
 	}
-	if err := n.Delete(context.Background(), id); err != nil {
+	if err := n.Delete(t.Context(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(t.Context(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after delete = %v, want ErrNotFound", err)
 	}
-	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNotFound) {
+	if err := n.Delete(t.Context(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("double delete = %v, want ErrNotFound", err)
 	}
 }
@@ -57,10 +57,10 @@ func TestDiskNodePutGetDelete(t *testing.T) {
 func TestDiskNodeEmptyShardAndZeroBytes(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(context.Background(), id, nil); err != nil {
+	if err := n.Put(t.Context(), id, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Get(context.Background(), id)
+	got, err := n.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,13 +72,13 @@ func TestDiskNodeEmptyShardAndZeroBytes(t *testing.T) {
 func TestDiskNodeStats(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 1}
-	if err := n.Put(context.Background(), id, []byte{1, 2, 3, 4}); err != nil {
+	if err := n.Put(t.Context(), id, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(context.Background(), id); err != nil {
+	if _, err := n.Get(t.Context(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(context.Background(), ShardID{Object: "absent", Row: 0}); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(t.Context(), ShardID{Object: "absent", Row: 0}); !errors.Is(err, ErrNotFound) {
 		t.Fatal(err)
 	}
 	want := NodeStats{Reads: 1, Writes: 1, BytesRead: 4, BytesWritten: 4}
@@ -94,24 +94,24 @@ func TestDiskNodeStats(t *testing.T) {
 func TestDiskNodeFaultInjection(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(context.Background(), id, []byte("x")); err != nil {
+	if err := n.Put(t.Context(), id, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	n.SetFailed(true)
-	if n.Available(context.Background()) {
+	if n.Available(t.Context()) {
 		t.Error("failed node reports available")
 	}
-	if err := n.Put(context.Background(), id, []byte("y")); !errors.Is(err, ErrNodeDown) {
+	if err := n.Put(t.Context(), id, []byte("y")); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Put on failed node = %v", err)
 	}
-	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Get(t.Context(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Get on failed node = %v", err)
 	}
-	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNodeDown) {
+	if err := n.Delete(t.Context(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Delete on failed node = %v", err)
 	}
 	n.SetFailed(false)
-	if got, err := n.Get(context.Background(), id); err != nil || !bytes.Equal(got, []byte("x")) {
+	if got, err := n.Get(t.Context(), id); err != nil || !bytes.Equal(got, []byte("x")) {
 		t.Errorf("data lost across injected failure: %q, %v", got, err)
 	}
 }
@@ -128,7 +128,7 @@ func TestDiskNodeRestartRecovery(t *testing.T) {
 		{Object: "arch/v2-delta", Row: 0},
 	}
 	for i, id := range ids {
-		if err := n.Put(context.Background(), id, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
+		if err := n.Put(t.Context(), id, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -145,7 +145,7 @@ func TestDiskNodeRestartRecovery(t *testing.T) {
 		t.Errorf("Len after reopen = %d, want %d", n2.Len(), len(ids))
 	}
 	for i, id := range ids {
-		got, err := n2.Get(context.Background(), id)
+		got, err := n2.Get(t.Context(), id)
 		if err != nil {
 			t.Fatalf("reopened Get %v: %v", id, err)
 		}
@@ -179,7 +179,7 @@ func TestNewDiskNodeIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Put(context.Background(), ShardID{Object: "o", Row: 0}, []byte("keep")); err != nil {
+	if err := n.Put(t.Context(), ShardID{Object: "o", Row: 0}, []byte("keep")); err != nil {
 		t.Fatal(err)
 	}
 	// NewDiskNode over an existing node dir reattaches; it must not wipe.
@@ -187,7 +187,7 @@ func TestNewDiskNodeIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := n2.Get(context.Background(), ShardID{Object: "o", Row: 0}); err != nil || string(got) != "keep" {
+	if got, err := n2.Get(t.Context(), ShardID{Object: "o", Row: 0}); err != nil || string(got) != "keep" {
 		t.Errorf("re-created node lost data: %q, %v", got, err)
 	}
 }
@@ -205,7 +205,7 @@ func shardFileOf(t *testing.T, n *DiskNode, id ShardID) string {
 func TestDiskNodeDetectsBitRot(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 2}
-	if err := n.Put(context.Background(), id, bytes.Repeat([]byte{0xAB}, 128)); err != nil {
+	if err := n.Put(t.Context(), id, bytes.Repeat([]byte{0xAB}, 128)); err != nil {
 		t.Fatal(err)
 	}
 	path := shardFileOf(t, n, id)
@@ -218,14 +218,14 @@ func TestDiskNodeDetectsBitRot(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrCorrupt) {
+	if _, err := n.Get(t.Context(), id); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("Get of bit-rotted shard = %v, want ErrCorrupt", err)
 	}
 	// A corrupt shard is still deletable and replaceable.
-	if err := n.Put(context.Background(), id, []byte("healed")); err != nil {
+	if err := n.Put(t.Context(), id, []byte("healed")); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := n.Get(context.Background(), id); err != nil || string(got) != "healed" {
+	if got, err := n.Get(t.Context(), id); err != nil || string(got) != "healed" {
 		t.Errorf("after heal: %q, %v", got, err)
 	}
 }
@@ -233,7 +233,7 @@ func TestDiskNodeDetectsBitRot(t *testing.T) {
 func TestDiskNodeDetectsTruncationAndGrowth(t *testing.T) {
 	n := newDiskNode(t)
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(context.Background(), id, bytes.Repeat([]byte{7}, 100)); err != nil {
+	if err := n.Put(t.Context(), id, bytes.Repeat([]byte{7}, 100)); err != nil {
 		t.Fatal(err)
 	}
 	path := shardFileOf(t, n, id)
@@ -251,7 +251,7 @@ func TestDiskNodeDetectsTruncationAndGrowth(t *testing.T) {
 		if err := os.WriteFile(path, mutated, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrCorrupt) {
+		if _, err := n.Get(t.Context(), id); !errors.Is(err, ErrCorrupt) {
 			t.Errorf("%s: Get = %v, want ErrCorrupt", name, err)
 		}
 	}
@@ -263,10 +263,10 @@ func TestDiskNodeDetectsWrongKey(t *testing.T) {
 	n := newDiskNode(t)
 	a := ShardID{Object: "o", Row: 0}
 	b := ShardID{Object: "o", Row: 1}
-	if err := n.Put(context.Background(), a, []byte("A")); err != nil {
+	if err := n.Put(t.Context(), a, []byte("A")); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Put(context.Background(), b, []byte("B")); err != nil {
+	if err := n.Put(t.Context(), b, []byte("B")); err != nil {
 		t.Fatal(err)
 	}
 	rawB, err := os.ReadFile(shardFileOf(t, n, b))
@@ -276,7 +276,7 @@ func TestDiskNodeDetectsWrongKey(t *testing.T) {
 	if err := os.WriteFile(shardFileOf(t, n, a), rawB, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(context.Background(), a); !errors.Is(err, ErrCorrupt) {
+	if _, err := n.Get(t.Context(), a); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("Get of transplanted shard = %v, want ErrCorrupt", err)
 	}
 }
@@ -288,7 +288,7 @@ func TestDiskNodeRecoveryDiscardsTempFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := ShardID{Object: "o", Row: 0}
-	if err := n.Put(context.Background(), id, []byte("committed")); err != nil {
+	if err := n.Put(t.Context(), id, []byte("committed")); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a crash mid-write: a temp file next to the shard.
@@ -304,7 +304,7 @@ func TestDiskNodeRecoveryDiscardsTempFiles(t *testing.T) {
 	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
 		t.Error("recovery left the temp file behind")
 	}
-	if got, err := n2.Get(context.Background(), id); err != nil || string(got) != "committed" {
+	if got, err := n2.Get(t.Context(), id); err != nil || string(got) != "committed" {
 		t.Errorf("committed shard damaged by recovery: %q, %v", got, err)
 	}
 	if n2.Len() != 1 {
@@ -315,7 +315,7 @@ func TestDiskNodeRecoveryDiscardsTempFiles(t *testing.T) {
 func TestDiskNodeWipe(t *testing.T) {
 	n := newDiskNode(t)
 	for row := 0; row < 5; row++ {
-		if err := n.Put(context.Background(), ShardID{Object: "o", Row: row}, []byte{byte(row)}); err != nil {
+		if err := n.Put(t.Context(), ShardID{Object: "o", Row: row}, []byte{byte(row)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -325,11 +325,11 @@ func TestDiskNodeWipe(t *testing.T) {
 	if n.Len() != 0 {
 		t.Errorf("Len after wipe = %d", n.Len())
 	}
-	if _, err := n.Get(context.Background(), ShardID{Object: "o", Row: 0}); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(t.Context(), ShardID{Object: "o", Row: 0}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after wipe = %v, want ErrNotFound", err)
 	}
 	// The node keeps working after a wipe (device replacement).
-	if err := n.Put(context.Background(), ShardID{Object: "o", Row: 0}, []byte("new life")); err != nil {
+	if err := n.Put(t.Context(), ShardID{Object: "o", Row: 0}, []byte("new life")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -338,7 +338,7 @@ func TestDiskNodeFansOutDirectories(t *testing.T) {
 	n := newDiskNode(t)
 	const shards = 200
 	for row := 0; row < shards; row++ {
-		if err := n.Put(context.Background(), ShardID{Object: "fan", Row: row}, []byte{1}); err != nil {
+		if err := n.Put(t.Context(), ShardID{Object: "fan", Row: row}, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -397,7 +397,7 @@ func TestDiskClusterRestart(t *testing.T) {
 		t.Fatalf("Size = %d", c.Size())
 	}
 	id := ShardID{Object: "o", Row: 0}
-	if err := c.Put(context.Background(), 2, id, []byte("persists")); err != nil {
+	if err := c.Put(t.Context(), 2, id, []byte("persists")); err != nil {
 		t.Fatal(err)
 	}
 	// A second cluster over the same base dir sees the shard.
@@ -405,7 +405,7 @@ func TestDiskClusterRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c2.Get(context.Background(), 2, id)
+	got, err := c2.Get(t.Context(), 2, id)
 	if err != nil || string(got) != "persists" {
 		t.Errorf("reopened cluster Get = %q, %v", got, err)
 	}
@@ -413,7 +413,7 @@ func TestDiskClusterRestart(t *testing.T) {
 	if err := c2.EnsureSize(6); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Put(context.Background(), 5, id, []byte("grown")); err != nil {
+	if err := c2.Put(t.Context(), 5, id, []byte("grown")); err != nil {
 		t.Fatal(err)
 	}
 }

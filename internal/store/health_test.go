@@ -19,7 +19,7 @@ func TestBreakerTripHalfOpenReset(t *testing.T) {
 	}
 	// Three failed probes trip the breaker.
 	for i := 0; i < 3; i++ {
-		if c.Available(context.Background(), 1) {
+		if c.Available(t.Context(), 1) {
 			t.Fatal("failed node reported available")
 		}
 	}
@@ -37,7 +37,7 @@ func TestBreakerTripHalfOpenReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if c.Available(context.Background(), 1) {
+		if c.Available(t.Context(), 1) {
 			t.Fatal("open breaker let a probe through")
 		}
 	}
@@ -49,7 +49,7 @@ func TestBreakerTripHalfOpenReset(t *testing.T) {
 	// After the cooldown a single half-open probe goes through; the node
 	// is healed, so the breaker resets to closed.
 	now = now.Add(2 * time.Hour)
-	if !c.Available(context.Background(), 1) {
+	if !c.Available(t.Context(), 1) {
 		t.Fatal("half-open probe against healed node reported down")
 	}
 	h, _ = c.NodeHealth(1)
@@ -73,10 +73,10 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	if err := c.Fail(0); err != nil {
 		t.Fatal(err)
 	}
-	c.Available(context.Background(), 0) // trips
+	c.Available(t.Context(), 0) // trips
 	now = now.Add(2 * time.Hour)
 	// Half-open probe fails: breaker re-opens with a fresh cooldown.
-	if c.Available(context.Background(), 0) {
+	if c.Available(t.Context(), 0) {
 		t.Fatal("failed node reported available")
 	}
 	h, _ := c.NodeHealth(0)
@@ -85,7 +85,7 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 	// Still inside the fresh cooldown: skipped locally.
 	now = now.Add(30 * time.Minute)
-	c.Available(context.Background(), 0)
+	c.Available(t.Context(), 0)
 	h, _ = c.NodeHealth(0)
 	if h.BreakerSkips == 0 {
 		t.Error("probe inside fresh cooldown was not skipped")
@@ -101,7 +101,7 @@ func TestBreakerOpsObserved(t *testing.T) {
 	id := ShardID{Object: "o", Row: 0}
 	// Failed operations (not just probes) count toward the trip.
 	for i := 0; i < 2; i++ {
-		if _, err := c.Get(context.Background(), 0, id); !errors.Is(err, ErrNodeDown) {
+		if _, err := c.Get(t.Context(), 0, id); !errors.Is(err, ErrNodeDown) {
 			t.Fatalf("Get = %v, want ErrNodeDown", err)
 		}
 	}
@@ -113,7 +113,7 @@ func TestBreakerOpsObserved(t *testing.T) {
 	if err := c.Heal(0); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put(context.Background(), 0, id, []byte{1}); err != nil {
+	if err := c.Put(t.Context(), 0, id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	h, _ = c.NodeHealth(0)
@@ -126,7 +126,7 @@ func TestHealthAuthoritativeAnswersAreHealthy(t *testing.T) {
 	c := NewMemCluster(1)
 	c.SetHealthConfig(HealthConfig{TripAfter: 1})
 	// ErrNotFound is the node answering, not failing: never trips.
-	if _, err := c.Get(context.Background(), 0, ShardID{Object: "absent"}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(t.Context(), 0, ShardID{Object: "absent"}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get = %v, want ErrNotFound", err)
 	}
 	h, _ := c.NodeHealth(0)
@@ -134,7 +134,7 @@ func TestHealthAuthoritativeAnswersAreHealthy(t *testing.T) {
 		t.Fatalf("health after ErrNotFound = %+v, want closed success", h)
 	}
 	// Context cancellation is ignored entirely.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	cancel()
 	c.Get(ctx, 0, ShardID{Object: "absent"})
 	h2, _ := c.NodeHealth(0)
@@ -155,7 +155,7 @@ func TestHealthBatchCountsOncePerNode(t *testing.T) {
 			ShardRef{Node: 0, ID: ShardID{Object: "o", Row: row}},
 			ShardRef{Node: 1, ID: ShardID{Object: "o", Row: row}})
 	}
-	c.GetBatch(context.Background(), refs)
+	c.GetBatch(t.Context(), refs)
 	h, _ := c.NodeHealth(1)
 	// Four dead shards in one batch count as one failure, so a single
 	// batch cannot trip a breaker with TripAfter > 1.
@@ -176,7 +176,7 @@ func TestClusterSetFailedAllOrNothing(t *testing.T) {
 		t.Errorf("error %q does not name the offending node", err)
 	}
 	for _, i := range []int{0, 2} {
-		if !c.Available(context.Background(), i) {
+		if !c.Available(t.Context(), i) {
 			t.Errorf("node %d was failed despite the rejected Fail call", i)
 		}
 	}
@@ -186,7 +186,7 @@ func TestClusterSetFailedAllOrNothing(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "x") || !strings.Contains(err.Error(), "y") {
 		t.Errorf("error %v does not name every offending node", err)
 	}
-	if !c2.Available(context.Background(), 1) {
+	if !c2.Available(t.Context(), 1) {
 		t.Error("injectable node was failed despite the rejected Fail call")
 	}
 }

@@ -66,14 +66,14 @@ func TestRetryPolicyDo(t *testing.T) {
 
 	// Transient failures are retried up to the budget.
 	calls := 0
-	err := p.Do(context.Background(), func() error { calls++; return down })
+	err := p.Do(t.Context(), func() error { calls++; return down })
 	if !errors.Is(err, ErrNodeDown) || calls != 3 {
 		t.Errorf("Do = %v after %d calls, want ErrNodeDown after 3", err, calls)
 	}
 
 	// Success stops the loop.
 	calls = 0
-	err = p.Do(context.Background(), func() error {
+	err = p.Do(t.Context(), func() error {
 		calls++
 		if calls < 2 {
 			return down
@@ -87,13 +87,13 @@ func TestRetryPolicyDo(t *testing.T) {
 	// Permanent errors are not retried.
 	calls = 0
 	notFound := shardErr("get", ShardID{}, "n0", ErrNotFound)
-	err = p.Do(context.Background(), func() error { calls++; return notFound })
+	err = p.Do(t.Context(), func() error { calls++; return notFound })
 	if !errors.Is(err, ErrNotFound) || calls != 1 {
 		t.Errorf("Do = %v after %d calls, want ErrNotFound after 1", err, calls)
 	}
 
 	// A cancelled context stops the backoff sleep.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	cancel()
 	slow := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour}
 	calls = 0
@@ -125,19 +125,19 @@ func (n *flakyNode) Get(ctx context.Context, id ShardID) ([]byte, error) {
 func TestClusterRetryPolicyGet(t *testing.T) {
 	mem := NewMemNode("flaky")
 	id := ShardID{Object: "o", Row: 0}
-	if err := mem.Put(context.Background(), id, []byte{9}); err != nil {
+	if err := mem.Put(t.Context(), id, []byte{9}); err != nil {
 		t.Fatal(err)
 	}
 	n := &flakyNode{MemNode: mem, remaining: 2}
 	c := NewCluster([]Node{n})
 
 	// Without a policy the first failure is final.
-	if _, err := c.Get(context.Background(), 0, id); !errors.Is(err, ErrNodeDown) {
+	if _, err := c.Get(t.Context(), 0, id); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Get without retry = %v, want ErrNodeDown", err)
 	}
 
 	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
-	got, err := c.Get(context.Background(), 0, id)
+	got, err := c.Get(t.Context(), 0, id)
 	if err != nil {
 		t.Fatalf("Get with retry: %v", err)
 	}
@@ -171,7 +171,7 @@ func TestClusterRetryPolicyGetBatch(t *testing.T) {
 	mem := NewMemNode("flaky")
 	ids := []ShardID{{Object: "o", Row: 0}, {Object: "o", Row: 1}}
 	for i, id := range ids {
-		if err := mem.Put(context.Background(), id, []byte{byte(i)}); err != nil {
+		if err := mem.Put(t.Context(), id, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -180,7 +180,7 @@ func TestClusterRetryPolicyGetBatch(t *testing.T) {
 	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 2})
 
 	refs := []ShardRef{{Node: 0, ID: ids[0]}, {Node: 0, ID: ids[1]}}
-	results := c.GetBatch(context.Background(), refs)
+	results := c.GetBatch(t.Context(), refs)
 	for i, res := range results {
 		if res.Err != nil {
 			t.Errorf("shard %d after retry: %v", i, res.Err)

@@ -28,23 +28,23 @@ func TestNodeStatsAdd(t *testing.T) {
 func TestMemNodePutGetDelete(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 1}
-	if err := n.Put(context.Background(), id, []byte{1, 2, 3}); err != nil {
+	if err := n.Put(t.Context(), id, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Get(context.Background(), id)
+	got, err := n.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, []byte{1, 2, 3}) {
 		t.Errorf("Get = %v, want [1 2 3]", got)
 	}
-	if err := n.Delete(context.Background(), id); err != nil {
+	if err := n.Delete(t.Context(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(t.Context(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after delete: err = %v, want ErrNotFound", err)
 	}
-	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNotFound) {
+	if err := n.Delete(t.Context(), id); !errors.Is(err, ErrNotFound) {
 		t.Errorf("double Delete: err = %v, want ErrNotFound", err)
 	}
 }
@@ -53,11 +53,11 @@ func TestMemNodeCopiesAtBoundaries(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 0}
 	data := []byte{9, 9}
-	if err := n.Put(context.Background(), id, data); err != nil {
+	if err := n.Put(t.Context(), id, data); err != nil {
 		t.Fatal(err)
 	}
 	data[0] = 0 // caller mutation must not affect stored copy
-	got, err := n.Get(context.Background(), id)
+	got, err := n.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestMemNodeCopiesAtBoundaries(t *testing.T) {
 		t.Error("Put did not copy its input")
 	}
 	got[1] = 0 // reader mutation must not affect stored copy
-	again, err := n.Get(context.Background(), id)
+	again, err := n.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,25 +77,25 @@ func TestMemNodeCopiesAtBoundaries(t *testing.T) {
 func TestMemNodeFailureInjection(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 0}
-	if err := n.Put(context.Background(), id, []byte{1}); err != nil {
+	if err := n.Put(t.Context(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	n.SetFailed(true)
-	if n.Available(context.Background()) {
+	if n.Available(t.Context()) {
 		t.Error("failed node reports Available")
 	}
-	if _, err := n.Get(context.Background(), id); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Get(t.Context(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Get on failed node: err = %v, want ErrNodeDown", err)
 	}
-	if err := n.Put(context.Background(), id, []byte{2}); !errors.Is(err, ErrNodeDown) {
+	if err := n.Put(t.Context(), id, []byte{2}); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Put on failed node: err = %v, want ErrNodeDown", err)
 	}
-	if err := n.Delete(context.Background(), id); !errors.Is(err, ErrNodeDown) {
+	if err := n.Delete(t.Context(), id); !errors.Is(err, ErrNodeDown) {
 		t.Errorf("Delete on failed node: err = %v, want ErrNodeDown", err)
 	}
 	// Crash-stop keeps data: healing restores access.
 	n.SetFailed(false)
-	got, err := n.Get(context.Background(), id)
+	got, err := n.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,20 +107,20 @@ func TestMemNodeFailureInjection(t *testing.T) {
 func TestMemNodeStatsCountExactIO(t *testing.T) {
 	n := NewMemNode("n0")
 	id := ShardID{Object: "obj", Row: 0}
-	if err := n.Put(context.Background(), id, []byte{1, 2, 3, 4}); err != nil {
+	if err := n.Put(t.Context(), id, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := n.Get(context.Background(), id); err != nil {
+		if _, err := n.Get(t.Context(), id); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Unsuccessful reads are not I/O reads in the paper's model.
-	if _, err := n.Get(context.Background(), ShardID{Object: "missing", Row: 0}); err == nil {
+	if _, err := n.Get(t.Context(), ShardID{Object: "missing", Row: 0}); err == nil {
 		t.Fatal("expected miss")
 	}
 	n.SetFailed(true)
-	_, _ = n.Get(context.Background(), id)
+	_, _ = n.Get(t.Context(), id)
 	n.SetFailed(false)
 
 	got := n.Stats()

@@ -27,12 +27,12 @@ func TestRemoteBatchRoundTrip(t *testing.T) {
 	mem, client := startServer(t)
 	ids := testIDs("arch/v1", 0, 1, 2, 3)
 	data := [][]byte{{1}, {2, 2}, {3, 3, 3}, {}}
-	for i, err := range client.PutBatch(context.Background(), ids, data) {
+	for i, err := range client.PutBatch(t.Context(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
-	for i, res := range client.GetBatch(context.Background(), ids) {
+	for i, res := range client.GetBatch(t.Context(), ids) {
 		if res.Err != nil {
 			t.Fatalf("get %d: %v", i, res.Err)
 		}
@@ -62,8 +62,8 @@ func TestRemoteBatchIsOneRPC(t *testing.T) {
 	for i := range data {
 		data[i] = []byte{byte(i)}
 	}
-	client.PutBatch(context.Background(), ids, data)
-	client.GetBatch(context.Background(), ids)
+	client.PutBatch(t.Context(), ids, data)
+	client.GetBatch(t.Context(), ids)
 	stats := srv.RequestStats()
 	if stats.PutBatches != 1 || stats.PutBatchShards != 10 {
 		t.Errorf("put batches = %d/%d shards, want 1/10", stats.PutBatches, stats.PutBatchShards)
@@ -79,10 +79,10 @@ func TestRemoteBatchIsOneRPC(t *testing.T) {
 func TestRemoteBatchPerShardStatuses(t *testing.T) {
 	mem, client := startServer(t)
 	present := store.ShardID{Object: "o", Row: 0}
-	if err := mem.Put(context.Background(), present, []byte{7}); err != nil {
+	if err := mem.Put(t.Context(), present, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
-	results := client.GetBatch(context.Background(), testIDs("o", 0, 1, 2))
+	results := client.GetBatch(t.Context(), testIDs("o", 0, 1, 2))
 	if results[0].Err != nil || !bytes.Equal(results[0].Data, []byte{7}) {
 		t.Errorf("present shard = %v/%v", results[0].Data, results[0].Err)
 	}
@@ -111,13 +111,13 @@ func TestRemoteBatchCorruptStatusPropagates(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 
 	ids := testIDs("o", 0, 1, 2)
-	for i, err := range client.PutBatch(context.Background(), ids, [][]byte{{1}, {2}, {3}}) {
+	for i, err := range client.PutBatch(t.Context(), ids, [][]byte{{1}, {2}, {3}}) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
 	corruptOneShardFile(t, disk)
-	results := client.GetBatch(context.Background(), ids)
+	results := client.GetBatch(t.Context(), ids)
 	var corrupt, healthy int
 	for i, res := range results {
 		switch {
@@ -164,7 +164,7 @@ func TestRemoteBatchMidBatchCrash(t *testing.T) {
 	flaky := &flakyNode{MemNode: store.NewMemNode("flaky")}
 	ids := testIDs("o", 0, 1, 2, 3)
 	for i, id := range ids {
-		if err := flaky.MemNode.Put(context.Background(), id, []byte{byte(i)}); err != nil {
+		if err := flaky.MemNode.Put(t.Context(), id, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -178,7 +178,7 @@ func TestRemoteBatchMidBatchCrash(t *testing.T) {
 	client := NewRemoteNode("remote", addr.String(), WithTimeout(2*time.Second))
 	t.Cleanup(func() { _ = client.Close() })
 
-	results := client.GetBatch(context.Background(), ids)
+	results := client.GetBatch(t.Context(), ids)
 	for i := 0; i < 2; i++ {
 		if results[i].Err != nil || !bytes.Equal(results[i].Data, []byte{byte(i)}) {
 			t.Errorf("pre-crash shard %d = %v/%v", i, results[i].Data, results[i].Err)
@@ -203,12 +203,12 @@ func TestRemoteBatchServerGone(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for i, res := range client.GetBatch(context.Background(), testIDs("o", 0, 1)) {
+	for i, res := range client.GetBatch(t.Context(), testIDs("o", 0, 1)) {
 		if !errors.Is(res.Err, store.ErrNodeDown) {
 			t.Errorf("shard %d err = %v, want ErrNodeDown", i, res.Err)
 		}
 	}
-	for i, err := range client.PutBatch(context.Background(), testIDs("o", 0, 1), [][]byte{{1}, {2}}) {
+	for i, err := range client.PutBatch(t.Context(), testIDs("o", 0, 1), [][]byte{{1}, {2}}) {
 		if !errors.Is(err, store.ErrNodeDown) {
 			t.Errorf("put %d err = %v, want ErrNodeDown", i, err)
 		}
@@ -263,12 +263,12 @@ func TestRemoteBatchFallsBackOnLegacyServer(t *testing.T) {
 
 	ids := testIDs("o", 0, 1, 2)
 	data := [][]byte{{1}, {2}, {3}}
-	for i, err := range client.PutBatch(context.Background(), ids, data) {
+	for i, err := range client.PutBatch(t.Context(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d against legacy server: %v", i, err)
 		}
 	}
-	for i, res := range client.GetBatch(context.Background(), ids) {
+	for i, res := range client.GetBatch(t.Context(), ids) {
 		if res.Err != nil || !bytes.Equal(res.Data, data[i]) {
 			t.Errorf("legacy get %d = %v/%v, want %v", i, res.Data, res.Err, data[i])
 		}
@@ -303,7 +303,7 @@ func TestRemotePoolMultiplexesConnections(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(context.Background(), id, []byte{1}); err != nil {
+	if err := node.MemNode.Put(t.Context(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -349,7 +349,7 @@ func TestAvailableFastUnderLoad(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(context.Background(), id, []byte{1}); err != nil {
+	if err := node.MemNode.Put(t.Context(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -373,7 +373,7 @@ func TestAvailableFastUnderLoad(t *testing.T) {
 	<-node.entered
 	<-node.entered // both pooled connections now held by blocked transfers
 	start := time.Now()
-	up := client.Available(context.Background())
+	up := client.Available(t.Context())
 	elapsed := time.Since(start)
 	close(node.release)
 	wg.Wait()
@@ -398,7 +398,7 @@ func TestRemoteBatchAfterServerRestart(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 	ids := testIDs("o", 0, 1)
 	data := [][]byte{{1}, {2}}
-	for _, err := range client.PutBatch(context.Background(), ids, data) {
+	for _, err := range client.PutBatch(t.Context(), ids, data) {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -411,7 +411,7 @@ func TestRemoteBatchAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv2.Close() })
-	for i, res := range client.GetBatch(context.Background(), ids) {
+	for i, res := range client.GetBatch(t.Context(), ids) {
 		if res.Err != nil || !bytes.Equal(res.Data, data[i]) {
 			t.Errorf("post-restart shard %d = %v/%v", i, res.Data, res.Err)
 		}
@@ -470,13 +470,13 @@ func TestRemoteBatchSplitResponseCountsReadsOnce(t *testing.T) {
 	for i := range data {
 		data[i] = bytes.Repeat([]byte{byte(i + 1)}, 100) // each shard > chunk
 	}
-	for i, err := range client.PutBatch(context.Background(), ids, data) {
+	for i, err := range client.PutBatch(t.Context(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
 	mem.ResetStats()
-	for i, res := range client.GetBatch(context.Background(), ids) {
+	for i, res := range client.GetBatch(t.Context(), ids) {
 		if res.Err != nil {
 			t.Fatalf("get %d: %v", i, res.Err)
 		}
@@ -500,7 +500,7 @@ func TestCloseRetiresInFlightConnections(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(context.Background(), id, []byte{1}); err != nil {
+	if err := node.MemNode.Put(t.Context(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -534,7 +534,7 @@ func TestCloseRetiresInFlightConnections(t *testing.T) {
 	if leaked != 0 {
 		t.Errorf("%d connections still held after Close", leaked)
 	}
-	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) {
+	if _, err := client.Get(t.Context(), id); !errors.Is(err, store.ErrNodeDown) {
 		t.Errorf("Get after Close = %v, want ErrNodeDown", err)
 	}
 }
@@ -638,7 +638,7 @@ func TestServerRejectsMalformedBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		status, _ := srv.handle(context.Background(), body)
+		status, _ := srv.handle(t.Context(), body)
 		if status != statusError {
 			t.Errorf("malformed batch payload %v: status = %d, want statusError", payload, status)
 		}

@@ -32,11 +32,11 @@ func startBlockingServer(t *testing.T, opts ...ClientOption) (*RemoteNode, *bloc
 func TestCancelInterruptsInFlightRPC(t *testing.T) {
 	client, node := startBlockingServer(t, WithTimeout(30*time.Second))
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(context.Background(), id, []byte{1}); err != nil {
+	if err := node.MemNode.Put(t.Context(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	done := make(chan error, 1)
 	go func() {
 		_, err := client.Get(ctx, id)
@@ -72,7 +72,7 @@ func TestCancelInterruptsInFlightRPC(t *testing.T) {
 	// operations once the node responds again.
 	close(node.release)
 	for i := 0; i < 3; i++ {
-		if _, err := client.Get(context.Background(), id); err != nil {
+		if _, err := client.Get(t.Context(), id); err != nil {
 			t.Fatalf("Get %d after cancellation: %v (pool poisoned?)", i, err)
 		}
 	}
@@ -83,12 +83,12 @@ func TestContextDeadlineOverridesOperationTimeout(t *testing.T) {
 	// be the one that bounds the wire.
 	client, node := startBlockingServer(t, WithTimeout(30*time.Second))
 	id := store.ShardID{Object: "o", Row: 1}
-	if err := node.MemNode.Put(context.Background(), id, []byte{2}); err != nil {
+	if err := node.MemNode.Put(t.Context(), id, []byte{2}); err != nil {
 		t.Fatal(err)
 	}
 	defer close(node.release)
 
-	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	ctx, cancel := context.WithTimeout(t.Context(), 200*time.Millisecond)
 	defer cancel()
 	start := time.Now()
 	_, err := client.Get(ctx, id)
@@ -133,7 +133,7 @@ func TestCloseFailsBatchAsNodeDown(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 	ids := testIDs("o", 0, 1, 2)
 	for i, id := range ids {
-		if err := node.MemNode.Put(context.Background(), id, []byte{byte(i)}); err != nil {
+		if err := node.MemNode.Put(t.Context(), id, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -178,7 +178,7 @@ func TestShardErrorProvenanceAcrossWire(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 
 	id := store.ShardID{Object: "missing", Row: 3}
-	_, err = client.Get(context.Background(), id)
+	_, err = client.Get(t.Context(), id)
 	if !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("Get of missing shard = %v, want ErrNotFound", err)
 	}
@@ -191,7 +191,7 @@ func TestShardErrorProvenanceAcrossWire(t *testing.T) {
 	}
 
 	// Same for per-shard entries of a batch.
-	for i, res := range client.GetBatch(context.Background(), testIDs("missing", 4, 5)) {
+	for i, res := range client.GetBatch(t.Context(), testIDs("missing", 4, 5)) {
 		var bse *store.ShardError
 		if !errors.As(res.Err, &bse) || bse.Node != "server-side-name" {
 			t.Errorf("batch entry %d: ShardError = %v, want server-side provenance", i, res.Err)

@@ -13,12 +13,12 @@ func TestRemoteDeleteBatchRoundTrip(t *testing.T) {
 	mem, client := startServer(t)
 	ids := testIDs("arch/v2-delta", 0, 1, 2, 3)
 	data := [][]byte{{1}, {2}, {3}, {4}}
-	for i, err := range client.PutBatch(context.Background(), ids, data) {
+	for i, err := range client.PutBatch(t.Context(), ids, data) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
-	for i, err := range client.DeleteBatch(context.Background(), ids) {
+	for i, err := range client.DeleteBatch(t.Context(), ids) {
 		if err != nil {
 			t.Fatalf("delete %d: %v", i, err)
 		}
@@ -47,8 +47,8 @@ func TestRemoteDeleteBatchIsOneRPC(t *testing.T) {
 	for i := range data {
 		data[i] = []byte{byte(i)}
 	}
-	client.PutBatch(context.Background(), ids, data)
-	client.DeleteBatch(context.Background(), ids)
+	client.PutBatch(t.Context(), ids, data)
+	client.DeleteBatch(t.Context(), ids)
 	stats := srv.RequestStats()
 	if stats.DeleteBatches != 1 || stats.DeleteBatchShards != 6 {
 		t.Errorf("delete batches = %d/%d shards, want 1/6", stats.DeleteBatches, stats.DeleteBatchShards)
@@ -61,10 +61,10 @@ func TestRemoteDeleteBatchIsOneRPC(t *testing.T) {
 func TestRemoteDeleteBatchPerShardStatuses(t *testing.T) {
 	mem, client := startServer(t)
 	present := store.ShardID{Object: "o", Row: 0}
-	if err := mem.Put(context.Background(), present, []byte{7}); err != nil {
+	if err := mem.Put(t.Context(), present, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
-	errs := client.DeleteBatch(context.Background(), testIDs("o", 0, 1, 2))
+	errs := client.DeleteBatch(t.Context(), testIDs("o", 0, 1, 2))
 	if errs[0] != nil {
 		t.Errorf("present shard: %v", errs[0])
 	}
@@ -87,11 +87,11 @@ func TestRemoteDeleteBatchFallsBackOnLegacyServer(t *testing.T) {
 
 	ids := testIDs("o", 0, 1)
 	for _, id := range ids {
-		if err := mem.Put(context.Background(), id, []byte{1}); err != nil {
+		if err := mem.Put(t.Context(), id, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for i, err := range client.DeleteBatch(context.Background(), ids) {
+	for i, err := range client.DeleteBatch(t.Context(), ids) {
 		if err != nil {
 			t.Fatalf("delete %d against legacy server: %v", i, err)
 		}
@@ -114,7 +114,7 @@ func TestRemoteDeleteBatchServerGone(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 	_ = srv.Close()
 
-	for i, err := range client.DeleteBatch(context.Background(), testIDs("o", 0, 1)) {
+	for i, err := range client.DeleteBatch(t.Context(), testIDs("o", 0, 1)) {
 		if !errors.Is(err, store.ErrNodeDown) {
 			t.Errorf("delete %d against dead server = %v, want ErrNodeDown", i, err)
 		}
@@ -123,7 +123,7 @@ func TestRemoteDeleteBatchServerGone(t *testing.T) {
 
 func TestRemoteDeleteBatchCancelled(t *testing.T) {
 	_, client := startServer(t)
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	cancel()
 	for i, err := range client.DeleteBatch(ctx, testIDs("o", 0, 1)) {
 		if !errors.Is(err, context.Canceled) {

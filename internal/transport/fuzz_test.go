@@ -2,7 +2,6 @@ package transport
 
 import (
 	"bytes"
-	"context"
 	"testing"
 
 	"github.com/secarchive/sec/internal/store"
@@ -83,7 +82,7 @@ func FuzzServerHandle(f *testing.F) {
 	f.Add([]byte{opResetStats, 0, 0, 0, 0, 0, 0})
 	srv := NewServer(store.NewMemNode("fuzz"))
 	f.Fuzz(func(t *testing.T, body []byte) {
-		status, payload := srv.handle(context.Background(), body)
+		status, payload := srv.handle(t.Context(), body)
 		if _, _, err := decodeResponse(encodeResponse(status, payload)); err != nil {
 			t.Fatalf("response does not decode: %v", err)
 		}

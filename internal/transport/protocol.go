@@ -64,6 +64,9 @@ const maxFrame = 64 << 20
 // errFrameTooLarge is returned when a peer announces an oversized frame.
 var errFrameTooLarge = errors.New("transport: frame exceeds size limit")
 
+// errEmptyResponse reports a response frame with no status byte.
+var errEmptyResponse = errors.New("transport: empty response body")
+
 type request struct {
 	op      byte
 	id      store.ShardID
@@ -108,7 +111,7 @@ func encodeResponse(status byte, payload []byte) []byte {
 
 func decodeResponse(body []byte) (status byte, payload []byte, err error) {
 	if len(body) < 1 {
-		return 0, nil, errors.New("transport: empty response body")
+		return 0, nil, errEmptyResponse
 	}
 	return body[0], body[1:], nil
 }

@@ -54,7 +54,7 @@ func TestRetryPolicySurvivesDyingConnections(t *testing.T) {
 	// connection dies and the single stale-conn re-dial does not apply.
 	bare := NewRemoteNode("bare", addr.String(), WithTimeout(2*time.Second))
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := bare.Put(context.Background(), id, []byte{1}); !errors.Is(err, store.ErrNodeDown) {
+	if err := bare.Put(t.Context(), id, []byte{1}); !errors.Is(err, store.ErrNodeDown) {
 		t.Fatalf("Put without retry = %v, want ErrNodeDown", err)
 	}
 	_ = bare.Close()
@@ -69,10 +69,10 @@ func TestRetryPolicySurvivesDyingConnections(t *testing.T) {
 		WithTimeout(2*time.Second),
 		WithRetryPolicy(store.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: 0.5}))
 	t.Cleanup(func() { _ = client.Close() })
-	if err := client.Put(context.Background(), id, []byte{42}); err != nil {
+	if err := client.Put(t.Context(), id, []byte{42}); err != nil {
 		t.Fatalf("Put with retry: %v", err)
 	}
-	got, err := client.Get(context.Background(), id)
+	got, err := client.Get(t.Context(), id)
 	if err != nil || !bytes.Equal(got, []byte{42}) {
 		t.Fatalf("Get with retry = %v, %v", got, err)
 	}
@@ -94,7 +94,7 @@ func TestRetryPolicyDoesNotRetryServerAnswers(t *testing.T) {
 	// ErrNotFound is an authoritative server answer: exactly one request
 	// must reach the node, not four.
 	start := time.Now()
-	if _, err := client.Get(context.Background(), store.ShardID{Object: "absent"}); !errors.Is(err, store.ErrNotFound) {
+	if _, err := client.Get(t.Context(), store.ShardID{Object: "absent"}); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("Get = %v, want ErrNotFound", err)
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
@@ -117,7 +117,7 @@ func TestRetryPolicyStopsOnCancel(t *testing.T) {
 		WithTimeout(200*time.Millisecond),
 		WithRetryPolicy(store.RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond}))
 	t.Cleanup(func() { _ = client.Close() })
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(t.Context(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
 	_, err = client.Get(ctx, store.ShardID{Object: "o"})
@@ -136,7 +136,7 @@ func TestChaosScheduleDrivesRemoteNode(t *testing.T) {
 	// ErrNodeDown, and the node recovers once the window closes.
 	mem := store.NewMemNode("backing")
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := mem.Put(context.Background(), id, []byte{7}); err != nil {
+	if err := mem.Put(t.Context(), id, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
 	chaos := faults.NewChaosNode(mem, faults.Schedule{
@@ -151,16 +151,16 @@ func TestChaosScheduleDrivesRemoteNode(t *testing.T) {
 	client := NewRemoteNode("r", addr.String(), WithTimeout(2*time.Second))
 	t.Cleanup(func() { _ = client.Close() })
 
-	if client.Available(context.Background()) { // tick 0
+	if client.Available(t.Context()) { // tick 0
 		t.Error("remote available inside partition window")
 	}
-	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) { // tick 1
+	if _, err := client.Get(t.Context(), id); !errors.Is(err, store.ErrNodeDown) { // tick 1
 		t.Errorf("Get inside partition = %v, want ErrNodeDown", err)
 	}
-	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) { // tick 2
+	if _, err := client.Get(t.Context(), id); !errors.Is(err, store.ErrNodeDown) { // tick 2
 		t.Errorf("Get inside partition = %v, want ErrNodeDown", err)
 	}
-	got, err := client.Get(context.Background(), id) // tick 3: window closed
+	got, err := client.Get(t.Context(), id) // tick 3: window closed
 	if err != nil || !bytes.Equal(got, []byte{7}) {
 		t.Errorf("Get after partition = %v, %v; want recovery", got, err)
 	}
@@ -186,10 +186,10 @@ func TestConnChaosWithRetries(t *testing.T) {
 
 	for i := 0; i < 10; i++ {
 		id := store.ShardID{Object: "o", Row: i}
-		if err := client.Put(context.Background(), id, []byte{byte(i)}); err != nil {
+		if err := client.Put(t.Context(), id, []byte{byte(i)}); err != nil {
 			t.Fatalf("Put %d under conn chaos: %v", i, err)
 		}
-		got, err := client.Get(context.Background(), id)
+		got, err := client.Get(t.Context(), id)
 		if err != nil || !bytes.Equal(got, []byte{byte(i)}) {
 			t.Fatalf("Get %d under conn chaos = %v, %v", i, got, err)
 		}

@@ -98,9 +98,16 @@ func WithConnWrapper(wrap func(net.Conn) net.Conn) ServerOption {
 	return func(s *Server) { s.wrapConn = wrap }
 }
 
+// errServerClosed rejects Listen on a server already shut down.
+var errServerClosed = errors.New("transport: server already closed")
+
 // NewServer returns a server exposing the given node.
 func NewServer(node store.Node, opts ...ServerOption) *Server {
 	s := &Server{node: node, conns: make(map[net.Conn]struct{})}
+	// The ops context is the server-owned root for in-flight request
+	// handling; it is detached from any caller on purpose (the server's
+	// lifetime, not a request's, bounds it) and cancelled by Close.
+	//lint:allow ctxcheck server-owned lifecycle root, cancelled by Close; no caller context exists here
 	s.ops, s.cancelOps = context.WithCancel(context.Background())
 	for _, opt := range opts {
 		opt(s)
@@ -119,7 +126,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if s.closed {
 		s.mu.Unlock()
 		_ = ln.Close()
-		return nil, errors.New("transport: server already closed")
+		return nil, errServerClosed
 	}
 	s.listener = ln
 	s.mu.Unlock()

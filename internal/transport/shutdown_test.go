@@ -16,7 +16,7 @@ func TestShutdownDrainsInFlightRequest(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(context.Background(), id, []byte{7}); err != nil {
+	if err := node.MemNode.Put(t.Context(), id, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -58,7 +58,7 @@ func TestShutdownDrainsInFlightRequest(t *testing.T) {
 		t.Fatal("Shutdown did not complete after the request drained")
 	}
 	// The listener is gone: new operations fail.
-	if _, err := client.Get(context.Background(), id); err == nil {
+	if _, err := client.Get(t.Context(), id); err == nil {
 		t.Error("Get after Shutdown succeeded, want connection failure")
 	}
 }
@@ -71,7 +71,7 @@ func TestShutdownDeadlineForceCloses(t *testing.T) {
 	}
 	defer close(node.release)
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := node.MemNode.Put(context.Background(), id, []byte{7}); err != nil {
+	if err := node.MemNode.Put(t.Context(), id, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(node)
@@ -89,7 +89,7 @@ func TestShutdownDeadlineForceCloses(t *testing.T) {
 	}()
 	<-node.entered // request is parked and will never finish on its own
 
-	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	ctx, cancel := context.WithTimeout(t.Context(), 150*time.Millisecond)
 	defer cancel()
 	start := time.Now()
 	err = srv.Shutdown(ctx)

@@ -33,20 +33,20 @@ func TestRemotePutGetDelete(t *testing.T) {
 	_, client := startServer(t)
 	id := store.ShardID{Object: "arch/v1", Row: 3}
 	payload := []byte{1, 2, 3, 4, 5}
-	if err := client.Put(context.Background(), id, payload); err != nil {
+	if err := client.Put(t.Context(), id, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(context.Background(), id)
+	got, err := client.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Errorf("Get = %v, want %v", got, payload)
 	}
-	if err := client.Delete(context.Background(), id); err != nil {
+	if err := client.Delete(t.Context(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNotFound) {
+	if _, err := client.Get(t.Context(), id); !errors.Is(err, store.ErrNotFound) {
 		t.Errorf("Get after delete: err = %v, want ErrNotFound", err)
 	}
 }
@@ -58,10 +58,10 @@ func TestRemoteLargePayload(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	if err := client.Put(context.Background(), id, payload); err != nil {
+	if err := client.Put(t.Context(), id, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(context.Background(), id)
+	got, err := client.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +73,10 @@ func TestRemoteLargePayload(t *testing.T) {
 func TestRemoteEmptyPayloadAndObject(t *testing.T) {
 	_, client := startServer(t)
 	id := store.ShardID{Object: "", Row: -2}
-	if err := client.Put(context.Background(), id, nil); err != nil {
+	if err := client.Put(t.Context(), id, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Get(context.Background(), id)
+	got, err := client.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,14 +89,14 @@ func TestRemoteNodeDownPropagates(t *testing.T) {
 	mem, client := startServer(t)
 	mem.SetFailed(true)
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(context.Background(), id, []byte{1}); !errors.Is(err, store.ErrNodeDown) {
+	if err := client.Put(t.Context(), id, []byte{1}); !errors.Is(err, store.ErrNodeDown) {
 		t.Errorf("Put on failed node: err = %v, want ErrNodeDown", err)
 	}
-	if client.Available(context.Background()) {
+	if client.Available(t.Context()) {
 		t.Error("Available = true for failed backing node")
 	}
 	mem.SetFailed(false)
-	if !client.Available(context.Background()) {
+	if !client.Available(t.Context()) {
 		t.Error("Available = false after heal")
 	}
 }
@@ -104,10 +104,10 @@ func TestRemoteNodeDownPropagates(t *testing.T) {
 func TestRemoteStats(t *testing.T) {
 	mem, client := startServer(t)
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(context.Background(), id, []byte{1, 2}); err != nil {
+	if err := client.Put(t.Context(), id, []byte{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Get(context.Background(), id); err != nil {
+	if _, err := client.Get(t.Context(), id); err != nil {
 		t.Fatal(err)
 	}
 	got := client.Stats()
@@ -158,11 +158,11 @@ func TestRemoteCorruptShardPropagates(t *testing.T) {
 	t.Cleanup(func() { _ = client.Close() })
 
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(context.Background(), id, []byte("soon to rot")); err != nil {
+	if err := client.Put(t.Context(), id, []byte("soon to rot")); err != nil {
 		t.Fatal(err)
 	}
 	corruptOneShardFile(t, disk)
-	_, err = client.Get(context.Background(), id)
+	_, err = client.Get(t.Context(), id)
 	if !errors.Is(err, store.ErrCorrupt) {
 		t.Errorf("Get = %v, want ErrCorrupt", err)
 	}
@@ -184,10 +184,10 @@ func TestStatusCorruptCodec(t *testing.T) {
 func TestRemoteStatsErr(t *testing.T) {
 	mem, client := startServer(t)
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(context.Background(), id, []byte{1, 2, 3}); err != nil {
+	if err := client.Put(t.Context(), id, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := client.StatsErr(context.Background())
+	stats, err := client.StatsErr(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestRemoteStatsErrReportsUnreachable(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.StatsErr(context.Background()); err == nil {
+	if _, err := client.StatsErr(t.Context()); err == nil {
 		t.Error("StatsErr against dead server: want error")
 	}
 	// The legacy interface shim still degrades to zeros.
@@ -231,13 +231,13 @@ func TestClusterTotalStatsCheckedFlagsDeadRemote(t *testing.T) {
 	t.Cleanup(func() { _ = clientB.Close() })
 
 	c := store.NewCluster([]store.Node{clientA, clientB})
-	if err := c.Put(context.Background(), 0, store.ShardID{Object: "o", Row: 0}, []byte{9, 9}); err != nil {
+	if err := c.Put(t.Context(), 0, store.ShardID{Object: "o", Row: 0}, []byte{9, 9}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srvB.Close(); err != nil {
 		t.Fatal(err)
 	}
-	total, unreachable := c.TotalStatsChecked(context.Background())
+	total, unreachable := c.TotalStatsChecked(t.Context())
 	if total.Writes != 1 || total.BytesWritten != 2 {
 		t.Errorf("total = %+v", total)
 	}
@@ -286,16 +286,16 @@ func TestRemoteReconnectsAfterServerRestart(t *testing.T) {
 	client := NewRemoteNode("remote", addr.String(), WithTimeout(time.Second))
 	t.Cleanup(func() { _ = client.Close() })
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := client.Put(context.Background(), id, []byte{1}); err != nil {
+	if err := client.Put(t.Context(), id, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Get(context.Background(), id); !errors.Is(err, store.ErrNodeDown) {
+	if _, err := client.Get(t.Context(), id); !errors.Is(err, store.ErrNodeDown) {
 		t.Fatalf("Get with server down: err = %v, want ErrNodeDown", err)
 	}
-	if client.Available(context.Background()) {
+	if client.Available(t.Context()) {
 		t.Error("Available = true with server down")
 	}
 	// Restart on the same address; the client must re-dial transparently.
@@ -304,7 +304,7 @@ func TestRemoteReconnectsAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv2.Close() })
-	got, err := client.Get(context.Background(), id)
+	got, err := client.Get(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,17 +318,17 @@ func TestRemoteNodeInCluster(t *testing.T) {
 	_, client := startServer(t)
 	c := store.NewCluster([]store.Node{client})
 	id := store.ShardID{Object: "o", Row: 0}
-	if err := c.Put(context.Background(), 0, id, []byte{42}); err != nil {
+	if err := c.Put(t.Context(), 0, id, []byte{42}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get(context.Background(), 0, id)
+	got, err := c.Get(t.Context(), 0, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, []byte{42}) {
 		t.Error("cluster round trip through remote node failed")
 	}
-	if !c.Available(context.Background(), 0) {
+	if !c.Available(t.Context(), 0) {
 		t.Error("remote node not available through cluster")
 	}
 }

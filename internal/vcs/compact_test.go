@@ -2,7 +2,6 @@ package vcs
 
 import (
 	"bytes"
-	"context"
 	"fmt"
 	"testing"
 
@@ -25,7 +24,7 @@ func TestRepositoryCompactBoundsHotFiles(t *testing.T) {
 	}
 	// One hot file revised every commit, one cold file written once.
 	hot := bytes.Repeat([]byte{1}, 12)
-	if _, err := repo.CommitContext(context.Background(), "r1", map[string][]byte{
+	if _, err := repo.CommitContext(t.Context(), "r1", map[string][]byte{
 		"hot.txt":  hot,
 		"cold.txt": bytes.Repeat([]byte{9}, 12),
 	}); err != nil {
@@ -37,11 +36,11 @@ func TestRepositoryCompactBoundsHotFiles(t *testing.T) {
 		hot = append([]byte(nil), hot...)
 		hot[(r%3)*4] ^= 0xA5
 		hots = append(hots, append([]byte(nil), hot...))
-		if _, err := repo.CommitContext(context.Background(), fmt.Sprintf("r%d", r), map[string][]byte{"hot.txt": hot}); err != nil {
+		if _, err := repo.CommitContext(t.Context(), fmt.Sprintf("r%d", r), map[string][]byte{"hot.txt": hot}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	changed, err := repo.CompactContext(context.Background(), 3)
+	changed, err := repo.CompactContext(t.Context(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +51,7 @@ func TestRepositoryCompactBoundsHotFiles(t *testing.T) {
 		t.Error("cold file reported as compacted")
 	}
 	for r := 1; r <= 8; r++ {
-		content, _, err := repo.CheckoutFileContext(context.Background(), "hot.txt", r)
+		content, _, err := repo.CheckoutFileContext(t.Context(), "hot.txt", r)
 		if err != nil {
 			t.Fatalf("checkout hot.txt@%d: %v", r, err)
 		}
@@ -97,7 +96,7 @@ func TestRepositoryLifecycleConfigFlowsToArchives(t *testing.T) {
 			content[(r%3)*4] ^= 0x5A
 		}
 		want = append(want, append([]byte(nil), content...))
-		if _, err := repo.CommitContext(context.Background(), "r", map[string][]byte{"f": content}); err != nil {
+		if _, err := repo.CommitContext(t.Context(), "r", map[string][]byte{"f": content}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -111,7 +110,7 @@ func TestRepositoryLifecycleConfigFlowsToArchives(t *testing.T) {
 	// Auto-compactions reclaimed their superseded codewords as they went:
 	// nothing is left queued for a manual reclaim, so node storage does
 	// not leak commit over commit.
-	if deleted, orphans, err := arch.ReclaimSupersededContext(context.Background()); err != nil || deleted != 0 || orphans != 0 {
+	if deleted, orphans, err := arch.ReclaimSupersededContext(t.Context()); err != nil || deleted != 0 || orphans != 0 {
 		t.Errorf("superseded queue not drained by commits: deleted=%d orphans=%d err=%v", deleted, orphans, err)
 	}
 	for v := 1; v <= arch.Versions(); v++ {
@@ -124,7 +123,7 @@ func TestRepositoryLifecycleConfigFlowsToArchives(t *testing.T) {
 		}
 	}
 	for r := 1; r <= 7; r++ {
-		content, _, err := repo.CheckoutFileContext(context.Background(), "f", r)
+		content, _, err := repo.CheckoutFileContext(t.Context(), "f", r)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,30 @@
+package vcs
+
+import (
+	"context"
+
+	"github.com/secarchive/sec/internal/core"
+)
+
+// Context-free compatibility wrappers. The ctx-first methods
+// (CommitContext, CheckoutContext, ...) are the primary API; the wrappers
+// below run the same operations under context.Background() — no deadline
+// beyond the transport's per-operation timeout, no cancellation — and
+// exist for callers written against the original API. This file is the
+// sanctioned home for context.Background() in this package (secvet's
+// ctxcheck exempts legacy.go files; see DESIGN.md section 11).
+
+// CheckoutFile is CheckoutFileContext without cancellation.
+func (r *Repository) CheckoutFile(path string, revision int) ([]byte, core.RetrievalStats, error) {
+	return r.CheckoutFileContext(context.Background(), path, revision)
+}
+
+// Checkout is CheckoutContext without cancellation.
+func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalStats, error) {
+	return r.CheckoutContext(context.Background(), revision)
+}
+
+// Commit is CommitContext without cancellation.
+func (r *Repository) Commit(message string, contents map[string][]byte) (Commit, error) {
+	return r.CommitContext(context.Background(), message, contents)
+}

@@ -26,6 +26,10 @@ import (
 var (
 	// ErrNoSuchRevision is returned for revisions outside 1..Head().
 	ErrNoSuchRevision = errors.New("vcs: no such revision")
+	// ErrNilCluster rejects repository construction without a cluster.
+	ErrNilCluster = errors.New("vcs: nil cluster")
+	// ErrEmptyCommit is returned for a commit with no changed files.
+	ErrEmptyCommit = errors.New("vcs: empty commit")
 	// ErrNoSuchFile is returned when a path is not tracked (at the
 	// requested revision).
 	ErrNoSuchFile = errors.New("vcs: no such file")
@@ -96,7 +100,7 @@ type Repository struct {
 // cluster.
 func NewRepository(cfg Config, cluster *store.Cluster) (*Repository, error) {
 	if cluster == nil {
-		return nil, errors.New("vcs: nil cluster")
+		return nil, ErrNilCluster
 	}
 	// Validate the template configuration early with a throwaway archive.
 	if _, err := core.New(archiveConfig(cfg, "vcs-probe"), cluster); err != nil {
@@ -152,10 +156,11 @@ func (r *Repository) Files() []string {
 // (dropping it would desynchronize the log from the archives) and the
 // maintenance error is returned alongside the commit.
 func (r *Repository) CommitContext(ctx context.Context, message string, contents map[string][]byte) (Commit, error) {
+	//lint:allow lockheld repository lock serializes commits against checkouts by documented design (OPERATIONS.md)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(contents) == 0 {
-		return Commit{}, errors.New("vcs: empty commit")
+		return Commit{}, ErrEmptyCommit
 	}
 	revision := len(r.commits) + 1
 	paths := make([]string, 0, len(contents))
@@ -255,6 +260,7 @@ func (r *Repository) Log() []Commit {
 // with the read accounting of the underlying archive retrieval, under the
 // context's deadline and cancellation.
 func (r *Repository) CheckoutFileContext(ctx context.Context, path string, revision int) ([]byte, core.RetrievalStats, error) {
+	//lint:allow lockheld repository read lock keeps the commit list stable across the retrieval
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if revision < 1 || revision > len(r.commits) {
@@ -271,15 +277,11 @@ func (r *Repository) CheckoutFileContext(ctx context.Context, path string, revis
 	return state.archive.RetrieveContext(ctx, version)
 }
 
-// CheckoutFile is CheckoutFileContext without cancellation.
-func (r *Repository) CheckoutFile(path string, revision int) ([]byte, core.RetrievalStats, error) {
-	return r.CheckoutFileContext(context.Background(), path, revision)
-}
-
 // CheckoutContext returns the full repository state at the given revision
 // and the aggregate read accounting, under the context's deadline and
 // cancellation (a multi-file checkout stops at the first cancelled file).
 func (r *Repository) CheckoutContext(ctx context.Context, revision int) (map[string][]byte, core.RetrievalStats, error) {
+	//lint:allow lockheld repository read lock keeps the commit list stable across the retrieval
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var total core.RetrievalStats
@@ -302,16 +304,6 @@ func (r *Repository) CheckoutContext(ctx context.Context, revision int) (map[str
 	return out, total, nil
 }
 
-// Checkout is CheckoutContext without cancellation.
-func (r *Repository) Checkout(revision int) (map[string][]byte, core.RetrievalStats, error) {
-	return r.CheckoutContext(context.Background(), revision)
-}
-
-// Commit is CommitContext without cancellation.
-func (r *Repository) Commit(message string, contents map[string][]byte) (Commit, error) {
-	return r.CommitContext(context.Background(), message, contents)
-}
-
 // CompactContext bounds every file archive's chain depth to maxLen (see
 // core.Archive.CompactToContext), under the context's deadline and
 // cancellation. It returns the per-path compaction reports for the files
@@ -320,6 +312,7 @@ func (r *Repository) Commit(message string, contents map[string][]byte) (Commit,
 // across archives; a failure stops the pass at that file, with earlier
 // files' compactions already applied (they are independently consistent).
 func (r *Repository) CompactContext(ctx context.Context, maxLen int) (map[string]core.CompactionInfo, error) {
+	//lint:allow lockheld repository read lock keeps the commit list stable across per-file compaction
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	changed := make(map[string]core.CompactionInfo)

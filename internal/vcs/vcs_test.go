@@ -302,7 +302,7 @@ func TestFailedCommitLeavesNoPhantomPaths(t *testing.T) {
 	}
 
 	// A pre-cancelled context aborts before any file and tracks nothing.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	cancel()
 	if _, err := repo.CommitContext(ctx, "r1", map[string][]byte{"a": good}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled commit = %v, want context.Canceled", err)

@@ -1,0 +1,97 @@
+package sec_test
+
+// Toolchain reproducibility checks, run by the CI docs job alongside the
+// documentation gates: every external tool CI installs is pinned through
+// tools/versions.env, so a CI run (or a local reproduction of one) never
+// depends on what "latest" happened to mean that day.
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// versionVarRE matches one pinned-version assignment in versions.env.
+var versionVarRE = regexp.MustCompile(`^([A-Z][A-Z0-9_]*)=(\S+)$`)
+
+// loadVersions parses tools/versions.env into a map.
+func loadVersions(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile("tools/versions.env")
+	if err != nil {
+		t.Fatalf("reading tools/versions.env: %v", err)
+	}
+	versions := make(map[string]string)
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := versionVarRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("tools/versions.env:%d: unparseable line %q", i+1, line)
+			continue
+		}
+		versions[m[1]] = m[2]
+	}
+	if len(versions) == 0 {
+		t.Fatal("tools/versions.env defines no versions")
+	}
+	return versions
+}
+
+// TestToolVersionsPinned enforces the pinning contract end to end: the
+// env file holds exact versions (never a floating tag), and every
+// `go install` in the CI workflow references a variable defined there.
+func TestToolVersionsPinned(t *testing.T) {
+	versions := loadVersions(t)
+	for name, v := range versions {
+		switch strings.ToLower(v) {
+		case "latest", "master", "main", "head":
+			t.Errorf("%s pins floating version %q; use an exact release", name, v)
+		}
+	}
+
+	workflow, err := os.ReadFile(".github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("reading ci.yml: %v", err)
+	}
+	text := string(workflow)
+	if strings.Contains(text, "@latest") || strings.Contains(text, "@master") {
+		t.Error("ci.yml installs a tool at a floating version; pin it in tools/versions.env")
+	}
+
+	installRE := regexp.MustCompile(`go install\s+"?([^\s"@]+)@([^\s"]+)"?`)
+	for _, m := range installRE.FindAllStringSubmatch(text, -1) {
+		path, version := m[1], m[2]
+		ref := regexp.MustCompile(`^\$\{([A-Z][A-Z0-9_]*)\}$`).FindStringSubmatch(version)
+		if ref == nil {
+			t.Errorf("ci.yml installs %s@%s inline; reference a ${VAR} from tools/versions.env instead", path, version)
+			continue
+		}
+		if _, ok := versions[ref[1]]; !ok {
+			t.Errorf("ci.yml references %s for %s, but tools/versions.env does not define it", ref[1], path)
+		}
+	}
+
+	// Every job that installs a tool must load the env file first.
+	jobRE := regexp.MustCompile(`^  ([a-z][a-z0-9_-]*):\s*$`)
+	jobs := make(map[string][]string)
+	current := ""
+	for _, line := range strings.Split(text, "\n") {
+		if m := jobRE.FindStringSubmatch(line); m != nil {
+			current = m[1]
+			continue
+		}
+		if current != "" {
+			jobs[current] = append(jobs[current], line)
+		}
+	}
+	for name, lines := range jobs {
+		body := strings.Join(lines, "\n")
+		if strings.Contains(body, "go install") && !strings.Contains(body, "tools/versions.env") {
+			t.Errorf("job %q runs go install without loading tools/versions.env", name)
+		}
+	}
+}
