@@ -34,6 +34,14 @@ type benchResult struct {
 	// RPCs (batch or per-shard) and liveness pings one retrieval costs.
 	GetRPCsPerOp  float64 `json:"get_rpcs_per_op,omitempty"`
 	PingRPCsPerOp float64 `json:"ping_rpcs_per_op,omitempty"`
+	// Wire accounting per operation: shard payload bytes moved between the
+	// archive client and the nodes (framing excluded). These are the
+	// bytes-on-wire the compression benchmark compares.
+	WireBytesReadPerOp    float64 `json:"wire_bytes_read_per_op,omitempty"`
+	WireBytesWrittenPerOp float64 `json:"wire_bytes_written_per_op,omitempty"`
+	// CacheHitsPerOp counts decoded-version read cache hits per operation,
+	// for the cached hot-read benchmark.
+	CacheHitsPerOp float64 `json:"cache_hits_per_op,omitempty"`
 	// Latency distribution and hedging accounting, for the fault-drill
 	// benchmark (-faults): tail latency is the whole point there, so the
 	// mean alone would hide the straggler.
@@ -51,7 +59,7 @@ type benchReport struct {
 }
 
 // benchIDs lists the available benchmarks in run order.
-func benchIDs() []string { return []string{"encode", "retrieve", "tcp-retrieve"} }
+func benchIDs() []string { return []string{"encode", "retrieve", "tcp-retrieve", "compress"} }
 
 func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
 
@@ -85,6 +93,8 @@ func runBenchmarks(ctx context.Context, id, outDir string, out io.Writer) error 
 			report, err = benchRetrieve(ctx)
 		case "tcp-retrieve":
 			report, err = benchTCPRetrieve(ctx)
+		case "compress":
+			report, err = benchCompress(ctx)
 		}
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", b, err)
@@ -300,6 +310,7 @@ func benchTCPRetrieve(ctx context.Context) (benchReport, error) {
 		if err != nil {
 			return report, err
 		}
+		cluster.ResetWireStats()
 		getsBefore, pingsBefore := sumRPCs()
 		iters, nsPerOp, err := measure(ctx, func() error {
 			_, _, err := archive.RetrieveContext(ctx, 5)
@@ -312,14 +323,178 @@ func benchTCPRetrieve(ctx context.Context) (benchReport, error) {
 		// The warmup iteration is inside the RPC window too.
 		ops := float64(iters + 1)
 		report.Results = append(report.Results, benchResult{
-			Name:          mode.name,
-			Iterations:    iters,
-			NsPerOp:       nsPerOp,
-			BytesPerOp:    int64(size),
-			MBPerS:        mbPerS(int64(size), nsPerOp),
-			GetRPCsPerOp:  float64(getsAfter-getsBefore) / ops,
-			PingRPCsPerOp: float64(pingsAfter-pingsBefore) / ops,
+			Name:               mode.name,
+			Iterations:         iters,
+			NsPerOp:            nsPerOp,
+			BytesPerOp:         int64(size),
+			MBPerS:             mbPerS(int64(size), nsPerOp),
+			GetRPCsPerOp:       float64(getsAfter-getsBefore) / ops,
+			PingRPCsPerOp:      float64(pingsAfter-pingsBefore) / ops,
+			WireBytesReadPerOp: float64(cluster.WireStats().BytesRead) / ops,
 		})
 	}
+	return report, nil
+}
+
+// benchCompress measures the wire effect of compressed differential
+// erasure codes (DESIGN.md section 12) on a low-redundancy archive, where
+// the saving is largest: a (12,10) code stores a gamma=1 delta as 12
+// plain shards but only gamma+n-k = 3 compressed ones. Commit and
+// retrieve wire bytes are reported for both modes on in-memory nodes,
+// then a cached hot read is measured over loopback TCP, where a warm
+// decoded-version cache must serve repeats with zero get RPCs.
+func benchCompress(ctx context.Context) (benchReport, error) {
+	report := benchReport{
+		Bench:       "compress",
+		Description: "(12,10) BasicSEC gamma=1 chain: plain vs compressed delta wire bytes, and TCP hot reads from the decoded-version cache",
+		GoMaxProcs:  gomaxprocs(),
+	}
+	const (
+		blockSize = 4096
+		deltas    = 8
+	)
+	for _, mode := range []struct {
+		name     string
+		compress bool
+	}{
+		{"plain", false},
+		{"compressed", true},
+	} {
+		cluster := sec.NewMemCluster(12)
+		archive, err := sec.NewArchive(sec.ArchiveConfig{
+			Name:           "bench-compress",
+			Scheme:         sec.BasicSEC,
+			Code:           sec.NonSystematicCauchy,
+			N:              12,
+			K:              10,
+			BlockSize:      blockSize,
+			CompressDeltas: mode.compress,
+		}, cluster)
+		if err != nil {
+			return report, err
+		}
+		rng := rand.New(rand.NewSource(3))
+		v := make([]byte, archive.Capacity())
+		rng.Read(v)
+		if _, err := archive.CommitContext(ctx, v); err != nil {
+			return report, err
+		}
+		// Commit wire bytes: the anchor full version is identical in both
+		// modes, so the window covers only the delta commits.
+		cluster.ResetWireStats()
+		start := time.Now()
+		for j := 0; j < deltas; j++ {
+			next, err := sec.SparseEdit(rng, v, blockSize, 1)
+			if err != nil {
+				return report, err
+			}
+			if _, err := archive.CommitContext(ctx, next); err != nil {
+				return report, err
+			}
+			v = next
+		}
+		elapsed := time.Since(start)
+		report.Results = append(report.Results, benchResult{
+			Name:                  "commit-" + mode.name,
+			Iterations:            deltas,
+			NsPerOp:               float64(elapsed.Nanoseconds()) / deltas,
+			WireBytesWrittenPerOp: float64(cluster.WireStats().BytesWritten) / deltas,
+		})
+		cluster.ResetWireStats()
+		iters, nsPerOp, err := measure(ctx, func() error {
+			_, _, err := archive.RetrieveContext(ctx, archive.Versions())
+			return err
+		})
+		if err != nil {
+			return report, err
+		}
+		report.Results = append(report.Results, benchResult{
+			Name:               "retrieve-" + mode.name,
+			Iterations:         iters,
+			NsPerOp:            nsPerOp,
+			BytesPerOp:         int64(len(v)),
+			MBPerS:             mbPerS(int64(len(v)), nsPerOp),
+			WireBytesReadPerOp: float64(cluster.WireStats().BytesRead) / float64(iters+1),
+		})
+	}
+	// Cached hot reads over TCP: one warming retrieval fills the
+	// decoded-version cache; every repeat must be served from memory.
+	const n = 12
+	nodes := make([]sec.StorageNode, n)
+	servers := make([]*transport.Server, n)
+	for i := 0; i < n; i++ {
+		srv := transport.NewServer(store.NewMemNode(fmt.Sprintf("mem-%d", i)))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return report, err
+		}
+		defer srv.Close()
+		client := transport.NewRemoteNode(fmt.Sprintf("remote-%d", i), addr.String())
+		defer client.Close()
+		nodes[i] = client
+		servers[i] = srv
+	}
+	cluster := sec.NewCluster(nodes)
+	archive, err := sec.NewArchive(sec.ArchiveConfig{
+		Name:           "bench-compress-tcp",
+		Scheme:         sec.BasicSEC,
+		Code:           sec.NonSystematicCauchy,
+		N:              n,
+		K:              10,
+		BlockSize:      blockSize,
+		CompressDeltas: true,
+		ReadCacheBytes: 8 << 20,
+	}, cluster)
+	if err != nil {
+		return report, err
+	}
+	rng := rand.New(rand.NewSource(4))
+	v := make([]byte, archive.Capacity())
+	rng.Read(v)
+	if _, err := archive.CommitContext(ctx, v); err != nil {
+		return report, err
+	}
+	for j := 0; j < 4; j++ {
+		next, err := sec.SparseEdit(rng, v, blockSize, 1)
+		if err != nil {
+			return report, err
+		}
+		if _, err := archive.CommitContext(ctx, next); err != nil {
+			return report, err
+		}
+		v = next
+	}
+	tip := archive.Versions()
+	if _, _, err := archive.RetrieveContext(ctx, tip); err != nil {
+		return report, err
+	}
+	sumGets := func() (gets uint64) {
+		for _, srv := range servers {
+			st := srv.RequestStats()
+			gets += st.Gets + st.GetBatches
+		}
+		return gets
+	}
+	getsBefore := sumGets()
+	hitsBefore, _ := archive.ReadCacheStats()
+	iters, nsPerOp, err := measure(ctx, func() error {
+		_, _, err := archive.RetrieveContext(ctx, tip)
+		return err
+	})
+	if err != nil {
+		return report, err
+	}
+	getsAfter := sumGets()
+	hitsAfter, _ := archive.ReadCacheStats()
+	ops := float64(iters + 1)
+	report.Results = append(report.Results, benchResult{
+		Name:           "tcp-hot-read-cached",
+		Iterations:     iters,
+		NsPerOp:        nsPerOp,
+		BytesPerOp:     int64(len(v)),
+		MBPerS:         mbPerS(int64(len(v)), nsPerOp),
+		GetRPCsPerOp:   float64(getsAfter-getsBefore) / ops,
+		CacheHitsPerOp: float64(hitsAfter.Hits-hitsBefore.Hits) / ops,
+	})
 	return report, nil
 }

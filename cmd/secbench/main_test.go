@@ -92,6 +92,60 @@ func TestBenchEncodeWritesJSON(t *testing.T) {
 	}
 }
 
+// TestBenchCompressReducesWireBytes is the CI gate for compressed
+// differential erasure codes: the compressed chain must move strictly
+// fewer bytes on the wire than the plain one (at least 2x fewer on the
+// delta commits, where the (gamma+n-k, gamma) code shrinks every
+// codeword), and a warm decoded-version cache must serve hot TCP reads
+// with zero get RPCs.
+func TestBenchCompressReducesWireBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP benchmark in -short mode")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(t.Context(), []string{"-bench", "compress", "-benchout", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_compress.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	results := make(map[string]benchResult, len(report.Results))
+	for _, r := range report.Results {
+		results[r.Name] = r
+	}
+	for _, name := range []string{"commit-plain", "commit-compressed", "retrieve-plain", "retrieve-compressed", "tcp-hot-read-cached"} {
+		if _, ok := results[name]; !ok {
+			t.Fatalf("report lacks %q: %+v", name, report.Results)
+		}
+	}
+	commitPlain := results["commit-plain"].WireBytesWrittenPerOp
+	commitComp := results["commit-compressed"].WireBytesWrittenPerOp
+	if commitComp >= commitPlain {
+		t.Errorf("compressed commits wrote %.0f wire bytes/op, plain %.0f: compression is not shrinking codewords",
+			commitComp, commitPlain)
+	}
+	if commitComp*2 > commitPlain {
+		t.Errorf("compressed commits wrote %.0f wire bytes/op vs plain %.0f: want at least a 2x reduction",
+			commitComp, commitPlain)
+	}
+	if readComp, readPlain := results["retrieve-compressed"].WireBytesReadPerOp, results["retrieve-plain"].WireBytesReadPerOp; readComp >= readPlain {
+		t.Errorf("compressed retrieval read %.0f wire bytes/op, plain %.0f", readComp, readPlain)
+	}
+	hot := results["tcp-hot-read-cached"]
+	if hot.GetRPCsPerOp != 0 {
+		t.Errorf("cached hot reads issued %.2f get RPCs/op, want 0", hot.GetRPCsPerOp)
+	}
+	if hot.CacheHitsPerOp < 1 {
+		t.Errorf("cached hot reads hit the cache %.2f times/op, want 1", hot.CacheHitsPerOp)
+	}
+}
+
 func TestBenchTCPRetrieveReportsBatchedRPCs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loopback TCP benchmark in -short mode")

@@ -8,7 +8,7 @@
 //
 //	seccli -nodes 127.0.0.1:7070,127.0.0.1:7071,... -manifest a.json init \
 //	       -scheme basic-sec -code non-systematic-cauchy -n 6 -k 3 -blocksize 1024 \
-//	       -max-chain 8 -checkpoint-every 16
+//	       -max-chain 8 -checkpoint-every 16 -compress -read-cache-bytes 1048576
 //	seccli -nodes ... -manifest a.json commit document.bin
 //	seccli -nodes ... -manifest a.json get -version 2 -out document.v2.bin
 //	seccli -nodes ... -manifest a.json info
@@ -127,14 +127,17 @@ func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []st
 	fs := flag.NewFlagSet("init", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		scheme     = fs.String("scheme", "basic-sec", "storage scheme")
-		code       = fs.String("code", "non-systematic-cauchy", "erasure code construction")
-		n          = fs.Int("n", 6, "shards per object")
-		k          = fs.Int("k", 3, "data blocks per object")
-		blockSize  = fs.Int("blocksize", 1024, "bytes per block")
-		name       = fs.String("name", "archive", "archive name (shard ID prefix)")
-		maxChain   = fs.Int("max-chain", 0, "auto-compact when a chain exceeds this many deltas (0 = never)")
-		checkpoint = fs.Int("checkpoint-every", 0, "store/retain a full codeword at least every N versions (0 = scheme default)")
+		scheme      = fs.String("scheme", "basic-sec", "storage scheme")
+		code        = fs.String("code", "non-systematic-cauchy", "erasure code construction")
+		n           = fs.Int("n", 6, "shards per object")
+		k           = fs.Int("k", 3, "data blocks per object")
+		blockSize   = fs.Int("blocksize", 1024, "bytes per block")
+		name        = fs.String("name", "archive", "archive name (shard ID prefix)")
+		maxChain    = fs.Int("max-chain", 0, "auto-compact when a chain exceeds this many deltas (0 = never)")
+		checkpoint  = fs.Int("checkpoint-every", 0, "store/retain a full codeword at least every N versions (0 = scheme default)")
+		compress    = fs.Bool("compress", false, "store sparse deltas compressed: gamma non-zero blocks under a (gamma+n-k, gamma) code")
+		compressMax = fs.Int("compress-gamma-max", 0, "largest gamma stored compressed (0 = k-1; needs -compress)")
+		readCache   = fs.Int("read-cache-bytes", 0, "decoded-version read cache budget in bytes (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -154,14 +157,17 @@ func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []st
 		return err
 	}
 	archive, err := sec.NewArchive(sec.ArchiveConfig{
-		Name:            *name,
-		Scheme:          parsedScheme,
-		Code:            parsedKind,
-		N:               *n,
-		K:               *k,
-		BlockSize:       *blockSize,
-		MaxChainLength:  *maxChain,
-		CheckpointEvery: *checkpoint,
+		Name:             *name,
+		Scheme:           parsedScheme,
+		Code:             parsedKind,
+		N:                *n,
+		K:                *k,
+		BlockSize:        *blockSize,
+		MaxChainLength:   *maxChain,
+		CheckpointEvery:  *checkpoint,
+		CompressDeltas:   *compress,
+		CompressGammaMax: *compressMax,
+		ReadCacheBytes:   *readCache,
 	}, cluster)
 	if err != nil {
 		return err
@@ -265,8 +271,15 @@ func cmdGet(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPa
 	} else if err := os.WriteFile(*outPath, content, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "retrieved version %d (%d bytes) with %d node reads (%d sparse, %d full objects)\n",
+	line := fmt.Sprintf("retrieved version %d (%d bytes) with %d node reads (%d sparse, %d full objects)",
 		l, len(content), stats.NodeReads, stats.SparseReads, stats.FullReads)
+	if stats.CompressedReads > 0 {
+		line += fmt.Sprintf(", %d compressed", stats.CompressedReads)
+	}
+	if stats.CacheHits > 0 {
+		line += fmt.Sprintf(", %d cache hits", stats.CacheHits)
+	}
+	fmt.Fprintln(out, line)
 	return nil
 }
 
@@ -276,8 +289,19 @@ func cmdInfo(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestP
 		return err
 	}
 	m := archive.Manifest()
-	fmt.Fprintf(out, "archive %q: scheme=%s code=%s (n,k)=(%d,%d) blocksize=%d versions=%d\n",
+	header := fmt.Sprintf("archive %q: scheme=%s code=%s (n,k)=(%d,%d) blocksize=%d versions=%d",
 		m.Name, m.Scheme, m.Code, m.N, m.K, m.BlockSize, len(m.Entries))
+	if m.CompressDeltas {
+		gmax := m.CompressGammaMax
+		if gmax == 0 {
+			gmax = m.K - 1
+		}
+		header += fmt.Sprintf(" compress=on(gamma<=%d)", gmax)
+	}
+	if cache, ok := archive.ReadCacheStats(); ok {
+		header += fmt.Sprintf(" read-cache=%dB", cache.Budget)
+	}
+	fmt.Fprintln(out, header)
 	// One pass over the chain graph prices every version; per-version
 	// ChainDepth/PlannedReads calls would redo it L times.
 	depths, planned, err := archive.ChainStats()
@@ -291,6 +315,9 @@ func cmdInfo(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestP
 		}
 		if e.Delta {
 			kind = fmt.Sprintf("delta gamma=%d", e.Gamma)
+			if e.Compressed {
+				kind = fmt.Sprintf("compressed delta gamma=%d", e.Gamma)
+			}
 			if e.Base != 0 && e.Base != e.Version-1 {
 				kind += fmt.Sprintf(" base=%d", e.Base)
 			}

@@ -121,6 +121,70 @@ func TestEndToEndCLI(t *testing.T) {
 	}
 }
 
+// TestCLICompressedArchive drives the compressed-delta + read-cache
+// configuration end to end: init with -compress and -read-cache-bytes,
+// commit a sparse chain, and read every version back through a fresh
+// process (manifest round-trip included).
+func TestCLICompressedArchive(t *testing.T) {
+	nodes, _ := startNodes(t, 6)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "archive.json")
+	var out bytes.Buffer
+	err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "init",
+		"-n", "6", "-k", "3", "-blocksize", "16",
+		"-compress", "-read-cache-bytes", "1048576"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := make([][]byte, 0, 4)
+	object := bytes.Repeat([]byte{'a'}, 48)
+	file := filepath.Join(dir, "v.bin")
+	for j := 0; j < 4; j++ {
+		object = append([]byte(nil), object...)
+		object[(j%3)*16] ^= 0x5A
+		versions = append(versions, object)
+		if err := os.WriteFile(file, object, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out.Reset()
+		if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "commit", file}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Info surfaces the compression policy and the compressed entries.
+	out.Reset()
+	if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info := out.String()
+	if !strings.Contains(info, "compress=on(gamma<=2)") || !strings.Contains(info, "read-cache=1048576B") {
+		t.Errorf("info output lacks compression/cache config: %s", info)
+	}
+	if !strings.Contains(info, "compressed delta gamma=1") {
+		t.Errorf("info output lacks compressed entries: %s", info)
+	}
+	// Every version reads back byte-identically; the delta versions report
+	// compressed object reads.
+	for v, want := range versions {
+		got := filepath.Join(dir, "out.bin")
+		out.Reset()
+		if err := run(t.Context(), []string{"-nodes", nodes, "-manifest", manifest, "get",
+			"-version", fmt.Sprint(v + 1), "-out", got}, &out); err != nil {
+			t.Fatalf("get v%d: %v", v+1, err)
+		}
+		content, err := os.ReadFile(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(content, want) {
+			t.Errorf("v%d differs through compressed CLI archive", v+1)
+		}
+		if v > 0 && !strings.Contains(out.String(), "compressed") {
+			t.Errorf("get v%d output lacks compressed accounting: %s", v+1, out.String())
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(t.Context(), []string{"info"}, &out); err == nil {
@@ -397,7 +461,7 @@ func TestCLIUsageListsAllFlagsAndSubcommands(t *testing.T) {
 	if err := run(t.Context(), []string{"-nodes", "127.0.0.1:1", "init", "-h"}, &out); err != nil {
 		t.Fatalf("init -h: %v", err)
 	}
-	for _, want := range []string{"-scheme", "-max-chain", "-checkpoint-every"} {
+	for _, want := range []string{"-scheme", "-max-chain", "-checkpoint-every", "-compress", "-compress-gamma-max", "-read-cache-bytes"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("init usage missing %q:\n%s", want, out.String())
 		}

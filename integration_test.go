@@ -425,6 +425,124 @@ func TestIntegrationDurableNodesSurviveRestartAndDamage(t *testing.T) {
 	}
 }
 
+// TestIntegrationCompressedChainAcrossClusterKinds commits a chain that
+// mixes compressed (gamma-sparse) and plain (dense) deltas on in-memory,
+// disk-backed, and TCP clusters, and verifies that every substrate
+// round-trips the mixed chain byte-identically, that metadata recovered
+// from the cluster itself preserves the compression markers, and that a
+// warm decoded-version cache serves hot re-reads without touching nodes.
+func TestIntegrationCompressedChainAcrossClusterKinds(t *testing.T) {
+	const (
+		n, k      = 6, 3
+		blockSize = 128
+	)
+	clusters := map[string]func(t *testing.T) *sec.Cluster{
+		"mem": func(t *testing.T) *sec.Cluster {
+			nodes := make([]sec.StorageNode, n)
+			for i := range nodes {
+				nodes[i] = sec.NewMemNode("mem")
+			}
+			return sec.NewCluster(nodes)
+		},
+		"disk": func(t *testing.T) *sec.Cluster {
+			base := t.TempDir()
+			nodes := make([]sec.StorageNode, n)
+			for i := range nodes {
+				node, err := sec.NewDiskNode("disk", filepath.Join(base, string(rune('a'+i))))
+				if err != nil {
+					t.Fatal(err)
+				}
+				nodes[i] = node
+			}
+			return sec.NewCluster(nodes)
+		},
+		"tcp": func(t *testing.T) *sec.Cluster {
+			cluster, _ := tcpCluster(t, n)
+			return cluster
+		},
+	}
+	for kind, mk := range clusters {
+		t.Run(kind, func(t *testing.T) {
+			cluster := mk(t)
+			archive, err := sec.NewArchive(sec.ArchiveConfig{
+				Name:           "mixed",
+				Scheme:         sec.BasicSEC,
+				Code:           sec.NonSystematicCauchy,
+				N:              n,
+				K:              k,
+				BlockSize:      blockSize,
+				CompressDeltas: true,
+				ReadCacheBytes: 1 << 20,
+			}, cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			v := make([]byte, archive.Capacity())
+			rng.Read(v)
+			// gammas[j] is the sparsity of the delta producing version j+2;
+			// gamma=k is a dense rewrite that must take the plain path.
+			gammas := []int{1, k, 2, 1}
+			versions := [][]byte{append([]byte(nil), v...)}
+			compressed := []bool{false}
+			if _, err := archive.Commit(v); err != nil {
+				t.Fatal(err)
+			}
+			for _, gamma := range gammas {
+				v, err = sec.SparseEdit(rng, v, blockSize, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				info, err := archive.Commit(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := gamma < k; info.Compressed != want {
+					t.Fatalf("v%d (gamma=%d): Compressed = %v, want %v", info.Version, gamma, info.Compressed, want)
+				}
+				versions = append(versions, append([]byte(nil), v...))
+				compressed = append(compressed, info.Compressed)
+			}
+			if err := archive.SaveToCluster(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The recovered handle must see the same mixed chain: the
+			// compression markers live in the manifest, not the client.
+			recovered, err := core.LoadFromCluster("mixed", cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, want := range versions {
+				got, stats, err := recovered.Retrieve(l + 1)
+				if err != nil {
+					t.Fatalf("recovered version %d: %v", l+1, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("recovered version %d mismatch", l+1)
+				}
+				if l > 0 && compressed[l] && stats.CompressedReads == 0 {
+					t.Errorf("version %d read no compressed codewords, want at least one", l+1)
+				}
+			}
+
+			// Hot re-read of the tip: the chain walk above filled the
+			// decoded-version cache, so this must cost zero node reads.
+			tip := len(versions)
+			got, stats, err := recovered.Retrieve(tip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, versions[tip-1]) {
+				t.Fatalf("cached tip mismatch")
+			}
+			if stats.NodeReads != 0 || stats.CacheHits != 1 {
+				t.Errorf("hot tip read stats = %+v, want a pure cache hit", stats)
+			}
+		})
+	}
+}
+
 func TestIntegrationRepositoryOverTCP(t *testing.T) {
 	cluster, _ := tcpCluster(t, 6)
 	repo, err := sec.NewRepository(sec.RepositoryConfig{

@@ -11,6 +11,7 @@ import (
 	"github.com/secarchive/sec/internal/delta"
 	"github.com/secarchive/sec/internal/erasure"
 	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/wide"
 )
 
 // planItem/planHeap implement the retrieval planner's priority queue:
@@ -66,6 +67,12 @@ type entry struct {
 	// Reversed SEC never deletes a checkpointed full when the chain tip
 	// moves on.
 	checkpoint bool
+	// compressed marks a delta stored in CDEC-compacted form: the
+	// codeword encodes only the gamma non-zero blocks with a
+	// (gamma+N-K, gamma) code, and support records which blocks those are
+	// (strictly increasing). Valid when hasDelta.
+	compressed bool
+	support    []int
 }
 
 // codec is the erasure-code surface the archive needs; both the GF(2^8)
@@ -104,12 +111,25 @@ type Archive struct {
 	// deletion is deferred (CompactKeepSupersededContext) or failed
 	// (orphans on unreachable nodes), drained by reclaimLocked.
 	superseded []gcObject
+
+	// ccMu guards ccache, the lazily built CDEC codecs keyed by gamma
+	// (k' = gamma, n' = gamma + N - K). Retrievals run concurrently under
+	// the archive read lock, so codec construction has its own mutex.
+	ccMu   sync.Mutex
+	ccache map[int]codec
+
+	// rcache, when non-nil, is the decoded-version read cache
+	// (Config.ReadCacheBytes); invalidated whenever the chain changes.
+	rcache *versionCache
 }
 
 // gcObject names one superseded codeword awaiting garbage collection.
 type gcObject struct {
 	id      string
 	version int
+	// code is the codec the object was written with (CDEC-compacted
+	// deltas have per-gamma shapes); nil means the archive's delta code.
+	code codec
 }
 
 // CommitInfo reports what a Commit stored.
@@ -123,6 +143,9 @@ type CommitInfo struct {
 	// retained) a full codeword as a chain checkpoint under the
 	// CheckpointEvery policy, beyond what the storage scheme required.
 	Checkpoint bool
+	// Compressed reports that the delta was stored in CDEC-compacted form
+	// (see Config.CompressDeltas).
+	Compressed bool
 	// Gamma is the block sparsity of the delta against the previous
 	// version (0 for the first version).
 	Gamma int
@@ -157,6 +180,9 @@ type ObjectRead struct {
 	Reads int
 	// Sparse reports whether a reduced sparse read was used.
 	Sparse bool
+	// Compressed reports that the object was a CDEC-compacted delta,
+	// decoded from gamma shard reads and expanded via its support.
+	Compressed bool
 	// Hedges is the number of speculative shard reads issued because a
 	// node batch outlived Config.HedgeDelay (0 unless hedging is on and
 	// a straggler was hedged). Successful hedged reads are already
@@ -172,9 +198,18 @@ type RetrievalStats struct {
 	// SparseReads and FullReads count objects by decode style.
 	SparseReads int
 	FullReads   int
+	// CompressedReads counts objects decoded from CDEC-compacted
+	// codewords (gamma reads each; see Config.CompressDeltas).
+	CompressedReads int
 	// Hedges totals the speculative reads issued against stragglers
 	// (see Config.HedgeDelay); 0 whenever hedging is disabled.
 	Hedges int
+	// CacheHits counts retrievals served wholly from memory - the
+	// decoded-version cache (Config.ReadCacheBytes) or the writer-side
+	// latest-version cache - with zero node reads. CacheBytes totals the
+	// object bytes those hits served.
+	CacheHits  int
+	CacheBytes int
 	// Objects details every object read, in read order.
 	Objects []ObjectRead
 }
@@ -185,9 +220,12 @@ func (s *RetrievalStats) add(o ObjectRead) {
 	if o.Reads == 0 {
 		return // zero delta: nothing was read
 	}
-	if o.Sparse {
+	switch {
+	case o.Compressed:
+		s.CompressedReads++
+	case o.Sparse:
 		s.SparseReads++
-	} else {
+	default:
 		s.FullReads++
 	}
 	s.Objects = append(s.Objects, o)
@@ -199,7 +237,10 @@ func (s *RetrievalStats) Merge(o RetrievalStats) {
 	s.NodeReads += o.NodeReads
 	s.SparseReads += o.SparseReads
 	s.FullReads += o.FullReads
+	s.CompressedReads += o.CompressedReads
 	s.Hedges += o.Hedges
+	s.CacheHits += o.CacheHits
+	s.CacheBytes += o.CacheBytes
 	s.Objects = append(s.Objects, o.Objects...)
 }
 
@@ -224,13 +265,93 @@ func New(cfg Config, cluster *store.Cluster) (*Archive, error) {
 	if err := cluster.EnsureSize(cfg.Placement.NodesRequired(1, cfg.N)); err != nil {
 		return nil, err
 	}
-	return &Archive{
+	a := &Archive{
 		cfg:       cfg,
 		code:      code,
 		deltaCode: deltaCode,
 		blocking:  blocking,
 		cluster:   cluster,
-	}, nil
+	}
+	if cfg.ReadCacheBytes > 0 {
+		a.rcache = newVersionCache(cfg.ReadCacheBytes)
+	}
+	return a, nil
+}
+
+// compressGammaMax is the largest gamma the archive stores compressed
+// (Config.CompressGammaMax, defaulting to K-1).
+func (a *Archive) compressGammaMax() int {
+	if a.cfg.CompressGammaMax > 0 {
+		return a.cfg.CompressGammaMax
+	}
+	return a.cfg.K - 1
+}
+
+// compressEligible reports whether a delta of the given sparsity should be
+// stored in CDEC-compacted form.
+func (a *Archive) compressEligible(gamma int) bool {
+	return a.cfg.CompressDeltas && gamma >= 1 && gamma <= a.compressGammaMax()
+}
+
+// compressedCode returns the (gamma+N-K, gamma) codec for CDEC-compacted
+// deltas of the given sparsity, building and caching it on first use. The
+// parity count matches the archive's code, so compressed codewords tolerate
+// the same N-K node failures.
+func (a *Archive) compressedCode(gamma int) (codec, error) {
+	if gamma < 1 || gamma > a.cfg.K-1 {
+		return nil, fmt.Errorf("core: no compressed code for gamma %d (k=%d)", gamma, a.cfg.K)
+	}
+	a.ccMu.Lock()
+	defer a.ccMu.Unlock()
+	if c, ok := a.ccache[gamma]; ok {
+		return c, nil
+	}
+	n := gamma + a.cfg.N - a.cfg.K
+	var (
+		c   codec
+		err error
+	)
+	if a.cfg.Field == GF16 {
+		c, err = wide.NewCauchy(n, gamma)
+	} else {
+		c, err = erasure.New(a.cfg.Code, n, gamma)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: building compressed (%d,%d) code: %w", n, gamma, err)
+	}
+	if a.ccache == nil {
+		a.ccache = make(map[int]codec)
+	}
+	a.ccache[gamma] = c
+	return c, nil
+}
+
+// entryDeltaCode returns the codec a version's stored delta codeword uses:
+// the per-gamma compressed code for CDEC entries, the archive's delta code
+// otherwise.
+func (a *Archive) entryDeltaCode(e entry) (codec, error) {
+	if !e.compressed {
+		return a.deltaCode, nil
+	}
+	return a.compressedCode(e.gamma)
+}
+
+// invalidateReadCache clears the decoded-version cache (no-op when the
+// cache is disabled). Called by every operation that changes what the
+// chain stores.
+func (a *Archive) invalidateReadCache() {
+	if a.rcache != nil {
+		a.rcache.invalidate()
+	}
+}
+
+// ReadCacheStats snapshots the decoded-version read cache counters; ok is
+// false when the cache is disabled (Config.ReadCacheBytes == 0).
+func (a *Archive) ReadCacheStats() (CacheStats, bool) {
+	if a.rcache == nil {
+		return CacheStats{}, false
+	}
+	return a.rcache.stats(), true
 }
 
 // Name returns the archive name.
@@ -282,6 +403,7 @@ func (a *Archive) CommitContext(ctx context.Context, object []byte) (CommitInfo,
 			return CommitInfo{ReclaimedShards: reclaimed}, err
 		}
 		a.entries = append(a.entries, entry{hasFull: true, length: len(object)})
+		a.invalidateReadCache()
 		a.setCache(blocks, len(object))
 		return info, nil
 	}
@@ -308,8 +430,26 @@ func (a *Archive) CommitContext(ctx context.Context, object []byte) (CommitInfo,
 		storeFull = true
 		info.Checkpoint = true
 	}
+	var support []int
 	if storeDelta {
-		if err := a.writeObject(ctx, a.deltaCode, deltaID(a.cfg.Name, version), version, d, &info.ShardWrites); err != nil {
+		if a.compressEligible(gamma) {
+			// CDEC path: encode only the gamma non-zero blocks with the
+			// (gamma+N-K, gamma) code. The support travels in the manifest
+			// entry; the object ID is the same as an uncompressed delta's.
+			cd, err := delta.Compact(d)
+			if err != nil {
+				return CommitInfo{ReclaimedShards: reclaimed}, err
+			}
+			ccode, err := a.compressedCode(gamma)
+			if err != nil {
+				return CommitInfo{ReclaimedShards: reclaimed}, err
+			}
+			if err := a.writeObject(ctx, ccode, deltaID(a.cfg.Name, version), version, cd.Blocks, &info.ShardWrites); err != nil {
+				return CommitInfo{ReclaimedShards: reclaimed}, err
+			}
+			info.Compressed = true
+			support = cd.Support
+		} else if err := a.writeObject(ctx, a.deltaCode, deltaID(a.cfg.Name, version), version, d, &info.ShardWrites); err != nil {
 			return CommitInfo{ReclaimedShards: reclaimed}, err
 		}
 		info.StoredDelta = true
@@ -326,7 +466,10 @@ func (a *Archive) CommitContext(ctx context.Context, object []byte) (CommitInfo,
 		gamma:      gamma,
 		length:     len(object),
 		checkpoint: info.Checkpoint,
+		compressed: info.Compressed,
+		support:    support,
 	})
+	a.invalidateReadCache()
 	if a.cfg.Scheme == ReversedSEC {
 		// The previous version's full codeword is superseded: the chain
 		// now reaches it through the new delta. Checkpoints are the
@@ -405,6 +548,17 @@ func (a *Archive) RetrieveContext(ctx context.Context, l int) ([]byte, Retrieval
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	var stats RetrievalStats
+	if a.rcache != nil && l >= 1 && l <= len(a.entries) {
+		if blocks, length, ok := a.rcache.get(l); ok {
+			object, err := a.blocking.Join(blocks, length)
+			if err == nil {
+				stats.CacheHits++
+				stats.CacheBytes += len(object)
+				return object, stats, nil
+			}
+			a.rcache.remove(l) // unjoinable entry: stale or damaged, drop it
+		}
+	}
 	blocks, err := a.retrieveBlocksLocked(ctx, l, &stats)
 	if err != nil {
 		return nil, stats, err
@@ -416,8 +570,20 @@ func (a *Archive) RetrieveContext(ctx context.Context, l int) ([]byte, Retrieval
 	return object, stats, nil
 }
 
-// LatestContext reconstructs the most recent version from storage.
+// LatestContext reconstructs the most recent version. When the writer-side
+// latest-version cache is in hand (the archive committed or restored it
+// this process), the read is served from memory with zero node reads and
+// reported as a cache hit; otherwise it falls back to a stored retrieval.
 func (a *Archive) LatestContext(ctx context.Context) ([]byte, RetrievalStats, error) {
+	a.mu.RLock()
+	if len(a.entries) > 0 && a.cache != nil {
+		object, err := a.blocking.Join(a.cache, a.cacheLen)
+		if err == nil {
+			a.mu.RUnlock()
+			return object, RetrievalStats{CacheHits: 1, CacheBytes: len(object)}, nil
+		}
+	}
+	a.mu.RUnlock()
 	return a.RetrieveContext(ctx, a.Versions())
 }
 
@@ -569,6 +735,14 @@ func (a *Archive) materializeChain(ctx context.Context, plan chainPlan, stats *R
 		}
 		materialized[ver] = current
 	}
+	if a.rcache != nil {
+		// Keep every version the walk decoded: the requested version and
+		// all chain prefixes on the way. Cached blocks are shared
+		// read-only; decodes and delta application always fresh-allocate.
+		for v, blocks := range materialized {
+			a.rcache.put(v, blocks, a.entries[v-1].length)
+		}
+	}
 	return materialized, nil
 }
 
@@ -641,7 +815,7 @@ func (a *Archive) planAll(target int) (dist, hops, via, prev []int, err error) {
 		if b < 1 || b > L || b == j {
 			return nil, nil, nil, nil, fmt.Errorf("core: version %d has invalid delta base %d", j, b)
 		}
-		w := a.plannedDeltaReads(e.gamma)
+		w := a.plannedEntryReads(e)
 		adj[b] = append(adj[b], edge{to: j, via: j, w: w})
 		adj[j] = append(adj[j], edge{to: b, via: j, w: w})
 	}
@@ -693,6 +867,16 @@ func (a *Archive) plannedDeltaReads(gamma int) int {
 	return delta.ReadCost(gamma, a.cfg.K, a.deltaCode.MaxSparseGamma())
 }
 
+// plannedEntryReads prices one stored delta for the planner, respecting its
+// stored form: CDEC-compacted deltas decode from gamma reads, plain deltas
+// from min(2*gamma, K) (sparse) or K (full).
+func (a *Archive) plannedEntryReads(e entry) int {
+	if e.compressed {
+		return delta.CompressedReadCost(e.gamma)
+	}
+	return a.plannedDeltaReads(e.gamma)
+}
+
 // PlannedReads returns the number of node reads formula (3) predicts for
 // retrieving version l, assuming every node is live.
 func (a *Archive) PlannedReads(l int) (int, error) {
@@ -726,7 +910,7 @@ func (a *Archive) PlannedReadsAll(l int) (int, error) {
 		e := a.entries[j-1]
 		switch {
 		case e.hasDelta && covered[a.baseOf(j)]:
-			total += a.plannedDeltaReads(e.gamma)
+			total += a.plannedEntryReads(e)
 			covered[j] = true
 		case e.hasFull:
 			total += a.cfg.K
@@ -884,6 +1068,7 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 		rows    []int
 		sparse  []int // non-nil when rows is a sparse read plan
 		n       int   // shard rows of the object's code, for hedged spares
+		k       int   // data rows that decode the object's code (gamma for CDEC)
 	}
 	// Probe each distinct placement node once, concurrently.
 	var nodes []int
@@ -899,8 +1084,12 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 	}
 	addNodes(a.code, plan.anchor)
 	for _, j := range plan.deltas {
-		if a.entries[j-1].gamma != 0 {
-			addNodes(a.deltaCode, j)
+		e := a.entries[j-1]
+		if e.gamma == 0 {
+			continue
+		}
+		if code, err := a.entryDeltaCode(e); err == nil {
+			addNodes(code, j)
 		}
 	}
 	avail := make([]bool, len(nodes))
@@ -934,19 +1123,34 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 		if a.code.Systematic() {
 			live = preferSystematic(live, a.cfg.K)
 		}
-		plans = append(plans, objPlan{id: fullID(a.cfg.Name, plan.anchor), version: plan.anchor, rows: live[:a.cfg.K], n: a.code.N()})
+		plans = append(plans, objPlan{id: fullID(a.cfg.Name, plan.anchor), version: plan.anchor, rows: live[:a.cfg.K], n: a.code.N(), k: a.cfg.K})
 	}
 	for _, j := range plan.deltas {
-		gamma := a.entries[j-1].gamma
-		if gamma == 0 {
+		e := a.entries[j-1]
+		if e.gamma == 0 {
 			continue
 		}
-		live := liveFor(a.deltaCode, j)
+		code, err := a.entryDeltaCode(e)
+		if err != nil {
+			continue // the reader surfaces the error
+		}
+		live := liveFor(code, j)
 		id := a.deltaObjectID(j)
-		if rows := a.deltaCode.SparseReadRows(live, gamma); rows != nil {
-			plans = append(plans, objPlan{id: id, version: j, rows: rows, sparse: rows, n: a.deltaCode.N()})
+		if e.compressed {
+			// A compressed codeword decodes from any gamma of its rows;
+			// there is no separate sparse plan.
+			if len(live) >= code.K() {
+				if code.Systematic() {
+					live = preferSystematic(live, code.K())
+				}
+				plans = append(plans, objPlan{id: id, version: j, rows: live[:code.K()], n: code.N(), k: code.K()})
+			}
+			continue
+		}
+		if rows := code.SparseReadRows(live, e.gamma); rows != nil {
+			plans = append(plans, objPlan{id: id, version: j, rows: rows, sparse: rows, n: code.N(), k: a.cfg.K})
 		} else if len(live) >= a.cfg.K {
-			plans = append(plans, objPlan{id: id, version: j, rows: live[:a.cfg.K], n: a.deltaCode.N()})
+			plans = append(plans, objPlan{id: id, version: j, rows: live[:a.cfg.K], n: code.N(), k: a.cfg.K})
 		}
 	}
 	if len(plans) == 0 {
@@ -996,7 +1200,7 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 	// sparse plan was hedged away).
 	satisfied := func(p objPlan) bool {
 		s := sets[p.id]
-		if len(s.data) >= a.cfg.K {
+		if len(s.data) >= p.k {
 			return true
 		}
 		_, ok := s.selectRows(p.rows)
@@ -1013,7 +1217,7 @@ func (a *Archive) prefetchChain(ctx context.Context, plan chainPlan) map[string]
 			for _, r := range p.rows {
 				planned[r] = true
 			}
-			need := a.cfg.K - len(s.data)
+			need := p.k - len(s.data)
 			for row := 0; row < p.n && need > 0; row++ {
 				if planned[row] || s.dead[row] {
 					continue
@@ -1120,6 +1324,9 @@ func chainAbort(ctx context.Context, lastErr error) error {
 // prefetched by the chain planner (and, for sparse plans, which rows they
 // are), so the healthy path decodes without any further cluster traffic.
 func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardSet) ([][]byte, ObjectRead, error) {
+	if e := a.entries[version-1]; e.compressed {
+		return a.readCompressedDelta(ctx, version, e, set)
+	}
 	if gamma == 0 {
 		// Nothing changed: the delta is identically zero, no reads
 		// needed.
@@ -1209,6 +1416,62 @@ func (a *Archive) readDelta(ctx context.Context, version, gamma int, set *shardS
 				return nil, ObjectRead{}, err
 			}
 			return blocks, ObjectRead{Version: version, Delta: true, Gamma: gamma, Reads: set.reads, Hedges: set.hedges}, nil
+		}
+	}
+	return nil, ObjectRead{}, lastErr
+}
+
+// readCompressedDelta reads a CDEC-compacted delta codeword: any gamma of
+// its gamma+N-K shards decode the non-zero blocks, which the entry's
+// support expands back to the full K-block delta vector. There is no
+// separate sparse plan - gamma reads IS the floor, below both the sparse
+// read (2*gamma) and the full read (K) of uncompressed deltas.
+func (a *Archive) readCompressedDelta(ctx context.Context, version int, e entry, set *shardSet) ([][]byte, ObjectRead, error) {
+	code, err := a.compressedCode(e.gamma)
+	if err != nil {
+		return nil, ObjectRead{}, err
+	}
+	id := a.deltaObjectID(version)
+	k := code.K()
+	if set == nil {
+		set = newShardSet()
+	}
+	set.sparseRows = nil // compressed reads have no sparse plan
+	lastErr := set.err
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if err := chainAbort(ctx, lastErr); err != nil {
+			return nil, ObjectRead{}, err
+		}
+		if len(set.data) < k {
+			candidates := set.missing(a.liveRows(ctx, code, version, set.dead))
+			if code.Systematic() {
+				candidates = preferSystematic(candidates, k)
+			}
+			if len(set.data)+len(candidates) < k {
+				if err := chainAbort(ctx, lastErr); err != nil {
+					return nil, ObjectRead{}, err
+				}
+				return nil, ObjectRead{}, fmt.Errorf("%w: %d of %d shards of %s", ErrUnavailable, len(set.data)+len(candidates), k, id)
+			}
+			deficit := k - len(set.data)
+			err := a.fetchPlanned(ctx, set, id, version, candidates[:deficit], candidates[deficit:],
+				func() bool { return len(set.data) >= k })
+			if err != nil {
+				lastErr = err
+			}
+		}
+		if len(set.data) >= k {
+			rows, shards := set.take(k)
+			nz, err := code.DecodeFull(rows, shards)
+			if err != nil {
+				return nil, ObjectRead{}, err
+			}
+			cd := delta.CompactDelta{K: a.cfg.K, BlockSize: a.cfg.BlockSize, Support: e.support, Blocks: nz}
+			blocks, err := cd.Expand()
+			if err != nil {
+				return nil, ObjectRead{}, fmt.Errorf("core: expanding compressed delta of version %d: %w", version, err)
+			}
+			return blocks, ObjectRead{Version: version, Delta: true, Gamma: e.gamma, Reads: set.reads, Compressed: true, Hedges: set.hedges}, nil
 		}
 	}
 	return nil, ObjectRead{}, lastErr

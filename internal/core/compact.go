@@ -120,9 +120,13 @@ func (a *Archive) reclaimLocked(ctx context.Context) (deleted, orphans int) {
 	pending := a.superseded
 	a.superseded = nil
 	for _, g := range pending {
-		o := a.deleteObject(ctx, a.deltaCode, g.id, g.version)
+		code := g.code
+		if code == nil {
+			code = a.deltaCode
+		}
+		o := a.deleteObject(ctx, code, g.id, g.version)
 		orphans += o
-		deleted += a.deltaCode.N() - o
+		deleted += code.N() - o
 		if o > 0 {
 			a.superseded = append(a.superseded, g)
 		}
@@ -230,25 +234,30 @@ func (a *Archive) compactLocked(ctx context.Context, maxLen int, keepSuperseded 
 		}
 		gamma := delta.Sparsity(merged)
 		// Price the rewrite with the shared cost model: the old chain walk
-		// to v (planned against the still-unswapped entries) versus one
-		// merged-delta read (zero for a promotion, which anchors v
-		// outright). delta.Merge of the walk's deltas is exactly `merged`
-		// (pinned by the delta package's equivalence test), so MergeGain
-		// applies verbatim.
+		// to v (planned against the still-unswapped entries, pricing each
+		// stored form - compressed deltas cost gamma, plain ones
+		// min(2*gamma, k) or k) versus one read of the rewritten entry
+		// (zero for a promotion, which anchors v outright). On chains
+		// without compression this is exactly delta.MergeGain of the walk's
+		// gammas.
 		if oldPlan, err := a.planChain(v); err == nil {
-			pathGammas := make([]int, len(oldPlan.deltas))
-			for i, j := range oldPlan.deltas {
-				pathGammas[i] = a.entries[j-1].gamma
+			newCost := 0
+			if gamma <= limit {
+				if a.compressEligible(gamma) {
+					newCost = delta.CompressedReadCost(gamma)
+				} else {
+					newCost = a.plannedDeltaReads(gamma)
+				}
 			}
-			mergedGamma := gamma
-			if gamma > limit {
-				mergedGamma = 0 // promotion: no delta read at all
-			}
-			info.PlannedReadGain += delta.MergeGain(a.cfg.K, a.deltaCode.MaxSparseGamma(), pathGammas, mergedGamma)
+			info.PlannedReadGain += (oldPlan.cost - a.cfg.K) - newCost
 		}
 		oldID := ""
+		var oldCode codec
 		if next[v-1].hasDelta {
 			oldID = a.deltaObjectID(v)
+			if c, cerr := a.entryDeltaCode(a.entries[v-1]); cerr == nil {
+				oldCode = c
+			}
 		}
 		if gamma > limit {
 			// Dense merged delta: a sparse read could not serve it, so a
@@ -262,6 +271,8 @@ func (a *Archive) compactLocked(ctx context.Context, maxLen int, keepSuperseded 
 			next[v-1].hasDelta = false
 			next[v-1].gamma = 0
 			next[v-1].base = 0
+			next[v-1].compressed = false
+			next[v-1].support = nil
 			info.Promoted = append(info.Promoted, v)
 		} else {
 			newID := rebasedDeltaID(a.cfg.Name, v, anchor)
@@ -271,8 +282,29 @@ func (a *Archive) compactLocked(ctx context.Context, maxLen int, keepSuperseded 
 				// delta, stored under its original name.
 				newID = deltaID(a.cfg.Name, v)
 			}
-			if err := a.writeObject(ctx, a.deltaCode, newID, v, merged, &info.ShardWrites); err != nil {
-				return info, err
+			if a.compressEligible(gamma) {
+				// Re-compress the merged delta: compaction preserves the
+				// archive's storage policy, so a compressed chain stays
+				// compressed through rebases.
+				cd, err := delta.Compact(merged)
+				if err != nil {
+					return info, err
+				}
+				ccode, err := a.compressedCode(gamma)
+				if err != nil {
+					return info, err
+				}
+				if err := a.writeObject(ctx, ccode, newID, v, cd.Blocks, &info.ShardWrites); err != nil {
+					return info, err
+				}
+				next[v-1].compressed = true
+				next[v-1].support = cd.Support
+			} else {
+				if err := a.writeObject(ctx, a.deltaCode, newID, v, merged, &info.ShardWrites); err != nil {
+					return info, err
+				}
+				next[v-1].compressed = false
+				next[v-1].support = nil
 			}
 			// The name just written is live again: if an earlier
 			// keep-superseded pass queued the same name for reclaim (a
@@ -285,7 +317,7 @@ func (a *Archive) compactLocked(ctx context.Context, maxLen int, keepSuperseded 
 			info.Rebased = append(info.Rebased, v)
 		}
 		if oldID != "" {
-			superseded = append(superseded, gcObject{id: oldID, version: v})
+			superseded = append(superseded, gcObject{id: oldID, version: v, code: oldCode})
 		}
 	}
 
@@ -299,6 +331,7 @@ func (a *Archive) compactLocked(ctx context.Context, maxLen int, keepSuperseded 
 	// The manifest swap: one assignment under the write lock. From here on
 	// retrievals plan against the compacted chain only.
 	a.entries = next
+	a.invalidateReadCache()
 
 	// Garbage-collect the superseded delta codewords - nothing in the new
 	// manifest points at them anymore. With keepSuperseded they are queued
@@ -308,7 +341,13 @@ func (a *Archive) compactLocked(ctx context.Context, maxLen int, keepSuperseded 
 	// references.
 	a.superseded = append(a.superseded, superseded...)
 	if keepSuperseded {
-		info.SupersededShards = len(superseded) * a.deltaCode.N()
+		for _, g := range superseded {
+			if g.code != nil {
+				info.SupersededShards += g.code.N()
+			} else {
+				info.SupersededShards += a.deltaCode.N()
+			}
+		}
 		return info, nil
 	}
 	info.ShardsDeleted, info.OrphanShards = a.reclaimLocked(ctx)

@@ -28,10 +28,18 @@ type Manifest struct {
 	// MaxChainLength, CheckpointEvery, and CompactGammaLimit persist the
 	// chain-lifecycle policy (see Config) so an archive reopened from its
 	// manifest keeps compacting the way it was created to.
-	MaxChainLength    int             `json:"max_chain_length,omitempty"`
-	CheckpointEvery   int             `json:"checkpoint_every,omitempty"`
-	CompactGammaLimit int             `json:"compact_gamma_limit,omitempty"`
-	Entries           []ManifestEntry `json:"entries"`
+	MaxChainLength    int `json:"max_chain_length,omitempty"`
+	CheckpointEvery   int `json:"checkpoint_every,omitempty"`
+	CompactGammaLimit int `json:"compact_gamma_limit,omitempty"`
+	// CompressDeltas, CompressGammaMax, and ReadCacheBytes persist the CDEC
+	// compression policy and the decoded-version cache budget (see Config)
+	// so a reopened archive keeps storing and serving the way it was
+	// created to. All three are absent from pre-compression manifests,
+	// which unmarshal to the defaults (both features off).
+	CompressDeltas   bool            `json:"compress_deltas,omitempty"`
+	CompressGammaMax int             `json:"compress_gamma_max,omitempty"`
+	ReadCacheBytes   int             `json:"read_cache_bytes,omitempty"`
+	Entries          []ManifestEntry `json:"entries"`
 }
 
 // ManifestEntry describes one version's stored objects.
@@ -48,6 +56,15 @@ type ManifestEntry struct {
 	// Checkpoint marks a lifecycle-placed full codeword that Reversed SEC
 	// must not delete when the chain tip moves on.
 	Checkpoint bool `json:"checkpoint,omitempty"`
+	// Compressed marks a delta stored in CDEC-compacted form: the
+	// codeword encodes only the Gamma non-zero blocks with a
+	// (Gamma+N-K, Gamma) code. Support lists those blocks' indices
+	// (strictly increasing), the client-side metadata retrieval needs to
+	// expand the decoded vector. Both fields are absent for uncompressed
+	// entries, so manifests written before compression existed reopen
+	// unchanged.
+	Compressed bool  `json:"compressed,omitempty"`
+	Support    []int `json:"support,omitempty"`
 }
 
 // Manifest captures the archive's current state.
@@ -67,6 +84,9 @@ func (a *Archive) Manifest() Manifest {
 		MaxChainLength:    a.cfg.MaxChainLength,
 		CheckpointEvery:   a.cfg.CheckpointEvery,
 		CompactGammaLimit: a.cfg.CompactGammaLimit,
+		CompressDeltas:    a.cfg.CompressDeltas,
+		CompressGammaMax:  a.cfg.CompressGammaMax,
+		ReadCacheBytes:    a.cfg.ReadCacheBytes,
 		Entries:           make([]ManifestEntry, len(a.entries)),
 	}
 	for i, e := range a.entries {
@@ -82,6 +102,8 @@ func (a *Archive) Manifest() Manifest {
 			Length:     e.length,
 			Base:       base,
 			Checkpoint: e.checkpoint,
+			Compressed: e.compressed,
+			Support:    append([]int(nil), e.support...),
 		}
 	}
 	return m
@@ -130,6 +152,9 @@ func Open(m Manifest, cluster *store.Cluster) (*Archive, error) {
 		MaxChainLength:    m.MaxChainLength,
 		CheckpointEvery:   m.CheckpointEvery,
 		CompactGammaLimit: m.CompactGammaLimit,
+		CompressDeltas:    m.CompressDeltas,
+		CompressGammaMax:  m.CompressGammaMax,
+		ReadCacheBytes:    m.ReadCacheBytes,
 	}
 	a, err := New(cfg, cluster)
 	if err != nil {
@@ -154,6 +179,26 @@ func Open(m Manifest, cluster *store.Cluster) (*Archive, error) {
 				return nil, fmt.Errorf("core: manifest version %d has invalid delta base %d", me.Version, me.Base)
 			}
 		}
+		if me.Compressed {
+			if !me.Delta {
+				return nil, fmt.Errorf("core: manifest version %d is compressed but stores no delta", me.Version)
+			}
+			if me.Gamma < 1 || me.Gamma > m.K-1 {
+				return nil, fmt.Errorf("core: manifest version %d compressed with invalid gamma %d", me.Version, me.Gamma)
+			}
+			if len(me.Support) != me.Gamma {
+				return nil, fmt.Errorf("core: manifest version %d has %d support indices for gamma %d", me.Version, len(me.Support), me.Gamma)
+			}
+			prev := -1
+			for _, s := range me.Support {
+				if s < 0 || s >= m.K || s <= prev {
+					return nil, fmt.Errorf("core: manifest version %d has invalid support %v", me.Version, me.Support)
+				}
+				prev = s
+			}
+		} else if len(me.Support) != 0 {
+			return nil, fmt.Errorf("core: manifest version %d has a support list but is not compressed", me.Version)
+		}
 		a.entries[i] = entry{
 			hasFull:    me.Full,
 			hasDelta:   me.Delta,
@@ -161,6 +206,8 @@ func Open(m Manifest, cluster *store.Cluster) (*Archive, error) {
 			length:     me.Length,
 			base:       me.Base,
 			checkpoint: me.Checkpoint,
+			compressed: me.Compressed,
+			support:    append([]int(nil), me.Support...),
 		}
 	}
 	// A version may store neither a full nor its own delta (Reversed SEC

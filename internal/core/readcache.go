@@ -1,0 +1,181 @@
+package core
+
+import "sync"
+
+// This file implements the decoded-version read cache (Config.
+// ReadCacheBytes): a byte-budgeted LRU over the block vectors retrievals
+// materialize. A chain walk that decodes versions 5, 6, and 7 to serve
+// version 7 caches all three, so a later Retrieve of any of them - the hot
+// latest version above all - completes with zero node reads. Coherence is
+// by invalidation, not update: every operation that changes what the chain
+// stores (commit, compaction, repair) clears the whole cache, because a
+// partially stale cache under a rewritten chain is harder to reason about
+// than a refill is to pay for. Cached block vectors are shared read-only
+// with callers; nothing in the archive mutates decoded blocks in place.
+
+// versionCache is a byte-budgeted LRU of decoded versions, safe for
+// concurrent use (retrievals run under the archive's read lock, so the
+// cache carries its own mutex).
+type versionCache struct {
+	mu      sync.Mutex
+	budget  int
+	size    int
+	entries map[int]*cacheItem
+	// head is the most recently used item, tail the least.
+	head, tail *cacheItem
+
+	hits        int
+	misses      int
+	bytesServed int
+	evictions   int
+}
+
+// cacheItem is one cached version in the LRU list.
+type cacheItem struct {
+	version    int
+	blocks     [][]byte
+	length     int // original object length in bytes
+	size       int // cached block bytes, counted against the budget
+	prev, next *cacheItem
+}
+
+// CacheStats is a point-in-time snapshot of the decoded-version cache.
+type CacheStats struct {
+	// Hits and Misses count cache lookups by outcome (a retrieval of an
+	// uncached version is one miss).
+	Hits, Misses int
+	// BytesServed totals the object bytes hits returned from memory -
+	// bytes that never crossed the wire.
+	BytesServed int
+	// Bytes and Versions describe the current contents.
+	Bytes, Versions int
+	// Evictions counts versions dropped to fit the budget.
+	Evictions int
+	// Budget is the configured byte budget.
+	Budget int
+}
+
+func newVersionCache(budget int) *versionCache {
+	return &versionCache{budget: budget, entries: make(map[int]*cacheItem)}
+}
+
+// get returns the cached blocks and object length of a version, promoting
+// it to most recently used. The returned blocks are shared: callers must
+// treat them as read-only.
+func (c *versionCache) get(version int) ([][]byte, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.entries[version]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.bytesServed += it.length
+	c.moveToFront(it)
+	return it.blocks, it.length, true
+}
+
+// put caches a version's decoded blocks, evicting least recently used
+// versions until the budget holds. A version larger than the whole budget
+// is not cached.
+func (c *versionCache) put(version int, blocks [][]byte, length int) {
+	size := 0
+	for _, b := range blocks {
+		size += len(b)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return
+	}
+	if it, ok := c.entries[version]; ok {
+		c.size += size - it.size
+		it.blocks, it.length, it.size = blocks, length, size
+		c.moveToFront(it)
+	} else {
+		it := &cacheItem{version: version, blocks: blocks, length: length, size: size}
+		c.entries[version] = it
+		c.pushFront(it)
+		c.size += size
+	}
+	for c.size > c.budget && c.tail != nil {
+		c.evictions++
+		c.removeLocked(c.tail)
+	}
+}
+
+// remove drops one version (used when a cached entry turns out to be
+// unjoinable, which indicates it is stale or damaged).
+func (c *versionCache) remove(version int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it, ok := c.entries[version]; ok {
+		c.removeLocked(it)
+	}
+}
+
+// invalidate clears every cached version; the hit/miss counters survive so
+// operators can see cache behavior across chain changes.
+func (c *versionCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[int]*cacheItem)
+	c.head, c.tail = nil, nil
+	c.size = 0
+}
+
+// stats snapshots the cache counters.
+func (c *versionCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		BytesServed: c.bytesServed,
+		Bytes:       c.size,
+		Versions:    len(c.entries),
+		Evictions:   c.evictions,
+		Budget:      c.budget,
+	}
+}
+
+func (c *versionCache) pushFront(it *cacheItem) {
+	it.prev = nil
+	it.next = c.head
+	if c.head != nil {
+		c.head.prev = it
+	}
+	c.head = it
+	if c.tail == nil {
+		c.tail = it
+	}
+}
+
+func (c *versionCache) unlink(it *cacheItem) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		c.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		c.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+}
+
+func (c *versionCache) moveToFront(it *cacheItem) {
+	if c.head == it {
+		return
+	}
+	c.unlink(it)
+	c.pushFront(it)
+}
+
+func (c *versionCache) removeLocked(it *cacheItem) {
+	c.unlink(it)
+	delete(c.entries, it.version)
+	c.size -= it.size
+}

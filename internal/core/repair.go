@@ -59,10 +59,17 @@ func (a *Archive) RepairNodeContext(ctx context.Context, node int) (RepairReport
 			}
 		}
 		if e.hasDelta {
-			if err := a.repairObject(ctx, a.deltaCode, a.deltaObjectID(v), v, node, &report); err != nil {
+			dcode, err := a.entryDeltaCode(e)
+			if err != nil {
+				return report, fmt.Errorf("core: repairing version %d: %w", v, err)
+			}
+			if err := a.repairObject(ctx, dcode, a.deltaObjectID(v), v, node, &report); err != nil {
 				return report, err
 			}
 		}
+	}
+	if report.ShardsRepaired > 0 {
+		a.invalidateReadCache()
 	}
 	return report, nil
 }

@@ -165,6 +165,35 @@ type Config struct {
 	// neither read counts nor results - this switch exists for
 	// differential testing and for measuring what batching buys.
 	DisableBatchIO bool
+	// CompressDeltas enables compressed differential erasure coding
+	// (CDEC, the paper's follow-up work): a delta whose sparsity gamma is
+	// within CompressGammaMax is compacted to its gamma non-zero blocks
+	// before encoding and stored as a codeword of a (gamma+N-K, gamma)
+	// code. The parity count is unchanged, so a compressed delta tolerates
+	// the same N-K node failures, while both its stored size and its
+	// decode cost shrink from the full-vector shape to the gamma-block
+	// one: retrieval reads gamma shards instead of min(2*gamma, K). The
+	// support (which blocks are non-zero) rides in the manifest like the
+	// per-delta gamma does. Off by default, preserving the paper's exact
+	// storage and read accounting; archives with existing uncompressed
+	// deltas keep reading them unchanged (chains may mix freely).
+	// Incompatible with PunctureDeltas, which shapes delta codewords the
+	// other way.
+	CompressDeltas bool
+	// CompressGammaMax is the largest gamma stored compressed (0 means
+	// K-1: every delta that is sparse at all). Denser deltas fall back to
+	// the uncompressed path. Only meaningful with CompressDeltas.
+	CompressGammaMax int
+	// ReadCacheBytes budgets an in-memory LRU cache of decoded versions
+	// (0 = disabled, the default). With a budget set, retrievals keep the
+	// versions they materialize - the requested version and every chain
+	// prefix walked to reach it - and later retrievals of a cached
+	// version are served from memory with zero node reads
+	// (RetrievalStats.CacheHits). The cache is invalidated whenever the
+	// chain changes: every commit, compaction, and repair pass clears it.
+	// Disabled by default so read counts match the paper's formulas
+	// exactly.
+	ReadCacheBytes int
 	// HedgeDelay enables hedged degraded-mode reads: when a retrieval's
 	// per-node batch has not answered within this delay, spare parity
 	// rows are fetched speculatively from the remaining nodes and the
@@ -212,6 +241,15 @@ func (c Config) validate() error {
 	}
 	if c.CompactGammaLimit < 0 || c.CompactGammaLimit > c.K {
 		return fmt.Errorf("core: compact gamma limit %d outside [0,%d]", c.CompactGammaLimit, c.K)
+	}
+	if c.CompressGammaMax < 0 || c.CompressGammaMax > c.K-1 {
+		return fmt.Errorf("core: compress gamma max %d outside [0,%d]", c.CompressGammaMax, c.K-1)
+	}
+	if c.CompressDeltas && c.PunctureDeltas > 0 {
+		return fmt.Errorf("core: CompressDeltas and PunctureDeltas are mutually exclusive")
+	}
+	if c.ReadCacheBytes < 0 {
+		return fmt.Errorf("core: negative read cache budget %d", c.ReadCacheBytes)
 	}
 	switch c.Field {
 	case GF8:

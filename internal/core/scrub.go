@@ -60,10 +60,17 @@ func (a *Archive) ScrubContext(ctx context.Context, repair bool) (ScrubReport, e
 			}
 		}
 		if e.hasDelta {
-			if err := a.scrubObject(ctx, a.deltaCode, a.deltaObjectID(v), v, repair, &report); err != nil {
+			dcode, err := a.entryDeltaCode(e)
+			if err != nil {
+				return report, fmt.Errorf("core: scrubbing version %d: %w", v, err)
+			}
+			if err := a.scrubObject(ctx, dcode, a.deltaObjectID(v), v, repair, &report); err != nil {
 				return report, err
 			}
 		}
+	}
+	if repair && report.Repaired > 0 {
+		a.invalidateReadCache()
 	}
 	return report, nil
 }

@@ -143,6 +143,10 @@ func runSoak(t *testing.T, kind string, mk func(*testing.T, int64) *soakFixture)
 	logSchedules(t, kind, seed, fx.desc)
 	fx.cluster.SetRetryPolicy(store.DefaultRetryPolicy)
 	fx.cluster.SetHealthConfig(store.HealthConfig{TripAfter: 5, Cooldown: 2 * time.Second})
+	// CompressDeltas and ReadCacheBytes are on so the soak also drills the
+	// compressed-codeword read path and cache invalidation: a commit,
+	// compaction, scrub, or repair that leaves a stale decoded version in
+	// the cache shows up as a byte divergence in checkVersion.
 	cfg := core.Config{
 		Name:            "soak",
 		Scheme:          core.OptimizedSEC,
@@ -152,6 +156,8 @@ func runSoak(t *testing.T, kind string, mk func(*testing.T, int64) *soakFixture)
 		BlockSize:       8,
 		CheckpointEvery: 4,
 		HedgeDelay:      5 * time.Millisecond,
+		CompressDeltas:  true,
+		ReadCacheBytes:  1 << 20,
 	}
 	a, err := core.New(cfg, fx.cluster)
 	if err != nil {
@@ -237,8 +243,15 @@ func runSoak(t *testing.T, kind string, mk func(*testing.T, int64) *soakFixture)
 	if injected == (InjectionStats{}) {
 		t.Errorf("soak injected no faults (seed %d); schedules too tame", seed)
 	}
-	t.Logf("%s soak: %d versions, %d commit failures, %d retrieve retries, %d op errors, injected %+v, health %+v",
-		kind, len(versions), commitFailures, retrieveRetries, opErrs, injected, fx.cluster.Health())
+	cs, ok := a.ReadCacheStats()
+	if !ok {
+		t.Fatal("read cache unexpectedly disabled in soak config")
+	}
+	if cs.Hits == 0 {
+		t.Errorf("soak never hit the read cache (seed %d); workload not exercising it", seed)
+	}
+	t.Logf("%s soak: %d versions, %d commit failures, %d retrieve retries, %d op errors, injected %+v, cache %+v, health %+v",
+		kind, len(versions), commitFailures, retrieveRetries, opErrs, injected, cs, fx.cluster.Health())
 
 	// No goroutine leaks once the fixture is torn down.
 	fx.close()

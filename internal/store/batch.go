@@ -193,6 +193,9 @@ func (c *Cluster) getBatchOnce(ctx context.Context, refs []ShardRef) []ShardResu
 		}
 		for j, res := range GetShards(ctx, b.node, b.ids) {
 			results[b.idx[j]] = res
+			if res.Err == nil {
+				c.wire.countGet(len(res.Data))
+			}
 		}
 		c.observeBatch(b.index, len(b.idx), func(j int) error { return results[b.idx[j]].Err })
 	})
@@ -242,6 +245,9 @@ func (c *Cluster) putBatchOnce(ctx context.Context, refs []ShardRef, data [][]by
 		}
 		for j, err := range PutShards(ctx, b.node, b.ids, payloads) {
 			errs[b.idx[j]] = err
+			if err == nil {
+				c.wire.countPut(len(payloads[j]))
+			}
 		}
 		c.observeBatch(b.index, len(b.idx), func(j int) error { return errs[b.idx[j]] })
 	})
@@ -285,6 +291,9 @@ func (c *Cluster) deleteBatchOnce(ctx context.Context, refs []ShardRef) []error 
 		}
 		for j, err := range DeleteShards(ctx, b.node, b.ids) {
 			errs[b.idx[j]] = err
+			if err == nil {
+				c.wire.countDelete()
+			}
 		}
 		c.observeBatch(b.index, len(b.idx), func(j int) error { return errs[b.idx[j]] })
 	})

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClusterTooSmall is returned when an operation addresses a node index
@@ -34,6 +35,65 @@ type Cluster struct {
 	// zero policy performs exactly one attempt.
 	retryMu sync.RWMutex
 	retry   RetryPolicy
+
+	// wire holds the client-side wire counters (see WireStats).
+	wire wireCounters
+}
+
+// WireStats counts the shard operations this cluster client completed and
+// the payload bytes they moved, from the client's side of the wire. Node-
+// side NodeStats count what each node served (to anyone, since its last
+// reset); WireStats counts what THIS client actually transferred, retries
+// included - each successful attempt counts once, each re-issued shard of
+// a retried batch counts again. Framing overhead is excluded: the numbers
+// are shard payload bytes, the quantity the paper's I/O model prices.
+type WireStats struct {
+	// Gets, Puts, and Deletes count successfully completed shard
+	// operations (batch shards count individually).
+	Gets, Puts, Deletes uint64
+	// BytesRead and BytesWritten total the payload bytes of those
+	// operations.
+	BytesRead, BytesWritten uint64
+}
+
+// Add returns the element-wise sum of two wire-stat snapshots.
+func (s WireStats) Add(o WireStats) WireStats {
+	return WireStats{
+		Gets:         s.Gets + o.Gets,
+		Puts:         s.Puts + o.Puts,
+		Deletes:      s.Deletes + o.Deletes,
+		BytesRead:    s.BytesRead + o.BytesRead,
+		BytesWritten: s.BytesWritten + o.BytesWritten,
+	}
+}
+
+type wireCounters struct {
+	gets, puts, deletes     atomic.Uint64
+	bytesRead, bytesWritten atomic.Uint64
+}
+
+func (w *wireCounters) countGet(n int) { w.gets.Add(1); w.bytesRead.Add(uint64(n)) }
+func (w *wireCounters) countPut(n int) { w.puts.Add(1); w.bytesWritten.Add(uint64(n)) }
+func (w *wireCounters) countDelete()   { w.deletes.Add(1) }
+
+// WireStats snapshots the cluster client's wire counters.
+func (c *Cluster) WireStats() WireStats {
+	return WireStats{
+		Gets:         c.wire.gets.Load(),
+		Puts:         c.wire.puts.Load(),
+		Deletes:      c.wire.deletes.Load(),
+		BytesRead:    c.wire.bytesRead.Load(),
+		BytesWritten: c.wire.bytesWritten.Load(),
+	}
+}
+
+// ResetWireStats zeroes the cluster client's wire counters.
+func (c *Cluster) ResetWireStats() {
+	c.wire.gets.Store(0)
+	c.wire.puts.Store(0)
+	c.wire.deletes.Store(0)
+	c.wire.bytesRead.Store(0)
+	c.wire.bytesWritten.Store(0)
 }
 
 // NewCluster returns a fixed cluster over the given nodes.
@@ -188,6 +248,9 @@ func (c *Cluster) Put(ctx context.Context, node int, id ShardID, data []byte) er
 	err = c.retryPolicy().Do(ctx, func() error {
 		e := n.Put(ctx, id, data)
 		c.health.observe(node, e)
+		if e == nil {
+			c.wire.countPut(len(data))
+		}
 		return e
 	})
 	return err
@@ -205,6 +268,9 @@ func (c *Cluster) Get(ctx context.Context, node int, id ShardID) ([]byte, error)
 		var e error
 		data, e = n.Get(ctx, id)
 		c.health.observe(node, e)
+		if e == nil {
+			c.wire.countGet(len(data))
+		}
 		return e
 	})
 	return data, err

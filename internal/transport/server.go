@@ -47,6 +47,13 @@ type RequestStats struct {
 	// shards they carried.
 	GetBatches, PutBatches, DeleteBatches             uint64
 	GetBatchShards, PutBatchShards, DeleteBatchShards uint64
+	// BytesRead counts shard payload bytes served to clients (get and
+	// get-batch responses); BytesWritten counts shard payload bytes
+	// received from clients (put and put-batch requests). Framing and
+	// header bytes are excluded: these are the bytes-on-wire the paper's
+	// I/O model prices, so a compressed-delta workload shows up directly
+	// as a smaller BytesRead.
+	BytesRead, BytesWritten uint64
 }
 
 type requestCounters struct {
@@ -54,6 +61,7 @@ type requestCounters struct {
 	getBatches, putBatches, deleteBatches atomic.Uint64
 	getBatchShards, putBatchShards        atomic.Uint64
 	deleteBatchShards                     atomic.Uint64
+	bytesRead, bytesWritten               atomic.Uint64
 }
 
 // RequestStats returns a snapshot of the server's request counters.
@@ -70,6 +78,8 @@ func (s *Server) RequestStats() RequestStats {
 		GetBatchShards:    s.reqs.getBatchShards.Load(),
 		PutBatchShards:    s.reqs.putBatchShards.Load(),
 		DeleteBatchShards: s.reqs.deleteBatchShards.Load(),
+		BytesRead:         s.reqs.bytesRead.Load(),
+		BytesWritten:      s.reqs.bytesWritten.Load(),
 	}
 }
 
@@ -200,6 +210,7 @@ func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload 
 	switch req.op {
 	case opPut:
 		s.reqs.puts.Add(1)
+		s.reqs.bytesWritten.Add(uint64(len(req.payload)))
 		err := s.node.Put(ctx, req.id, req.payload)
 		return s.report(err), encodeWireError(err)
 	case opGet:
@@ -208,6 +219,7 @@ func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload 
 		if err != nil {
 			return s.report(err), encodeWireError(err)
 		}
+		s.reqs.bytesRead.Add(uint64(len(data)))
 		return statusOK, data
 	case opDelete:
 		s.reqs.deletes.Add(1)
@@ -232,7 +244,13 @@ func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload 
 		}
 		s.reqs.getBatches.Add(1)
 		s.reqs.getBatchShards.Add(uint64(len(ids)))
-		return statusOK, encodeBatchResults(store.GetShards(ctx, s.node, ids))
+		results := store.GetShards(ctx, s.node, ids)
+		for _, res := range results {
+			if res.Err == nil {
+				s.reqs.bytesRead.Add(uint64(len(res.Data)))
+			}
+		}
+		return statusOK, encodeBatchResults(results)
 	case opPutBatch:
 		ids, data, err := decodePutBatch(req.payload)
 		if err != nil {
@@ -240,6 +258,9 @@ func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload 
 		}
 		s.reqs.putBatches.Add(1)
 		s.reqs.putBatchShards.Add(uint64(len(ids)))
+		for _, d := range data {
+			s.reqs.bytesWritten.Add(uint64(len(d)))
+		}
 		results := make([]store.ShardResult, len(ids))
 		for i, err := range store.PutShards(ctx, s.node, ids, data) {
 			results[i] = store.ShardResult{Err: err}

@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/store"
+)
+
+// TestServerCountsPayloadBytes pins the server-side byte accounting:
+// BytesWritten totals shard payloads received over put and put-batch,
+// BytesRead totals shard payloads served over get and get-batch, and
+// framing overhead is excluded (the counts are exactly the payload sizes).
+func TestServerCountsPayloadBytes(t *testing.T) {
+	mem := store.NewMemNode("backing")
+	srv := NewServer(mem)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := NewRemoteNode("remote-0", addr.String(), WithTimeout(2*time.Second))
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := t.Context()
+	id := func(row int) store.ShardID { return store.ShardID{Object: "o", Row: row} }
+
+	if err := client.Put(ctx, id(0), make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if errs := client.PutBatch(ctx, []store.ShardID{id(1), id(2)},
+		[][]byte{make([]byte, 30), make([]byte, 20)}); errs[0] != nil || errs[1] != nil {
+		t.Fatalf("PutBatch errs = %v", errs)
+	}
+	stats := srv.RequestStats()
+	if stats.BytesWritten != 150 {
+		t.Errorf("BytesWritten = %d, want 150", stats.BytesWritten)
+	}
+	if stats.BytesRead != 0 {
+		t.Errorf("BytesRead = %d before any get, want 0", stats.BytesRead)
+	}
+
+	if _, err := client.Get(ctx, id(0)); err != nil {
+		t.Fatal(err)
+	}
+	results := client.GetBatch(ctx, []store.ShardID{id(1), id(2)})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	stats = srv.RequestStats()
+	if stats.BytesRead != 150 {
+		t.Errorf("BytesRead = %d, want 150", stats.BytesRead)
+	}
+
+	// A miss serves no payload: the counter must not move.
+	if _, err := client.Get(ctx, id(9)); err == nil {
+		t.Fatal("get of absent shard succeeded")
+	}
+	if got := srv.RequestStats().BytesRead; got != 150 {
+		t.Errorf("BytesRead after miss = %d, want 150", got)
+	}
+}

@@ -14,13 +14,19 @@ import (
 // the commit history, and each file's archive manifest plus its
 // revision-to-version map.
 type repoManifest struct {
-	Scheme    string                  `json:"scheme"`
-	Code      string                  `json:"code"`
-	N         int                     `json:"n"`
-	K         int                     `json:"k"`
-	BlockSize int                     `json:"block_size"`
-	Commits   []Commit                `json:"commits"`
-	Files     map[string]fileManifest `json:"files"`
+	Scheme    string `json:"scheme"`
+	Code      string `json:"code"`
+	N         int    `json:"n"`
+	K         int    `json:"k"`
+	BlockSize int    `json:"block_size"`
+	// The compression and cache policy applies to archives created for
+	// files first tracked after a Load too, so it is part of the template
+	// (per-file archives carry their own copy in their manifests).
+	CompressDeltas   bool                    `json:"compress_deltas,omitempty"`
+	CompressGammaMax int                     `json:"compress_gamma_max,omitempty"`
+	ReadCacheBytes   int                     `json:"read_cache_bytes,omitempty"`
+	Commits          []Commit                `json:"commits"`
+	Files            map[string]fileManifest `json:"files"`
 }
 
 type fileManifest struct {
@@ -34,13 +40,16 @@ func (r *Repository) Save(w io.Writer) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	m := repoManifest{
-		Scheme:    r.cfg.Scheme.String(),
-		Code:      r.cfg.Code.String(),
-		N:         r.cfg.N,
-		K:         r.cfg.K,
-		BlockSize: r.cfg.BlockSize,
-		Commits:   append([]Commit(nil), r.commits...),
-		Files:     make(map[string]fileManifest, len(r.files)),
+		Scheme:           r.cfg.Scheme.String(),
+		Code:             r.cfg.Code.String(),
+		N:                r.cfg.N,
+		K:                r.cfg.K,
+		BlockSize:        r.cfg.BlockSize,
+		CompressDeltas:   r.cfg.CompressDeltas,
+		CompressGammaMax: r.cfg.CompressGammaMax,
+		ReadCacheBytes:   r.cfg.ReadCacheBytes,
+		Commits:          append([]Commit(nil), r.commits...),
+		Files:            make(map[string]fileManifest, len(r.files)),
 	}
 	for path, state := range r.files {
 		m.Files[path] = fileManifest{
@@ -72,11 +81,14 @@ func Load(reader io.Reader, cluster *store.Cluster) (*Repository, error) {
 		return nil, err
 	}
 	repo, err := NewRepository(Config{
-		Scheme:    scheme,
-		Code:      kind,
-		N:         m.N,
-		K:         m.K,
-		BlockSize: m.BlockSize,
+		Scheme:           scheme,
+		Code:             kind,
+		N:                m.N,
+		K:                m.K,
+		BlockSize:        m.BlockSize,
+		CompressDeltas:   m.CompressDeltas,
+		CompressGammaMax: m.CompressGammaMax,
+		ReadCacheBytes:   m.ReadCacheBytes,
 	}, cluster)
 	if err != nil {
 		return nil, err

@@ -50,6 +50,14 @@ type Config struct {
 	MaxChainLength    int
 	CheckpointEvery   int
 	CompactGammaLimit int
+	// CompressDeltas, CompressGammaMax, and ReadCacheBytes set every file
+	// archive's compressed-delta and decoded-version-cache policy; see
+	// core.Config. Repositories amplify both knobs: a commit touches many
+	// file archives (compression shrinks the write fan-out), and checkouts
+	// re-read the same hot files (the cache absorbs them).
+	CompressDeltas   bool
+	CompressGammaMax int
+	ReadCacheBytes   int
 }
 
 // FileChange records one file's update within a commit.
@@ -120,6 +128,9 @@ func archiveConfig(cfg Config, name string) core.Config {
 		MaxChainLength:    cfg.MaxChainLength,
 		CheckpointEvery:   cfg.CheckpointEvery,
 		CompactGammaLimit: cfg.CompactGammaLimit,
+		CompressDeltas:    cfg.CompressDeltas,
+		CompressGammaMax:  cfg.CompressGammaMax,
+		ReadCacheBytes:    cfg.ReadCacheBytes,
 	}
 }
 

@@ -28,6 +28,9 @@ type (
 	CompactionInfo = core.CompactionInfo
 	// RetrievalStats accounts the node reads of a retrieval.
 	RetrievalStats = core.RetrievalStats
+	// CacheStats is a snapshot of an archive's decoded-version read cache
+	// (enabled by ArchiveConfig.ReadCacheBytes).
+	CacheStats = core.CacheStats
 	// ObjectRead details the reads spent on one stored object.
 	ObjectRead = core.ObjectRead
 	// ScrubReport summarizes an integrity pass over an archive's shards.
@@ -93,6 +96,9 @@ type (
 	StorageNode = store.Node
 	// NodeStats is an I/O counter snapshot.
 	NodeStats = store.NodeStats
+	// WireStats is a cluster's client-side wire accounting: successful
+	// shard operations and the payload bytes they moved.
+	WireStats = store.WireStats
 	// ShardID identifies one coded shard on a node.
 	ShardID = store.ShardID
 	// Placement maps shards of stored objects to cluster nodes.
@@ -175,6 +181,9 @@ func NewDiskCluster(baseDir string, size int) (*Cluster, error) {
 type (
 	// NodeServer serves a storage node over TCP.
 	NodeServer = transport.Server
+	// NodeRequestStats is a NodeServer's served-request accounting,
+	// including the shard payload bytes read and written over the wire.
+	NodeRequestStats = transport.RequestStats
 	// RemoteNode is a StorageNode client backed by a NodeServer.
 	RemoteNode = transport.RemoteNode
 )
