@@ -59,7 +59,9 @@ type benchReport struct {
 }
 
 // benchIDs lists the available benchmarks in run order.
-func benchIDs() []string { return []string{"encode", "retrieve", "tcp-retrieve", "compress"} }
+func benchIDs() []string {
+	return []string{"encode", "retrieve", "tcp-retrieve", "compress", "gateway"}
+}
 
 func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
 
@@ -95,6 +97,8 @@ func runBenchmarks(ctx context.Context, id, outDir string, out io.Writer) error 
 			report, err = benchTCPRetrieve(ctx)
 		case "compress":
 			report, err = benchCompress(ctx)
+		case "gateway":
+			report, err = benchGateway(ctx)
 		}
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", b, err)

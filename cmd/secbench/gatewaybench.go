@@ -1,0 +1,287 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+
+	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/gateway"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+	"github.com/secarchive/sec/secclient"
+)
+
+// benchGateway measures what serving an archive through secgw costs over
+// serving it directly: commit and retrieve latency distributions (p50/p99)
+// and node get RPCs per operation on a (12,10) chain over loopback TCP
+// nodes, for three paths — the direct archive client, the same operations
+// through a gateway (read cache off, so the comparison is pure hop
+// overhead), and gateway hot reads with the shared decoded-version cache
+// warm, which must reach zero node get RPCs.
+func benchGateway(ctx context.Context) (benchReport, error) {
+	report := benchReport{
+		Bench:       "gateway",
+		Description: "(12,10) BasicSEC commit/retrieve over loopback TCP nodes: direct archive client vs through a secgw gateway, plus gateway reads from the warm shared cache",
+		GoMaxProcs:  gomaxprocs(),
+	}
+	const (
+		n         = 12
+		k         = 10
+		blockSize = 4096
+		iters     = 60
+	)
+
+	// One fleet of loopback TCP storage nodes, shared by every path so the
+	// substrate costs are identical.
+	servers := make([]*transport.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := transport.NewServer(store.NewMemNode(fmt.Sprintf("mem-%d", i)))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return report, err
+		}
+		defer srv.Close()
+		servers[i] = srv
+		addrs[i] = addr.String()
+	}
+	newCluster := func(prefix string) (*sec.Cluster, func()) {
+		nodes := make([]sec.StorageNode, n)
+		remotes := make([]*sec.RemoteNode, n)
+		for i, addr := range addrs {
+			remote := sec.DialNode(fmt.Sprintf("%s-%d", prefix, i), addr)
+			nodes[i] = remote
+			remotes[i] = remote
+		}
+		return sec.NewCluster(nodes), func() {
+			for _, r := range remotes {
+				_ = r.Close()
+			}
+		}
+	}
+	sumGets := func() (gets uint64) {
+		for _, srv := range servers {
+			st := srv.RequestStats()
+			gets += st.Gets + st.GetBatches
+		}
+		return gets
+	}
+	// profile measures fn under latencyProfile and attributes the node get
+	// RPCs issued inside the window (warmup included) to its operations.
+	profile := func(name string, fn func() error) (benchResult, error) {
+		getsBefore := sumGets()
+		mean, p50, p99, err := latencyProfile(ctx, iters, fn)
+		if err != nil {
+			return benchResult{}, err
+		}
+		ops := float64(iters + 1)
+		return benchResult{
+			Name:         name,
+			Iterations:   iters,
+			NsPerOp:      mean,
+			P50Ns:        p50,
+			P99Ns:        p99,
+			GetRPCsPerOp: float64(sumGets()-getsBefore) / ops,
+		}, nil
+	}
+	// chain seeds an archive-shaped write function: one full version, then
+	// every call commits a 1-sparse edit of the previous one.
+	nextVersion := func(rng *rand.Rand, v []byte) ([]byte, error) {
+		return sec.SparseEdit(rng, v, blockSize, 1)
+	}
+
+	// Direct path: the archive client speaks to the nodes itself, no cache.
+	directCluster, closeDirect := newCluster("direct")
+	defer closeDirect()
+	direct, err := sec.NewArchive(sec.ArchiveConfig{
+		Name:      "gwbench-direct",
+		Scheme:    sec.BasicSEC,
+		Code:      sec.NonSystematicCauchy,
+		N:         n,
+		K:         k,
+		BlockSize: blockSize,
+	}, directCluster)
+	if err != nil {
+		return report, err
+	}
+	rng := rand.New(rand.NewSource(5))
+	v := make([]byte, direct.Capacity())
+	rng.Read(v)
+	if _, err := direct.CommitContext(ctx, v); err != nil {
+		return report, err
+	}
+	size := len(v)
+	commitResult, err := profile("direct-commit", func() error {
+		next, err := nextVersion(rng, v)
+		if err != nil {
+			return err
+		}
+		if _, err := direct.CommitContext(ctx, next); err != nil {
+			return err
+		}
+		v = next
+		return nil
+	})
+	if err != nil {
+		return report, err
+	}
+	commitResult.BytesPerOp = int64(size)
+	report.Results = append(report.Results, commitResult)
+
+	// Retrieval reads a fixed 1-full + 4-delta chain tip, so every path
+	// decodes identical work.
+	readCluster, closeRead := newCluster("direct-read")
+	defer closeRead()
+	readArchive, err := sec.NewArchive(sec.ArchiveConfig{
+		Name:      "gwbench-direct-read",
+		Scheme:    sec.BasicSEC,
+		Code:      sec.NonSystematicCauchy,
+		N:         n,
+		K:         k,
+		BlockSize: blockSize,
+	}, readCluster)
+	if err != nil {
+		return report, err
+	}
+	rv := make([]byte, readArchive.Capacity())
+	rng.Read(rv)
+	if _, err := readArchive.CommitContext(ctx, rv); err != nil {
+		return report, err
+	}
+	for j := 0; j < 4; j++ {
+		next, err := nextVersion(rng, rv)
+		if err != nil {
+			return report, err
+		}
+		if _, err := readArchive.CommitContext(ctx, next); err != nil {
+			return report, err
+		}
+		rv = next
+	}
+	retrieveResult, err := profile("direct-retrieve", func() error {
+		_, _, err := readArchive.RetrieveContext(ctx, 5)
+		return err
+	})
+	if err != nil {
+		return report, err
+	}
+	retrieveResult.BytesPerOp = int64(size)
+	retrieveResult.MBPerS = mbPerS(int64(size), retrieveResult.NsPerOp)
+	report.Results = append(report.Results, retrieveResult)
+
+	// Gateway path: the same operations through a secgw-shaped server; the
+	// client pays one extra loopback hop and the gateway re-frames the
+	// object. Manifests persist under a throwaway root.
+	root, err := os.MkdirTemp("", "gwbench")
+	if err != nil {
+		return report, err
+	}
+	defer os.RemoveAll(root)
+	gwCluster, closeGW := newCluster("gw")
+	defer closeGW()
+	gw, err := gateway.New(gateway.Config{Cluster: gwCluster, Root: root})
+	if err != nil {
+		return report, err
+	}
+	defer gw.Close(context.Background())
+	gwServer := transport.NewServer(nil, transport.WithArchiveBackend(gw))
+	gwAddr, err := gwServer.Listen("127.0.0.1:0")
+	if err != nil {
+		return report, err
+	}
+	defer gwServer.Close()
+	client := secclient.Dial(gwAddr.String())
+	defer client.Close()
+
+	// Gateway commit: read cache off, pure write path.
+	if _, err := client.Create(ctx, "gwbench-commit", secclient.Spec{N: n, K: k, BlockSize: blockSize}); err != nil {
+		return report, err
+	}
+	gv := make([]byte, size)
+	rng.Read(gv)
+	if _, err := client.Commit(ctx, "gwbench-commit", gv); err != nil {
+		return report, err
+	}
+	gwCommit, err := profile("gw-commit", func() error {
+		next, err := nextVersion(rng, gv)
+		if err != nil {
+			return err
+		}
+		if _, err := client.Commit(ctx, "gwbench-commit", next); err != nil {
+			return err
+		}
+		gv = next
+		return nil
+	})
+	if err != nil {
+		return report, err
+	}
+	gwCommit.BytesPerOp = int64(size)
+	report.Results = append(report.Results, gwCommit)
+
+	// Gateway retrieve with the cache off: the honest hop-overhead number
+	// the 1.5x budget in the gate test holds against direct-retrieve.
+	buildChain := func(name string, spec secclient.Spec) error {
+		if _, err := client.Create(ctx, name, spec); err != nil {
+			return err
+		}
+		cv := make([]byte, size)
+		rng.Read(cv)
+		if _, err := client.Commit(ctx, name, cv); err != nil {
+			return err
+		}
+		for j := 0; j < 4; j++ {
+			next, err := nextVersion(rng, cv)
+			if err != nil {
+				return err
+			}
+			if _, err := client.Commit(ctx, name, next); err != nil {
+				return err
+			}
+			cv = next
+		}
+		return nil
+	}
+	if err := buildChain("gwbench-read", secclient.Spec{N: n, K: k, BlockSize: blockSize}); err != nil {
+		return report, err
+	}
+	gwRetrieve, err := profile("gw-retrieve", func() error {
+		_, err := client.Retrieve(ctx, "gwbench-read", 5)
+		return err
+	})
+	if err != nil {
+		return report, err
+	}
+	gwRetrieve.BytesPerOp = int64(size)
+	gwRetrieve.MBPerS = mbPerS(int64(size), gwRetrieve.NsPerOp)
+	report.Results = append(report.Results, gwRetrieve)
+
+	// Gateway hot reads: with the shared decoded-version cache warm, every
+	// client of the archive is served from gateway memory — zero node get
+	// RPCs per read, which is the whole point of sharing one archive.
+	if err := buildChain("gwbench-cached", secclient.Spec{N: n, K: k, BlockSize: blockSize, ReadCacheBytes: 8 << 20}); err != nil {
+		return report, err
+	}
+	if _, err := client.Retrieve(ctx, "gwbench-cached", 5); err != nil {
+		return report, err
+	}
+	var hits float64
+	gwCached, err := profile("gw-retrieve-cached", func() error {
+		got, err := client.Retrieve(ctx, "gwbench-cached", 5)
+		if err != nil {
+			return err
+		}
+		hits += float64(got.Stats.CacheHits)
+		return nil
+	})
+	if err != nil {
+		return report, err
+	}
+	gwCached.BytesPerOp = int64(size)
+	gwCached.MBPerS = mbPerS(int64(size), gwCached.NsPerOp)
+	gwCached.CacheHitsPerOp = hits / float64(iters+1)
+	report.Results = append(report.Results, gwCached)
+	return report, nil
+}

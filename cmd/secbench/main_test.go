@@ -189,3 +189,58 @@ func TestBenchTCPRetrieveReportsBatchedRPCs(t *testing.T) {
 		t.Errorf("batched path issued %.1f pings/op, per-shard %.1f", batched.PingRPCsPerOp, perShard.PingRPCsPerOp)
 	}
 }
+
+// TestBenchGatewayOverhead is the CI gate for serving archives through
+// secgw: gateway retrieval must issue the same node get RPCs as the
+// direct client and stay within its latency budget, and warm
+// gateway-cache reads must be served with zero node get RPCs.
+func TestBenchGatewayOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP benchmark in -short mode")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(t.Context(), []string{"-bench", "gateway", "-benchout", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_gateway.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	results := make(map[string]benchResult, len(report.Results))
+	for _, r := range report.Results {
+		results[r.Name] = r
+	}
+	for _, name := range []string{"direct-commit", "direct-retrieve", "gw-commit", "gw-retrieve", "gw-retrieve-cached"} {
+		r, ok := results[name]
+		if !ok {
+			t.Fatalf("report lacks %q: %+v", name, report.Results)
+		}
+		if r.Iterations <= 0 || r.NsPerOp <= 0 || r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
+			t.Errorf("%s: implausible distribution %+v", name, r)
+		}
+	}
+	// The gateway adds one loopback hop but no extra node traffic: same
+	// get RPCs per retrieval as the direct client, and p50 within 1.5x.
+	direct, gw := results["direct-retrieve"], results["gw-retrieve"]
+	if gw.GetRPCsPerOp != direct.GetRPCsPerOp {
+		t.Errorf("gateway retrieval issued %.1f get RPCs/op, direct %.1f: the gateway is amplifying node traffic",
+			gw.GetRPCsPerOp, direct.GetRPCsPerOp)
+	}
+	if gw.P50Ns > 1.5*direct.P50Ns {
+		t.Errorf("gateway retrieve p50 %.0fns vs direct %.0fns: over the 1.5x loopback budget", gw.P50Ns, direct.P50Ns)
+	}
+	// Warm shared-cache reads are the gateway's payoff: zero node get RPCs,
+	// every read a cache hit.
+	cached := results["gw-retrieve-cached"]
+	if cached.GetRPCsPerOp != 0 {
+		t.Errorf("warm gateway-cache reads issued %.2f get RPCs/op, want 0", cached.GetRPCsPerOp)
+	}
+	if cached.CacheHitsPerOp < 1 {
+		t.Errorf("warm gateway-cache reads hit the cache %.2f times/op, want 1", cached.CacheHitsPerOp)
+	}
+}

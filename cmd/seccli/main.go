@@ -1,10 +1,14 @@
 // Command seccli manages a SEC versioned archive stored across secnode
 // servers. The archive's metadata lives in a local manifest file; shards
-// live on the nodes.
+// live on the nodes. With -gw the same commands run against a secgw
+// gateway daemon instead: the gateway owns the manifest and the cluster
+// connections, and seccli becomes a thin remote client. Both modes run
+// through the secclient SDK, so local and remote use are one code path.
 //
 // Usage:
 //
 //	seccli [-nodes addrs] [-manifest path] [-timeout d] <subcommand> [flags]
+//	seccli -gw host:port [-name archive] [-timeout d] <subcommand> [flags]
 //
 //	seccli -nodes 127.0.0.1:7070,127.0.0.1:7071,... -manifest a.json init \
 //	       -scheme basic-sec -code non-systematic-cauchy -n 6 -k 3 -blocksize 1024 \
@@ -16,30 +20,36 @@
 //	seccli -nodes ... -manifest a.json scrub -repair
 //	seccli -nodes ... -manifest a.json compact -max-chain 4
 //	seccli -nodes ... -manifest recovered.json attach -name archive
+//	seccli -gw 127.0.0.1:7080 -name archive commit document.bin
 //
 // Global flags:
 //
-//	-nodes     comma-separated secnode addresses (required; shard i goes to node i)
-//	-manifest  path of the archive manifest file (default archive.json)
+//	-nodes     comma-separated secnode addresses (required without -gw;
+//	           shard i goes to node i)
+//	-manifest  path of the archive manifest file (default archive.json;
+//	           ignored with -gw, the gateway owns manifests)
+//	-gw        secgw gateway address; commands run remotely against it
+//	-name      archive name (default: the manifest's name, or "archive"
+//	           with -gw)
 //	-timeout   deadline for the whole operation (0 = none); SIGINT/SIGTERM
 //	           also cancel the operation context immediately
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 
 	sec "github.com/secarchive/sec"
-	"github.com/secarchive/sec/internal/core"
-	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/gateway"
+	"github.com/secarchive/sec/secclient"
 )
 
 func main() {
@@ -58,7 +68,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		nodesFlag    = fs.String("nodes", "", "comma-separated secnode addresses (shard i goes to node i)")
-		manifestPath = fs.String("manifest", "archive.json", "path of the archive manifest file")
+		manifestPath = fs.String("manifest", "archive.json", "path of the archive manifest file (ignored with -gw)")
+		gwFlag       = fs.String("gw", "", "secgw gateway address; commands run remotely against it")
+		nameFlag     = fs.String("name", "", "archive name (default: the manifest's name, or \"archive\" with -gw)")
 		timeout      = fs.Duration("timeout", 0, "deadline for the whole operation (0 = no deadline; signals still cancel)")
 	)
 	fs.Usage = func() {
@@ -74,35 +86,59 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if fs.NArg() == 0 {
 		return errors.New("missing subcommand: init, commit, get, info, repair, scrub, compact or attach")
 	}
-	if *nodesFlag == "" {
-		return errors.New("-nodes is required")
+	if *gwFlag == "" && *nodesFlag == "" {
+		return errors.New("-nodes is required (or -gw to use a gateway)")
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	cluster, closeNodes := dialCluster(strings.Split(*nodesFlag, ","))
-	defer closeNodes()
+
+	// Both modes speak through one secclient.Client: a remote gateway over
+	// TCP, or a single-archive gateway embedded in this process whose
+	// manifest is pinned to -manifest.
+	var client *secclient.Client
+	if *gwFlag != "" {
+		client = secclient.Dial(*gwFlag)
+		defer client.Close()
+	} else {
+		cluster, closeNodes := dialCluster(strings.Split(*nodesFlag, ","))
+		defer closeNodes()
+		gw, err := gateway.New(gateway.Config{
+			Cluster:      cluster,
+			ManifestPath: func(string) string { return *manifestPath },
+		})
+		if err != nil {
+			return err
+		}
+		client = secclient.Embed(gw)
+	}
 
 	sub, subArgs := fs.Arg(0), fs.Args()[1:]
+	// init and attach name the archive themselves; every other command
+	// targets an existing one. Resolution is lazy so `seccli get -h` works
+	// without a manifest.
+	name := func() (string, error) {
+		return resolveName(*gwFlag, *nameFlag, *manifestPath)
+	}
 	switch sub {
 	case "init":
-		return cmdInit(out, cluster, *manifestPath, subArgs)
+		return cmdInit(ctx, out, client, *gwFlag, *nameFlag, *manifestPath, subArgs)
 	case "commit":
-		return cmdCommit(ctx, out, cluster, *manifestPath, subArgs)
+		return cmdCommit(ctx, out, client, name, subArgs)
 	case "get":
-		return cmdGet(ctx, out, cluster, *manifestPath, subArgs)
+		return cmdGet(ctx, out, client, name, subArgs)
 	case "info":
-		return cmdInfo(ctx, out, cluster, *manifestPath)
+		return cmdInfo(ctx, out, client, name)
 	case "repair":
-		return cmdRepair(ctx, out, cluster, *manifestPath, subArgs)
+		return cmdRepair(ctx, out, client, name, subArgs)
 	case "scrub":
-		return cmdScrub(ctx, out, cluster, *manifestPath, subArgs)
+		return cmdScrub(ctx, out, client, name, subArgs)
 	case "compact":
-		return cmdCompact(ctx, out, cluster, *manifestPath, subArgs)
+		return cmdCompact(ctx, out, client, name, subArgs)
 	case "attach":
-		return cmdAttach(ctx, out, cluster, *manifestPath, subArgs)
+		return cmdAttach(ctx, out, client, *gwFlag, *nameFlag, *manifestPath, subArgs)
 	default:
 		return fmt.Errorf("unknown subcommand %q", sub)
 	}
@@ -123,7 +159,38 @@ func dialCluster(addrs []string) (*sec.Cluster, func()) {
 	}
 }
 
-func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+// resolveName picks the archive a command operates on: the explicit -name,
+// else (remote mode) the default "archive", else the name recorded in the
+// local manifest file.
+func resolveName(gw, nameFlag, manifestPath string) (string, error) {
+	if nameFlag != "" {
+		return nameFlag, nil
+	}
+	if gw != "" {
+		return "archive", nil
+	}
+	f, err := os.Open(manifestPath)
+	if err != nil {
+		return "", fmt.Errorf("opening manifest (run init first?): %w", err)
+	}
+	defer f.Close()
+	var m struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return "", fmt.Errorf("decoding manifest %s: %w", manifestPath, err)
+	}
+	if m.Name == "" {
+		return "", fmt.Errorf("manifest %s names no archive", manifestPath)
+	}
+	return m.Name, nil
+}
+
+// nameFunc resolves the target archive's name on demand, after subcommand
+// flags (including -h) have been handled.
+type nameFunc func() (string, error)
+
+func cmdInit(ctx context.Context, out io.Writer, client *secclient.Client, gw, globalName, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("init", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -145,21 +212,13 @@ func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []st
 		}
 		return err
 	}
-	if _, err := os.Stat(manifestPath); err == nil {
-		return fmt.Errorf("manifest %s already exists", manifestPath)
+	archiveName := *name
+	if globalName != "" {
+		archiveName = globalName
 	}
-	parsedScheme, err := core.ParseScheme(*scheme)
-	if err != nil {
-		return err
-	}
-	parsedKind, err := erasure.ParseKind(*code)
-	if err != nil {
-		return err
-	}
-	archive, err := sec.NewArchive(sec.ArchiveConfig{
-		Name:             *name,
-		Scheme:           parsedScheme,
-		Code:             parsedKind,
+	info, err := client.Create(ctx, archiveName, secclient.Spec{
+		Scheme:           *scheme,
+		Code:             *code,
 		N:                *n,
 		K:                *k,
 		BlockSize:        *blockSize,
@@ -168,23 +227,24 @@ func cmdInit(out io.Writer, cluster *sec.Cluster, manifestPath string, args []st
 		CompressDeltas:   *compress,
 		CompressGammaMax: *compressMax,
 		ReadCacheBytes:   *readCache,
-	}, cluster)
+	})
 	if err != nil {
 		return err
 	}
-	if err := saveManifest(archive, manifestPath); err != nil {
-		return err
+	where := fmt.Sprintf("manifest %s", manifestPath)
+	if gw != "" {
+		where = fmt.Sprintf("gateway %s", gw)
 	}
-	fmt.Fprintf(out, "initialized %s archive: (n,k)=(%d,%d), capacity %d bytes, manifest %s\n",
-		parsedScheme, *n, *k, archive.Capacity(), manifestPath)
+	fmt.Fprintf(out, "initialized %s archive: (n,k)=(%d,%d), capacity %d bytes, %s\n",
+		info.Manifest.Scheme, *n, *k, info.Capacity, where)
 	return nil
 }
 
-func cmdCommit(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdCommit(ctx context.Context, out io.Writer, client *secclient.Client, resolve nameFunc, args []string) error {
 	if len(args) != 1 {
 		return errors.New("usage: commit <file>")
 	}
-	archive, err := loadManifest(cluster, manifestPath)
+	name, err := resolve()
 	if err != nil {
 		return err
 	}
@@ -192,32 +252,10 @@ func cmdCommit(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifes
 	if err != nil {
 		return err
 	}
-	info, err := archive.CommitContext(ctx, content)
-	if info.Version == 0 {
-		return err // nothing was stored
-	}
-	// The commit is durable even when err is non-nil (a failed
-	// auto-compaction reports the committed version alongside the error),
-	// and for Reversed SEC the previous tip's full codeword is already
-	// gone from the nodes - so the manifest MUST be persisted now either
-	// way, or a reopen would anchor on deleted objects.
-	if serr := saveManifest(archive, manifestPath); serr != nil {
-		// Both failures matter: the commit error explains the chain state,
-		// the save error explains why the manifest on disk is stale.
-		err = errors.Join(err, fmt.Errorf("saving manifest: %w", serr))
-	} else {
-		// Replicate the manifest onto the nodes too, so `attach` can
-		// recover it if the local copy is lost; best effort. Only after
-		// the manifest is safe are compaction-superseded codewords
-		// reclaimed from the nodes.
-		_ = archive.SaveToClusterContext(ctx)
-		if info.Compaction != nil {
-			deleted, _, rerr := archive.ReclaimSupersededContext(ctx)
-			if rerr == nil {
-				info.Compaction.ShardsDeleted += deleted
-			}
-		}
-	}
+	// The gateway owns the crash-safe ordering: commit, persist the
+	// manifest (even when auto-compaction failed mid-commit), replicate it
+	// to the nodes, then reclaim superseded codewords.
+	info, err := client.Commit(ctx, name, content)
 	if err != nil {
 		return err
 	}
@@ -239,7 +277,7 @@ func cmdCommit(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifes
 	return nil
 }
 
-func cmdGet(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdGet(ctx context.Context, out io.Writer, client *secclient.Client, resolve nameFunc, args []string) error {
 	fs := flag.NewFlagSet("get", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -252,27 +290,24 @@ func cmdGet(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPa
 		}
 		return err
 	}
-	archive, err := loadManifest(cluster, manifestPath)
+	name, err := resolve()
 	if err != nil {
 		return err
 	}
-	l := *version
-	if l == 0 {
-		l = archive.Versions()
-	}
-	content, stats, err := archive.RetrieveContext(ctx, l)
+	got, err := client.Retrieve(ctx, name, *version)
 	if err != nil {
 		return err
 	}
 	if *outPath == "" {
-		if _, err := out.Write(content); err != nil {
+		if _, err := out.Write(got.Data); err != nil {
 			return err
 		}
-	} else if err := os.WriteFile(*outPath, content, 0o644); err != nil {
+	} else if err := os.WriteFile(*outPath, got.Data, 0o644); err != nil {
 		return err
 	}
+	stats := got.Stats
 	line := fmt.Sprintf("retrieved version %d (%d bytes) with %d node reads (%d sparse, %d full objects)",
-		l, len(content), stats.NodeReads, stats.SparseReads, stats.FullReads)
+		got.Version, len(got.Data), stats.NodeReads, stats.SparseReads, stats.FullReads)
 	if stats.CompressedReads > 0 {
 		line += fmt.Sprintf(", %d compressed", stats.CompressedReads)
 	}
@@ -283,14 +318,18 @@ func cmdGet(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPa
 	return nil
 }
 
-func cmdInfo(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string) error {
-	archive, err := loadManifest(cluster, manifestPath)
+func cmdInfo(ctx context.Context, out io.Writer, client *secclient.Client, resolve nameFunc) error {
+	name, err := resolve()
 	if err != nil {
 		return err
 	}
-	m := archive.Manifest()
+	info, err := client.Info(ctx, name)
+	if err != nil {
+		return err
+	}
+	m := info.Manifest
 	header := fmt.Sprintf("archive %q: scheme=%s code=%s (n,k)=(%d,%d) blocksize=%d versions=%d",
-		m.Name, m.Scheme, m.Code, m.N, m.K, m.BlockSize, len(m.Entries))
+		m.Name, m.Scheme, m.Code, m.N, m.K, m.BlockSize, info.Versions)
 	if m.CompressDeltas {
 		gmax := m.CompressGammaMax
 		if gmax == 0 {
@@ -298,17 +337,15 @@ func cmdInfo(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestP
 		}
 		header += fmt.Sprintf(" compress=on(gamma<=%d)", gmax)
 	}
-	if cache, ok := archive.ReadCacheStats(); ok {
-		header += fmt.Sprintf(" read-cache=%dB", cache.Budget)
+	if info.Cache != nil {
+		header += fmt.Sprintf(" read-cache=%dB", info.Cache.Budget)
 	}
 	fmt.Fprintln(out, header)
-	// One pass over the chain graph prices every version; per-version
-	// ChainDepth/PlannedReads calls would redo it L times.
-	depths, planned, err := archive.ChainStats()
+	entries, err := client.Log(ctx, name)
 	if err != nil {
 		return err
 	}
-	for _, e := range m.Entries {
+	for _, e := range entries {
 		kind := "no object (reached via chain)"
 		if e.Full {
 			kind = "full"
@@ -329,20 +366,16 @@ func cmdInfo(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestP
 			kind += " (checkpoint)"
 		}
 		fmt.Fprintf(out, "  v%d: %s, %d bytes, chain depth %d, planned reads %d\n",
-			e.Version, kind, e.Length, depths[e.Version-1], planned[e.Version-1])
+			e.Version, kind, e.Length, e.ChainDepth, e.PlannedReads)
 	}
-	// Per-node health: one liveness probe per node now, plus the cluster's
-	// accumulated breaker and failure counters, so degraded nodes are
-	// visible before a retrieval trips over them.
-	_, unreachable := cluster.TotalStatsChecked(ctx)
-	down := make(map[string]bool, len(unreachable))
-	for _, id := range unreachable {
-		down[id] = true
-	}
-	fmt.Fprintf(out, "nodes (%d):\n", cluster.Size())
-	for _, h := range cluster.Health() {
+	// Per-node health: the gateway probes each node at Info time, and the
+	// health snapshot carries the accumulated breaker and failure counters,
+	// so degraded nodes are visible before a retrieval trips over them.
+	fmt.Fprintf(out, "nodes (%d):\n", len(info.Nodes))
+	for _, n := range info.Nodes {
+		h := n.Health
 		probe := "up"
-		if down[h.ID] {
+		if !n.Up {
 			probe = "DOWN"
 		}
 		line := fmt.Sprintf("  node %d (%s): probe %s, breaker %s, ok=%d fail=%d",
@@ -364,7 +397,7 @@ func cmdInfo(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestP
 	return nil
 }
 
-func cmdRepair(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdRepair(ctx context.Context, out io.Writer, client *secclient.Client, resolve nameFunc, args []string) error {
 	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
 	fs.SetOutput(out)
 	node := fs.Int("node", -1, "cluster node index to repair (position in -nodes)")
@@ -377,11 +410,11 @@ func cmdRepair(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifes
 	if *node < 0 {
 		return errors.New("repair: -node is required")
 	}
-	archive, err := loadManifest(cluster, manifestPath)
+	name, err := resolve()
 	if err != nil {
 		return err
 	}
-	report, err := archive.RepairNodeContext(ctx, *node)
+	report, err := client.Repair(ctx, name, *node)
 	if err != nil {
 		return err
 	}
@@ -390,7 +423,7 @@ func cmdRepair(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifes
 	return nil
 }
 
-func cmdScrub(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdScrub(ctx context.Context, out io.Writer, client *secclient.Client, resolve nameFunc, args []string) error {
 	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
 	fs.SetOutput(out)
 	repair := fs.Bool("repair", false, "rewrite missing or corrupt shards")
@@ -400,11 +433,11 @@ func cmdScrub(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifest
 		}
 		return err
 	}
-	archive, err := loadManifest(cluster, manifestPath)
+	name, err := resolve()
 	if err != nil {
 		return err
 	}
-	report, err := archive.ScrubContext(ctx, *repair)
+	report, err := client.Scrub(ctx, name, *repair)
 	if err != nil {
 		return err
 	}
@@ -414,7 +447,7 @@ func cmdScrub(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifest
 	return nil
 }
 
-func cmdCompact(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdCompact(ctx context.Context, out io.Writer, client *secclient.Client, resolve nameFunc, args []string) error {
 	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
 	fs.SetOutput(out)
 	maxChain := fs.Int("max-chain", 0, "chain-depth bound to enforce (default: the archive's configured MaxChainLength)")
@@ -424,43 +457,28 @@ func cmdCompact(ctx context.Context, out io.Writer, cluster *sec.Cluster, manife
 		}
 		return err
 	}
-	archive, err := loadManifest(cluster, manifestPath)
+	name, err := resolve()
 	if err != nil {
 		return err
 	}
-	bound := *maxChain
-	if bound <= 0 {
-		bound = archive.Config().MaxChainLength
-	}
-	if bound <= 0 {
-		return errors.New("compact: archive has no MaxChainLength configured; pass -max-chain")
-	}
-	// Crash-safe ordering: rewrite and swap while keeping the superseded
-	// codewords, persist the new manifest (locally and onto the nodes),
-	// and only then reclaim - a crash at any step leaves every persisted
-	// manifest pointing at objects that still exist.
-	info, err := archive.CompactKeepSupersededContext(ctx, bound)
+	// The gateway runs the crash-safe ordering: rewrite and swap while
+	// keeping the superseded codewords, persist the new manifest (locally
+	// and onto the nodes), and only then reclaim.
+	report, err := client.Compact(ctx, name, *maxChain)
 	if err != nil {
 		return err
 	}
+	info := report.Info
 	if !info.Changed() {
 		fmt.Fprintf(out, "chains already within %d deltas: nothing to compact\n", info.MaxChainLength)
 		return nil
 	}
-	if err := saveManifest(archive, manifestPath); err != nil {
-		return err
-	}
-	_ = archive.SaveToClusterContext(ctx) // best effort, like commit
-	deleted, orphans, err := archive.ReclaimSupersededContext(ctx)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(out, "compacted to max chain %d: %d versions rebased, %d promoted to checkpoints, %d shard writes, %d superseded shards deleted (%d orphaned), %d node reads\n",
-		info.MaxChainLength, len(info.Rebased), len(info.Promoted), info.ShardWrites, deleted, orphans, info.NodeReads)
+		info.MaxChainLength, len(info.Rebased), len(info.Promoted), info.ShardWrites, report.Deleted, report.Orphans, info.NodeReads)
 	return nil
 }
 
-func cmdAttach(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifestPath string, args []string) error {
+func cmdAttach(ctx context.Context, out io.Writer, client *secclient.Client, gw, globalName, manifestPath string, args []string) error {
 	fs := flag.NewFlagSet("attach", flag.ContinueOnError)
 	fs.SetOutput(out)
 	name := fs.String("name", "archive", "archive name to recover from the cluster")
@@ -470,46 +488,26 @@ func cmdAttach(ctx context.Context, out io.Writer, cluster *sec.Cluster, manifes
 		}
 		return err
 	}
-	if _, err := os.Stat(manifestPath); err == nil {
-		return fmt.Errorf("manifest %s already exists", manifestPath)
+	archiveName := *name
+	if globalName != "" {
+		archiveName = globalName
 	}
-	archive, err := core.LoadFromClusterContext(ctx, *name, cluster)
+	if gw == "" {
+		if _, err := os.Stat(manifestPath); err == nil {
+			return fmt.Errorf("manifest %s already exists", manifestPath)
+		}
+	}
+	// Opening an archive the gateway has no manifest for falls back to the
+	// cluster-replicated copy and re-persists it — which, with the
+	// manifest pinned to -manifest, is exactly the recovery attach does.
+	info, err := client.Info(ctx, archiveName)
 	if err != nil {
 		return err
 	}
-	if err := saveManifest(archive, manifestPath); err != nil {
-		return err
+	where := fmt.Sprintf("manifest written to %s", manifestPath)
+	if gw != "" {
+		where = fmt.Sprintf("served by gateway %s", gw)
 	}
-	fmt.Fprintf(out, "attached to archive %q: %d versions, manifest written to %s\n",
-		*name, archive.Versions(), manifestPath)
+	fmt.Fprintf(out, "attached to archive %q: %d versions, %s\n", archiveName, info.Versions, where)
 	return nil
-}
-
-func loadManifest(cluster *sec.Cluster, path string) (*sec.Archive, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("opening manifest (run init first?): %w", err)
-	}
-	defer f.Close()
-	return core.Load(f, cluster)
-}
-
-func saveManifest(archive *sec.Archive, path string) error {
-	// Write next to the destination so the final rename stays on one
-	// filesystem and is atomic.
-	f, err := os.CreateTemp(filepath.Dir(path), "manifest-*.json")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := archive.Save(f); err != nil {
-		_ = f.Close()
-		_ = os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

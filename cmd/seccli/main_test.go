@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,9 @@ import (
 	"time"
 
 	sec "github.com/secarchive/sec"
+	"github.com/secarchive/sec/internal/gateway"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
 )
 
 // startNodes launches n in-process secnode-equivalent servers and returns
@@ -451,7 +455,7 @@ func TestCLIUsageListsAllFlagsAndSubcommands(t *testing.T) {
 		t.Fatalf("-h: %v", err)
 	}
 	usage := out.String()
-	for _, want := range []string{"-nodes", "-manifest", "-timeout", "init", "commit", "get", "info", "repair", "scrub", "compact", "attach"} {
+	for _, want := range []string{"-nodes", "-manifest", "-timeout", "-gw", "-name", "init", "commit", "get", "info", "repair", "scrub", "compact", "attach"} {
 		if !strings.Contains(usage, want) {
 			t.Errorf("usage output missing %q:\n%s", want, usage)
 		}
@@ -495,5 +499,100 @@ func TestCLITimeoutFlagBoundsOperations(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("-timeout did not bound the operation: took %v", elapsed)
+	}
+}
+
+// TestCLIRemoteGateway drives the same subcommands against a secgw-shaped
+// server over TCP: with -gw, seccli needs neither -nodes nor a local
+// manifest, and embedded and remote use are byte-for-byte the same output.
+func TestCLIRemoteGateway(t *testing.T) {
+	gw, err := gateway.New(gateway.Config{
+		Cluster: store.NewMemCluster(6),
+		Root:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer(nil, transport.WithArchiveBackend(gw))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = gw.Close(context.Background())
+	})
+	gwFlag := addr.String()
+
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err = run(t.Context(), []string{"-gw", gwFlag, "init", "-n", "6", "-k", "3", "-blocksize", "8", "-name", "docs"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "initialized basic-sec archive") ||
+		!strings.Contains(out.String(), "gateway "+gwFlag) {
+		t.Errorf("remote init output: %s", out.String())
+	}
+
+	file := filepath.Join(dir, "v1.bin")
+	if err := os.WriteFile(file, bytes.Repeat([]byte{7}, 24), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(t.Context(), []string{"-gw", gwFlag, "-name", "docs", "commit", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "committed version 1 as full version") {
+		t.Errorf("remote commit output: %s", out.String())
+	}
+
+	got := filepath.Join(dir, "got.bin")
+	out.Reset()
+	if err := run(t.Context(), []string{"-gw", gwFlag, "-name", "docs", "get", "-out", got}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "retrieved version 1 (24 bytes)") {
+		t.Errorf("remote get output: %s", out.String())
+	}
+	data, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte{7}, 24)) {
+		t.Error("remote get returned different bytes")
+	}
+
+	out.Reset()
+	if err := run(t.Context(), []string{"-gw", gwFlag, "-name", "docs", "info"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`archive "docs"`, "versions=1", "nodes (6):", "v1: full"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("remote info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Maintenance ops work remotely too.
+	out.Reset()
+	if err := run(t.Context(), []string{"-gw", gwFlag, "-name", "docs", "scrub"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scrubbed: ") {
+		t.Errorf("remote scrub output: %s", out.String())
+	}
+
+	// Without -name the remote default is "archive", which doesn't exist.
+	if err := run(t.Context(), []string{"-gw", gwFlag, "info"}, &out); err == nil {
+		t.Error("remote info for a nonexistent default archive: want error")
+	}
+
+	// attach against a gateway reports what it serves; no local manifest.
+	out.Reset()
+	if err := run(t.Context(), []string{"-gw", gwFlag, "attach", "-name", "docs"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `attached to archive "docs": 1 versions, served by gateway`) {
+		t.Errorf("remote attach output: %s", out.String())
 	}
 }

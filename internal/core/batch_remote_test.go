@@ -1,0 +1,201 @@
+// These tests drive archives over real transport servers, so they live in
+// an external test package: transport imports core for the gateway
+// protocol, and an internal test package may not close that import cycle.
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+)
+
+var (
+	testConfig   = core.TestConfigForExternal
+	mustCommit   = core.MustCommitForExternal
+	mustRetrieve = core.MustRetrieveForExternal
+	editBlocks   = core.EditBlocksForExternal
+	fullID       = core.FullIDForExternal
+	deltaID      = core.DeltaIDForExternal
+)
+
+// remoteCluster starts one transport server per backing node and returns a
+// cluster of RemoteNode clients plus the servers for RPC accounting.
+func remoteCluster(t *testing.T, backing []store.Node) (*store.Cluster, []*transport.Server) {
+	t.Helper()
+	nodes := make([]store.Node, len(backing))
+	servers := make([]*transport.Server, len(backing))
+	for i, b := range backing {
+		srv := transport.NewServer(b)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		client := transport.NewRemoteNode(fmt.Sprintf("remote-%d", i), addr.String(),
+			transport.WithTimeout(5*time.Second))
+		t.Cleanup(func() { _ = client.Close() })
+		nodes[i] = client
+		servers[i] = srv
+	}
+	return store.NewCluster(nodes), servers
+}
+
+func sumRequests(servers []*transport.Server) transport.RequestStats {
+	var total transport.RequestStats
+	for _, s := range servers {
+		st := s.RequestStats()
+		total.Puts += st.Puts
+		total.Gets += st.Gets
+		total.GetBatches += st.GetBatches
+		total.GetBatchShards += st.GetBatchShards
+		total.PutBatches += st.PutBatches
+		total.PutBatchShards += st.PutBatchShards
+	}
+	return total
+}
+
+// TestRemoteRetrieveOneRPCPerNode is the wire-cost contract end to end: a
+// retrieval over TCP nodes must issue one get RPC per node touched, not
+// one per shard, while the per-shard fallback path issues one per shard.
+func TestRemoteRetrieveOneRPCPerNode(t *testing.T) {
+	backing := make([]store.Node, 6)
+	for i := range backing {
+		backing[i] = store.NewMemNode(fmt.Sprintf("mem-%d", i))
+	}
+	cluster, servers := remoteCluster(t, backing)
+	a, err := core.New(testConfig(core.NonDifferential, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{3}, a.Capacity())
+	mustCommit(t, a, v1)
+	before := sumRequests(servers)
+	if before.PutBatches != 6 || before.Puts != 0 {
+		t.Errorf("commit used %d batch / %d per-shard puts, want 6 batches (one per node)", before.PutBatches, before.Puts)
+	}
+	got, stats := mustRetrieve(t, a, 1)
+	if !bytes.Equal(got, v1) {
+		t.Error("content mismatch over TCP")
+	}
+	after := sumRequests(servers)
+	k := a.Config().K
+	if stats.NodeReads != k {
+		t.Errorf("NodeReads = %d, want %d", stats.NodeReads, k)
+	}
+	if gets := after.Gets - before.Gets; gets != 0 {
+		t.Errorf("%d per-shard get RPCs issued, want 0", gets)
+	}
+	if batches := after.GetBatches - before.GetBatches; batches != uint64(k) {
+		// Colocated placement: each touched node holds one row, so one
+		// batch RPC per node = k RPCs carrying k shards total.
+		t.Errorf("get-batch RPCs = %d, want %d (one per node)", batches, k)
+	}
+	if shards := after.GetBatchShards - before.GetBatchShards; shards != uint64(k) {
+		t.Errorf("batched shards = %d, want %d", shards, k)
+	}
+
+	// The same retrieval with batching disabled pays one RPC per shard.
+	cfgPer := testConfig(core.NonDifferential, erasure.NonSystematicCauchy)
+	cfgPer.DisableBatchIO = true
+	aPer, err := core.New(cfgPer, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, aPer, v1)
+	before = sumRequests(servers)
+	mustRetrieve(t, aPer, 1)
+	after = sumRequests(servers)
+	if gets := after.Gets - before.Gets; gets != uint64(k) {
+		t.Errorf("per-shard path issued %d get RPCs, want %d", gets, k)
+	}
+	if batches := after.GetBatches - before.GetBatches; batches != 0 {
+		t.Errorf("per-shard path issued %d batch RPCs, want 0", batches)
+	}
+}
+
+// opaqueNode hides every optional capability of a node, so the cluster
+// must fall back to per-shard operations for it.
+type opaqueNode struct{ inner store.Node }
+
+func (o opaqueNode) ID() string { return o.inner.ID() }
+func (o opaqueNode) Put(ctx context.Context, id store.ShardID, d []byte) error {
+	return o.inner.Put(ctx, id, d)
+}
+func (o opaqueNode) Get(ctx context.Context, id store.ShardID) ([]byte, error) {
+	return o.inner.Get(ctx, id)
+}
+func (o opaqueNode) Delete(ctx context.Context, id store.ShardID) error {
+	return o.inner.Delete(ctx, id)
+}
+func (o opaqueNode) Available(ctx context.Context) bool { return o.inner.Available(ctx) }
+func (o opaqueNode) Stats() store.NodeStats             { return o.inner.Stats() }
+func (o opaqueNode) ResetStats()                        { o.inner.ResetStats() }
+
+// TestMixedClusterBatchedArchive runs a full commit/retrieve/damage/scrub
+// cycle on a cluster mixing MemNode, DiskNode, a plain (batch-incapable)
+// node, and RemoteNodes behind real TCP servers.
+func TestMixedClusterBatchedArchive(t *testing.T) {
+	disk0, err := store.NewDiskNode("disk-0", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteMem := store.NewMemNode("remote-mem")
+	remoteDisk, err := store.NewDiskNode("remote-disk", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remotes, servers := remoteCluster(t, []store.Node{remoteMem, remoteDisk})
+	r0, _ := remotes.Node(0)
+	r1, _ := remotes.Node(1)
+	nodes := []store.Node{
+		store.NewMemNode("mem-0"),
+		disk0,
+		opaqueNode{store.NewMemNode("plain")},
+		store.NewMemNode("mem-1"),
+		r0,
+		r1,
+	}
+	cluster := store.NewCluster(nodes)
+	a, err := core.New(testConfig(core.BasicSEC, erasure.NonSystematicCauchy), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{9}, a.Capacity())
+	v2 := editBlocks(v1, a.Config().BlockSize, 1)
+	mustCommit(t, a, v1)
+	mustCommit(t, a, v2)
+	got, stats := mustRetrieve(t, a, 2)
+	if !bytes.Equal(got, v2) {
+		t.Error("mixed-cluster retrieval mismatch")
+	}
+	if stats.NodeReads != 5 { // k + 2*gamma
+		t.Errorf("NodeReads = %d, want 5", stats.NodeReads)
+	}
+	// Damage the shard on the plain node and one remote-backed shard; scrub
+	// must heal both through their respective paths.
+	if err := nodes[2].Delete(t.Context(), store.ShardID{Object: fullID(a.Config().Name, 1), Row: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := remoteMem.Delete(t.Context(), store.ShardID{Object: deltaID(a.Config().Name, 2), Row: 4}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ShardsMissing != 2 || report.Repaired != 2 {
+		t.Errorf("scrub report = %+v, want 2 missing and 2 repaired", report)
+	}
+	got, _ = mustRetrieve(t, a, 2)
+	if !bytes.Equal(got, v2) {
+		t.Error("post-scrub retrieval mismatch")
+	}
+	_ = servers
+}

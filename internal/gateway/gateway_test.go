@@ -1,0 +1,325 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+)
+
+// testSpec is a small (6,4) archive shape every test shares.
+func testSpec() transport.ArchiveSpec {
+	return transport.ArchiveSpec{N: 6, K: 4, BlockSize: 8}
+}
+
+// payloadFor builds a deterministic capacity-sized object for a version.
+func payloadFor(capacity, version int) []byte {
+	p := make([]byte, capacity)
+	for i := range p {
+		p[i] = byte(i*31 + version*7 + 1)
+	}
+	return p
+}
+
+func newTestGateway(t *testing.T, cfg Config) *Gateway {
+	t.Helper()
+	if cfg.Cluster == nil {
+		cfg.Cluster = store.NewMemCluster(6)
+	}
+	if cfg.Root == "" && cfg.ManifestPath == nil {
+		cfg.Root = t.TempDir()
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = g.Close(context.Background()) })
+	return g
+}
+
+func TestGatewayCreateCommitRetrieve(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	ctx := t.Context()
+	info, err := g.Create(ctx, "logs", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Manifest.Name != "logs" || info.Capacity != 32 || info.Versions != 0 {
+		t.Fatalf("Create info = %+v", info)
+	}
+	for v := 1; v <= 3; v++ {
+		ci, err := g.Commit(ctx, "logs", -1, payloadFor(32, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Version != v {
+			t.Fatalf("commit %d assigned version %d", v, ci.Version)
+		}
+	}
+	for v := 1; v <= 3; v++ {
+		got, err := g.Retrieve(ctx, "logs", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Version != v || !bytes.Equal(got.Data, payloadFor(32, v)) {
+			t.Errorf("version %d mismatch", v)
+		}
+	}
+	latest, err := g.Retrieve(ctx, "logs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version != 3 {
+		t.Errorf("latest = v%d, want v3", latest.Version)
+	}
+	all, _, err := g.RetrieveAll(ctx, "logs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || !bytes.Equal(all[0], payloadFor(32, 1)) {
+		t.Errorf("RetrieveAll returned %d versions", len(all))
+	}
+	entries, err := g.Log(ctx, "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Version != 1 || !entries[0].Full || entries[2].ChainDepth != 2 {
+		t.Errorf("Log = %+v", entries)
+	}
+	ai, err := g.Info(ctx, "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Versions != 3 || len(ai.Nodes) != 6 {
+		t.Errorf("Info = versions %d, %d nodes", ai.Versions, len(ai.Nodes))
+	}
+	for i, n := range ai.Nodes {
+		if !n.Up {
+			t.Errorf("node %d reported down", i)
+		}
+	}
+	st := g.Stats()
+	if st.Commits != 3 || st.ArchivesOpen != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestGatewayCreateConflicts(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	if _, err := g.Create(t.Context(), "a", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Create(t.Context(), "a", testSpec()); !errors.Is(err, store.ErrConflict) {
+		t.Errorf("duplicate create: err = %v, want ErrConflict", err)
+	}
+	for _, name := range []string{"", "a/b", `a\b`, ".hidden"} {
+		if _, err := g.Create(t.Context(), name, testSpec()); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+func TestGatewayCommitPrecondition(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	ctx := t.Context()
+	if _, err := g.Create(ctx, "a", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Commit(ctx, "a", 0, payloadFor(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Stale expectation: the archive now has 1 version, not 0.
+	if _, err := g.Commit(ctx, "a", 0, payloadFor(32, 2)); !errors.Is(err, store.ErrConflict) {
+		t.Fatalf("stale expect: err = %v, want ErrConflict", err)
+	}
+	if got := g.Stats().Conflicts; got != 1 {
+		t.Errorf("Conflicts = %d, want 1", got)
+	}
+	if g.Stats().Commits != 1 {
+		t.Errorf("Commits = %d, want 1", g.Stats().Commits)
+	}
+}
+
+func TestGatewayBusyRejection(t *testing.T) {
+	g := newTestGateway(t, Config{MaxQueuedWriters: 1})
+	ctx := t.Context()
+	if _, err := g.Create(ctx, "a", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.open(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the only writer slot; the next commit must be rejected, typed,
+	// without waiting.
+	if err := st.acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Commit(ctx, "a", -1, payloadFor(32, 1)); !errors.Is(err, store.ErrBusy) {
+		t.Fatalf("full queue: err = %v, want ErrBusy", err)
+	}
+	if got := g.Stats().BusyRejections; got != 1 {
+		t.Errorf("BusyRejections = %d, want 1", got)
+	}
+	st.release()
+	if _, err := g.Commit(ctx, "a", -1, payloadFor(32, 1)); err != nil {
+		t.Fatalf("commit after release: %v", err)
+	}
+}
+
+func TestGatewayAcquireHonorsContext(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	if _, err := g.Create(t.Context(), "a", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.open(t.Context(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.acquire(t.Context(), 8); err != nil {
+		t.Fatal(err)
+	}
+	defer st.release()
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	if err := st.acquire(ctx, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait: err = %v, want context.Canceled", err)
+	}
+	if got := st.queuedWriters(); got != 1 {
+		t.Errorf("queuedWriters = %d after cancelled wait, want 1", got)
+	}
+}
+
+func TestGatewayPersistenceAcrossRestart(t *testing.T) {
+	root := t.TempDir()
+	cluster := store.NewMemCluster(6)
+	g := newTestGateway(t, Config{Cluster: cluster, Root: root})
+	ctx := t.Context()
+	if _, err := g.Create(ctx, "a", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	want := payloadFor(32, 1)
+	if _, err := g.Commit(ctx, "a", -1, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Commit(ctx, "a", -1, want); !errors.Is(err, ErrClosed) {
+		t.Errorf("commit after close: err = %v, want ErrClosed", err)
+	}
+
+	// A fresh gateway over the same root and cluster reopens the archive
+	// from its persisted manifest.
+	g2 := newTestGateway(t, Config{Cluster: cluster, Root: root})
+	got, err := g2.Retrieve(ctx, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, want) {
+		t.Error("restarted gateway served different bytes")
+	}
+	if err := g2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Losing the local manifest falls back to the cluster-replicated copy
+	// (attach), which is then re-persisted locally.
+	path := filepath.Join(root, "a.json")
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	g3 := newTestGateway(t, Config{Cluster: cluster, Root: root})
+	got, err = g3.Retrieve(ctx, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, want) {
+		t.Error("cluster-recovered gateway served different bytes")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("recovered manifest not re-persisted locally: %v", err)
+	}
+}
+
+func TestGatewayUnknownArchiveAndVersion(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	ctx := t.Context()
+	if _, err := g.Retrieve(ctx, "nope", 1); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unknown archive: err = %v, want ErrNotFound", err)
+	}
+	if _, err := g.Create(ctx, "a", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Commit(ctx, "a", -1, payloadFor(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Retrieve(ctx, "a", 2); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unknown version: err = %v, want ErrNotFound", err)
+	}
+	if _, err := g.Retrieve(ctx, "a", -1); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("negative version: err = %v, want ErrNotFound", err)
+	}
+	// A failed open must not leave a poisoned entry: creating the name
+	// afterwards succeeds.
+	if _, err := g.Create(ctx, "nope", testSpec()); err != nil {
+		t.Errorf("create after failed open: %v", err)
+	}
+}
+
+func TestGatewayMaintenanceOps(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	ctx := t.Context()
+	spec := testSpec()
+	spec.MaxChainLength = 2
+	if _, err := g.Create(ctx, "a", spec); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 5; v++ {
+		if _, err := g.Commit(ctx, "a", -1, payloadFor(32, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := g.Compact(ctx, "a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Info.MaxChainLength != 2 {
+		t.Errorf("Compact report = %+v", report)
+	}
+	sr, err := g.Scrub(ctx, "a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ShardsChecked == 0 {
+		t.Error("scrub checked no shards")
+	}
+	if _, err := g.Repair(ctx, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	// All five versions still decode after maintenance.
+	for v := 1; v <= 5; v++ {
+		got, err := g.Retrieve(ctx, "a", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Data, payloadFor(32, v)) {
+			t.Errorf("version %d mismatch after compact+scrub+repair", v)
+		}
+	}
+}
+
+func TestGatewayCompactNeedsBound(t *testing.T) {
+	g := newTestGateway(t, Config{})
+	if _, err := g.Create(t.Context(), "a", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Compact(t.Context(), "a", 0); !errors.Is(err, store.ErrConflict) {
+		t.Errorf("unbounded compact: err = %v, want ErrConflict", err)
+	}
+}

@@ -1,0 +1,313 @@
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/gateway"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/transport"
+	"github.com/secarchive/sec/secclient"
+)
+
+// servedGateway is one secgw-shaped fixture: a gateway over in-memory
+// nodes, served on loopback TCP.
+type servedGateway struct {
+	gw      *gateway.Gateway
+	server  *transport.Server
+	cluster *store.Cluster
+	addr    string
+}
+
+func startServedGateway(t *testing.T) *servedGateway {
+	t.Helper()
+	cluster := store.NewMemCluster(6)
+	gw, err := gateway.New(gateway.Config{Cluster: cluster, Root: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := transport.NewServer(nil, transport.WithArchiveBackend(gw))
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = server.Close()
+		_ = gw.Close(context.Background())
+	})
+	return &servedGateway{gw: gw, server: server, cluster: cluster, addr: addr.String()}
+}
+
+func (s *servedGateway) dial(t *testing.T) *secclient.Client {
+	t.Helper()
+	client := secclient.Dial(s.addr, secclient.WithTimeout(5*time.Second))
+	t.Cleanup(func() { _ = client.Close() })
+	return client
+}
+
+// payloadFor builds a deterministic capacity-sized object for a version of
+// a named archive, so every client can verify bytes independently.
+func servedPayload(name string, capacity, version int) []byte {
+	seed := byte(len(name)) + name[0]
+	p := make([]byte, capacity)
+	for i := range p {
+		p[i] = byte(i*31+version*7) + seed
+	}
+	return p
+}
+
+// TestServedCacheCoherenceAcrossClients is the shared-read-cache contract:
+// two clients of one gateway share one decoded-version cache, a second
+// client's warm read is served from gateway memory with zero node reads,
+// and a commit by one writer invalidates what every other client sees —
+// the second client never reads stale bytes.
+func TestServedCacheCoherenceAcrossClients(t *testing.T) {
+	fixture := startServedGateway(t)
+	writer := fixture.dial(t)
+	reader := fixture.dial(t)
+	ctx := t.Context()
+
+	spec := secclient.Spec{N: 6, K: 4, BlockSize: 8, ReadCacheBytes: 1 << 20}
+	info, err := writer.Create(ctx, "shared", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := info.Capacity
+
+	v1 := servedPayload("shared", capacity, 1)
+	if _, err := writer.Commit(ctx, "shared", v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The writer's read warms the shared cache...
+	if _, err := writer.Latest(ctx, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	// ...so the OTHER client's read of the same version is a cache hit:
+	// zero node reads, served from gateway memory.
+	fixture.cluster.ResetStats()
+	rgot, err := reader.Retrieve(ctx, "shared", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rgot.Data, v1) {
+		t.Fatal("reader saw different bytes than the writer committed")
+	}
+	if rgot.Stats.CacheHits == 0 || rgot.Stats.NodeReads != 0 {
+		t.Errorf("warm cross-client read: stats = %+v, want a cache hit with zero node reads", rgot.Stats)
+	}
+	if reads := fixture.cluster.TotalStats().Reads; reads != 0 {
+		t.Errorf("warm cross-client read issued %d node get RPCs, want 0", reads)
+	}
+
+	// A second writer commit must invalidate what the reader sees: the
+	// reader's next latest-read returns the new version's bytes, never the
+	// cached old ones.
+	v2 := servedPayload("shared", capacity, 2)
+	if _, err := writer.Commit(ctx, "shared", v2); err != nil {
+		t.Fatal(err)
+	}
+	rgot, err = reader.Latest(ctx, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgot.Version != 2 || !bytes.Equal(rgot.Data, v2) {
+		t.Fatalf("reader served stale data after cross-client commit: v%d", rgot.Version)
+	}
+	// The old version is still intact and correct.
+	rgot, err = reader.Retrieve(ctx, "shared", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rgot.Data, v1) {
+		t.Error("version 1 corrupted by invalidation")
+	}
+}
+
+// TestServedConcurrentClients serves two archives from one gateway to a
+// crowd of concurrent TCP clients mixing commits, retrieves, and log
+// reads. Every retrieved version must be byte-identical to what its
+// version number dictates, optimistic-commit conflicts and busy
+// rejections must be the only write failures, and tearing the fixture
+// down must leak no goroutines. Run under -race in CI.
+func TestServedConcurrentClients(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	fixture := startServedGateway(t)
+	ctx := t.Context()
+	archives := []string{"alpha", "beta"}
+	const versionsPerArchive = 6
+	const readersPerArchive = 2
+
+	setup := fixture.dial(t)
+	capacity := 0
+	for _, name := range archives {
+		info, err := setup.Create(ctx, name, secclient.Spec{N: 6, K: 4, BlockSize: 8, ReadCacheBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		capacity = info.Capacity
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, len(archives)*(2+readersPerArchive))
+
+	// Two competing writers per archive race CommitAt on the same expected
+	// versions; conflict and busy rejections are re-read-and-retried, so
+	// the committed sequence stays exactly payload(1..versionsPerArchive).
+	for _, name := range archives {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				client := secclient.Dial(fixture.addr, secclient.WithTimeout(5*time.Second))
+				defer client.Close()
+				for {
+					info, err := client.Info(ctx, name)
+					if err != nil {
+						errc <- fmt.Errorf("info %s: %w", name, err)
+						return
+					}
+					v := info.Versions
+					if v >= versionsPerArchive {
+						return
+					}
+					_, err = client.CommitAt(ctx, name, v, servedPayload(name, capacity, v+1))
+					if err != nil && !errors.Is(err, store.ErrConflict) && !errors.Is(err, store.ErrBusy) {
+						errc <- fmt.Errorf("commit %s v%d: %w", name, v+1, err)
+						return
+					}
+				}
+			}(name)
+		}
+	}
+
+	// Readers hammer retrieve and log while the writers commit: whatever
+	// version they observe must carry exactly its dictated bytes.
+	for _, name := range archives {
+		for r := 0; r < readersPerArchive; r++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				client := secclient.Dial(fixture.addr, secclient.WithTimeout(5*time.Second))
+				defer client.Close()
+				for {
+					entries, err := client.Log(ctx, name)
+					if err != nil {
+						errc <- fmt.Errorf("log %s: %w", name, err)
+						return
+					}
+					if len(entries) == 0 {
+						continue
+					}
+					got, err := client.Latest(ctx, name)
+					if err != nil {
+						// The latest version can be superseded between the
+						// log and the read on a torn snapshot; only real
+						// failures count.
+						if errors.Is(err, store.ErrNotFound) {
+							continue
+						}
+						errc <- fmt.Errorf("latest %s: %w", name, err)
+						return
+					}
+					if !bytes.Equal(got.Data, servedPayload(name, capacity, got.Version)) {
+						errc <- fmt.Errorf("%s v%d served wrong bytes", name, got.Version)
+						return
+					}
+					if got.Version >= versionsPerArchive {
+						return
+					}
+				}
+			}(name)
+		}
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Every version of every archive is byte-identical for a fresh client.
+	final := fixture.dial(t)
+	for _, name := range archives {
+		versions, _, err := final.RetrieveAll(ctx, name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(versions) != versionsPerArchive {
+			t.Fatalf("%s has %d versions, want %d", name, len(versions), versionsPerArchive)
+		}
+		for i, data := range versions {
+			if !bytes.Equal(data, servedPayload(name, capacity, i+1)) {
+				t.Errorf("%s v%d not byte-identical", name, i+1)
+			}
+		}
+	}
+
+	// Teardown leaks nothing: close the clients and the server, then wait
+	// for the goroutine count to settle back.
+	_ = final.Close()
+	_ = setup.Close()
+	_ = fixture.server.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak: %d before, %d after teardown", before, g)
+	}
+}
+
+// TestServedGracefulShutdownPersists drives the secgw shutdown sequence:
+// stop the server, close the gateway, and a fresh gateway over the same
+// root serves the same bytes.
+func TestServedGracefulShutdownPersists(t *testing.T) {
+	cluster := store.NewMemCluster(6)
+	root := t.TempDir()
+	gw, err := gateway.New(gateway.Config{Cluster: cluster, Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := transport.NewServer(nil, transport.WithArchiveBackend(gw))
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := secclient.Dial(addr.String(), secclient.WithTimeout(5*time.Second))
+	ctx := t.Context()
+	if _, err := client.Create(ctx, "a", secclient.Spec{N: 6, K: 4, BlockSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	want := servedPayload("a", 32, 1)
+	if _, err := client.Commit(ctx, "a", want); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	if err := server.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	gw2, err := gateway.New(gateway.Config{Cluster: cluster, Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.Close(context.Background())
+	got, err := secclient.Embed(gw2).Retrieve(ctx, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, want) {
+		t.Error("restarted gateway served different bytes")
+	}
+}

@@ -60,6 +60,15 @@ var (
 	// integrity verification (bad header, truncation, CRC mismatch). See
 	// the package comment for the healing contract.
 	ErrCorrupt = errors.New("store: shard corrupt")
+	// ErrBusy is returned when a resource's admission bound is exceeded
+	// (for example a gateway archive whose writer queue is full). The
+	// request was never started; the caller may retry after backoff.
+	ErrBusy = errors.New("store: resource busy")
+	// ErrConflict is returned when an optimistic precondition fails (a
+	// commit against an expected version that is no longer current, or
+	// creating a resource that already exists). Retrying without
+	// re-reading current state will not succeed.
+	ErrConflict = errors.New("store: version conflict")
 )
 
 // ShardError attributes one failed shard operation: which node, which

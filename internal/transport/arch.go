@@ -1,0 +1,623 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/secarchive/sec/internal/core"
+	"github.com/secarchive/sec/internal/erasure"
+	"github.com/secarchive/sec/internal/store"
+)
+
+// Archive-level operation codes: one RPC per whole-archive operation,
+// served by a gateway (internal/gateway) instead of a storage node. Added
+// after opDeleteBatch; new codes must keep appending so wire values stay
+// stable across versions.
+const (
+	opArchCreate byte = iota + 10
+	opArchCommit
+	opArchGet
+	opArchGetAll
+	opArchLog
+	opArchInfo
+	opArchCompact
+	opArchScrub
+	opArchRepair
+)
+
+// ErrNotServed reports that the peer answered an archive-level op with a
+// plain statusError, which is what a legacy peer (a storage node, or a
+// gateway predating these ops) does for any op code it does not know.
+var ErrNotServed = errors.New("transport: peer does not serve archive ops")
+
+// ArchiveBackend is the archive-level service contract: everything a
+// gateway offers a client, expressed over whole archives instead of
+// shards. The transport serves any implementation (Server +
+// WithArchiveBackend) and provides one over the wire (ArchiveClient), so
+// an embedded gateway and a remote one are interchangeable behind this
+// interface.
+//
+// The version argument of Retrieve and RetrieveAll selects a version
+// number starting at 1; 0 selects the latest version at request time.
+// Commit's expect argument is an optimistic precondition: the commit
+// applies only if the archive currently has exactly expect versions
+// (a store.ErrConflict-wrapping error otherwise); expect < 0 skips the
+// check.
+type ArchiveBackend interface {
+	Create(ctx context.Context, name string, spec ArchiveSpec) (ArchiveInfo, error)
+	Commit(ctx context.Context, name string, expect int, object []byte) (core.CommitInfo, error)
+	Retrieve(ctx context.Context, name string, version int) (ArchiveVersion, error)
+	RetrieveAll(ctx context.Context, name string, version int) ([][]byte, core.RetrievalStats, error)
+	Log(ctx context.Context, name string) ([]ArchiveLogEntry, error)
+	Info(ctx context.Context, name string) (ArchiveInfo, error)
+	Compact(ctx context.Context, name string, maxChain int) (CompactReport, error)
+	Scrub(ctx context.Context, name string, repair bool) (core.ScrubReport, error)
+	Repair(ctx context.Context, name string, node int) (core.RepairReport, error)
+}
+
+// ArchiveSpec describes the configuration of an archive to create, in the
+// same string forms the manifest persists (core.Manifest without entries).
+// Zero-valued policy fields keep their defaults.
+type ArchiveSpec struct {
+	Scheme            string `json:"scheme"`
+	Code              string `json:"code"`
+	Field             string `json:"field,omitempty"`
+	N                 int    `json:"n"`
+	K                 int    `json:"k"`
+	BlockSize         int    `json:"block_size"`
+	PunctureDeltas    int    `json:"puncture_deltas,omitempty"`
+	Placement         string `json:"placement,omitempty"`
+	MaxChainLength    int    `json:"max_chain_length,omitempty"`
+	CheckpointEvery   int    `json:"checkpoint_every,omitempty"`
+	CompactGammaLimit int    `json:"compact_gamma_limit,omitempty"`
+	CompressDeltas    bool   `json:"compress_deltas,omitempty"`
+	CompressGammaMax  int    `json:"compress_gamma_max,omitempty"`
+	ReadCacheBytes    int    `json:"read_cache_bytes,omitempty"`
+}
+
+// Manifest expands the spec into an entry-less manifest for the given
+// archive name, the form core.Open accepts to create a fresh archive.
+// An empty scheme or code takes the paper's defaults (basic-sec over a
+// non-systematic Cauchy code), mirroring the empty-placement default.
+func (s ArchiveSpec) Manifest(name string) core.Manifest {
+	if s.Scheme == "" {
+		s.Scheme = core.BasicSEC.String()
+	}
+	if s.Code == "" {
+		s.Code = erasure.NonSystematicCauchy.String()
+	}
+	return core.Manifest{
+		Name:              name,
+		Scheme:            s.Scheme,
+		Code:              s.Code,
+		Field:             s.Field,
+		N:                 s.N,
+		K:                 s.K,
+		BlockSize:         s.BlockSize,
+		PunctureDeltas:    s.PunctureDeltas,
+		Placement:         s.Placement,
+		MaxChainLength:    s.MaxChainLength,
+		CheckpointEvery:   s.CheckpointEvery,
+		CompactGammaLimit: s.CompactGammaLimit,
+		CompressDeltas:    s.CompressDeltas,
+		CompressGammaMax:  s.CompressGammaMax,
+		ReadCacheBytes:    s.ReadCacheBytes,
+	}
+}
+
+// SpecFromManifest recovers the creation spec of an existing manifest
+// (dropping its entries), so a client can clone an archive's shape.
+func SpecFromManifest(m core.Manifest) ArchiveSpec {
+	return ArchiveSpec{
+		Scheme:            m.Scheme,
+		Code:              m.Code,
+		Field:             m.Field,
+		N:                 m.N,
+		K:                 m.K,
+		BlockSize:         m.BlockSize,
+		PunctureDeltas:    m.PunctureDeltas,
+		Placement:         m.Placement,
+		MaxChainLength:    m.MaxChainLength,
+		CheckpointEvery:   m.CheckpointEvery,
+		CompactGammaLimit: m.CompactGammaLimit,
+		CompressDeltas:    m.CompressDeltas,
+		CompressGammaMax:  m.CompressGammaMax,
+		ReadCacheBytes:    m.ReadCacheBytes,
+	}
+}
+
+// ArchiveVersion is one retrieved version with its retrieval accounting.
+type ArchiveVersion struct {
+	// Version is the version number actually served (the latest at
+	// request time when the request asked for 0).
+	Version int `json:"version"`
+	// Data is the decoded object.
+	Data []byte `json:"-"`
+	// Stats is the archive-side retrieval accounting for this read.
+	Stats core.RetrievalStats `json:"stats"`
+}
+
+// ArchiveLogEntry describes one version in an archive's history, combining
+// the manifest entry with the chain shape retrieval would traverse.
+type ArchiveLogEntry struct {
+	Version    int   `json:"version"`
+	Full       bool  `json:"full"`
+	Delta      bool  `json:"delta"`
+	Gamma      int   `json:"gamma"`
+	Length     int   `json:"length"`
+	Base       int   `json:"base,omitempty"`
+	Checkpoint bool  `json:"checkpoint,omitempty"`
+	Compressed bool  `json:"compressed,omitempty"`
+	Support    []int `json:"support,omitempty"`
+	// ChainDepth counts the codewords retrieval of this version decodes;
+	// PlannedReads counts the node reads it costs (paper formulas (3)/(4)
+	// generalized over the compacted chain).
+	ChainDepth   int `json:"chain_depth"`
+	PlannedReads int `json:"planned_reads"`
+}
+
+// ArchiveNodeStatus pairs a cluster node's health snapshot with a
+// liveness probe taken at Info time.
+type ArchiveNodeStatus struct {
+	Health store.NodeHealth `json:"health"`
+	Up     bool             `json:"up"`
+}
+
+// ArchiveInfo is the gateway's description of one archive and the cluster
+// behind it.
+type ArchiveInfo struct {
+	Manifest core.Manifest `json:"manifest"`
+	// Versions is the number of committed versions; Capacity the object
+	// byte capacity (k*blockSize).
+	Versions int `json:"versions"`
+	Capacity int `json:"capacity"`
+	// Cache reports the shared decoded-version read cache, nil when the
+	// archive has no cache budget.
+	Cache *core.CacheStats `json:"cache,omitempty"`
+	// QueuedWriters is the number of writers currently admitted or
+	// waiting on this archive's commit queue.
+	QueuedWriters int `json:"queued_writers"`
+	// Nodes is the per-node health and probe snapshot.
+	Nodes []ArchiveNodeStatus `json:"nodes,omitempty"`
+}
+
+// CompactReport is the result of a gateway-driven compaction pass,
+// including the crash-safe reclaim that follows the manifest persist.
+type CompactReport struct {
+	Info core.CompactionInfo `json:"info"`
+	// Deleted and Orphans count superseded shards reclaimed after the
+	// new manifest was persisted, and those left behind on down nodes.
+	Deleted int `json:"deleted"`
+	Orphans int `json:"orphans"`
+}
+
+// errArchMalformed reports an archive-op payload that does not parse.
+var errArchMalformed = errors.New("transport: malformed archive payload")
+
+// encodeArchCommit frames a commit request payload: u32(expect+1)
+// followed by the object bytes. expect < 0 (no precondition) travels as 0.
+func encodeArchCommit(expect int, object []byte) ([]byte, error) {
+	if expect < -1 {
+		return nil, fmt.Errorf("transport: invalid expected version %d", expect)
+	}
+	if expect >= 1<<31 {
+		return nil, fmt.Errorf("transport: expected version %d overflows the wire", expect)
+	}
+	// The commit must fit one request frame alongside its header; refuse
+	// here so the caller gets a typed size error instead of a mid-write
+	// transport failure.
+	if len(object) > maxFrame-64 {
+		return nil, fmt.Errorf("transport: %d-byte commit exceeds the frame limit: %w", len(object), errFrameTooLarge)
+	}
+	body := make([]byte, 0, 4+len(object))
+	body = binary.BigEndian.AppendUint32(body, uint32(expect+1))
+	return append(body, object...), nil
+}
+
+// decodeArchCommit parses a commit request payload.
+func decodeArchCommit(payload []byte) (expect int, object []byte, err error) {
+	if len(payload) < 4 {
+		return 0, nil, errArchMalformed
+	}
+	expect = int(binary.BigEndian.Uint32(payload)) - 1
+	return expect, payload[4:], nil
+}
+
+// archVersionMeta is the JSON chunk preceding the raw object bytes in a
+// retrieve response.
+type archVersionMeta struct {
+	Version int                 `json:"version"`
+	Stats   core.RetrievalStats `json:"stats"`
+}
+
+// encodeArchVersion frames a retrieve response: u32(len(meta)) metaJSON
+// followed by the raw object bytes (which stream across statusPartial
+// continuation frames when they outgrow one frame).
+func encodeArchVersion(v ArchiveVersion) ([]byte, error) {
+	meta, err := json.Marshal(archVersionMeta{Version: v.Version, Stats: v.Stats})
+	if err != nil {
+		return nil, fmt.Errorf("transport: encoding version meta: %w", err)
+	}
+	body := make([]byte, 0, 4+len(meta)+len(v.Data))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(meta)))
+	body = append(body, meta...)
+	return append(body, v.Data...), nil
+}
+
+// decodeArchVersion parses a retrieve response.
+func decodeArchVersion(payload []byte) (ArchiveVersion, error) {
+	meta, rest, err := readChunk(payload)
+	if err != nil {
+		return ArchiveVersion{}, errArchMalformed
+	}
+	var m archVersionMeta
+	if err := json.Unmarshal(meta, &m); err != nil {
+		return ArchiveVersion{}, fmt.Errorf("transport: decoding version meta: %w", err)
+	}
+	return ArchiveVersion{Version: m.Version, Data: rest, Stats: m.Stats}, nil
+}
+
+// encodeArchVersions frames a retrieve-all response: u32(len(meta))
+// metaJSON u32(count) then count (u32(len) bytes) chunks, versions 1..count
+// in order.
+func encodeArchVersions(versions [][]byte, stats core.RetrievalStats) ([]byte, error) {
+	meta, err := json.Marshal(archVersionMeta{Version: len(versions), Stats: stats})
+	if err != nil {
+		return nil, fmt.Errorf("transport: encoding version meta: %w", err)
+	}
+	size := 4 + len(meta) + 4
+	for _, v := range versions {
+		size += 4 + len(v)
+	}
+	body := make([]byte, 0, size)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(meta)))
+	body = append(body, meta...)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(versions)))
+	for _, v := range versions {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(v)))
+		body = append(body, v...)
+	}
+	return body, nil
+}
+
+// decodeArchVersions parses a retrieve-all response.
+func decodeArchVersions(payload []byte) ([][]byte, core.RetrievalStats, error) {
+	meta, rest, err := readChunk(payload)
+	if err != nil {
+		return nil, core.RetrievalStats{}, errArchMalformed
+	}
+	var m archVersionMeta
+	if err := json.Unmarshal(meta, &m); err != nil {
+		return nil, core.RetrievalStats{}, fmt.Errorf("transport: decoding version meta: %w", err)
+	}
+	count, rest, err := readBatchCount(rest, 4)
+	if err != nil {
+		return nil, core.RetrievalStats{}, errArchMalformed
+	}
+	versions := make([][]byte, count)
+	for i := range versions {
+		versions[i], rest, err = readChunk(rest)
+		if err != nil {
+			return nil, core.RetrievalStats{}, errArchMalformed
+		}
+	}
+	if len(rest) != 0 {
+		return nil, core.RetrievalStats{}, errArchMalformed
+	}
+	return versions, m.Stats, nil
+}
+
+// archName validates and returns the archive name of a request.
+func archName(id store.ShardID) (string, error) {
+	if id.Object == "" {
+		return "", fmt.Errorf("transport: archive op without archive name: %w", errArchMalformed)
+	}
+	return id.Object, nil
+}
+
+// archFail maps a backend error onto a wire status and provenance
+// payload, attributing it to the serving gateway when the backend did not
+// already name a culprit.
+func archFail(err error, op, name string) (byte, []byte) {
+	var se *store.ShardError
+	if !errors.As(err, &se) {
+		err = &store.ShardError{Node: "gateway", Op: op, Shard: store.ShardID{Object: name}, Err: err}
+	}
+	return statusFor(err), encodeWireError(err)
+}
+
+// handleArchive dispatches one archive-level request to the server's
+// backend. A server without a backend (a plain storage node) answers
+// statusError, which clients surface as ErrNotServed.
+func (s *Server) handleArchive(ctx context.Context, req request) (status byte, payload []byte) {
+	if s.archive == nil {
+		return statusError, []byte("transport: archive ops not served")
+	}
+	name, err := archName(req.id)
+	if err != nil {
+		return statusError, []byte(err.Error())
+	}
+	switch req.op {
+	case opArchCreate:
+		s.reqs.archCreates.Add(1)
+		var spec ArchiveSpec
+		if err := json.Unmarshal(req.payload, &spec); err != nil {
+			return statusError, []byte(fmt.Sprintf("transport: decoding archive spec: %v", err))
+		}
+		info, err := s.archive.Create(ctx, name, spec)
+		if err != nil {
+			return archFail(err, "arch-create", name)
+		}
+		return jsonResponse(info)
+	case opArchCommit:
+		s.reqs.archCommits.Add(1)
+		expect, object, err := decodeArchCommit(req.payload)
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		s.reqs.bytesWritten.Add(uint64(len(object)))
+		ci, err := s.archive.Commit(ctx, name, expect, object)
+		if err != nil {
+			return archFail(err, "arch-commit", name)
+		}
+		return jsonResponse(ci)
+	case opArchGet:
+		s.reqs.archGets.Add(1)
+		v, err := s.archive.Retrieve(ctx, name, req.id.Row)
+		if err != nil {
+			return archFail(err, "arch-get", name)
+		}
+		s.reqs.bytesRead.Add(uint64(len(v.Data)))
+		body, err := encodeArchVersion(v)
+		if err != nil {
+			return archFail(err, "arch-get", name)
+		}
+		return statusOK, body
+	case opArchGetAll:
+		s.reqs.archGetAlls.Add(1)
+		versions, stats, err := s.archive.RetrieveAll(ctx, name, req.id.Row)
+		if err != nil {
+			return archFail(err, "arch-get-all", name)
+		}
+		for _, v := range versions {
+			s.reqs.bytesRead.Add(uint64(len(v)))
+		}
+		body, err := encodeArchVersions(versions, stats)
+		if err != nil {
+			return archFail(err, "arch-get-all", name)
+		}
+		return statusOK, body
+	case opArchLog:
+		s.reqs.archLogs.Add(1)
+		entries, err := s.archive.Log(ctx, name)
+		if err != nil {
+			return archFail(err, "arch-log", name)
+		}
+		return jsonResponse(entries)
+	case opArchInfo:
+		s.reqs.archInfos.Add(1)
+		info, err := s.archive.Info(ctx, name)
+		if err != nil {
+			return archFail(err, "arch-info", name)
+		}
+		return jsonResponse(info)
+	case opArchCompact:
+		s.reqs.archCompacts.Add(1)
+		report, err := s.archive.Compact(ctx, name, req.id.Row)
+		if err != nil {
+			return archFail(err, "arch-compact", name)
+		}
+		return jsonResponse(report)
+	case opArchScrub:
+		s.reqs.archScrubs.Add(1)
+		report, err := s.archive.Scrub(ctx, name, req.id.Row != 0)
+		if err != nil {
+			return archFail(err, "arch-scrub", name)
+		}
+		return jsonResponse(report)
+	case opArchRepair:
+		s.reqs.archRepairs.Add(1)
+		report, err := s.archive.Repair(ctx, name, req.id.Row)
+		if err != nil {
+			return archFail(err, "arch-repair", name)
+		}
+		return jsonResponse(report)
+	default:
+		return statusError, []byte(fmt.Sprintf("transport: unknown archive op %d", req.op))
+	}
+}
+
+// jsonResponse marshals a structured archive response.
+func jsonResponse(v any) (byte, []byte) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return statusError, []byte(fmt.Sprintf("transport: encoding response: %v", err))
+	}
+	return statusOK, body
+}
+
+// ArchiveClient speaks the archive-level ops to a remote gateway over the
+// framed transport, reusing the pooled-connection, deadline, and retry
+// machinery of RemoteNode (WithTimeout, WithPoolSize, WithRetryPolicy all
+// apply). It implements ArchiveBackend, so code written against the
+// backend interface runs identically against an embedded gateway and a
+// remote one. Responses larger than one frame arrive as statusPartial
+// continuations and are reassembled transparently.
+type ArchiveClient struct {
+	n *RemoteNode
+}
+
+// NewArchiveClient returns a client for the gateway at addr. The id
+// appears as the Node field of returned ShardErrors, attributing failures
+// to the gateway they came from.
+func NewArchiveClient(id, addr string, opts ...ClientOption) *ArchiveClient {
+	return &ArchiveClient{n: NewRemoteNode(id, addr, opts...)}
+}
+
+// ID returns the client's gateway identifier.
+func (c *ArchiveClient) ID() string { return c.n.ID() }
+
+// Addr returns the gateway address.
+func (c *ArchiveClient) Addr() string { return c.n.Addr() }
+
+// Close releases the connection pool. It is safe to call concurrently
+// with in-flight operations, which fail fast.
+func (c *ArchiveClient) Close() error { return c.n.Close() }
+
+// Available reports whether the gateway answers its ping within the ping
+// timeout.
+func (c *ArchiveClient) Available(ctx context.Context) bool { return c.n.Available(ctx) }
+
+// markNotServed rewrites a peer's rejection of archive ops into a typed
+// ErrNotServed wrap. A legacy peer (predating these ops) answers
+// "transport: unknown op N"; a current storage node without a gateway
+// answers "transport: archive ops not served". Both mean the same thing
+// to the caller: dial a gateway instead.
+func markNotServed(err error) {
+	var se *store.ShardError
+	if !errors.As(err, &se) || se.Err == nil {
+		return
+	}
+	msg := se.Err.Error()
+	if strings.Contains(msg, "unknown op") || strings.Contains(msg, "archive ops not served") {
+		se.Err = fmt.Errorf("%w: %w", ErrNotServed, se.Err)
+	}
+}
+
+// call performs one archive-op round trip and converts a peer's
+// does-not-serve-archives rejection into ErrNotServed.
+func (c *ArchiveClient) call(ctx context.Context, op byte, opName string, id store.ShardID, payload []byte) ([]byte, error) {
+	resp, err := c.n.roundTrip(ctx, opName, request{op: op, id: id, payload: payload})
+	if err != nil {
+		markNotServed(err)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Create asks the gateway to create archive name with the given spec.
+func (c *ArchiveClient) Create(ctx context.Context, name string, spec ArchiveSpec) (ArchiveInfo, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return ArchiveInfo{}, fmt.Errorf("transport: encoding archive spec: %w", err)
+	}
+	resp, err := c.call(ctx, opArchCreate, "arch-create", store.ShardID{Object: name}, payload)
+	if err != nil {
+		return ArchiveInfo{}, err
+	}
+	var info ArchiveInfo
+	if err := json.Unmarshal(resp, &info); err != nil {
+		return ArchiveInfo{}, fmt.Errorf("transport: decoding archive info: %w", err)
+	}
+	return info, nil
+}
+
+// Commit appends object as the archive's next version. expect >= 0
+// demands the archive currently hold exactly that many versions.
+func (c *ArchiveClient) Commit(ctx context.Context, name string, expect int, object []byte) (core.CommitInfo, error) {
+	payload, err := encodeArchCommit(expect, object)
+	if err != nil {
+		return core.CommitInfo{}, err
+	}
+	resp, err := c.call(ctx, opArchCommit, "arch-commit", store.ShardID{Object: name}, payload)
+	if err != nil {
+		return core.CommitInfo{}, err
+	}
+	var ci core.CommitInfo
+	if err := json.Unmarshal(resp, &ci); err != nil {
+		return core.CommitInfo{}, fmt.Errorf("transport: decoding commit info: %w", err)
+	}
+	return ci, nil
+}
+
+// Retrieve fetches one version (0 = latest).
+func (c *ArchiveClient) Retrieve(ctx context.Context, name string, version int) (ArchiveVersion, error) {
+	resp, err := c.call(ctx, opArchGet, "arch-get", store.ShardID{Object: name, Row: version}, nil)
+	if err != nil {
+		return ArchiveVersion{}, err
+	}
+	return decodeArchVersion(resp)
+}
+
+// RetrieveAll fetches versions 1..version (0 = through the latest).
+func (c *ArchiveClient) RetrieveAll(ctx context.Context, name string, version int) ([][]byte, core.RetrievalStats, error) {
+	resp, err := c.call(ctx, opArchGetAll, "arch-get-all", store.ShardID{Object: name, Row: version}, nil)
+	if err != nil {
+		return nil, core.RetrievalStats{}, err
+	}
+	return decodeArchVersions(resp)
+}
+
+// Log fetches the archive's version history.
+func (c *ArchiveClient) Log(ctx context.Context, name string) ([]ArchiveLogEntry, error) {
+	resp, err := c.call(ctx, opArchLog, "arch-log", store.ShardID{Object: name}, nil)
+	if err != nil {
+		return nil, err
+	}
+	var entries []ArchiveLogEntry
+	if err := json.Unmarshal(resp, &entries); err != nil {
+		return nil, fmt.Errorf("transport: decoding archive log: %w", err)
+	}
+	return entries, nil
+}
+
+// Info fetches the archive description and cluster health snapshot.
+func (c *ArchiveClient) Info(ctx context.Context, name string) (ArchiveInfo, error) {
+	resp, err := c.call(ctx, opArchInfo, "arch-info", store.ShardID{Object: name}, nil)
+	if err != nil {
+		return ArchiveInfo{}, err
+	}
+	var info ArchiveInfo
+	if err := json.Unmarshal(resp, &info); err != nil {
+		return ArchiveInfo{}, fmt.Errorf("transport: decoding archive info: %w", err)
+	}
+	return info, nil
+}
+
+// Compact bounds the archive's chain depth to maxChain (0 = the archive's
+// configured policy).
+func (c *ArchiveClient) Compact(ctx context.Context, name string, maxChain int) (CompactReport, error) {
+	resp, err := c.call(ctx, opArchCompact, "arch-compact", store.ShardID{Object: name, Row: maxChain}, nil)
+	if err != nil {
+		return CompactReport{}, err
+	}
+	var report CompactReport
+	if err := json.Unmarshal(resp, &report); err != nil {
+		return CompactReport{}, fmt.Errorf("transport: decoding compact report: %w", err)
+	}
+	return report, nil
+}
+
+// Scrub verifies every stored shard, optionally repairing damage.
+func (c *ArchiveClient) Scrub(ctx context.Context, name string, repair bool) (core.ScrubReport, error) {
+	row := 0
+	if repair {
+		row = 1
+	}
+	resp, err := c.call(ctx, opArchScrub, "arch-scrub", store.ShardID{Object: name, Row: row}, nil)
+	if err != nil {
+		return core.ScrubReport{}, err
+	}
+	var report core.ScrubReport
+	if err := json.Unmarshal(resp, &report); err != nil {
+		return core.ScrubReport{}, fmt.Errorf("transport: decoding scrub report: %w", err)
+	}
+	return report, nil
+}
+
+// Repair reconstructs the archive's shards on the given cluster node.
+func (c *ArchiveClient) Repair(ctx context.Context, name string, node int) (core.RepairReport, error) {
+	resp, err := c.call(ctx, opArchRepair, "arch-repair", store.ShardID{Object: name, Row: node}, nil)
+	if err != nil {
+		return core.RepairReport{}, err
+	}
+	var report core.RepairReport
+	if err := json.Unmarshal(resp, &report); err != nil {
+		return core.RepairReport{}, fmt.Errorf("transport: decoding repair report: %w", err)
+	}
+	return report, nil
+}

@@ -55,6 +55,15 @@ const (
 	// already read and counted on the node, so forcing a per-shard
 	// fallback would read and count them all a second time.
 	statusPartial
+	// statusBusy was added after statusPartial (the archive-gateway ops):
+	// the server refused admission (writer queue full); the request never
+	// started and the client may retry after backoff.
+	statusBusy
+	// statusConflict was added after statusBusy: an optimistic
+	// precondition failed (commit against a stale expected version,
+	// create of an archive that already exists). Retrying without
+	// re-reading current state will not succeed.
+	statusConflict
 )
 
 // maxFrame bounds a frame body to keep a malformed peer from forcing huge
@@ -410,6 +419,10 @@ func statusFor(err error) byte {
 		return statusNodeDown
 	case errors.Is(err, store.ErrCorrupt):
 		return statusCorrupt
+	case errors.Is(err, store.ErrBusy):
+		return statusBusy
+	case errors.Is(err, store.ErrConflict):
+		return statusConflict
 	default:
 		return statusError
 	}
@@ -525,6 +538,10 @@ func errorFor(status byte, payload []byte, node, op string, id store.ShardID) er
 		cause = store.ErrNodeDown
 	case statusCorrupt:
 		cause = store.ErrCorrupt
+	case statusBusy:
+		cause = store.ErrBusy
+	case statusConflict:
+		cause = store.ErrConflict
 	}
 	switch {
 	case cause == nil:

@@ -18,6 +18,7 @@ import (
 // NewServer.
 type Server struct {
 	node     store.Node
+	archive  ArchiveBackend
 	logger   *log.Logger
 	wrapConn func(net.Conn) net.Conn
 
@@ -47,12 +48,19 @@ type RequestStats struct {
 	// shards they carried.
 	GetBatches, PutBatches, DeleteBatches             uint64
 	GetBatchShards, PutBatchShards, DeleteBatchShards uint64
+	// ArchCreates through ArchRepairs count archive-level gateway RPCs
+	// (opArchCreate..opArchRepair), the whole-archive operations a
+	// gateway-backed server dispatches to its ArchiveBackend.
+	ArchCreates, ArchCommits, ArchGets, ArchGetAlls uint64
+	ArchLogs, ArchInfos, ArchCompacts               uint64
+	ArchScrubs, ArchRepairs                         uint64
 	// BytesRead counts shard payload bytes served to clients (get and
-	// get-batch responses); BytesWritten counts shard payload bytes
-	// received from clients (put and put-batch requests). Framing and
-	// header bytes are excluded: these are the bytes-on-wire the paper's
-	// I/O model prices, so a compressed-delta workload shows up directly
-	// as a smaller BytesRead.
+	// get-batch responses, and archive retrieve responses); BytesWritten
+	// counts shard payload bytes received from clients (put and put-batch
+	// requests, and archive commits). Framing and header bytes are
+	// excluded: these are the bytes-on-wire the paper's I/O model prices,
+	// so a compressed-delta workload shows up directly as a smaller
+	// BytesRead.
 	BytesRead, BytesWritten uint64
 }
 
@@ -61,6 +69,9 @@ type requestCounters struct {
 	getBatches, putBatches, deleteBatches atomic.Uint64
 	getBatchShards, putBatchShards        atomic.Uint64
 	deleteBatchShards                     atomic.Uint64
+	archCreates, archCommits, archGets    atomic.Uint64
+	archGetAlls, archLogs, archInfos      atomic.Uint64
+	archCompacts, archScrubs, archRepairs atomic.Uint64
 	bytesRead, bytesWritten               atomic.Uint64
 }
 
@@ -78,6 +89,15 @@ func (s *Server) RequestStats() RequestStats {
 		GetBatchShards:    s.reqs.getBatchShards.Load(),
 		PutBatchShards:    s.reqs.putBatchShards.Load(),
 		DeleteBatchShards: s.reqs.deleteBatchShards.Load(),
+		ArchCreates:       s.reqs.archCreates.Load(),
+		ArchCommits:       s.reqs.archCommits.Load(),
+		ArchGets:          s.reqs.archGets.Load(),
+		ArchGetAlls:       s.reqs.archGetAlls.Load(),
+		ArchLogs:          s.reqs.archLogs.Load(),
+		ArchInfos:         s.reqs.archInfos.Load(),
+		ArchCompacts:      s.reqs.archCompacts.Load(),
+		ArchScrubs:        s.reqs.archScrubs.Load(),
+		ArchRepairs:       s.reqs.archRepairs.Load(),
 		BytesRead:         s.reqs.bytesRead.Load(),
 		BytesWritten:      s.reqs.bytesWritten.Load(),
 	}
@@ -108,10 +128,21 @@ func WithConnWrapper(wrap func(net.Conn) net.Conn) ServerOption {
 	return func(s *Server) { s.wrapConn = wrap }
 }
 
+// WithArchiveBackend installs a backend for the archive-level ops
+// (opArchCreate..opArchRepair), turning the server into a gateway
+// endpoint. A server without a backend answers those ops with
+// statusError, which clients surface as ErrNotServed.
+func WithArchiveBackend(b ArchiveBackend) ServerOption {
+	return func(s *Server) { s.archive = b }
+}
+
 // errServerClosed rejects Listen on a server already shut down.
 var errServerClosed = errors.New("transport: server already closed")
 
-// NewServer returns a server exposing the given node.
+// NewServer returns a server exposing the given node. A nil node is
+// allowed for gateway-only servers (WithArchiveBackend): shard ops then
+// answer statusError, while ping answers statusOK so liveness probes
+// reflect the server, not a node it does not have.
 func NewServer(node store.Node, opts ...ServerOption) *Server {
 	s := &Server{node: node, conns: make(map[net.Conn]struct{})}
 	// The ops context is the server-owned root for in-flight request
@@ -207,6 +238,12 @@ func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload 
 	if err != nil {
 		return statusError, []byte(err.Error())
 	}
+	if req.op >= opArchCreate && req.op <= opArchRepair {
+		return s.handleArchive(ctx, req)
+	}
+	if s.node == nil && req.op != opPing {
+		return statusError, []byte("transport: no storage node served")
+	}
 	switch req.op {
 	case opPut:
 		s.reqs.puts.Add(1)
@@ -227,7 +264,7 @@ func (s *Server) handle(ctx context.Context, body []byte) (status byte, payload 
 		return s.report(err), encodeWireError(err)
 	case opPing:
 		s.reqs.pings.Add(1)
-		if !s.node.Available(ctx) {
+		if s.node != nil && !s.node.Available(ctx) {
 			return statusNodeDown, nil
 		}
 		return statusOK, nil

@@ -8,6 +8,7 @@ import (
 	"github.com/secarchive/sec/internal/core"
 	"github.com/secarchive/sec/internal/erasure"
 	"github.com/secarchive/sec/internal/faults"
+	"github.com/secarchive/sec/internal/gateway"
 	"github.com/secarchive/sec/internal/store"
 	"github.com/secarchive/sec/internal/transport"
 	"github.com/secarchive/sec/internal/vcs"
@@ -138,6 +139,12 @@ var (
 	ErrNoSuchVersion = core.ErrNoSuchVersion
 	// ErrUnavailable reports that too few live shards remain.
 	ErrUnavailable = core.ErrUnavailable
+	// ErrBusy reports a gateway write rejected because the archive's
+	// bounded writer queue is full; retry after a backoff.
+	ErrBusy = store.ErrBusy
+	// ErrConflict reports an optimistic-commit precondition failure or a
+	// duplicate create: the archive changed under the caller.
+	ErrConflict = store.ErrConflict
 )
 
 // NewArchive creates an empty archive on the cluster.
@@ -367,6 +374,34 @@ type (
 // NewRepository creates an empty version store on the cluster.
 func NewRepository(cfg RepositoryConfig, cluster *Cluster) (*Repository, error) {
 	return vcs.NewRepository(cfg, cluster)
+}
+
+// Gateway layer (cmd/secgw): one daemon owning many archives, serving
+// them to concurrent clients over the framed transport. Clients use the
+// secclient package.
+type (
+	// Gateway serializes writers per archive and shares each archive's
+	// decoded-version read cache across every client.
+	Gateway = gateway.Gateway
+	// GatewayConfig parameterizes a Gateway.
+	GatewayConfig = gateway.Config
+	// GatewayStats is a point-in-time snapshot of gateway counters.
+	GatewayStats = gateway.Stats
+)
+
+// NewGateway opens a gateway over the cluster; archive manifests persist
+// under cfg.Root. Serve it with NewGatewayServer, or call it in-process
+// through secclient.Embed.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	return gateway.New(cfg)
+}
+
+// NewGatewayServer returns a TCP server exposing the gateway's archive
+// operations; call Listen to serve. The server answers pings but refuses
+// storage-node ops: a gateway is not a node.
+func NewGatewayServer(gw *Gateway, opts ...transport.ServerOption) *NodeServer {
+	opts = append([]transport.ServerOption{transport.WithArchiveBackend(gw)}, opts...)
+	return transport.NewServer(nil, opts...)
 }
 
 // Workload generators for examples and experiments.
