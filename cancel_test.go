@@ -18,6 +18,7 @@ import (
 
 	sec "github.com/secarchive/sec"
 	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/testutil"
 )
 
 // stallNode wraps a MemNode whose reads park until the stall is released
@@ -146,14 +147,13 @@ func TestRetrieveDeadlineBoundsStalledChain(t *testing.T) {
 	// the counters to go quiet before sampling.
 	close(stall.stalled)
 	readsAfterCancelled := cluster.TotalStats().Reads
-	for i := 0; i < 40; i++ {
-		time.Sleep(50 * time.Millisecond)
+	testutil.MustWaitFor(t, 5*time.Second, func() bool {
 		if now := cluster.TotalStats().Reads; now != readsAfterCancelled {
 			readsAfterCancelled = now
-			continue
+			return false
 		}
-		break
-	}
+		return true
+	}, "node read counters still moving after the stall was released")
 	got, stats, err := archive.RetrieveContext(t.Context(), versions)
 	if err != nil {
 		t.Fatalf("Retrieve after releasing the stall: %v (pool poisoned?)", err)

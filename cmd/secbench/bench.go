@@ -48,6 +48,28 @@ type benchResult struct {
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
 	HedgesPerOp float64 `json:"hedges_per_op,omitempty"`
+	// P999Ns extends the distribution to the 99.9th percentile for the
+	// sustained-load benchmark, where the deep tail is the signal.
+	P999Ns float64 `json:"p999_ns,omitempty"`
+	// Errors counts unexpected operation failures; typed backpressure
+	// (busy, conflict) is reported separately and is not an error.
+	Errors int64 `json:"errors,omitempty"`
+	// Busy and Conflicts count typed admission rejections for the load
+	// benchmark's write paths.
+	Busy      int64 `json:"busy,omitempty"`
+	Conflicts int64 `json:"conflicts,omitempty"`
+}
+
+// benchNode attributes served RPCs and wire bytes to one storage node,
+// for the load benchmark's per-node accounting.
+type benchNode struct {
+	Node         string `json:"node"`
+	Requests     uint64 `json:"requests"`
+	Gets         uint64 `json:"gets"`
+	Puts         uint64 `json:"puts"`
+	Deletes      uint64 `json:"deletes,omitempty"`
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
 }
 
 // benchReport is the BENCH_*.json document.
@@ -56,11 +78,14 @@ type benchReport struct {
 	Description string        `json:"description"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
 	Results     []benchResult `json:"results"`
+	// Nodes carries per-node RPC and wire-byte attribution for the load
+	// benchmark; empty elsewhere.
+	Nodes []benchNode `json:"nodes,omitempty"`
 }
 
 // benchIDs lists the available benchmarks in run order.
 func benchIDs() []string {
-	return []string{"encode", "retrieve", "tcp-retrieve", "compress", "gateway"}
+	return []string{"encode", "retrieve", "tcp-retrieve", "compress", "gateway", "load"}
 }
 
 func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
@@ -99,6 +124,8 @@ func runBenchmarks(ctx context.Context, id, outDir string, out io.Writer) error 
 			report, err = benchCompress(ctx)
 		case "gateway":
 			report, err = benchGateway(ctx)
+		case "load":
+			report, err = benchLoad(ctx)
 		}
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", b, err)

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+
+	"github.com/secarchive/sec/internal/loadgen"
+)
+
+// benchLoad runs the canonical sustained-traffic profile through
+// internal/loadgen: a fleet of closed-loop SDK clients driving a served
+// gateway over loopback TCP with zipfian archive popularity and a mixed
+// op stream, reporting per-op-kind latency quantiles (p50/p99/p999),
+// per-node RPC and wire-byte attribution, and an aggregate throughput
+// row. The profile is seed-pinned, so the planned op counts in the
+// artifact are bit-stable across machines — only the latencies move.
+const loadSeed = 20260808
+
+func loadProfile() loadgen.Profile {
+	return loadgen.Profile{
+		Seed:           loadSeed,
+		Archives:       256,
+		Clients:        8,
+		OpsPerClient:   60,
+		BlockSize:      64,
+		CompressDeltas: true,
+	}
+}
+
+func benchLoad(ctx context.Context) (benchReport, error) {
+	report := benchReport{
+		Bench:       "load",
+		Description: "zipfian mixed traffic: 8 closed-loop SDK clients x 60 ops over 256 archives on a served (6,4) gateway, loopback TCP",
+		GoMaxProcs:  gomaxprocs(),
+	}
+	rep, err := loadgen.Run(ctx, loadProfile())
+	if err != nil {
+		return report, err
+	}
+	for _, op := range rep.Ops {
+		report.Results = append(report.Results, benchResult{
+			Name:       "load-" + op.Op,
+			Iterations: int(op.Count),
+			NsPerOp:    float64(op.Mean.Nanoseconds()),
+			P50Ns:      float64(op.P50.Nanoseconds()),
+			P99Ns:      float64(op.P99.Nanoseconds()),
+			P999Ns:     float64(op.P999.Nanoseconds()),
+			Errors:     int64(op.Errors),
+			Busy:       int64(op.Busy),
+			Conflicts:  int64(op.Conflicts),
+		})
+	}
+	// The aggregate row: overall throughput and the gateway-side wire
+	// accounting, normalized per operation.
+	totalOps := float64(rep.TotalOps)
+	report.Results = append(report.Results, benchResult{
+		Name:                  "load-total",
+		Iterations:            int(rep.TotalOps),
+		NsPerOp:               float64(rep.Elapsed.Nanoseconds()) / totalOps,
+		WireBytesReadPerOp:    float64(rep.Wire.BytesRead) / totalOps,
+		WireBytesWrittenPerOp: float64(rep.Wire.BytesWritten) / totalOps,
+	})
+	for _, n := range rep.Nodes {
+		report.Nodes = append(report.Nodes, benchNode{
+			Node:         n.Node,
+			Requests:     n.Requests,
+			Gets:         n.Gets,
+			Puts:         n.Puts,
+			Deletes:      n.Deletes,
+			BytesRead:    n.BytesRead,
+			BytesWritten: n.BytesWritten,
+		})
+	}
+	return report, nil
+}

@@ -190,6 +190,99 @@ func TestBenchTCPRetrieveReportsBatchedRPCs(t *testing.T) {
 	}
 }
 
+// TestBenchLoadProfile is the CI gate for the sustained-load benchmark:
+// `secbench -bench load` must emit a BENCH_load.json whose per-op-kind
+// rows carry ordered p50/p99/p999 latency quantiles and zero unexpected
+// errors, whose per-node rows attribute RPCs and wire bytes to every
+// storage node, and whose planned op counts match the committed baseline
+// in bench/ exactly — the profile is seed-pinned, so iteration counts are
+// machine-independent and any drift means the generator's plan changed.
+// Latencies are machine-dependent and deliberately not compared.
+func TestBenchLoadProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP benchmark in -short mode")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(t.Context(), []string{"-bench", "load", "-benchout", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_load.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	results := make(map[string]benchResult, len(report.Results))
+	for _, r := range report.Results {
+		results[r.Name] = r
+	}
+	opRows := []string{"load-commit", "load-retrieve", "load-latest", "load-log", "load-compact"}
+	totalOps := 0
+	for _, name := range opRows {
+		r, ok := results[name]
+		if !ok {
+			t.Fatalf("report lacks %q: %+v", name, report.Results)
+		}
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", name, r)
+		}
+		if !(r.P50Ns > 0 && r.P50Ns <= r.P99Ns && r.P99Ns <= r.P999Ns) {
+			t.Errorf("%s: quantiles not ordered: p50=%.0f p99=%.0f p999=%.0f", name, r.P50Ns, r.P99Ns, r.P999Ns)
+		}
+		if r.Errors != 0 {
+			t.Errorf("%s: %d unexpected errors on a chaos-free profile", name, r.Errors)
+		}
+		totalOps += r.Iterations
+	}
+	total, ok := results["load-total"]
+	if !ok {
+		t.Fatalf("report lacks the aggregate row: %+v", report.Results)
+	}
+	if total.Iterations != totalOps {
+		t.Errorf("aggregate row counts %d ops, op rows sum to %d", total.Iterations, totalOps)
+	}
+	if total.WireBytesReadPerOp <= 0 || total.WireBytesWrittenPerOp <= 0 {
+		t.Errorf("no wire bytes attributed: %+v", total)
+	}
+	if len(report.Nodes) != 6 {
+		t.Fatalf("%d node rows, want 6", len(report.Nodes))
+	}
+	for _, n := range report.Nodes {
+		if n.Requests == 0 || n.BytesRead+n.BytesWritten == 0 {
+			t.Errorf("%s: no traffic attributed: %+v", n.Node, n)
+		}
+	}
+
+	// Tolerance gate against the committed baseline: identical planned op
+	// counts, row for row.
+	baseRaw, err := os.ReadFile(filepath.Join("..", "..", "bench", "BENCH_load.json"))
+	if err != nil {
+		t.Fatalf("reading committed baseline (regenerate with `secbench -bench load -benchout bench`): %v", err)
+	}
+	var baseline benchReport
+	if err := json.Unmarshal(baseRaw, &baseline); err != nil {
+		t.Fatalf("committed baseline is not valid JSON: %v", err)
+	}
+	baseResults := make(map[string]benchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		baseResults[r.Name] = r
+	}
+	for _, name := range append(opRows, "load-total") {
+		base, ok := baseResults[name]
+		if !ok {
+			t.Errorf("committed baseline lacks %q; regenerate bench/BENCH_load.json", name)
+			continue
+		}
+		if base.Iterations != results[name].Iterations {
+			t.Errorf("%s: %d ops vs %d in the committed baseline: the seed-pinned plan drifted; regenerate bench/BENCH_load.json deliberately",
+				name, results[name].Iterations, base.Iterations)
+		}
+	}
+}
+
 // TestBenchGatewayOverhead is the CI gate for serving archives through
 // secgw: gateway retrieval must issue the same node get RPCs as the
 // direct client and stay within its latency budget, and warm

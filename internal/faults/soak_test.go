@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"github.com/secarchive/sec/internal/core"
 	"github.com/secarchive/sec/internal/erasure"
 	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/testutil"
 	"github.com/secarchive/sec/internal/transport"
 )
 
@@ -138,7 +138,7 @@ func TestChaosSoak(t *testing.T) {
 
 func runSoak(t *testing.T, kind string, mk func(*testing.T, int64) *soakFixture) {
 	seed := soakSeed(t)
-	before := runtime.NumGoroutine()
+	testutil.CheckGoroutineLeaks(t)
 	fx := mk(t, seed)
 	logSchedules(t, kind, seed, fx.desc)
 	fx.cluster.SetRetryPolicy(store.DefaultRetryPolicy)
@@ -253,13 +253,7 @@ func runSoak(t *testing.T, kind string, mk func(*testing.T, int64) *soakFixture)
 	t.Logf("%s soak: %d versions, %d commit failures, %d retrieve retries, %d op errors, injected %+v, cache %+v, health %+v",
 		kind, len(versions), commitFailures, retrieveRetries, opErrs, injected, cs, fx.cluster.Health())
 
-	// No goroutine leaks once the fixture is torn down.
+	// No goroutine leaks once the fixture is torn down (checked by the
+	// testutil cleanup registered above, which runs after this close).
 	fx.close()
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		t.Errorf("goroutine leak: %d before soak, %d after teardown", before, g)
-	}
 }

@@ -70,6 +70,10 @@ type Stats struct {
 	ArchivesOpen int
 	// Commits and Retrieves count successful data-path operations.
 	Commits, Retrieves uint64
+	// Logs, Infos, Compactions, Scrubs and Repairs count the successful
+	// metadata and maintenance operations, so a load profile's op mix is
+	// visible end to end.
+	Logs, Infos, Compactions, Scrubs, Repairs uint64
 	// BusyRejections counts commits refused because an archive's writer
 	// queue was full; Conflicts counts failed optimistic preconditions.
 	BusyRejections, Conflicts uint64
@@ -144,10 +148,15 @@ type Gateway struct {
 	archives map[string]*archiveState
 	closed   bool
 
-	commits   atomic.Uint64
-	retrieves atomic.Uint64
-	busy      atomic.Uint64
-	conflicts atomic.Uint64
+	commits     atomic.Uint64
+	retrieves   atomic.Uint64
+	logs        atomic.Uint64
+	infos       atomic.Uint64
+	compactions atomic.Uint64
+	scrubs      atomic.Uint64
+	repairs     atomic.Uint64
+	busy        atomic.Uint64
+	conflicts   atomic.Uint64
 }
 
 // New returns a gateway over the given cluster.
@@ -179,6 +188,11 @@ func (g *Gateway) Stats() Stats {
 		ArchivesOpen:   open,
 		Commits:        g.commits.Load(),
 		Retrieves:      g.retrieves.Load(),
+		Logs:           g.logs.Load(),
+		Infos:          g.infos.Load(),
+		Compactions:    g.compactions.Load(),
+		Scrubs:         g.scrubs.Load(),
+		Repairs:        g.repairs.Load(),
 		BusyRejections: g.busy.Load(),
 		Conflicts:      g.conflicts.Load(),
 	}
@@ -484,6 +498,7 @@ func (g *Gateway) Log(ctx context.Context, name string) ([]transport.ArchiveLogE
 			PlannedReads: planned[i],
 		}
 	}
+	g.logs.Add(1)
 	return entries, nil
 }
 
@@ -517,6 +532,7 @@ func (g *Gateway) Info(ctx context.Context, name string) (transport.ArchiveInfo,
 	if err != nil {
 		return transport.ArchiveInfo{}, err
 	}
+	g.infos.Add(1)
 	return g.info(ctx, st, true), nil
 }
 
@@ -547,6 +563,7 @@ func (g *Gateway) Compact(ctx context.Context, name string, maxChain int) (trans
 		return transport.CompactReport{}, err
 	}
 	report := transport.CompactReport{Info: info}
+	g.compactions.Add(1)
 	if !info.Changed() {
 		return report, nil
 	}
@@ -577,7 +594,11 @@ func (g *Gateway) Scrub(ctx context.Context, name string, repair bool) (core.Scr
 		}
 		defer st.release()
 	}
-	return st.archive.ScrubContext(ctx, repair)
+	report, err := st.archive.ScrubContext(ctx, repair)
+	if err == nil {
+		g.scrubs.Add(1)
+	}
+	return report, err
 }
 
 // Repair reconstructs the archive's shards on one cluster node, holding
@@ -594,7 +615,11 @@ func (g *Gateway) Repair(ctx context.Context, name string, node int) (core.Repai
 		return core.RepairReport{}, err
 	}
 	defer st.release()
-	return st.archive.RepairNodeContext(ctx, node)
+	report, err := st.archive.RepairNodeContext(ctx, node)
+	if err == nil {
+		g.repairs.Add(1)
+	}
+	return report, err
 }
 
 // Close drains the gateway: no new operations are admitted, and every

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/testutil"
 	"github.com/secarchive/sec/internal/transport"
 )
 
@@ -28,6 +29,10 @@ func payloadFor(capacity, version int) []byte {
 
 func newTestGateway(t *testing.T, cfg Config) *Gateway {
 	t.Helper()
+	// Every embedded-gateway test also asserts leak-free teardown; the
+	// check is registered before the gateway's own cleanup so it runs
+	// after it (t.Cleanup is LIFO).
+	testutil.CheckGoroutineLeaks(t)
 	if cfg.Cluster == nil {
 		cfg.Cluster = store.NewMemCluster(6)
 	}

@@ -5,13 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/secarchive/sec/internal/gateway"
 	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/testutil"
 	"github.com/secarchive/sec/internal/transport"
 	"github.com/secarchive/sec/secclient"
 )
@@ -27,6 +27,9 @@ type servedGateway struct {
 
 func startServedGateway(t *testing.T) *servedGateway {
 	t.Helper()
+	// Registered before any fixture cleanup, so it runs last (t.Cleanup is
+	// LIFO): the whole fixture must tear down without leaking a goroutine.
+	testutil.CheckGoroutineLeaks(t)
 	cluster := store.NewMemCluster(6)
 	gw, err := gateway.New(gateway.Config{Cluster: cluster, Root: t.TempDir()})
 	if err != nil {
@@ -41,6 +44,10 @@ func startServedGateway(t *testing.T) *servedGateway {
 		_ = server.Close()
 		_ = gw.Close(context.Background())
 	})
+	// Registered after the close cleanup, so it polls while the server is
+	// still up, once every client (whose cleanups run first) has closed:
+	// client disconnects must drain the server's connection set.
+	t.Cleanup(func() { testutil.CheckConnDrain(t, "gateway server", server.ConnCount) })
 	return &servedGateway{gw: gw, server: server, cluster: cluster, addr: addr.String()}
 }
 
@@ -137,8 +144,6 @@ func TestServedCacheCoherenceAcrossClients(t *testing.T) {
 // rejections must be the only write failures, and tearing the fixture
 // down must leak no goroutines. Run under -race in CI.
 func TestServedConcurrentClients(t *testing.T) {
-	before := runtime.NumGoroutine()
-
 	fixture := startServedGateway(t)
 	ctx := t.Context()
 	archives := []string{"alpha", "beta"}
@@ -252,24 +257,16 @@ func TestServedConcurrentClients(t *testing.T) {
 		}
 	}
 
-	// Teardown leaks nothing: close the clients and the server, then wait
-	// for the goroutine count to settle back.
-	_ = final.Close()
-	_ = setup.Close()
-	_ = fixture.server.Close()
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		t.Errorf("goroutine leak: %d before, %d after teardown", before, g)
-	}
+	// Teardown is checked by the fixture: the conn-drain and
+	// goroutine-leak cleanups registered in startServedGateway run after
+	// every client cleanup has closed its connection.
 }
 
 // TestServedGracefulShutdownPersists drives the secgw shutdown sequence:
 // stop the server, close the gateway, and a fresh gateway over the same
 // root serves the same bytes.
 func TestServedGracefulShutdownPersists(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	cluster := store.NewMemCluster(6)
 	root := t.TempDir()
 	gw, err := gateway.New(gateway.Config{Cluster: cluster, Root: root})

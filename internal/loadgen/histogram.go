@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// The latency histograms are log-bucketed: bucket i holds samples up to
+// histBounds[i] nanoseconds, with bounds growing geometrically (×1.25)
+// from 1µs. 96 buckets reach past 20 minutes, far beyond any op this
+// harness times, and the growth factor bounds the quantile error at 25% —
+// tight enough to catch the order-of-magnitude p999 inflation the load
+// profiles gate on. Recording is a bounded slice index increment with no
+// locks or atomics: each client goroutine owns its shard and the shards
+// are merged once after the run (the lock-free discipline the tentpole
+// asks for).
+
+// histBuckets is the number of histogram buckets.
+const histBuckets = 96
+
+// histBounds[i] is the inclusive upper bound, in nanoseconds, of bucket i.
+// The last bucket is a catch-all; quantiles that land in it report the
+// recorded maximum instead of its bound.
+var histBounds = func() [histBuckets]int64 {
+	var b [histBuckets]int64
+	bound := float64(time.Microsecond)
+	for i := range b {
+		b[i] = int64(bound)
+		bound *= 1.25
+	}
+	return b
+}()
+
+// Histogram is a log-bucketed latency histogram. The zero value is ready
+// to use. It is NOT safe for concurrent use: give each goroutine its own
+// shard and Merge them after the goroutines have finished.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    int64
+	max    int64
+}
+
+// bucketFor returns the bucket index covering ns via binary search over
+// the precomputed bounds.
+func bucketFor(ns int64) int {
+	lo, hi := 0, histBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if histBounds[mid] < ns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketFor(ns)]++
+	h.n++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds another histogram's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the mean recorded latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.n))
+}
+
+// Max returns the largest recorded latency.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q in [0, 1]: the upper bound
+// of the first bucket whose cumulative count reaches rank ceil(q*n),
+// clamped to the recorded maximum (exact for the top bucket and for any
+// q at or past the last sample).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			bound := histBounds[i]
+			if bound > h.max {
+				bound = h.max
+			}
+			return time.Duration(bound)
+		}
+	}
+	return time.Duration(h.max)
+}

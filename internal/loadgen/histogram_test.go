@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram not all-zero: count=%d mean=%v max=%v p50=%v",
+			h.Count(), h.Mean(), h.Max(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// 1000 samples spread over four decades: every quantile must come
+	// back within one bucket (25%) of the true order statistic.
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	samples := make([]int64, 1000)
+	for i := range samples {
+		ns := int64(time.Microsecond) << uint(rng.Intn(14)) // 1µs .. ~8ms
+		samples[i] = ns + rng.Int63n(ns)
+		h.Record(time.Duration(samples[i]))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		got := float64(h.Quantile(q))
+		// True order statistic by sorting a copy.
+		sorted := append([]int64(nil), samples...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		rank := int(q*float64(len(sorted))+0.999999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		want := float64(sorted[rank])
+		if got < want/1.3 || got > want*1.3 {
+			t.Errorf("q=%v: histogram %v vs exact %v (off by more than a bucket)",
+				q, time.Duration(int64(got)), time.Duration(int64(want)))
+		}
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Errorf("p100 %v exceeds max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Errorf("merged (count=%d max=%v mean=%v) != whole (count=%d max=%v mean=%v)",
+			a.Count(), a.Max(), a.Mean(), whole.Count(), whole.Max(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %v != whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	prev := time.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone: q=%v gives %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/testutil"
+)
+
+// smallProfile is a scaled-down mixed-traffic profile that still touches
+// every op kind.
+func smallProfile(seed int64) Profile {
+	return Profile{
+		Seed:         seed,
+		Archives:     16,
+		Clients:      4,
+		OpsPerClient: 15,
+		BlockSize:    16,
+		FinalVerify:  true,
+	}
+}
+
+// TestRunDeterminism is the harness's replayability contract: two Run
+// invocations with the same seed produce identical op sequences and
+// identical workload bytes — byte-for-byte identical planned traces —
+// regardless of goroutine scheduling, extending the workload package's
+// seed-reproducibility guarantee through the whole harness.
+func TestRunDeterminism(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ctx := t.Context()
+	first, err := Run(ctx, smallProfile(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ctx, smallProfile(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TraceDigest != second.TraceDigest {
+		t.Errorf("trace digests diverged: %x vs %x", first.TraceDigest, second.TraceDigest)
+	}
+	if len(first.ClientDigests) != len(second.ClientDigests) {
+		t.Fatalf("client counts diverged: %d vs %d", len(first.ClientDigests), len(second.ClientDigests))
+	}
+	for i := range first.ClientDigests {
+		if first.ClientDigests[i] != second.ClientDigests[i] {
+			t.Errorf("client %d digest diverged: %x vs %x", i, first.ClientDigests[i], second.ClientDigests[i])
+		}
+	}
+	// The op mix itself is planned, so per-kind counts must match too.
+	if len(first.Ops) != len(second.Ops) {
+		t.Fatalf("op kinds diverged: %d vs %d", len(first.Ops), len(second.Ops))
+	}
+	for i := range first.Ops {
+		if first.Ops[i].Op != second.Ops[i].Op || first.Ops[i].Count != second.Ops[i].Count {
+			t.Errorf("op %s count %d vs %s count %d",
+				first.Ops[i].Op, first.Ops[i].Count, second.Ops[i].Op, second.Ops[i].Count)
+		}
+	}
+	// A different seed must actually change the plan.
+	third, err := Run(ctx, smallProfile(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.TraceDigest == first.TraceDigest {
+		t.Error("different seeds produced the same trace digest")
+	}
+}
+
+// TestRunReport checks the report's accounting invariants on a clean
+// (chaos-free) run: all planned ops issued, none failed, every read
+// byte-identical, latency quantiles ordered, and RPCs and wire bytes
+// attributed to every node.
+func TestRunReport(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	p := smallProfile(7)
+	report, err := Run(t.Context(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(p.Clients * p.OpsPerClient); report.TotalOps != want {
+		t.Errorf("TotalOps = %d, want %d", report.TotalOps, want)
+	}
+	if len(report.Divergences) != 0 {
+		t.Errorf("byte divergences on a clean run: %q", report.Divergences)
+	}
+	if report.VerifiedVersions == 0 {
+		t.Error("final sweep verified nothing")
+	}
+	for _, op := range report.Ops {
+		if op.Errors != 0 {
+			t.Errorf("%s: %d unexpected errors on a clean run", op.Op, op.Errors)
+		}
+		if op.Conflicts != 0 {
+			t.Errorf("%s: %d conflicts without CommitAt contention", op.Op, op.Conflicts)
+		}
+		if !(op.P50 <= op.P99 && op.P99 <= op.P999 && op.P999 <= op.Max) {
+			t.Errorf("%s: quantiles not ordered: p50=%v p99=%v p999=%v max=%v",
+				op.Op, op.P50, op.P99, op.P999, op.Max)
+		}
+		if op.Count > 0 && op.P50 == 0 {
+			t.Errorf("%s: zero p50 over %d ops", op.Op, op.Count)
+		}
+	}
+	// Every storage node served RPCs and moved bytes: the placement
+	// stripes across all of them.
+	if len(report.Nodes) != 6 {
+		t.Fatalf("%d node reports, want 6", len(report.Nodes))
+	}
+	for _, n := range report.Nodes {
+		if n.Requests == 0 {
+			t.Errorf("%s served no RPCs", n.Node)
+		}
+		if n.BytesRead+n.BytesWritten == 0 {
+			t.Errorf("%s moved no bytes", n.Node)
+		}
+	}
+	if report.Wire.Gets == 0 || report.Wire.Puts == 0 {
+		t.Errorf("gateway wire stats empty: %+v", report.Wire)
+	}
+	if report.GatewayRPCs.ArchCommits == 0 || report.GatewayRPCs.ArchGets == 0 {
+		t.Errorf("gateway served no archive RPCs: %+v", report.GatewayRPCs)
+	}
+	if report.Gateway.Commits == 0 || report.Gateway.Retrieves == 0 {
+		t.Errorf("gateway counters flat: %+v", report.Gateway)
+	}
+	if report.Gateway.ArchivesOpen != p.Archives {
+		t.Errorf("%d archives resident, want %d", report.Gateway.ArchivesOpen, p.Archives)
+	}
+	if report.Elapsed <= 0 {
+		t.Error("no elapsed time measured")
+	}
+}
+
+// TestProfileValidation rejects cluster shapes the code cannot serve.
+func TestProfileValidation(t *testing.T) {
+	if _, err := Run(t.Context(), Profile{Nodes: 4, K: 4}); err == nil {
+		t.Error("n == k accepted")
+	}
+	if _, err := Run(t.Context(), Profile{Nodes: 6, K: 3, Chaos: true, ChaosMaxFaulty: 4}); err == nil {
+		t.Error("maxFaulty > n-k accepted")
+	}
+}
+
+// TestRunHonorsCancellation bounds a run by a context deadline: Run must
+// return promptly with the cause instead of finishing the profile.
+func TestRunHonorsCancellation(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ctx, cancel := context.WithTimeout(t.Context(), 50*time.Millisecond)
+	defer cancel()
+	p := smallProfile(9)
+	p.Archives = 64
+	p.OpsPerClient = 500
+	start := time.Now()
+	_, err := Run(ctx, p)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if time.Since(start) > 20*time.Second {
+		t.Fatalf("cancelled run took %v to return", time.Since(start))
+	}
+}

@@ -103,6 +103,15 @@ func (s *Server) RequestStats() RequestStats {
 	}
 }
 
+// ConnCount returns the number of client connections the server is
+// currently holding. It exists for connection-leak checks: after every
+// client of a test fixture has closed, the count must drain to zero.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 // maxResponseChunk is the largest response payload sent in one frame
 // (frame body = status byte + payload); longer payloads continue across
 // statusPartial frames. A variable so tests can force splitting without

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file extends the workload package from single-chain edit models to
+// sustained-traffic shape: which archive a client touches next (zipfian
+// popularity over a large archive population) and what it does to it (a
+// weighted op mix). Both are driven by an explicit *rand.Rand, so a
+// traffic plan is replayable from its seed exactly like the edit models.
+
+// Popularity samples archive indices in [0, m) under a Zipf popularity
+// law: a few archives are hot, the long tail is cold — the skew the
+// multi-version key-value-store literature assumes for frequently-updated
+// objects. Hot ranks are scattered across the index space by a
+// deterministic permutation, so archive 0 is not structurally special.
+type Popularity struct {
+	zipf *rand.Zipf
+	perm []int
+}
+
+// NewPopularity returns a sampler over m archives with Zipf parameters
+// (s, v); s must exceed 1 and v must be at least 1 (the rand.NewZipf
+// contract). Identical (rng state, m, s, v) yield identical sample
+// sequences.
+func NewPopularity(rng *rand.Rand, m int, s, v float64) (*Popularity, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("workload: popularity over %d archives", m)
+	}
+	zipf := rand.NewZipf(rng, s, v, uint64(m-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("workload: invalid Zipf parameters s=%v v=%v", s, v)
+	}
+	return &Popularity{zipf: zipf, perm: rng.Perm(m)}, nil
+}
+
+// Sample draws the next archive index in [0, m).
+func (p *Popularity) Sample() int {
+	return p.perm[p.zipf.Uint64()]
+}
+
+// Op is one kind of archive operation a traffic mix can draw.
+type Op int
+
+const (
+	// OpCommit appends a new version.
+	OpCommit Op = iota
+	// OpRetrieve reads one specific version.
+	OpRetrieve
+	// OpLatest reads the newest version.
+	OpLatest
+	// OpLog lists the version history.
+	OpLog
+	// OpCompact bounds the chain depth.
+	OpCompact
+
+	// NumOps is the number of op kinds.
+	NumOps = int(OpCompact) + 1
+)
+
+// String names the op for reports and histograms.
+func (o Op) String() string {
+	switch o {
+	case OpCommit:
+		return "commit"
+	case OpRetrieve:
+		return "retrieve"
+	case OpLatest:
+		return "latest"
+	case OpLog:
+		return "log"
+	case OpCompact:
+		return "compact"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Mix weights the op kinds of a traffic stream. Weights are relative;
+// zero disables a kind.
+type Mix struct {
+	Commit, Retrieve, Latest, Log, Compact int
+}
+
+// weights returns the mix in Op order.
+func (m Mix) weights() [NumOps]int {
+	return [NumOps]int{m.Commit, m.Retrieve, m.Latest, m.Log, m.Compact}
+}
+
+// Mixer draws op kinds proportionally to a Mix.
+type Mixer struct {
+	rng     *rand.Rand
+	weights [NumOps]int
+	total   int
+}
+
+// NewMixer validates the mix (non-negative weights, at least one positive)
+// and returns a mixer over it. Identical (rng state, mix) yield identical
+// op sequences.
+func NewMixer(rng *rand.Rand, m Mix) (*Mixer, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	w := m.weights()
+	total := 0
+	for op, weight := range w {
+		if weight < 0 {
+			return nil, fmt.Errorf("workload: negative weight %d for %v", weight, Op(op))
+		}
+		total += weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workload: empty op mix")
+	}
+	return &Mixer{rng: rng, weights: w, total: total}, nil
+}
+
+// Next draws the next op kind.
+func (mx *Mixer) Next() Op {
+	u := mx.rng.Intn(mx.total)
+	for op, weight := range mx.weights {
+		if u < weight {
+			return Op(op)
+		}
+		u -= weight
+	}
+	return OpCompact // unreachable: weights sum to total
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPopularityValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	if _, err := NewPopularity(nil, 8, 1.2, 1); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := NewPopularity(rng, 0, 1.2, 1); err == nil {
+		t.Error("m=0: want error")
+	}
+	if _, err := NewPopularity(rng, 8, 0.5, 1); err == nil {
+		t.Error("s<=1: want error")
+	}
+}
+
+func TestPopularityZipfSkewAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const m = 128
+	p, err := NewPopularity(rng, m, 1.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := make([]int, m)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		a := p.Sample()
+		if a < 0 || a >= m {
+			t.Fatalf("sample %d out of range", a)
+		}
+		hits[a]++
+	}
+	// Zipf skew: the hottest archive must dwarf the median one, and the
+	// tail must still be touched (the permutation spreads ranks, so find
+	// the hot archive empirically).
+	hottest, touched := 0, 0
+	for _, h := range hits {
+		if h > hottest {
+			hottest = h
+		}
+		if h > 0 {
+			touched++
+		}
+	}
+	if hottest < trials/10 {
+		t.Errorf("hottest archive drew %d of %d samples: no Zipf head", hottest, trials)
+	}
+	if touched < m/4 {
+		t.Errorf("only %d of %d archives touched: no tail", touched, m)
+	}
+}
+
+// TestPopularitySeedReproducible extends the package's seed-reproducibility
+// guarantee to the popularity sampler: the same seed yields the identical
+// archive sequence.
+func TestPopularitySeedReproducible(t *testing.T) {
+	draw := func() []int {
+		rng := rand.New(rand.NewSource(92))
+		p, err := NewPopularity(rng, 64, 1.3, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 500)
+		for i := range out {
+			out[i] = p.Sample()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	if _, err := NewMixer(nil, Mix{Commit: 1}); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := NewMixer(rng, Mix{}); err == nil {
+		t.Error("empty mix: want error")
+	}
+	if _, err := NewMixer(rng, Mix{Commit: -1, Retrieve: 2}); err == nil {
+		t.Error("negative weight: want error")
+	}
+}
+
+func TestMixerProportions(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	mix := Mix{Commit: 30, Retrieve: 50, Latest: 15, Log: 5}
+	mx, err := NewMixer(rng, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, NumOps)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		counts[mx.Next()]++
+	}
+	want := mix.weights()
+	total := 100
+	for op := 0; op < NumOps; op++ {
+		got := float64(counts[op]) / trials
+		expect := float64(want[op]) / float64(total)
+		if got < expect-0.01 || got > expect+0.01 {
+			t.Errorf("%v: empirical %.3f vs weight %.3f", Op(op), got, expect)
+		}
+	}
+	if counts[OpCompact] != 0 {
+		t.Errorf("zero-weight compact drawn %d times", counts[OpCompact])
+	}
+}
+
+// TestMixerSeedReproducible extends the package's seed-reproducibility
+// guarantee to the op mixer: the same seed yields the identical op
+// sequence.
+func TestMixerSeedReproducible(t *testing.T) {
+	draw := func() []Op {
+		rng := rand.New(rand.NewSource(95))
+		mx, err := NewMixer(rng, Mix{Commit: 3, Retrieve: 4, Latest: 2, Log: 1, Compact: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Op, 500)
+		for i := range out {
+			out[i] = mx.Next()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{OpCommit: "commit", OpRetrieve: "retrieve", OpLatest: "latest", OpLog: "log", OpCompact: "compact"}
+	for op, want := range names {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := Op(99).String(); got != "op(99)" {
+		t.Errorf("unknown op = %q", got)
+	}
+}

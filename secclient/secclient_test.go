@@ -1,0 +1,225 @@
+package secclient_test
+
+// Error-path coverage for the public SDK over real TCP: the store error
+// taxonomy must survive the wire and come back from the Client's methods
+// as errors.Is-testable sentinels — ErrBusy when a gateway's writer queue
+// is saturated, ErrConflict when an optimistic CommitAt expectation is
+// stale, and ErrNotServed when the dialed peer is a storage node rather
+// than a gateway. Transport-level unit tests cover the codecs; these
+// tests assert the contract application code actually programs against.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/secarchive/sec/internal/gateway"
+	"github.com/secarchive/sec/internal/store"
+	"github.com/secarchive/sec/internal/testutil"
+	"github.com/secarchive/sec/internal/transport"
+	"github.com/secarchive/sec/secclient"
+)
+
+// gatedNode wraps a node so every Put parks until the gate is released,
+// closing entered (once, across all nodes) when the first Put arrives.
+// Embedding the interface (not the concrete type) hides BatchNode, so
+// commits take the per-shard path and block inside Put. It models a slow
+// storage device that keeps a writer slot occupied. The entered signal —
+// not an Info poll — is how the test learns the slot is held: a commit
+// parked inside CommitContext holds the archive's internal lock, so
+// metadata reads would park behind it too.
+type gatedNode struct {
+	store.Node
+	gate    chan struct{}
+	entered chan struct{}
+	once    *sync.Once
+}
+
+func (g *gatedNode) Put(ctx context.Context, id store.ShardID, data []byte) error {
+	g.once.Do(func() { close(g.entered) })
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return g.Node.Put(ctx, id, data)
+}
+
+// startGateway serves a gateway over loopback TCP on the given cluster
+// and returns its address.
+func startGateway(t *testing.T, cluster *store.Cluster, maxQueued int) string {
+	t.Helper()
+	testutil.CheckGoroutineLeaks(t)
+	gw, err := gateway.New(gateway.Config{Cluster: cluster, Root: t.TempDir(), MaxQueuedWriters: maxQueued})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := transport.NewServer(nil, transport.WithArchiveBackend(gw))
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = server.Close()
+		_ = gw.Close(context.Background())
+	})
+	t.Cleanup(func() { testutil.CheckConnDrain(t, "gateway server", server.ConnCount) })
+	return addr.String()
+}
+
+func dial(t *testing.T, addr string) *secclient.Client {
+	t.Helper()
+	client := secclient.Dial(addr, secclient.WithTimeout(30*time.Second))
+	t.Cleanup(func() { _ = client.Close() })
+	return client
+}
+
+// TestClientErrBusyUnderSaturatedWriterQueue saturates an archive's
+// writer queue (capacity 1) by parking a commit inside a gated node's
+// Put, then asserts the next commit through the SDK is rejected with a
+// typed ErrBusy — immediately, not after queueing.
+func TestClientErrBusyUnderSaturatedWriterQueue(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	nodes := make([]store.Node, 6)
+	for i := range nodes {
+		nodes[i] = &gatedNode{
+			Node:    store.NewMemNode(fmt.Sprintf("gated-%d", i)),
+			gate:    gate,
+			entered: entered,
+			once:    &once,
+		}
+	}
+	addr := startGateway(t, store.NewCluster(nodes), 1)
+	client := dial(t, addr)
+	ctx := t.Context()
+
+	// Create writes no shards, so it is safe while the gate is closed;
+	// only commits park.
+	info, err := client.Create(ctx, "busy", secclient.Spec{N: 6, K: 4, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, info.Capacity)
+
+	// First commit parks inside Put while holding the only writer slot.
+	writer := dial(t, addr)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstErr error
+	go func() {
+		defer wg.Done()
+		_, firstErr = writer.Commit(ctx, "busy", payload)
+	}()
+	// Wait until the commit reaches a node Put: by then it holds the only
+	// writer slot, since the gateway acquires the slot before encoding.
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first commit never reached a node Put")
+	}
+
+	// The queue (capacity 1) is full: the SDK must surface a typed busy
+	// rejection.
+	_, err = client.Commit(ctx, "busy", payload)
+	if !errors.Is(err, store.ErrBusy) {
+		t.Fatalf("saturated queue: err = %v, want ErrBusy", err)
+	}
+	// And ErrBusy must NOT be conflated with the other sentinels.
+	if errors.Is(err, store.ErrConflict) || errors.Is(err, store.ErrNotFound) {
+		t.Errorf("busy rejection also matches conflict/notfound: %v", err)
+	}
+
+	// Release the gate: the parked commit completes cleanly, proving the
+	// rejection did not corrupt the writer slot.
+	close(gate)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatalf("parked commit failed after release: %v", firstErr)
+	}
+	if _, err := client.Commit(ctx, "busy", payload); err != nil {
+		t.Fatalf("commit after release: %v", err)
+	}
+}
+
+// TestClientErrConflictOnStaleCommitAt drives optimistic concurrency
+// through the SDK: a CommitAt whose expectation is stale must come back
+// as a typed ErrConflict over the wire, and the archive must be left
+// exactly as the winner wrote it.
+func TestClientErrConflictOnStaleCommitAt(t *testing.T) {
+	addr := startGateway(t, store.NewMemCluster(6), 0)
+	client := dial(t, addr)
+	ctx := t.Context()
+	info, err := client.Create(ctx, "opt", secclient.Spec{N: 6, K: 4, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, info.Capacity)
+	for i := range payload {
+		payload[i] = 0xAB
+	}
+	if _, err := client.CommitAt(ctx, "opt", 0, payload); err != nil {
+		t.Fatalf("first CommitAt(expect=0): %v", err)
+	}
+	// A second writer with the same stale snapshot must lose, typed.
+	loser := dial(t, addr)
+	_, err = loser.CommitAt(ctx, "opt", 0, payload)
+	if !errors.Is(err, store.ErrConflict) {
+		t.Fatalf("stale CommitAt: err = %v, want ErrConflict", err)
+	}
+	if errors.Is(err, store.ErrBusy) {
+		t.Errorf("conflict also matches busy: %v", err)
+	}
+	// The conflict changed nothing: still exactly one version, correct
+	// bytes, and a fresh CommitAt with the right expectation succeeds.
+	got, err := loser.Latest(ctx, "opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 {
+		t.Fatalf("conflicted archive has %d versions, want 1", got.Version)
+	}
+	if _, err := loser.CommitAt(ctx, "opt", 1, payload); err != nil {
+		t.Fatalf("CommitAt with corrected expectation: %v", err)
+	}
+}
+
+// TestClientErrNotServedAgainstLegacyPeer dials a storage-node server —
+// a peer that answers pings but serves no archive ops, like a gateway
+// predating them — and asserts every archive method fails with a typed
+// ErrNotServed while Available still reports the peer alive.
+func TestClientErrNotServedAgainstLegacyPeer(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	server := transport.NewServer(store.NewMemNode("legacy"))
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	t.Cleanup(func() { testutil.CheckConnDrain(t, "legacy server", server.ConnCount) })
+	client := dial(t, addr.String())
+	ctx := t.Context()
+
+	if !client.Available(ctx) {
+		t.Fatal("legacy peer does not answer pings")
+	}
+	if _, err := client.Create(ctx, "a", secclient.Spec{N: 6, K: 4, BlockSize: 8}); !errors.Is(err, secclient.ErrNotServed) {
+		t.Errorf("Create = %v, want ErrNotServed", err)
+	}
+	if _, err := client.Commit(ctx, "a", []byte("x")); !errors.Is(err, secclient.ErrNotServed) {
+		t.Errorf("Commit = %v, want ErrNotServed", err)
+	}
+	if _, err := client.Latest(ctx, "a"); !errors.Is(err, secclient.ErrNotServed) {
+		t.Errorf("Latest = %v, want ErrNotServed", err)
+	}
+	if _, err := client.Log(ctx, "a"); !errors.Is(err, secclient.ErrNotServed) {
+		t.Errorf("Log = %v, want ErrNotServed", err)
+	}
+	if _, err := client.Info(ctx, "a"); !errors.Is(err, secclient.ErrNotServed) {
+		t.Errorf("Info = %v, want ErrNotServed", err)
+	}
+}
